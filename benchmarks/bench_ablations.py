@@ -1,0 +1,160 @@
+"""Ablations of YSmart's design choices (DESIGN.md experiment index).
+
+Each ablation disables one mechanism and measures what the paper's design
+buys:
+
+* **PK heuristic** — replacing the max-connections rule with "always the
+  full grouping set" destroys the JFC chain of Q-CSA (2 jobs -> 6);
+* **visibility-tag inversion** — the paper's Sec. VI-A inverse encoding
+  vs naive direct tags on the merged Q-CSA job's highly-overlapped map
+  output;
+* **canonical payload sharing** — the common pair carrying each base
+  column once vs per-role copies (merged Q21 job);
+* **map-side aggregation** — Hive's footnote-2 optimization on Q-AGG
+  (this is exactly the Hive-vs-Pig gap);
+* **concurrent job execution** — a post-paper what-if: overlapping
+  independent jobs (Hive's later ``hive.exec.parallel``) helps the long
+  Hive chains some, but YSmart still wins because the redundant scans
+  and materializations still run.
+
+All ablated translations are also checked for *correctness*: disabling an
+optimization may cost time but never changes results.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.bench import ExperimentResult
+from repro.core.compile import CompileOptions, JobCompiler
+from repro.core.jobgen import generate_job_graph
+from repro.core.translator import translate_sql
+from repro.data import rows_equal_unordered
+from repro.mr.engine import run_jobs
+from repro.mr.kv import TagPolicy
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+def _compile_and_run(workload, sql, namespace, options,
+                     agg_pk_heuristic="max_connections"):
+    ds = workload.datastore
+    plan = plan_query(parse_sql(sql), ds.catalog)
+    graph = generate_job_graph(plan, agg_pk_heuristic=agg_pk_heuristic)
+    compiler = JobCompiler(graph, namespace, options)
+    jobs = compiler.compile()
+    runs = run_jobs(jobs, ds)
+    final = compiler.dataset_name(graph.root)
+    return graph, runs, ds.intermediate(final).rows, plan.output_names
+
+
+def run_ablations(workload):
+    result = ExperimentResult(
+        "ablations", "Design-choice ablations on the paper's queries",
+        ["ablation", "variant", "metric", "value"])
+    ds = workload.datastore
+
+    # --- PK selection heuristic (Q-CSA job count) --------------------------
+    sql = paper_queries()["q_csa"]
+    ref = run_reference(plan_query(parse_sql(sql), ds.catalog), ds)
+    for variant in ("max_connections", "full_group"):
+        graph, runs, rows, cols = _compile_and_run(
+            workload, sql, f"abl.pk.{variant}", CompileOptions(),
+            agg_pk_heuristic=variant)
+        assert rows_equal_unordered(rows, ref.rows, cols, 1e-6)
+        result.rows.append({"ablation": "agg-pk-heuristic",
+                            "variant": variant, "metric": "jobs",
+                            "value": graph.job_count()})
+
+    # --- tag encoding (merged Q-CSA job map-output bytes) -------------------
+    for policy in (TagPolicy.BEST, TagPolicy.DIRECT):
+        _, runs, rows, cols = _compile_and_run(
+            workload, sql, f"abl.tag.{policy.value}",
+            CompileOptions(tag_policy=policy))
+        assert rows_equal_unordered(rows, ref.rows, cols, 1e-6)
+        result.rows.append({
+            "ablation": "tag-encoding", "variant": policy.value,
+            "metric": "map_output_bytes",
+            "value": runs[0].counters.map_output_bytes})
+
+    # --- canonical payload sharing (merged Q21 job) --------------------------
+    sql21 = paper_queries()["q21_subtree"]
+    ref21 = run_reference(plan_query(parse_sql(sql21), ds.catalog), ds)
+    for canonical in (True, False):
+        _, runs, rows, cols = _compile_and_run(
+            workload, sql21, f"abl.payload.{canonical}",
+            CompileOptions(canonical_payload=canonical))
+        assert rows_equal_unordered(rows, ref21.rows, cols, 1e-6)
+        result.rows.append({
+            "ablation": "payload-sharing",
+            "variant": "shared" if canonical else "per-role",
+            "metric": "map_output_bytes",
+            "value": runs[0].counters.map_output_bytes})
+
+    # --- DAG (concurrent) job execution what-if on Q17 ------------------------
+    from repro.hadoop import HadoopCostModel, dag_query_timing, small_cluster
+    from repro.mr.engine import run_jobs as run_mr_jobs
+    model = HadoopCostModel(small_cluster(
+        data_scale=workload.tpch_scale_10gb))
+    sql17 = paper_queries()["q17"]
+    for mode in ("hive", "ysmart"):
+        tr = translate_sql(sql17, mode=mode, catalog=ds.catalog,
+                           namespace=f"abl.dag.{mode}")
+        mr_runs = run_mr_jobs(tr.jobs, ds)
+        seq = model.query_timing(
+            mr_runs,
+            intermediate_inflation=tr.intermediate_inflation).total_s
+        dag = dag_query_timing(
+            model, mr_runs, tr.jobs,
+            intermediate_inflation=tr.intermediate_inflation)
+        result.rows.append({"ablation": "concurrent-jobs",
+                            "variant": f"{mode}-sequential",
+                            "metric": "time_s", "value": round(seq)})
+        result.rows.append({"ablation": "concurrent-jobs",
+                            "variant": f"{mode}-dag",
+                            "metric": "time_s",
+                            "value": round(dag.total_s)})
+
+    # --- map-side aggregation (Q-AGG shuffle volume) --------------------------
+    sql_agg = paper_queries()["q_agg"]
+    ref_agg = run_reference(plan_query(parse_sql(sql_agg), ds.catalog), ds)
+    for map_agg in (True, False):
+        _, runs, rows, cols = _compile_and_run(
+            workload, sql_agg, f"abl.combiner.{map_agg}",
+            CompileOptions(map_side_agg=map_agg))
+        assert rows_equal_unordered(rows, ref_agg.rows, cols, 1e-6)
+        result.rows.append({
+            "ablation": "map-side-agg",
+            "variant": "on" if map_agg else "off",
+            "metric": "map_output_records",
+            "value": runs[0].counters.map_output_records})
+
+    return result
+
+
+def test_ablations(benchmark, workload):
+    result = benchmark.pedantic(
+        run_ablations, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    def val(**f):
+        return result.value("value", **f)
+
+    # The heuristic is what makes Q-CSA collapse to two jobs.
+    assert val(ablation="agg-pk-heuristic", variant="max_connections") == 2
+    assert val(ablation="agg-pk-heuristic", variant="full_group") == 6
+    # Inverted tags never lose to direct tags on merged jobs.
+    assert val(ablation="tag-encoding", variant="best") <= \
+        val(ablation="tag-encoding", variant="direct")
+    # Payload sharing strictly shrinks the merged job's map output.
+    assert val(ablation="payload-sharing", variant="shared") < \
+        val(ablation="payload-sharing", variant="per-role")
+    # The combiner collapses Q-AGG's shuffle to one pair per category.
+    assert val(ablation="map-side-agg", variant="on") < \
+        val(ablation="map-side-agg", variant="off")
+    # Concurrent execution helps Hive's chain but never flips the winner.
+    assert val(ablation="concurrent-jobs", variant="hive-dag") < \
+        val(ablation="concurrent-jobs", variant="hive-sequential")
+    assert val(ablation="concurrent-jobs", variant="ysmart-dag") < \
+        val(ablation="concurrent-jobs", variant="hive-dag")

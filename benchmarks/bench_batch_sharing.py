@@ -1,0 +1,60 @@
+"""Batch translation: sharing scans and jobs across queries.
+
+Extends YSmart's Rule 1 across query boundaries (the MRShare direction
+the paper's related work discusses): a reporting batch whose queries
+partition the fact table identically collapses into one common job.
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import ExperimentResult
+from repro.core.batch import run_batch, translate_batch
+from repro.hadoop import HadoopCostModel, small_cluster
+from repro.workloads.queries import Q21_SUBTREE_SQL
+
+REPORTS = {
+    "waiting_suppliers": Q21_SUBTREE_SQL,
+    "order_sizes": ("SELECT l_orderkey, count(*) AS lines, "
+                    "sum(l_quantity) AS qty FROM lineitem "
+                    "GROUP BY l_orderkey"),
+    "late_lines": ("SELECT l_orderkey, count(*) AS late FROM lineitem "
+                   "WHERE l_receiptdate > l_commitdate "
+                   "GROUP BY l_orderkey"),
+}
+
+
+def run_batch_experiment(workload):
+    ds = workload.datastore
+    model = HadoopCostModel(small_cluster(
+        data_scale=workload.tpch_scale_10gb))
+    result = ExperimentResult(
+        "batch", "Three reports over lineitem: per-query translation vs "
+        "batch translation with cross-query Rule 1",
+        ["variant", "jobs", "lineitem_scans", "time_s"])
+
+    lineitem_bytes = ds.table("lineitem").estimated_bytes()
+    for share in (False, True):
+        tr = translate_batch(REPORTS, catalog=ds.catalog,
+                             namespace=f"bb.{share}",
+                             share_across_queries=share)
+        res = run_batch(tr, ds)
+        scans = sum(r.counters.input_bytes.get("lineitem", 0)
+                    for r in res.runs) / lineitem_bytes
+        result.rows.append({
+            "variant": "batch-shared" if share else "per-query",
+            "jobs": tr.job_count,
+            "lineitem_scans": round(scans, 1),
+            "time_s": round(model.query_timing(res.runs).total_s)})
+    return result
+
+
+def test_batch_sharing(benchmark, workload):
+    result = benchmark.pedantic(
+        run_batch_experiment, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    shared = result.by(variant="batch-shared")[0]
+    separate = result.by(variant="per-query")[0]
+    assert shared["jobs"] == 1 and separate["jobs"] == 3
+    assert shared["lineitem_scans"] == 1.0
+    assert separate["lineitem_scans"] == 3.0
+    assert shared["time_s"] < separate["time_s"]

@@ -1,0 +1,91 @@
+"""Fault-tolerance analysis: why MapReduce materializes (paper Sec. III).
+
+The paper's design space is bounded by MapReduce's materialization
+policy: intermediate results persist so a failed task re-runs alone.
+This bench quantifies the trade-off the policy implies:
+
+* under realistic per-task failure rates, a *materialized* job chain's
+  expected overhead stays within a few percent, while a hypothetical
+  fully *pipelined* execution (restart-on-any-failure) explodes with
+  task count — the reason "minimize the number of jobs" is the right
+  optimization rather than "remove the materialization";
+* with failures enabled on the cost model, YSmart's advantage over Hive
+  persists (both pay the same per-task retry factor; Hive still pays
+  more scans, more startup, more materialized bytes).
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.bench import ExperimentResult
+from repro.hadoop import (
+    FaultModel,
+    expected_pipelined_time,
+    materialized_phase_time,
+    small_cluster,
+)
+from repro.workloads import run_query
+from repro.workloads.queries import Q21_SUBTREE_SQL
+
+
+def run_fault_analysis(workload):
+    result = ExperimentResult(
+        "faults", "Materialized vs pipelined expected times, and query "
+        "times under task failures",
+        ["section", "variant", "metric", "value"])
+
+    # -- analytical: 600s of work split over n tasks ------------------------
+    model = FaultModel(task_failure_prob=0.01)
+    for tasks in (10, 100, 1000, 5000):
+        mat = materialized_phase_time(600.0, tasks, 100, model)
+        pipe = expected_pipelined_time(600.0, tasks, model)
+        result.rows.append({"section": "analytical",
+                            "variant": f"{tasks}-tasks",
+                            "metric": "materialized_s",
+                            "value": round(mat, 1)})
+        result.rows.append({"section": "analytical",
+                            "variant": f"{tasks}-tasks",
+                            "metric": "pipelined_s",
+                            "value": (round(pipe, 1)
+                                      if pipe != float("inf") else "inf")})
+
+    # -- simulated: Q21 sub-tree with failures on -----------------------------
+    ds = workload.datastore
+    base = small_cluster(data_scale=workload.tpch_scale_10gb)
+    for prob in (0.0, 0.02, 0.05):
+        cluster = base.with_faults(
+            FaultModel(task_failure_prob=prob) if prob else None)
+        for mode in ("ysmart", "hive"):
+            res = run_query(Q21_SUBTREE_SQL, ds, mode=mode, cluster=cluster,
+                            namespace=f"flt.{prob}.{mode}")
+            result.rows.append({"section": "simulated",
+                                "variant": f"p={prob}",
+                                "metric": f"{mode}_s",
+                                "value": round(res.timing.total_s)})
+    return result
+
+
+def test_fault_tolerance(benchmark, workload):
+    result = benchmark.pedantic(
+        run_fault_analysis, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    # Materialized overhead stays bounded; pipelined explodes.
+    mat_5000 = result.value("value", section="analytical",
+                            variant="5000-tasks", metric="materialized_s")
+    assert mat_5000 < 600 * 1.2
+    pipe_1000 = result.value("value", section="analytical",
+                             variant="1000-tasks", metric="pipelined_s")
+    assert pipe_1000 == "inf" or pipe_1000 > 600 * 100
+
+    # Failures hurt everyone but never flip the ordering.
+    for prob in ("p=0.0", "p=0.02", "p=0.05"):
+        ys = result.value("value", section="simulated", variant=prob,
+                          metric="ysmart_s")
+        hv = result.value("value", section="simulated", variant=prob,
+                          metric="hive_s")
+        assert ys < hv
+    assert result.value("value", section="simulated", variant="p=0.05",
+                        metric="ysmart_s") > \
+        result.value("value", section="simulated", variant="p=0.0",
+                     metric="ysmart_s")

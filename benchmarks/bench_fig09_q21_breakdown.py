@@ -1,0 +1,26 @@
+"""Fig. 9: Q21 sub-tree job finishing-time breakdowns.
+
+Regenerates the staged correlation ablation: one-operation-to-one-job
+(5 jobs) vs IC+TC only (3 jobs) vs all correlations (1 job) vs the
+hand-coded program, with per-job map/shuffle/reduce phases.
+Paper totals: 1140 s / 773 s / 561 s / 479 s.
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import fig9_q21_breakdown
+
+
+def test_fig9_q21_breakdown(benchmark, workload):
+    result = benchmark.pedantic(
+        fig9_q21_breakdown, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    totals = {s: result.value("total_s", system=s, job="TOTAL")
+              for s in ("one_to_one", "ysmart_ic_tc", "ysmart", "handcoded")}
+    assert totals["one_to_one"] > totals["ysmart_ic_tc"] \
+        > totals["ysmart"] > totals["handcoded"]
+    # Paper speedup of full YSmart over one-op-one-job: 203%.
+    assert 1.9 < totals["one_to_one"] / totals["ysmart"] < 3.0
+    # Map share of the naive translation (paper: 65%).
+    map_s = result.value("map_s", system="one_to_one", job="TOTAL")
+    assert 0.5 < map_s / totals["one_to_one"] < 0.85

@@ -1,0 +1,34 @@
+"""Fig. 10: small-cluster execution times, YSmart vs Hive vs Pig vs the
+ideal-parallel PostgreSQL baseline, for Q17/Q18/Q21/Q-CSA.
+
+Paper speedups of YSmart over Hive: 2.58x / 1.90x / 2.52x / 2.66x; the
+DBMS wins the TPC-H queries outright and roughly ties Q-CSA.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach
+from repro.bench import fig10_small_cluster
+
+
+@pytest.fixture(scope="module")
+def result(workload):
+    return fig10_small_cluster(workload)
+
+
+def test_fig10_small_cluster(benchmark, workload):
+    result = benchmark.pedantic(
+        fig10_small_cluster, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    for query in ("q17", "q18", "q21", "q_csa"):
+        ys = result.value("time_s", query=query, system="ysmart")
+        hive = result.value("time_s", query=query, system="hive")
+        pig = result.value("time_s", query=query, system="pig")
+        assert ys < hive <= pig, query
+    for query in ("q17", "q18", "q21"):
+        assert result.value("time_s", query=query, system="pgsql") < \
+            result.value("time_s", query=query, system="ysmart")
+    ys = result.value("time_s", query="q_csa", system="ysmart")
+    pg = result.value("time_s", query="q_csa", system="pgsql")
+    assert 0.6 < ys / pg < 1.8

@@ -1,0 +1,49 @@
+"""Fig. 11: Amazon EC2 clusters — scaling and map-output compression.
+
+Regenerates the 11-node vs 101-node comparison (10 GB vs 100 GB TPC-H)
+with compression on/off, plus Q-CSA on the 11-node cluster.  Paper
+findings: YSmart wins every case, both systems scale near-linearly, and
+compression degrades performance (Q17 YSmart 5.93 -> 12.02 min).
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import fig11_ec2
+
+
+def test_fig11_ec2(benchmark, workload):
+    result = benchmark.pedantic(
+        fig11_ec2, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    # YSmart wins every configuration.
+    for row in result.by(system="ysmart"):
+        if row["query"] == "q_csa":
+            continue
+        hive = result.value("time_s", query=row["query"],
+                            cluster=row["cluster"],
+                            compression=row["compression"], system="hive")
+        assert row["time_s"] < hive
+
+    # Near-linear scaling 11 -> 101 nodes (10x the data).
+    for query in ("q17", "q18", "q21"):
+        t11 = result.value("time_s", query=query, cluster="11-node",
+                           compression="nc", system="ysmart")
+        t101 = result.value("time_s", query=query, cluster="101-node",
+                            compression="nc", system="ysmart")
+        assert t101 / t11 < 1.6, query
+
+    # Compression is a net loss everywhere (paper: ~2x for Q17).
+    q17_nc = result.value("time_s", query="q17", cluster="101-node",
+                          compression="nc", system="ysmart")
+    q17_c = result.value("time_s", query="q17", cluster="101-node",
+                         compression="c", system="ysmart")
+    assert 1.5 < q17_c / q17_nc < 2.6
+
+    # Q-CSA on 11 nodes: ysmart < hive < pig (paper: 4.87x / 8.4x).
+    ys = result.value("time_s", query="q_csa", cluster="11-node",
+                      compression="nc", system="ysmart")
+    hive = result.value("time_s", query="q_csa", cluster="11-node",
+                        compression="nc", system="hive")
+    pig = result.value("time_s", query="q_csa", cluster="11-node",
+                       compression="nc", system="pig")
+    assert ys < hive < pig

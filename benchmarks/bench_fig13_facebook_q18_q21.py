@@ -1,0 +1,27 @@
+"""Fig. 13: Q18 and Q21 on the Facebook cluster, average of three
+instances each, on a busier day than Fig. 12's Q17 runs.
+
+Paper: average speedups 2.98x (Q18) and 3.36x (Q21) — larger than on
+isolated clusters — and both queries several times slower than Q17 due
+to day-to-day production dynamics.
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import fig12_facebook_q17, fig13_facebook_q18_q21
+
+
+def test_fig13_facebook_q18_q21(benchmark, workload):
+    result = benchmark.pedantic(
+        fig13_facebook_q18_q21, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    for query in ("q18", "q21"):
+        speedup = result.value("speedup", query=query, system="ysmart")
+        assert speedup > 1.9  # paper: ~3x
+
+    # The busier day makes Q21 far slower than Q17 was (paper: 3.46x for
+    # YSmart, 4.88x for Hive).
+    q17 = fig12_facebook_q17(workload)
+    q17_ys = sum(r["time_s"] for r in q17.by(system="ysmart")) / 3
+    q21_ys = result.value("avg_time_s", query="q21", system="ysmart")
+    assert q21_ys / q17_ys > 2.0

@@ -1,0 +1,29 @@
+"""Sec. VII-A.2: MapReduce job counts per query and translator.
+
+The paper's headline structural numbers: YSmart executes 2 jobs for
+Q-CSA where Hive executes 6; one job covers Q17's whole JOIN2 sub-tree;
+the Q21 sub-tree collapses from 5 jobs to 1.
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import table_job_counts
+
+PAPER_COUNTS = {
+    "q17": (2, 4),
+    "q18": (3, 6),
+    "q21": (5, 9),
+    "q21_subtree": (1, 5),
+    "q_csa": (2, 6),
+    "q_agg": (1, 1),
+}
+
+
+def test_job_counts(benchmark, workload):
+    result = benchmark.pedantic(
+        table_job_counts, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    for query, (ysmart, one_op) in PAPER_COUNTS.items():
+        assert result.value("ysmart", query=query) == ysmart, query
+        assert result.value("hive/pig (one-op-one-job)",
+                            query=query) == one_op, query

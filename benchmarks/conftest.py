@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One session-scoped workload keeps the suite fast; each benchmark runs the
+corresponding experiment end-to-end and attaches the regenerated table to
+``benchmark.extra_info`` (also echoed to stdout, visible with ``-s``).
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import standard_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return standard_workload(tpch_scale=0.002, clickstream_users=50)
+
+
+def attach(benchmark, result):
+    """Store a regenerated table on the benchmark record and echo it."""
+    benchmark.extra_info["experiment"] = result.exp_id
+    benchmark.extra_info["rows"] = result.rows
+    benchmark.extra_info["notes"] = result.notes
+    print()
+    print(result.to_markdown())

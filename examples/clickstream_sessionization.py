@@ -1,0 +1,65 @@
+"""Click-stream analysis: the paper's motivating Facebook workload.
+
+Answers "what is the average number of pages a user visits between a
+page in category X and a page in category Y?" (Q-CSA, paper Fig. 1) over
+a generated click stream, comparing every translator:
+
+* YSmart executes the five correlated operations (self-join, three
+  aggregations, a temporal join) in ONE MapReduce job plus a final
+  average, while Hive/Pig run a six-job chain re-scanning the click table;
+* the hand-coded program and the ideal-parallel DBMS bracket the result
+  from below.
+
+Run: python examples/clickstream_sessionization.py
+"""
+
+from repro import (
+    build_datastore,
+    run_dbms_sql,
+    run_query,
+    run_translation,
+    small_cluster,
+    translate_handcoded,
+)
+from repro.baselines.dbms import DbmsConfig
+from repro.data import ClickstreamConfig, generate_clickstream
+from repro.workloads import data_scale_for, q_csa_sql
+
+
+def main():
+    ds = build_datastore(tpch_scale=None, clickstream_users=150)
+    clicks = ds.table("clicks")
+    print(f"click stream: {len(clicks)} events, "
+          f"{len(set(clicks.column_values('uid')))} users")
+
+    sql = q_csa_sql(category_x=1, category_y=2)
+    scale = data_scale_for(ds, ["clicks"], 20.0)  # model the paper's 20 GB
+    cluster = small_cluster(data_scale=scale)
+
+    print(f"\n{'system':<12} {'jobs':>4} {'time@20GB':>10}   answer")
+    baseline = None
+    for mode in ("ysmart", "hive", "pig"):
+        res = run_query(sql, ds, mode=mode, cluster=cluster,
+                        namespace=f"csa.{mode}")
+        answer = res.rows[0]["avg_pageview_count"]
+        t = res.timing.total_s
+        baseline = baseline or t
+        print(f"{mode:<12} {res.job_count:>4} {t:>9.0f}s   {answer:.3f}")
+
+    hand = run_translation(translate_handcoded("q_csa", namespace="csa.hand"),
+                           ds, cluster=cluster)
+    print(f"{'hand-coded':<12} {hand.job_count:>4} "
+          f"{hand.timing.total_s:>9.0f}s   "
+          f"{hand.rows[0]['avg_pageview_count']:.3f}")
+
+    db = run_dbms_sql(sql, ds, config=DbmsConfig(data_scale=scale))
+    print(f"{'pgsql (4x)':<12} {'-':>4} {db.total_s:>9.0f}s   "
+          f"{db.rows[0]['avg_pageview_count']:.3f}")
+
+    print("\nAll systems agree on the answer; YSmart's merged job avoids "
+          "two extra click-table scans\nand four intermediate "
+          "materializations, which is the whole paper in one table.")
+
+
+if __name__ == "__main__":
+    main()

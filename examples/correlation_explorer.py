@@ -1,0 +1,86 @@
+"""Correlation explorer: inspect what YSmart does to YOUR query.
+
+Pass any SQL in the supported subset (or use the built-in default) and
+the script prints, side by side:
+
+* the query plan tree with paper-style labels,
+* each operator's partition key and the IC/TC/JFC pairs,
+* the one-operation-to-one-job chain vs the merged YSmart jobs,
+* each job's map inputs and reduce tasks.
+
+Run: python examples/correlation_explorer.py ["SELECT ..."]
+"""
+
+import sys
+
+from repro import (
+    CorrelationAnalysis,
+    build_datastore,
+    explain_plan,
+    generate_job_graph,
+    parse_sql,
+    plan_query,
+    translate_sql,
+)
+
+DEFAULT_SQL = """
+SELECT n_name, count(*) AS waiting_orders
+FROM (SELECT o_orderkey, o_custkey FROM orders
+      WHERE o_orderstatus = 'F') AS f,
+     (SELECT l_orderkey, count(DISTINCT l_suppkey) AS suppliers
+      FROM lineitem GROUP BY l_orderkey) AS s,
+     customer, nation
+WHERE f.o_orderkey = s.l_orderkey
+  AND s.suppliers > 1
+  AND f.o_custkey = c_custkey
+  AND c_nationkey = n_nationkey
+GROUP BY n_name
+ORDER BY waiting_orders DESC
+LIMIT 10
+"""
+
+
+def main():
+    sql = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_SQL
+    ds = build_datastore(tpch_scale=0.001, clickstream_users=20)
+
+    plan = plan_query(parse_sql(sql), ds.catalog)
+    print("== Plan tree ==")
+    print(explain_plan(plan))
+
+    analysis = CorrelationAnalysis(plan)
+    print("\n== Partition keys ==")
+    for node in analysis.operator_nodes:
+        pk = analysis.pk(node)
+        shown = ", ".join(sorted(pk)) if pk else "(none - sort/global agg)"
+        print(f"   {node.label:<8} {shown}")
+
+    print("\n== Correlations ==")
+    pairs = analysis.correlation_summary()
+    if pairs:
+        for a, b, kind in pairs:
+            meaning = {"IC": "share an input table",
+                       "TC": "share input AND partition key",
+                       "JFC": "parent runs in child's reduce phase"}[kind]
+            print(f"   {a} <-> {b}: {kind} ({meaning})")
+    else:
+        print("   none - YSmart cannot improve on one-op-one-job here")
+
+    print("\n== Job generation ==")
+    naive = generate_job_graph(plan_query(parse_sql(sql), ds.catalog),
+                               use_rule1=False, use_rule234=False,
+                               use_swaps=False)
+    print(f"   one-operation-to-one-job: {naive.job_count()} jobs "
+          f"({[d.labels[0] for d in naive.schedule()]})")
+    merged = generate_job_graph(plan_query(parse_sql(sql), ds.catalog))
+    print(f"   YSmart:                   {merged.job_count()} jobs "
+          f"({['+'.join(d.labels) for d in merged.schedule()]})")
+
+    print("\n== Executable YSmart jobs ==")
+    tr = translate_sql(sql, mode="ysmart", catalog=ds.catalog,
+                       namespace="explore")
+    print(tr.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""TPC-H decision-support workload: Q17, Q18, Q21 across translators.
+
+Reproduces the paper's Sec. VII small-cluster comparison on generated
+TPC-H data projected to 10 GB: YSmart vs Hive vs Pig vs the
+ideal-parallel PostgreSQL baseline, with per-query job counts and the
+dominant merged sub-trees YSmart finds.
+
+Run: python examples/tpch_dss.py
+"""
+
+from repro import (
+    build_datastore,
+    run_dbms_sql,
+    run_query,
+    small_cluster,
+    translate_sql,
+)
+from repro.baselines.dbms import DbmsConfig
+from repro.workloads import data_scale_for, paper_queries
+
+TPCH_TABLES = ["lineitem", "orders", "part", "customer", "supplier", "nation"]
+
+
+def main():
+    ds = build_datastore(tpch_scale=0.003, clickstream_users=None)
+    scale = data_scale_for(ds, TPCH_TABLES, 10.0)
+    cluster = small_cluster(data_scale=scale)
+    queries = paper_queries()
+
+    print("== Merged jobs YSmart builds ==")
+    for name in ("q17", "q18", "q21"):
+        tr = translate_sql(queries[name], mode="ysmart", catalog=ds.catalog,
+                           namespace=f"show.{name}")
+        print(f"\n{name}:")
+        for job in tr.jobs:
+            print(f"   {job.job_id.split('.')[-1]}: {job.name}")
+
+    print("\n== Simulated execution at 10 GB on the 2-node lab cluster ==")
+    print(f"{'query':<6} {'ysmart':>9} {'hive':>9} {'pig':>9} "
+          f"{'pgsql':>9}   speedup(hive/ysmart)")
+    for name in ("q17", "q18", "q21"):
+        times = {}
+        for mode in ("ysmart", "hive", "pig"):
+            res = run_query(queries[name], ds, mode=mode, cluster=cluster,
+                            namespace=f"dss.{name}.{mode}")
+            times[mode] = res.timing.total_s
+        db = run_dbms_sql(queries[name], ds,
+                          config=DbmsConfig(data_scale=scale))
+        print(f"{name:<6} {times['ysmart']:>8.0f}s {times['hive']:>8.0f}s "
+              f"{times['pig']:>8.0f}s {db.total_s:>8.0f}s   "
+              f"{times['hive'] / times['ysmart']:.2f}x")
+
+    print("\nPaper speedups on this cluster: 2.58x (Q17), 1.90x (Q18), "
+          "2.52x (Q21);\nthe DBMS wins these scan-bound DSS queries, "
+          "exactly as in Fig. 10.")
+
+
+if __name__ == "__main__":
+    main()

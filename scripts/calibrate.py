@@ -1,0 +1,91 @@
+"""Calibration helper: prints every paper shape target in one run.
+
+Not part of the library; used during development to tune the cost-model
+constants in repro.hadoop.config (and kept for reproducibility of that
+tuning).  Usage: python scripts/calibrate.py
+"""
+
+import dataclasses
+
+from repro.baselines import run_dbms_sql, translate_handcoded
+from repro.baselines.dbms import DbmsConfig
+from repro.hadoop import ec2_cluster, small_cluster
+from repro.workloads import (
+    build_datastore,
+    data_scale_for,
+    run_query,
+    run_translation,
+)
+from repro.workloads.queries import Q21_SUBTREE_SQL, paper_queries
+
+
+def main():
+    ds = build_datastore(tpch_scale=0.01, clickstream_users=200)
+    tpch = data_scale_for(
+        ds, ['lineitem', 'orders', 'part', 'customer', 'supplier', 'nation'],
+        10.0)
+    clicks = data_scale_for(ds, ['clicks'], 20.0)
+    q = paper_queries()
+
+    print('--- Fig 9: Q21 subtree @10GB small (paper 1140/773/561/479, map65%)')
+    cl = small_cluster(data_scale=tpch)
+    for mode in ['one_to_one', 'ysmart_ic_tc', 'ysmart']:
+        r = run_query(Q21_SUBTREE_SQL, ds, mode=mode, cluster=cl)
+        t = r.timing
+        print(f"  {mode:14s} {t.total_s:6.0f}s map={t.total_map_s:5.0f} "
+              f"red={t.total_reduce_s:5.0f}")
+    r = run_translation(translate_handcoded('q21_subtree', namespace='c9'),
+                        ds, cluster=cl)
+    t = r.timing
+    print(f"  {'handcoded':14s} {t.total_s:6.0f}s map={t.total_map_s:5.0f} "
+          f"red={t.total_reduce_s:5.0f}")
+
+    print('--- Fig 10: small cluster speedups '
+          '(paper hive/ysmart: q17 2.58, q18 1.90, q21 2.52, qcsa 2.66; '
+          'pig slower than hive)')
+    for name in ['q17', 'q18', 'q21', 'q_csa']:
+        cl = small_cluster(data_scale=clicks if name == 'q_csa' else tpch)
+        times = {m: run_query(q[name], ds, mode=m, cluster=cl).timing.total_s
+                 for m in ['ysmart', 'hive', 'pig']}
+        db = run_dbms_sql(q[name], ds, config=DbmsConfig(
+            data_scale=clicks if name == 'q_csa' else tpch))
+        print(f"  {name:6s} ys={times['ysmart']:7.0f} hive={times['hive']:7.0f} "
+              f"pig={times['pig']:7.0f} pg={db.total_s:7.0f} "
+              f"hive/ys={times['hive']/times['ysmart']:.2f} "
+              f"pig/hive={times['pig']/times['hive']:.2f} "
+              f"ys/pg={times['ysmart']/db.total_s:.2f}")
+
+    print('--- Fig 2(b): Hive vs hand-coded (paper qcsa ~2.9x, qagg ~1.0x)')
+    cl = small_cluster(data_scale=clicks)
+    for name in ['q_csa', 'q_agg']:
+        hive = run_query(q[name], ds, mode='hive', cluster=cl)
+        hand = run_translation(
+            translate_handcoded(name, namespace=f'c2.{name}'), ds, cluster=cl)
+        print(f"  {name:6s} hive={hive.timing.total_s:7.0f} "
+              f"hand={hand.timing.total_s:7.0f} "
+              f"ratio={hive.timing.total_s / hand.timing.total_s:.2f}")
+
+    print('--- Fig 11: EC2 scaling & compression '
+          '(paper: ~linear 11->101; compression ~2x WORSE; ysmart max '
+          'speedup 2.97 q21@101)')
+    ds11 = ds
+    s11 = data_scale_for(
+        ds11, ['lineitem', 'orders', 'part', 'customer', 'supplier',
+               'nation'], 10.0)
+    for name in ['q17', 'q21']:
+        row = [name]
+        for workers, scale_gb in [(10, 10.0), (100, 100.0)]:
+            scale = data_scale_for(
+                ds, ['lineitem', 'orders', 'part', 'customer', 'supplier',
+                     'nation'], scale_gb)
+            for compress in [False, True]:
+                cl = ec2_cluster(workers, data_scale=scale, compress=compress)
+                ys = run_query(q[name], ds, mode='ysmart', cluster=cl)
+                hv = run_query(q[name], ds, mode='hive', cluster=cl)
+                row.append(f"{workers + 1}n{'c' if compress else ''}:"
+                           f"ys={ys.timing.total_s:.0f}/hv={hv.timing.total_s:.0f}")
+        print('  ', ' '.join(row))
+
+
+if __name__ == '__main__':
+    main()

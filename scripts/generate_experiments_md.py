@@ -1,0 +1,117 @@
+"""Regenerate EXPERIMENTS.md from a full experiment run.
+
+Usage: python scripts/generate_experiments_md.py
+"""
+
+import io
+import time
+
+from repro.bench import ALL_EXPERIMENTS, standard_workload
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Every table/figure of the paper's evaluation (Sec. VII), regenerated on
+the simulated substrate by `python scripts/generate_experiments_md.py`
+(the same harness the `benchmarks/` suite asserts against).  Absolute
+numbers are simulated cluster seconds derived from *measured* execution
+counters (records, bytes, groups, dispatch/compute operations) through
+the calibrated cost model — the claims to check are the *shapes*: who
+wins, by what factor, where the crossovers fall.
+
+## Shape summary (paper claim -> measured)
+
+| Experiment | Paper claim | Measured here |
+|---|---|---|
+| Fig. 2(b) | hand-coded beats Hive ~2.9x on Q-CSA, parity on Q-AGG | {fig2b_gap:.2f}x on Q-CSA, {fig2b_agg:.2f}x on Q-AGG |
+| Fig. 9 | Q21 sub-tree 1140/773/561/479 s (1.00/0.68/0.49/0.42) | {fig9_totals} ({fig9_ratios}) |
+| Fig. 9 | naive translation is 65% map time | {fig9_map_share:.0%} map time |
+| Fig. 10 | YSmart/Hive speedups 2.58/1.90/2.52/2.66 (Q17/Q18/Q21/Q-CSA) | {fig10_speedups} |
+| Fig. 10 | pgsql wins TPC-H, ties Q-CSA | wins TPC-H ({fig10_pg_tpch}); Q-CSA ratio {fig10_pg_csa:.2f}x |
+| Fig. 11 | near-linear 11->101 scaling; compression ~2x loss | Q17 ysmart 101n/11n = {fig11_scaling:.2f}; compression {fig11_compression:.2f}x |
+| Fig. 12 | production speedups 2.30-3.10x over three Q17 instance pairs | {fig12_speedups} |
+| Fig. 13 | busier-day speedups 2.98x (Q18) / 3.36x (Q21) | {fig13_q18:.2f}x / {fig13_q21:.2f}x |
+| Sec. VII-A.2 | Q-CSA: YSmart 2 jobs vs Hive 6; Q17 sub-tree in one job | exact match (see job-count table) |
+
+"""
+
+
+def main():
+    start = time.time()
+    workload = standard_workload()
+    results = {}
+    for name, fn in ALL_EXPERIMENTS.items():
+        print(f"running {name} ...")
+        results[name] = fn(workload)
+
+    fig2b = results["fig2b"]
+    fig9 = results["fig9"]
+    fig10 = results["fig10"]
+    fig11 = results["fig11"]
+    fig12 = results["fig12"]
+    fig13 = results["fig13"]
+
+    totals = {s: fig9.value("total_s", system=s, job="TOTAL")
+              for s in ("one_to_one", "ysmart_ic_tc", "ysmart", "handcoded")}
+    base = totals["one_to_one"]
+    speedups = {}
+    for q in ("q17", "q18", "q21", "q_csa"):
+        hive = fig10.value("time_s", query=q, system="hive")
+        ys = fig10.value("time_s", query=q, system="ysmart")
+        speedups[q] = hive / ys
+    pg_tpch = ", ".join(
+        f"{q} {fig10.value('time_s', query=q, system='ysmart') / fig10.value('time_s', query=q, system='pgsql'):.1f}x"
+        for q in ("q17", "q18", "q21"))
+    ys_pairs = [r["time_s"] for r in fig12.by(system="ysmart")]
+    hv_pairs = [r["time_s"] for r in fig12.by(system="hive")]
+
+    summary = HEADER.format(
+        fig2b_gap=fig2b.value("time_s", query="q_csa", system="hive")
+        / fig2b.value("time_s", query="q_csa", system="hand-coded"),
+        fig2b_agg=fig2b.value("time_s", query="q_agg", system="hive")
+        / fig2b.value("time_s", query="q_agg", system="hand-coded"),
+        fig9_totals="/".join(f"{totals[s]:.0f}" for s in
+                             ("one_to_one", "ysmart_ic_tc", "ysmart",
+                              "handcoded")) + " s",
+        fig9_ratios="/".join(f"{totals[s] / base:.2f}" for s in
+                             ("one_to_one", "ysmart_ic_tc", "ysmart",
+                              "handcoded")),
+        fig9_map_share=fig9.value("map_s", system="one_to_one", job="TOTAL")
+        / base,
+        fig10_speedups="/".join(f"{speedups[q]:.2f}" for q in
+                                ("q17", "q18", "q21", "q_csa")),
+        fig10_pg_tpch=pg_tpch,
+        fig10_pg_csa=fig10.value("time_s", query="q_csa", system="ysmart")
+        / fig10.value("time_s", query="q_csa", system="pgsql"),
+        fig11_scaling=fig11.value("time_s", query="q17", cluster="101-node",
+                                  compression="nc", system="ysmart")
+        / fig11.value("time_s", query="q17", cluster="11-node",
+                      compression="nc", system="ysmart"),
+        fig11_compression=fig11.value(
+            "time_s", query="q17", cluster="101-node", compression="c",
+            system="ysmart")
+        / fig11.value("time_s", query="q17", cluster="101-node",
+                      compression="nc", system="ysmart"),
+        fig12_speedups=", ".join(f"{h / y:.2f}x"
+                                 for h, y in zip(hv_pairs, ys_pairs)),
+        fig13_q18=fig13.value("speedup", query="q18", system="ysmart"),
+        fig13_q21=fig13.value("speedup", query="q21", system="ysmart"),
+    )
+
+    out = io.StringIO()
+    out.write(summary)
+    out.write("\n## Full regenerated tables\n\n")
+    for name, result in results.items():
+        out.write(result.to_markdown())
+        out.write("\n\n")
+    out.write(f"\n*Generated in {time.time() - start:.0f}s from the "
+              "standard workload (TPC-H SF 0.005, 120 click-stream users) "
+              "with seed 2011.*\n")
+
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(out.getvalue())
+    print("wrote EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

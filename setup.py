@@ -1,0 +1,7 @@
+"""Setup shim so `pip install -e . --no-use-pep517` works in offline
+environments that lack the `wheel` package (metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

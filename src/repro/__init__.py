@@ -1,0 +1,128 @@
+"""YSmart reproduction: a correlation-aware SQL-to-MapReduce translator.
+
+This package reproduces *YSmart: Yet Another SQL-to-MapReduce Translator*
+(Lee et al., ICDCS 2011) as a complete, executable system:
+
+* a SQL frontend and planner producing the paper's query plan trees
+  (:mod:`repro.sqlparser`, :mod:`repro.plan`);
+* intra-query correlation analysis — Input, Transit, and Job Flow
+  Correlation — and the four job-merging rules (:mod:`repro.core`);
+* the Common MapReduce Framework executing merged jobs
+  (:mod:`repro.cmf`, :mod:`repro.ops`);
+* a real (in-process) MapReduce engine plus a simulated Hadoop cluster
+  cost model (:mod:`repro.mr`, :mod:`repro.hadoop`);
+* the paper's baselines — Hive-style, Pig-style, hand-coded MR, and an
+  ideal-parallel DBMS (:mod:`repro.baselines`);
+* TPC-H and click-stream workload generators and the paper's evaluation
+  queries (:mod:`repro.data`, :mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import build_datastore, run_query, small_cluster
+    from repro.workloads import Q17_SQL
+
+    ds = build_datastore(tpch_scale=0.005, clickstream_users=100)
+    result = run_query(Q17_SQL, ds, mode="ysmart",
+                       cluster=small_cluster(data_scale=100))
+    print(result.rows, result.timing.total_s)
+"""
+
+from repro.baselines import (
+    DbmsConfig,
+    run_dbms,
+    run_dbms_sql,
+    translate_handcoded,
+    translate_hive,
+    translate_pig,
+)
+from repro.catalog import Catalog, ColumnType, Schema, standard_catalog
+from repro.core import (
+    BatchTranslation,
+    CorrelationAnalysis,
+    TRANSLATOR_MODES,
+    Translation,
+    generate_job_graph,
+    run_batch,
+    translate_batch,
+    translate_plan,
+    translate_sql,
+)
+from repro.data import (
+    ClickstreamConfig,
+    Datastore,
+    Table,
+    TpchConfig,
+    generate_clickstream,
+    generate_tpch,
+)
+from repro.errors import ReproError
+from repro.hadoop import (
+    ClusterConfig,
+    ContentionModel,
+    HadoopCostModel,
+    QueryTiming,
+    ec2_cluster,
+    facebook_cluster,
+    small_cluster,
+)
+from repro.mr import MapReduceEngine, run_jobs
+from repro.plan import explain_plan, plan_query
+from repro.refexec import run_reference
+from repro.sqlparser import parse_sql
+from repro.workloads import (
+    build_datastore,
+    data_scale_for,
+    paper_queries,
+    run_query,
+    run_translation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "ClickstreamConfig",
+    "ClusterConfig",
+    "ColumnType",
+    "ContentionModel",
+    "CorrelationAnalysis",
+    "Datastore",
+    "DbmsConfig",
+    "HadoopCostModel",
+    "MapReduceEngine",
+    "QueryTiming",
+    "ReproError",
+    "Schema",
+    "TRANSLATOR_MODES",
+    "Table",
+    "TpchConfig",
+    "Translation",
+    "__version__",
+    "BatchTranslation",
+    "build_datastore",
+    "data_scale_for",
+    "ec2_cluster",
+    "explain_plan",
+    "facebook_cluster",
+    "generate_clickstream",
+    "generate_job_graph",
+    "generate_tpch",
+    "paper_queries",
+    "parse_sql",
+    "plan_query",
+    "run_dbms",
+    "run_dbms_sql",
+    "run_jobs",
+    "run_query",
+    "run_reference",
+    "run_translation",
+    "small_cluster",
+    "standard_catalog",
+    "translate_handcoded",
+    "run_batch",
+    "translate_batch",
+    "translate_hive",
+    "translate_pig",
+    "translate_plan",
+    "translate_sql",
+]

@@ -1,0 +1,50 @@
+"""Baselines: Hive-style, Pig-style, hand-coded MR, and the parallel DBMS.
+
+Hive and Pig are translator *modes* of the shared pipeline (their defining
+behaviours — one-operation-to-one-job, Hive's map-side hash aggregation,
+Pig's fatter intermediates — are configured in
+:mod:`repro.core.translator`); thin wrappers are provided here so callers
+can treat every baseline uniformly.
+"""
+
+from typing import Optional
+
+from repro.baselines.dbms import DbmsConfig, DbmsRunResult, run_dbms, run_dbms_sql
+from repro.baselines.handcoded import (
+    HANDCODED_QUERIES,
+    FusedQ21Task,
+    FusedQcsaTask,
+    GlobalAvgTask,
+    translate_handcoded,
+)
+from repro.catalog.catalog import Catalog
+from repro.core.translator import Translation, translate_sql
+
+
+def translate_hive(sql: str, catalog: Optional[Catalog] = None,
+                   namespace: str = "q", num_reducers: int = 8) -> Translation:
+    """One-operation-to-one-job with map-side hash aggregation."""
+    return translate_sql(sql, mode="hive", catalog=catalog,
+                         namespace=namespace, num_reducers=num_reducers)
+
+
+def translate_pig(sql: str, catalog: Optional[Catalog] = None,
+                  namespace: str = "q", num_reducers: int = 8) -> Translation:
+    """One-operation-to-one-job, no map-side aggregation, fat tuples."""
+    return translate_sql(sql, mode="pig", catalog=catalog,
+                         namespace=namespace, num_reducers=num_reducers)
+
+
+__all__ = [
+    "DbmsConfig",
+    "DbmsRunResult",
+    "FusedQ21Task",
+    "FusedQcsaTask",
+    "GlobalAvgTask",
+    "HANDCODED_QUERIES",
+    "run_dbms",
+    "run_dbms_sql",
+    "translate_handcoded",
+    "translate_hive",
+    "translate_pig",
+]

@@ -1,0 +1,47 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from repro.bench.reporting import (
+    Comparison,
+    Drift,
+    compare_results,
+    load_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    Workload,
+    fig2_performance_gap,
+    fig9_q21_breakdown,
+    fig10_small_cluster,
+    fig11_ec2,
+    fig12_facebook_q17,
+    fig13_facebook_q18_q21,
+    run_all,
+    standard_workload,
+    table_job_counts,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Comparison",
+    "Drift",
+    "compare_results",
+    "load_results",
+    "results_from_json",
+    "results_to_json",
+    "save_results",
+    "ExperimentResult",
+    "Workload",
+    "fig2_performance_gap",
+    "fig9_q21_breakdown",
+    "fig10_small_cluster",
+    "fig11_ec2",
+    "fig12_facebook_q17",
+    "fig13_facebook_q18_q21",
+    "run_all",
+    "standard_workload",
+    "table_job_counts",
+]

@@ -1,0 +1,374 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``fig*`` function runs the corresponding experiment end-to-end on
+the simulated substrate and returns an :class:`ExperimentResult` whose
+rows mirror the series the paper plots.  The pytest-benchmark modules in
+``benchmarks/`` and the EXPERIMENTS.md generator both drive these.
+
+Workload sizes follow the paper: 10 GB TPC-H / 20 GB click-stream on the
+small cluster, 10 GB / 100 GB on the EC2 clusters, 1 TB on the Facebook
+cluster — projected from generated data via ``data_scale`` (see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import run_dbms_sql, translate_handcoded
+from repro.baselines.dbms import DbmsConfig
+from repro.data.datastore import Datastore
+from repro.hadoop import ec2_cluster, facebook_cluster, small_cluster
+from repro.hadoop.config import ClusterConfig
+from repro.workloads import (
+    build_datastore,
+    data_scale_for,
+    run_query,
+    run_translation,
+)
+from repro.workloads.queries import Q21_SUBTREE_SQL, paper_queries
+
+TPCH_TABLES = ["lineitem", "orders", "part", "customer", "supplier", "nation"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    exp_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        lines = [f"### {self.exp_id}: {self.title}", "", header, sep]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(row.get(c, "")) for c in self.columns) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def by(self, **filters) -> List[Dict[str, object]]:
+        """Rows matching all key=value filters."""
+        return [r for r in self.rows
+                if all(r.get(k) == v for k, v in filters.items())]
+
+    def value(self, column: str, **filters) -> object:
+        rows = self.by(**filters)
+        if len(rows) != 1:
+            raise ValueError(
+                f"expected one row for {filters}, found {len(rows)}")
+        return rows[0][column]
+
+
+@dataclass
+class Workload:
+    """A datastore plus the data-scale projections for each target size."""
+
+    datastore: Datastore
+    tpch_scale_10gb: float
+    tpch_scale_100gb: float
+    tpch_scale_1tb: float
+    clicks_scale_20gb: float
+    clicks_scale_1tb: float
+
+
+def standard_workload(tpch_scale: float = 0.005,
+                      clickstream_users: int = 120,
+                      seed: int = 2011) -> Workload:
+    """The generated dataset every experiment runs on."""
+    ds = build_datastore(tpch_scale=tpch_scale,
+                         clickstream_users=clickstream_users, seed=seed)
+    return Workload(
+        datastore=ds,
+        tpch_scale_10gb=data_scale_for(ds, TPCH_TABLES, 10.0),
+        tpch_scale_100gb=data_scale_for(ds, TPCH_TABLES, 100.0),
+        tpch_scale_1tb=data_scale_for(ds, TPCH_TABLES, 1024.0),
+        clicks_scale_20gb=data_scale_for(ds, ["clicks"], 20.0),
+        clicks_scale_1tb=data_scale_for(ds, ["clicks"], 1024.0),
+    )
+
+
+def _run(workload: Workload, query: str, mode: str, cluster: ClusterConfig,
+         namespace: str, instance: int = 0):
+    sql = paper_queries()[query]
+    return run_query(sql, workload.datastore, mode=mode, cluster=cluster,
+                     namespace=f"{namespace}.{query}.{mode}.{instance}",
+                     instance=instance)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2(b): the performance gap — Hive vs hand-coded MR
+# ---------------------------------------------------------------------------
+
+def fig2_performance_gap(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    cluster = small_cluster(data_scale=w.clicks_scale_20gb)
+    result = ExperimentResult(
+        "fig2b", "Hive vs hand-coded MapReduce (Q-CSA and Q-AGG, 20 GB "
+        "click-stream, small cluster)",
+        ["query", "system", "jobs", "time_s"])
+
+    for query in ("q_csa", "q_agg"):
+        hive = _run(w, query, "hive", cluster, "fig2b")
+        hand = run_translation(
+            translate_handcoded(query, namespace=f"fig2b.hand.{query}"),
+            w.datastore, cluster=cluster)
+        result.rows.append({"query": query, "system": "hive",
+                            "jobs": hive.job_count,
+                            "time_s": round(hive.timing.total_s)})
+        result.rows.append({"query": query, "system": "hand-coded",
+                            "jobs": hand.job_count,
+                            "time_s": round(hand.timing.total_s)})
+    gap = (result.value("time_s", query="q_csa", system="hive")
+           / result.value("time_s", query="q_csa", system="hand-coded"))
+    result.notes.append(
+        f"Q-CSA gap: hive/hand-coded = {gap:.2f}x (paper: ~2.9x); "
+        "Q-AGG parity comes from Hive's map-side hash aggregation "
+        "(paper footnote 2).")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: Q21 sub-tree, staged correlation ablation
+# ---------------------------------------------------------------------------
+
+def fig9_q21_breakdown(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    cluster = small_cluster(data_scale=w.tpch_scale_10gb)
+    result = ExperimentResult(
+        "fig9", "Q21 sub-tree job breakdowns: one-op-one-job vs IC+TC vs "
+        "all correlations vs hand-coded (10 GB TPC-H, small cluster)",
+        ["system", "job", "map_s", "shuffle_s", "reduce_s", "total_s"])
+
+    def add(system: str, res) -> float:
+        for job in res.timing.breakdown():
+            result.rows.append({
+                "system": system, "job": job["job"], "map_s": job["map_s"],
+                "shuffle_s": job["shuffle_s"], "reduce_s": job["reduce_s"],
+                "total_s": job["total_s"]})
+        result.rows.append({
+            "system": system, "job": "TOTAL",
+            "map_s": round(res.timing.total_map_s, 1),
+            "shuffle_s": "", "reduce_s": "",
+            "total_s": round(res.timing.total_s, 1)})
+        return res.timing.total_s
+
+    sql = Q21_SUBTREE_SQL
+    totals = {}
+    for mode in ("one_to_one", "ysmart_ic_tc", "ysmart"):
+        res = run_query(sql, w.datastore, mode=mode, cluster=cluster,
+                        namespace=f"fig9.{mode}")
+        totals[mode] = add(mode, res)
+    hand = run_translation(
+        translate_handcoded("q21_subtree", namespace="fig9.hand"),
+        w.datastore, cluster=cluster)
+    totals["handcoded"] = add("handcoded", hand)
+
+    result.notes.append(
+        "Paper totals: 1140 s / 773 s / 561 s / 479 s; map phases of the "
+        "three lineitem-scanning jobs take 65% of the one-op-one-job total.")
+    result.notes.append(
+        "Measured totals: "
+        + " / ".join(f"{totals[m]:.0f} s" for m in
+                     ("one_to_one", "ysmart_ic_tc", "ysmart", "handcoded")))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: small cluster — YSmart vs Hive vs Pig vs ideal-parallel pgsql
+# ---------------------------------------------------------------------------
+
+def fig10_small_cluster(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    result = ExperimentResult(
+        "fig10", "Execution times on the small cluster: YSmart vs Hive vs "
+        "Pig vs ideal-parallel PostgreSQL (10 GB TPC-H / 20 GB clicks)",
+        ["query", "system", "jobs", "time_s"])
+
+    for query in ("q17", "q18", "q21", "q_csa"):
+        scale = (w.clicks_scale_20gb if query == "q_csa"
+                 else w.tpch_scale_10gb)
+        cluster = small_cluster(data_scale=scale)
+        for mode in ("ysmart", "hive", "pig"):
+            res = _run(w, query, mode, cluster, "fig10")
+            result.rows.append({"query": query, "system": mode,
+                                "jobs": res.job_count,
+                                "time_s": round(res.timing.total_s)})
+        # The paper normalizes pgsql to 1/4 data with an ideal 4x speedup.
+        db = run_dbms_sql(paper_queries()[query], w.datastore,
+                          config=DbmsConfig(data_scale=scale))
+        result.rows.append({"query": query, "system": "pgsql",
+                            "jobs": 0, "time_s": round(db.total_s)})
+
+    for query in ("q17", "q18", "q21", "q_csa"):
+        hive = result.value("time_s", query=query, system="hive")
+        ys = result.value("time_s", query=query, system="ysmart")
+        result.notes.append(f"{query}: YSmart speedup over Hive = "
+                            f"{hive / ys:.2f}x")
+    result.notes.append(
+        "Paper speedups: 2.58x (Q17), 1.90x (Q18), 2.52x (Q21), "
+        "2.66x (Q-CSA); pgsql wins the TPC-H queries but is roughly even "
+        "on Q-CSA.")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: Amazon EC2 — scaling and compression
+# ---------------------------------------------------------------------------
+
+def fig11_ec2(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    result = ExperimentResult(
+        "fig11", "EC2 11-node and 101-node clusters, with and without map "
+        "output compression (10 GB / 100 GB TPC-H; 20 GB clicks on 11-node)",
+        ["query", "cluster", "compression", "system", "time_s"])
+
+    for query in ("q17", "q18", "q21"):
+        for workers, scale in ((10, w.tpch_scale_10gb),
+                               (100, w.tpch_scale_100gb)):
+            for compress in (False, True):
+                cluster = ec2_cluster(workers, data_scale=scale,
+                                      compress=compress)
+                for mode in ("ysmart", "hive"):
+                    res = _run(w, query, mode, cluster,
+                               f"fig11.{workers}.{compress}")
+                    result.rows.append({
+                        "query": query, "cluster": f"{workers + 1}-node",
+                        "compression": "c" if compress else "nc",
+                        "system": mode,
+                        "time_s": round(res.timing.total_s)})
+
+    # Q-CSA: 11-node, no compression, YSmart vs Hive vs Pig (Fig. 11(d)).
+    cluster = ec2_cluster(10, data_scale=w.clicks_scale_20gb)
+    for mode in ("ysmart", "hive", "pig"):
+        res = _run(w, "q_csa", mode, cluster, "fig11.qcsa")
+        result.rows.append({"query": "q_csa", "cluster": "11-node",
+                            "compression": "nc", "system": mode,
+                            "time_s": round(res.timing.total_s)})
+
+    result.notes.append(
+        "Paper: YSmart wins every case (max 2.97x over Hive for Q21 on "
+        "101 nodes; 4.87x over Hive / 8.4x over Pig for Q-CSA); both "
+        "systems scale near-linearly from 11 to 101 nodes; compression "
+        "degrades performance (Q17 YSmart 5.93 -> 12.02 min on 101 nodes).")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: six Q17 instances on the Facebook production cluster
+# ---------------------------------------------------------------------------
+
+def fig12_facebook_q17(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    result = ExperimentResult(
+        "fig12", "Six concurrent Q17 instances on the 747-node Facebook "
+        "cluster (1 TB, production contention)",
+        ["instance", "system", "jobs", "time_s", "gap_s"])
+
+    for instance in range(3):
+        for mode in ("ysmart", "hive"):
+            cluster = facebook_cluster(data_scale=w.tpch_scale_1tb)
+            res = _run(w, "q17", mode, cluster, "fig12",
+                       instance=instance * 2 + (0 if mode == "ysmart" else 1))
+            gaps = sum(j.scheduling_gap_s for j in res.timing.jobs)
+            result.rows.append({
+                "instance": f"{mode}-{instance + 1}", "system": mode,
+                "jobs": res.job_count,
+                "time_s": round(res.timing.total_s),
+                "gap_s": round(gaps)})
+    ys = [r["time_s"] for r in result.by(system="ysmart")]
+    hv = [r["time_s"] for r in result.by(system="hive")]
+    pairwise = [h / y for h, y in zip(hv, ys)]
+    result.notes.append(
+        f"Per-instance speedups: "
+        + ", ".join(f"{s:.2f}x" for s in pairwise)
+        + " (paper range: 2.30x – 3.10x); Hive pays a scheduling gap and "
+        "a temp-input join penalty per extra job.")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13: Q18 / Q21 averages on the Facebook cluster (busier day)
+# ---------------------------------------------------------------------------
+
+def fig13_facebook_q18_q21(workload: Optional[Workload] = None
+                           ) -> ExperimentResult:
+    w = workload or standard_workload()
+    result = ExperimentResult(
+        "fig13", "Q18 and Q21 on the Facebook cluster: average of three "
+        "instances each (1 TB, heavier co-running load than the Q17 day)",
+        ["query", "system", "avg_time_s", "speedup"])
+
+    base = facebook_cluster(data_scale=w.tpch_scale_1tb)
+    busy = base.with_contention(base.contention.busy_day(2.0))
+    for query in ("q18", "q21"):
+        avgs = {}
+        for mode in ("ysmart", "hive"):
+            times = []
+            for instance in range(3):
+                res = _run(w, query, mode, busy, "fig13",
+                           instance=100 + instance * 2
+                           + (0 if mode == "ysmart" else 1))
+                times.append(res.timing.total_s)
+            avgs[mode] = sum(times) / len(times)
+        for mode in ("ysmart", "hive"):
+            result.rows.append({
+                "query": query, "system": mode,
+                "avg_time_s": round(avgs[mode]),
+                "speedup": (round(avgs["hive"] / avgs[mode], 2)
+                            if mode == "ysmart" else 1.0)})
+    result.notes.append(
+        "Paper: average speedups 2.98x (Q18) and 3.36x (Q21) — higher than "
+        "on isolated clusters because Hive's longer job chains absorb more "
+        "scheduling gaps under contention.")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Job-count table (Sec. VII-A.2)
+# ---------------------------------------------------------------------------
+
+def table_job_counts(workload: Optional[Workload] = None) -> ExperimentResult:
+    w = workload or standard_workload()
+    result = ExperimentResult(
+        "job-counts", "MapReduce jobs per query and translator "
+        "(Sec. VII-A.2: YSmart executes 2 jobs for Q-CSA vs Hive's 6; "
+        "Q17 needs 1 job for the whole JOIN2 sub-tree)",
+        ["query", "ysmart", "ysmart_ic_tc", "hive/pig (one-op-one-job)"])
+
+    from repro.core.translator import translate_sql
+    for query in ("q17", "q18", "q21", "q21_subtree", "q_csa", "q_agg"):
+        sql = paper_queries()[query]
+        counts = {}
+        for mode in ("ysmart", "ysmart_ic_tc", "hive"):
+            tr = translate_sql(sql, mode=mode,
+                               catalog=w.datastore.catalog,
+                               namespace=f"jc.{query}.{mode}")
+            counts[mode] = tr.job_count
+        result.rows.append({
+            "query": query, "ysmart": counts["ysmart"],
+            "ysmart_ic_tc": counts["ysmart_ic_tc"],
+            "hive/pig (one-op-one-job)": counts["hive"]})
+    return result
+
+
+ALL_EXPERIMENTS = {
+    "fig2b": fig2_performance_gap,
+    "fig9": fig9_q21_breakdown,
+    "fig10": fig10_small_cluster,
+    "fig11": fig11_ec2,
+    "fig12": fig12_facebook_q17,
+    "fig13": fig13_facebook_q18_q21,
+    "job-counts": table_job_counts,
+}
+
+
+def run_all(workload: Optional[Workload] = None) -> List[ExperimentResult]:
+    """Run every experiment on a shared workload."""
+    w = workload or standard_workload()
+    return [fn(w) for fn in ALL_EXPERIMENTS.values()]

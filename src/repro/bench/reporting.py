@@ -1,0 +1,148 @@
+"""Experiment persistence and regression comparison.
+
+``save_results``/``load_results`` round-trip a set of
+:class:`~repro.bench.experiments.ExperimentResult` through JSON so a
+benchmark run can be archived; :func:`compare_results` diffs two runs and
+reports which measured values drifted beyond a tolerance — the regression
+check a maintained reproduction needs when the cost model or translator
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.experiments import ExperimentResult
+from repro.errors import ReproError
+
+
+def results_to_json(results: Sequence[ExperimentResult]) -> str:
+    return json.dumps([
+        {"exp_id": r.exp_id, "title": r.title, "columns": r.columns,
+         "rows": r.rows, "notes": r.notes}
+        for r in results
+    ], indent=2)
+
+
+def results_from_json(text: str) -> List[ExperimentResult]:
+    out: List[ExperimentResult] = []
+    for item in json.loads(text):
+        result = ExperimentResult(item["exp_id"], item["title"],
+                                  list(item["columns"]))
+        result.rows = [dict(row) for row in item["rows"]]
+        result.notes = list(item.get("notes", []))
+        out.append(result)
+    return out
+
+
+def save_results(results: Sequence[ExperimentResult], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(results_to_json(results))
+
+
+def load_results(path: str) -> List[ExperimentResult]:
+    with open(path, "r", encoding="utf-8") as f:
+        return results_from_json(f.read())
+
+
+@dataclass
+class Drift:
+    """One value that moved between two runs."""
+
+    exp_id: str
+    row_key: str
+    column: str
+    baseline: object
+    current: object
+
+    @property
+    def ratio(self) -> Optional[float]:
+        try:
+            if self.baseline and isinstance(self.baseline, (int, float)) \
+                    and isinstance(self.current, (int, float)):
+                return self.current / self.baseline
+        except ZeroDivisionError:
+            pass
+        return None
+
+    def describe(self) -> str:
+        ratio = self.ratio
+        suffix = f" ({ratio:.2f}x)" if ratio is not None else ""
+        return (f"{self.exp_id}[{self.row_key}].{self.column}: "
+                f"{self.baseline} -> {self.current}{suffix}")
+
+
+@dataclass
+class Comparison:
+    """The diff between a baseline run and the current run."""
+
+    drifts: List[Drift] = field(default_factory=list)
+    missing_rows: List[str] = field(default_factory=list)
+    new_rows: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drifts or self.missing_rows or self.new_rows)
+
+    def describe(self) -> str:
+        if self.clean:
+            return "no drift"
+        lines = [d.describe() for d in self.drifts]
+        lines += [f"missing row: {k}" for k in self.missing_rows]
+        lines += [f"new row: {k}" for k in self.new_rows]
+        return "\n".join(lines)
+
+
+def _row_key(result: ExperimentResult, row: Dict[str, object],
+             numeric_columns: Sequence[str]) -> str:
+    """Identify a row by its non-measured columns."""
+    parts = [f"{c}={row.get(c)}" for c in result.columns
+             if c not in numeric_columns]
+    return ", ".join(parts)
+
+
+def compare_results(baseline: Sequence[ExperimentResult],
+                    current: Sequence[ExperimentResult],
+                    tolerance: float = 0.10) -> Comparison:
+    """Diff two runs: numeric cells drifting more than ``tolerance``
+    (relative) are reported, as are rows that appeared/disappeared."""
+    if not 0 <= tolerance:
+        raise ReproError("tolerance must be non-negative")
+    comparison = Comparison()
+    current_by_id = {r.exp_id: r for r in current}
+
+    for base in baseline:
+        cur = current_by_id.get(base.exp_id)
+        if cur is None:
+            comparison.missing_rows.append(f"{base.exp_id} (whole experiment)")
+            continue
+        numeric = [c for c in base.columns
+                   if any(isinstance(r.get(c), (int, float))
+                          and not isinstance(r.get(c), bool)
+                          for r in base.rows)]
+        base_rows = {_row_key(base, r, numeric): r for r in base.rows}
+        cur_rows = {_row_key(cur, r, numeric): r for r in cur.rows}
+
+        for key, row in base_rows.items():
+            other = cur_rows.get(key)
+            if other is None:
+                comparison.missing_rows.append(f"{base.exp_id}[{key}]")
+                continue
+            for col in numeric:
+                a, b = row.get(col), other.get(col)
+                if not isinstance(a, (int, float)) \
+                        or not isinstance(b, (int, float)):
+                    if a != b:
+                        comparison.drifts.append(
+                            Drift(base.exp_id, key, col, a, b))
+                    continue
+                limit = tolerance * max(abs(a), 1e-9)
+                if abs(b - a) > limit:
+                    comparison.drifts.append(
+                        Drift(base.exp_id, key, col, a, b))
+        for key in cur_rows:
+            if key not in base_rows:
+                comparison.new_rows.append(f"{base.exp_id}[{key}]")
+    return comparison

@@ -1,0 +1,22 @@
+"""Catalog: column types, relation schemas, and the table registry."""
+
+from repro.catalog.catalog import (
+    CLICKS_SCHEMA,
+    TPCH_SCHEMAS,
+    Catalog,
+    standard_catalog,
+)
+from repro.catalog.schema import Column, Schema, merge_disjoint
+from repro.catalog.types import ColumnType, type_of_value
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "CLICKS_SCHEMA",
+    "TPCH_SCHEMAS",
+    "merge_disjoint",
+    "standard_catalog",
+    "type_of_value",
+]

@@ -1,0 +1,156 @@
+"""The catalog: a registry of base-table schemas.
+
+The planner resolves table names against a :class:`Catalog`.  The standard
+paper schemas (TPC-H subset and the CLICKS click-stream table) are provided
+by :func:`standard_catalog`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import ColumnType as T
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """A mutable name → :class:`Schema` registry for base tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, Schema] = {}
+
+    def register(self, name: str, schema: Schema, replace: bool = False) -> None:
+        """Register ``schema`` under ``name``.
+
+        Raises :class:`CatalogError` if the name is taken and ``replace`` is
+        false.
+        """
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} is already registered")
+        self._tables[key] = schema
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return self.has(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    def copy(self) -> "Catalog":
+        clone = Catalog()
+        clone._tables = dict(self._tables)
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# Standard paper schemas
+# ---------------------------------------------------------------------------
+
+#: TPC-H subset used by Q17/Q18/Q21 (only the columns the queries touch are
+#: guaranteed meaningful in generated data, but the full schemas are kept so
+#: arbitrary test queries can run).
+TPCH_SCHEMAS: Dict[str, Schema] = {
+    "lineitem": Schema.of(
+        ("l_orderkey", T.INT),
+        ("l_partkey", T.INT),
+        ("l_suppkey", T.INT),
+        ("l_linenumber", T.INT),
+        ("l_quantity", T.FLOAT),
+        ("l_extendedprice", T.FLOAT),
+        ("l_discount", T.FLOAT),
+        ("l_tax", T.FLOAT),
+        ("l_returnflag", T.STRING),
+        ("l_linestatus", T.STRING),
+        ("l_shipdate", T.DATE),
+        ("l_commitdate", T.DATE),
+        ("l_receiptdate", T.DATE),
+        ("l_shipinstruct", T.STRING),
+        ("l_shipmode", T.STRING),
+        ("l_comment", T.STRING),
+    ),
+    "orders": Schema.of(
+        ("o_orderkey", T.INT),
+        ("o_custkey", T.INT),
+        ("o_orderstatus", T.STRING),
+        ("o_totalprice", T.FLOAT),
+        ("o_orderdate", T.DATE),
+        ("o_orderpriority", T.STRING),
+        ("o_clerk", T.STRING),
+        ("o_shippriority", T.INT),
+        ("o_comment", T.STRING),
+    ),
+    "customer": Schema.of(
+        ("c_custkey", T.INT),
+        ("c_name", T.STRING),
+        ("c_address", T.STRING),
+        ("c_nationkey", T.INT),
+        ("c_phone", T.STRING),
+        ("c_acctbal", T.FLOAT),
+        ("c_mktsegment", T.STRING),
+        ("c_comment", T.STRING),
+    ),
+    "part": Schema.of(
+        ("p_partkey", T.INT),
+        ("p_name", T.STRING),
+        ("p_mfgr", T.STRING),
+        ("p_brand", T.STRING),
+        ("p_type", T.STRING),
+        ("p_size", T.INT),
+        ("p_container", T.STRING),
+        ("p_retailprice", T.FLOAT),
+        ("p_comment", T.STRING),
+    ),
+    "supplier": Schema.of(
+        ("s_suppkey", T.INT),
+        ("s_name", T.STRING),
+        ("s_address", T.STRING),
+        ("s_nationkey", T.INT),
+        ("s_phone", T.STRING),
+        ("s_acctbal", T.FLOAT),
+        ("s_comment", T.STRING),
+    ),
+    "nation": Schema.of(
+        ("n_nationkey", T.INT),
+        ("n_name", T.STRING),
+        ("n_regionkey", T.INT),
+        ("n_comment", T.STRING),
+    ),
+}
+
+#: The click-stream table of the paper's Q-CSA / Q-AGG workload
+#: (CLICKS(user_id, page_id, category_id, ts); the paper's SQL abbreviates
+#: the columns to uid/cid/ts, which is what we use).
+CLICKS_SCHEMA: Schema = Schema.of(
+    ("uid", T.INT),
+    ("pid", T.INT),
+    ("cid", T.INT),
+    ("ts", T.TIMESTAMP),
+)
+
+
+def standard_catalog() -> Catalog:
+    """Return a catalog pre-loaded with the TPC-H subset and CLICKS."""
+    cat = Catalog()
+    for name, schema in TPCH_SCHEMAS.items():
+        cat.register(name, schema)
+    cat.register("clicks", CLICKS_SCHEMA)
+    return cat

@@ -1,0 +1,148 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered list of named, typed columns.  Schemas are
+immutable; operations like :meth:`project` and :meth:`rename` return new
+schemas.  Column names inside a schema are unqualified (``l_partkey``);
+qualification (``alias.column``) is a planner concern handled by
+:mod:`repro.plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.types import ColumnType
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self):
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.type)
+
+
+class Schema:
+    """An ordered, immutable collection of :class:`Column` objects."""
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]):
+        cols: Tuple[Column, ...] = tuple(columns)
+        index: Dict[str, int] = {}
+        for i, col in enumerate(cols):
+            if col.name in index:
+                raise CatalogError(f"duplicate column name in schema: {col.name!r}")
+            index[col.name] = i
+        self._columns = cols
+        self._index = index
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, ColumnType]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls(Column(name, typ) for name, typ in pairs)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, str]) -> "Schema":
+        """Build a schema from a ``{name: type_name}`` mapping."""
+        return cls(Column(n, ColumnType.parse(t)) for n, t in spec.items())
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> List[str]:
+        return [c.name for c in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.type.value}" for c in self._columns)
+        return f"Schema({inner})"
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name``; raise if absent."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in schema with columns {self.names}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the ordinal position of column ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in schema with columns {self.names}"
+            ) from None
+
+    def type_of(self, name: str) -> ColumnType:
+        return self.column(name).type
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing ``names`` in the given order."""
+        return Schema(self.column(n) for n in names)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Return a new schema with columns renamed per ``mapping``.
+
+        Columns not mentioned in ``mapping`` keep their names.
+        """
+        return Schema(c.renamed(mapping.get(c.name, c.name)) for c in self._columns)
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Return a new schema with every column renamed ``prefix.name``.
+
+        Used by the planner to qualify the columns of a table instance with
+        its alias so self-joins stay unambiguous.
+        """
+        return Schema(c.renamed(f"{prefix}.{c.name}") for c in self._columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Return the concatenation of two schemas (e.g. a join output)."""
+        return Schema(tuple(self._columns) + tuple(other._columns))
+
+    def validate_row(self, row: Mapping[str, object]) -> None:
+        """Check that ``row`` has exactly this schema's columns, with valid types."""
+        if len(row) != len(self._columns):
+            raise CatalogError(
+                f"row has {len(row)} fields, schema expects {len(self._columns)}: "
+                f"row keys {sorted(row)} vs schema {self.names}"
+            )
+        for col in self._columns:
+            if col.name not in row:
+                raise CatalogError(f"row is missing column {col.name!r}")
+            col.type.validate(row[col.name])
+
+
+def merge_disjoint(left: Schema, right: Schema) -> Schema:
+    """Concatenate two schemas, requiring disjoint column names."""
+    overlap = set(left.names) & set(right.names)
+    if overlap:
+        raise CatalogError(f"schemas overlap on columns: {sorted(overlap)}")
+    return left.concat(right)

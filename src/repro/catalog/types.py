@@ -1,0 +1,69 @@
+"""Column types for the SQL subset.
+
+The paper's workloads only need integers, floats (DECIMAL collapses to
+float), strings, and dates/timestamps.  Dates are stored as ISO-8601
+strings — they compare correctly lexicographically — and timestamps as
+integers (epoch seconds), which is how the click-stream generator emits
+them.  ``NULL`` is represented by Python ``None`` everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import CatalogError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the catalog."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"       # ISO-8601 'YYYY-MM-DD' string
+    TIMESTAMP = "timestamp"  # integer epoch seconds
+    ANY = "any"         # intermediate MR datasets (type left to the rows)
+
+    def python_types(self) -> tuple:
+        """Return the Python types a value of this column type may take."""
+        if self is ColumnType.ANY:
+            return (object,)
+        if self in (ColumnType.INT, ColumnType.TIMESTAMP):
+            return (int,)
+        if self is ColumnType.FLOAT:
+            return (int, float)
+        return (str,)
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`CatalogError` if ``value`` is not of this type.
+
+        ``None`` is always accepted (SQL NULL).
+        """
+        if value is None:
+            return
+        if not isinstance(value, self.python_types()) or isinstance(value, bool):
+            raise CatalogError(
+                f"value {value!r} is not valid for column type {self.value}"
+            )
+
+    @classmethod
+    def parse(cls, name: str) -> "ColumnType":
+        """Parse a type name such as ``'int'`` or ``'INT'``."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise CatalogError(f"unknown column type: {name!r}") from None
+
+
+def type_of_value(value: Any) -> ColumnType:
+    """Infer the :class:`ColumnType` of a literal Python value."""
+    if isinstance(value, bool):
+        raise CatalogError("boolean values are not a column type in this subset")
+    if isinstance(value, int):
+        return ColumnType.INT
+    if isinstance(value, float):
+        return ColumnType.FLOAT
+    if isinstance(value, str):
+        return ColumnType.STRING
+    raise CatalogError(f"cannot infer a column type for {value!r}")

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``explain "SQL"`` — plan tree, partition keys, correlations, and the
+  one-op-one-job vs YSmart job breakdown for a query;
+* ``run "SQL"`` — translate, execute on generated data, print the result
+  rows and (optionally) simulated cluster time;
+* ``experiments [ids…]`` — regenerate the paper's tables/figures;
+* ``generate --out DIR`` — write a generated workload to disk as
+  delimited text files (``dbgen``-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import ALL_EXPERIMENTS, standard_workload
+from repro.core.correlation import CorrelationAnalysis
+from repro.core.jobgen import generate_job_graph
+from repro.core.translator import TRANSLATOR_MODES, translate_sql
+from repro.data.io import save_datastore
+from repro.hadoop import ec2_cluster, facebook_cluster, small_cluster
+from repro.plan.explain import explain_plan
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+from repro.workloads import build_datastore, data_scale_for, run_query
+
+CLUSTERS = {
+    "small": lambda scale: small_cluster(data_scale=scale),
+    "ec2-11": lambda scale: ec2_cluster(10, data_scale=scale),
+    "ec2-101": lambda scale: ec2_cluster(100, data_scale=scale),
+    "facebook": lambda scale: facebook_cluster(data_scale=scale),
+}
+
+TPCH_TABLES = ["lineitem", "orders", "part", "customer", "supplier", "nation"]
+
+
+def _add_data_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tpch-scale", type=float, default=0.002,
+                        help="TPC-H scale factor for generated data")
+    parser.add_argument("--clickstream-users", type=int, default=60,
+                        help="number of click-stream users to generate")
+    parser.add_argument("--seed", type=int, default=2011)
+
+
+def _datastore(args):
+    return build_datastore(tpch_scale=args.tpch_scale,
+                           clickstream_users=args.clickstream_users,
+                           seed=args.seed)
+
+
+def cmd_explain(args) -> int:
+    ds = _datastore(args)
+    plan = plan_query(parse_sql(args.sql), ds.catalog)
+    print("== Plan tree ==")
+    print(explain_plan(plan))
+
+    analysis = CorrelationAnalysis(plan)
+    print("\n== Partition keys ==")
+    for node in analysis.operator_nodes:
+        pk = analysis.pk(node)
+        print(f"   {node.label:<8} "
+              f"{', '.join(sorted(pk)) if pk else '(none)'}")
+    print("\n== Correlations ==")
+    pairs = analysis.correlation_summary()
+    for a, b, kind in pairs:
+        print(f"   {a} <-> {b}: {kind}")
+    if not pairs:
+        print("   none")
+
+    naive = generate_job_graph(plan_query(parse_sql(args.sql), ds.catalog),
+                               use_rule1=False, use_rule234=False,
+                               use_swaps=False)
+    merged = generate_job_graph(plan_query(parse_sql(args.sql), ds.catalog))
+    print(f"\none-op-one-job: {naive.job_count()} jobs; "
+          f"YSmart: {merged.job_count()} jobs "
+          f"({['+'.join(d.labels) for d in merged.schedule()]})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    ds = _datastore(args)
+    cluster = None
+    if args.cluster is not None:
+        if args.target_gb is not None:
+            tables = [t for t in TPCH_TABLES if ds.has_table(t)]
+            if ds.has_table("clicks"):
+                tables.append("clicks")
+            scale = data_scale_for(ds, tables, args.target_gb)
+        else:
+            scale = 1.0
+        cluster = CLUSTERS[args.cluster](scale)
+
+    result = run_query(args.sql, ds, mode=args.mode, cluster=cluster,
+                       namespace="cli")
+    print(f"mode={args.mode} jobs={result.job_count}")
+    if result.timing is not None:
+        print(f"simulated time on {result.timing.cluster}: "
+              f"{result.timing.total_s:.1f}s")
+        for job in result.timing.breakdown():
+            print(f"   {job['job']:<30} map={job['map_s']:>8.1f}s "
+                  f"shuffle={job['shuffle_s']:>7.1f}s "
+                  f"reduce={job['reduce_s']:>8.1f}s")
+    shown = result.rows[:args.limit]
+    print(f"\n{len(result.rows)} row(s){' (showing first %d)' % args.limit if len(result.rows) > args.limit else ''}:")
+    if shown:
+        columns = list(shown[0])
+        print("   " + " | ".join(columns))
+        for row in shown:
+            print("   " + " | ".join(str(row[c]) for c in columns))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.bench.reporting import (compare_results, load_results,
+                                       results_to_json, save_results)
+    unknown = [e for e in args.ids if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    ids = args.ids or list(ALL_EXPERIMENTS)
+    workload = standard_workload(tpch_scale=args.tpch_scale,
+                                 clickstream_users=args.clickstream_users,
+                                 seed=args.seed)
+    results = [ALL_EXPERIMENTS[exp_id](workload) for exp_id in ids]
+
+    if args.json:
+        print(results_to_json(results))
+    else:
+        for result in results:
+            print(result.to_markdown())
+            print()
+    if args.save:
+        save_results(results, args.save)
+        print(f"saved to {args.save}", file=sys.stderr)
+    if args.compare:
+        baseline = load_results(args.compare)
+        comparison = compare_results(baseline, results,
+                                     tolerance=args.tolerance)
+        print(f"\nregression check vs {args.compare}:",
+              file=sys.stderr)
+        print(comparison.describe(), file=sys.stderr)
+        return 0 if comparison.clean else 1
+    return 0
+
+
+def cmd_generate(args) -> int:
+    ds = _datastore(args)
+    names = save_datastore(ds, args.out)
+    total = sum(ds.table(n).estimated_bytes() for n in names)
+    print(f"wrote {len(names)} tables ({total / 1024:.0f} KiB) to {args.out}")
+    for name in names:
+        print(f"   {name}: {len(ds.table(name))} rows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="YSmart reproduction: correlation-aware SQL-to-"
+                    "MapReduce translation on a simulated Hadoop substrate")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("explain", help="show plan, correlations, and jobs")
+    p.add_argument("sql")
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("run", help="translate, execute, and time a query")
+    p.add_argument("sql")
+    p.add_argument("--mode", choices=TRANSLATOR_MODES, default="ysmart")
+    p.add_argument("--cluster", choices=sorted(CLUSTERS), default=None,
+                   help="simulate timing on this cluster preset")
+    p.add_argument("--target-gb", type=float, default=None,
+                   help="model the generated data as this many GB")
+    p.add_argument("--limit", type=int, default=20,
+                   help="result rows to print")
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate the paper's tables and figures")
+    p.add_argument("ids", nargs="*",
+                   help=f"subset of {sorted(ALL_EXPERIMENTS)}")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of markdown")
+    p.add_argument("--save", default=None,
+                   help="also write the results to this JSON file")
+    p.add_argument("--compare", default=None,
+                   help="regression-check against a saved JSON run "
+                        "(exit 1 on drift)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative drift tolerance for --compare")
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("generate", help="write generated tables to disk")
+    p.add_argument("--out", required=True)
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

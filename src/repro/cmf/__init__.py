@@ -1,0 +1,5 @@
+"""Common MapReduce Framework: the common reducer driving merged tasks."""
+
+from repro.cmf.reducer import CommonReducer
+
+__all__ = ["CommonReducer"]

@@ -1,0 +1,84 @@
+"""The Common MapReduce Framework's common reducer (paper Algorithm 1).
+
+For every key group the common reducer:
+
+1. calls ``start`` (init) on every merged task;
+2. iterates the value list **once**, dispatching each value to the tasks
+   whose shuffle roles appear on its visibility tag (``next``);
+3. runs the tasks in their given (topological) order: each task's
+   ``finish`` (final) may consume the outputs of earlier tasks — those
+   are the paper's post-job computations, executed inside the same
+   reduce invocation so their inputs are never materialized;
+4. returns the rows of every task named in the job's outputs (when a
+   post-job consumes a task's rows, that task simply isn't listed as an
+   output, so its result stays in memory — "the common reducer only
+   outputs the results of Ja").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.data.table import Row
+from repro.errors import ExecutionError
+from repro.mr.job import ReducerProtocol
+from repro.mr.kv import Key, TaggedValue
+from repro.ops.tasks import ReduceTask
+
+
+class CommonReducer(ReducerProtocol):
+    """Drives a list of :class:`ReduceTask` per key group.
+
+    ``tasks`` must be topologically ordered (every ``TaskInput.task``
+    reference points at an earlier task); ``global_group`` marks a
+    grand-aggregate job that must reduce once even over empty input.
+    """
+
+    def __init__(self, tasks: Sequence[ReduceTask], global_group: bool = False):
+        self.tasks = list(tasks)
+        self.global_group = global_group
+        self._dispatch = 0
+        self._compute = 0
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: set = set()
+        for task in self.tasks:
+            for ref in task.upstream_ids:
+                if ref not in seen:
+                    raise ExecutionError(
+                        f"task {task.task_id} consumes {ref!r} before it is "
+                        "computed; tasks must be topologically ordered")
+            if task.task_id in seen:
+                raise ExecutionError(f"duplicate task id {task.task_id!r}")
+            seen.add(task.task_id)
+
+    @property
+    def task_ids(self) -> List[str]:
+        return [t.task_id for t in self.tasks]
+
+    def reduce(self, key: Key, values: List[TaggedValue]) -> Dict[str, List[Row]]:
+        for task in self.tasks:
+            task.start(key)
+
+        # One pass over the value list, dispatching by visibility tag.
+        for tv in values:
+            for task in self.tasks:
+                if tv.roles & task.shuffle_roles:
+                    task.consume(key, tv.roles, tv.payload)
+                    self._dispatch += 1
+
+        outputs: Dict[str, List[Row]] = {}
+        for task in self.tasks:
+            before = task.compute_ops
+            outputs[task.task_id] = task.finish(key, outputs)
+            self._compute += task.compute_ops - before
+        return outputs
+
+    def dispatch_ops(self) -> int:
+        ops, self._dispatch = self._dispatch, 0
+        return ops
+
+    def compute_ops(self) -> int:
+        ops, self._compute = self._compute, 0
+        return ops

@@ -1,0 +1,52 @@
+"""YSmart core: correlations, job generation, merging, translation."""
+
+from repro.core.batch import (
+    BatchRunResult,
+    BatchTranslation,
+    run_batch,
+    translate_batch,
+)
+from repro.core.compile import CompileOptions, JobCompiler, compile_graph
+from repro.core.correlation import CorrelationAnalysis, PartitionKey, UnionFind
+from repro.core.explain_jobs import explain_job, explain_jobs
+from repro.core.jobgen import (
+    JobDraft,
+    JobGraph,
+    apply_rule4_swaps,
+    generate_job_graph,
+    merge_step1,
+    merge_step2,
+    one_to_one_graph,
+)
+from repro.core.translator import (
+    TRANSLATOR_MODES,
+    Translation,
+    translate_plan,
+    translate_sql,
+)
+
+__all__ = [
+    "BatchRunResult",
+    "BatchTranslation",
+    "CompileOptions",
+    "CorrelationAnalysis",
+    "JobCompiler",
+    "JobDraft",
+    "JobGraph",
+    "PartitionKey",
+    "TRANSLATOR_MODES",
+    "Translation",
+    "UnionFind",
+    "apply_rule4_swaps",
+    "compile_graph",
+    "explain_job",
+    "explain_jobs",
+    "generate_job_graph",
+    "merge_step1",
+    "merge_step2",
+    "one_to_one_graph",
+    "run_batch",
+    "translate_batch",
+    "translate_plan",
+    "translate_sql",
+]

@@ -1,0 +1,183 @@
+"""Multi-query batch translation: shared scans and common jobs ACROSS
+queries.
+
+The paper's related work contrasts YSmart with MRShare, which shares map
+input/output across *multiple* queries but cannot batch jobs with data
+dependencies.  This module composes both ideas: a batch of queries is
+planned into one forest, correlation analysis runs over all the trees at
+once, and the same merge rules apply — Rule 1 now merges transit-
+correlated jobs *from different queries* into one common job (a shared
+table scan and shared shuffle serving several queries), while Rules 2–4
+still collapse each query's own job-flow chains.
+
+Example: Q17 and the Q21 sub-tree both aggregate and join ``lineitem``
+on different keys; Q17 and Q-AGG-style per-partkey reports partition it
+identically and collapse into one scan.  ``translate_batch`` returns one
+job list that materializes every query's result dataset.
+
+Implementation notes: all queries share one :class:`Planner` so block
+ids (and therefore row keys) stay globally unique, each query's top-level
+outputs are qualified as ``<query_id>.<column>``, and node labels are
+prefixed ``<query_id>:`` so merged jobs can mix tasks from different
+queries without id collisions.  Result rows are presented with the bare
+column names again (``output_columns`` maps them back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog, standard_catalog
+from repro.core.compile import CompileOptions, JobCompiler
+from repro.core.correlation import CorrelationAnalysis
+from repro.core.jobgen import (
+    JobGraph,
+    apply_rule4_swaps,
+    merge_step1,
+    merge_step2,
+)
+from repro.data.datastore import Datastore
+from repro.data.table import Row
+from repro.errors import TranslationError
+from repro.mr.engine import MapReduceEngine
+from repro.mr.job import MRJob
+from repro.plan.nodes import PlanNode
+from repro.plan.planner import Planner
+from repro.sqlparser.parser import parse_sql
+
+
+@dataclass
+class BatchTranslation:
+    """The result of translating a batch of queries together."""
+
+    mode: str
+    jobs: List[MRJob]
+    graph: JobGraph
+    analysis: CorrelationAnalysis
+    #: query id -> result dataset name
+    result_datasets: Dict[str, str]
+    #: query id -> [(qualified_column, bare_column)] in select order
+    output_columns: Dict[str, List[Tuple[str, str]]]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+    def bare_rows(self, query_id: str, rows: Sequence[Row]) -> List[Row]:
+        """Rows of one query's result re-keyed to bare column names."""
+        mapping = self.output_columns[query_id]
+        return [{bare: row[qualified] for qualified, bare in mapping}
+                for row in rows]
+
+
+def translate_batch(queries: Mapping[str, str],
+                    catalog: Optional[Catalog] = None,
+                    namespace: str = "batch",
+                    num_reducers: int = 8,
+                    share_across_queries: bool = True,
+                    agg_pk_heuristic: str = "max_connections"
+                    ) -> BatchTranslation:
+    """Translate ``{query_id: sql}`` into one shared job list.
+
+    ``share_across_queries=False`` disables cross-query Rule-1 merging
+    (each query still gets its own full YSmart treatment) — the ablation
+    showing what batch sharing adds.
+    """
+    if not queries:
+        raise TranslationError("translate_batch needs at least one query")
+    for qid in queries:
+        if "." in qid or not qid:
+            raise TranslationError(
+                f"query id {qid!r} must be a non-empty name without dots")
+
+    catalog = catalog or standard_catalog()
+    planner = Planner(catalog)
+    roots: List[PlanNode] = []
+    ids: List[str] = []
+    output_columns: Dict[str, List[Tuple[str, str]]] = {}
+    for qid, sql in queries.items():
+        stmt = parse_sql(sql)
+        root = planner.plan(stmt, result_alias=qid, label_prefix=f"{qid}:")
+        roots.append(root)
+        ids.append(qid)
+        bare = [planner._output_name(item, i)
+                for i, item in enumerate(stmt.items)]
+        output_columns[qid] = list(zip(root.output_names, bare))
+
+    analysis = CorrelationAnalysis(roots, agg_pk_heuristic)
+    for root in roots:
+        apply_rule4_swaps(root, analysis)
+    analysis = CorrelationAnalysis(roots, agg_pk_heuristic)
+    graph = JobGraph(roots, analysis)
+
+    if share_across_queries:
+        merge_step1(graph)
+    else:
+        _merge_step1_within_queries(graph, roots)
+    merge_step2(graph)
+
+    result_names = {id(root): f"{namespace}.result.{qid}"
+                    for root, qid in zip(roots, ids)}
+    compiler = JobCompiler(graph, namespace,
+                           CompileOptions(num_reducers=num_reducers),
+                           result_names=result_names)
+    jobs = compiler.compile()
+    return BatchTranslation(
+        mode="ysmart-batch" if share_across_queries else "ysmart-separate",
+        jobs=jobs,
+        graph=graph,
+        analysis=analysis,
+        result_datasets={qid: result_names[id(root)]
+                         for root, qid in zip(roots, ids)},
+        output_columns=output_columns,
+    )
+
+
+def _merge_step1_within_queries(graph: JobGraph,
+                                roots: Sequence[PlanNode]) -> None:
+    """Rule 1 restricted to pairs from the same query tree."""
+    tree_of: Dict[int, int] = {}
+    for index, root in enumerate(roots):
+        for node in root.post_order():
+            tree_of[id(node)] = index
+
+    analysis = graph.analysis
+    changed = True
+    while changed:
+        changed = False
+        drafts = sorted(graph.drafts, key=graph.position)
+        for i, da in enumerate(drafts):
+            for db in drafts[i + 1:]:
+                if tree_of[id(da.nodes[0])] != tree_of[id(db.nodes[0])]:
+                    continue
+                if graph.depends_on(da, db) or graph.depends_on(db, da):
+                    continue
+                if any(analysis.transit_correlated(na, nb)
+                       for na in da.nodes for nb in db.nodes):
+                    graph.merge_drafts(da, db)
+                    changed = True
+                    break
+            if changed:
+                break
+
+
+@dataclass
+class BatchRunResult:
+    """Executed batch: per-query rows plus the shared job runs."""
+
+    translation: BatchTranslation
+    runs: list
+    rows: Dict[str, List[Row]] = field(default_factory=dict)
+
+
+def run_batch(translation: BatchTranslation,
+              datastore: Datastore) -> BatchRunResult:
+    """Execute a batch translation and collect each query's result."""
+    engine = MapReduceEngine(datastore)
+    runs = engine.run_jobs(translation.jobs)
+    rows = {}
+    for qid, dataset in translation.result_datasets.items():
+        table = datastore.intermediate(dataset)
+        rows[qid] = translation.bare_rows(qid, table.rows)
+    return BatchRunResult(translation=translation, runs=runs, rows=rows)

@@ -1,0 +1,517 @@
+"""Compile job drafts into executable :class:`~repro.mr.job.MRJob` specs.
+
+This is where plan nodes become mappers and reduce tasks:
+
+* every base-scan child of a draft node becomes an :class:`EmitSpec` over
+  that table (multiple specs over one table share a single scan — the
+  engine merges their emissions into multi-role pairs);
+* every operator child in another draft becomes an EmitSpec over that
+  draft's output dataset;
+* every operator child inside the draft becomes an upstream task feed —
+  the paper's post-job computation;
+* standalone aggregation jobs evaluate grouping/argument expressions
+  map-side and (when every aggregate is mergeable) install the map-side
+  hash-aggregation combiner, Hive's footnote-2 optimization.
+
+Key layout: every emission in a common job partitions on the draft's
+partition key; key components are ordered by sorted equivalence-class
+representative so all roles agree on tuple positions.
+
+Projection pruning is global: a two-pass walk computes the exact column
+set every node must deliver, so map payloads and materialized
+intermediates carry only required data (paper Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cmf.reducer import CommonReducer
+from repro.core.correlation import CorrelationAnalysis
+from repro.core.jobgen import JobDraft, JobGraph
+from repro.data.table import Row
+from repro.errors import TranslationError
+from repro.mr.job import EmitSpec, MRJob, MapAggSpec, MapInput, OutputSpec
+from repro.mr.kv import TagPolicy
+from repro.ops.tasks import (
+    AggTask,
+    CompiledStages,
+    JoinTask,
+    ReduceTask,
+    SPTask,
+    TaskInput,
+    UnionTask,
+)
+from repro.plan.nodes import (
+    AggNode,
+    JoinNode,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+from repro.plan.pruning import child_requirements, needed_raw_columns
+from repro.refexec.executor import compile_resolved, compile_resolved_predicate
+
+
+@dataclass
+class CompileOptions:
+    """Knobs the different translators set differently."""
+
+    #: reduce tasks per ordinary job (the cost model turns this into waves)
+    num_reducers: int = 8
+    #: install the map-side hash-aggregation combiner on standalone
+    #: aggregation jobs whose aggregates are all mergeable
+    map_side_agg: bool = True
+    #: emit base-scan payload columns under canonical ``table.column``
+    #: names so overlapping roles share bytes (CMF payload sharing)
+    canonical_payload: bool = True
+    #: visibility-tag encoding (byte accounting only)
+    tag_policy: TagPolicy = TagPolicy.BEST
+
+
+class JobCompiler:
+    """Compiles one :class:`JobGraph` into a list of jobs (schedule order)."""
+
+    def __init__(self, graph: JobGraph, namespace: str,
+                 options: Optional[CompileOptions] = None,
+                 result_names: Optional[Dict[int, str]] = None):
+        self.graph = graph
+        self.analysis = graph.analysis
+        self.namespace = namespace
+        self.options = options or CompileOptions()
+        self._dataset_of: Dict[int, str] = {}     # node id -> dataset name
+        self._needed: Dict[int, Set[str]] = {}    # node id -> required outputs
+        #: id(root) -> result dataset name (batch translation names each
+        #: query's result; single-query default is "<ns>.result")
+        self._result_names = result_names or {
+            id(graph.root): f"{namespace}.result"}
+        self._root_ids = {id(r) for r in graph.roots}
+        self._compute_global_pruning()
+
+    # -- global projection pruning -------------------------------------------------
+
+    def _compute_global_pruning(self) -> None:
+        for root in self.graph.roots:
+            self._needed[id(root)] = set(root.output_names)
+            for node in reversed(list(root.post_order())):
+                if isinstance(node, ScanNode):
+                    continue
+                reqs = child_requirements(node, self._needed[id(node)])
+                for child, req in zip(node.children, reqs):
+                    if not isinstance(child, ScanNode):
+                        self._needed[id(child)] = (
+                            self._needed.get(id(child), set()) | req)
+
+    def needed(self, node: PlanNode) -> Set[str]:
+        return self._needed[id(node)]
+
+    def requirement_from(self, parent: PlanNode, child: PlanNode) -> Set[str]:
+        reqs = child_requirements(parent, self._needed[id(parent)])
+        for c, req in zip(parent.children, reqs):
+            if c is child:
+                return req
+        raise TranslationError(
+            f"{child.label} is not a child of {parent.label}")
+
+    # -- naming ------------------------------------------------------------------------
+
+    def dataset_name(self, node: PlanNode) -> str:
+        name = self._dataset_of.get(id(node))
+        if name is None:
+            raise TranslationError(
+                f"output dataset of {node.label} referenced before the "
+                "producing job was compiled (schedule violation)")
+        return name
+
+    def _register_outputs(self, draft: JobDraft) -> List[Tuple[PlanNode, str]]:
+        out: List[Tuple[PlanNode, str]] = []
+        for node in self.graph.written_nodes(draft):
+            if id(node) in self._root_ids:
+                name = self._result_names[id(node)]
+            else:
+                name = f"{self.namespace}.{node.label}"
+            self._dataset_of[id(node)] = name
+            out.append((node, name))
+        return out
+
+    # -- compile -------------------------------------------------------------------------
+
+    def compile(self) -> List[MRJob]:
+        jobs: List[MRJob] = []
+        for index, draft in enumerate(self.graph.schedule()):
+            jobs.append(self._compile_draft(draft, index))
+        return jobs
+
+    def _compile_draft(self, draft: JobDraft, index: int) -> MRJob:
+        job_id = f"{self.namespace}.job{index + 1}"
+        name = "+".join(draft.labels)
+
+        if len(draft.nodes) == 1:
+            node = draft.nodes[0]
+            if isinstance(node, SortNode):
+                return self._compile_sort(draft, node, job_id, name)
+            if isinstance(node, UnionNode):
+                return self._compile_union(draft, node, job_id, name)
+            if isinstance(node, AggNode):
+                return self._compile_standalone_agg(draft, node, job_id, name)
+            if isinstance(node, ScanNode):
+                return self._compile_sp(draft, node, job_id, name)
+        return self._compile_common(draft, job_id, name)
+
+    # -- emit-spec builders -----------------------------------------------------------------
+
+    def _scan_emit(self, scan: ScanNode, role: str, key_cols: Sequence[str],
+                   payload_cols: Sequence[str]
+                   ) -> Tuple[EmitSpec, List[Tuple[str, str]]]:
+        """EmitSpec over a base table, plus the payload rename map
+        (task_name → payload_name) consumers must apply."""
+        stages = CompiledStages(scan.stages)
+        qualified = [(scan.qualified(c), c) for c in scan.columns]
+        has_project = any(isinstance(s, Project) for s in scan.stages)
+        canonical = self.options.canonical_payload and not has_project
+
+        if canonical:
+            payload_names = {q: f"{scan.table}.{q.rsplit('@', 1)[0].split('.', 1)[1]}"
+                             for q in payload_cols}
+        else:
+            payload_names = {q: q for q in payload_cols}
+        payload_map = sorted(payload_names.items())
+        key_cols = list(key_cols)
+        payload_items = sorted(payload_names.items())
+
+        def emit(record: Row):
+            row = {q: record[c] for q, c in qualified}
+            rows = stages.run([row])
+            if not rows:
+                return None
+            out = rows[0]
+            key = tuple(out[c] for c in key_cols)
+            return key, {p: out[q] for q, p in payload_items}
+
+        return EmitSpec(role, emit), payload_map
+
+    def _dataset_emit(self, role: str, key_cols: Sequence[str],
+                      payload_cols: Sequence[str]) -> EmitSpec:
+        """EmitSpec over an intermediate dataset (identity naming)."""
+        key_cols = list(key_cols)
+        payload_cols = sorted(set(payload_cols) - set(key_cols))
+
+        def emit(record: Row):
+            key = tuple(record[c] for c in key_cols)
+            return key, {c: record[c] for c in payload_cols}
+
+        return EmitSpec(role, emit)
+
+    # -- sort jobs -------------------------------------------------------------------------------
+
+    def _compile_sort(self, draft: JobDraft, node: SortNode,
+                      job_id: str, name: str) -> MRJob:
+        child = node.child
+        needed = sorted(self.requirement_from(node, child))
+        key_cols = [k for k, _ in node.keys]
+        ascending = [asc for _, asc in node.keys]
+        payload = [c for c in needed if c not in key_cols]
+        role = f"{node.label}.in"
+
+        if isinstance(child, ScanNode):
+            spec, payload_map = self._scan_emit(child, role, key_cols, payload)
+            source = TaskInput.shuffle(role, key_cols, payload_map)
+            map_inputs = [MapInput(child.table, [spec])]
+        else:
+            spec = self._dataset_emit(role, key_cols, payload)
+            source = TaskInput.shuffle(role, key_cols)
+            map_inputs = [MapInput(self.dataset_name(child), [spec])]
+
+        task = SPTask(node.label, source, CompiledStages(node.stages))
+        outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+                   for n, ds in self._register_outputs(draft)]
+        return MRJob(
+            job_id=job_id, name=name, map_inputs=map_inputs,
+            reducer=CommonReducer([task]), outputs=outputs,
+            num_reducers=self.options.num_reducers,
+            sort_output=True, sort_ascending=ascending, limit=node.limit,
+            tag_policy=self.options.tag_policy)
+
+    # -- SELECTION-PROJECTION jobs -----------------------------------------------------------------
+
+    def _compile_sp(self, draft: JobDraft, node: ScanNode,
+                    job_id: str, name: str) -> MRJob:
+        """The paper's SP job: a simple query with only selection and
+        projection on a base relation.  The whole output row rides in the
+        key (spreading rows over reducers); the reduce side passes
+        through."""
+        needed = [c for c in node.output_names if c in self.needed(node)]
+        role = f"{node.label}.in"
+        stages = CompiledStages(node.stages)
+        qualified = [(node.qualified(c), c) for c in node.columns]
+        key_cols = list(needed)
+
+        def emit(record: Row):
+            row = {q: record[c] for q, c in qualified}
+            rows = stages.run([row])
+            if not rows:
+                return None
+            out = rows[0]
+            return tuple(out[c] for c in key_cols), {}
+
+        task = SPTask(node.label, TaskInput.shuffle(role, key_cols))
+        outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+                   for n, ds in self._register_outputs(draft)]
+        return MRJob(
+            job_id=job_id, name=name,
+            map_inputs=[MapInput(node.table, [EmitSpec(role, emit)])],
+            reducer=CommonReducer([task]),
+            outputs=outputs,
+            num_reducers=self.options.num_reducers,
+            tag_policy=self.options.tag_policy)
+
+    # -- UNION ALL jobs --------------------------------------------------------------------------
+
+    def _compile_union(self, draft: JobDraft, node: UnionNode,
+                       job_id: str, name: str) -> MRJob:
+        """One job scanning every branch; the whole needed row rides in
+        the key (spreads rows over reducers), and the UnionTask
+        concatenates the reconstituted branch buffers."""
+        raw_needed = needed_raw_columns(node, self.needed(node))
+        needed = [c for c in node.names if c in raw_needed]
+        positions = [node.names.index(c) for c in needed]
+        map_inputs: Dict[str, MapInput] = {}
+        sources: List[TaskInput] = []
+
+        for i, (child, names) in enumerate(zip(node.children,
+                                               node.branch_names)):
+            role = f"{node.label}.b{i}"
+            child_cols = [names[p] for p in positions]
+            if isinstance(child, ScanNode):
+                spec, _pm = self._scan_emit(child, role, child_cols, [])
+                dataset = child.table
+            else:
+                spec = self._dataset_emit(role, child_cols, [])
+                dataset = self.dataset_name(child)
+            mi = map_inputs.get(dataset)
+            if mi is None:
+                map_inputs[dataset] = MapInput(dataset, [spec])
+            else:
+                mi.specs.append(spec)
+            sources.append(TaskInput.shuffle(role, needed))
+
+        task = UnionTask(node.label, sources, CompiledStages(node.stages))
+        outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+                   for n, ds in self._register_outputs(draft)]
+        return MRJob(
+            job_id=job_id, name=name,
+            map_inputs=list(map_inputs.values()),
+            reducer=CommonReducer([task]),
+            outputs=outputs,
+            num_reducers=self.options.num_reducers,
+            tag_policy=self.options.tag_policy)
+
+    # -- standalone aggregation jobs (map-side expression evaluation) ------------------------------
+
+    def _compile_standalone_agg(self, draft: JobDraft, node: AggNode,
+                                job_id: str, name: str) -> MRJob:
+        child = node.child
+        role = f"{node.label}.in"
+        group_fns = [(gk.slot, compile_resolved(gk.expr))
+                     for gk in node.group_keys]
+        agg_fns = [(spec, compile_resolved(spec.arg)
+                    if spec.arg is not None else None)
+                   for spec in node.aggs]
+        key_slots = [slot for slot, _ in group_fns]
+
+        child_need = sorted(self.requirement_from(node, child))
+
+        if isinstance(child, ScanNode):
+            stages = CompiledStages(child.stages)
+            qualified = [(child.qualified(c), c) for c in child.columns]
+
+            def emit(record: Row):
+                row = {q: record[c] for q, c in qualified}
+                rows = stages.run([row])
+                if not rows:
+                    return None
+                out = rows[0]
+                key = tuple(fn(out) for _, fn in group_fns)
+                payload = {spec.slot: fn(out)
+                           for spec, fn in agg_fns if fn is not None}
+                return key, payload
+
+            map_inputs = [MapInput(child.table, [EmitSpec(role, emit)])]
+        else:
+            def emit(record: Row):
+                key = tuple(fn(record) for _, fn in group_fns)
+                payload = {spec.slot: fn(record)
+                           for spec, fn in agg_fns if fn is not None}
+                return key, payload
+
+            map_inputs = [MapInput(self.dataset_name(child),
+                                   [EmitSpec(role, emit)])]
+
+        mergeable = all(
+            not spec.distinct or spec.func in ("min", "max")
+            for spec in node.aggs)
+        map_agg = None
+        if self.options.map_side_agg and mergeable:
+            map_agg = MapAggSpec({
+                spec.slot: (spec.func, spec.distinct, spec.star)
+                for spec in node.aggs})
+
+        task = AggTask(
+            node.label,
+            TaskInput.shuffle(role, key_slots),
+            group_exprs=[(slot, _getter(slot)) for slot in key_slots],
+            agg_specs=[(spec.slot, spec.func,
+                        _getter(spec.slot) if spec.arg is not None else None,
+                        spec.distinct, spec.star)
+                       for spec in node.aggs],
+            partial=map_agg is not None,
+            global_agg=node.is_global,
+            stages=CompiledStages(node.stages))
+
+        outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+                   for n, ds in self._register_outputs(draft)]
+        return MRJob(
+            job_id=job_id, name=name, map_inputs=map_inputs,
+            reducer=CommonReducer([task], global_group=node.is_global),
+            outputs=outputs, map_agg=map_agg,
+            num_reducers=1 if node.is_global else self.options.num_reducers,
+            tag_policy=self.options.tag_policy)
+
+    # -- common jobs (the general case) ----------------------------------------------------------------
+
+    def _draft_key_classes(self, draft: JobDraft) -> List[str]:
+        pk = self.analysis.pk(draft.nodes[0])
+        if pk is None:
+            raise TranslationError(
+                f"draft {draft.labels} has no partition key; it should "
+                "have been compiled as a standalone agg/sort job")
+        return sorted(pk)
+
+    def _side_key_columns(self, classes: List[str],
+                          available: Dict[str, str]) -> List[str]:
+        """For each PK class in order, the column of this input whose
+        equivalence class matches."""
+        cols = []
+        for cls in classes:
+            col = available.get(cls)
+            if col is None:
+                raise TranslationError(
+                    f"no column for partition class {cls!r}; have "
+                    f"{sorted(available)}")
+            cols.append(col)
+        return cols
+
+    def _compile_common(self, draft: JobDraft, job_id: str, name: str) -> MRJob:
+        classes = self._draft_key_classes(draft)
+        map_inputs: Dict[str, MapInput] = {}
+        tasks: List[ReduceTask] = []
+        in_draft = {id(n) for n in draft.nodes}
+
+        def add_spec(dataset: str, spec: EmitSpec) -> None:
+            mi = map_inputs.get(dataset)
+            if mi is None:
+                map_inputs[dataset] = MapInput(dataset, [spec])
+            else:
+                mi.specs.append(spec)
+
+        def shuffle_input_for(parent: PlanNode, child: PlanNode,
+                              side: str, key_cols_on_child: List[str]
+                              ) -> TaskInput:
+            """Build the EmitSpec + TaskInput for an out-of-draft child."""
+            role = f"{parent.label}.{side}"
+            need = sorted(self.requirement_from(parent, child))
+            payload = [c for c in need if c not in key_cols_on_child]
+            if isinstance(child, ScanNode):
+                spec, payload_map = self._scan_emit(
+                    child, role, key_cols_on_child, payload)
+                add_spec(child.table, spec)
+                return TaskInput.shuffle(role, key_cols_on_child, payload_map)
+            spec = self._dataset_emit(role, key_cols_on_child, payload)
+            add_spec(self.dataset_name(child), spec)
+            return TaskInput.shuffle(role, key_cols_on_child)
+
+        for node in draft.nodes:
+            if isinstance(node, JoinNode):
+                side_inputs: List[TaskInput] = []
+                for side, child, keys in (
+                        ("L", node.left, node.left_keys),
+                        ("R", node.right, node.right_keys)):
+                    if id(child) in in_draft:
+                        side_inputs.append(TaskInput.task(child.label))
+                    else:
+                        by_class = {}
+                        for col in keys:
+                            by_class.setdefault(
+                                self.analysis.class_of(col), col)
+                        key_cols = self._side_key_columns(classes, by_class)
+                        side_inputs.append(shuffle_input_for(
+                            node, child, side, key_cols))
+                residual = (compile_resolved_predicate(node.residual)
+                            if node.residual is not None else None)
+                tasks.append(JoinTask(
+                    node.label, side_inputs[0], side_inputs[1],
+                    node.join_type,
+                    left_names=sorted(self.requirement_from(node, node.left)),
+                    right_names=sorted(self.requirement_from(node, node.right)),
+                    residual=residual,
+                    stages=CompiledStages(node.stages)))
+
+            elif isinstance(node, AggNode):
+                child = node.child
+                group_fns = [(gk.slot, compile_resolved(gk.expr))
+                             for gk in node.group_keys]
+                agg_specs = [(spec.slot, spec.func,
+                              compile_resolved(spec.arg)
+                              if spec.arg is not None else None,
+                              spec.distinct, spec.star)
+                             for spec in node.aggs]
+                if id(child) in in_draft:
+                    source = TaskInput.task(child.label)
+                else:
+                    by_class = {}
+                    for gk in node.group_keys:
+                        if gk.source_col is not None:
+                            by_class.setdefault(
+                                self.analysis.class_of(gk.slot), gk.source_col)
+                    key_cols = self._side_key_columns(classes, by_class)
+                    source = shuffle_input_for(node, child, "in", key_cols)
+                tasks.append(AggTask(
+                    node.label, source, group_fns, agg_specs,
+                    partial=False, global_agg=node.is_global,
+                    stages=CompiledStages(node.stages)))
+
+            else:
+                raise TranslationError(
+                    f"cannot compile {node.label} inside a common job")
+
+        outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+                   for n, ds in self._register_outputs(draft)]
+        return MRJob(
+            job_id=job_id, name=name,
+            map_inputs=list(map_inputs.values()),
+            reducer=CommonReducer(tasks),
+            outputs=outputs,
+            num_reducers=self.options.num_reducers,
+            tag_policy=self.options.tag_policy)
+
+    # -- output columns -------------------------------------------------------------------
+
+    def _output_columns(self, node: PlanNode) -> List[str]:
+        needed = self._needed[id(node)]
+        if id(node) in self._root_ids:
+            return list(node.output_names)
+        # Keep the node's output order, pruned to what downstream reads.
+        return [c for c in node.output_names if c in needed]
+
+
+def _getter(name: str) -> Callable[[Row], object]:
+    return lambda row: row.get(name)
+
+
+def compile_graph(graph: JobGraph, namespace: str,
+                  options: Optional[CompileOptions] = None) -> List[MRJob]:
+    """Compile a job graph into executable jobs in schedule order."""
+    return JobCompiler(graph, namespace, options).compile()

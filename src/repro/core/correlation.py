@@ -1,0 +1,267 @@
+"""Intra-query correlation analysis (paper Sec. IV).
+
+For every operator node of a plan tree this module derives its
+**partition key (PK)** — the map-output key its job would partition on —
+and detects the paper's three correlations:
+
+* **Input Correlation (IC)**: the nodes' input relation sets intersect;
+* **Transit Correlation (TC)**: IC plus equal partition keys;
+* **Job Flow Correlation (JFC)**: a node's PK equals a child's PK.
+
+Partition keys are compared *modulo column equivalence*: the columns on
+the two sides of an equi-join predicate are aliases of the same partition
+key (paper footnote 3), a grouping output aliases its source column, and
+every scan column aliases its base-table identity (so two scans of
+``lineitem`` partitioned on ``l_orderkey`` compare equal even though they
+live in different query blocks).  Equivalence is a union-find over the
+``passthrough_pairs`` of every node.
+
+An aggregation's PK may be any non-empty subset of its grouping columns;
+following the paper, YSmart picks the candidate that connects the maximal
+number of correlated neighbor nodes (implemented as a small fixpoint
+iteration, since chains of aggregations — Q-CSA's AGG1/AGG2 — constrain
+each other).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TranslationError
+from repro.plan.nodes import (
+    AggNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+    passthrough_pairs,
+)
+
+#: A partition key: a frozenset of equivalence-class representatives.
+PartitionKey = Optional[FrozenSet[str]]
+
+#: Cap on grouping columns for exhaustive subset enumeration (2^N - 1
+#: candidates); wider GROUP BY lists fall back to single columns + the
+#: full set, which is what the heuristic ever distinguishes in practice.
+MAX_ENUM_GROUP_COLS = 8
+
+
+class UnionFind:
+    """Classic union-find over string ids."""
+
+    def __init__(self):
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def same(self, a: str, b: str) -> bool:
+        return self.find(a) == self.find(b)
+
+
+class CorrelationAnalysis:
+    """Computes PKs and correlations for one plan tree.
+
+    ``agg_pk_heuristic`` selects how an aggregation's PK is chosen among
+    its candidates: ``"max_connections"`` (the paper's rule — maximize
+    correlated neighbors) or ``"full_group"`` (always the entire grouping
+    set, an ablation showing why the heuristic matters: Q-CSA's AGG1
+    would partition on (uid, ts1) and lose its JFC with JOIN1).
+    """
+
+    def __init__(self, root,
+                 agg_pk_heuristic: str = "max_connections"):
+        #: one plan tree, or several (batch translation shares scans and
+        #: common jobs across queries)
+        self.roots: List[PlanNode] = (
+            list(root) if isinstance(root, (list, tuple)) else [root])
+        self.root = self.roots[0]
+        if agg_pk_heuristic not in ("max_connections", "full_group"):
+            raise TranslationError(
+                f"unknown agg PK heuristic {agg_pk_heuristic!r}")
+        self.agg_pk_heuristic = agg_pk_heuristic
+        self.uf = UnionFind()
+        self._nodes: List[PlanNode] = []
+        self._parent: Dict[int, Optional[PlanNode]] = {}
+        for tree in self.roots:
+            self._parent[id(tree)] = None
+            for node in tree.post_order():
+                for a, b in passthrough_pairs(node):
+                    self.uf.union(a, b)
+                if not isinstance(node, ScanNode):
+                    self._nodes.append(node)
+                for child in node.children:
+                    self._parent[id(child)] = node
+
+        self._pk: Dict[int, PartitionKey] = {}
+        self._agg_candidates: Dict[int, List[FrozenSet[str]]] = {}
+        self._assign_partition_keys()
+
+    # -- structure helpers -------------------------------------------------------
+
+    @property
+    def operator_nodes(self) -> List[PlanNode]:
+        return list(self._nodes)
+
+    def parent_of(self, node: PlanNode) -> Optional[PlanNode]:
+        return self._parent.get(id(node))
+
+    def class_of(self, column: str) -> str:
+        return self.uf.find(column)
+
+    def key_classes(self, columns: Sequence[str]) -> FrozenSet[str]:
+        return frozenset(self.uf.find(c) for c in columns)
+
+    # -- partition keys --------------------------------------------------------------
+
+    def pk(self, node: PlanNode) -> PartitionKey:
+        return self._pk.get(id(node))
+
+    def agg_pk_columns(self, node: AggNode) -> List[int]:
+        """Indices of the group keys forming the chosen PK of an AGG node."""
+        pk = self.pk(node)
+        if pk is None:
+            return []
+        return [i for i, gk in enumerate(node.group_keys)
+                if self.class_of(gk.slot) in pk]
+
+    def _assign_partition_keys(self) -> None:
+        # Fixed PKs first: joins partition on their key columns; sorts and
+        # grand aggregates have none.
+        agg_nodes: List[AggNode] = []
+        for node in self._nodes:
+            if isinstance(node, JoinNode):
+                self._pk[id(node)] = self.key_classes(node.left_keys)
+            elif isinstance(node, (SortNode, UnionNode)):
+                self._pk[id(node)] = None
+            elif isinstance(node, AggNode):
+                if node.is_global:
+                    self._pk[id(node)] = None
+                else:
+                    cands = self._candidates(node)
+                    self._agg_candidates[id(node)] = cands
+                    # Start from the full grouping set; the fixpoint below
+                    # refines toward correlated choices.
+                    self._pk[id(node)] = cands[-1]
+                    agg_nodes.append(node)
+
+        if self.agg_pk_heuristic == "full_group":
+            return  # keep the full grouping set for every aggregation
+
+        # Fixpoint: each aggregation picks the candidate connecting the
+        # most correlated neighbors under the current assignment.
+        for _ in range(len(agg_nodes) + 2):
+            changed = False
+            for node in agg_nodes:
+                best = self._best_candidate(node)
+                if best != self._pk[id(node)]:
+                    self._pk[id(node)] = best
+                    changed = True
+            if not changed:
+                break
+
+    def _candidates(self, node: AggNode) -> List[FrozenSet[str]]:
+        classes = [self.class_of(gk.slot) for gk in node.group_keys]
+        unique = sorted(set(classes))
+        if len(unique) <= MAX_ENUM_GROUP_COLS:
+            cands = [frozenset(combo)
+                     for size in range(1, len(unique) + 1)
+                     for combo in itertools.combinations(unique, size)]
+        else:
+            cands = [frozenset([c]) for c in unique]
+            cands.append(frozenset(unique))
+        return cands
+
+    def _neighbors(self, node: PlanNode) -> List[PlanNode]:
+        """Nodes whose PK agreement the heuristic scores: operator
+        children, the parent, and any node sharing an input relation."""
+        neighbors: List[PlanNode] = [
+            c for c in node.children if not isinstance(c, ScanNode)]
+        parent = self.parent_of(node)
+        if parent is not None:
+            neighbors.append(parent)
+        mine = self.input_relations(node)
+        for other in self._nodes:
+            if other is node or other in neighbors:
+                continue
+            if mine & self.input_relations(other):
+                neighbors.append(other)
+        return neighbors
+
+    def _best_candidate(self, node: AggNode) -> FrozenSet[str]:
+        best = None
+        best_score = -1
+        for cand in self._agg_candidates[id(node)]:
+            score = 0
+            for other in self._neighbors(node):
+                other_pk = self._pk.get(id(other))
+                if other_pk is not None and other_pk == cand:
+                    score += 1
+            # Prefer (score, smaller candidate keeps reduce keys compact,
+            # then deterministic order).
+            rank = (score, -len(cand), tuple(sorted(cand)))
+            if best is None or rank > best_rank:
+                best, best_rank = cand, rank
+        if best is None:
+            raise TranslationError(
+                f"aggregation {node.label} has no PK candidates")
+        return best
+
+    # -- input relations & correlations ------------------------------------------------
+
+    def input_relations(self, node: PlanNode) -> Set[str]:
+        """The relations this node's one-to-one job would read: base
+        tables for scan children, the child's output dataset otherwise."""
+        inputs: Set[str] = set()
+        for child in node.children:
+            if isinstance(child, ScanNode):
+                inputs.add(f"table:{child.table}")
+            else:
+                inputs.add(f"node:{child.label}")
+        return inputs
+
+    def input_correlated(self, a: PlanNode, b: PlanNode) -> bool:
+        """IC: input relation sets are not disjoint."""
+        return bool(self.input_relations(a) & self.input_relations(b))
+
+    def transit_correlated(self, a: PlanNode, b: PlanNode) -> bool:
+        """TC: IC plus equal partition keys."""
+        pk_a, pk_b = self.pk(a), self.pk(b)
+        return (self.input_correlated(a, b)
+                and pk_a is not None and pk_a == pk_b)
+
+    def job_flow_correlated(self, parent: PlanNode, child: PlanNode) -> bool:
+        """JFC: the parent has the same PK as this child."""
+        if child not in parent.children:
+            return False
+        pk_p, pk_c = self.pk(parent), self.pk(child)
+        return pk_p is not None and pk_p == pk_c
+
+    def correlation_summary(self) -> List[Tuple[str, str, str]]:
+        """All correlated node pairs, for EXPLAIN-style reporting."""
+        out: List[Tuple[str, str, str]] = []
+        nodes = self._nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if self.transit_correlated(a, b):
+                    out.append((a.label, b.label, "TC"))
+                elif self.input_correlated(a, b):
+                    out.append((a.label, b.label, "IC"))
+        for node in nodes:
+            for child in node.children:
+                if not isinstance(child, ScanNode) and \
+                        self.job_flow_correlated(node, child):
+                    out.append((node.label, child.label, "JFC"))
+        return out

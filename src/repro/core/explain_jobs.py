@@ -1,0 +1,93 @@
+"""Job-level EXPLAIN: render what a translation will actually execute.
+
+``explain_jobs`` prints each MapReduce job the way the paper's Figs. 5/6
+describe them — map inputs with their emission roles, the reduce-phase
+task chain (shuffle-fed merged reducers, then post-job computations),
+and the datasets written — so the effect of every merge rule is visible
+without running anything.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mr.job import MRJob
+from repro.ops.tasks import (AggTask, JoinTask, ReduceTask, SPTask,
+                             TaskInput, UnionTask)
+
+
+def _describe_input(inp: TaskInput) -> str:
+    if inp.kind == "task":
+        return f"task {inp.ref}"
+    keys = ", ".join(inp.key_names) or "<global>"
+    return f"shuffle role {inp.ref} (key: {keys})"
+
+
+def _describe_task(task: ReduceTask) -> List[str]:
+    lines: List[str] = []
+    if isinstance(task, JoinTask):
+        lines.append(f"{task.task_id}: {task.join_type.upper()} JOIN")
+        lines.append(f"   left  <- {_describe_input(task.left_input)}")
+        lines.append(f"   right <- {_describe_input(task.right_input)}")
+        if task.residual is not None:
+            lines.append("   + residual predicate")
+    elif isinstance(task, AggTask):
+        kind = "GLOBAL AGG" if task.global_agg else "AGG"
+        groups = ", ".join(slot for slot, _ in task.group_exprs) or "<none>"
+        aggs = ", ".join(f"{func}->{slot}"
+                         for slot, func, _arg, _d, _s in task.agg_specs)
+        lines.append(f"{task.task_id}: {kind} group[{groups}] "
+                     f"compute[{aggs}]"
+                     + (" (merging combiner partials)" if task.partial
+                        else ""))
+        lines.append(f"   in <- {_describe_input(task.inputs[0])}")
+    elif isinstance(task, UnionTask):
+        lines.append(f"{task.task_id}: UNION ALL of {len(task.inputs)} "
+                     "branches")
+        for inp in task.inputs:
+            lines.append(f"   in <- {_describe_input(inp)}")
+    elif isinstance(task, SPTask):
+        lines.append(f"{task.task_id}: SELECT/PROJECT")
+        lines.append(f"   in <- {_describe_input(task.inputs[0])}")
+    else:
+        lines.append(f"{task.task_id}: {type(task).__name__}")
+        for inp in task.inputs:
+            lines.append(f"   in <- {_describe_input(inp)}")
+    if len(task.stages):
+        lines.append(f"   + {len(task.stages)} result stage(s)")
+    return lines
+
+
+def explain_job(job: MRJob) -> str:
+    """Multi-line description of one job's map and reduce structure."""
+    lines = [f"JOB {job.job_id} [{job.name}]"]
+    lines.append("  map phase:")
+    for mi in job.map_inputs:
+        roles = ", ".join(spec.role for spec in mi.specs)
+        shared = " (shared scan)" if len(mi.specs) > 1 else ""
+        lines.append(f"    scan {mi.dataset} -> roles [{roles}]{shared}")
+    if job.map_agg is not None:
+        lines.append("    + map-side hash aggregation (combiner)")
+    lines.append("  reduce phase:")
+    tasks = getattr(job.reducer, "tasks", [])
+    for task in tasks:
+        for line in _describe_task(task):
+            lines.append(f"    {line}")
+    extras = []
+    if job.sort_output:
+        order = ", ".join("ASC" if a else "DESC" for a in job.sort_ascending)
+        extras.append(f"total-order output ({order or 'ASC'})")
+    if job.limit is not None:
+        extras.append(f"LIMIT {job.limit}")
+    if extras:
+        lines.append(f"  {'; '.join(extras)}")
+    lines.append("  writes:")
+    for out in job.outputs:
+        lines.append(f"    {out.dataset} ({len(out.columns)} columns, "
+                     f"from {out.task_id})")
+    return "\n".join(lines)
+
+
+def explain_jobs(jobs: List[MRJob]) -> str:
+    """Describe a whole translation's job chain."""
+    return "\n\n".join(explain_job(job) for job in jobs)

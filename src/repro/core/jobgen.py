@@ -1,0 +1,320 @@
+"""Job generation: one-operation-to-one-job drafts and merge Rules 1–4.
+
+A :class:`JobDraft` is the pre-compilation form of one MapReduce job: the
+set of plan operator nodes it executes.  Generation starts from the naive
+one-operation-to-one-job chain (post-order traversal, paper Sec. V-A) and
+then — in YSmart mode — applies the paper's two merge steps:
+
+* **Step 1 (Rule 1)**: merge independent jobs with input correlation and
+  transit correlation into a common job (shared scan, shared shuffle).
+* **Step 2 (Rules 2–4)**: fold a parent operation into the reduce phase
+  of the job that produces its input, when job flow correlation holds:
+
+  - Rule 2: an AGGREGATION job merges into its only preceding job;
+  - Rule 3: a JOIN whose two preceding jobs already share a common job
+    merges into that job's reduce phase;
+  - Rule 4: a JOIN with JFC toward one preceding job merges into it,
+    provided its other input is finished first (a base table, or a job
+    scheduled earlier) — YSmart exchanges join children during traversal
+    (``swap_children``) to make this hold as often as possible.
+
+Scheduling follows the paper's model: the job sequence is fixed by the
+post-order position of each draft's earliest node, and Rule 4 only fires
+when the other input is available *under that fixed sequence* (the Fig. 7
+example: plan (a) yields three jobs, the swapped plan (b) yields two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.correlation import CorrelationAnalysis
+from repro.errors import TranslationError
+from repro.plan.nodes import (AggNode, JoinNode, PlanNode, ScanNode,
+                              SortNode, UnionNode)
+
+
+@dataclass
+class JobDraft:
+    """One future MapReduce job: the operator nodes it executes, in
+    dependency (post-order) order."""
+
+    draft_id: int
+    nodes: List[PlanNode] = field(default_factory=list)
+
+    @property
+    def labels(self) -> List[str]:
+        return [n.label for n in self.nodes]
+
+    def __contains__(self, node: PlanNode) -> bool:
+        return any(n is node for n in self.nodes)
+
+
+class JobGraph:
+    """The evolving set of drafts for one plan tree."""
+
+    def __init__(self, root, analysis: CorrelationAnalysis):
+        self.roots: List[PlanNode] = (
+            list(root) if isinstance(root, (list, tuple)) else [root])
+        self.root = self.roots[0]
+        self.analysis = analysis
+        self.post_index: Dict[int, int] = {}
+        self.drafts: List[JobDraft] = []
+        self._node_draft: Dict[int, JobDraft] = {}
+        counter = 0
+        for tree in self.roots:
+            for node in tree.post_order():
+                self.post_index[id(node)] = counter
+                counter += 1
+                # Scans fold into their consumer's map phase — except a
+                # bare-scan root, which becomes a SELECTION-PROJECTION
+                # job of its own (the paper's SP job type).
+                if isinstance(node, ScanNode) and node is not tree:
+                    continue
+                draft = JobDraft(len(self.drafts), [node])
+                self.drafts.append(draft)
+                self._node_draft[id(node)] = draft
+
+    def all_nodes_post_order(self):
+        for tree in self.roots:
+            yield from tree.post_order()
+
+    # -- structure ---------------------------------------------------------------
+
+    def draft_of(self, node: PlanNode) -> JobDraft:
+        try:
+            return self._node_draft[id(node)]
+        except KeyError:
+            raise TranslationError(
+                f"node {node.label} has no draft (is it a scan?)") from None
+
+    def position(self, draft: JobDraft) -> int:
+        """Scheduling position: the post-order index of the earliest node."""
+        return min(self.post_index[id(n)] for n in draft.nodes)
+
+    def operator_children(self, node: PlanNode) -> List[PlanNode]:
+        return [c for c in node.children if not isinstance(c, ScanNode)]
+
+    def direct_deps(self, draft: JobDraft) -> Set[int]:
+        """Drafts whose outputs this draft reads."""
+        deps: Set[int] = set()
+        for node in draft.nodes:
+            for child in self.operator_children(node):
+                child_draft = self.draft_of(child)
+                if child_draft is not draft:
+                    deps.add(child_draft.draft_id)
+        return deps
+
+    def depends_on(self, a: JobDraft, b: JobDraft) -> bool:
+        """True if ``a`` (transitively) needs ``b``'s output."""
+        seen: Set[int] = set()
+        stack = [a]
+        by_id = {d.draft_id: d for d in self.drafts}
+        while stack:
+            cur = stack.pop()
+            for dep_id in self.direct_deps(cur):
+                if dep_id == b.draft_id:
+                    return True
+                if dep_id not in seen:
+                    seen.add(dep_id)
+                    stack.append(by_id[dep_id])
+        return False
+
+    # -- merging primitives -----------------------------------------------------------
+
+    def merge_drafts(self, target: JobDraft, victim: JobDraft) -> None:
+        """Fold ``victim``'s nodes into ``target`` (step-1 merges)."""
+        if target is victim:
+            return
+        merged = sorted(target.nodes + victim.nodes,
+                        key=lambda n: self.post_index[id(n)])
+        target.nodes = merged
+        for node in victim.nodes:
+            self._node_draft[id(node)] = target
+        self.drafts.remove(victim)
+
+    def absorb_node(self, target: JobDraft, node: PlanNode) -> None:
+        """Fold a single-node draft's node into ``target`` (step-2 merges:
+        the node becomes a post-job computation in target's reduce)."""
+        victim = self.draft_of(node)
+        if victim is target:
+            return
+        if len(victim.nodes) != 1:
+            raise TranslationError(
+                f"cannot absorb {node.label}: its draft holds "
+                f"{victim.labels}")
+        self.merge_drafts(target, victim)
+
+    # -- outputs & scheduling -----------------------------------------------------------
+
+    def written_nodes(self, draft: JobDraft) -> List[PlanNode]:
+        """Nodes whose results this draft materializes to HDFS: the plan
+        root plus any node whose parent lives in another draft."""
+        written: List[PlanNode] = []
+        for node in draft.nodes:
+            parent = self.analysis.parent_of(node)
+            if parent is None or parent not in draft:
+                written.append(node)
+        return written
+
+    def schedule(self) -> List[JobDraft]:
+        """Topological order of drafts, stable by post-order position."""
+        order: List[JobDraft] = []
+        pending = sorted(self.drafts, key=self.position)
+        emitted: Set[int] = set()
+        while pending:
+            for i, draft in enumerate(pending):
+                if self.direct_deps(draft) <= emitted:
+                    order.append(draft)
+                    emitted.add(draft.draft_id)
+                    pending.pop(i)
+                    break
+            else:
+                raise TranslationError(
+                    "job drafts contain a dependency cycle: "
+                    + "; ".join(str(d.labels) for d in pending))
+        return order
+
+    def job_count(self) -> int:
+        return len(self.drafts)
+
+
+# ---------------------------------------------------------------------------
+# Generation & merging
+# ---------------------------------------------------------------------------
+
+def apply_rule4_swaps(root: PlanNode, analysis: CorrelationAnalysis) -> int:
+    """Exchange join children so the non-JFC child's jobs run first
+    (paper Rule 4's traversal-time exchange).  Returns the swap count."""
+    swaps = 0
+    for node in root.post_order():
+        if not isinstance(node, JoinNode):
+            continue
+        left_op = not isinstance(node.left, ScanNode)
+        right_op = not isinstance(node.right, ScanNode)
+        if not (left_op and right_op):
+            continue
+        jfc_left = analysis.job_flow_correlated(node, node.left)
+        jfc_right = analysis.job_flow_correlated(node, node.right)
+        if jfc_left and not jfc_right:
+            node.swap_children()
+            swaps += 1
+    return swaps
+
+
+def one_to_one_graph(root: PlanNode, analysis: CorrelationAnalysis) -> JobGraph:
+    """The naive one-operation-to-one-job translation (Hive/Pig mode)."""
+    return JobGraph(root, analysis)
+
+
+def merge_step1(graph: JobGraph) -> int:
+    """Rule 1: merge independent drafts with IC + TC.  Returns merges done."""
+    analysis = graph.analysis
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        drafts = sorted(graph.drafts, key=graph.position)
+        for i, da in enumerate(drafts):
+            for db in drafts[i + 1:]:
+                if graph.depends_on(da, db) or graph.depends_on(db, da):
+                    continue
+                correlated = any(
+                    analysis.transit_correlated(na, nb)
+                    for na in da.nodes for nb in db.nodes)
+                if correlated:
+                    graph.merge_drafts(da, db)
+                    merges += 1
+                    changed = True
+                    break
+            if changed:
+                break
+    return merges
+
+
+def merge_step2(graph: JobGraph) -> int:
+    """Rules 2–4: fold JFC parents into their producing jobs."""
+    analysis = graph.analysis
+    merges = 0
+    for node in graph.all_nodes_post_order():
+        if isinstance(node, (ScanNode, SortNode, UnionNode)):
+            continue
+        if isinstance(node, AggNode):
+            if node.is_global:
+                continue
+            child = node.child
+            if isinstance(child, ScanNode):
+                continue
+            if analysis.job_flow_correlated(node, child):
+                target = graph.draft_of(child)
+                if node not in target:
+                    graph.absorb_node(target, node)
+                    merges += 1
+            continue
+
+        if isinstance(node, JoinNode):
+            if _merge_join(graph, node):
+                merges += 1
+    return merges
+
+
+def _merge_join(graph: JobGraph, node: JoinNode) -> bool:
+    analysis = graph.analysis
+    op_children = graph.operator_children(node)
+    jfc_children = [c for c in op_children
+                    if analysis.job_flow_correlated(node, c)]
+    if not jfc_children:
+        return False
+
+    # Rule 3: both preceding jobs already share a common job.
+    if len(op_children) == 2:
+        da, db = graph.draft_of(op_children[0]), graph.draft_of(op_children[1])
+        if da is db and len(jfc_children) == 2:
+            graph.absorb_node(da, node)
+            return True
+
+    # Rule 4: merge into the latest-scheduled JFC child's job, if the
+    # other input is finished first under the fixed schedule.
+    candidates = sorted(
+        jfc_children,
+        key=lambda c: graph.position(graph.draft_of(c)), reverse=True)
+    for child in candidates:
+        target = graph.draft_of(child)
+        ok = True
+        for other in node.children:
+            if other is child or isinstance(other, ScanNode):
+                continue  # base tables are always available
+            other_draft = graph.draft_of(other)
+            if other_draft is target:
+                continue
+            if (graph.position(other_draft) > graph.position(target)
+                    or graph.depends_on(other_draft, target)):
+                ok = False
+                break
+        if ok:
+            graph.absorb_node(target, node)
+            return True
+    return False
+
+
+def generate_job_graph(root: PlanNode,
+                       analysis: Optional[CorrelationAnalysis] = None,
+                       use_rule1: bool = True,
+                       use_rule234: bool = True,
+                       use_swaps: bool = True,
+                       agg_pk_heuristic: str = "max_connections") -> JobGraph:
+    """Full YSmart job generation (flags stage the Fig. 9 ablation:
+    one-op-one-job / IC+TC only / all correlations; ``agg_pk_heuristic``
+    ablates the PK-selection rule)."""
+    analysis = analysis or CorrelationAnalysis(root, agg_pk_heuristic)
+    if use_swaps and use_rule234:
+        if apply_rule4_swaps(root, analysis):
+            # Swaps change post-order; rebuild indices on a fresh graph.
+            analysis = CorrelationAnalysis(root, agg_pk_heuristic)
+    graph = one_to_one_graph(root, analysis)
+    if use_rule1:
+        merge_step1(graph)
+    if use_rule234:
+        merge_step2(graph)
+    return graph

@@ -1,0 +1,143 @@
+"""Top-level translators: SQL/plan → executable MapReduce job chains.
+
+``translate`` produces a :class:`Translation` in one of several modes:
+
+* ``"ysmart"`` — the paper's system: Rule-4 child exchange, Rule 1
+  (IC+TC common jobs), Rules 2–4 (JFC reduce-phase merging), shared
+  scans, canonical payload sharing, map-side aggregation.
+* ``"ysmart_ic_tc"`` — Rule 1 only (the Fig. 9 middle bar).
+* ``"one_to_one"`` — no merging at all (the Fig. 9 baseline): the
+  one-operation-to-one-job translation through YSmart's own primitives.
+* ``"hive"`` — the Hive baseline: one-operation-to-one-job with
+  map-side hash aggregation (paper footnote 2).
+* ``"pig"`` — the Pig baseline: one-operation-to-one-job, no map-side
+  aggregation, and a fatter intermediate serialization (the paper
+  observed Pig producing much larger intermediate results —
+  ``intermediate_inflation`` carries that to the cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import Catalog, standard_catalog
+from repro.core.compile import CompileOptions, JobCompiler
+from repro.core.correlation import CorrelationAnalysis
+from repro.core.jobgen import JobGraph, generate_job_graph
+from repro.errors import TranslationError
+from repro.mr.job import MRJob
+from repro.mr.kv import TagPolicy
+from repro.plan.nodes import PlanNode
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+
+TRANSLATOR_MODES = ("ysmart", "ysmart_ic_tc", "one_to_one", "hive", "pig")
+
+
+@dataclass
+class Translation:
+    """The result of translating one query."""
+
+    mode: str
+    jobs: List[MRJob]
+    #: None for hand-coded programs that bypass plan-based generation
+    graph: Optional[JobGraph]
+    analysis: Optional[CorrelationAnalysis]
+    final_dataset: str
+    output_columns: List[str]
+    #: cost-model multiplier on intermediate/shuffle bytes (Pig's fatter
+    #: tuple encoding; 1.0 elsewhere)
+    intermediate_inflation: float = 1.0
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+    def describe(self) -> str:
+        lines = [f"mode={self.mode} jobs={self.job_count}"]
+        for job in self.jobs:
+            inputs = ", ".join(job.input_datasets)
+            outs = ", ".join(job.output_datasets)
+            lines.append(f"  {job.job_id} [{job.name}] reads({inputs}) "
+                         f"writes({outs})")
+        return "\n".join(lines)
+
+    def explain_jobs(self) -> str:
+        """Paper-Fig.-5/6-style rendering of every job's map emissions,
+        reduce task chain, and outputs."""
+        from repro.core.explain_jobs import explain_jobs
+        return explain_jobs(self.jobs)
+
+
+#: Serialization inflation applied to the Pig baseline's intermediate and
+#: shuffle bytes by the cost model (Pig's self-describing tuple format).
+PIG_INTERMEDIATE_INFLATION = 1.9
+
+
+def translate_plan(plan: PlanNode, mode: str = "ysmart",
+                   namespace: str = "q",
+                   num_reducers: int = 8) -> Translation:
+    """Translate a planned query tree into MapReduce jobs."""
+    if mode not in TRANSLATOR_MODES:
+        raise TranslationError(
+            f"unknown translator mode {mode!r}; pick from {TRANSLATOR_MODES}")
+
+    if mode == "ysmart":
+        graph = generate_job_graph(plan)
+        options = CompileOptions(num_reducers=num_reducers,
+                                 map_side_agg=True,
+                                 canonical_payload=True,
+                                 tag_policy=TagPolicy.BEST)
+    elif mode == "ysmart_ic_tc":
+        graph = generate_job_graph(plan, use_rule1=True, use_rule234=False,
+                                   use_swaps=False)
+        options = CompileOptions(num_reducers=num_reducers,
+                                 map_side_agg=True,
+                                 canonical_payload=True,
+                                 tag_policy=TagPolicy.BEST)
+    elif mode == "one_to_one":
+        graph = generate_job_graph(plan, use_rule1=False, use_rule234=False,
+                                   use_swaps=False)
+        options = CompileOptions(num_reducers=num_reducers,
+                                 map_side_agg=True,
+                                 canonical_payload=True,
+                                 tag_policy=TagPolicy.BEST)
+    elif mode == "hive":
+        graph = generate_job_graph(plan, use_rule1=False, use_rule234=False,
+                                   use_swaps=False)
+        options = CompileOptions(num_reducers=num_reducers,
+                                 map_side_agg=True,
+                                 canonical_payload=False,
+                                 tag_policy=TagPolicy.DIRECT)
+    else:  # pig
+        graph = generate_job_graph(plan, use_rule1=False, use_rule234=False,
+                                   use_swaps=False)
+        options = CompileOptions(num_reducers=num_reducers,
+                                 map_side_agg=False,
+                                 canonical_payload=False,
+                                 tag_policy=TagPolicy.DIRECT)
+
+    compiler = JobCompiler(graph, f"{namespace}.{mode}", options)
+    jobs = compiler.compile()
+    final = compiler.dataset_name(graph.root)
+    return Translation(
+        mode=mode,
+        jobs=jobs,
+        graph=graph,
+        analysis=graph.analysis,
+        final_dataset=final,
+        output_columns=list(graph.root.output_names),
+        intermediate_inflation=(PIG_INTERMEDIATE_INFLATION
+                                if mode == "pig" else 1.0),
+    )
+
+
+def translate_sql(sql: str, mode: str = "ysmart",
+                  catalog: Optional[Catalog] = None,
+                  namespace: str = "q",
+                  num_reducers: int = 8) -> Translation:
+    """Parse, plan, and translate a SQL string."""
+    plan = plan_query(parse_sql(sql), catalog or standard_catalog())
+    return translate_plan(plan, mode=mode, namespace=namespace,
+                          num_reducers=num_reducers)

@@ -1,0 +1,34 @@
+"""Data layer: tables, the datastore (HDFS stand-in), and workload generators."""
+
+from repro.data.clickstream import (
+    CATEGORY_X,
+    CATEGORY_Y,
+    ClickstreamConfig,
+    generate_clickstream,
+)
+from repro.data.datastore import Datastore
+from repro.data.io import (
+    load_datastore,
+    read_table,
+    save_datastore,
+    write_table,
+)
+from repro.data.table import Row, Table, rows_equal_unordered
+from repro.data.tpch import TpchConfig, generate_tpch
+
+__all__ = [
+    "CATEGORY_X",
+    "CATEGORY_Y",
+    "ClickstreamConfig",
+    "Datastore",
+    "Row",
+    "Table",
+    "TpchConfig",
+    "generate_clickstream",
+    "generate_tpch",
+    "load_datastore",
+    "read_table",
+    "rows_equal_unordered",
+    "save_datastore",
+    "write_table",
+]

@@ -1,0 +1,96 @@
+"""A click-stream generator for the Q-CSA / Q-AGG workload.
+
+The paper's CLICKS table stores ``(uid, pid, cid, ts)`` events.  Q-CSA asks
+"what is the average number of pages a user visits between a page in
+category X and a page in category Y", so the generator must produce users
+whose streams contain category-X events followed by category-Y events with
+ordinary page views in between.  Each user's stream is a sequence of
+sessions; with probability ``xy_session_fraction`` a session is an "X…Y"
+session: an X click, a run of filler clicks, then a Y click.
+
+Timestamps are strictly increasing per user (integer epoch seconds), which
+matches the paper's use of ``min``/``max``/range predicates over ``ts``.
+Category popularity is Zipf-like so Q-AGG's per-category counts are skewed
+the way real click data is.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import CLICKS_SCHEMA
+from repro.data.table import Row, Table
+from repro.errors import DataGenError
+
+#: Category ids used by the canonical Q-CSA instance ("category X and Y").
+CATEGORY_X = 1
+CATEGORY_Y = 2
+
+
+@dataclass
+class ClickstreamConfig:
+    """Knobs for the click-stream generator."""
+
+    num_users: int = 100
+    sessions_per_user: int = 4
+    mean_session_length: int = 8
+    num_pages: int = 1000
+    num_categories: int = 20
+    xy_session_fraction: float = 0.5
+    seed: int = 2011
+
+    def __post_init__(self):
+        if self.num_users < 1:
+            raise DataGenError("num_users must be >= 1")
+        if self.num_categories < 3:
+            raise DataGenError("num_categories must be >= 3 (X, Y, and filler)")
+        if self.mean_session_length < 2:
+            raise DataGenError("mean_session_length must be >= 2")
+        if not 0.0 <= self.xy_session_fraction <= 1.0:
+            raise DataGenError("xy_session_fraction must be in [0, 1]")
+
+
+def _zipf_category(rng: random.Random, num_categories: int) -> int:
+    """Zipf-ish category draw over the filler categories (excludes X and Y)."""
+    # Harmonic-weighted choice; categories 3..num_categories.
+    total = sum(1.0 / k for k in range(1, num_categories - 1))
+    target = rng.random() * total
+    acc = 0.0
+    for k in range(1, num_categories - 1):
+        acc += 1.0 / k
+        if acc >= target:
+            return k + 2  # shift past X=1, Y=2
+    return num_categories
+
+
+def generate_clickstream(config: Optional[ClickstreamConfig] = None) -> Table:
+    """Generate the CLICKS table."""
+    cfg = config or ClickstreamConfig()
+    rng = random.Random(cfg.seed)
+    rows: List[Row] = []
+
+    for uid in range(1, cfg.num_users + 1):
+        ts = rng.randint(1_000_000, 1_100_000)
+        for _ in range(cfg.sessions_per_user):
+            length = max(2, int(rng.expovariate(1.0 / cfg.mean_session_length)) + 2)
+            is_xy = rng.random() < cfg.xy_session_fraction
+            for pos in range(length):
+                ts += rng.randint(5, 600)
+                if is_xy and pos == 0:
+                    cid = CATEGORY_X
+                elif is_xy and pos == length - 1:
+                    cid = CATEGORY_Y
+                else:
+                    cid = _zipf_category(rng, cfg.num_categories)
+                rows.append({
+                    "uid": uid,
+                    "pid": rng.randint(1, cfg.num_pages),
+                    "cid": cid,
+                    "ts": ts,
+                })
+            # Gap between sessions.
+            ts += rng.randint(3_600, 86_400)
+
+    return Table("clicks", CLICKS_SCHEMA, rows)

@@ -1,0 +1,85 @@
+"""The datastore: named datasets shared by base tables and job outputs.
+
+A :class:`Datastore` plays the role of HDFS in the simulation: translators
+read base tables from it, every MapReduce job writes its output dataset back
+into it, and the cost model charges HDFS read/write traffic against the
+byte sizes reported here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.data.table import Row, Table
+from repro.errors import CatalogError, ExecutionError
+
+
+class Datastore:
+    """Named :class:`Table` storage with a distinction between base tables
+    (registered in the catalog) and intermediate datasets (job outputs)."""
+
+    def __init__(self, catalog: Optional[Catalog] = None):
+        self.catalog = catalog or Catalog()
+        self._tables: Dict[str, Table] = {}
+        self._intermediates: Dict[str, Table] = {}
+
+    # -- base tables --------------------------------------------------------
+
+    def load_table(self, table: Table, register_schema: bool = True) -> None:
+        """Store a base table, registering its schema in the catalog."""
+        key = table.name.lower()
+        self._tables[key] = table
+        if register_schema and not self.catalog.has(key):
+            self.catalog.register(key, table.schema)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table loaded under name {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    # -- intermediate datasets ----------------------------------------------
+
+    def write_intermediate(self, name: str, table: Table, replace: bool = True) -> None:
+        if not replace and name in self._intermediates:
+            raise ExecutionError(f"intermediate dataset {name!r} already exists")
+        self._intermediates[name] = table
+
+    def intermediate(self, name: str) -> Table:
+        try:
+            return self._intermediates[name]
+        except KeyError:
+            raise ExecutionError(f"no intermediate dataset {name!r}") from None
+
+    def drop_intermediates(self) -> None:
+        self._intermediates.clear()
+
+    def intermediate_names(self) -> List[str]:
+        return sorted(self._intermediates)
+
+    # -- unified resolution --------------------------------------------------
+
+    def resolve(self, name: str) -> Table:
+        """Return the dataset called ``name``, preferring intermediates.
+
+        Job inputs name either a base table or an upstream job's output;
+        intermediates take priority so a job chain can legally shadow a
+        table name (which never happens with our generated names, but keeps
+        resolution total).
+        """
+        if name in self._intermediates:
+            return self._intermediates[name]
+        if self.has_table(name):
+            return self.table(name)
+        raise ExecutionError(f"dataset {name!r} is neither a table nor an intermediate")
+
+    def dataset_bytes(self, name: str) -> int:
+        return self.resolve(name).estimated_bytes()

@@ -1,0 +1,114 @@
+r"""Table persistence: the delimited text format of Hadoop-era warehouses.
+
+Tables round-trip through the ``|``-delimited text encoding classic
+Hive/TPC-H tooling used (``dbgen`` emits exactly this).  NULL is encoded
+as ``\N`` (Hive's convention); values parse back through the schema's
+column types, so a written+read table compares equal.
+
+``save_datastore``/``load_datastore`` persist a whole set of base tables
+plus a small JSON manifest carrying the schemas — handy for freezing a
+generated workload and re-using it across benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import ColumnType
+from repro.data.datastore import Datastore
+from repro.data.table import Row, Table
+from repro.errors import CatalogError, DataGenError
+
+#: Hive's text-format NULL marker.
+NULL_TOKEN = r"\N"
+DELIMITER = "|"
+MANIFEST_NAME = "manifest.json"
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return NULL_TOKEN
+    text = str(value)
+    if DELIMITER in text or "\n" in text:
+        raise DataGenError(
+            f"value {text!r} contains the field delimiter or a newline; "
+            "the text format cannot represent it")
+    return text
+
+
+def _parse(token: str, column_type: ColumnType) -> object:
+    if token == NULL_TOKEN:
+        return None
+    if column_type in (ColumnType.INT, ColumnType.TIMESTAMP):
+        return int(token)
+    if column_type is ColumnType.FLOAT:
+        return float(token)
+    # STRING / DATE / ANY stay textual (ANY loses its Python type on a
+    # round-trip, which is why only base tables are persisted).
+    return token
+
+
+def write_table(table: Table, path: str) -> int:
+    """Write a table as delimited text; returns the row count."""
+    names = table.schema.names
+    with open(path, "w", encoding="utf-8") as f:
+        for row in table.rows:
+            f.write(DELIMITER.join(_render(row[c]) for c in names))
+            f.write("\n")
+    return len(table.rows)
+
+
+def read_table(path: str, name: str, schema: Schema) -> Table:
+    """Read a delimited text file into a table with ``schema``."""
+    types = [c.type for c in schema.columns]
+    names = schema.names
+    rows: List[Row] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            tokens = line.split(DELIMITER)
+            if len(tokens) != len(names):
+                raise CatalogError(
+                    f"{path}:{line_no}: expected {len(names)} fields, "
+                    f"found {len(tokens)}")
+            rows.append({n: _parse(t, typ)
+                         for n, t, typ in zip(names, tokens, types)})
+    return Table(name, schema, rows)
+
+
+def save_datastore(datastore: Datastore, directory: str,
+                   tables: Optional[Iterable[str]] = None) -> List[str]:
+    """Persist base tables (and their schemas) under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    names = sorted(tables) if tables is not None else datastore.table_names()
+    manifest: Dict[str, Dict[str, str]] = {}
+    for name in names:
+        table = datastore.table(name)
+        write_table(table, os.path.join(directory, f"{name}.tbl"))
+        manifest[name] = {c.name: c.type.value for c in table.schema.columns}
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as f:
+        json.dump(manifest, f, indent=2)
+    return names
+
+
+def load_datastore(directory: str,
+                   datastore: Optional[Datastore] = None) -> Datastore:
+    """Load every table recorded in a directory's manifest."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise DataGenError(f"no {MANIFEST_NAME} in {directory!r}")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    ds = datastore or Datastore()
+    for name, spec in manifest.items():
+        schema = Schema(Column(col, ColumnType.parse(t))
+                        for col, t in spec.items())
+        table = read_table(os.path.join(directory, f"{name}.tbl"),
+                           name, schema)
+        ds.load_table(table, register_schema=not ds.catalog.has(name))
+    return ds

@@ -1,0 +1,114 @@
+"""In-memory tables.
+
+Rows are plain ``dict`` objects mapping column name → value (``None`` for
+SQL NULL).  This favours readability over raw speed, which is the right
+trade-off for a simulator: the MR engine, the reference executor, and the
+CMF all manipulate the same row representation, so results can be compared
+structurally in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.catalog.schema import Schema
+from repro.errors import CatalogError
+
+Row = Dict[str, object]
+
+
+class Table:
+    """A schema plus a list of rows.
+
+    ``validate=True`` type-checks every row on construction; generators and
+    tests use it, hot paths (MR intermediate datasets) skip it.
+    """
+
+    __slots__ = ("name", "schema", "rows")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Optional[Iterable[Row]] = None,
+        validate: bool = False,
+    ):
+        self.name = name
+        self.schema = schema
+        self.rows: List[Row] = list(rows) if rows is not None else []
+        if validate:
+            for row in self.rows:
+                schema.validate_row(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.rows)} rows, {self.schema!r})"
+
+    def append(self, row: Row, validate: bool = False) -> None:
+        if validate:
+            self.schema.validate_row(row)
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        self.rows.extend(rows)
+
+    def column_values(self, column: str) -> List[object]:
+        """Return all values of ``column`` in row order."""
+        self.schema.column(column)  # raises on unknown column
+        return [row[column] for row in self.rows]
+
+    def estimated_bytes(self) -> int:
+        """Deterministic size estimate used by the storage/cost layer.
+
+        Each value costs its string rendering plus one delimiter byte; this
+        tracks the text-file encoding Hadoop jobs in the paper read.
+        """
+        total = 0
+        for row in self.rows:
+            for col in self.schema.names:
+                total += len(str(row[col])) + 1
+        return total
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows sorted by their full value tuple — a canonical order for
+        result comparison in tests (``None`` sorts first)."""
+        names = self.schema.names
+
+        def key(row: Row):
+            return tuple(
+                (row[c] is not None, row[c]) for c in names
+            )
+
+        return sorted(self.rows, key=key)
+
+    def copy(self, name: Optional[str] = None) -> "Table":
+        return Table(name or self.name, self.schema, (dict(r) for r in self.rows))
+
+
+def rows_equal_unordered(a: Sequence[Row], b: Sequence[Row], columns: Sequence[str],
+                         float_tol: float = 1e-9) -> bool:
+    """Compare two row collections as multisets over ``columns``.
+
+    Floats are rounded into buckets of ``float_tol`` before comparison so
+    that different (but mathematically equivalent) aggregation orders do
+    not produce spurious mismatches.
+    """
+    def canon(rows: Sequence[Row]):
+        out = []
+        for row in rows:
+            vals = []
+            for c in columns:
+                v = row[c]
+                if isinstance(v, float):
+                    v = round(v / float_tol) if float_tol else v
+                vals.append((v is None, v))
+            out.append(tuple(vals))
+        out.sort()
+        return out
+
+    return canon(a) == canon(b)

@@ -1,0 +1,269 @@
+"""A deterministic TPC-H subset generator.
+
+Generates the six tables used by the paper's DSS workload (Q17/Q18/Q21):
+``lineitem``, ``orders``, ``customer``, ``part``, ``supplier``, ``nation``.
+Cardinalities follow the TPC-H ratios (orders = 1,500,000 × SF, lineitem
+≈ 4 lines/order, customer = 150,000 × SF, part = 200,000 × SF, supplier =
+10,000 × SF), driven by a seeded :class:`random.Random` so runs are fully
+reproducible.
+
+Value distributions only need to be realistic *for the predicates the paper
+queries touch*:
+
+* ``l_receiptdate > l_commitdate`` holds for roughly a quarter of lineitems
+  (drives Q21's "late supplier" logic);
+* ``o_orderstatus = 'F'`` holds for roughly half of orders (Q21 filter);
+* ``l_quantity`` is uniform on [1, 50] (Q17's ``0.2 * avg`` inner query and
+  Q18's large-quantity filter);
+* orders usually have multiple lineitems and multiple suppliers per order
+  (Q21's ``count(distinct l_suppkey)`` needs both the >1 and =1 cases).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import TPCH_SCHEMAS
+from repro.data.table import Row, Table
+from repro.errors import DataGenError
+
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+_CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+    "JUMBO BAG", "JUMBO BOX", "JUMBO PKG", "JUMBO PACK",
+]
+_TYPES = [
+    "STANDARD ANODIZED TIN", "SMALL BRUSHED COPPER", "MEDIUM PLATED STEEL",
+    "ECONOMY POLISHED BRASS", "PROMO BURNISHED NICKEL", "LARGE PLATED TIN",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    """A random ISO date; day capped at 28 so every month is valid."""
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _shift_date(date: str, days: int) -> str:
+    """Shift an ISO date by a small number of days, staying inside the month
+    when possible (keeps ordering semantics without a calendar library)."""
+    year, month, day = (int(p) for p in date.split("-"))
+    day += days
+    while day > 28:
+        day -= 28
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    while day < 1:
+        day += 28
+        month -= 1
+        if month < 1:
+            month = 12
+            year -= 1
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+@dataclass
+class TpchConfig:
+    """Knobs for the generator.
+
+    ``scale_factor`` follows TPC-H semantics (SF 1.0 ≈ 6 M lineitems); the
+    defaults target unit-test scale.  The three probability knobs exist so
+    property tests can push the workload toward Q21/Q17 edge cases.
+    """
+
+    scale_factor: float = 0.001
+    seed: int = 2011
+    late_delivery_fraction: float = 0.25
+    failed_order_fraction: float = 0.5
+    max_lines_per_order: int = 7
+
+    def __post_init__(self):
+        if self.scale_factor <= 0:
+            raise DataGenError("scale_factor must be positive")
+        if not 0.0 <= self.late_delivery_fraction <= 1.0:
+            raise DataGenError("late_delivery_fraction must be in [0, 1]")
+        if not 0.0 <= self.failed_order_fraction <= 1.0:
+            raise DataGenError("failed_order_fraction must be in [0, 1]")
+        if self.max_lines_per_order < 1:
+            raise DataGenError("max_lines_per_order must be >= 1")
+
+    @property
+    def num_orders(self) -> int:
+        return max(1, int(1_500_000 * self.scale_factor))
+
+    @property
+    def num_customers(self) -> int:
+        return max(1, int(150_000 * self.scale_factor))
+
+    @property
+    def num_parts(self) -> int:
+        return max(1, int(200_000 * self.scale_factor))
+
+    @property
+    def num_suppliers(self) -> int:
+        return max(1, int(10_000 * self.scale_factor))
+
+
+def generate_tpch(config: Optional[TpchConfig] = None) -> Dict[str, Table]:
+    """Generate the TPC-H subset as ``{table_name: Table}``."""
+    cfg = config or TpchConfig()
+    rng = random.Random(cfg.seed)
+
+    nation = _gen_nation()
+    supplier = _gen_supplier(cfg, rng)
+    customer = _gen_customer(cfg, rng)
+    part = _gen_part(cfg, rng)
+    orders, lineitem = _gen_orders_and_lineitem(cfg, rng)
+
+    return {
+        "nation": nation,
+        "supplier": supplier,
+        "customer": customer,
+        "part": part,
+        "orders": orders,
+        "lineitem": lineitem,
+    }
+
+
+def _gen_nation() -> Table:
+    rows: List[Row] = [
+        {
+            "n_nationkey": i,
+            "n_name": name,
+            "n_regionkey": i % 5,
+            "n_comment": f"nation {name.lower()}",
+        }
+        for i, name in enumerate(_NATIONS)
+    ]
+    return Table("nation", TPCH_SCHEMAS["nation"], rows, validate=True)
+
+
+def _gen_supplier(cfg: TpchConfig, rng: random.Random) -> Table:
+    rows: List[Row] = []
+    for key in range(1, cfg.num_suppliers + 1):
+        rows.append({
+            "s_suppkey": key,
+            "s_name": f"Supplier#{key:09d}",
+            "s_address": f"addr-{rng.randint(0, 999999)}",
+            "s_nationkey": rng.randrange(len(_NATIONS)),
+            "s_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "s_comment": f"supplier comment {key}",
+        })
+    return Table("supplier", TPCH_SCHEMAS["supplier"], rows)
+
+
+def _gen_customer(cfg: TpchConfig, rng: random.Random) -> Table:
+    rows: List[Row] = []
+    for key in range(1, cfg.num_customers + 1):
+        rows.append({
+            "c_custkey": key,
+            "c_name": f"Customer#{key:09d}",
+            "c_address": f"addr-{rng.randint(0, 999999)}",
+            "c_nationkey": rng.randrange(len(_NATIONS)),
+            "c_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+            "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "c_mktsegment": rng.choice(_SEGMENTS),
+            "c_comment": f"customer comment {key}",
+        })
+    return Table("customer", TPCH_SCHEMAS["customer"], rows)
+
+
+def _gen_part(cfg: TpchConfig, rng: random.Random) -> Table:
+    rows: List[Row] = []
+    for key in range(1, cfg.num_parts + 1):
+        rows.append({
+            "p_partkey": key,
+            "p_name": f"part-{key}",
+            "p_mfgr": f"Manufacturer#{rng.randint(1, 5)}",
+            "p_brand": rng.choice(_BRANDS),
+            "p_type": rng.choice(_TYPES),
+            "p_size": rng.randint(1, 50),
+            "p_container": rng.choice(_CONTAINERS),
+            "p_retailprice": round(900 + key / 10.0 + rng.uniform(0, 100), 2),
+            "p_comment": f"part comment {key}",
+        })
+    return Table("part", TPCH_SCHEMAS["part"], rows)
+
+
+def _gen_orders_and_lineitem(cfg: TpchConfig, rng: random.Random):
+    order_rows: List[Row] = []
+    line_rows: List[Row] = []
+    for okey in range(1, cfg.num_orders + 1):
+        status = "F" if rng.random() < cfg.failed_order_fraction else "O"
+        orderdate = _date(rng)
+        # A small fraction of "big" orders (many lines, near-max quantities)
+        # gives Q18's sum(l_quantity) > 300 filter a non-empty answer at
+        # small scale factors, mirroring the rare large orders of real TPC-H.
+        big_order = rng.random() < 0.02
+        if big_order:
+            num_lines = max(7, cfg.max_lines_per_order)
+        else:
+            num_lines = rng.randint(1, cfg.max_lines_per_order)
+        totalprice = 0.0
+        # Sometimes concentrate an order on one supplier so that Q21's
+        # cs=1 branch (single-supplier orders) is exercised.
+        single_supplier = rng.random() < 0.3
+        fixed_supp = rng.randint(1, cfg.num_suppliers)
+        for lineno in range(1, num_lines + 1):
+            quantity = float(rng.randint(44, 50) if big_order
+                             else rng.randint(1, 50))
+            extendedprice = round(quantity * rng.uniform(900.0, 2000.0), 2)
+            totalprice += extendedprice
+            commitdate = _date(rng)
+            late = rng.random() < cfg.late_delivery_fraction
+            receiptdate = _shift_date(commitdate, rng.randint(1, 20) if late
+                                      else -rng.randint(0, 10))
+            line_rows.append({
+                "l_orderkey": okey,
+                "l_partkey": rng.randint(1, cfg.num_parts),
+                "l_suppkey": fixed_supp if single_supplier
+                             else rng.randint(1, cfg.num_suppliers),
+                "l_linenumber": lineno,
+                "l_quantity": quantity,
+                "l_extendedprice": extendedprice,
+                "l_discount": round(rng.uniform(0.0, 0.1), 2),
+                "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                "l_returnflag": rng.choice(["A", "N", "R"]),
+                "l_linestatus": "F" if status == "F" else "O",
+                "l_shipdate": _shift_date(orderdate, rng.randint(1, 20)),
+                "l_commitdate": commitdate,
+                "l_receiptdate": receiptdate,
+                "l_shipinstruct": rng.choice(_INSTRUCTS),
+                "l_shipmode": rng.choice(_SHIPMODES),
+                "l_comment": f"line {okey}.{lineno}",
+            })
+        order_rows.append({
+            "o_orderkey": okey,
+            "o_custkey": rng.randint(1, cfg.num_customers),
+            "o_orderstatus": status,
+            "o_totalprice": round(totalprice, 2),
+            "o_orderdate": orderdate,
+            "o_orderpriority": rng.choice(_PRIORITIES),
+            "o_clerk": f"Clerk#{rng.randint(1, 1000):09d}",
+            "o_shippriority": 0,
+            "o_comment": f"order comment {okey}",
+        })
+    orders = Table("orders", TPCH_SCHEMAS["orders"], order_rows)
+    lineitem = Table("lineitem", TPCH_SCHEMAS["lineitem"], line_rows)
+    return orders, lineitem

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the YSmart reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one type at the public API boundary.  Subsystems raise the
+most specific subclass available; messages always name the offending object
+(token, column, table, job) to keep multi-stage translation failures
+debuggable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed SQL.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    available so error messages can point into the query text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class CatalogError(ReproError):
+    """Unknown table, duplicate table, or schema violation."""
+
+
+class NameResolutionError(ReproError):
+    """A column or alias in a query could not be resolved, or is ambiguous."""
+
+
+class PlanError(ReproError):
+    """The planner could not build a valid plan tree for a parsed query."""
+
+
+class UnsupportedSqlError(PlanError):
+    """The SQL parses but uses a feature outside the paper's subset."""
+
+
+class TranslationError(ReproError):
+    """Job generation or job merging produced an inconsistent state."""
+
+
+class ExecutionError(ReproError):
+    """An MR job or the reference executor failed while evaluating a query."""
+
+
+class DataGenError(ReproError):
+    """A workload generator was asked for an impossible configuration."""
+
+
+class ConfigError(ReproError):
+    """A cluster or cost-model configuration is invalid."""

@@ -1,0 +1,43 @@
+"""Expression compilation and aggregate accumulators."""
+
+from repro.expr.aggregates import (
+    Accumulator,
+    AvgAcc,
+    CountAcc,
+    CountDistinctAcc,
+    CountStarAcc,
+    MaxAcc,
+    MinAcc,
+    StddevAcc,
+    SumAcc,
+    VarianceAcc,
+    accumulator_factory,
+    make_accumulator,
+)
+from repro.expr.compiler import (
+    Resolver,
+    Scalar,
+    compile_predicate,
+    compile_scalar,
+    identity_resolver,
+)
+
+__all__ = [
+    "Accumulator",
+    "AvgAcc",
+    "CountAcc",
+    "CountDistinctAcc",
+    "CountStarAcc",
+    "MaxAcc",
+    "MinAcc",
+    "StddevAcc",
+    "VarianceAcc",
+    "Resolver",
+    "Scalar",
+    "SumAcc",
+    "accumulator_factory",
+    "compile_predicate",
+    "compile_scalar",
+    "identity_resolver",
+    "make_accumulator",
+]

@@ -1,0 +1,305 @@
+"""Aggregate accumulators.
+
+Each accumulator implements the streaming interface ``add(value)`` /
+``result()`` and supports *partial aggregation* via ``merge(other)`` and
+``partial_state()`` — that pair is what the MR engine's map-side hash
+aggregation (Hive's footnote-2 optimization) builds on: map tasks keep a
+hash of partial accumulators and the reducer merges them.
+
+NULL handling is SQL-standard: ``count(*)`` counts rows; every other
+aggregate ignores NULL inputs; ``sum``/``avg``/``min``/``max`` over an
+empty (or all-NULL) input yield NULL; ``count`` yields 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.errors import UnsupportedSqlError
+
+
+class Accumulator:
+    """Base streaming aggregate."""
+
+    #: True when the accumulator can run map-side (partial) aggregation and
+    #: merge partials in the reducer.  ``count(distinct …)`` cannot collapse
+    #: to a scalar partial, so it overrides this with False.
+    mergeable = True
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "Accumulator") -> None:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+    # -- partial-aggregation wire format (map-side combiner) ----------------
+
+    def state(self) -> object:
+        """A compact serializable partial state (what a combiner emits)."""
+        raise NotImplementedError
+
+    def absorb(self, state: object) -> None:
+        """Merge a partial state produced by :meth:`state`."""
+        raise NotImplementedError
+
+
+class CountStarAcc(Accumulator):
+    """``count(*)`` — counts every row, NULLs included."""
+
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        self.count += 1
+
+    def merge(self, other: "CountStarAcc") -> None:
+        self.count += other.count
+
+    def result(self) -> int:
+        return self.count
+
+    def state(self):
+        return self.count
+
+    def absorb(self, state):
+        self.count += state
+
+
+class CountAcc(Accumulator):
+    """``count(expr)`` — counts non-NULL values."""
+
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.count += 1
+
+    def merge(self, other: "CountAcc") -> None:
+        self.count += other.count
+
+    def result(self) -> int:
+        return self.count
+
+    def state(self):
+        return self.count
+
+    def absorb(self, state):
+        self.count += state
+
+
+class CountDistinctAcc(Accumulator):
+    """``count(distinct expr)`` — cardinality of non-NULL values.
+
+    Not mergeable as a scalar: the partial state is the value set itself,
+    so map-side aggregation gives no shuffle savings (the engine disables
+    the combiner for it, as Hive does).
+    """
+
+    mergeable = False
+
+    def __init__(self):
+        self.values: Set[object] = set()
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.values.add(value)
+
+    def merge(self, other: "CountDistinctAcc") -> None:
+        self.values |= other.values
+
+    def result(self) -> int:
+        return len(self.values)
+
+    def state(self):
+        return sorted(self.values, key=repr)
+
+    def absorb(self, state):
+        self.values.update(state)
+
+
+class SumAcc(Accumulator):
+    def __init__(self):
+        self.total = 0
+        self.seen = False
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.total += value
+            self.seen = True
+
+    def merge(self, other: "SumAcc") -> None:
+        if other.seen:
+            self.total += other.total
+            self.seen = True
+
+    def result(self):
+        return self.total if self.seen else None
+
+    def state(self):
+        return (self.total, self.seen)
+
+    def absorb(self, state):
+        total, seen = state
+        if seen:
+            self.total += total
+            self.seen = True
+
+
+class AvgAcc(Accumulator):
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.total += value
+            self.count += 1
+
+    def merge(self, other: "AvgAcc") -> None:
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+    def state(self):
+        return (self.total, self.count)
+
+    def absorb(self, state):
+        total, count = state
+        self.total += total
+        self.count += count
+
+
+class MinAcc(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value: object) -> None:
+        if value is not None and (self.value is None or value < self.value):
+            self.value = value
+
+    def merge(self, other: "MinAcc") -> None:
+        self.add(other.value)
+
+    def result(self):
+        return self.value
+
+    def state(self):
+        return self.value
+
+    def absorb(self, state):
+        self.add(state)
+
+
+class MaxAcc(Accumulator):
+    def __init__(self):
+        self.value = None
+
+    def add(self, value: object) -> None:
+        if value is not None and (self.value is None or value > self.value):
+            self.value = value
+
+    def merge(self, other: "MaxAcc") -> None:
+        self.add(other.value)
+
+    def result(self):
+        return self.value
+
+    def state(self):
+        return self.value
+
+    def absorb(self, state):
+        self.add(state)
+
+
+class VarianceAcc(Accumulator):
+    """Population variance via the (n, Σx, Σx²) moments — exactly the
+    partial state a combiner can merge."""
+
+    def __init__(self):
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self.n += 1
+            self.total += value
+            self.total_sq += value * value
+
+    def merge(self, other: "VarianceAcc") -> None:
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    def result(self):
+        if self.n == 0:
+            return None
+        mean = self.total / self.n
+        # Clamp tiny negative rounding noise.
+        return max(0.0, self.total_sq / self.n - mean * mean)
+
+    def state(self):
+        return (self.n, self.total, self.total_sq)
+
+    def absorb(self, state):
+        n, total, total_sq = state
+        self.n += n
+        self.total += total
+        self.total_sq += total_sq
+
+
+class StddevAcc(VarianceAcc):
+    """Population standard deviation (sqrt of VarianceAcc)."""
+
+    def result(self):
+        var = super().result()
+        return None if var is None else var ** 0.5
+
+    def state(self):
+        return (self.n, self.total, self.total_sq)
+
+
+#: factory name → accumulator class, for non-distinct calls.
+_FACTORIES = {
+    "count": CountAcc,
+    "sum": SumAcc,
+    "avg": AvgAcc,
+    "min": MinAcc,
+    "max": MaxAcc,
+    "variance": VarianceAcc,
+    "var_pop": VarianceAcc,
+    "stddev": StddevAcc,
+    "stddev_pop": StddevAcc,
+}
+
+
+def make_accumulator(name: str, distinct: bool = False, star: bool = False) -> Accumulator:
+    """Instantiate the accumulator for an aggregate call."""
+    if star:
+        if name != "count":
+            raise UnsupportedSqlError(f"{name}(*) is not a valid aggregate")
+        return CountStarAcc()
+    if distinct:
+        if name == "count":
+            return CountDistinctAcc()
+        if name in ("min", "max"):
+            # DISTINCT is a no-op for min/max.
+            return _FACTORIES[name]()
+        raise UnsupportedSqlError(f"{name}(DISTINCT …) is not supported")
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise UnsupportedSqlError(f"unknown aggregate function {name!r}") from None
+
+
+def accumulator_factory(name: str, distinct: bool = False,
+                        star: bool = False) -> Callable[[], Accumulator]:
+    """Return a zero-argument factory (validated once, called per group)."""
+    make_accumulator(name, distinct, star)  # validate eagerly
+    return lambda: make_accumulator(name, distinct, star)

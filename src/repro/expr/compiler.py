@@ -1,0 +1,252 @@
+"""Compile AST expressions into Python closures over row dicts.
+
+The planner resolves every :class:`ColumnRef` to a *qualified row key*
+(e.g. ``c1.ts``) through a resolver callback, then this module turns the
+expression tree into a nested closure — no interpretation overhead per row
+beyond one Python call per node.
+
+NULL semantics follow SQL's three-valued logic:
+
+* any arithmetic or comparison with a NULL operand yields NULL (``None``);
+* ``AND``/``OR`` use Kleene logic (``NULL OR TRUE = TRUE`` etc.);
+* a WHERE/HAVING/ON filter treats NULL as false (callers use
+  :func:`compile_predicate`, which coerces the result with ``is True``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import NameResolutionError, UnsupportedSqlError
+from repro.sqlparser.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+
+Row = Mapping[str, object]
+Scalar = Callable[[Row], object]
+#: Resolver: maps (table_or_alias, column_name) → the key used in row dicts.
+Resolver = Callable[[Optional[str], str], str]
+
+
+def _null_safe_binop(op: str) -> Callable[[object, object], object]:
+    """Return a binary evaluator with SQL NULL propagation."""
+    import operator as _op
+
+    table = {
+        "+": _op.add, "-": _op.sub, "*": _op.mul, "%": _op.mod,
+        "=": _op.eq, "<>": _op.ne, "<": _op.lt, ">": _op.gt,
+        "<=": _op.le, ">=": _op.ge,
+    }
+    if op == "/":
+        def divide(a, b):
+            if a is None or b is None:
+                return None
+            if b == 0:
+                return None  # SQL engines raise; NULL keeps the pipeline total
+            return a / b
+        return divide
+    if op == "||":
+        def concat(a, b):
+            if a is None or b is None:
+                return None
+            return str(a) + str(b)
+        return concat
+    fn = table[op]
+
+    def apply(a, b):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    return apply
+
+
+def compile_scalar(expr: Expr, resolver: Resolver) -> Scalar:
+    """Compile ``expr`` into a ``row -> value`` closure.
+
+    Aggregate function calls are rejected — the planner must have replaced
+    them with column references to aggregation outputs before compiling.
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, ColumnRef):
+        key = resolver(expr.table, expr.name)
+
+        def lookup(row, _key=key):
+            try:
+                return row[_key]
+            except KeyError:
+                raise NameResolutionError(
+                    f"row is missing column {_key!r}; row has {sorted(row)}"
+                ) from None
+
+        return lookup
+
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            left = compile_scalar(expr.left, resolver)
+            right = compile_scalar(expr.right, resolver)
+
+            def k_and(row):
+                a = left(row)
+                if a is False:
+                    return False
+                b = right(row)
+                if b is False:
+                    return False
+                if a is None or b is None:
+                    return None
+                return True
+
+            return k_and
+        if expr.op == "OR":
+            left = compile_scalar(expr.left, resolver)
+            right = compile_scalar(expr.right, resolver)
+
+            def k_or(row):
+                a = left(row)
+                if a is True:
+                    return True
+                b = right(row)
+                if b is True:
+                    return True
+                if a is None or b is None:
+                    return None
+                return False
+
+            return k_or
+        left = compile_scalar(expr.left, resolver)
+        right = compile_scalar(expr.right, resolver)
+        apply = _null_safe_binop(expr.op)
+        return lambda row: apply(left(row), right(row))
+
+    if isinstance(expr, UnaryOp):
+        operand = compile_scalar(expr.operand, resolver)
+        if expr.op == "-":
+            return lambda row: None if operand(row) is None else -operand(row)
+        if expr.op == "NOT":
+            def negate(row):
+                v = operand(row)
+                if v is None:
+                    return None
+                return not v
+            return negate
+        raise UnsupportedSqlError(f"unsupported unary operator {expr.op!r}")
+
+    if isinstance(expr, IsNull):
+        operand = compile_scalar(expr.operand, resolver)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    if isinstance(expr, Between):
+        operand = compile_scalar(expr.operand, resolver)
+        low = compile_scalar(expr.low, resolver)
+        high = compile_scalar(expr.high, resolver)
+
+        def between(row):
+            v, lo, hi = operand(row), low(row), high(row)
+            if v is None or lo is None or hi is None:
+                return None
+            return lo <= v <= hi
+
+        return between
+
+    if isinstance(expr, InList):
+        operand = compile_scalar(expr.operand, resolver)
+        items = [compile_scalar(i, resolver) for i in expr.items]
+
+        def contains(row):
+            v = operand(row)
+            if v is None:
+                return None
+            values = [item(row) for item in items]
+            if v in [x for x in values if x is not None]:
+                return not expr.negated
+            if any(x is None for x in values):
+                return None
+            return expr.negated
+
+        return contains
+
+    if isinstance(expr, CaseWhen):
+        branches = [
+            (compile_scalar(c, resolver), compile_scalar(v, resolver))
+            for c, v in expr.branches
+        ]
+        default = (compile_scalar(expr.default, resolver)
+                   if expr.default is not None else None)
+
+        def case(row):
+            for cond, value in branches:
+                if cond(row) is True:
+                    return value(row)
+            return default(row) if default is not None else None
+
+        return case
+
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise UnsupportedSqlError(
+                f"aggregate {expr.name}() cannot be compiled as a scalar; "
+                "the planner must rewrite it first"
+            )
+        return _compile_builtin(expr, resolver)
+
+    raise UnsupportedSqlError(f"cannot compile expression: {expr!r}")
+
+
+def _compile_builtin(expr: FuncCall, resolver: Resolver) -> Scalar:
+    """Non-aggregate builtins used by workload queries."""
+    args = [compile_scalar(a, resolver) for a in expr.args]
+    name = expr.name
+
+    if name == "abs" and len(args) == 1:
+        return lambda row: None if args[0](row) is None else abs(args[0](row))
+    if name == "round":
+        if len(args) == 1:
+            return lambda row: None if args[0](row) is None else round(args[0](row))
+        if len(args) == 2:
+            def round2(row):
+                v, d = args[0](row), args[1](row)
+                if v is None or d is None:
+                    return None
+                return round(v, int(d))
+            return round2
+    if name == "coalesce" and args:
+        def coalesce(row):
+            for arg in args:
+                v = arg(row)
+                if v is not None:
+                    return v
+            return None
+        return coalesce
+    if name == "length" and len(args) == 1:
+        return lambda row: None if args[0](row) is None else len(str(args[0](row)))
+
+    raise UnsupportedSqlError(f"unsupported function: {name}()")
+
+
+def compile_predicate(expr: Optional[Expr], resolver: Resolver) -> Callable[[Row], bool]:
+    """Compile a filter; NULL results count as false. ``None`` ⇒ always-true."""
+    if expr is None:
+        return lambda row: True
+    scalar = compile_scalar(expr, resolver)
+    return lambda row: scalar(row) is True
+
+
+def identity_resolver(table: Optional[str], name: str) -> str:
+    """Resolver for rows keyed by qualified ``table.name`` when a qualifier
+    is present, bare ``name`` otherwise — used in tests and simple paths."""
+    return f"{table}.{name}" if table else name

@@ -1,0 +1,42 @@
+"""Simulated Hadoop substrate: cluster configs, cost model, contention."""
+
+from repro.hadoop.config import (
+    ClusterConfig,
+    ec2_cluster,
+    facebook_cluster,
+    small_cluster,
+)
+from repro.hadoop.contention import ContentionModel, ContentionSample
+from repro.hadoop.costmodel import HadoopCostModel, JobTiming, QueryTiming
+from repro.hadoop.dagschedule import (
+    DagTiming,
+    ScheduledJob,
+    dag_query_timing,
+    job_dependencies,
+)
+from repro.hadoop.faults import (
+    FaultModel,
+    expected_pipelined_time,
+    materialization_advantage,
+    materialized_phase_time,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "FaultModel",
+    "expected_pipelined_time",
+    "materialization_advantage",
+    "materialized_phase_time",
+    "ContentionModel",
+    "ContentionSample",
+    "DagTiming",
+    "ScheduledJob",
+    "dag_query_timing",
+    "job_dependencies",
+    "HadoopCostModel",
+    "JobTiming",
+    "QueryTiming",
+    "ec2_cluster",
+    "facebook_cluster",
+    "small_cluster",
+]

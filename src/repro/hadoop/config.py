@@ -1,0 +1,170 @@
+"""Cluster configurations for the simulated Hadoop substrate.
+
+A :class:`ClusterConfig` captures everything the cost model needs about a
+cluster: node/slot counts, disk and network bandwidths, HDFS block size
+and replication, per-job/task startup overheads, per-record CPU costs,
+map-output compression, and (for the Facebook production runs) a
+contention model.
+
+The presets mirror the paper's four evaluation environments (Sec. VII-B);
+bandwidth/CPU constants are calibrated so the *relative* behaviours the
+paper reports hold — scan-dominated map phases, meaningful per-job
+startup, compression that costs more CPU than it saves network time on
+an isolated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.hadoop.contention import ContentionModel
+from repro.hadoop.faults import FaultModel
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of one simulated cluster."""
+
+    name: str
+    #: worker nodes (TaskTrackers); the JobTracker node is not counted
+    worker_nodes: int
+    map_slots_per_node: int = 2
+    reduce_slots_per_node: int = 2
+
+    # -- storage -------------------------------------------------------------
+    hdfs_block_bytes: int = 64 * 1024 * 1024
+    hdfs_replication: int = 3
+    disk_read_bw: float = 80e6     # bytes/s sequential, per active task
+    disk_write_bw: float = 60e6
+
+    # -- network -------------------------------------------------------------
+    #: per-node NIC bandwidth; shuffle uses half the aggregate (bisection)
+    network_bw_per_node: float = 110e6
+    #: fraction of map tasks scheduled data-local (HDFS block on the same
+    #: node); the rest stream their split over the network first
+    hdfs_locality: float = 0.95
+
+    # -- overheads -------------------------------------------------------------
+    job_startup_s: float = 12.0     # job submission, scheduling, setup/cleanup
+    task_startup_s: float = 1.2     # JVM launch per task wave
+    inter_job_gap_s: float = 3.0    # paper: "at most 5 seconds" when isolated
+
+    # -- CPU -----------------------------------------------------------------------
+    #: per input record parsed (line split, field decode) — dominates map
+    #: CPU, which is why a shared scan costs little more than a single one
+    map_parse_cpu_s: float = 7.0e-6
+    map_record_cpu_s: float = 0.6e-6      # per record×spec evaluation
+    map_emit_cpu_s: float = 1.0e-6        # per emitted pair (serialize+sort)
+    reduce_dispatch_cpu_s: float = 1.1e-6  # per CMF dispatch operation
+    reduce_compute_cpu_s: float = 1.4e-6   # per join/aggregate operation
+
+    # -- map output compression -------------------------------------------------------
+    compress_map_output: bool = False
+    compression_ratio: float = 0.35
+    #: combined compress+decompress CPU per uncompressed byte — calibrated
+    #: so compression is a net loss on an isolated cluster (paper Fig. 11)
+    compression_cpu_s_per_byte: float = 8.0e-7
+
+    # -- environment ---------------------------------------------------------------------
+    contention: Optional[ContentionModel] = None
+    #: per-task failure model; None disables fault overheads
+    faults: Optional[FaultModel] = None
+    #: multiplier projecting generated-data counters up to the modeled
+    #: data size (10 GB TPC-H from an SF-0.01 generation ⇒ ~1000)
+    data_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.worker_nodes < 1:
+            raise ConfigError("worker_nodes must be >= 1")
+        if self.data_scale <= 0:
+            raise ConfigError("data_scale must be positive")
+        if not 0 < self.compression_ratio <= 1:
+            raise ConfigError("compression_ratio must be in (0, 1]")
+        if not 0.0 <= self.hdfs_locality <= 1.0:
+            raise ConfigError("hdfs_locality must be in [0, 1]")
+
+    # -- derived -----------------------------------------------------------------------------
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.worker_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.worker_nodes * self.reduce_slots_per_node
+
+    @property
+    def shuffle_bandwidth(self) -> float:
+        """Aggregate map→reduce transfer bandwidth (bisection of the
+        cluster network)."""
+        return self.network_bw_per_node * self.worker_nodes / 2.0
+
+    def with_scale(self, data_scale: float) -> "ClusterConfig":
+        return replace(self, data_scale=data_scale)
+
+    def with_compression(self, enabled: bool) -> "ClusterConfig":
+        return replace(self, compress_map_output=enabled)
+
+    def with_contention(self, contention: Optional[ContentionModel]
+                        ) -> "ClusterConfig":
+        return replace(self, contention=contention)
+
+    def with_faults(self, faults: Optional[FaultModel]) -> "ClusterConfig":
+        return replace(self, faults=faults)
+
+
+def small_cluster(data_scale: float = 1.0) -> ClusterConfig:
+    """The paper's 2-node lab cluster: one TaskTracker with 4 task slots,
+    Gigabit Ethernet, one SATA disk (Sec. VII-B.1)."""
+    return ClusterConfig(
+        name="small-2node",
+        worker_nodes=1,
+        map_slots_per_node=4,
+        reduce_slots_per_node=4,
+        disk_read_bw=90e6,
+        disk_write_bw=70e6,
+        network_bw_per_node=110e6,
+        job_startup_s=10.0,
+        data_scale=data_scale,
+    )
+
+
+def ec2_cluster(workers: int, data_scale: float = 1.0,
+                compress: bool = False) -> ClusterConfig:
+    """Amazon EC2 small-instance clusters (1 virtual core, modest disk and
+    network); the paper used 11- and 101-node clusters with one node as
+    JobTracker (Sec. VII-B.2)."""
+    return ClusterConfig(
+        name=f"ec2-{workers + 1}node",
+        worker_nodes=workers,
+        map_slots_per_node=2,
+        reduce_slots_per_node=1,
+        disk_read_bw=55e6,
+        disk_write_bw=40e6,
+        network_bw_per_node=60e6,
+        job_startup_s=15.0,
+        task_startup_s=1.5,
+        compress_map_output=compress,
+        data_scale=data_scale,
+    )
+
+
+def facebook_cluster(data_scale: float = 1.0,
+                     contention_seed: int = 2011) -> ClusterConfig:
+    """The 747-node Facebook production cluster (8 cores, 12 disks, 32 GB
+    per node) with co-running workloads (Sec. VII-B.3 / VII-F)."""
+    return ClusterConfig(
+        name="facebook-747node",
+        worker_nodes=747,
+        map_slots_per_node=6,
+        reduce_slots_per_node=2,
+        disk_read_bw=250e6,
+        disk_write_bw=180e6,
+        network_bw_per_node=120e6,
+        job_startup_s=18.0,
+        task_startup_s=1.0,
+        contention=ContentionModel(seed=contention_seed),
+        data_scale=data_scale,
+    )

@@ -1,0 +1,198 @@
+"""The analytic cost model: measured job counters → simulated cluster time.
+
+Every term corresponds to a mechanism the paper's analysis relies on:
+
+* **map** — HDFS scan of each input dataset (split into block-sized map
+  tasks running in waves over the slot pool), per-record evaluation CPU,
+  and the sort/spill write of the map output to local disk (MapReduce's
+  materialization requirement);
+* **shuffle** — map output crossing the network bisection (optionally
+  compressed: fewer bytes, extra CPU charged to map and reduce);
+* **reduce** — reading the fetched partitions from local disk, CMF
+  dispatch + operator compute CPU, and writing the job output to HDFS
+  with pipeline replication over the network;
+* **startup** — per-job scheduling/setup plus per-wave task (JVM) launch,
+  the fixed costs that make "fewer jobs" matter;
+* **contention** — optional production-cluster gaps and slowdowns.
+
+Counters are scaled by ``config.data_scale`` first (linear projection
+from the generated dataset to the modeled data size); waves and startup
+are computed after scaling, preserving the nonlinearity that makes small
+jobs startup-bound and big jobs bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.hadoop.config import ClusterConfig
+from repro.hadoop.faults import materialized_phase_time
+from repro.mr.counters import JobCounters, JobRun
+
+
+@dataclass
+class JobTiming:
+    """Simulated phase times for one job (seconds)."""
+
+    job_id: str
+    name: str
+    startup_s: float
+    map_s: float
+    shuffle_s: float
+    reduce_s: float
+    scheduling_gap_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (self.startup_s + self.map_s + self.shuffle_s
+                + self.reduce_s + self.scheduling_gap_s)
+
+
+@dataclass
+class QueryTiming:
+    """Simulated end-to-end time for one translated query."""
+
+    cluster: str
+    jobs: List[JobTiming] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(j.total_s for j in self.jobs)
+
+    @property
+    def total_map_s(self) -> float:
+        return sum(j.map_s for j in self.jobs)
+
+    @property
+    def total_reduce_s(self) -> float:
+        return sum(j.reduce_s + j.shuffle_s for j in self.jobs)
+
+    def breakdown(self) -> List[dict]:
+        return [
+            {"job": t.name, "startup_s": round(t.startup_s, 1),
+             "map_s": round(t.map_s, 1), "shuffle_s": round(t.shuffle_s, 1),
+             "reduce_s": round(t.reduce_s, 1),
+             "gap_s": round(t.scheduling_gap_s, 1),
+             "total_s": round(t.total_s, 1)}
+            for t in self.jobs
+        ]
+
+
+class HadoopCostModel:
+    """Turns measured counters into simulated times on one cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+
+    # -- per-job -----------------------------------------------------------------
+
+    def job_timing(self, counters: JobCounters,
+                   num_reducers: Optional[int] = None,
+                   intermediate_inflation: float = 1.0,
+                   instance: int = 0,
+                   job_index: int = 0) -> JobTiming:
+        cfg = self.config
+        c = counters.scaled(cfg.data_scale)
+        if num_reducers is None:
+            num_reducers = counters.num_reducers
+
+        # ---- map phase -------------------------------------------------------
+        input_bytes = c.total_input_bytes
+        map_tasks = max(1, sum(
+            max(1, math.ceil(b / cfg.hdfs_block_bytes))
+            for b in c.input_bytes.values()))
+        map_parallel = min(map_tasks, cfg.total_map_slots)
+        map_waves = math.ceil(map_tasks / cfg.total_map_slots)
+
+        map_output_bytes = c.map_output_bytes * intermediate_inflation
+        # Non-local map tasks stream their split over the network first.
+        remote_bytes = input_bytes * (1.0 - cfg.hdfs_locality)
+        read_s = (input_bytes / cfg.disk_read_bw
+                  + remote_bytes / cfg.network_bw_per_node)
+        cpu_s = (c.total_input_records * cfg.map_parse_cpu_s
+                 + c.map_eval_ops * cfg.map_record_cpu_s
+                 + c.pre_combine_records * cfg.map_emit_cpu_s)
+        spill_bytes = map_output_bytes
+        if cfg.compress_map_output:
+            cpu_s += map_output_bytes * cfg.compression_cpu_s_per_byte
+            spill_bytes = map_output_bytes * cfg.compression_ratio
+        spill_s = spill_bytes / cfg.disk_write_bw
+        map_s = ((read_s + cpu_s + spill_s) / map_parallel
+                 + cfg.task_startup_s * map_waves)
+
+        # ---- shuffle ----------------------------------------------------------
+        wire_bytes = spill_bytes if cfg.compress_map_output else map_output_bytes
+        shuffle_s = wire_bytes / cfg.shuffle_bandwidth
+
+        # ---- reduce phase ------------------------------------------------------
+        reduce_tasks = max(1, min(num_reducers, c.reduce_groups or 1))
+        reduce_parallel = min(reduce_tasks, cfg.total_reduce_slots)
+        reduce_waves = math.ceil(reduce_tasks / cfg.total_reduce_slots)
+
+        reduce_read_s = spill_bytes / cfg.disk_read_bw
+        reduce_cpu_s = (c.reduce_dispatch_ops * cfg.reduce_dispatch_cpu_s
+                        + c.reduce_compute_ops * cfg.reduce_compute_cpu_s)
+        if cfg.compress_map_output:
+            reduce_cpu_s += map_output_bytes * cfg.compression_cpu_s_per_byte
+        output_bytes = c.total_output_bytes * intermediate_inflation
+        # HDFS write: local copy plus (replication-1) pipelined remote copies.
+        write_s = output_bytes / cfg.disk_write_bw
+        replicate_s = (output_bytes * max(0, cfg.hdfs_replication - 1)
+                       / cfg.shuffle_bandwidth)
+        # Key-skew straggler bound: the phase cannot finish before the
+        # most loaded reduce task does (its share of records approximates
+        # its share of the phase's work).
+        reduce_work = reduce_read_s + reduce_cpu_s + write_s
+        skew_share = (c.reduce_max_task_records / c.reduce_input_records
+                      if c.reduce_input_records else 0.0)
+        reduce_s = (max(reduce_work / reduce_parallel,
+                        reduce_work * skew_share)
+                    + replicate_s
+                    + cfg.task_startup_s * reduce_waves)
+
+        if cfg.faults is not None:
+            # Materialized re-execution: failed tasks re-run individually
+            # (MapReduce's fault-tolerance contract, paper Sec. III).
+            map_s = materialized_phase_time(map_s, map_tasks,
+                                            map_parallel, cfg.faults)
+            reduce_s = materialized_phase_time(reduce_s, reduce_tasks,
+                                               reduce_parallel, cfg.faults)
+
+        timing = JobTiming(
+            job_id=c.job_id, name=c.name,
+            startup_s=cfg.job_startup_s,
+            map_s=map_s, shuffle_s=shuffle_s, reduce_s=reduce_s)
+
+        if cfg.contention is not None:
+            sample = cfg.contention.sample(instance, job_index)
+            timing.map_s *= sample.map_slowdown
+            timing.shuffle_s *= sample.shuffle_slowdown
+            timing.reduce_s *= sample.reduce_slowdown
+            # Production observation (paper Sec. VII-F): a join of two
+            # temporarily-generated datasets runs a disproportionately slow
+            # reduce phase under load (Hive's Q17 Job3: 721 s reduce after
+            # a 53 s map).  Dataset names with a namespace dot are job
+            # outputs; base tables are bare catalog names.
+            temp_inputs = [n for n in c.input_bytes if "." in n]
+            if len(temp_inputs) >= 2:
+                timing.reduce_s += sample.temp_join_delay_s
+            timing.scheduling_gap_s = sample.scheduling_gap_s
+        elif job_index > 0:
+            timing.scheduling_gap_s = self.config.inter_job_gap_s
+        return timing
+
+    # -- per-query --------------------------------------------------------------------
+
+    def query_timing(self, runs: Sequence[JobRun],
+                     num_reducers: Optional[int] = None,
+                     intermediate_inflation: float = 1.0,
+                     instance: int = 0) -> QueryTiming:
+        timing = QueryTiming(cluster=self.config.name)
+        for index, run in enumerate(runs):
+            timing.jobs.append(self.job_timing(
+                run.counters, num_reducers=num_reducers,
+                intermediate_inflation=intermediate_inflation,
+                instance=instance, job_index=index))
+        return timing

@@ -1,0 +1,114 @@
+"""Critical-path (DAG) query scheduling — a post-paper what-if.
+
+The paper's translators submit jobs **sequentially** (Hadoop-era Hive had
+no parallel execution), so query time is the sum of job times — that is
+what :meth:`HadoopCostModel.query_timing` models and what the evaluation
+figures assume.  Later Hive releases added ``hive.exec.parallel``, which
+overlaps *independent* jobs of one query.
+
+This module asks how much of YSmart's advantage that would have clawed
+back: it derives the job dependency DAG from the dataset names (a job
+depends on the producers of its intermediate inputs), schedules with
+unlimited concurrency, and reports the critical-path time.  The answer —
+visible in ``benchmarks/bench_ablations.py`` — is "some, but not the
+mechanism": overlap hides startup latency of sibling jobs, but the
+redundant scans, shuffles, and materializations still burn the same
+cluster resources, and YSmart still wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.hadoop.costmodel import HadoopCostModel, JobTiming, QueryTiming
+from repro.mr.counters import JobRun
+
+
+@dataclass
+class ScheduledJob:
+    """One job's placement on the DAG schedule (seconds from submit)."""
+
+    timing: JobTiming
+    start_s: float
+    finish_s: float
+    depends_on: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DagTiming:
+    """Critical-path schedule for one query's jobs."""
+
+    cluster: str
+    jobs: List[ScheduledJob] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return max((j.finish_s for j in self.jobs), default=0.0)
+
+    @property
+    def sequential_s(self) -> float:
+        return sum(j.timing.total_s for j in self.jobs)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """How much the DAG schedule gains over sequential submission."""
+        return self.sequential_s / self.total_s if self.total_s else 1.0
+
+
+def job_dependencies(runs: Sequence[JobRun],
+                     jobs_inputs: Dict[str, List[str]],
+                     jobs_outputs: Dict[str, List[str]]
+                     ) -> Dict[str, List[str]]:
+    """job_id → ids of the jobs producing its intermediate inputs."""
+    producer: Dict[str, str] = {}
+    for job_id, outs in jobs_outputs.items():
+        for dataset in outs:
+            producer[dataset] = job_id
+    deps: Dict[str, List[str]] = {}
+    for run in runs:
+        wanted = []
+        for dataset in jobs_inputs.get(run.job_id, []):
+            owner = producer.get(dataset)
+            if owner is not None and owner != run.job_id:
+                wanted.append(owner)
+        deps[run.job_id] = sorted(set(wanted))
+    return deps
+
+
+def dag_query_timing(model: HadoopCostModel, runs: Sequence[JobRun],
+                     translation_jobs,
+                     intermediate_inflation: float = 1.0,
+                     instance: int = 0) -> DagTiming:
+    """Schedule a translation's jobs by dependency with unlimited
+    concurrency; phase times come from the same cost model as the
+    sequential schedule.
+
+    ``translation_jobs`` is the job-spec list (``Translation.jobs``) the
+    runs came from — it carries the input/output dataset names.
+    """
+    inputs = {j.job_id: j.input_datasets for j in translation_jobs}
+    outputs = {j.job_id: j.output_datasets for j in translation_jobs}
+    deps = job_dependencies(runs, inputs, outputs)
+
+    finish: Dict[str, float] = {}
+    scheduled: List[ScheduledJob] = []
+    for index, run in enumerate(runs):
+        timing = model.job_timing(
+            run.counters, intermediate_inflation=intermediate_inflation,
+            instance=instance, job_index=index)
+        # Inter-job gaps model the sequential scheduler; under concurrent
+        # submission each job only waits for its own dependencies.
+        duration = timing.total_s - timing.scheduling_gap_s
+        missing = [d for d in deps[run.job_id] if d not in finish]
+        if missing:
+            raise ConfigError(
+                f"job {run.job_id} depends on {missing} which have not "
+                "been scheduled; runs must be in execution order")
+        start = max((finish[d] for d in deps[run.job_id]), default=0.0)
+        finish[run.job_id] = start + duration
+        scheduled.append(ScheduledJob(
+            timing=timing, start_s=start, finish_s=start + duration,
+            depends_on=deps[run.job_id]))
+    return DagTiming(cluster=model.config.name, jobs=scheduled)

@@ -1,0 +1,106 @@
+"""Fault-tolerance modeling: why MapReduce materializes.
+
+The paper's Sec. III grounds YSmart's whole problem in MapReduce's
+materialization policy: *"MapReduce, with the merit of fault-tolerance in
+large-scale clusters, requires that intermediate map outputs be
+persistent on disks and reduce outputs be written to HDFS"*.  This module
+makes that trade-off quantitative:
+
+* :class:`FaultModel` — independent per-task-attempt failure probability;
+* :func:`expected_retry_factor` — the expected work inflation of a
+  *materialized* phase: a failed task re-runs alone, so work inflates by
+  ``p / (1 - p)`` plus a detection+reschedule latency per expected
+  failure;
+* :func:`expected_pipelined_time` — the hypothetical *pipelined*
+  execution (no intermediate materialization): any task failure aborts
+  the whole run, so a run with ``n`` tasks completes with probability
+  ``(1-p)^n`` and the expected time inflates by ``(1-p)^-n``.
+
+The crossover is the point the paper's design leans on: at cluster scale
+(thousands of tasks), pipelining's expected time explodes while
+materialized re-execution stays within a few percent — which is exactly
+why a translator must *minimize the number of jobs* rather than wish the
+materialization away (and why MapReduce Online-style pipelining is cited
+as a different research direction).
+
+When a :class:`FaultModel` is attached to a
+:class:`~repro.hadoop.config.ClusterConfig`, the cost model inflates each
+phase by the materialized retry factor, using the phase's simulated task
+count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Independent per-task-attempt failure probability.
+
+    ``detect_latency_s`` models the time to notice a dead task and
+    reschedule it (Hadoop's heartbeat timeout plus scheduling delay).
+    """
+
+    task_failure_prob: float = 0.01
+    detect_latency_s: float = 12.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.task_failure_prob < 1.0:
+            raise ConfigError("task_failure_prob must be in [0, 1)")
+        if self.detect_latency_s < 0:
+            raise ConfigError("detect_latency_s must be non-negative")
+
+
+def expected_retry_factor(model: FaultModel) -> float:
+    """Work inflation of a materialized phase: each task's expected
+    attempt count is ``1 / (1 - p)``."""
+    return 1.0 / (1.0 - model.task_failure_prob)
+
+
+def expected_failures(model: FaultModel, tasks: int) -> float:
+    """Expected number of failed attempts across ``tasks`` tasks."""
+    p = model.task_failure_prob
+    return tasks * p / (1.0 - p)
+
+
+def materialized_phase_time(base_s: float, tasks: int, parallelism: int,
+                            model: FaultModel) -> float:
+    """Expected phase time with per-task re-execution (MapReduce's
+    actual behaviour)."""
+    if tasks <= 0:
+        return base_s
+    work = base_s * expected_retry_factor(model)
+    latency = (expected_failures(model, tasks) * model.detect_latency_s
+               / max(1, parallelism))
+    return work + latency
+
+
+def expected_pipelined_time(base_s: float, tasks: int,
+                            model: FaultModel) -> float:
+    """Expected end-to-end time if the whole computation had to restart
+    on any task failure (no intermediate materialization)."""
+    p = model.task_failure_prob
+    if tasks <= 0 or p == 0.0:
+        return base_s
+    success = (1.0 - p) ** tasks
+    if success <= 0.0:
+        return math.inf
+    # Each failed attempt runs, in expectation, half way before dying.
+    expected_attempts = 1.0 / success
+    return base_s * (1.0 + 0.5 * (expected_attempts - 1.0) * 2.0) \
+        + model.detect_latency_s * (expected_attempts - 1.0)
+
+
+def materialization_advantage(base_s: float, tasks: int, parallelism: int,
+                              model: FaultModel) -> float:
+    """Ratio pipelined/materialized expected time — >1 means
+    materialization wins (grows without bound with ``tasks``)."""
+    mat = materialized_phase_time(base_s, tasks, parallelism, model)
+    pipe = expected_pipelined_time(base_s, tasks, model)
+    if math.isinf(pipe):
+        return math.inf
+    return pipe / mat

@@ -1,0 +1,45 @@
+"""MapReduce engine: job specs, counters, shuffle, execution."""
+
+from repro.mr.counters import JobCounters, JobRun, total_counter
+from repro.mr.engine import MapReduceEngine, run_jobs, stable_hash
+from repro.mr.job import (
+    EmitSpec,
+    MRJob,
+    MapAggSpec,
+    MapInput,
+    OutputSpec,
+    ReducerProtocol,
+)
+from repro.mr.kv import (
+    Key,
+    TagPolicy,
+    TaggedValue,
+    key_bytes,
+    pair_bytes,
+    rows_bytes,
+    tag_bytes,
+    value_bytes,
+)
+
+__all__ = [
+    "EmitSpec",
+    "JobCounters",
+    "JobRun",
+    "Key",
+    "MRJob",
+    "MapAggSpec",
+    "MapInput",
+    "MapReduceEngine",
+    "OutputSpec",
+    "ReducerProtocol",
+    "TagPolicy",
+    "TaggedValue",
+    "key_bytes",
+    "pair_bytes",
+    "rows_bytes",
+    "run_jobs",
+    "stable_hash",
+    "tag_bytes",
+    "total_counter",
+    "value_bytes",
+]

@@ -1,0 +1,122 @@
+"""Job counters — the measured quantities the cost model consumes.
+
+All counters are *measured* during real execution of the job over real
+rows (never estimated), mirroring Hadoop's built-in counters plus the CMF
+dispatch counter the paper's Fig. 9 analysis reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class JobCounters:
+    """Counters for one executed MapReduce job."""
+
+    job_id: str
+    name: str = ""
+    #: reduce-task count of the job spec (cost model sizes reduce waves)
+    num_reducers: int = 8
+
+    # -- map phase ---------------------------------------------------------
+    #: bytes read from each input dataset (full dataset per scan)
+    input_bytes: Dict[str, int] = field(default_factory=dict)
+    #: records read from each input dataset
+    input_records: Dict[str, int] = field(default_factory=dict)
+    #: selector/key/value evaluations (records × specs applied)
+    map_eval_ops: int = 0
+    #: pairs emitted after merging multi-role emissions (and after the
+    #: map-side combiner, when enabled)
+    map_output_records: int = 0
+    #: estimated serialized bytes of the map output (incl. tags)
+    map_output_bytes: int = 0
+    #: pairs before the combiner collapsed them (== map_output_records
+    #: when no combiner ran)
+    pre_combine_records: int = 0
+
+    # -- shuffle / reduce phase ---------------------------------------------
+    #: distinct reduce keys
+    reduce_groups: int = 0
+    #: values delivered to the reduce phase (== map_output_records)
+    reduce_input_records: int = 0
+    #: records landing on the most loaded reduce task (key-skew straggler;
+    #: the cost model serializes at least this share of the reduce work)
+    reduce_max_task_records: int = 0
+    #: CMF dispatch operations (value × interested merged reducers)
+    reduce_dispatch_ops: int = 0
+    #: reduce compute operations (join pair evaluations, aggregate updates,
+    #: post-job work) — the "more lines of code" effect in the paper's Fig. 9
+    reduce_compute_ops: int = 0
+    #: rows emitted by reduce tasks, per output dataset
+    output_records: Dict[str, int] = field(default_factory=dict)
+    #: estimated bytes written to HDFS, per output dataset
+    output_bytes: Dict[str, int] = field(default_factory=dict)
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def total_input_bytes(self) -> int:
+        return sum(self.input_bytes.values())
+
+    @property
+    def total_input_records(self) -> int:
+        return sum(self.input_records.values())
+
+    @property
+    def total_output_bytes(self) -> int:
+        return sum(self.output_bytes.values())
+
+    @property
+    def total_output_records(self) -> int:
+        return sum(self.output_records.values())
+
+    @property
+    def shuffle_bytes(self) -> int:
+        """Bytes crossing the map→reduce boundary (before compression)."""
+        return self.map_output_bytes
+
+    def scaled(self, factor: float) -> "JobCounters":
+        """A copy with every volume counter multiplied by ``factor``.
+
+        Used to project measurements from the generated small dataset up
+        to the paper's data sizes (linear scaling; the cost model applies
+        wave/startup nonlinearity afterwards).
+        """
+        def scale_map(d: Dict[str, int]) -> Dict[str, int]:
+            return {k: int(v * factor) for k, v in d.items()}
+
+        return JobCounters(
+            job_id=self.job_id,
+            name=self.name,
+            num_reducers=self.num_reducers,
+            input_bytes=scale_map(self.input_bytes),
+            input_records=scale_map(self.input_records),
+            map_eval_ops=int(self.map_eval_ops * factor),
+            map_output_records=int(self.map_output_records * factor),
+            map_output_bytes=int(self.map_output_bytes * factor),
+            pre_combine_records=int(self.pre_combine_records * factor),
+            reduce_groups=int(self.reduce_groups * factor),
+            reduce_input_records=int(self.reduce_input_records * factor),
+            reduce_max_task_records=int(self.reduce_max_task_records * factor),
+            reduce_dispatch_ops=int(self.reduce_dispatch_ops * factor),
+            reduce_compute_ops=int(self.reduce_compute_ops * factor),
+            output_records=scale_map(self.output_records),
+            output_bytes=scale_map(self.output_bytes),
+        )
+
+
+@dataclass
+class JobRun:
+    """One executed job: its spec id, counters, and execution order index."""
+
+    job_id: str
+    name: str
+    counters: JobCounters
+    order: int = 0
+
+
+def total_counter(runs: List[JobRun], attr: str) -> int:
+    """Sum a scalar counter attribute across runs."""
+    return sum(getattr(r.counters, attr) for r in runs)

@@ -1,0 +1,151 @@
+"""MapReduce job specifications.
+
+An :class:`MRJob` is translation-agnostic: YSmart, the Hive-style and
+Pig-style baselines, and the hand-coded programs all compile down to this
+spec, and :mod:`repro.mr.engine` executes it.  A job consists of:
+
+* **map inputs** — each names a dataset and carries one or more
+  :class:`EmitSpec` per table *instance role* (the shared-scan/self-join
+  optimization falls out naturally: the engine scans each dataset once
+  per job and applies every spec to every record, merging emissions that
+  agree on the key into one multi-role pair);
+* a **reducer** — any object implementing :class:`ReducerProtocol`
+  (in practice the CMF common reducer from :mod:`repro.cmf`);
+* **outputs** — one dataset per surviving merged sub-job (a common job
+  that merges jobs without a consuming post-job writes several outputs,
+  distinguished by source tags, per paper Sec. VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.table import Row
+from repro.mr.kv import Key, TagPolicy
+
+EmitFn = Callable[[Row], Optional[Tuple[Key, Dict[str, object]]]]
+
+
+@dataclass
+class EmitSpec:
+    """How one table-instance role maps records to key/value pairs.
+
+    ``emit`` runs the full per-record mapper pipeline for this role —
+    qualification, pushed-down selections, projections, key and payload
+    extraction — returning ``(key, payload)`` or ``None`` when the record
+    is filtered out.  Payload column names are chosen by the translator;
+    for base-table scans in common jobs they are canonical
+    ``table.column`` names so that overlapping emissions from multiple
+    roles share bytes (the paper's "remove redundant map outputs").
+    The reduce side reconstitutes key columns from ``key`` (they are not
+    duplicated into the payload, matching the paper's Fig. 5 jobs).
+    """
+
+    role: str
+    emit: EmitFn
+
+
+@dataclass
+class MapAggSpec:
+    """Map-side hash aggregation (Hive's footnote-2 optimization).
+
+    When set, the map task keeps a hash of partial accumulators per key
+    and emits one pair per distinct key instead of one per record.  Only
+    valid for single-role aggregation jobs whose aggregates are all
+    mergeable (``count(distinct …)`` disables it, as in Hive).
+
+    ``agg_specs`` maps value-slot name → (func, distinct, star); the
+    argument value is read from the raw emitted payload under the same
+    slot name, and the emitted partial payload stores accumulator states.
+    """
+
+    agg_specs: Dict[str, Tuple[str, bool, bool]]
+
+
+@dataclass
+class MapInput:
+    """One dataset scanned by the job's map phase, with its emit specs."""
+
+    dataset: str
+    specs: List[EmitSpec]
+
+
+@dataclass
+class OutputSpec:
+    """One job output: rows produced by reduce task ``task_id``."""
+
+    dataset: str
+    task_id: str
+    columns: List[str]
+
+
+class ReducerProtocol:
+    """Interface the engine drives for each key group.
+
+    ``reduce`` receives the key and the list of (roles, payload) values
+    and returns ``{task_id: rows}`` for every output task.  ``dispatch_ops``
+    lets the engine collect the CMF dispatch-count counter.
+    """
+
+    def reduce(self, key: Key, values) -> Dict[str, List[Row]]:
+        raise NotImplementedError
+
+    def dispatch_ops(self) -> int:
+        """Value-dispatch operations performed since the last call."""
+        return 0
+
+    def compute_ops(self) -> int:
+        """Reduce compute operations performed since the last call."""
+        return 0
+
+
+@dataclass
+class MRJob:
+    """A complete MapReduce job specification."""
+
+    job_id: str
+    name: str
+    map_inputs: List[MapInput]
+    reducer: ReducerProtocol
+    outputs: List[OutputSpec]
+    #: number of reduce tasks (waves are computed by the cost model)
+    num_reducers: int = 8
+    #: map-side aggregation, when legal (see MapAggSpec)
+    map_agg: Optional[MapAggSpec] = None
+    #: total-order job: reduce keys are range-partitioned and iterated in
+    #: global order (ascending per `sort_ascending` flags), à la Hadoop's
+    #: TotalOrderPartitioner
+    sort_output: bool = False
+    sort_ascending: List[bool] = field(default_factory=list)
+    #: truncate the (sorted) output to this many rows
+    limit: Optional[int] = None
+    #: visibility-tag encoding policy (byte accounting only)
+    tag_policy: TagPolicy = TagPolicy.BEST
+
+    @property
+    def role_universe(self) -> int:
+        """Number of distinct roles emitted by this job's map phase."""
+        return len({spec.role for mi in self.map_inputs for spec in mi.specs})
+
+    @property
+    def input_datasets(self) -> List[str]:
+        return [mi.dataset for mi in self.map_inputs]
+
+    @property
+    def output_datasets(self) -> List[str]:
+        return [o.dataset for o in self.outputs]
+
+    def validate(self) -> None:
+        from repro.errors import TranslationError
+        if not self.map_inputs:
+            raise TranslationError(f"job {self.job_id} has no map inputs")
+        if not self.outputs:
+            raise TranslationError(f"job {self.job_id} has no outputs")
+        roles = [s.role for mi in self.map_inputs for s in mi.specs]
+        if len(roles) != len(set((mi.dataset, s.role)
+                                 for mi in self.map_inputs for s in mi.specs)):
+            raise TranslationError(
+                f"job {self.job_id} has duplicate (dataset, role) specs")
+        if self.num_reducers < 1:
+            raise TranslationError(f"job {self.job_id}: num_reducers < 1")

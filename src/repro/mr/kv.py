@@ -1,0 +1,81 @@
+"""Key/value pair model and byte accounting.
+
+Everything the cost model charges for — map output, shuffle traffic, HDFS
+writes — is derived from the *estimated serialized size* of key/value
+pairs, computed here.  The estimate is the text encoding Hadoop streaming
+jobs in the paper's era used: one byte per delimiter, ``str()`` rendering
+per field.
+
+Visibility tags follow the paper's CMF design (Sec. VI-A): each pair
+carries the set of merged-job roles it serves.  For byte accounting the
+tag can be encoded *directly* (list the roles that see it) or *inverted*
+(list the roles that must NOT see it — the paper's optimization for
+highly overlapped map outputs); :func:`tag_bytes` picks per the policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Tuple
+
+Key = Tuple[object, ...]
+
+
+class TaggedValue(NamedTuple):
+    """One map-output value: the column payload plus its role tags."""
+
+    roles: FrozenSet[str]
+    payload: Dict[str, object]
+
+
+class TagPolicy(enum.Enum):
+    """How role tags are encoded on the wire (affects bytes, not dispatch)."""
+
+    DIRECT = "direct"          # encode the roles that see the pair
+    INVERTED = "inverted"      # encode the roles that do NOT see the pair
+    BEST = "best"              # per-pair minimum of the two (paper's intent)
+
+
+#: Estimated bytes for one encoded role id (jobs are numbered, so ids are
+#: short: one or two digits plus a delimiter).
+ROLE_ID_BYTES = 2
+
+
+def value_bytes(payload: Dict[str, object]) -> int:
+    """Estimated serialized size of a value payload."""
+    return sum(len(str(v)) + 1 for v in payload.values())
+
+
+def key_bytes(key: Key) -> int:
+    """Estimated serialized size of a composite key."""
+    return sum(len(str(part)) + 1 for part in key)
+
+
+def tag_bytes(roles: FrozenSet[str], universe_size: int,
+              policy: TagPolicy = TagPolicy.BEST) -> int:
+    """Estimated size of the visibility tag for one pair.
+
+    ``universe_size`` is the number of roles in the whole job.  Jobs with a
+    single role need no tag at all.
+    """
+    if universe_size <= 1:
+        return 0
+    direct = ROLE_ID_BYTES * len(roles)
+    inverted = 1 + ROLE_ID_BYTES * (universe_size - len(roles))
+    if policy is TagPolicy.DIRECT:
+        return direct
+    if policy is TagPolicy.INVERTED:
+        return inverted
+    return min(direct, inverted)
+
+
+def pair_bytes(key: Key, value: TaggedValue, universe_size: int,
+               policy: TagPolicy = TagPolicy.BEST) -> int:
+    """Total estimated wire size of one map-output pair."""
+    return (key_bytes(key) + value_bytes(value.payload)
+            + tag_bytes(value.roles, universe_size, policy))
+
+
+def rows_bytes(rows: Iterable[Dict[str, object]]) -> int:
+    """Estimated text-file size of output rows (HDFS write accounting)."""
+    return sum(value_bytes(row) for row in rows)

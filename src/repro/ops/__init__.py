@@ -1,0 +1,21 @@
+"""Relational reduce tasks plugged into the Common MapReduce Framework."""
+
+from repro.ops.tasks import (
+    AggTask,
+    CompiledStages,
+    JoinTask,
+    ReduceTask,
+    SPTask,
+    TaskInput,
+    UnionTask,
+)
+
+__all__ = [
+    "AggTask",
+    "CompiledStages",
+    "JoinTask",
+    "ReduceTask",
+    "SPTask",
+    "TaskInput",
+    "UnionTask",
+]

@@ -1,0 +1,303 @@
+"""Reduce tasks: the relational operators plugged into the CMF.
+
+A :class:`ReduceTask` is one merged computation inside a common job's
+reduce phase.  Its inputs are either *shuffle roles* (values dispatched
+from the map output, per paper Algorithm 1) or the outputs of *upstream
+tasks in the same key group* (the paper's post-job computations).  The
+task model is deliberately identical for a standalone one-operation job
+(one task, shuffle-fed) and a fully merged YSmart common job (many tasks,
+mixed feeds) — that uniformity is the Common MapReduce Framework.
+
+Reconstitution: the engine never duplicates partition-key columns into
+value payloads; each shuffle input declares ``key_names`` and the task
+rebuilds full rows as ``dict(zip(key_names, key)) | payload``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.data.table import Row
+from repro.errors import ExecutionError
+from repro.expr.aggregates import Accumulator, make_accumulator
+from repro.mr.kv import Key
+from repro.plan.nodes import Filter, Project, Stage
+from repro.refexec.executor import compile_resolved, compile_resolved_predicate
+
+
+class CompiledStages:
+    """A node's Filter/Project stage chain, compiled once."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        self._ops: List[Tuple[str, object]] = []
+        for stage in stages:
+            if isinstance(stage, Filter):
+                self._ops.append(("filter",
+                                  compile_resolved_predicate(stage.predicate)))
+            elif isinstance(stage, Project):
+                compiled = [(o.name, compile_resolved(o.expr))
+                            for o in stage.outputs]
+                self._ops.append(("project", compiled))
+            else:
+                raise ExecutionError(f"unknown stage type {type(stage).__name__}")
+
+    def run(self, rows: List[Row]) -> List[Row]:
+        for kind, op in self._ops:
+            if kind == "filter":
+                rows = [r for r in rows if op(r)]
+            else:
+                rows = [{name: fn(r) for name, fn in op} for r in rows]
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+@dataclass
+class TaskInput:
+    """One input of a reduce task.
+
+    ``kind`` is ``"shuffle"`` (``ref`` is a map-output role; ``key_names``
+    reconstitute the partition-key columns) or ``"task"`` (``ref`` is an
+    upstream task id in the same common job).
+
+    ``payload_map`` renames payload columns to the names this task reads:
+    pairs ``(task_name, payload_name)``.  Common jobs emit base-table
+    payloads under canonical ``table.column`` names so overlapping roles
+    share bytes; each consumer maps them back to its qualified names.
+    ``None`` means the payload already uses the task's names.
+    """
+
+    kind: str
+    ref: str
+    key_names: List[str] = field(default_factory=list)
+    payload_map: Optional[List[Tuple[str, str]]] = None
+
+    def __post_init__(self):
+        if self.kind not in ("shuffle", "task"):
+            raise ExecutionError(f"bad TaskInput kind {self.kind!r}")
+
+    @classmethod
+    def shuffle(cls, role: str, key_names: Sequence[str],
+                payload_map: Optional[Sequence[Tuple[str, str]]] = None
+                ) -> "TaskInput":
+        return cls("shuffle", role, list(key_names),
+                   list(payload_map) if payload_map is not None else None)
+
+    @classmethod
+    def task(cls, task_id: str) -> "TaskInput":
+        return cls("task", task_id)
+
+
+class ReduceTask:
+    """Base merged computation (the paper's init/next/final interface)."""
+
+    def __init__(self, task_id: str, inputs: Sequence[TaskInput],
+                 stages: Optional[CompiledStages] = None):
+        self.task_id = task_id
+        self.inputs = list(inputs)
+        self.stages = stages or CompiledStages([])
+        self.compute_ops = 0
+        self._buffers: Dict[str, List[Row]] = {}
+
+    @property
+    def shuffle_roles(self) -> FrozenSet[str]:
+        return frozenset(i.ref for i in self.inputs if i.kind == "shuffle")
+
+    @property
+    def upstream_ids(self) -> List[str]:
+        return [i.ref for i in self.inputs if i.kind == "task"]
+
+    # -- per-key-group protocol -------------------------------------------------
+
+    def start(self, key: Key) -> None:
+        """init(key): reset buffers for a new key group."""
+        self._buffers = {i.ref: [] for i in self.inputs if i.kind == "shuffle"}
+
+    def consume(self, key: Key, roles: FrozenSet[str],
+                payload: Dict[str, object]) -> None:
+        """next(key, value): buffer a dispatched shuffle value for every
+        input role present on the pair's tag."""
+        for inp in self.inputs:
+            if inp.kind == "shuffle" and inp.ref in roles:
+                row = dict(zip(inp.key_names, key))
+                if inp.payload_map is None:
+                    row.update(payload)
+                else:
+                    for task_name, payload_name in inp.payload_map:
+                        row[task_name] = payload[payload_name]
+                self._buffers[inp.ref].append(row)
+
+    def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        """final(key): compute this task's rows for the group."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _input_rows(self, inp: TaskInput,
+                    upstream: Dict[str, List[Row]]) -> List[Row]:
+        if inp.kind == "shuffle":
+            return self._buffers.get(inp.ref, [])
+        rows = upstream.get(inp.ref)
+        if rows is None:
+            raise ExecutionError(
+                f"task {self.task_id} needs upstream {inp.ref!r} which has "
+                "not been computed; check task ordering")
+        return rows
+
+
+class SPTask(ReduceTask):
+    """Selection/projection passthrough: one input, run the stage chain.
+
+    Used for SP jobs, SORT jobs (ordering is the engine's concern), and as
+    the output stage of a job whose real work happened upstream.
+    """
+
+    def __init__(self, task_id: str, source: TaskInput,
+                 stages: Optional[CompiledStages] = None):
+        super().__init__(task_id, [source], stages)
+
+    def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        rows = self._input_rows(self.inputs[0], upstream)
+        self.compute_ops += len(rows)
+        return self.stages.run(rows)
+
+
+class JoinTask(ReduceTask):
+    """Equi-join within a key group (the group key IS the join key).
+
+    ``left_names``/``right_names`` are the full output-name lists of each
+    side, needed to null-extend outer-join misses.  ``residual`` is the
+    non-equi part of the join condition, evaluated on candidate pairs
+    before null-extension.  NULL join keys never match (SQL): a group
+    whose key contains NULL only contributes outer-join null extensions.
+    """
+
+    def __init__(self, task_id: str, left: TaskInput, right: TaskInput,
+                 join_type: str, left_names: Sequence[str],
+                 right_names: Sequence[str],
+                 residual: Optional[Callable[[Row], object]] = None,
+                 stages: Optional[CompiledStages] = None):
+        super().__init__(task_id, [left, right], stages)
+        self.left_input = left
+        self.right_input = right
+        self.join_type = join_type
+        self.left_names = list(left_names)
+        self.right_names = list(right_names)
+        self.residual = residual
+
+    def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        left_rows = self._input_rows(self.left_input, upstream)
+        right_rows = self._input_rows(self.right_input, upstream)
+        null_left = {n: None for n in self.left_names}
+        null_right = {n: None for n in self.right_names}
+        key_is_null = any(part is None for part in key)
+
+        out: List[Row] = []
+        matched_right = [False] * len(right_rows)
+        for lrow in left_rows:
+            hit = False
+            if not key_is_null:
+                for ri, rrow in enumerate(right_rows):
+                    self.compute_ops += 1
+                    combined = {**lrow, **rrow}
+                    if self.residual is None or self.residual(combined) is True:
+                        hit = True
+                        matched_right[ri] = True
+                        out.append(combined)
+            if not hit and self.join_type in ("left", "full"):
+                out.append({**lrow, **null_right})
+        if self.join_type in ("right", "full"):
+            for ri, rrow in enumerate(right_rows):
+                if not matched_right[ri]:
+                    out.append({**null_left, **rrow})
+        return self.stages.run(out)
+
+
+class UnionTask(ReduceTask):
+    """UNION ALL: concatenate the rows of every branch role.
+
+    Every branch's shuffle input reconstitutes rows under the union's
+    canonical column names (``key_names``), so finish simply concatenates
+    the buffers in branch order.
+    """
+
+    def __init__(self, task_id: str, sources: Sequence[TaskInput],
+                 stages: Optional[CompiledStages] = None):
+        super().__init__(task_id, list(sources), stages)
+
+    def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        out: List[Row] = []
+        for inp in self.inputs:
+            rows = self._input_rows(inp, upstream)
+            self.compute_ops += len(rows)
+            out.extend(rows)
+        return self.stages.run(out)
+
+
+class AggTask(ReduceTask):
+    """Aggregation within a key group.
+
+    The partition key covers a (possibly strict) subset of the grouping
+    columns; the remaining grouping expressions are evaluated per row and
+    grouped locally — that is what lets YSmart run AGG1 (group by uid,
+    ts1) inside a job partitioned only on uid.
+
+    ``group_exprs`` maps each group slot to its compiled expression over
+    reconstituted rows; ``agg_specs`` lists (slot, func, arg_fn, distinct,
+    star).  In ``partial`` mode the input payloads are combiner states
+    (the map side already grouped by the *full* key) and are absorbed
+    instead of re-accumulated.
+    """
+
+    def __init__(self, task_id: str, source: TaskInput,
+                 group_exprs: Sequence[Tuple[str, Callable[[Row], object]]],
+                 agg_specs: Sequence[Tuple[str, str, Optional[Callable[[Row], object]],
+                                           bool, bool]],
+                 partial: bool = False,
+                 global_agg: bool = False,
+                 stages: Optional[CompiledStages] = None):
+        super().__init__(task_id, [source], stages)
+        self.group_exprs = list(group_exprs)
+        self.agg_specs = list(agg_specs)
+        self.partial = partial
+        self.global_agg = global_agg
+
+    def _new_accs(self) -> List[Accumulator]:
+        return [make_accumulator(func, distinct, star)
+                for _, func, _, distinct, star in self.agg_specs]
+
+    def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        rows = self._input_rows(self.inputs[0], upstream)
+
+        groups: Dict[Tuple, List[Accumulator]] = {}
+        reprs: Dict[Tuple, Row] = {}
+        for row in rows:
+            gkey = tuple(fn(row) for _, fn in self.group_exprs)
+            accs = groups.get(gkey)
+            if accs is None:
+                accs = self._new_accs()
+                groups[gkey] = accs
+                reprs[gkey] = {slot: v for (slot, _), v
+                               in zip(self.group_exprs, gkey)}
+            self.compute_ops += len(accs)
+            if self.partial:
+                for acc, (slot, *_rest) in zip(accs, self.agg_specs):
+                    acc.absorb(row.get(slot))
+            else:
+                for acc, (slot, func, arg_fn, distinct, star) in zip(
+                        accs, self.agg_specs):
+                    acc.add(None if star else arg_fn(row))
+
+        if self.global_agg and not groups:
+            groups[()] = self._new_accs()
+            reprs[()] = {}
+
+        out: List[Row] = []
+        for gkey, accs in groups.items():
+            row = dict(reprs[gkey])
+            for acc, (slot, *_rest) in zip(accs, self.agg_specs):
+                row[slot] = acc.result()
+            out.append(row)
+        return self.stages.run(out)

@@ -1,0 +1,57 @@
+"""Logical planning: AST → the paper's query plan tree."""
+
+from repro.plan.explain import explain_plan, plan_signature
+from repro.plan.nodes import (
+    AggNode,
+    AggSpec,
+    Filter,
+    GroupKey,
+    JoinNode,
+    OutputCol,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    Stage,
+    base_column_id,
+    label_plan,
+    operator_nodes,
+    passthrough_pairs,
+    qualify,
+)
+from repro.plan.planner import Planner, plan_query
+from repro.plan.pruning import (
+    child_requirements,
+    expr_columns,
+    needed_raw_columns,
+    scan_base_columns,
+)
+from repro.plan.validate import validate_plan
+
+__all__ = [
+    "AggNode",
+    "AggSpec",
+    "Filter",
+    "GroupKey",
+    "JoinNode",
+    "OutputCol",
+    "PlanNode",
+    "Planner",
+    "Project",
+    "ScanNode",
+    "SortNode",
+    "Stage",
+    "base_column_id",
+    "explain_plan",
+    "label_plan",
+    "operator_nodes",
+    "passthrough_pairs",
+    "plan_query",
+    "plan_signature",
+    "qualify",
+    "child_requirements",
+    "expr_columns",
+    "needed_raw_columns",
+    "scan_base_columns",
+    "validate_plan",
+]

@@ -1,0 +1,50 @@
+"""EXPLAIN: pretty-print a plan tree the way the paper draws them."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.plan.nodes import Filter, PlanNode, Project, ScanNode
+
+
+def explain_plan(root: PlanNode) -> str:
+    """Render the tree top-down with indentation, labels, and stages.
+
+    Example output::
+
+        AGG2: AGG group by [<global>] compute [sum(l.extendedprice@1)]
+          JOIN2: INNER JOIN on outer.l_partkey@0=inner.l_partkey@0
+            ...
+    """
+    lines: List[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{node.label}: {node.describe()}")
+        for stage in node.stages:
+            if isinstance(stage, Filter):
+                lines.append(f"{indent}  | filter {stage.predicate.to_sql()}")
+            elif isinstance(stage, Project):
+                cols = ", ".join(
+                    o.name if o.passthrough_source == o.name
+                    else f"{o.expr.to_sql()} AS {o.name}"
+                    for o in stage.outputs)
+                lines.append(f"{indent}  | project {cols}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def plan_signature(root: PlanNode) -> List[str]:
+    """Compact post-order operator signature, e.g.
+    ``['SCAN lineitem', 'AGG1', 'SCAN lineitem', 'SCAN part', 'JOIN1',
+    'JOIN2', 'AGG2']`` — used by tests asserting plan shapes."""
+    sig: List[str] = []
+    for node in root.post_order():
+        if isinstance(node, ScanNode):
+            sig.append(f"SCAN {node.table}")
+        else:
+            sig.append(node.label)
+    return sig

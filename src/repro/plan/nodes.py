@@ -1,0 +1,420 @@
+"""Query plan tree nodes — the paper's plan model.
+
+A plan tree has SCAN leaves and JOIN / AGG / SORT operator nodes (the
+paper's Fig. 2(a)/Fig. 4 trees).  Selections and projections never get
+their own nodes; instead every node carries an ordered chain of *result
+stages* (:class:`Filter` / :class:`Project`) applied to the rows it
+produces, exactly as YSmart folds SP operations into the job that computes
+the node.  A scan's pushed-down predicate, a derived table's select list,
+a HAVING clause, an outer-join's post-filter, and an enclosing block's
+WHERE-on-derived-columns are all just stages.
+
+All expressions stored in plan nodes are *resolved*: every
+:class:`~repro.sqlparser.ast.ColumnRef` has ``table=None`` and ``name``
+equal to the row-dict key it reads (the planner rewrites them).  Row keys
+are globally unique qualified names of the form ``alias.column@blockid``
+(the top-level block omits the suffix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+from repro.sqlparser.ast import ColumnRef, Expr
+
+
+# ---------------------------------------------------------------------------
+# Result stages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OutputCol:
+    """One output column: ``expr AS name`` over the names of the previous
+    stage (or the node's raw output for the first stage)."""
+
+    name: str
+    expr: Expr
+
+    @property
+    def passthrough_source(self) -> Optional[str]:
+        """If this output merely renames an input column, that column."""
+        if isinstance(self.expr, ColumnRef) and self.expr.table is None:
+            return self.expr.name
+        return None
+
+
+@dataclass
+class Filter:
+    """Keep rows satisfying ``predicate`` (NULL counts as false)."""
+
+    predicate: Expr
+
+
+@dataclass
+class Project:
+    """Replace each row with ``{o.name: eval(o.expr)}``."""
+
+    outputs: List[OutputCol]
+
+    @property
+    def names(self) -> List[str]:
+        return [o.name for o in self.outputs]
+
+
+Stage = Union[Filter, Project]
+
+
+@dataclass
+class AggSpec:
+    """One aggregate computation inside an AGG node.
+
+    ``slot`` is the internal row key holding the result (``__agg0`` …);
+    ``arg`` is the resolved argument expression (None for ``count(*)``).
+    """
+
+    slot: str
+    func: str
+    arg: Optional[Expr]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass
+class GroupKey:
+    """One grouping key.
+
+    ``slot`` is the internal row key (``__g0`` …); ``expr`` the resolved
+    grouping expression over the child's output names; ``source_col`` the
+    child column name when the expression is a bare column reference (what
+    partition-key analysis matches on — an expression key can still be a
+    PK, but is only ever equal to itself).
+    """
+
+    slot: str
+    expr: Expr
+    source_col: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Nodes
+# ---------------------------------------------------------------------------
+
+class PlanNode:
+    """Base class for plan tree nodes."""
+
+    def __init__(self):
+        #: Paper-style label ("JOIN1", "AGG2"), assigned by label_plan().
+        self.label: str = ""
+        #: Result stages applied, in order, to this node's raw output rows.
+        self.stages: List[Stage] = []
+
+    # -- tree structure -------------------------------------------------------
+
+    @property
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def replace_children(self, new_children: Sequence["PlanNode"]) -> None:
+        if new_children:
+            raise PlanError(f"{type(self).__name__} takes no children")
+
+    def post_order(self) -> Iterator["PlanNode"]:
+        for child in self.children:
+            yield from child.post_order()
+        yield self
+
+    # -- stages ----------------------------------------------------------------
+
+    def add_filter(self, predicate: Expr) -> None:
+        self.stages.append(Filter(predicate))
+
+    def add_project(self, outputs: Sequence[OutputCol]) -> None:
+        self.stages.append(Project(list(outputs)))
+
+    # -- schema ------------------------------------------------------------------
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        """Names of the rows this node produces before any stage runs."""
+        raise NotImplementedError
+
+    @property
+    def output_names(self) -> List[str]:
+        """Names after the full stage chain."""
+        names = self.raw_output_names
+        for stage in self.stages:
+            if isinstance(stage, Project):
+                names = stage.names
+        return names
+
+    def describe(self) -> str:
+        """One-line operator summary used by EXPLAIN."""
+        raise NotImplementedError
+
+
+class ScanNode(PlanNode):
+    """One base-table instance.  Raw rows carry every table column under
+    qualified keys ``{alias}.{column}@{block}``; selections pushed into the
+    scan and a derived table's select list are stages."""
+
+    def __init__(self, table: str, alias: str, block_id: int,
+                 columns: Sequence[str]):
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.block_id = block_id
+        self.columns = list(columns)  # unqualified base column names
+
+    def qualified(self, column: str) -> str:
+        return qualify(self.alias, column, self.block_id)
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        return [self.qualified(c) for c in self.columns]
+
+    def describe(self) -> str:
+        return f"SCAN {self.table} AS {self.alias}"
+
+
+class JoinNode(PlanNode):
+    """An equi-join (inner / left / right / full outer) of two children.
+
+    Raw output rows are the concatenation of the matched child rows (outer
+    joins null-extend the missing side).  ``residual`` is the non-equi part
+    of the join condition, evaluated on candidate pairs *before*
+    null-extension (ON semantics); post-join predicates such as Q21's
+    ``cs IS NULL OR …`` are Filter stages.
+    """
+
+    def __init__(self, left: PlanNode, right: PlanNode, join_type: str,
+                 left_keys: Sequence[str], right_keys: Sequence[str],
+                 residual: Optional[Expr] = None):
+        super().__init__()
+        if join_type not in ("inner", "left", "right", "full"):
+            raise PlanError(f"unknown join type {join_type!r}")
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("equi-join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def replace_children(self, new_children: Sequence[PlanNode]) -> None:
+        self.left, self.right = new_children
+
+    def swap_children(self) -> None:
+        """Exchange left and right children (paper Rule 4).
+
+        Key lists and join type swap consistently: a LEFT join whose
+        children are exchanged becomes a RIGHT join.
+        """
+        self.left, self.right = self.right, self.left
+        self.left_keys, self.right_keys = self.right_keys, self.left_keys
+        self.join_type = {"left": "right", "right": "left"}.get(
+            self.join_type, self.join_type)
+
+    @property
+    def is_self_join(self) -> bool:
+        """True when both children scan the same base table (paper Sec V-A:
+        executed with a single table scan in the map phase)."""
+        return (isinstance(self.left, ScanNode) and isinstance(self.right, ScanNode)
+                and self.left.table == self.right.table)
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        return self.left.output_names + self.right.output_names
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        extra = f" residual {self.residual.to_sql()}" if self.residual else ""
+        return f"{self.join_type.upper()} JOIN on {keys}{extra}"
+
+
+class AggNode(PlanNode):
+    """Aggregation with optional grouping.
+
+    Raw rows are the internal slots ``{__g*: …, __agg*: …}``; the HAVING
+    clause and the block's select list are stages on top.
+    """
+
+    def __init__(self, child: PlanNode, group_keys: Sequence[GroupKey],
+                 aggs: Sequence[AggSpec]):
+        super().__init__()
+        self.child = child
+        self.group_keys = list(group_keys)
+        self.aggs = list(aggs)
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def replace_children(self, new_children: Sequence[PlanNode]) -> None:
+        (self.child,) = new_children
+
+    @property
+    def is_global(self) -> bool:
+        """True for a grand aggregate (no GROUP BY) — single reduce group."""
+        return not self.group_keys
+
+    @property
+    def has_distinct(self) -> bool:
+        return any(a.distinct for a in self.aggs)
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        return [g.slot for g in self.group_keys] + [a.slot for a in self.aggs]
+
+    def describe(self) -> str:
+        groups = ", ".join(g.expr.to_sql() for g in self.group_keys) or "<global>"
+        aggs = ", ".join(
+            f"{a.func}({'*' if a.star else ('DISTINCT ' if a.distinct else '') + (a.arg.to_sql() if a.arg else '')})"
+            for a in self.aggs)
+        return f"AGG group by [{groups}] compute [{aggs}]"
+
+
+class UnionNode(PlanNode):
+    """UNION ALL of N children with positionally-aligned outputs.
+
+    ``names`` are the union's canonical output names; each child's
+    output columns map to them positionally (``branch_names[i]`` lists
+    child *i*'s names in that order).  The node contributes no column
+    equivalences: a union output mixes values from different source
+    columns, so it anchors its own partition-key classes.
+    """
+
+    def __init__(self, children: Sequence[PlanNode], names: Sequence[str]):
+        super().__init__()
+        if len(children) < 2:
+            raise PlanError("UNION ALL needs at least two branches")
+        self._children = list(children)
+        self.names = list(names)
+        for child in self._children:
+            if len(child.output_names) != len(self.names):
+                raise PlanError(
+                    "UNION ALL branches must have the same column count")
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return tuple(self._children)
+
+    def replace_children(self, new_children: Sequence[PlanNode]) -> None:
+        self._children = list(new_children)
+
+    @property
+    def branch_names(self) -> List[List[str]]:
+        return [child.output_names for child in self._children]
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        return list(self.names)
+
+    def describe(self) -> str:
+        return f"UNION ALL of {len(self._children)} branches"
+
+
+class SortNode(PlanNode):
+    """ORDER BY (and/or LIMIT) over the child's output."""
+
+    def __init__(self, child: PlanNode, keys: Sequence[Tuple[str, bool]],
+                 limit: Optional[int] = None):
+        super().__init__()
+        self.child = child
+        self.keys = list(keys)  # (output column name, ascending)
+        self.limit = limit
+
+    @property
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def replace_children(self, new_children: Sequence[PlanNode]) -> None:
+        (self.child,) = new_children
+
+    @property
+    def raw_output_names(self) -> List[str]:
+        return self.child.output_names
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{k}{'' if asc else ' DESC'}" for k, asc in self.keys)
+        lim = f" LIMIT {self.limit}" if self.limit is not None else ""
+        return f"SORT by [{keys}]{lim}"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def qualify(alias: str, column: str, block_id: int) -> str:
+    """The globally unique row key for ``alias.column`` in block ``block_id``.
+
+    Block 0 (the top-level query block) omits the suffix for readability.
+    """
+    base = f"{alias}.{column}"
+    return base if block_id == 0 else f"{base}@{block_id}"
+
+
+def base_column_id(table: str, column: str) -> str:
+    """Canonical identity of a base-table column, used as the anchor of
+    partition-key equivalence classes (``base:lineitem.l_orderkey``)."""
+    return f"base:{table}.{column}"
+
+
+def label_plan(root: PlanNode, prefix: str = "") -> None:
+    """Assign paper-style labels (JOIN1, AGG2, SORT1, SCAN1 …) in post-order,
+    matching the paper's figure numbering.  ``prefix`` namespaces the
+    labels when several trees share one translation (batch mode)."""
+    counters = {"JOIN": 0, "AGG": 0, "SORT": 0, "SCAN": 0, "UNION": 0}
+    for node in root.post_order():
+        if isinstance(node, JoinNode):
+            kind = "JOIN"
+        elif isinstance(node, AggNode):
+            kind = "AGG"
+        elif isinstance(node, SortNode):
+            kind = "SORT"
+        elif isinstance(node, UnionNode):
+            kind = "UNION"
+        else:
+            kind = "SCAN"
+        counters[kind] += 1
+        node.label = f"{prefix}{kind}{counters[kind]}"
+
+
+def operator_nodes(root: PlanNode) -> List[PlanNode]:
+    """All JOIN/AGG/SORT nodes in post-order (the job-producing nodes)."""
+    return [n for n in root.post_order() if not isinstance(n, ScanNode)]
+
+
+def passthrough_pairs(node: PlanNode) -> List[Tuple[str, str]]:
+    """Name-equivalence pairs contributed by this node.
+
+    Used to build the partition-key equivalence classes:
+
+    * scan columns alias their base-table identity;
+    * equi-join keys alias each other (paper footnote 3);
+    * a grouping slot aliases its source column;
+    * a Project stage output that is a bare column reference aliases it.
+    """
+    pairs: List[Tuple[str, str]] = []
+    if isinstance(node, ScanNode):
+        for col in node.columns:
+            pairs.append((node.qualified(col), base_column_id(node.table, col)))
+    elif isinstance(node, JoinNode):
+        pairs.extend(zip(node.left_keys, node.right_keys))
+    elif isinstance(node, AggNode):
+        for gk in node.group_keys:
+            if gk.source_col is not None:
+                pairs.append((gk.slot, gk.source_col))
+    for stage in node.stages:
+        if isinstance(stage, Project):
+            for out in stage.outputs:
+                src = out.passthrough_source
+                if src is not None:
+                    pairs.append((out.name, src))
+    return pairs

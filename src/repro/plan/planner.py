@@ -1,0 +1,690 @@
+"""The planner: parsed SELECT statements → the paper's query plan tree.
+
+Each query block (outer query or derived table) is planned independently
+with its own *block id*; every column reference is resolved to a globally
+unique row key ``alias.column@blockid`` so that self-joins and repeated
+aliases across nesting levels can never collide.  The resulting tree
+contains only SCAN / JOIN / AGG / SORT nodes plus per-node Filter/Project
+stages (see :mod:`repro.plan.nodes`), which is exactly the plan shape
+YSmart's correlation analysis and job generation consume.
+
+Supported subset (the paper's Sec. IV): selection, projection,
+aggregation (with or without grouping, HAVING, DISTINCT aggregates),
+sorting, equi-joins (inner and left/right/full outer, incl. self-joins),
+derived tables, and arbitrary scalar expressions over those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import NameResolutionError, PlanError, UnsupportedSqlError
+from repro.plan.nodes import (
+    AggNode,
+    AggSpec,
+    GroupKey,
+    JoinNode,
+    OutputCol,
+    PlanNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+    label_plan,
+    qualify,
+)
+from repro.sqlparser.ast import (
+    Between,
+    Star,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FromItem,
+    FuncCall,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    UnionStmt,
+    conjuncts,
+    contains_aggregate,
+)
+
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Source:
+    """One FROM-clause source visible in a block's scope."""
+
+    alias: str
+    node: PlanNode
+    #: bare column name → fully qualified row key
+    by_col: Dict[str, str]
+
+    def resolve(self, column: str) -> Optional[str]:
+        return self.by_col.get(column)
+
+
+class _Scope:
+    """Column resolution over the sources of one query block."""
+
+    def __init__(self, sources: Sequence[_Source]):
+        self.sources = list(sources)
+        self._by_alias = {}
+        for src in sources:
+            if src.alias in self._by_alias:
+                raise NameResolutionError(f"duplicate table alias {src.alias!r}")
+            self._by_alias[src.alias] = src
+
+    def resolve(self, table: Optional[str], column: str) -> Tuple[str, str]:
+        """Resolve a column reference → (source alias, row key)."""
+        if table is not None:
+            src = self._by_alias.get(table)
+            if src is None:
+                raise NameResolutionError(f"unknown table alias {table!r}")
+            key = src.resolve(column)
+            if key is None:
+                raise NameResolutionError(
+                    f"source {table!r} has no column {column!r}")
+            return src.alias, key
+        hits = [(s.alias, s.resolve(column)) for s in self.sources
+                if s.resolve(column) is not None]
+        if not hits:
+            raise NameResolutionError(f"unknown column {column!r}")
+        if len(hits) > 1:
+            aliases = ", ".join(a for a, _ in hits)
+            raise NameResolutionError(
+                f"column {column!r} is ambiguous (in {aliases})")
+        return hits[0]
+
+
+# ---------------------------------------------------------------------------
+# Expression resolution / rewriting
+# ---------------------------------------------------------------------------
+
+def _resolve_expr(expr: Expr, scope: _Scope, refs: Set[str]) -> Expr:
+    """Rewrite every ColumnRef to ColumnRef(None, row_key); record the
+    aliases of the sources referenced in ``refs``."""
+    if isinstance(expr, ColumnRef):
+        alias, key = scope.resolve(expr.table, expr.name)
+        refs.add(alias)
+        return ColumnRef(None, key)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _resolve_expr(expr.left, scope, refs),
+                        _resolve_expr(expr.right, scope, refs))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _resolve_expr(expr.operand, scope, refs))
+    if isinstance(expr, IsNull):
+        return IsNull(_resolve_expr(expr.operand, scope, refs), expr.negated)
+    if isinstance(expr, Between):
+        return Between(_resolve_expr(expr.operand, scope, refs),
+                       _resolve_expr(expr.low, scope, refs),
+                       _resolve_expr(expr.high, scope, refs))
+    if isinstance(expr, InList):
+        return InList(_resolve_expr(expr.operand, scope, refs),
+                      tuple(_resolve_expr(i, scope, refs) for i in expr.items),
+                      expr.negated)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            tuple((_resolve_expr(c, scope, refs), _resolve_expr(v, scope, refs))
+                  for c, v in expr.branches),
+            _resolve_expr(expr.default, scope, refs)
+            if expr.default is not None else None)
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name,
+                        tuple(_resolve_expr(a, scope, refs) for a in expr.args),
+                        expr.distinct, expr.star)
+    raise UnsupportedSqlError(f"cannot resolve expression {expr!r}")
+
+
+def _map_expr(expr: Expr, fn) -> Expr:
+    """Bottom-up rewrite: apply ``fn`` to every subexpression (children
+    already rewritten); ``fn`` returns a replacement or the node itself."""
+    if isinstance(expr, BinaryOp):
+        expr = BinaryOp(expr.op, _map_expr(expr.left, fn), _map_expr(expr.right, fn))
+    elif isinstance(expr, UnaryOp):
+        expr = UnaryOp(expr.op, _map_expr(expr.operand, fn))
+    elif isinstance(expr, IsNull):
+        expr = IsNull(_map_expr(expr.operand, fn), expr.negated)
+    elif isinstance(expr, Between):
+        expr = Between(_map_expr(expr.operand, fn), _map_expr(expr.low, fn),
+                       _map_expr(expr.high, fn))
+    elif isinstance(expr, InList):
+        expr = InList(_map_expr(expr.operand, fn),
+                      tuple(_map_expr(i, fn) for i in expr.items), expr.negated)
+    elif isinstance(expr, CaseWhen):
+        expr = CaseWhen(tuple((_map_expr(c, fn), _map_expr(v, fn))
+                              for c, v in expr.branches),
+                        _map_expr(expr.default, fn)
+                        if expr.default is not None else None)
+    elif isinstance(expr, FuncCall):
+        expr = FuncCall(expr.name, tuple(_map_expr(a, fn) for a in expr.args),
+                        expr.distinct, expr.star)
+    return fn(expr)
+
+
+def _extract_aggregates(expr: Expr, specs: List[AggSpec],
+                        slot_suffix: str = "") -> Expr:
+    """Replace aggregate calls in a *resolved* expression with slot refs,
+    appending deduplicated :class:`AggSpec` entries to ``specs``."""
+    # Detect nesting on the original tree: _map_expr rewrites bottom-up,
+    # so by the time the outer call is visited its inner aggregate has
+    # already been replaced by a slot reference.
+    for e in expr.walk():
+        if isinstance(e, FuncCall) and e.is_aggregate:
+            if any(isinstance(sub, FuncCall) and sub.is_aggregate
+                   for a in e.args for sub in a.walk()):
+                raise UnsupportedSqlError("nested aggregate calls")
+
+    def visit(e: Expr) -> Expr:
+        if isinstance(e, FuncCall) and e.is_aggregate:
+            arg = e.args[0] if e.args else None
+            if len(e.args) > 1:
+                raise UnsupportedSqlError(
+                    f"{e.name}() takes one argument in this subset")
+            for spec in specs:
+                if (spec.func == e.name and spec.distinct == e.distinct
+                        and spec.star == e.star and spec.arg == arg):
+                    return ColumnRef(None, spec.slot)
+            spec = AggSpec(slot=f"__agg{len(specs)}{slot_suffix}",
+                           func=e.name, arg=arg,
+                           distinct=e.distinct, star=e.star)
+            specs.append(spec)
+            return ColumnRef(None, spec.slot)
+        return e
+
+    return _map_expr(expr, visit)
+
+
+def _substitute_group_keys(expr: Expr, group_keys: Sequence[GroupKey]) -> Expr:
+    """Replace subexpressions equal to a grouping expression with its slot."""
+    by_expr = {gk.expr: gk.slot for gk in group_keys}
+
+    def visit(e: Expr) -> Expr:
+        slot = by_expr.get(e)
+        return ColumnRef(None, slot) if slot is not None else e
+
+    return _map_expr(expr, visit)
+
+
+def _check_only_slots(expr: Expr, context: str) -> None:
+    """After agg-extraction and group substitution, every remaining column
+    reference must be a slot; anything else is a non-grouped column."""
+    for e in expr.walk():
+        if isinstance(e, ColumnRef) and not e.name.startswith("__"):
+            raise PlanError(
+                f"column {e.name!r} in {context} is neither grouped nor aggregated")
+
+
+def _is_equi_conjunct(expr: Expr) -> bool:
+    return (isinstance(expr, BinaryOp) and expr.op == "="
+            and isinstance(expr.left, ColumnRef)
+            and isinstance(expr.right, ColumnRef))
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+class Planner:
+    """Plans one statement; blocks get sequential ids starting at 0."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._next_block = 0
+        self._next_agg = 0
+
+    def _agg_uid(self) -> int:
+        self._next_agg += 1
+        return self._next_agg
+
+    def plan(self, stmt: SelectStmt, result_alias: Optional[str] = None,
+             label_prefix: str = "") -> PlanNode:
+        """Plan one statement.
+
+        ``result_alias`` qualifies the top-level output names as
+        ``alias.column`` — batch translation uses it so several queries
+        planned by one Planner can never collide on output names (plain
+        names would corrupt the shared partition-key equivalence).
+        ``label_prefix`` namespaces the node labels the same way.
+        """
+        if isinstance(stmt, UnionStmt):
+            root = self._plan_union(stmt, outer_alias=result_alias,
+                                    outer_bid=0)
+        else:
+            root = self._plan_block(stmt, outer_alias=result_alias,
+                                    outer_bid=0)
+        label_plan(root, label_prefix)
+        from repro.plan.validate import validate_plan
+        validate_plan(root)
+        return root
+
+    def _plan_union(self, stmt: UnionStmt, outer_alias: Optional[str],
+                    outer_bid: int) -> PlanNode:
+        """Plan each branch in its own scope; the union's canonical
+        output names come from the first branch's select list, qualified
+        under the enclosing alias like any block top."""
+        first_items = stmt.branches[0].items
+        for branch in stmt.branches[1:]:
+            if len(branch.items) != len(first_items):
+                raise PlanError(
+                    "UNION ALL branches must have the same column count")
+        children = []
+        for i, branch in enumerate(stmt.branches):
+            # Each branch gets a unique synthetic qualifier so no two
+            # branches (or any other block) share output row keys.
+            ualias = f"__u{self._next_block}"
+            children.append(self._plan_block(branch, outer_alias=ualias,
+                                             outer_bid=self._next_block))
+        bare = [self._output_name(item, i)
+                for i, item in enumerate(first_items)]
+        names = [self._out_key(n, outer_alias, outer_bid) for n in bare]
+        return UnionNode(children, names)
+
+    # -- blocks -----------------------------------------------------------------
+
+    def _plan_block(self, stmt: SelectStmt, outer_alias: Optional[str],
+                    outer_bid: int) -> PlanNode:
+        bid = self._next_block
+        self._next_block += 1
+
+        items: List[Tuple[PlanNode, List[_Source]]] = [
+            self._plan_from_item(fi, bid) for fi in stmt.from_items]
+        scope = _Scope([src for _, sources in items for src in sources])
+        stmt = self._expand_stars(stmt, scope)
+
+        top = self._apply_where_and_join(stmt.where, items, scope)
+
+        has_agg = (bool(stmt.group_by) or stmt.having is not None
+                   or any(contains_aggregate(i.expr) for i in stmt.items))
+
+        self._last_group_keys = None
+        if has_agg:
+            top = self._plan_aggregate(stmt, top, scope, outer_alias, outer_bid)
+        else:
+            outputs = self._plain_outputs(stmt.items, scope, outer_alias,
+                                          outer_bid)
+            top.add_project(outputs)
+        group_keys = self._last_group_keys
+
+        if stmt.distinct:
+            top = self._plan_distinct(top)
+            group_keys = None  # hidden sort columns would break DISTINCT
+
+        if stmt.order_by or stmt.limit is not None:
+            top = self._plan_sort(stmt, top, scope, group_keys,
+                                  allow_hidden=not stmt.distinct)
+
+        return top
+
+    def _expand_stars(self, stmt: SelectStmt, scope: _Scope) -> SelectStmt:
+        """Replace ``*`` / ``alias.*`` select items with explicit columns."""
+        if not any(isinstance(i.expr, Star) for i in stmt.items):
+            return stmt
+        expanded: List[SelectItem] = []
+        for item in stmt.items:
+            if not isinstance(item.expr, Star):
+                expanded.append(item)
+                continue
+            if item.alias is not None:
+                raise UnsupportedSqlError("'*' cannot take an alias")
+            sources = scope.sources
+            if item.expr.table is not None:
+                sources = [s for s in sources
+                           if s.alias == item.expr.table]
+                if not sources:
+                    raise NameResolutionError(
+                        f"unknown table alias {item.expr.table!r}")
+            for source in sources:
+                for bare in source.by_col:
+                    expanded.append(SelectItem(
+                        ColumnRef(source.alias, bare), None))
+        return SelectStmt(
+            items=tuple(expanded), from_items=stmt.from_items,
+            where=stmt.where, group_by=stmt.group_by, having=stmt.having,
+            order_by=stmt.order_by, limit=stmt.limit,
+            distinct=stmt.distinct)
+
+    # -- FROM ----------------------------------------------------------------------
+
+    def _plan_from_item(self, item: FromItem, bid: int
+                        ) -> Tuple[PlanNode, List[_Source]]:
+        if isinstance(item, TableRef):
+            schema = self.catalog.schema(item.name)
+            alias = item.effective_alias
+            scan = ScanNode(item.name.lower(), alias, bid, schema.names)
+            by_col = {c: scan.qualified(c) for c in schema.names}
+            return scan, [_Source(alias, scan, by_col)]
+
+        if isinstance(item, SubqueryRef):
+            # The subquery's select list is projected directly to the
+            # outer-qualified names alias.column@bid — no intermediate
+            # plain names exist, which keeps every row key in the whole
+            # tree globally unique.
+            if isinstance(item.query, UnionStmt):
+                node = self._plan_union(item.query, outer_alias=item.alias,
+                                        outer_bid=bid)
+                first_items = item.query.branches[0].items
+            else:
+                node = self._plan_block(item.query, outer_alias=item.alias,
+                                        outer_bid=bid)
+                first_items = item.query.items
+            bare = [self._output_name(sel, i)
+                    for i, sel in enumerate(first_items)]
+            by_col = {b: qualify(item.alias, b, bid) for b in bare}
+            return node, [_Source(item.alias, node, by_col)]
+
+        if isinstance(item, JoinClause):
+            left_node, left_sources = self._plan_from_item(item.left, bid)
+            right_node, right_sources = self._plan_from_item(item.right, bid)
+            scope = _Scope(left_sources + right_sources)
+            left_aliases = {s.alias for s in left_sources}
+
+            lkeys: List[str] = []
+            rkeys: List[str] = []
+            residuals: List[Expr] = []
+            for conj in conjuncts(item.condition):
+                refs: Set[str] = set()
+                resolved = _resolve_expr(conj, scope, refs)
+                if (_is_equi_conjunct(resolved) and len(refs) == 2
+                        and len(refs & left_aliases) == 1):
+                    a_refs: Set[str] = set()
+                    left_side = _resolve_expr(conj.left, scope, a_refs)
+                    if a_refs <= left_aliases:
+                        lkeys.append(left_side.name)
+                        rkeys.append(resolved.right.name)
+                    else:
+                        lkeys.append(resolved.right.name)
+                        rkeys.append(left_side.name)
+                else:
+                    residuals.append(resolved)
+            if not lkeys:
+                raise UnsupportedSqlError(
+                    "JOIN … ON requires at least one equi-join conjunct")
+            residual = _and_all(residuals)
+            node = JoinNode(left_node, right_node, item.join_type,
+                            lkeys, rkeys, residual)
+            return node, left_sources + right_sources
+
+        raise UnsupportedSqlError(f"unsupported FROM item: {item!r}")
+
+    # -- WHERE classification + join-tree construction -------------------------------
+
+    def _apply_where_and_join(self, where: Optional[Expr],
+                              items: List[Tuple[PlanNode, List[_Source]]],
+                              scope: _Scope) -> PlanNode:
+        item_aliases: List[Set[str]] = [
+            {s.alias for s in sources} for _, sources in items]
+
+        def item_of(refs: Set[str]) -> Optional[int]:
+            for idx, aliases in enumerate(item_aliases):
+                if refs <= aliases:
+                    return idx
+            return None
+
+        edges: List[Tuple[int, int, str, str]] = []   # (item_a, item_b, key_a, key_b)
+        residuals: List[Tuple[Set[str], Expr]] = []
+
+        for conj in conjuncts(where):
+            refs: Set[str] = set()
+            resolved = _resolve_expr(conj, scope, refs)
+            idx = item_of(refs)
+            if idx is not None:
+                node = items[idx][0]
+                node.add_filter(resolved)
+                continue
+            if _is_equi_conjunct(resolved):
+                lrefs: Set[str] = set()
+                _resolve_expr(conj.left, scope, lrefs)
+                li = item_of(lrefs)
+                rrefs: Set[str] = set()
+                _resolve_expr(conj.right, scope, rrefs)
+                ri = item_of(rrefs)
+                if li is not None and ri is not None and li != ri:
+                    edges.append((li, ri, resolved.left.name, resolved.right.name))
+                    continue
+            residuals.append((refs, resolved))
+
+        if len(items) == 1:
+            top = items[0][0]
+            covered = item_aliases[0]
+        else:
+            top, covered = self._build_join_tree(items, item_aliases,
+                                                 edges, residuals)
+
+        for refs, resolved in residuals:
+            if resolved is None:
+                continue
+            if not refs <= covered:
+                raise PlanError(
+                    f"predicate references unknown sources: {sorted(refs)}")
+        # Residuals not attached during tree construction go on top.
+        for refs, resolved in residuals:
+            if resolved is not None:
+                top.add_filter(resolved)
+        return top
+
+    def _build_join_tree(self, items, item_aliases, edges, residuals
+                         ) -> Tuple[PlanNode, Set[str]]:
+        """Left-deep join tree over the comma-separated FROM items, in FROM
+        order, connecting each new item through its equi-join edges."""
+        remaining = list(range(1, len(items)))
+        in_tree = {0}
+        current = items[0][0]
+        covered = set(item_aliases[0])
+
+        def edges_between(tree_items: Set[int], idx: int):
+            found = []
+            for (a, b, ka, kb) in edges:
+                if a in tree_items and b == idx:
+                    found.append((ka, kb))
+                elif b in tree_items and a == idx:
+                    found.append((kb, ka))
+            return found
+
+        while remaining:
+            for pos, idx in enumerate(remaining):
+                keys = edges_between(in_tree, idx)
+                if keys:
+                    break
+            else:
+                raise UnsupportedSqlError(
+                    "query requires a cross join (no equi-join predicate "
+                    "connects all FROM items)")
+            lkeys = [k for k, _ in keys]
+            rkeys = [k for _, k in keys]
+            current = JoinNode(current, items[idx][0], "inner", lkeys, rkeys)
+            in_tree.add(idx)
+            covered |= item_aliases[idx]
+            remaining.pop(pos)
+            # Attach any residual that just became evaluable.
+            for entry_index, (refs, resolved) in enumerate(residuals):
+                if resolved is not None and refs <= covered:
+                    current.add_filter(resolved)
+                    residuals[entry_index] = (refs, None)
+        return current, covered
+
+    # -- SELECT list ------------------------------------------------------------------
+
+    def _output_name(self, item: SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.name
+        return f"_col{index}"
+
+    def _out_key(self, name: str, outer_alias: Optional[str], bid: int) -> str:
+        if outer_alias is None:
+            return name
+        return qualify(outer_alias, name, bid)
+
+    def _plain_outputs(self, sel_items: Sequence[SelectItem], scope: _Scope,
+                       outer_alias: Optional[str], bid: int) -> List[OutputCol]:
+        outputs: List[OutputCol] = []
+        seen: Set[str] = set()
+        for i, item in enumerate(sel_items):
+            name = self._output_name(item, i)
+            if name in seen:
+                raise PlanError(f"duplicate output column name {name!r}")
+            seen.add(name)
+            refs: Set[str] = set()
+            resolved = _resolve_expr(item.expr, scope, refs)
+            outputs.append(OutputCol(self._out_key(name, outer_alias, bid),
+                                     resolved))
+        return outputs
+
+    # -- aggregation --------------------------------------------------------------------
+
+    def _plan_aggregate(self, stmt: SelectStmt, child: PlanNode, scope: _Scope,
+                        outer_alias: Optional[str], bid: int) -> PlanNode:
+        select_aliases = {
+            item.alias: item.expr for item in stmt.items
+            if item.alias and not contains_aggregate(item.expr)}
+
+        uid = self._agg_uid()
+        group_keys: List[GroupKey] = []
+        for i, gexpr in enumerate(stmt.group_by):
+            # GROUP BY may name a select alias (standard extension the
+            # paper's Q-CSA uses: GROUP BY c1.uid, ts1).
+            if isinstance(gexpr, ColumnRef) and gexpr.table is None:
+                try:
+                    refs: Set[str] = set()
+                    resolved = _resolve_expr(gexpr, scope, refs)
+                except NameResolutionError:
+                    if gexpr.name not in select_aliases:
+                        raise
+                    refs = set()
+                    resolved = _resolve_expr(select_aliases[gexpr.name],
+                                             scope, refs)
+            else:
+                refs = set()
+                resolved = _resolve_expr(gexpr, scope, refs)
+            source_col = (resolved.name
+                          if isinstance(resolved, ColumnRef) else None)
+            group_keys.append(GroupKey(f"__g{i}.a{uid}", resolved, source_col))
+
+        specs: List[AggSpec] = []
+        outputs: List[OutputCol] = []
+        seen: Set[str] = set()
+        for i, item in enumerate(stmt.items):
+            name = self._output_name(item, i)
+            if name in seen:
+                raise PlanError(f"duplicate output column name {name!r}")
+            seen.add(name)
+            refs = set()
+            resolved = _resolve_expr(item.expr, scope, refs)
+            extracted = _extract_aggregates(resolved, specs, f".a{uid}")
+            substituted = _substitute_group_keys(extracted, group_keys)
+            _check_only_slots(substituted, f"select item {name!r}")
+            outputs.append(OutputCol(self._out_key(name, outer_alias, bid),
+                                     substituted))
+
+        having_pred = None
+        if stmt.having is not None:
+            refs = set()
+            resolved = _resolve_expr(stmt.having, scope, refs)
+            extracted = _extract_aggregates(resolved, specs, f".a{uid}")
+            having_pred = _substitute_group_keys(extracted, group_keys)
+            _check_only_slots(having_pred, "HAVING")
+
+        agg = AggNode(child, group_keys, specs)
+        if having_pred is not None:
+            agg.add_filter(having_pred)
+        agg.add_project(outputs)
+        self._last_group_keys = group_keys
+        return agg
+
+    # -- DISTINCT / ORDER BY / LIMIT -------------------------------------------------------
+
+    def _plan_distinct(self, top: PlanNode) -> PlanNode:
+        uid = self._agg_uid()
+        names = top.output_names
+        group_keys = [GroupKey(f"__g{i}.a{uid}", ColumnRef(None, n), n)
+                      for i, n in enumerate(names)]
+        agg = AggNode(top, group_keys, [])
+        agg.add_project([OutputCol(n, ColumnRef(None, gk.slot))
+                         for n, gk in zip(names, group_keys)])
+        return agg
+
+    def _plan_sort(self, stmt: SelectStmt, top: PlanNode,
+                   scope: Optional[_Scope] = None,
+                   group_keys: Optional[List[GroupKey]] = None,
+                   allow_hidden: bool = True) -> PlanNode:
+        names = top.output_names
+        bare = {}
+        for n in names:
+            stripped = n.rsplit("@", 1)[0]
+            stripped = stripped.split(".")[-1]
+            bare.setdefault(stripped, n)
+
+        keys: List[Tuple[str, bool]] = []
+        hidden: List[str] = []
+        for order in stmt.order_by:
+            expr = order.expr
+            if not isinstance(expr, ColumnRef):
+                raise UnsupportedSqlError(
+                    "ORDER BY supports column references only")
+            if expr.table is None and expr.name in names:
+                keys.append((expr.name, order.ascending))
+                continue
+            if expr.table is None and expr.name in bare:
+                keys.append((bare[expr.name], order.ascending))
+                continue
+            # Not an output column: resolve against the block's sources
+            # and carry it as a hidden output through the sort.
+            if scope is None or not allow_hidden:
+                raise NameResolutionError(
+                    f"ORDER BY column {expr.to_sql()!r} is not in the "
+                    f"output (outputs: {sorted(names)})")
+            refs: Set[str] = set()
+            resolved = _resolve_expr(expr, scope, refs)
+            if group_keys is not None:
+                resolved = _substitute_group_keys(resolved, group_keys)
+                _check_only_slots(resolved, "ORDER BY")
+            hidden_name = f"__sort{len(hidden)}"
+            hidden.append(hidden_name)
+            self._append_output(top, OutputCol(hidden_name, resolved))
+            keys.append((hidden_name, order.ascending))
+
+        sort = SortNode(top, keys, stmt.limit)
+        if hidden:
+            sort.add_project(
+                [OutputCol(n, ColumnRef(None, n)) for n in names])
+        return sort
+
+    @staticmethod
+    def _append_output(top: PlanNode, col: OutputCol) -> None:
+        """Add a column to the node's final Project stage."""
+        from repro.plan.nodes import Project
+        for stage in reversed(top.stages):
+            if isinstance(stage, Project):
+                stage.outputs.append(col)
+                return
+        raise PlanError(
+            "cannot add a hidden sort column: the block top has no "
+            "projection stage")
+
+
+def _and_all(exprs: List[Expr]) -> Optional[Expr]:
+    result: Optional[Expr] = None
+    for e in exprs:
+        result = e if result is None else BinaryOp("AND", result, e)
+    return result
+
+
+def plan_query(stmt: SelectStmt, catalog: Catalog) -> PlanNode:
+    """Plan a parsed statement against ``catalog`` (labels assigned)."""
+    return Planner(catalog).plan(stmt)

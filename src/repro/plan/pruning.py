@@ -1,0 +1,113 @@
+"""Projection pruning: which child columns does a node actually need?
+
+The paper's common mapper emits "all the required data for all the merged
+jobs" — and nothing more.  This module computes those requirements by
+walking a node's stage chain backwards from the outputs its consumers
+need, then adding the node's intrinsic references (join keys, residual
+predicates, grouping expressions, aggregate arguments, sort keys).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import PlanError
+from repro.plan.nodes import (
+    AggNode,
+    Filter,
+    JoinNode,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+from repro.sqlparser.ast import ColumnRef, Expr
+
+
+def expr_columns(expr: Optional[Expr]) -> Set[str]:
+    """All resolved column names referenced by an expression."""
+    if expr is None:
+        return set()
+    return {e.name for e in expr.walk() if isinstance(e, ColumnRef)}
+
+
+def needed_raw_columns(node: PlanNode, needed_outputs: Optional[Set[str]] = None
+                       ) -> Set[str]:
+    """Columns of the node's *raw* output needed to produce
+    ``needed_outputs`` (default: every output) through the stage chain."""
+    needed = (set(node.output_names) if needed_outputs is None
+              else set(needed_outputs))
+    for stage in reversed(node.stages):
+        if isinstance(stage, Project):
+            prev: Set[str] = set()
+            for out in stage.outputs:
+                if out.name in needed:
+                    prev |= expr_columns(out.expr)
+            needed = prev
+        elif isinstance(stage, Filter):
+            needed = needed | expr_columns(stage.predicate)
+    return needed
+
+
+def child_requirements(node: PlanNode,
+                       needed_outputs: Optional[Set[str]] = None
+                       ) -> List[Set[str]]:
+    """Per-child sets of output columns the node needs, in child order."""
+    raw = needed_raw_columns(node, needed_outputs)
+
+    if isinstance(node, ScanNode):
+        return []
+
+    if isinstance(node, JoinNode):
+        raw |= set(node.left_keys) | set(node.right_keys)
+        raw |= expr_columns(node.residual)
+        left_names = set(node.left.output_names)
+        right_names = set(node.right.output_names)
+        unknown = raw - left_names - right_names
+        if unknown:
+            raise PlanError(
+                f"join {node.label} references columns {sorted(unknown)} "
+                "missing from both children")
+        return [raw & left_names, raw & right_names]
+
+    if isinstance(node, AggNode):
+        needs: Set[str] = set()
+        for gk in node.group_keys:
+            needs |= expr_columns(gk.expr)
+        for spec in node.aggs:
+            needs |= expr_columns(spec.arg)
+        child_names = set(node.child.output_names)
+        unknown = needs - child_names
+        if unknown:
+            raise PlanError(
+                f"aggregate {node.label} references columns "
+                f"{sorted(unknown)} missing from its child")
+        return [needs]
+
+    if isinstance(node, UnionNode):
+        # Positional mapping: a needed canonical column needs the same
+        # position's column in every branch.
+        out = []
+        for names in node.branch_names:
+            out.append({col for canon, col in zip(node.names, names)
+                        if canon in raw})
+        return out
+
+    if isinstance(node, SortNode):
+        needs = raw | {name for name, _ in node.keys}
+        unknown = needs - set(node.child.output_names)
+        if unknown:
+            raise PlanError(
+                f"sort {node.label} references columns {sorted(unknown)} "
+                "missing from its child")
+        return [needs]
+
+    raise PlanError(f"unknown node type {type(node).__name__}")
+
+
+def scan_base_columns(scan: ScanNode, needed_outputs: Optional[Set[str]] = None
+                      ) -> Set[str]:
+    """The base-table columns a scan must read to serve ``needed_outputs``."""
+    raw = needed_raw_columns(scan, needed_outputs)
+    return {c for c in scan.columns if scan.qualified(c) in raw}

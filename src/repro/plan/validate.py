@@ -1,0 +1,161 @@
+"""Plan-tree well-formedness validation.
+
+Run after planning and after any tree transformation (Rule-4 swaps): a
+plan that passes validation can always be compiled and executed, so
+translation failures surface here with plan-level messages rather than
+as KeyErrors deep inside reduce functions.
+
+Checks, per node:
+
+* every column referenced by intrinsic expressions (join keys, residuals,
+  grouping expressions, aggregate arguments, sort keys) exists in the
+  node's input at the point it is evaluated;
+* every Filter/Project stage only references names visible at its stage;
+* output names are unique;
+* join key lists are aligned; sort keys exist in the child's output;
+* labels are present and unique (label_plan has run).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import PlanError
+from repro.plan.nodes import (
+    AggNode,
+    Filter,
+    JoinNode,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+from repro.plan.pruning import expr_columns
+
+
+def _check_stage_chain(node: PlanNode, start_names: Set[str]) -> Set[str]:
+    names = set(start_names)
+    for i, stage in enumerate(node.stages):
+        if isinstance(stage, Filter):
+            missing = expr_columns(stage.predicate) - names
+            if missing:
+                raise PlanError(
+                    f"{node.label}: filter stage {i} references unknown "
+                    f"columns {sorted(missing)}")
+        elif isinstance(stage, Project):
+            seen: Set[str] = set()
+            for out in stage.outputs:
+                missing = expr_columns(out.expr) - names
+                if missing:
+                    raise PlanError(
+                        f"{node.label}: projection of {out.name!r} "
+                        f"references unknown columns {sorted(missing)}")
+                if out.name in seen:
+                    raise PlanError(
+                        f"{node.label}: duplicate output column "
+                        f"{out.name!r}")
+                seen.add(out.name)
+            names = seen
+        else:
+            raise PlanError(
+                f"{node.label}: unknown stage type {type(stage).__name__}")
+    return names
+
+
+def validate_plan(root: PlanNode) -> None:
+    """Raise :class:`PlanError` on any malformed node."""
+    labels: Set[str] = set()
+    for node in root.post_order():
+        if not node.label:
+            raise PlanError(f"{type(node).__name__} has no label; "
+                            "run label_plan() first")
+        if node.label in labels:
+            raise PlanError(f"duplicate node label {node.label}")
+        labels.add(node.label)
+
+        if isinstance(node, ScanNode):
+            raw = {node.qualified(c) for c in node.columns}
+
+        elif isinstance(node, JoinNode):
+            left = set(node.left.output_names)
+            right = set(node.right.output_names)
+            overlap = left & right
+            if overlap:
+                raise PlanError(
+                    f"{node.label}: children outputs overlap on "
+                    f"{sorted(overlap)}")
+            if len(node.left_keys) != len(node.right_keys):
+                raise PlanError(f"{node.label}: key lists are misaligned")
+            if not node.left_keys:
+                raise PlanError(f"{node.label}: empty equi-join key list")
+            bad_left = set(node.left_keys) - left
+            bad_right = set(node.right_keys) - right
+            if bad_left or bad_right:
+                raise PlanError(
+                    f"{node.label}: join keys missing from children: "
+                    f"{sorted(bad_left | bad_right)}")
+            raw = left | right
+            missing = expr_columns(node.residual) - raw
+            if missing:
+                raise PlanError(
+                    f"{node.label}: residual references unknown columns "
+                    f"{sorted(missing)}")
+
+        elif isinstance(node, AggNode):
+            child = set(node.child.output_names)
+            for gk in node.group_keys:
+                missing = expr_columns(gk.expr) - child
+                if missing:
+                    raise PlanError(
+                        f"{node.label}: group key {gk.slot} references "
+                        f"unknown columns {sorted(missing)}")
+                if gk.source_col is not None and gk.source_col not in child:
+                    raise PlanError(
+                        f"{node.label}: group key source "
+                        f"{gk.source_col!r} missing from child")
+            for spec in node.aggs:
+                missing = expr_columns(spec.arg) - child
+                if missing:
+                    raise PlanError(
+                        f"{node.label}: aggregate {spec.slot} references "
+                        f"unknown columns {sorted(missing)}")
+            slots = [g.slot for g in node.group_keys] \
+                + [a.slot for a in node.aggs]
+            if len(slots) != len(set(slots)):
+                raise PlanError(f"{node.label}: duplicate slots {slots}")
+            raw = set(slots)
+
+        elif isinstance(node, UnionNode):
+            arity = len(node.names)
+            for i, child in enumerate(node.children):
+                if len(child.output_names) != arity:
+                    raise PlanError(
+                        f"{node.label}: branch {i} has "
+                        f"{len(child.output_names)} columns, expected "
+                        f"{arity}")
+            raw = set(node.names)
+
+        elif isinstance(node, SortNode):
+            child = set(node.child.output_names)
+            for key, _asc in node.keys:
+                if key not in child:
+                    raise PlanError(
+                        f"{node.label}: sort key {key!r} missing from "
+                        f"child output {sorted(child)}")
+            if node.limit is not None and node.limit < 0:
+                raise PlanError(f"{node.label}: negative LIMIT")
+            raw = child
+
+        else:
+            raise PlanError(f"unknown node type {type(node).__name__}")
+
+        final = _check_stage_chain(node, raw)
+        declared = node.output_names
+        if set(declared) != final:
+            raise PlanError(
+                f"{node.label}: output_names {sorted(declared)} disagree "
+                f"with the stage chain's result {sorted(final)}")
+        if len(declared) != len(set(declared)):
+            raise PlanError(
+                f"{node.label}: duplicate output names {declared}")

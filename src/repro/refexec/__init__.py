@@ -1,0 +1,23 @@
+"""Reference executor: correctness oracle and DBMS-baseline engine."""
+
+from repro.refexec.executor import (
+    OperatorStats,
+    ReferenceExecutor,
+    ReferenceResult,
+    apply_stages,
+    compile_resolved,
+    compile_resolved_predicate,
+    run_reference,
+    sort_rows,
+)
+
+__all__ = [
+    "OperatorStats",
+    "ReferenceExecutor",
+    "ReferenceResult",
+    "apply_stages",
+    "compile_resolved",
+    "compile_resolved_predicate",
+    "run_reference",
+    "sort_rows",
+]

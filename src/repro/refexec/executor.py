@@ -1,0 +1,248 @@
+"""The reference executor: pipelined in-memory evaluation of plan trees.
+
+This plays two roles in the reproduction:
+
+* it is the **correctness oracle** — every MR translation (YSmart, Hive,
+  Pig, hand-coded) is checked against its output in the test suite;
+* it is the execution model of the paper's **parallel PostgreSQL**
+  baseline (Sec. VII-D): a single pipelined process with hash joins and
+  hash aggregation, no per-operator materialization, no job startup —
+  the DBMS cost model in :mod:`repro.baselines.dbms` charges work from
+  the operator statistics collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.data.datastore import Datastore
+from repro.data.table import Row
+from repro.errors import ExecutionError
+from repro.expr.aggregates import make_accumulator
+from repro.expr.compiler import compile_predicate, compile_scalar
+from repro.plan.nodes import (
+    AggNode,
+    Filter,
+    JoinNode,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+from repro.sqlparser.ast import Expr
+
+
+def _resolver(table: Optional[str], name: str) -> str:
+    if table is not None:
+        raise ExecutionError(
+            f"unresolved column reference {table}.{name}; the planner must "
+            "resolve every column before execution")
+    return name
+
+
+def compile_resolved(expr: Expr) -> Callable[[Row], object]:
+    """Compile a planner-resolved expression (all refs are row keys)."""
+    return compile_scalar(expr, _resolver)
+
+
+def compile_resolved_predicate(expr: Optional[Expr]) -> Callable[[Row], bool]:
+    return compile_predicate(expr, _resolver)
+
+
+@dataclass
+class OperatorStats:
+    """Per-node work counters, consumed by the DBMS cost model."""
+
+    label: str
+    kind: str
+    input_rows: int = 0
+    output_rows: int = 0
+    comparisons: int = 0  # join probe pair evaluations / sort key ops
+
+
+@dataclass
+class ReferenceResult:
+    columns: List[str]
+    rows: List[Row]
+    stats: List[OperatorStats] = field(default_factory=list)
+    #: bytes read from base tables (each scan counted once per occurrence)
+    scan_bytes: int = 0
+
+
+def apply_stages(rows: List[Row], node: PlanNode) -> List[Row]:
+    """Run a node's Filter/Project stage chain over materialized rows."""
+    for stage in node.stages:
+        if isinstance(stage, Filter):
+            pred = compile_resolved_predicate(stage.predicate)
+            rows = [r for r in rows if pred(r)]
+        elif isinstance(stage, Project):
+            compiled = [(o.name, compile_resolved(o.expr)) for o in stage.outputs]
+            rows = [{name: fn(r) for name, fn in compiled} for r in rows]
+    return rows
+
+
+class ReferenceExecutor:
+    """Evaluates a plan tree bottom-up against a datastore."""
+
+    def __init__(self, datastore: Datastore):
+        self.datastore = datastore
+        self._stats: List[OperatorStats] = []
+        self._scan_bytes = 0
+
+    def execute(self, root: PlanNode) -> ReferenceResult:
+        self._stats = []
+        self._scan_bytes = 0
+        rows = self._execute(root)
+        return ReferenceResult(columns=root.output_names, rows=rows,
+                               stats=self._stats, scan_bytes=self._scan_bytes)
+
+    # -- node dispatch -----------------------------------------------------------
+
+    def _execute(self, node: PlanNode) -> List[Row]:
+        if isinstance(node, ScanNode):
+            rows = self._exec_scan(node)
+        elif isinstance(node, JoinNode):
+            rows = self._exec_join(node)
+        elif isinstance(node, AggNode):
+            rows = self._exec_agg(node)
+        elif isinstance(node, SortNode):
+            rows = self._exec_sort(node)
+        elif isinstance(node, UnionNode):
+            rows = self._exec_union(node)
+        else:
+            raise ExecutionError(f"unknown plan node type {type(node).__name__}")
+        return apply_stages(rows, node)
+
+    def _exec_scan(self, node: ScanNode) -> List[Row]:
+        table = self.datastore.table(node.table)
+        self._scan_bytes += table.estimated_bytes()
+        stats = OperatorStats(node.label, "SCAN", input_rows=len(table))
+        qualified = [(node.qualified(c), c) for c in node.columns]
+        rows = [{q: row[c] for q, c in qualified} for row in table.rows]
+        stats.output_rows = len(rows)
+        self._stats.append(stats)
+        return rows
+
+    def _exec_join(self, node: JoinNode) -> List[Row]:
+        left_rows = self._execute(node.left)
+        right_rows = self._execute(node.right)
+        stats = OperatorStats(node.label, "JOIN",
+                              input_rows=len(left_rows) + len(right_rows))
+
+        residual = compile_resolved_predicate(node.residual)
+        left_names = node.left.output_names
+        right_names = node.right.output_names
+        null_left = {n: None for n in left_names}
+        null_right = {n: None for n in right_names}
+
+        # Build a hash table on the right side (SQL NULL keys never match).
+        index: Dict[Tuple, List[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[k] for k in node.right_keys)
+            if any(v is None for v in key):
+                continue
+            index.setdefault(key, []).append(row)
+
+        matched_right: set = set()
+        out: List[Row] = []
+        for lrow in left_rows:
+            key = tuple(lrow[k] for k in node.left_keys)
+            matches = [] if any(v is None for v in key) else index.get(key, [])
+            hit = False
+            for rrow in matches:
+                stats.comparisons += 1
+                combined = {**lrow, **rrow}
+                if residual(combined):
+                    hit = True
+                    matched_right.add(id(rrow))
+                    out.append(combined)
+            if not hit and node.join_type in ("left", "full"):
+                out.append({**lrow, **null_right})
+        if node.join_type in ("right", "full"):
+            for rrow in right_rows:
+                if id(rrow) not in matched_right:
+                    out.append({**null_left, **rrow})
+
+        stats.output_rows = len(out)
+        self._stats.append(stats)
+        return out
+
+    def _exec_agg(self, node: AggNode) -> List[Row]:
+        child_rows = self._execute(node.child)
+        stats = OperatorStats(node.label, "AGG", input_rows=len(child_rows))
+
+        key_fns = [(gk.slot, compile_resolved(gk.expr)) for gk in node.group_keys]
+        arg_fns = [compile_resolved(a.arg) if a.arg is not None else None
+                   for a in node.aggs]
+
+        groups: Dict[Tuple, List] = {}
+        key_rows: Dict[Tuple, Row] = {}
+        for row in child_rows:
+            key = tuple(fn(row) for _, fn in key_fns)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [make_accumulator(a.func, a.distinct, a.star)
+                        for a in node.aggs]
+                groups[key] = accs
+                key_rows[key] = {slot: v for (slot, _), v in zip(key_fns, key)}
+            for acc, arg_fn, spec in zip(accs, arg_fns, node.aggs):
+                acc.add(None if spec.star else arg_fn(row))
+
+        if node.is_global and not groups:
+            # SQL: a grand aggregate over empty input yields one row.
+            groups[()] = [make_accumulator(a.func, a.distinct, a.star)
+                          for a in node.aggs]
+            key_rows[()] = {}
+
+        out: List[Row] = []
+        for key, accs in groups.items():
+            row = dict(key_rows[key])
+            for spec, acc in zip(node.aggs, accs):
+                row[spec.slot] = acc.result()
+            out.append(row)
+
+        stats.output_rows = len(out)
+        self._stats.append(stats)
+        return out
+
+    def _exec_union(self, node: UnionNode) -> List[Row]:
+        stats = OperatorStats(node.label, "UNION")
+        out: List[Row] = []
+        for child, names in zip(node.children, node.branch_names):
+            child_rows = self._execute(child)
+            stats.input_rows += len(child_rows)
+            for row in child_rows:
+                out.append({canon: row[col]
+                            for canon, col in zip(node.names, names)})
+        stats.output_rows = len(out)
+        self._stats.append(stats)
+        return out
+
+    def _exec_sort(self, node: SortNode) -> List[Row]:
+        rows = self._execute(node.child)
+        stats = OperatorStats(node.label, "SORT", input_rows=len(rows))
+        out = sort_rows(rows, node.keys)
+        stats.comparisons = len(rows)
+        if node.limit is not None:
+            out = out[:node.limit]
+        stats.output_rows = len(out)
+        self._stats.append(stats)
+        return out
+
+
+def sort_rows(rows: List[Row], keys: List[Tuple[str, bool]]) -> List[Row]:
+    """Stable multi-key sort with PostgreSQL NULL placement (NULLS LAST
+    ascending, NULLS FIRST descending)."""
+    out = list(rows)
+    for name, ascending in reversed(keys):
+        out.sort(key=lambda r: (r[name] is None,
+                                r[name] if r[name] is not None else 0),
+                 reverse=not ascending)
+    return out
+
+
+def run_reference(root: PlanNode, datastore: Datastore) -> ReferenceResult:
+    """Convenience wrapper: execute a plan tree on a datastore."""
+    return ReferenceExecutor(datastore).execute(root)

@@ -1,0 +1,346 @@
+"""AST node definitions for the SQL subset.
+
+The shapes mirror the grammar in :mod:`repro.sqlparser.parser`.  All nodes
+are frozen dataclasses so they hash and compare structurally, which the
+planner's tests rely on.  ``to_sql`` methods render canonical SQL back out
+(used by EXPLAIN output and round-trip tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class for scalar/boolean expressions."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield this node and every expression beneath it (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """``col`` or ``alias.col``."""
+
+    table: Optional[str]
+    name: str
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A number, string, or NULL literal."""
+
+    value: object  # int | float | str | None
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic (+ - * / %), comparison (= <> < > <= >=), AND/OR, ||."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """``NOT expr`` or ``- expr``."""
+
+    op: str  # 'NOT' | '-'
+    operand: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.op} {self.operand.to_sql()})"
+
+    def children(self):
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        middle = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {middle})"
+
+    def children(self):
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN low AND high`` (inclusive, per SQL)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def to_sql(self) -> str:
+        return (f"({self.operand.to_sql()} BETWEEN {self.low.to_sql()} "
+                f"AND {self.high.to_sql()})")
+
+    def children(self):
+        return (self.operand, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (lit, lit, ...)``."""
+
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(i.to_sql() for i in self.items)
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql()} {word} ({inner}))"
+
+    def children(self):
+        return (self.operand,) + self.items
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """Searched CASE: ``CASE WHEN c THEN v ... [ELSE e] END``."""
+
+    branches: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.branches:
+            parts.append(f"WHEN {cond.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def children(self):
+        out = []
+        for cond, value in self.branches:
+            out.extend((cond, value))
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+
+#: Aggregate function names in the supported subset.
+AGGREGATE_FUNCTIONS = frozenset({
+    "count", "sum", "avg", "min", "max",
+    "variance", "var_pop", "stddev", "stddev_pop",
+})
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call; aggregates are the important case.
+
+    ``count(*)`` is represented with ``star=True`` and no args.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    distinct: bool = False
+    star: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+    def to_sql(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(a.to_sql() for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+    def children(self):
+        return self.args
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any node in ``expr`` is an aggregate function call."""
+    return any(isinstance(e, FuncCall) and e.is_aggregate for e in expr.walk())
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(preds: List[Expr]) -> Optional[Expr]:
+    """Combine predicates with AND; None for an empty list."""
+    result: Optional[Expr] = None
+    for pred in preds:
+        result = pred if result is None else BinaryOp("AND", result, pred)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# FROM items and statements
+# ---------------------------------------------------------------------------
+
+class FromItem:
+    """Base class for FROM-clause items."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A base table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """A derived table ``(SELECT ...) AS alias``."""
+
+    query: "SelectStmt"
+    alias: str
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class JoinClause(FromItem):
+    """Explicit ``A <type> JOIN B ON cond``."""
+
+    left: FromItem
+    right: FromItem
+    join_type: str  # 'inner' | 'left' | 'right' | 'full'
+    condition: Expr
+
+    def to_sql(self) -> str:
+        word = {"inner": "JOIN", "left": "LEFT OUTER JOIN",
+                "right": "RIGHT OUTER JOIN", "full": "FULL OUTER JOIN"}[self.join_type]
+        return (f"{self.left.to_sql()} {word} {self.right.to_sql()} "
+                f"ON {self.condition.to_sql()}")
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list (expanded by the planner)."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list: an expression plus an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} AS {self.alias}" if self.alias else self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()}{'' if self.ascending else ' DESC'}"
+
+
+@dataclass(frozen=True)
+class UnionStmt:
+    """``SELECT … UNION ALL SELECT … [UNION ALL …]``.
+
+    Branches are complete SELECT statements with positionally-aligned
+    select lists; an ORDER BY/LIMIT inside a branch applies to that
+    branch (wrap the union in a derived table to order the whole union).
+    """
+
+    branches: Tuple["SelectStmt", ...]
+
+    def to_sql(self) -> str:
+        return " UNION ALL ".join(b.to_sql() for b in self.branches)
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A single SELECT statement (the only statement type in the subset)."""
+
+    items: Tuple[SelectItem, ...]
+    from_items: Tuple[FromItem, ...]
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(i.to_sql() for i in self.items))
+        parts.append("FROM " + ", ".join(f.to_sql() for f in self.from_items))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)

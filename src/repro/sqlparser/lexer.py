@@ -1,0 +1,160 @@
+"""A hand-written SQL lexer for the paper's query subset.
+
+Produces a flat list of :class:`Token` objects with line/column positions
+for error reporting.  Keywords are case-insensitive and normalised to upper
+case; identifiers are normalised to lower case (SQL folding), except inside
+quoted strings which are preserved verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IS", "NULL", "JOIN", "INNER", "LEFT",
+    "RIGHT", "FULL", "OUTER", "ON", "DISTINCT", "ASC", "DESC", "BETWEEN",
+    "IN", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"   # = <> != < > <= >= + - * / % ||
+    PUNCT = "punct"         # ( ) , . ;
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, {self.line}:{self.column})"
+
+
+_TWO_CHAR_OPS = ("<>", "!=", "<=", ">=", "||")
+_ONE_CHAR_OPS = "=<>+-*/%"
+_PUNCT = "(),.;"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+
+        # -- comments -------------------------------------------------------
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", line, col(i))
+            for j in range(i, end):
+                if text[j] == "\n":
+                    line += 1
+                    line_start = j + 1
+            i = end + 2
+            continue
+
+        # -- string literal --------------------------------------------------
+        if ch == "'":
+            start = i
+            i += 1
+            buf = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError("unterminated string literal", line, col(start))
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                buf.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), line, col(start)))
+            continue
+
+        # -- number ----------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # "1." followed by non-digit is a qualified-name dot, not
+                    # a decimal point.
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], line, col(start)))
+            continue
+
+        # -- identifier / keyword ---------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, col(start)))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), line, col(start)))
+            continue
+
+        # -- operators & punctuation ------------------------------------------
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, "<>" if two == "!=" else two,
+                                line, col(i)))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(TokenType.OPERATOR, ch, line, col(i)))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, line, col(i)))
+            i += 1
+            continue
+
+        raise SqlSyntaxError(f"unexpected character {ch!r}", line, col(i))
+
+    tokens.append(Token(TokenType.EOF, "", line, col(i)))
+    return tokens

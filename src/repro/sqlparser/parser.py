@@ -1,0 +1,432 @@
+"""Recursive-descent parser for the paper's SQL subset.
+
+Grammar (informal):
+
+    select_stmt  := SELECT [DISTINCT] select_list FROM from_list
+                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                    [ORDER BY order_list] [LIMIT int]
+    from_list    := from_item (',' from_item)*
+    from_item    := join_chain
+    join_chain   := from_primary (join_op from_primary ON expr)*
+    from_primary := table [AS alias] | '(' select_stmt ')' AS alias
+    join_op      := [INNER] JOIN | LEFT [OUTER] JOIN
+                  | RIGHT [OUTER] JOIN | FULL [OUTER] JOIN
+
+    expr         := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | predicate
+    predicate    := additive [comparison | IS [NOT] NULL
+                               | [NOT] BETWEEN | [NOT] IN list]
+    additive     := multiplicative (('+'|'-'|'||') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary        := '-' unary | primary
+    primary      := literal | func_call | column_ref | '(' expr ')' | CASE ...
+
+Operator precedence follows standard SQL.  Semicolons terminate statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.ast import (
+    Between,
+    Star,
+    UnionStmt,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FromItem,
+    FuncCall,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "<", ">", "<=", ">=")
+
+
+class Parser:
+    """Token-stream parser; one instance parses one statement."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str, token: Optional[Token] = None) -> SqlSyntaxError:
+        tok = token or self._peek()
+        shown = tok.value or "<end of input>"
+        return SqlSyntaxError(f"{message}, found {shown!r}", tok.line, tok.column)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        tok = self._peek()
+        if not tok.is_keyword(*names):
+            raise self._error(f"expected {' or '.join(names)}")
+        return self._advance()
+
+    def _expect_punct(self, value: str) -> Token:
+        tok = self._peek()
+        if tok.type is not TokenType.PUNCT or tok.value != value:
+            raise self._error(f"expected {value!r}")
+        return self._advance()
+
+    def _match_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _match_punct(self, value: str) -> bool:
+        tok = self._peek()
+        if tok.type is TokenType.PUNCT and tok.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self, what: str) -> str:
+        tok = self._peek()
+        if tok.type is not TokenType.IDENT:
+            raise self._error(f"expected {what}")
+        self._advance()
+        return tok.value
+
+    # -- statement ------------------------------------------------------------
+
+    def parse_statement(self):
+        stmt = self._parse_select_or_union()
+        self._match_punct(";")
+        tok = self._peek()
+        if tok.type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return stmt
+
+    def _parse_select_or_union(self):
+        branches = [self._parse_select()]
+        while self._peek().is_keyword("UNION"):
+            self._advance()
+            self._expect_keyword("ALL")
+            branches.append(self._parse_select())
+        if len(branches) == 1:
+            return branches[0]
+        return UnionStmt(tuple(branches))
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+
+        self._expect_keyword("FROM")
+        from_items = [self._parse_from_item()]
+        while self._match_punct(","):
+            from_items.append(self._parse_from_item())
+
+        where = self._parse_expr() if self._match_keyword("WHERE") else None
+
+        group_by: List[Expr] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._match_punct(","):
+                group_by.append(self._parse_expr())
+
+        having = self._parse_expr() if self._match_keyword("HAVING") else None
+
+        order_by: List[OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._match_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit: Optional[int] = None
+        if self._match_keyword("LIMIT"):
+            tok = self._peek()
+            if tok.type is not TokenType.NUMBER or "." in tok.value:
+                raise self._error("expected integer LIMIT")
+            self._advance()
+            limit = int(tok.value)
+
+        return SelectStmt(
+            items=tuple(items),
+            from_items=tuple(from_items),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.value == "*":
+            self._advance()
+            return SelectItem(Star(), None)
+        if (tok.type is TokenType.IDENT
+                and self._peek(1).type is TokenType.PUNCT
+                and self._peek(1).value == "."
+                and self._peek(2).type is TokenType.OPERATOR
+                and self._peek(2).value == "*"):
+            alias = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(Star(alias), None)
+        expr = self._parse_expr()
+        alias: Optional[str] = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident("alias after AS")
+        elif self._peek().type is TokenType.IDENT:
+            # Bare alias: SELECT x y  — accepted like standard SQL.
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        ascending = True
+        if self._match_keyword("DESC"):
+            ascending = False
+        else:
+            self._match_keyword("ASC")
+        return OrderItem(expr, ascending)
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _parse_from_item(self) -> FromItem:
+        item = self._parse_from_primary()
+        while True:
+            join_type = self._try_join_op()
+            if join_type is None:
+                return item
+            right = self._parse_from_primary()
+            self._expect_keyword("ON")
+            condition = self._parse_expr()
+            item = JoinClause(item, right, join_type, condition)
+
+    def _try_join_op(self) -> Optional[str]:
+        tok = self._peek()
+        if tok.is_keyword("JOIN"):
+            self._advance()
+            return "inner"
+        if tok.is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            return "inner"
+        for kw, jt in (("LEFT", "left"), ("RIGHT", "right"), ("FULL", "full")):
+            if tok.is_keyword(kw):
+                self._advance()
+                self._match_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                return jt
+        return None
+
+    def _parse_from_primary(self) -> FromItem:
+        if self._match_punct("("):
+            if self._peek().is_keyword("SELECT"):
+                sub = self._parse_select_or_union()
+                self._expect_punct(")")
+                self._match_keyword("AS")
+                alias = self._expect_ident("alias for derived table")
+                return SubqueryRef(sub, alias)
+            # Parenthesised join chain.
+            inner = self._parse_from_item()
+            self._expect_punct(")")
+            return inner
+
+        name = self._expect_ident("table name")
+        alias: Optional[str] = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident("alias after AS")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._match_keyword("OR"):
+            expr = BinaryOp("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_not()
+        while self._match_keyword("AND"):
+            expr = BinaryOp("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> Expr:
+        if self._match_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        expr = self._parse_additive()
+
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.value in _COMPARISON_OPS:
+            self._advance()
+            return BinaryOp(tok.value, expr, self._parse_additive())
+
+        if tok.is_keyword("IS"):
+            self._advance()
+            negated = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(expr, negated)
+
+        negated = False
+        if tok.is_keyword("NOT") and self._peek(1).is_keyword("BETWEEN", "IN"):
+            self._advance()
+            negated = True
+            tok = self._peek()
+
+        if tok.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            between = Between(expr, low, high)
+            return UnaryOp("NOT", between) if negated else between
+
+        if tok.is_keyword("IN"):
+            self._advance()
+            self._expect_punct("(")
+            items = [self._parse_expr()]
+            while self._match_punct(","):
+                items.append(self._parse_expr())
+            self._expect_punct(")")
+            return InList(expr, tuple(items), negated)
+
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.OPERATOR and tok.value in ("+", "-", "||"):
+                self._advance()
+                expr = BinaryOp(tok.value, expr, self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.OPERATOR and tok.value in ("*", "/", "%"):
+                self._advance()
+                expr = BinaryOp(tok.value, expr, self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.value == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            value: object = float(tok.value) if "." in tok.value else int(tok.value)
+            return Literal(value)
+
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return Literal(tok.value)
+
+        if tok.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+
+        if tok.is_keyword("CASE"):
+            return self._parse_case()
+
+        if self._match_punct("("):
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+
+        if tok.type is TokenType.IDENT:
+            return self._parse_ident_expr()
+
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("CASE")
+        branches: List[Tuple[Expr, Expr]] = []
+        while self._match_keyword("WHEN"):
+            cond = self._parse_expr()
+            self._expect_keyword("THEN")
+            value = self._parse_expr()
+            branches.append((cond, value))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        default: Optional[Expr] = None
+        if self._match_keyword("ELSE"):
+            default = self._parse_expr()
+        self._expect_keyword("END")
+        return CaseWhen(tuple(branches), default)
+
+    def _parse_ident_expr(self) -> Expr:
+        name = self._advance().value
+
+        # Function call?
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "(":
+            self._advance()
+            # count(*)
+            if (self._peek().type is TokenType.OPERATOR
+                    and self._peek().value == "*"):
+                self._advance()
+                self._expect_punct(")")
+                return FuncCall(name, star=True)
+            distinct = self._match_keyword("DISTINCT")
+            args: List[Expr] = []
+            if not self._match_punct(")"):
+                args.append(self._parse_expr())
+                while self._match_punct(","):
+                    args.append(self._parse_expr())
+                self._expect_punct(")")
+            return FuncCall(name, tuple(args), distinct=distinct)
+
+        # Qualified column?
+        if self._match_punct("."):
+            col = self._expect_ident("column name after '.'")
+            return ColumnRef(name, col)
+
+        return ColumnRef(None, name)
+
+
+def parse_sql(text: str) -> SelectStmt:
+    """Parse a single SELECT statement."""
+    return Parser(tokenize(text)).parse_statement()

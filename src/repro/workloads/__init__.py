@@ -1,0 +1,41 @@
+"""Workloads: the paper's queries and the query runner."""
+
+from repro.workloads.queries import (
+    Q3_SQL,
+    Q10_SQL,
+    Q17_SQL,
+    Q18_SQL,
+    Q21_SUBTREE_SQL,
+    Q_AGG_SQL,
+    extra_queries,
+    paper_queries,
+    plan_paper_query,
+    q21_sql,
+    q_csa_sql,
+)
+from repro.workloads.runner import (
+    QueryRunResult,
+    build_datastore,
+    data_scale_for,
+    run_query,
+    run_translation,
+)
+
+__all__ = [
+    "Q10_SQL",
+    "Q17_SQL",
+    "Q3_SQL",
+    "Q18_SQL",
+    "Q21_SUBTREE_SQL",
+    "Q_AGG_SQL",
+    "QueryRunResult",
+    "build_datastore",
+    "data_scale_for",
+    "extra_queries",
+    "paper_queries",
+    "plan_paper_query",
+    "q21_sql",
+    "q_csa_sql",
+    "run_query",
+    "run_translation",
+]

@@ -1,0 +1,195 @@
+"""The paper's workload queries.
+
+* **Q-CSA** (Fig. 1) — click-stream analysis: average number of pages a
+  user visits between a page in category X and a page in category Y.
+* **Q-AGG** (Sec. I) — clicks per category, the simple one-pass baseline.
+* **Q17 / Q18 / Q21** — the TPC-H queries, flattened with the
+  first-aggregation-then-join algorithm exactly as the paper describes
+  (Q17 is the paper's Fig. 3 text; Q21's dominant sub-tree is the paper's
+  appendix SQL verbatim, modulo the missing commas in the OCR).
+
+Each query is exposed both as SQL text and as a helper that parses and
+plans it against the standard catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.catalog.catalog import Catalog, standard_catalog
+from repro.data.clickstream import CATEGORY_X, CATEGORY_Y
+from repro.plan.nodes import PlanNode
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+
+
+def q_csa_sql(category_x: int = CATEGORY_X, category_y: int = CATEGORY_Y) -> str:
+    """The paper's Fig. 1 click-stream query, parameterized on X and Y."""
+    return f"""
+SELECT avg(pageview_count) AS avg_pageview_count FROM
+  (SELECT c.uid, mp.ts1, (count(*) - 2) AS pageview_count
+   FROM clicks AS c,
+        (SELECT uid, max(ts1) AS ts1, ts2
+         FROM (SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2
+               FROM clicks AS c1, clicks AS c2
+               WHERE c1.uid = c2.uid AND c1.ts < c2.ts
+                 AND c1.cid = {category_x} AND c2.cid = {category_y}
+               GROUP BY c1.uid, ts1) AS cp
+         GROUP BY uid, ts2) AS mp
+   WHERE c.uid = mp.uid AND c.ts >= mp.ts1 AND c.ts <= mp.ts2
+   GROUP BY c.uid, mp.ts1) AS pageview_counts;
+"""
+
+
+Q_AGG_SQL = """
+SELECT cid, count(*) AS click_count
+FROM clicks
+GROUP BY cid;
+"""
+
+#: The paper's Fig. 3 variation of TPC-H Q17 ("inner"/"outer" renamed —
+#: they collide with SQL keywords).
+Q17_SQL = """
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+      FROM lineitem
+      GROUP BY l_partkey) AS inner_t,
+     (SELECT l_partkey, l_quantity, l_extendedprice
+      FROM lineitem, part
+      WHERE p_partkey = l_partkey) AS outer_t
+WHERE outer_t.l_partkey = inner_t.l_partkey
+  AND outer_t.l_quantity < inner_t.t1;
+"""
+
+#: TPC-H Q18, flattened with first-aggregation-then-join.  FROM order is
+#: chosen so the plan tree matches the paper's Fig. 8(a): JOIN1(lineitem,
+#: orders), AGG1 (the derived aggregate), JOIN2, then the customer join.
+Q18_SQL = """
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS sum_quantity
+FROM lineitem, orders,
+     (SELECT l_orderkey, sum(l_quantity) AS t_sum_quantity
+      FROM lineitem
+      GROUP BY l_orderkey
+      HAVING sum(l_quantity) > 300) AS t,
+     customer
+WHERE o_orderkey = lineitem.l_orderkey
+  AND o_orderkey = t.l_orderkey
+  AND c_custkey = o_custkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100;
+"""
+
+#: The paper's appendix SQL: the dominant "Left Outer Join 1" sub-tree of
+#: flattened Q21 (suppliers who were the only late supplier of a
+#: multi-supplier order with status 'F').
+Q21_SUBTREE_SQL = """
+SELECT sq12.l_orderkey, sq12.l_suppkey FROM
+  (SELECT sq1.l_orderkey, sq1.l_suppkey FROM
+     (SELECT l_suppkey, l_orderkey
+      FROM lineitem, orders
+      WHERE o_orderkey = l_orderkey
+        AND l_receiptdate > l_commitdate
+        AND o_orderstatus = 'F') AS sq1,
+     (SELECT l_orderkey,
+             count(distinct l_suppkey) AS cs,
+             max(l_suppkey) AS ms
+      FROM lineitem
+      GROUP BY l_orderkey) AS sq2
+   WHERE sq1.l_orderkey = sq2.l_orderkey
+     AND ((sq2.cs > 1) OR
+          ((sq2.cs = 1) AND (sq1.l_suppkey <> sq2.ms)))
+  ) AS sq12
+  LEFT OUTER JOIN
+  (SELECT l_orderkey,
+          count(distinct l_suppkey) AS cs,
+          max(l_suppkey) AS ms
+   FROM lineitem
+   WHERE l_receiptdate > l_commitdate
+   GROUP BY l_orderkey) AS sq3
+  ON sq12.l_orderkey = sq3.l_orderkey
+WHERE (sq3.cs IS NULL) OR
+      ((sq3.cs = 1) AND (sq12.l_suppkey = sq3.ms));
+"""
+
+
+def q21_sql(nation: str = "SAUDI ARABIA") -> str:
+    """Full flattened Q21: the appendix sub-tree joined to supplier and
+    nation, grouped by supplier name (TPC-H's "suppliers who kept orders
+    waiting")."""
+    subtree = Q21_SUBTREE_SQL.strip().rstrip(";")
+    return f"""
+SELECT s_name, count(*) AS numwait
+FROM ({subtree}) AS waits,
+     supplier, nation
+WHERE waits.l_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = '{nation}'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100;
+"""
+
+
+#: TPC-H Q3 (shipping priority) — not in the paper's evaluation, included
+#: to exercise the translator on a standard join-aggregate-sort pipeline:
+#: YSmart folds the final aggregation into the lineitem join's reduce
+#: phase (JFC on l_orderkey).
+Q3_SQL = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < '1995-03-15'
+  AND l_shipdate > '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10;
+"""
+
+#: TPC-H Q10 (returned-item reporting) — a four-table join with a wide
+#: GROUP BY; exercises the PK-candidate enumeration and Rule 2.
+Q10_SQL = """
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= '1993-01-01'
+  AND o_orderdate < '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+         c_comment
+ORDER BY revenue DESC
+LIMIT 20;
+"""
+
+
+def extra_queries() -> Dict[str, str]:
+    """Additional DSS queries beyond the paper's evaluation set."""
+    return {"q3": Q3_SQL, "q10": Q10_SQL}
+
+
+def paper_queries(category_x: int = CATEGORY_X, category_y: int = CATEGORY_Y,
+                  nation: str = "SAUDI ARABIA") -> Dict[str, str]:
+    """All evaluation queries keyed by the paper's names."""
+    return {
+        "q17": Q17_SQL,
+        "q18": Q18_SQL,
+        "q21": q21_sql(nation),
+        "q21_subtree": Q21_SUBTREE_SQL,
+        "q_csa": q_csa_sql(category_x, category_y),
+        "q_agg": Q_AGG_SQL,
+    }
+
+
+def plan_paper_query(name: str, catalog: Optional[Catalog] = None) -> PlanNode:
+    """Parse and plan one of the paper queries by name."""
+    sql = paper_queries()[name]
+    return plan_query(parse_sql(sql), catalog or standard_catalog())

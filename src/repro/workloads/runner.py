@@ -1,0 +1,112 @@
+"""Query runner: translate, execute on the MR engine, time on a cluster.
+
+This is the main entry point a downstream user calls::
+
+    ds = build_datastore(tpch_scale=0.01, clickstream_users=200)
+    result = run_query(Q17_SQL, ds, mode="ysmart",
+                       cluster=small_cluster(data_scale=1000))
+    print(result.timing.total_s, result.rows[:5])
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.catalog.catalog import standard_catalog
+from repro.core.translator import Translation, translate_sql
+from repro.data.clickstream import ClickstreamConfig, generate_clickstream
+from repro.data.datastore import Datastore
+from repro.data.table import Row
+from repro.data.tpch import TpchConfig, generate_tpch
+from repro.hadoop.config import ClusterConfig
+from repro.hadoop.costmodel import HadoopCostModel, QueryTiming
+from repro.mr.counters import JobRun
+from repro.mr.engine import MapReduceEngine
+
+_namespace_counter = itertools.count(1)
+
+
+def build_datastore(tpch_scale: Optional[float] = 0.002,
+                    clickstream_users: Optional[int] = 50,
+                    seed: int = 2011) -> Datastore:
+    """A datastore loaded with the standard paper workload tables."""
+    ds = Datastore(standard_catalog())
+    if tpch_scale is not None:
+        for table in generate_tpch(
+                TpchConfig(scale_factor=tpch_scale, seed=seed)).values():
+            ds.load_table(table)
+    if clickstream_users is not None:
+        ds.load_table(generate_clickstream(
+            ClickstreamConfig(num_users=clickstream_users, seed=seed)))
+    return ds
+
+
+def data_scale_for(datastore: Datastore, tables: Sequence[str],
+                   target_gb: float) -> float:
+    """The linear multiplier projecting the generated tables up to
+    ``target_gb`` of modeled data (how the paper's 10 GB/100 GB/1 TB runs
+    are represented)."""
+    actual = sum(datastore.table(t).estimated_bytes() for t in tables)
+    if actual == 0:
+        return 1.0
+    return target_gb * 1024 ** 3 / actual
+
+
+@dataclass
+class QueryRunResult:
+    """Everything one execution produced."""
+
+    translation: Translation
+    runs: List[JobRun]
+    rows: List[Row]
+    columns: List[str]
+    timing: Optional[QueryTiming] = None
+
+    @property
+    def job_count(self) -> int:
+        return len(self.runs)
+
+    @property
+    def total_s(self) -> Optional[float]:
+        return self.timing.total_s if self.timing is not None else None
+
+
+def run_translation(translation: Translation, datastore: Datastore,
+                    cluster: Optional[ClusterConfig] = None,
+                    instance: int = 0) -> QueryRunResult:
+    """Execute an existing translation and (optionally) time it."""
+    engine = MapReduceEngine(datastore)
+    runs = engine.run_jobs(translation.jobs)
+    table = datastore.intermediate(translation.final_dataset)
+    timing = None
+    if cluster is not None:
+        model = HadoopCostModel(cluster)
+        timing = model.query_timing(
+            runs,
+            intermediate_inflation=translation.intermediate_inflation,
+            instance=instance)
+    return QueryRunResult(
+        translation=translation, runs=runs,
+        rows=[dict(r) for r in table.rows],
+        columns=list(translation.output_columns), timing=timing)
+
+
+def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
+              cluster: Optional[ClusterConfig] = None,
+              namespace: Optional[str] = None,
+              num_reducers: Optional[int] = None,
+              instance: int = 0) -> QueryRunResult:
+    """Parse, plan, translate, execute, and time one query.
+
+    ``num_reducers`` defaults to the cluster's reduce-slot count (how
+    real Hadoop deployments size reduce tasks); pass an explicit value to
+    override.
+    """
+    ns = namespace or f"q{next(_namespace_counter)}"
+    if num_reducers is None:
+        num_reducers = cluster.total_reduce_slots if cluster is not None else 8
+    translation = translate_sql(sql, mode=mode, catalog=datastore.catalog,
+                                namespace=ns, num_reducers=num_reducers)
+    return run_translation(translation, datastore, cluster, instance)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+The session-scoped fixtures generate one small-but-nontrivial workload
+that correctness tests share; anything mutating a datastore builds its
+own.  Intermediate datasets written by the MR engine are namespaced per
+test via the ``fresh_namespace`` fixture, so sharing the session
+datastore across engine runs is safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.catalog import standard_catalog
+from repro.data import (
+    ClickstreamConfig,
+    Datastore,
+    TpchConfig,
+    generate_clickstream,
+    generate_tpch,
+)
+
+_ns_counter = itertools.count(1)
+
+
+@pytest.fixture(scope="session")
+def tpch_tables():
+    """Small deterministic TPC-H dataset (SF 0.002)."""
+    return generate_tpch(TpchConfig(scale_factor=0.002, seed=7))
+
+
+@pytest.fixture(scope="session")
+def clicks_table():
+    """Small deterministic click-stream (60 users)."""
+    return generate_clickstream(ClickstreamConfig(num_users=60, seed=7))
+
+
+@pytest.fixture(scope="session")
+def datastore(tpch_tables, clicks_table):
+    """Datastore with the standard schemas and the small datasets loaded."""
+    ds = Datastore(standard_catalog())
+    for table in tpch_tables.values():
+        ds.load_table(table)
+    ds.load_table(clicks_table)
+    return ds
+
+
+@pytest.fixture
+def fresh_namespace():
+    """A unique job namespace per test, isolating engine intermediates."""
+    return f"t{next(_ns_counter)}"
+
+
+@pytest.fixture
+def empty_datastore():
+    return Datastore(standard_catalog())

@@ -1,0 +1,143 @@
+"""Unit tests for aggregate accumulators."""
+
+import pytest
+
+from repro.errors import UnsupportedSqlError
+from repro.expr.aggregates import (
+    AvgAcc,
+    CountAcc,
+    CountDistinctAcc,
+    CountStarAcc,
+    MaxAcc,
+    MinAcc,
+    SumAcc,
+    accumulator_factory,
+    make_accumulator,
+)
+
+
+def feed(acc, values):
+    for v in values:
+        acc.add(v)
+    return acc.result()
+
+
+class TestSemantics:
+    def test_count_star_counts_nulls(self):
+        assert feed(CountStarAcc(), [1, None, 2]) == 3
+
+    def test_count_skips_nulls(self):
+        assert feed(CountAcc(), [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert feed(CountDistinctAcc(), [1, 1, 2, None, 2]) == 2
+
+    def test_sum(self):
+        assert feed(SumAcc(), [1, 2, None, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert SumAcc().result() is None
+        assert feed(SumAcc(), [None, None]) is None
+
+    def test_avg(self):
+        assert feed(AvgAcc(), [2, 4, None]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert AvgAcc().result() is None
+
+    def test_min_max(self):
+        assert feed(MinAcc(), [3, None, 1, 2]) == 1
+        assert feed(MaxAcc(), [3, None, 1, 2]) == 3
+
+    def test_min_empty_is_null(self):
+        assert MinAcc().result() is None
+
+    def test_count_empty_is_zero(self):
+        assert CountAcc().result() == 0
+        assert CountStarAcc().result() == 0
+
+
+class TestMerge:
+    @pytest.mark.parametrize("cls,chunks,expected", [
+        (CountStarAcc, [[1, 2], [3]], 3),
+        (CountAcc, [[1, None], [2]], 2),
+        (SumAcc, [[1, 2], [3]], 6),
+        (AvgAcc, [[2], [4, 6]], 4.0),
+        (MinAcc, [[5], [2, 9]], 2),
+        (MaxAcc, [[5], [2, 9]], 9),
+        (CountDistinctAcc, [[1, 2], [2, 3]], 3),
+    ])
+    def test_merge_equals_single_pass(self, cls, chunks, expected):
+        partials = []
+        for chunk in chunks:
+            acc = cls()
+            for v in chunk:
+                acc.add(v)
+            partials.append(acc)
+        merged = cls()
+        for p in partials:
+            merged.merge(p)
+        assert merged.result() == expected
+
+    @pytest.mark.parametrize("cls,chunks,expected", [
+        (CountStarAcc, [[1, 2], [3]], 3),
+        (SumAcc, [[1, 2], [3]], 6),
+        (SumAcc, [[None], [None]], None),
+        (AvgAcc, [[2], [4, 6]], 4.0),
+        (MinAcc, [[5], [2, 9]], 2),
+        (MaxAcc, [[], [2]], 2),
+        (CountDistinctAcc, [[1, 2], [2, 3]], 3),
+    ])
+    def test_state_absorb_equals_single_pass(self, cls, chunks, expected):
+        merged = cls()
+        for chunk in chunks:
+            acc = cls()
+            for v in chunk:
+                acc.add(v)
+            merged.absorb(acc.state())
+        assert merged.result() == expected
+
+    def test_mergeable_flags(self):
+        assert SumAcc.mergeable and AvgAcc.mergeable
+        assert not CountDistinctAcc.mergeable
+
+
+class TestFactory:
+    def test_plain_functions(self):
+        assert isinstance(make_accumulator("sum"), SumAcc)
+        assert isinstance(make_accumulator("avg"), AvgAcc)
+        assert isinstance(make_accumulator("min"), MinAcc)
+        assert isinstance(make_accumulator("max"), MaxAcc)
+        assert isinstance(make_accumulator("count"), CountAcc)
+
+    def test_count_star(self):
+        assert isinstance(make_accumulator("count", star=True), CountStarAcc)
+
+    def test_count_distinct(self):
+        acc = make_accumulator("count", distinct=True)
+        assert isinstance(acc, CountDistinctAcc)
+
+    def test_min_distinct_is_plain_min(self):
+        assert isinstance(make_accumulator("min", distinct=True), MinAcc)
+
+    def test_sum_distinct_unsupported(self):
+        with pytest.raises(UnsupportedSqlError):
+            make_accumulator("sum", distinct=True)
+
+    def test_star_only_for_count(self):
+        with pytest.raises(UnsupportedSqlError):
+            make_accumulator("sum", star=True)
+
+    def test_unknown_function(self):
+        with pytest.raises(UnsupportedSqlError):
+            make_accumulator("median")
+
+    def test_factory_returns_fresh_instances(self):
+        factory = accumulator_factory("sum")
+        a, b = factory(), factory()
+        a.add(5)
+        assert b.result() is None
+
+    def test_factory_validates_eagerly(self):
+        with pytest.raises(UnsupportedSqlError):
+            accumulator_factory("bogus")

@@ -1,0 +1,120 @@
+"""Tests for the hand-coded programs and the DBMS baseline."""
+
+import pytest
+
+from repro.baselines import (
+    run_dbms_sql,
+    translate_handcoded,
+    translate_hive,
+    translate_pig,
+)
+from repro.baselines.dbms import DbmsConfig
+from repro.core.translator import translate_sql
+from repro.data import rows_equal_unordered
+from repro.errors import TranslationError
+from repro.mr.engine import run_jobs
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+class TestHandcodedCorrectness:
+    @pytest.mark.parametrize("query", ["q21_subtree", "q_csa", "q_agg"])
+    def test_matches_reference(self, query, datastore, fresh_namespace):
+        sql = paper_queries()[query]
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        tr = translate_handcoded(query, namespace=fresh_namespace,
+                                 catalog=datastore.catalog)
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns, 1e-6)
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(TranslationError, match="no hand-coded program"):
+            translate_handcoded("q99")
+
+    def test_q21_single_job_q_csa_two(self):
+        assert translate_handcoded("q21_subtree", namespace="h1").job_count == 1
+        assert translate_handcoded("q_csa", namespace="h2").job_count == 2
+
+
+class TestHandcodedShortCircuit:
+    def test_fewer_reduce_ops_than_ysmart(self, datastore, fresh_namespace):
+        """The paper's Fig. 9 point: hand-coded short-paths make its
+        reduce phase cheaper than YSmart's faithful merged reducers."""
+        sql = paper_queries()["q21_subtree"]
+        ys = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                           namespace=f"{fresh_namespace}.ys")
+        ys_runs = run_jobs(ys.jobs, datastore)
+        hc = translate_handcoded("q21_subtree",
+                                 namespace=f"{fresh_namespace}.hc")
+        hc_runs = run_jobs(hc.jobs, datastore)
+        ys_ops = sum(r.counters.reduce_dispatch_ops
+                     + r.counters.reduce_compute_ops for r in ys_runs)
+        hc_ops = sum(r.counters.reduce_dispatch_ops
+                     + r.counters.reduce_compute_ops for r in hc_runs)
+        assert hc_ops < ys_ops
+
+    def test_qcsa_single_scan(self, datastore, fresh_namespace):
+        tr = translate_handcoded("q_csa", namespace=fresh_namespace)
+        runs = run_jobs(tr.jobs, datastore)
+        clicks_bytes = datastore.table("clicks").estimated_bytes()
+        assert runs[0].counters.input_bytes["clicks"] == clicks_bytes
+
+
+class TestHiveAndPigWrappers:
+    def test_hive_uses_map_side_agg(self, datastore, fresh_namespace):
+        tr = translate_hive(paper_queries()["q_agg"],
+                            catalog=datastore.catalog,
+                            namespace=fresh_namespace)
+        assert tr.jobs[0].map_agg is not None
+
+    def test_pig_has_no_map_side_agg_and_inflated_bytes(self, datastore,
+                                                        fresh_namespace):
+        tr = translate_pig(paper_queries()["q_agg"],
+                           catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        assert tr.jobs[0].map_agg is None
+        assert tr.intermediate_inflation > 1.0
+
+    def test_pig_shuffles_more_than_hive(self, datastore, fresh_namespace):
+        """Without the combiner, Pig's Q-AGG shuffles every record."""
+        sql = paper_queries()["q_agg"]
+        hive = translate_hive(sql, catalog=datastore.catalog,
+                              namespace=f"{fresh_namespace}.h")
+        pig = translate_pig(sql, catalog=datastore.catalog,
+                            namespace=f"{fresh_namespace}.p")
+        h_runs = run_jobs(hive.jobs, datastore)
+        p_runs = run_jobs(pig.jobs, datastore)
+        assert (p_runs[0].counters.map_output_records
+                > h_runs[0].counters.map_output_records)
+
+
+class TestDbms:
+    def test_rows_match_reference_by_construction(self, datastore):
+        sql = paper_queries()["q_agg"]
+        res = run_dbms_sql(sql, datastore)
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        assert res.rows == ref.rows
+
+    def test_time_positive_and_scales(self, datastore):
+        sql = paper_queries()["q17"]
+        t1 = run_dbms_sql(sql, datastore, DbmsConfig(data_scale=1)).total_s
+        t10 = run_dbms_sql(sql, datastore, DbmsConfig(data_scale=10)).total_s
+        assert 0 < t1 < t10
+        assert t10 == pytest.approx(t1 * 10, rel=1e-6)
+
+    def test_parallel_speedup_divides(self, datastore):
+        sql = paper_queries()["q_agg"]
+        t4 = run_dbms_sql(sql, datastore,
+                          DbmsConfig(parallel_speedup=4)).total_s
+        t1 = run_dbms_sql(sql, datastore,
+                          DbmsConfig(parallel_speedup=1)).total_s
+        assert t1 == pytest.approx(4 * t4, rel=1e-6)
+
+    def test_scan_and_cpu_components(self, datastore):
+        res = run_dbms_sql(paper_queries()["q17"], datastore)
+        assert res.scan_s > 0 and res.cpu_s > 0

@@ -1,0 +1,138 @@
+"""Tests for multi-query batch translation (cross-query sharing)."""
+
+import pytest
+
+from repro.core.batch import run_batch, translate_batch
+from repro.data import rows_equal_unordered
+from repro.errors import TranslationError
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+LINECOUNTS_SQL = ("SELECT l_orderkey, count(*) AS lines, "
+                  "sum(l_quantity) AS qty FROM lineitem GROUP BY l_orderkey")
+SUPPLIER_SQL = ("SELECT l_suppkey, count(*) AS n FROM lineitem "
+                "GROUP BY l_suppkey")
+
+
+def check_batch_correct(batch, datastore, tr, result):
+    for qid, sql in batch.items():
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        cols = [bare for _, bare in tr.output_columns[qid]]
+        assert rows_equal_unordered(result.rows[qid], ref.rows, cols,
+                                    1e-6), qid
+
+
+class TestCorrectness:
+    def test_two_unrelated_queries(self, datastore, fresh_namespace):
+        batch = {"a": paper_queries()["q_agg"],
+                 "b": SUPPLIER_SQL}
+        tr = translate_batch(batch, catalog=datastore.catalog,
+                             namespace=fresh_namespace)
+        res = run_batch(tr, datastore)
+        check_batch_correct(batch, datastore, tr, res)
+
+    def test_paper_queries_batched(self, datastore, fresh_namespace):
+        batch = {"q17": paper_queries()["q17"],
+                 "waiters": paper_queries()["q21_subtree"],
+                 "csa": paper_queries()["q_csa"]}
+        tr = translate_batch(batch, catalog=datastore.catalog,
+                             namespace=fresh_namespace)
+        res = run_batch(tr, datastore)
+        check_batch_correct(batch, datastore, tr, res)
+
+    def test_sharing_toggle_preserves_results(self, datastore,
+                                              fresh_namespace):
+        batch = {"waiters": paper_queries()["q21_subtree"],
+                 "lines": LINECOUNTS_SQL}
+        for share in (True, False):
+            tr = translate_batch(batch, catalog=datastore.catalog,
+                                 namespace=f"{fresh_namespace}.{share}",
+                                 share_across_queries=share)
+            res = run_batch(tr, datastore)
+            check_batch_correct(batch, datastore, tr, res)
+
+    def test_same_query_twice(self, datastore, fresh_namespace):
+        """Two instances of the same query share everything and still
+        produce two result datasets."""
+        batch = {"first": LINECOUNTS_SQL, "second": LINECOUNTS_SQL}
+        tr = translate_batch(batch, catalog=datastore.catalog,
+                             namespace=fresh_namespace)
+        assert tr.job_count == 1
+        res = run_batch(tr, datastore)
+        assert res.rows["first"] and res.rows["first"] == res.rows["second"]
+
+
+class TestSharing:
+    def test_cross_query_merge_on_matching_pk(self, datastore,
+                                              fresh_namespace):
+        """Q21's sub-tree and a per-order report share the lineitem scan
+        AND the shuffle: one job instead of two."""
+        batch = {"waiters": paper_queries()["q21_subtree"],
+                 "lines": LINECOUNTS_SQL}
+        shared = translate_batch(batch, catalog=datastore.catalog,
+                                 namespace=f"{fresh_namespace}.s")
+        separate = translate_batch(batch, catalog=datastore.catalog,
+                                   namespace=f"{fresh_namespace}.n",
+                                   share_across_queries=False)
+        assert shared.job_count == 1
+        assert separate.job_count == 2
+
+    def test_shared_scan_bytes_halved(self, datastore, fresh_namespace):
+        batch = {"waiters": paper_queries()["q21_subtree"],
+                 "lines": LINECOUNTS_SQL}
+        li = datastore.table("lineitem").estimated_bytes()
+        scans = {}
+        for share in (True, False):
+            tr = translate_batch(batch, catalog=datastore.catalog,
+                                 namespace=f"{fresh_namespace}.{share}",
+                                 share_across_queries=share)
+            res = run_batch(tr, datastore)
+            scans[share] = sum(r.counters.input_bytes.get("lineitem", 0)
+                               for r in res.runs)
+        assert scans[True] == li
+        assert scans[False] == 2 * li
+
+    def test_no_merge_on_different_pk(self, datastore, fresh_namespace):
+        """Q17 (partkey) and the per-order report (orderkey) share input
+        but not the partition key: IC without TC, no merge (the paper's
+        distinction between the two correlations)."""
+        batch = {"q17": paper_queries()["q17"], "lines": LINECOUNTS_SQL}
+        shared = translate_batch(batch, catalog=datastore.catalog,
+                                 namespace=fresh_namespace)
+        separate = translate_batch(batch, catalog=datastore.catalog,
+                                   namespace=f"{fresh_namespace}.n",
+                                   share_across_queries=False)
+        assert shared.job_count == separate.job_count
+
+    def test_batch_never_worse_than_separate(self, datastore,
+                                             fresh_namespace):
+        queries = paper_queries()
+        batch = {"q17": queries["q17"], "q18": queries["q18"],
+                 "csa": queries["q_csa"], "lines": LINECOUNTS_SQL}
+        shared = translate_batch(batch, catalog=datastore.catalog,
+                                 namespace=fresh_namespace)
+        separate = translate_batch(batch, catalog=datastore.catalog,
+                                   namespace=f"{fresh_namespace}.n",
+                                   share_across_queries=False)
+        assert shared.job_count <= separate.job_count
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(TranslationError, match="at least one"):
+            translate_batch({})
+
+    def test_bad_query_id(self):
+        with pytest.raises(TranslationError, match="without dots"):
+            translate_batch({"a.b": "SELECT cid FROM clicks"})
+
+    def test_output_columns_order_preserved(self, datastore,
+                                            fresh_namespace):
+        tr = translate_batch({"q": LINECOUNTS_SQL},
+                             catalog=datastore.catalog,
+                             namespace=fresh_namespace)
+        bare = [b for _, b in tr.output_columns["q"]]
+        assert bare == ["l_orderkey", "lines", "qty"]

@@ -1,0 +1,68 @@
+"""Tests for the experiment harness utilities (ExperimentResult, Workload)."""
+
+import pytest
+
+from repro.bench import ExperimentResult, standard_workload
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("x", "Test result", ["a", "b", "c"])
+    r.rows = [
+        {"a": 1, "b": "p", "c": 10},
+        {"a": 2, "b": "p", "c": 20},
+        {"a": 2, "b": "q", "c": 30},
+    ]
+    r.notes = ["a note"]
+    return r
+
+
+class TestExperimentResult:
+    def test_by_filters(self, result):
+        assert len(result.by(b="p")) == 2
+        assert len(result.by(a=2, b="q")) == 1
+        assert result.by(a=99) == []
+
+    def test_value_unique(self, result):
+        assert result.value("c", a=1) == 10
+
+    def test_value_ambiguous_raises(self, result):
+        with pytest.raises(ValueError, match="expected one row"):
+            result.value("c", b="p")
+
+    def test_value_missing_raises(self, result):
+        with pytest.raises(ValueError):
+            result.value("c", a=42)
+
+    def test_markdown_contains_all(self, result):
+        md = result.to_markdown()
+        assert "### x: Test result" in md
+        assert "| a | b | c |" in md
+        assert "| 2 | q | 30 |" in md
+        assert "*a note*" in md
+
+    def test_markdown_missing_cells_blank(self):
+        r = ExperimentResult("y", "t", ["a", "b"])
+        r.rows = [{"a": 1}]
+        assert "| 1 |  |" in r.to_markdown()
+
+
+class TestWorkload:
+    def test_scales_ordered(self):
+        w = standard_workload(tpch_scale=0.001, clickstream_users=10)
+        assert w.tpch_scale_10gb < w.tpch_scale_100gb < w.tpch_scale_1tb
+        assert w.tpch_scale_100gb == pytest.approx(
+            10 * w.tpch_scale_10gb)
+        assert w.clicks_scale_20gb > 0
+
+    def test_datastore_has_all_tables(self):
+        w = standard_workload(tpch_scale=0.001, clickstream_users=10)
+        for t in ("lineitem", "orders", "customer", "part", "supplier",
+                  "nation", "clicks"):
+            assert w.datastore.has_table(t)
+
+    def test_seed_determinism(self):
+        a = standard_workload(tpch_scale=0.001, clickstream_users=10, seed=3)
+        b = standard_workload(tpch_scale=0.001, clickstream_users=10, seed=3)
+        assert a.datastore.table("lineitem").rows == \
+            b.datastore.table("lineitem").rows

@@ -1,0 +1,177 @@
+"""Tests for the catalog registry, Table, and Datastore."""
+
+import pytest
+
+from repro.catalog import (
+    CLICKS_SCHEMA,
+    TPCH_SCHEMAS,
+    Catalog,
+    Schema,
+    standard_catalog,
+)
+from repro.catalog.types import ColumnType as T
+from repro.data import Datastore, Table, rows_equal_unordered
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        cat = Catalog()
+        schema = Schema.of(("x", T.INT))
+        cat.register("MyTable", schema)
+        assert cat.schema("mytable") == schema
+        assert cat.has("MYTABLE")
+        assert "mytable" in cat
+
+    def test_duplicate_register_rejected(self):
+        cat = Catalog()
+        cat.register("t", Schema.of(("x", T.INT)))
+        with pytest.raises(CatalogError, match="already registered"):
+            cat.register("t", Schema.of(("y", T.INT)))
+
+    def test_replace_flag(self):
+        cat = Catalog()
+        cat.register("t", Schema.of(("x", T.INT)))
+        cat.register("t", Schema.of(("y", T.INT)), replace=True)
+        assert cat.schema("t").names == ["y"]
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.register("t", Schema.of(("x", T.INT)))
+        cat.drop("t")
+        assert not cat.has("t")
+        with pytest.raises(CatalogError):
+            cat.drop("t")
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown table"):
+            Catalog().schema("ghost")
+
+    def test_copy_is_independent(self):
+        cat = Catalog()
+        cat.register("t", Schema.of(("x", T.INT)))
+        clone = cat.copy()
+        clone.drop("t")
+        assert cat.has("t")
+
+    def test_standard_catalog_contains_paper_tables(self):
+        cat = standard_catalog()
+        for name in ["lineitem", "orders", "customer", "part", "supplier",
+                     "nation", "clicks"]:
+            assert cat.has(name), name
+
+    def test_paper_schema_columns(self):
+        assert "l_orderkey" in TPCH_SCHEMAS["lineitem"]
+        assert "o_orderstatus" in TPCH_SCHEMAS["orders"]
+        assert CLICKS_SCHEMA.names == ["uid", "pid", "cid", "ts"]
+
+
+class TestTable:
+    def _table(self):
+        schema = Schema.of(("a", T.INT), ("b", T.STRING))
+        return Table("t", schema, [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+
+    def test_len_iter(self):
+        t = self._table()
+        assert len(t) == 2
+        assert [r["a"] for r in t] == [1, 2]
+
+    def test_validate_on_build(self):
+        schema = Schema.of(("a", T.INT))
+        with pytest.raises(CatalogError):
+            Table("t", schema, [{"a": "bad"}], validate=True)
+
+    def test_append_and_extend(self):
+        t = self._table()
+        t.append({"a": 3, "b": "z"})
+        t.extend([{"a": 4, "b": "w"}])
+        assert len(t) == 4
+
+    def test_column_values(self):
+        assert self._table().column_values("a") == [1, 2]
+        with pytest.raises(CatalogError):
+            self._table().column_values("nope")
+
+    def test_estimated_bytes_counts_fields(self):
+        t = Table("t", Schema.of(("a", T.INT)), [{"a": 12}, {"a": 345}])
+        # "12" + delim + "345" + delim
+        assert t.estimated_bytes() == 3 + 4
+
+    def test_sorted_rows_handles_nulls(self):
+        t = Table("t", Schema.of(("a", T.INT)),
+                  [{"a": 2}, {"a": None}, {"a": 1}])
+        assert [r["a"] for r in t.sorted_rows()] == [None, 1, 2]
+
+    def test_copy_is_deep_per_row(self):
+        t = self._table()
+        c = t.copy("t2")
+        c.rows[0]["a"] = 99
+        assert t.rows[0]["a"] == 1
+        assert c.name == "t2"
+
+
+class TestRowsEqualUnordered:
+    def test_order_insensitive(self):
+        a = [{"x": 1}, {"x": 2}]
+        b = [{"x": 2}, {"x": 1}]
+        assert rows_equal_unordered(a, b, ["x"])
+
+    def test_multiset_semantics(self):
+        assert not rows_equal_unordered(
+            [{"x": 1}, {"x": 1}], [{"x": 1}], ["x"])
+
+    def test_float_tolerance(self):
+        a = [{"x": 1.0000000001}]
+        b = [{"x": 1.0}]
+        assert rows_equal_unordered(a, b, ["x"], float_tol=1e-6)
+        assert not rows_equal_unordered([{"x": 1.1}], b, ["x"], float_tol=1e-6)
+
+    def test_nulls_compare_equal(self):
+        assert rows_equal_unordered([{"x": None}], [{"x": None}], ["x"])
+        assert not rows_equal_unordered([{"x": None}], [{"x": 0}], ["x"])
+
+
+class TestDatastore:
+    def test_load_registers_schema(self):
+        ds = Datastore()
+        t = Table("newtab", Schema.of(("a", T.INT)), [{"a": 1}])
+        ds.load_table(t)
+        assert ds.catalog.has("newtab")
+        assert ds.table("newtab") is t
+
+    def test_table_missing(self):
+        with pytest.raises(CatalogError, match="no table loaded"):
+            Datastore().table("ghost")
+
+    def test_intermediates_roundtrip(self):
+        ds = Datastore()
+        t = Table("x", Schema.of(("a", T.INT)), [{"a": 1}])
+        ds.write_intermediate("job1.out", t)
+        assert ds.intermediate("job1.out") is t
+        assert ds.resolve("job1.out") is t
+
+    def test_intermediate_no_replace(self):
+        ds = Datastore()
+        t = Table("x", Schema.of(("a", T.INT)), [])
+        ds.write_intermediate("d", t)
+        with pytest.raises(ExecutionError):
+            ds.write_intermediate("d", t, replace=False)
+
+    def test_resolve_prefers_intermediate(self):
+        ds = Datastore()
+        base = Table("t", Schema.of(("a", T.INT)), [{"a": 1}])
+        ds.load_table(base)
+        shadow = Table("t", Schema.of(("a", T.INT)), [{"a": 2}])
+        ds.write_intermediate("t", shadow)
+        assert ds.resolve("t") is shadow
+
+    def test_resolve_missing(self):
+        with pytest.raises(ExecutionError, match="neither"):
+            Datastore().resolve("nothing")
+
+    def test_drop_intermediates(self):
+        ds = Datastore()
+        ds.write_intermediate("d", Table("x", Schema.of(("a", T.INT)), []))
+        ds.drop_intermediates()
+        with pytest.raises(ExecutionError):
+            ds.intermediate("d")

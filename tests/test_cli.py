@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+QAGG = "SELECT cid, count(*) AS n FROM clicks GROUP BY cid"
+
+
+class TestExplain:
+    def test_shows_plan_and_jobs(self, capsys):
+        code, out, _ = run_cli(capsys, "explain", QAGG,
+                               "--clickstream-users", "10",
+                               "--tpch-scale", "0.0005")
+        assert code == 0
+        assert "Plan tree" in out and "AGG1" in out
+        assert "one-op-one-job: 1 jobs" in out
+
+    def test_correlated_query_lists_pairs(self, capsys):
+        sql = ("SELECT t.l_orderkey, count(*) AS n FROM "
+               "(SELECT l_orderkey, o_custkey FROM lineitem, orders "
+               "WHERE l_orderkey = o_orderkey) AS t GROUP BY t.l_orderkey")
+        code, out, _ = run_cli(capsys, "explain", sql,
+                               "--tpch-scale", "0.0005",
+                               "--clickstream-users", "5")
+        assert code == 0
+        assert "JFC" in out
+        assert "YSmart: 1 jobs" in out
+
+
+class TestRun:
+    def test_rows_printed(self, capsys):
+        code, out, _ = run_cli(capsys, "run", QAGG,
+                               "--clickstream-users", "10",
+                               "--tpch-scale", "0.0005")
+        assert code == 0
+        assert "mode=ysmart jobs=1" in out
+        assert "cid | n" in out
+
+    def test_timing_with_cluster(self, capsys):
+        code, out, _ = run_cli(capsys, "run", QAGG,
+                               "--cluster", "small", "--target-gb", "1",
+                               "--clickstream-users", "10",
+                               "--tpch-scale", "0.0005")
+        assert code == 0
+        assert "simulated time on small-2node" in out
+
+    def test_mode_flag(self, capsys):
+        code, out, _ = run_cli(capsys, "run", QAGG, "--mode", "hive",
+                               "--clickstream-users", "10",
+                               "--tpch-scale", "0.0005")
+        assert code == 0
+        assert "mode=hive" in out
+
+    def test_limit_truncates_output(self, capsys):
+        code, out, _ = run_cli(capsys, "run", QAGG, "--limit", "2",
+                               "--clickstream-users", "30",
+                               "--tpch-scale", "0.0005")
+        assert code == 0
+        assert "showing first 2" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments", "job-counts",
+                               "--tpch-scale", "0.001",
+                               "--clickstream-users", "20")
+        assert code == 0
+        assert "### job-counts" in out
+        assert "| q_csa | 2 | 6 | 6 |" in out
+
+    def test_unknown_experiment(self, capsys):
+        code, _, err = run_cli(capsys, "experiments", "fig99")
+        assert code == 2
+        assert "unknown experiment" in err
+
+
+class TestGenerate:
+    def test_writes_tables(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "data")
+        code, out, _ = run_cli(capsys, "generate", "--out", out_dir,
+                               "--tpch-scale", "0.0005",
+                               "--clickstream-users", "5")
+        assert code == 0
+        assert "wrote 7 tables" in out
+        import os
+        assert os.path.exists(os.path.join(out_dir, "lineitem.tbl"))
+        assert os.path.exists(os.path.join(out_dir, "manifest.json"))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "SELECT 1", "--mode", "spark"])
+
+
+class TestExperimentReporting:
+    def test_json_output(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments", "job-counts",
+                               "--json", "--tpch-scale", "0.001",
+                               "--clickstream-users", "10")
+        assert code == 0
+        import json
+        data = json.loads(out)
+        assert data[0]["exp_id"] == "job-counts"
+
+    def test_save_and_clean_compare(self, capsys, tmp_path):
+        path = str(tmp_path / "base.json")
+        code, _, err = run_cli(capsys, "experiments", "job-counts",
+                               "--save", path, "--tpch-scale", "0.001",
+                               "--clickstream-users", "10")
+        assert code == 0 and "saved to" in err
+        code, _, err = run_cli(capsys, "experiments", "job-counts",
+                               "--compare", path, "--tpch-scale", "0.001",
+                               "--clickstream-users", "10")
+        assert code == 0
+        assert "no drift" in err
+
+    def test_compare_detects_drift(self, capsys, tmp_path):
+        import json
+        path = str(tmp_path / "base.json")
+        run_cli(capsys, "experiments", "job-counts", "--save", path,
+                "--tpch-scale", "0.001", "--clickstream-users", "10")
+        with open(path) as f:
+            data = json.load(f)
+        data[0]["rows"][0]["ysmart"] = 99  # corrupt the baseline
+        with open(path, "w") as f:
+            json.dump(data, f)
+        code, _, err = run_cli(capsys, "experiments", "job-counts",
+                               "--compare", path, "--tpch-scale", "0.001",
+                               "--clickstream-users", "10")
+        assert code == 1
+        assert "99" in err

@@ -1,0 +1,193 @@
+"""Tests for partition keys and intra-query correlation detection."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.core.correlation import CorrelationAnalysis, UnionFind
+from repro.plan.nodes import AggNode, JoinNode, SortNode
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+def analyze(sql, catalog=None):
+    plan = plan_query(parse_sql(sql), catalog or standard_catalog())
+    return plan, CorrelationAnalysis(plan)
+
+
+def node(plan, label):
+    for n in plan.post_order():
+        if n.label == label:
+            return n
+    raise AssertionError(f"no node {label}")
+
+
+class TestUnionFind:
+    def test_basics(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+        assert not uf.same("a", "d")
+
+    def test_find_is_idempotent(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        uf.union("x", "y")
+        assert uf.find("x") == uf.find("y")
+
+
+class TestPartitionKeys:
+    def test_join_pk_is_key_class(self):
+        plan, ca = analyze(
+            "SELECT l_orderkey FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey")
+        join = node(plan, "JOIN1")
+        pk = ca.pk(join)
+        assert pk is not None and len(pk) == 1
+        # Both join columns are in the same class.
+        assert ca.class_of("lineitem.l_orderkey") == \
+            ca.class_of("orders.o_orderkey")
+
+    def test_equijoin_columns_are_aliases(self):
+        """Paper footnote 3: the two sides of an equi-join predicate are
+        aliases of the same partition key."""
+        _, ca = analyze(
+            "SELECT l_partkey FROM lineitem, part WHERE p_partkey = l_partkey")
+        assert ca.class_of("lineitem.l_partkey") == \
+            ca.class_of("part.p_partkey")
+
+    def test_scans_of_same_table_share_base_classes(self):
+        """Columns of two scans of the same base table compare equal."""
+        sql = """
+        SELECT a.l_orderkey FROM
+          (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey) AS a,
+          (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey) AS b
+        WHERE a.l_orderkey = b.l_orderkey
+        """
+        plan, ca = analyze(sql)
+        aggs = [n for n in plan.post_order() if isinstance(n, AggNode)]
+        assert ca.pk(aggs[0]) == ca.pk(aggs[1])
+
+    def test_global_agg_has_no_pk(self):
+        plan, ca = analyze("SELECT sum(l_quantity) AS s FROM lineitem")
+        assert ca.pk(plan) is None
+
+    def test_sort_has_no_pk(self):
+        plan, ca = analyze("SELECT l_orderkey FROM lineitem ORDER BY l_orderkey")
+        assert isinstance(plan, SortNode)
+        assert ca.pk(plan) is None
+
+    def test_agg_pk_candidates_subset_of_groups(self):
+        plan, ca = analyze(
+            "SELECT l_orderkey, l_partkey, count(*) AS n FROM lineitem "
+            "GROUP BY l_orderkey, l_partkey")
+        pk = ca.pk(plan.children[0] if isinstance(plan, SortNode) else plan)
+        group_classes = {ca.class_of("lineitem.l_orderkey"),
+                         ca.class_of("lineitem.l_partkey")}
+        assert pk is not None and pk <= group_classes
+
+    def test_agg_pk_heuristic_follows_child_join(self):
+        """The PK candidate connecting the child join wins (paper's
+        max-connections heuristic)."""
+        sql = """
+        SELECT o_custkey, l_partkey, count(*) AS n
+        FROM lineitem, orders WHERE l_orderkey = o_orderkey
+        GROUP BY o_custkey, l_partkey, l_orderkey
+        """
+        # group includes l_orderkey == join PK; heuristic must pick it.
+        plan, ca = analyze(sql.replace("GROUP BY o_custkey, l_partkey, l_orderkey",
+                                       "GROUP BY o_custkey, l_partkey, l_orderkey"))
+        # find the agg
+        agg = next(n for n in plan.post_order() if isinstance(n, AggNode))
+        join = next(n for n in plan.post_order() if isinstance(n, JoinNode))
+        assert ca.pk(agg) == ca.pk(join)
+        assert ca.job_flow_correlated(agg, join)
+
+
+class TestCorrelationsOnPaperQueries:
+    @pytest.fixture(scope="class")
+    def qcsa(self):
+        plan = plan_query(parse_sql(paper_queries()["q_csa"]),
+                          standard_catalog())
+        return plan, CorrelationAnalysis(plan)
+
+    def test_qcsa_all_five_share_pk(self, qcsa):
+        plan, ca = qcsa
+        pks = {label: ca.pk(node(plan, label))
+               for label in ["JOIN1", "AGG1", "AGG2", "JOIN2", "AGG3"]}
+        assert len(set(pks.values())) == 1
+        assert ca.pk(node(plan, "AGG4")) is None
+
+    def test_qcsa_jfc_chain(self, qcsa):
+        plan, ca = qcsa
+        assert ca.job_flow_correlated(node(plan, "AGG1"), node(plan, "JOIN1"))
+        assert ca.job_flow_correlated(node(plan, "AGG2"), node(plan, "AGG1"))
+        assert ca.job_flow_correlated(node(plan, "JOIN2"), node(plan, "AGG2"))
+        assert ca.job_flow_correlated(node(plan, "AGG3"), node(plan, "JOIN2"))
+
+    def test_qcsa_ic_between_joins(self, qcsa):
+        plan, ca = qcsa
+        # JOIN1 (self-join of clicks) and JOIN2 (clicks + mp) share input.
+        assert ca.input_correlated(node(plan, "JOIN1"), node(plan, "JOIN2"))
+
+    def test_q17_correlations(self):
+        plan = plan_query(parse_sql(paper_queries()["q17"]),
+                          standard_catalog())
+        ca = CorrelationAnalysis(plan)
+        agg1, join1, join2 = (node(plan, l) for l in ["AGG1", "JOIN1", "JOIN2"])
+        assert ca.transit_correlated(agg1, join1)
+        assert ca.job_flow_correlated(join2, agg1)
+        assert ca.job_flow_correlated(join2, join1)
+
+    def test_q21_subtree_tc_triple(self):
+        plan = plan_query(parse_sql(paper_queries()["q21_subtree"]),
+                          standard_catalog())
+        ca = CorrelationAnalysis(plan)
+        join1, agg1, agg2 = (node(plan, l) for l in ["JOIN1", "AGG1", "AGG2"])
+        assert ca.transit_correlated(join1, agg1)
+        assert ca.transit_correlated(join1, agg2)
+        assert ca.transit_correlated(agg1, agg2)
+
+    def test_q18_two_pk_groups(self):
+        plan = plan_query(parse_sql(paper_queries()["q18"]),
+                          standard_catalog())
+        ca = CorrelationAnalysis(plan)
+        orderkey_group = {ca.pk(node(plan, l))
+                          for l in ["JOIN1", "AGG1", "JOIN2"]}
+        custkey_group = {ca.pk(node(plan, l)) for l in ["JOIN3", "AGG2"]}
+        assert len(orderkey_group) == 1
+        assert len(custkey_group) == 1
+        assert orderkey_group != custkey_group
+
+
+class TestDefinitionProperties:
+    def test_tc_implies_ic(self):
+        """Transit correlation is IC plus PK equality by definition."""
+        for name in ["q17", "q18", "q21", "q_csa"]:
+            plan = plan_query(parse_sql(paper_queries()[name]),
+                              standard_catalog())
+            ca = CorrelationAnalysis(plan)
+            nodes = ca.operator_nodes
+            for i, a in enumerate(nodes):
+                for b in nodes[i + 1:]:
+                    if ca.transit_correlated(a, b):
+                        assert ca.input_correlated(a, b)
+                        assert ca.pk(a) == ca.pk(b)
+
+    def test_jfc_requires_child_relation(self):
+        plan = plan_query(parse_sql(paper_queries()["q17"]),
+                          standard_catalog())
+        ca = CorrelationAnalysis(plan)
+        agg1, join1 = node(plan, "AGG1"), node(plan, "JOIN1")
+        # Same PK but JOIN1 is not a child of AGG1.
+        assert not ca.job_flow_correlated(agg1, join1)
+
+    def test_summary_lists_pairs(self):
+        plan = plan_query(parse_sql(paper_queries()["q17"]),
+                          standard_catalog())
+        ca = CorrelationAnalysis(plan)
+        summary = ca.correlation_summary()
+        kinds = {k for _, _, k in summary}
+        assert "TC" in kinds and "JFC" in kinds

@@ -1,0 +1,213 @@
+"""Tests for cluster configs, the cost model, and the contention model."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hadoop import (
+    ClusterConfig,
+    ContentionModel,
+    HadoopCostModel,
+    ec2_cluster,
+    facebook_cluster,
+    small_cluster,
+)
+from repro.mr.counters import JobCounters
+
+
+def counters(**kwargs):
+    base = JobCounters(job_id="j", name="test", num_reducers=8)
+    base.input_bytes = {"lineitem": 10_000_000}
+    base.input_records = {"lineitem": 100_000}
+    base.map_eval_ops = 100_000
+    base.pre_combine_records = 50_000
+    base.map_output_records = 50_000
+    base.map_output_bytes = 2_000_000
+    base.reduce_groups = 1_000
+    base.reduce_input_records = 50_000
+    base.reduce_dispatch_ops = 50_000
+    base.reduce_compute_ops = 60_000
+    base.output_records = {"out": 10_000}
+    base.output_bytes = {"out": 500_000}
+    for k, v in kwargs.items():
+        setattr(base, k, v)
+    return base
+
+
+class TestClusterConfig:
+    def test_presets_have_paper_shapes(self):
+        small = small_cluster()
+        assert small.worker_nodes == 1 and small.total_map_slots == 4
+        ec2 = ec2_cluster(10)
+        assert ec2.worker_nodes == 10
+        fb = facebook_cluster()
+        assert fb.worker_nodes == 747 and fb.contention is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            small_cluster(data_scale=0)
+        with pytest.raises(ConfigError):
+            dataclasses.replace(small_cluster(), worker_nodes=0)
+        with pytest.raises(ConfigError):
+            dataclasses.replace(small_cluster(), compression_ratio=0)
+
+    def test_with_helpers(self):
+        c = small_cluster()
+        assert c.with_scale(5).data_scale == 5
+        assert c.with_compression(True).compress_map_output
+        assert c.with_contention(None).contention is None
+
+    def test_shuffle_bandwidth_scales_with_nodes(self):
+        assert ec2_cluster(100).shuffle_bandwidth == \
+            pytest.approx(10 * ec2_cluster(10).shuffle_bandwidth)
+
+
+class TestCostModelMonotonicity:
+    """DESIGN.md invariant 6: more volume never costs less."""
+
+    def test_more_input_bytes_slower(self):
+        model = HadoopCostModel(small_cluster())
+        t1 = model.job_timing(counters()).total_s
+        t2 = model.job_timing(
+            counters(input_bytes={"lineitem": 100_000_000})).total_s
+        assert t2 > t1
+
+    def test_more_shuffle_bytes_slower(self):
+        model = HadoopCostModel(small_cluster())
+        t1 = model.job_timing(counters()).total_s
+        t2 = model.job_timing(counters(map_output_bytes=50_000_000)).total_s
+        assert t2 > t1
+
+    def test_more_reduce_ops_slower(self):
+        model = HadoopCostModel(small_cluster())
+        t1 = model.job_timing(counters()).total_s
+        t2 = model.job_timing(counters(reduce_compute_ops=10_000_000)).total_s
+        assert t2 > t1
+
+    def test_more_jobs_cost_startup(self):
+        model = HadoopCostModel(small_cluster())
+        one = model.query_timing([_run(counters())]).total_s
+        half = counters()
+        half.input_bytes = {"lineitem": 5_000_000}
+        two = model.query_timing([_run(half), _run(half)]).total_s
+        assert two > one - 1e-9  # split work still pays a second startup
+
+    def test_data_scale_projects_volumes(self):
+        """Once the slot pool is saturated, work scales linearly with
+        data_scale (startup is fixed, so compare work, not totals)."""
+        startup = small_cluster().job_startup_s
+        t10 = HadoopCostModel(small_cluster(data_scale=100)).job_timing(
+            counters()).total_s - startup
+        t100 = HadoopCostModel(small_cluster(data_scale=1000)).job_timing(
+            counters()).total_s - startup
+        assert t100 > 8 * t10
+
+
+def _run(c):
+    from repro.mr.counters import JobRun
+    return JobRun(c.job_id, c.name, c)
+
+
+class TestParallelism:
+    def test_more_nodes_faster_at_fixed_data(self):
+        big = counters(input_bytes={"lineitem": 10_000_000_000},
+                       map_eval_ops=100_000_000,
+                       input_records={"lineitem": 100_000_000})
+        t10 = HadoopCostModel(ec2_cluster(10)).job_timing(big).total_s
+        t100 = HadoopCostModel(ec2_cluster(100)).job_timing(big).total_s
+        assert t100 < t10
+
+    def test_near_linear_scaling(self):
+        """10x data on 10x nodes costs roughly the same (paper Fig. 11)."""
+        c = counters(input_bytes={"lineitem": 10_000_000_000},
+                     input_records={"lineitem": 100_000_000},
+                     map_eval_ops=100_000_000)
+        t_small = HadoopCostModel(
+            ec2_cluster(10, data_scale=1)).job_timing(c).total_s
+        t_big = HadoopCostModel(
+            ec2_cluster(100, data_scale=10)).job_timing(c).total_s
+        assert t_big / t_small < 1.6
+
+    def test_reduce_waves(self):
+        """More reducers than slots forces extra waves."""
+        model = HadoopCostModel(small_cluster())
+        few = model.job_timing(counters(num_reducers=4)).reduce_s
+        many = model.job_timing(counters(num_reducers=64)).reduce_s
+        assert many > few
+
+
+class TestCompression:
+    def test_compression_net_loss_when_cpu_dominates(self):
+        """The paper's Fig. 11 finding on an isolated cluster."""
+        cfg = ec2_cluster(10, data_scale=1000)
+        model_nc = HadoopCostModel(cfg)
+        model_c = HadoopCostModel(cfg.with_compression(True))
+        c = counters()
+        assert model_c.job_timing(c).total_s > model_nc.job_timing(c).total_s
+
+    def test_compression_reduces_wire_bytes(self):
+        cfg = small_cluster().with_compression(True)
+        t = HadoopCostModel(cfg).job_timing(counters(map_output_bytes=10**9))
+        t_nc = HadoopCostModel(small_cluster()).job_timing(
+            counters(map_output_bytes=10**9))
+        assert t.shuffle_s < t_nc.shuffle_s
+
+
+class TestContention:
+    def test_samples_deterministic(self):
+        m = ContentionModel(seed=42)
+        assert m.sample(1, 2) == m.sample(1, 2)
+        assert m.sample(1, 2) != m.sample(1, 3)
+
+    def test_sample_ranges(self):
+        m = ContentionModel()
+        for i in range(20):
+            s = m.sample(i, 0)
+            assert m.gap_min_s <= s.scheduling_gap_s <= m.gap_max_s
+            assert m.slowdown_min <= s.map_slowdown <= m.slowdown_max
+
+    def test_busy_day_scales(self):
+        m = ContentionModel()
+        busy = m.busy_day(2.0)
+        s, sb = m.sample(0, 0), busy.sample(0, 0)
+        assert sb.scheduling_gap_s == pytest.approx(2 * s.scheduling_gap_s)
+        assert sb.map_slowdown == pytest.approx(2 * s.map_slowdown)
+
+    def test_contention_adds_gap_and_slowdown(self):
+        fb = facebook_cluster()
+        isolated = fb.with_contention(None)
+        c = counters()
+        t_cont = HadoopCostModel(fb).job_timing(c, instance=0, job_index=1)
+        t_iso = HadoopCostModel(isolated).job_timing(c, instance=0,
+                                                     job_index=1)
+        assert t_cont.scheduling_gap_s > t_iso.scheduling_gap_s
+        assert t_cont.total_s > t_iso.total_s
+
+    def test_temp_join_penalty_targets_intermediate_joins(self):
+        fb = facebook_cluster()
+        model = HadoopCostModel(fb)
+        temp = counters(input_bytes={"q.a": 1000, "q.b": 1000})
+        base = counters(input_bytes={"lineitem": 1000, "q.b": 1000})
+        t_temp = model.job_timing(temp, instance=0, job_index=0)
+        t_base = model.job_timing(base, instance=0, job_index=0)
+        assert t_temp.reduce_s > t_base.reduce_s + 100
+
+
+class TestQueryTiming:
+    def test_breakdown_structure(self):
+        model = HadoopCostModel(small_cluster())
+        timing = model.query_timing([_run(counters()), _run(counters())])
+        rows = timing.breakdown()
+        assert len(rows) == 2
+        assert set(rows[0]) == {"job", "startup_s", "map_s", "shuffle_s",
+                                "reduce_s", "gap_s", "total_s"}
+        assert timing.total_s == pytest.approx(
+            sum(r["total_s"] for r in rows), abs=0.5)
+
+    def test_isolated_inter_job_gap(self):
+        model = HadoopCostModel(small_cluster())
+        timing = model.query_timing([_run(counters()), _run(counters())])
+        assert timing.jobs[0].scheduling_gap_s == 0.0
+        assert timing.jobs[1].scheduling_gap_s == \
+            small_cluster().inter_job_gap_s

@@ -1,0 +1,97 @@
+"""Tests for critical-path (DAG) job scheduling."""
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.errors import ConfigError
+from repro.hadoop import (
+    HadoopCostModel,
+    dag_query_timing,
+    job_dependencies,
+    small_cluster,
+)
+from repro.mr.engine import run_jobs
+from repro.workloads import data_scale_for
+from repro.workloads.queries import paper_queries
+
+TPCH = ["lineitem", "orders", "part", "customer", "supplier", "nation"]
+
+
+@pytest.fixture(scope="module")
+def model(datastore):
+    scale = data_scale_for(datastore, TPCH, 10.0)
+    return HadoopCostModel(small_cluster(data_scale=scale))
+
+
+def run(datastore, query, mode, namespace):
+    tr = translate_sql(paper_queries()[query], mode=mode,
+                       catalog=datastore.catalog, namespace=namespace)
+    runs = run_jobs(tr.jobs, datastore)
+    return tr, runs
+
+
+class TestDependencies:
+    def test_chain_dependencies(self, datastore, fresh_namespace):
+        tr, runs = run(datastore, "q_csa", "hive", fresh_namespace)
+        deps = job_dependencies(
+            runs, {j.job_id: j.input_datasets for j in tr.jobs},
+            {j.job_id: j.output_datasets for j in tr.jobs})
+        # The first job reads base tables only.
+        assert deps[runs[0].job_id] == []
+        # The final global average depends on its predecessor.
+        assert deps[runs[-1].job_id] == [runs[-2].job_id]
+
+    def test_independent_siblings(self, datastore, fresh_namespace):
+        """Hive's Q17 AGG1 and JOIN1 both read base tables only."""
+        tr, runs = run(datastore, "q17", "hive", fresh_namespace)
+        deps = job_dependencies(
+            runs, {j.job_id: j.input_datasets for j in tr.jobs},
+            {j.job_id: j.output_datasets for j in tr.jobs})
+        independents = [j for j, d in deps.items() if not d]
+        assert len(independents) == 2  # AGG1 and JOIN1
+
+
+class TestDagTiming:
+    def test_never_slower_than_sequential(self, datastore, model,
+                                          fresh_namespace):
+        for mode in ("hive", "ysmart"):
+            tr, runs = run(datastore, "q17", mode,
+                           f"{fresh_namespace}.{mode}")
+            seq = model.query_timing(runs).total_s
+            dag = dag_query_timing(model, runs, tr.jobs)
+            assert dag.total_s <= seq + 1e-6
+            assert dag.sequential_s >= dag.total_s
+
+    def test_hive_gains_more_overlap_than_ysmart(self, datastore, model,
+                                                 fresh_namespace):
+        """More jobs means more overlap opportunity — but not enough to
+        catch YSmart (the redundant work still runs)."""
+        results = {}
+        for mode in ("hive", "ysmart"):
+            tr, runs = run(datastore, "q17", mode,
+                           f"{fresh_namespace}.{mode}")
+            results[mode] = dag_query_timing(model, runs, tr.jobs)
+        assert results["hive"].overlap_speedup > \
+            results["ysmart"].overlap_speedup
+        assert results["ysmart"].total_s < results["hive"].total_s
+
+    def test_single_job_query_no_overlap(self, datastore, model,
+                                         fresh_namespace):
+        tr, runs = run(datastore, "q21_subtree", "ysmart", fresh_namespace)
+        dag = dag_query_timing(model, runs, tr.jobs)
+        assert dag.overlap_speedup == pytest.approx(1.0)
+
+    def test_start_times_respect_dependencies(self, datastore, model,
+                                              fresh_namespace):
+        tr, runs = run(datastore, "q18", "hive", fresh_namespace)
+        dag = dag_query_timing(model, runs, tr.jobs)
+        by_id = {s.timing.job_id: s for s in dag.jobs}
+        for job in dag.jobs:
+            for dep in job.depends_on:
+                assert job.start_s >= by_id[dep].finish_s - 1e-9
+
+    def test_out_of_order_runs_rejected(self, datastore, model,
+                                        fresh_namespace):
+        tr, runs = run(datastore, "q_csa", "hive", fresh_namespace)
+        with pytest.raises(ConfigError, match="execution order"):
+            dag_query_timing(model, list(reversed(runs)), tr.jobs)

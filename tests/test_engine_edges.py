@@ -1,0 +1,147 @@
+"""Engine and CMF edge cases not covered by the main suites."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.data import Datastore, Table
+from repro.errors import ExecutionError
+from repro.mr import (
+    EmitSpec,
+    MRJob,
+    MapAggSpec,
+    MapInput,
+    MapReduceEngine,
+    OutputSpec,
+    TagPolicy,
+)
+from repro.mr.kv import TaggedValue, pair_bytes, rows_bytes
+from repro.ops import AggTask, SPTask, TaskInput
+
+
+def store(rows):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("t", Schema.of(("k", T.INT), ("v", T.INT)), rows))
+    return ds
+
+
+class TestEmptyInputs:
+    def _agg_job(self, global_group):
+        def emit(record):
+            return (), {"c": record["v"]}
+
+        task = AggTask("a", TaskInput.shuffle("in", []),
+                       group_exprs=[],
+                       agg_specs=[("c", "count", (lambda r: r.get("c")),
+                                   False, False)],
+                       global_agg=global_group)
+        return MRJob(
+            job_id="g", name="g",
+            map_inputs=[MapInput("t", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task], global_group=global_group),
+            outputs=[OutputSpec("g.out", "a", ["c"])],
+            num_reducers=1)
+
+    def test_global_agg_over_empty_input_emits_one_row(self):
+        ds = store([])
+        MapReduceEngine(ds).run_job(self._agg_job(True))
+        assert ds.intermediate("g.out").rows == [{"c": 0}]
+
+    def test_non_global_job_over_empty_input_emits_nothing(self):
+        ds = store([])
+        MapReduceEngine(ds).run_job(self._agg_job(False))
+        assert ds.intermediate("g.out").rows == []
+
+    def test_counters_zeroed_on_empty(self):
+        ds = store([])
+        c = MapReduceEngine(ds).run_job(self._agg_job(True))
+        assert c.map_output_records == 0
+        assert c.reduce_max_task_records == 0
+        assert c.total_output_bytes > 0  # the NULL-count row still writes
+
+
+class TestCombinerEdges:
+    def test_combiner_with_global_key(self):
+        """A grand aggregate with a combiner collapses the whole map
+        output to a single pair."""
+        def emit(record):
+            return (), {"s": record["v"]}
+
+        task = AggTask("a", TaskInput.shuffle("in", []),
+                       group_exprs=[],
+                       agg_specs=[("s", "sum", (lambda r: r.get("s")),
+                                   False, False)],
+                       partial=True, global_agg=True)
+        job = MRJob(
+            job_id="cg", name="cg",
+            map_inputs=[MapInput("t", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task], global_group=True),
+            outputs=[OutputSpec("cg.out", "a", ["s"])],
+            map_agg=MapAggSpec({"s": ("sum", False, False)}),
+            num_reducers=1)
+        ds = store([{"k": i, "v": i} for i in range(10)])
+        c = MapReduceEngine(ds).run_job(job)
+        assert c.map_output_records == 1
+        assert ds.intermediate("cg.out").rows == [{"s": 45}]
+
+
+class TestTagAccounting:
+    def test_multi_role_pair_bytes_include_tag(self):
+        single = pair_bytes((1,), TaggedValue(frozenset(["a"]), {"v": 1}), 1)
+        multi = pair_bytes((1,), TaggedValue(frozenset(["a"]), {"v": 1}), 3)
+        assert multi > single  # tags only exist with a role universe > 1
+
+    def test_inverted_beats_direct_for_broad_pairs(self):
+        roles = frozenset(["a", "b", "c", "d"])
+        broad = pair_bytes((1,), TaggedValue(roles, {}), 5, TagPolicy.BEST)
+        direct = pair_bytes((1,), TaggedValue(roles, {}), 5, TagPolicy.DIRECT)
+        assert broad < direct
+
+    def test_rows_bytes_empty(self):
+        assert rows_bytes([]) == 0
+        assert rows_bytes([{}]) == 0
+
+
+class TestPayloadMapErrors:
+    def test_missing_mapped_column_raises(self):
+        task = SPTask("sp", TaskInput.shuffle(
+            "in", ["k"], payload_map=[("want", "absent")]))
+        task.start((1,))
+        with pytest.raises(KeyError):
+            task.consume((1,), frozenset(["in"]), {"other": 1})
+
+
+class TestSortEdgeCases:
+    def _sort_job(self, ascending):
+        def emit(record):
+            return (record["v"], record["k"]), {}
+
+        task = SPTask("sp", TaskInput.shuffle("in", ["v", "k"]))
+        return MRJob(
+            job_id="s", name="s",
+            map_inputs=[MapInput("t", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec("s.out", "sp", ["v", "k"])],
+            sort_output=True, sort_ascending=ascending)
+
+    def test_mixed_direction_composite_sort(self):
+        ds = store([{"k": k, "v": v} for v in (1, 2) for k in (3, 1, 2)])
+        MapReduceEngine(ds).run_job(self._sort_job([False, True]))
+        rows = ds.intermediate("s.out").rows
+        assert [(r["v"], r["k"]) for r in rows] == [
+            (2, 1), (2, 2), (2, 3), (1, 1), (1, 2), (1, 3)]
+
+    def test_short_ascending_list_defaults_ascending(self):
+        ds = store([{"k": 2, "v": 1}, {"k": 1, "v": 1}])
+        MapReduceEngine(ds).run_job(self._sort_job([True]))
+        rows = ds.intermediate("s.out").rows
+        assert [r["k"] for r in rows] == [1, 2]
+
+    def test_null_keys_sort_first(self):
+        ds = Datastore(Catalog())
+        ds.load_table(Table("t", Schema.of(("k", T.INT), ("v", T.INT)), [
+            {"k": 1, "v": 2}, {"k": 2, "v": None}, {"k": 3, "v": 1}]))
+        MapReduceEngine(ds).run_job(self._sort_job([True, True]))
+        rows = ds.intermediate("s.out").rows
+        assert rows[0]["v"] is None

@@ -1,0 +1,68 @@
+"""Tests for the job-level EXPLAIN rendering."""
+
+import pytest
+
+from repro.baselines import translate_handcoded
+from repro.core.explain_jobs import explain_job, explain_jobs
+from repro.core.translator import translate_sql
+from repro.workloads.queries import paper_queries
+
+
+@pytest.fixture(scope="module")
+def q17(datastore):
+    return translate_sql(paper_queries()["q17"], mode="ysmart",
+                         catalog=datastore.catalog, namespace="ej17")
+
+
+class TestExplainJobs:
+    def test_shows_shared_scan(self, q17):
+        text = q17.explain_jobs()
+        assert "(shared scan)" in text
+        assert "scan lineitem" in text
+
+    def test_shows_post_job_tasks(self, q17):
+        """JOIN2's inputs are the sibling tasks, not shuffle roles —
+        the paper's post-job computation made visible."""
+        text = q17.explain_jobs()
+        assert "left  <- task AGG1" in text
+        assert "right <- task JOIN1" in text
+
+    def test_shows_combiner_and_global_agg(self, q17):
+        text = q17.explain_jobs()
+        assert "map-side hash aggregation" in text
+        assert "GLOBAL AGG" in text
+
+    def test_shows_outputs(self, q17):
+        text = q17.explain_jobs()
+        assert ".result" in text
+
+    def test_sort_job_flags_rendered(self, datastore):
+        tr = translate_sql(paper_queries()["q18"], mode="ysmart",
+                           catalog=datastore.catalog, namespace="ej18")
+        text = tr.explain_jobs()
+        assert "total-order output" in text
+        assert "LIMIT 100" in text
+
+    def test_outer_join_rendered(self, datastore):
+        tr = translate_sql(paper_queries()["q21_subtree"], mode="ysmart",
+                           catalog=datastore.catalog, namespace="ej21")
+        text = tr.explain_jobs()
+        assert "LEFT JOIN" in text
+
+    def test_on_residual_rendered(self, datastore):
+        tr = translate_sql(
+            "SELECT l_orderkey FROM lineitem JOIN orders "
+            "ON l_orderkey = o_orderkey AND l_shipdate < o_orderdate",
+            mode="ysmart", catalog=datastore.catalog, namespace="ejres")
+        assert "residual predicate" in tr.explain_jobs()
+
+    def test_every_job_rendered(self, datastore):
+        tr = translate_sql(paper_queries()["q21"], mode="hive",
+                           catalog=datastore.catalog, namespace="ejh")
+        text = explain_jobs(tr.jobs)
+        assert text.count("JOB ") == tr.job_count
+
+    def test_handcoded_tasks_fall_back_to_class_name(self):
+        tr = translate_handcoded("q21_subtree", namespace="ejhc")
+        text = explain_job(tr.jobs[0])
+        assert "FusedQ21Task" in text

@@ -1,0 +1,162 @@
+"""Unit tests for the expression compiler (incl. SQL NULL semantics)."""
+
+import pytest
+
+from repro.errors import NameResolutionError, UnsupportedSqlError
+from repro.expr.compiler import (
+    compile_predicate,
+    compile_scalar,
+    identity_resolver,
+)
+from repro.sqlparser.parser import parse_sql
+
+
+def compiled(text):
+    expr = parse_sql(f"SELECT {text} FROM t").items[0].expr
+    return compile_scalar(expr, identity_resolver)
+
+
+def value(text, row=None):
+    return compiled(text)(row or {})
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        assert value("1 + 2 * 3 - 4") == 3
+
+    def test_division_is_true_division(self):
+        assert value("7 / 2") == 3.5
+
+    def test_division_by_zero_yields_null(self):
+        assert value("1 / 0") is None
+
+    def test_modulo(self):
+        assert value("7 % 3") == 1
+
+    def test_unary_minus(self):
+        assert value("-(2 + 3)") == -5
+
+    def test_concat(self):
+        assert value("'a' || 'b'") == "ab"
+
+    def test_column_lookup(self):
+        assert value("x + 1", {"x": 41}) == 42
+
+    def test_qualified_lookup_uses_resolver(self):
+        assert value("t1.x", {"t1.x": 5}) == 5
+
+    def test_missing_column_raises(self):
+        with pytest.raises(NameResolutionError):
+            value("nope", {"x": 1})
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("expr", [
+        "x + 1", "1 - x", "x * 2", "x / 2", "2 / x", "x % 2",
+        "x = 1", "x <> 1", "x < 1", "x >= 1", "-x", "'a' || x",
+    ])
+    def test_null_operand_yields_null(self, expr):
+        assert value(expr, {"x": None}) is None
+
+
+class TestKleeneLogic:
+    def test_and_truth_table(self):
+        f = compiled("a AND b")
+        assert f({"a": True, "b": True}) is True
+        assert f({"a": True, "b": False}) is False
+        assert f({"a": False, "b": None}) is False   # short-circuit
+        assert f({"a": None, "b": False}) is False
+        assert f({"a": None, "b": True}) is None
+        assert f({"a": None, "b": None}) is None
+
+    def test_or_truth_table(self):
+        f = compiled("a OR b")
+        assert f({"a": True, "b": None}) is True
+        assert f({"a": None, "b": True}) is True
+        assert f({"a": False, "b": False}) is False
+        assert f({"a": None, "b": False}) is None
+        assert f({"a": False, "b": None}) is None
+
+    def test_not(self):
+        f = compiled("NOT a")
+        assert f({"a": True}) is False
+        assert f({"a": False}) is True
+        assert f({"a": None}) is None
+
+
+class TestPredicateForms:
+    def test_is_null(self):
+        assert value("x IS NULL", {"x": None}) is True
+        assert value("x IS NULL", {"x": 0}) is False
+        assert value("x IS NOT NULL", {"x": 0}) is True
+
+    def test_between_inclusive(self):
+        assert value("x BETWEEN 1 AND 3", {"x": 1}) is True
+        assert value("x BETWEEN 1 AND 3", {"x": 3}) is True
+        assert value("x BETWEEN 1 AND 3", {"x": 4}) is False
+
+    def test_between_null(self):
+        assert value("x BETWEEN 1 AND 3", {"x": None}) is None
+
+    def test_in_list(self):
+        assert value("x IN (1, 2)", {"x": 2}) is True
+        assert value("x IN (1, 2)", {"x": 3}) is False
+        assert value("x NOT IN (1, 2)", {"x": 3}) is True
+
+    def test_in_with_null_operand(self):
+        assert value("x IN (1, 2)", {"x": None}) is None
+
+    def test_in_with_null_item_unknown_when_missing(self):
+        # 3 IN (1, NULL) is UNKNOWN; 1 IN (1, NULL) is TRUE.
+        assert value("x IN (1, NULL)", {"x": 3}) is None
+        assert value("x IN (1, NULL)", {"x": 1}) is True
+
+    def test_case_when(self):
+        f = compiled("CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' "
+                     "ELSE 'zero' END")
+        assert f({"x": 5}) == "pos"
+        assert f({"x": -5}) == "neg"
+        assert f({"x": 0}) == "zero"
+
+    def test_case_without_else_defaults_null(self):
+        assert value("CASE WHEN x > 0 THEN 1 END", {"x": -1}) is None
+
+    def test_case_null_condition_skipped(self):
+        assert value("CASE WHEN x > 0 THEN 1 ELSE 2 END", {"x": None}) == 2
+
+
+class TestBuiltins:
+    def test_abs(self):
+        assert value("abs(0 - 5)") == 5
+
+    def test_round(self):
+        assert value("round(2.567, 1)") == 2.6
+        assert value("round(2.5)") == 2
+
+    def test_coalesce(self):
+        assert value("coalesce(x, y, 9)", {"x": None, "y": None}) == 9
+        assert value("coalesce(x, 9)", {"x": 4}) == 4
+
+    def test_length(self):
+        assert value("length('abc')") == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(UnsupportedSqlError, match="unsupported function"):
+            compiled("frobnicate(x)")
+
+    def test_aggregate_rejected_as_scalar(self):
+        with pytest.raises(UnsupportedSqlError, match="aggregate"):
+            compiled("sum(x)")
+
+
+class TestCompilePredicate:
+    def test_null_counts_as_false(self):
+        pred = compile_predicate(
+            parse_sql("SELECT a FROM t WHERE x > 1").where,
+            identity_resolver)
+        assert pred({"x": None}) is False
+        assert pred({"x": 2}) is True
+
+    def test_none_predicate_always_true(self):
+        pred = compile_predicate(None, identity_resolver)
+        assert pred({}) is True

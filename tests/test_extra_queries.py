@@ -1,0 +1,127 @@
+"""Tests for the extra DSS queries (TPC-H Q3 / Q10) and edge cases:
+empty inputs, single rows, and translation determinism."""
+
+import pytest
+
+from repro.catalog import standard_catalog
+from repro.core.translator import TRANSLATOR_MODES, translate_sql
+from repro.data import Datastore, Table, rows_equal_unordered
+from repro.mr.engine import MapReduceEngine, run_jobs
+from repro.plan.nodes import AggNode, JoinNode
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.workloads import extra_queries, paper_queries
+
+
+class TestExtraQueries:
+    @pytest.mark.parametrize("name", ["q3", "q10"])
+    @pytest.mark.parametrize("mode", ["ysmart", "hive", "pig"])
+    def test_matches_reference(self, name, mode, datastore, fresh_namespace):
+        sql = extra_queries()[name]
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        tr = translate_sql(sql, mode=mode, catalog=datastore.catalog,
+                           namespace=f"{fresh_namespace}.{mode}")
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns, 1e-6)
+
+    def test_q3_merges_final_aggregation(self, datastore):
+        """Q3's aggregation shares l_orderkey with the lineitem join —
+        Rule 2 folds it into that join's job."""
+        tr = translate_sql(extra_queries()["q3"], mode="ysmart",
+                           catalog=datastore.catalog, namespace="xq3")
+        hive = translate_sql(extra_queries()["q3"], mode="hive",
+                             catalog=datastore.catalog, namespace="xq3h")
+        assert tr.job_count < hive.job_count
+        assert any("JOIN" in j.name and "AGG" in j.name for j in tr.jobs)
+
+    def test_q3_limit_and_order(self, datastore, fresh_namespace):
+        sql = extra_queries()["q3"]
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        tr = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert len(rows) == len(ref.rows) <= 10
+        assert [r["revenue"] for r in rows] == pytest.approx(
+            [r["revenue"] for r in ref.rows])
+
+    def test_q10_wide_group_by_has_valid_pk(self, datastore):
+        from repro.core.correlation import CorrelationAnalysis
+        plan = plan_query(parse_sql(extra_queries()["q10"]),
+                          datastore.catalog)
+        ca = CorrelationAnalysis(plan)
+        agg = next(n for n in plan.post_order() if isinstance(n, AggNode))
+        pk = ca.pk(agg)
+        assert pk is not None and len(pk) >= 1
+
+
+class TestEmptyAndTinyInputs:
+    @pytest.fixture
+    def empty_ds(self):
+        ds = Datastore(standard_catalog())
+        for name in ("lineitem", "orders", "customer", "part", "supplier",
+                     "nation", "clicks"):
+            ds.load_table(Table(name, ds.catalog.schema(name), []))
+        return ds
+
+    @pytest.mark.parametrize("query", ["q17", "q21_subtree", "q_csa",
+                                       "q_agg", "q18"])
+    @pytest.mark.parametrize("mode", ["ysmart", "hive"])
+    def test_empty_tables(self, query, mode, empty_ds):
+        """Every translation handles completely empty inputs, matching
+        the reference (grand aggregates still yield their NULL row)."""
+        sql = paper_queries()[query]
+        ref = run_reference(plan_query(parse_sql(sql), empty_ds.catalog),
+                            empty_ds)
+        tr = translate_sql(sql, mode=mode, catalog=empty_ds.catalog,
+                           namespace=f"empty.{query}.{mode}")
+        run_jobs(tr.jobs, empty_ds)
+        rows = empty_ds.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns, 1e-6)
+
+    def test_single_row_tables(self):
+        ds = Datastore(standard_catalog())
+        li = {c.name: None for c in ds.catalog.schema("lineitem").columns}
+        li.update({"l_orderkey": 1, "l_partkey": 1, "l_suppkey": 1,
+                   "l_linenumber": 1, "l_quantity": 5.0,
+                   "l_extendedprice": 100.0, "l_discount": 0.0,
+                   "l_tax": 0.0, "l_returnflag": "N", "l_linestatus": "O",
+                   "l_shipdate": "1995-01-01", "l_commitdate": "1995-01-01",
+                   "l_receiptdate": "1995-01-02",
+                   "l_shipinstruct": "NONE", "l_shipmode": "MAIL",
+                   "l_comment": "x"})
+        ds.load_table(Table("lineitem", ds.catalog.schema("lineitem"), [li]))
+        part = {c.name: None for c in ds.catalog.schema("part").columns}
+        part.update({"p_partkey": 1, "p_name": "p", "p_size": 1,
+                     "p_retailprice": 1.0})
+        ds.load_table(Table("part", ds.catalog.schema("part"), [part]))
+
+        sql = paper_queries()["q17"]
+        ref = run_reference(plan_query(parse_sql(sql), ds.catalog), ds)
+        tr = translate_sql(sql, mode="ysmart", catalog=ds.catalog,
+                           namespace="tiny")
+        run_jobs(tr.jobs, ds)
+        rows = ds.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns, 1e-6)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("query", ["q17", "q_csa"])
+    def test_counters_identical_across_runs(self, query, datastore):
+        sql = paper_queries()[query]
+        snapshots = []
+        for attempt in range(2):
+            tr = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                               namespace=f"det.{query}.{attempt}")
+            runs = run_jobs(tr.jobs, datastore)
+            snapshots.append([
+                (r.counters.map_output_records, r.counters.map_output_bytes,
+                 r.counters.reduce_groups, r.counters.reduce_dispatch_ops,
+                 r.counters.reduce_compute_ops,
+                 r.counters.total_output_bytes)
+                for r in runs])
+        assert snapshots[0] == snapshots[1]

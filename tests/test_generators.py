@@ -1,0 +1,177 @@
+"""Tests for the TPC-H and click-stream workload generators."""
+
+import pytest
+
+from repro.data.clickstream import (
+    CATEGORY_X,
+    CATEGORY_Y,
+    ClickstreamConfig,
+    generate_clickstream,
+)
+from repro.data.tpch import TpchConfig, generate_tpch
+from repro.errors import DataGenError
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return generate_tpch(TpchConfig(scale_factor=0.002, seed=99))
+
+
+class TestTpchCardinalities:
+    def test_tables_present(self, tpch):
+        assert set(tpch) == {"nation", "supplier", "customer", "part",
+                             "orders", "lineitem"}
+
+    def test_ratios(self, tpch):
+        cfg = TpchConfig(scale_factor=0.002)
+        assert len(tpch["orders"]) == cfg.num_orders == 3000
+        assert len(tpch["customer"]) == cfg.num_customers == 300
+        assert len(tpch["part"]) == cfg.num_parts == 400
+        assert len(tpch["supplier"]) == cfg.num_suppliers == 20
+        assert len(tpch["nation"]) == 25
+
+    def test_lineitem_per_order(self, tpch):
+        ratio = len(tpch["lineitem"]) / len(tpch["orders"])
+        assert 2.0 < ratio < 7.5  # 1..7 lines per order
+
+
+class TestTpchIntegrity:
+    def test_lineitem_foreign_keys(self, tpch):
+        cfg = TpchConfig(scale_factor=0.002)
+        order_keys = set(tpch["orders"].column_values("o_orderkey"))
+        for row in tpch["lineitem"].rows:
+            assert row["l_orderkey"] in order_keys
+            assert 1 <= row["l_partkey"] <= cfg.num_parts
+            assert 1 <= row["l_suppkey"] <= cfg.num_suppliers
+
+    def test_orders_reference_customers(self, tpch):
+        cfg = TpchConfig(scale_factor=0.002)
+        for row in tpch["orders"].rows:
+            assert 1 <= row["o_custkey"] <= cfg.num_customers
+
+    def test_every_order_has_lineitems(self, tpch):
+        with_lines = set(tpch["lineitem"].column_values("l_orderkey"))
+        assert with_lines == set(tpch["orders"].column_values("o_orderkey"))
+
+    def test_schema_validity(self, tpch):
+        for table in tpch.values():
+            for row in table.rows[:50]:
+                table.schema.validate_row(row)
+
+
+class TestTpchDistributions:
+    def test_late_deliveries_near_configured_fraction(self, tpch):
+        late = sum(1 for r in tpch["lineitem"].rows
+                   if r["l_receiptdate"] > r["l_commitdate"])
+        frac = late / len(tpch["lineitem"])
+        assert 0.15 < frac < 0.35
+
+    def test_failed_orders_near_half(self, tpch):
+        failed = sum(1 for r in tpch["orders"].rows
+                     if r["o_orderstatus"] == "F")
+        frac = failed / len(tpch["orders"])
+        assert 0.4 < frac < 0.6
+
+    def test_q18_big_orders_exist(self, tpch):
+        sums = {}
+        for row in tpch["lineitem"].rows:
+            sums[row["l_orderkey"]] = sums.get(row["l_orderkey"], 0) \
+                + row["l_quantity"]
+        assert any(s > 300 for s in sums.values())
+
+    def test_single_supplier_orders_exist(self, tpch):
+        supps = {}
+        for row in tpch["lineitem"].rows:
+            supps.setdefault(row["l_orderkey"], set()).add(row["l_suppkey"])
+        singles = sum(1 for s in supps.values() if len(s) == 1)
+        multis = sum(1 for s in supps.values() if len(s) > 1)
+        assert singles > 0 and multis > 0
+
+    def test_quantity_range(self, tpch):
+        values = tpch["lineitem"].column_values("l_quantity")
+        assert min(values) >= 1.0 and max(values) <= 50.0
+
+
+class TestTpchDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(TpchConfig(scale_factor=0.0005, seed=5))
+        b = generate_tpch(TpchConfig(scale_factor=0.0005, seed=5))
+        assert a["lineitem"].rows == b["lineitem"].rows
+        assert a["orders"].rows == b["orders"].rows
+
+    def test_different_seed_different_data(self):
+        a = generate_tpch(TpchConfig(scale_factor=0.0005, seed=5))
+        b = generate_tpch(TpchConfig(scale_factor=0.0005, seed=6))
+        assert a["lineitem"].rows != b["lineitem"].rows
+
+
+class TestTpchConfigValidation:
+    def test_bad_scale(self):
+        with pytest.raises(DataGenError):
+            TpchConfig(scale_factor=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(DataGenError):
+            TpchConfig(late_delivery_fraction=1.5)
+        with pytest.raises(DataGenError):
+            TpchConfig(failed_order_fraction=-0.1)
+
+    def test_bad_lines(self):
+        with pytest.raises(DataGenError):
+            TpchConfig(max_lines_per_order=0)
+
+
+@pytest.fixture(scope="module")
+def clicks():
+    return generate_clickstream(ClickstreamConfig(num_users=40, seed=3))
+
+
+class TestClickstream:
+    def test_schema(self, clicks):
+        for row in clicks.rows[:50]:
+            clicks.schema.validate_row(row)
+
+    def test_timestamps_strictly_increasing_per_user(self, clicks):
+        last = {}
+        for row in clicks.rows:
+            uid = row["uid"]
+            if uid in last:
+                assert row["ts"] > last[uid]
+            last[uid] = row["ts"]
+
+    def test_xy_sessions_exist(self, clicks):
+        """Q-CSA needs users with an X click followed by a Y click."""
+        per_user = {}
+        for row in clicks.rows:
+            per_user.setdefault(row["uid"], []).append(row)
+        qualifying = 0
+        for rows in per_user.values():
+            xs = [r["ts"] for r in rows if r["cid"] == CATEGORY_X]
+            ys = [r["ts"] for r in rows if r["cid"] == CATEGORY_Y]
+            if xs and ys and min(xs) < max(ys):
+                qualifying += 1
+        assert qualifying > len(per_user) / 4
+
+    def test_category_skew(self, clicks):
+        """Filler categories follow a head-heavy (Zipf-ish) distribution."""
+        counts = {}
+        for row in clicks.rows:
+            if row["cid"] > 2:
+                counts[row["cid"]] = counts.get(row["cid"], 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > ordered[-1]
+
+    def test_determinism(self):
+        a = generate_clickstream(ClickstreamConfig(num_users=10, seed=1))
+        b = generate_clickstream(ClickstreamConfig(num_users=10, seed=1))
+        assert a.rows == b.rows
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenError):
+            ClickstreamConfig(num_users=0)
+        with pytest.raises(DataGenError):
+            ClickstreamConfig(num_categories=2)
+        with pytest.raises(DataGenError):
+            ClickstreamConfig(mean_session_length=1)
+        with pytest.raises(DataGenError):
+            ClickstreamConfig(xy_session_fraction=2.0)

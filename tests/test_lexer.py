@@ -1,0 +1,127 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].type is TokenType.EOF
+
+    def test_keywords_uppercased(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_lowercased(self):
+        assert kinds("LineItem l_OrderKey") == [
+            (TokenType.IDENT, "lineitem"),
+            (TokenType.IDENT, "l_orderkey"),
+        ]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert kinds("tbl_2x") == [(TokenType.IDENT, "tbl_2x")]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_decimal(self):
+        assert kinds("0.25") == [(TokenType.NUMBER, "0.25")]
+
+    def test_leading_dot_decimal(self):
+        assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_qualified_name_not_decimal(self):
+        assert kinds("t1.x") == [
+            (TokenType.IDENT, "t1"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENT, "x"),
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'don''t'") == [(TokenType.STRING, "don't")]
+
+    def test_case_preserved(self):
+        assert kinds("'SAUDI ARABIA'") == [(TokenType.STRING, "SAUDI ARABIA")]
+
+    def test_unterminated(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_single_char(self, op):
+        assert kinds(op) == [(TokenType.OPERATOR, op)]
+
+    @pytest.mark.parametrize("text,norm", [
+        ("<>", "<>"), ("!=", "<>"), ("<=", "<="), (">=", ">="), ("||", "||"),
+    ])
+    def test_two_char(self, text, norm):
+        assert kinds(text) == [(TokenType.OPERATOR, norm)]
+
+    def test_no_space_needed(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a -- comment here\n b") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenType.IDENT, "a"), (TokenType.IDENT, "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated block"):
+            tokenize("a /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("SELECT\n  foo")
+        assert toks[0].line == 1 and toks[0].column == 1
+        assert toks[1].line == 2 and toks[1].column == 3
+
+    def test_error_position(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            tokenize("a\nb ?")
+        assert err.value.line == 2
+        assert err.value.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestIsKeywordHelper:
+    def test_is_keyword(self):
+        tok = tokenize("SELECT")[0]
+        assert tok.is_keyword("SELECT")
+        assert tok.is_keyword("SELECT", "FROM")
+        assert not tok.is_keyword("FROM")
+
+    def test_ident_is_not_keyword(self):
+        tok = tokenize("foo")[0]
+        assert not tok.is_keyword("FOO")

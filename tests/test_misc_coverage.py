@@ -1,0 +1,113 @@
+"""Miscellaneous coverage: rich scalar expressions end-to-end through the
+MR pipeline, error formatting, and contention/timing helpers."""
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.data import rows_equal_unordered
+from repro.errors import ReproError, SqlSyntaxError
+from repro.mr.engine import run_jobs
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+
+
+def check(sql, datastore, namespace):
+    ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                        datastore)
+    for mode in ("ysmart", "hive"):
+        tr = translate_sql(sql, mode=mode, catalog=datastore.catalog,
+                           namespace=f"{namespace}.{mode}")
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns,
+                                    1e-6), mode
+    return ref
+
+
+class TestRichExpressionsEndToEnd:
+    def test_case_when_in_select_and_group(self, datastore,
+                                           fresh_namespace):
+        check("""
+            SELECT CASE WHEN n_regionkey < 2 THEN 'west' ELSE 'east' END
+                     AS zone,
+                   count(*) AS n
+            FROM nation GROUP BY zone
+        """, datastore, fresh_namespace)
+
+    def test_between_filter(self, datastore, fresh_namespace):
+        ref = check("SELECT n_name FROM nation "
+                    "WHERE n_nationkey BETWEEN 3 AND 7",
+                    datastore, fresh_namespace)
+        assert len(ref.rows) == 5
+
+    def test_in_list_filter(self, datastore, fresh_namespace):
+        check("SELECT s_name FROM supplier "
+              "WHERE s_nationkey IN (0, 1, 2, 3)",
+              datastore, fresh_namespace)
+
+    def test_not_in_with_join(self, datastore, fresh_namespace):
+        check("SELECT s_name, n_name FROM supplier, nation "
+              "WHERE s_nationkey = n_nationkey "
+              "AND n_regionkey NOT IN (0, 1)",
+              datastore, fresh_namespace)
+
+    def test_string_concat_output(self, datastore, fresh_namespace):
+        check("SELECT n_name || '-' || n_comment AS tag FROM nation "
+              "WHERE n_regionkey = 2",
+              datastore, fresh_namespace)
+
+    def test_arithmetic_in_agg_args(self, datastore, fresh_namespace):
+        check("SELECT l_orderkey, "
+              "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS t "
+              "FROM lineitem GROUP BY l_orderkey",
+              datastore, fresh_namespace)
+
+    def test_variance_stddev_end_to_end(self, datastore, fresh_namespace):
+        check("SELECT l_orderkey, variance(l_quantity) AS v, "
+              "stddev(l_quantity) AS s FROM lineitem "
+              "GROUP BY l_orderkey",
+              datastore, fresh_namespace)
+
+    def test_is_null_after_outer_join(self, datastore, fresh_namespace):
+        """Anti-join via LEFT JOIN + IS NULL — 'executed by the job
+        itself', per the paper's JOIN-job description."""
+        check("""
+            SELECT n_name FROM nation
+            LEFT OUTER JOIN supplier ON n_nationkey = s_nationkey
+            WHERE s_suppkey IS NULL
+        """, datastore, fresh_namespace)
+
+
+class TestErrorFormatting:
+    def test_syntax_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as err:
+            parse_sql("SELECT a FROM\nWHERE")
+        assert err.value.line == 2
+        assert "line 2" in str(err.value)
+
+    def test_all_errors_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            parse_sql("NOT SQL AT ALL")
+        from repro.catalog import Catalog
+        with pytest.raises(ReproError):
+            Catalog().schema("missing")
+
+
+class TestTimingHelpers:
+    def test_query_timing_aggregates(self):
+        from repro.hadoop.costmodel import JobTiming, QueryTiming
+        timing = QueryTiming(cluster="c", jobs=[
+            JobTiming("j1", "a", startup_s=10, map_s=100, shuffle_s=5,
+                      reduce_s=20),
+            JobTiming("j2", "b", startup_s=10, map_s=50, shuffle_s=2,
+                      reduce_s=10, scheduling_gap_s=3),
+        ])
+        assert timing.total_map_s == 150
+        assert timing.total_reduce_s == 37
+        assert timing.total_s == pytest.approx(210)
+
+    def test_job_timing_total(self):
+        from repro.hadoop.costmodel import JobTiming
+        t = JobTiming("j", "x", 1, 2, 3, 4, scheduling_gap_s=5)
+        assert t.total_s == 15

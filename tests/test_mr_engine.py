@@ -1,0 +1,255 @@
+"""Tests for the MapReduce engine: map merging, combiner, shuffle, sort."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.data import Datastore, Table
+from repro.errors import TranslationError
+from repro.mr import (
+    EmitSpec,
+    MRJob,
+    MapAggSpec,
+    MapInput,
+    MapReduceEngine,
+    OutputSpec,
+    TagPolicy,
+    stable_hash,
+)
+from repro.ops import AggTask, SPTask, TaskInput
+
+
+@pytest.fixture
+def ds():
+    store = Datastore(Catalog())
+    store.load_table(Table("nums", Schema.of(("k", T.INT), ("v", T.INT)), [
+        {"k": 1, "v": 10}, {"k": 2, "v": 20}, {"k": 1, "v": 30},
+        {"k": 3, "v": 40}, {"k": 2, "v": 50},
+    ]))
+    return store
+
+
+def passthrough_job(ds, job_id="j1", **kwargs):
+    def emit(record):
+        return (record["k"],), {"v": record["v"]}
+
+    task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+    defaults = dict(
+        job_id=job_id, name="pass",
+        map_inputs=[MapInput("nums", [EmitSpec("in", emit)])],
+        reducer=CommonReducer([task]),
+        outputs=[OutputSpec(f"{job_id}.out", "sp", ["k", "v"])],
+    )
+    defaults.update(kwargs)
+    return MRJob(**defaults)
+
+
+class TestMapPhase:
+    def test_counters_measure_input(self, ds):
+        engine = MapReduceEngine(ds)
+        c = engine.run_job(passthrough_job(ds))
+        assert c.input_records == {"nums": 5}
+        assert c.input_bytes["nums"] == ds.table("nums").estimated_bytes()
+        assert c.map_output_records == 5
+        assert c.map_output_bytes > 0
+
+    def test_selection_drops_records(self, ds):
+        def emit(record):
+            if record["v"] < 25:
+                return None
+            return (record["k"],), {"v": record["v"]}
+
+        job = passthrough_job(ds)
+        job.map_inputs = [MapInput("nums", [EmitSpec("in", emit)])]
+        c = MapReduceEngine(ds).run_job(job)
+        assert c.map_output_records == 3
+
+    def test_shared_scan_merges_roles(self, ds):
+        """Two specs over the same table with the same key produce ONE
+        multi-role pair per record (the paper's shared scan)."""
+        def emit_a(record):
+            return (record["k"],), {"v": record["v"]}
+
+        def emit_b(record):
+            return (record["k"],), {"v2": record["v"] * 2}
+
+        task_a = SPTask("a", TaskInput.shuffle("ra", ["k"]))
+        task_b = SPTask("b", TaskInput.shuffle("rb", ["k"]))
+        job = MRJob(
+            job_id="shared", name="shared",
+            map_inputs=[MapInput("nums", [EmitSpec("ra", emit_a),
+                                          EmitSpec("rb", emit_b)])],
+            reducer=CommonReducer([task_a, task_b]),
+            outputs=[OutputSpec("shared.a", "a", ["k", "v"]),
+                     OutputSpec("shared.b", "b", ["k", "v2"])],
+        )
+        c = MapReduceEngine(ds).run_job(job)
+        assert c.map_output_records == 5  # merged, not 10
+        assert c.input_records == {"nums": 5}  # single scan
+        assert c.reduce_dispatch_ops == 10  # each pair dispatched twice
+        assert len(ds.intermediate("shared.a")) == 5
+        assert len(ds.intermediate("shared.b")) == 5
+
+    def test_differing_keys_do_not_merge(self, ds):
+        def emit_a(record):
+            return (record["k"],), {"v": record["v"]}
+
+        def emit_b(record):
+            return (record["v"],), {"k": record["k"]}
+
+        task_a = SPTask("a", TaskInput.shuffle("ra", ["k"]))
+        task_b = SPTask("b", TaskInput.shuffle("rb", ["v"]))
+        job = MRJob(
+            job_id="nomerge", name="x",
+            map_inputs=[MapInput("nums", [EmitSpec("ra", emit_a),
+                                          EmitSpec("rb", emit_b)])],
+            reducer=CommonReducer([task_a, task_b]),
+            outputs=[OutputSpec("nomerge.a", "a", ["k", "v"])],
+        )
+        c = MapReduceEngine(ds).run_job(job)
+        assert c.map_output_records == 10
+
+
+class TestCombiner:
+    def _agg_job(self, ds, with_combiner):
+        def emit(record):
+            return (record["k"],), {"s": record["v"]}
+
+        task = AggTask(
+            "agg", TaskInput.shuffle("in", ["k"]),
+            group_exprs=[("k", lambda r: r["k"])],
+            agg_specs=[("s", "sum", (lambda r: r.get("s")), False, False)],
+            partial=with_combiner)
+        return MRJob(
+            job_id="agg", name="agg",
+            map_inputs=[MapInput("nums", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec("agg.out", "agg", ["k", "s"])],
+            map_agg=MapAggSpec({"s": ("sum", False, False)})
+            if with_combiner else None,
+        )
+
+    def test_combiner_reduces_map_output(self, ds):
+        c = MapReduceEngine(ds).run_job(self._agg_job(ds, True))
+        assert c.pre_combine_records == 5
+        assert c.map_output_records == 3  # distinct keys
+
+    def test_combiner_preserves_results(self, ds):
+        MapReduceEngine(ds).run_job(self._agg_job(ds, True))
+        with_comb = {r["k"]: r["s"] for r in ds.intermediate("agg.out").rows}
+        MapReduceEngine(ds).run_job(self._agg_job(ds, False))
+        without = {r["k"]: r["s"] for r in ds.intermediate("agg.out").rows}
+        assert with_comb == without == {1: 40, 2: 70, 3: 40}
+
+
+class TestShuffle:
+    def test_stable_hash_deterministic(self):
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+        assert stable_hash((1,)) != stable_hash((2,))
+
+    def test_groups_counted(self, ds):
+        c = MapReduceEngine(ds).run_job(passthrough_job(ds))
+        assert c.reduce_groups == 3
+        assert c.reduce_input_records == 5
+
+    def test_sort_job_orders_output(self, ds):
+        def emit(record):
+            return (record["v"],), {"k": record["k"]}
+
+        task = SPTask("sp", TaskInput.shuffle("in", ["v"]))
+        job = MRJob(
+            job_id="sorted", name="sort",
+            map_inputs=[MapInput("nums", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec("sorted.out", "sp", ["v", "k"])],
+            sort_output=True, sort_ascending=[False],
+        )
+        MapReduceEngine(ds).run_job(job)
+        values = [r["v"] for r in ds.intermediate("sorted.out").rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_truncates(self, ds):
+        job = passthrough_job(ds, limit=2)
+        c = MapReduceEngine(ds).run_job(job)
+        assert c.output_records["j1.out"] == 2
+
+
+class TestOutputs:
+    def test_output_projected_to_columns(self, ds):
+        """Extra row fields are dropped; bytes charge declared columns."""
+        def emit(record):
+            return (record["k"],), {"v": record["v"], "extra": "xxxx"}
+
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        job = MRJob(
+            job_id="proj", name="p",
+            map_inputs=[MapInput("nums", [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec("proj.out", "sp", ["k", "v"])],
+        )
+        MapReduceEngine(ds).run_job(job)
+        assert set(ds.intermediate("proj.out").rows[0]) == {"k", "v"}
+
+    def test_missing_output_column_raises(self, ds):
+        job = passthrough_job(ds)
+        job.outputs = [OutputSpec("bad.out", "sp", ["k", "missing"])]
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError, match="missing"):
+            MapReduceEngine(ds).run_job(job)
+
+    def test_chained_jobs_read_intermediates(self, ds):
+        engine = MapReduceEngine(ds)
+        job1 = passthrough_job(ds, job_id="c1")
+
+        def emit2(record):
+            return (record["k"],), {"v": record["v"] + 1}
+
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        job2 = MRJob(
+            job_id="c2", name="second",
+            map_inputs=[MapInput("c1.out", [EmitSpec("in", emit2)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec("c2.out", "sp", ["k", "v"])],
+        )
+        runs = engine.run_jobs([job1, job2])
+        assert [r.order for r in runs] == [0, 1]
+        assert len(ds.intermediate("c2.out")) == 5
+
+
+class TestValidation:
+    def test_no_inputs_rejected(self, ds):
+        job = passthrough_job(ds)
+        job.map_inputs = []
+        with pytest.raises(TranslationError):
+            MapReduceEngine(ds).run_job(job)
+
+    def test_no_outputs_rejected(self, ds):
+        job = passthrough_job(ds)
+        job.outputs = []
+        with pytest.raises(TranslationError):
+            MapReduceEngine(ds).run_job(job)
+
+    def test_duplicate_roles_rejected(self, ds):
+        def emit(record):
+            return (record["k"],), {}
+
+        job = passthrough_job(ds)
+        job.map_inputs = [MapInput("nums", [EmitSpec("in", emit),
+                                            EmitSpec("in", emit)])]
+        with pytest.raises(TranslationError, match="duplicate"):
+            MapReduceEngine(ds).run_job(job)
+
+    def test_bad_reducer_count(self, ds):
+        job = passthrough_job(ds, num_reducers=0)
+        with pytest.raises(TranslationError):
+            MapReduceEngine(ds).run_job(job)
+
+
+class TestScaledCounters:
+    def test_scaled_multiplies_volumes(self, ds):
+        c = MapReduceEngine(ds).run_job(passthrough_job(ds))
+        s = c.scaled(10)
+        assert s.map_output_records == c.map_output_records * 10
+        assert s.input_bytes["nums"] == c.input_bytes["nums"] * 10
+        assert s.num_reducers == c.num_reducers  # not a volume

@@ -1,0 +1,253 @@
+"""Tests for reduce tasks (ops) and the CMF common reducer."""
+
+import pytest
+
+from repro.cmf import CommonReducer
+from repro.errors import ExecutionError
+from repro.mr.kv import TaggedValue
+from repro.ops import AggTask, CompiledStages, JoinTask, SPTask, TaskInput
+from repro.plan.nodes import Filter, OutputCol, Project
+from repro.sqlparser.ast import BinaryOp, ColumnRef, Literal
+
+
+def tv(roles, **payload):
+    return TaggedValue(frozenset(roles), payload)
+
+
+class TestTaskInput:
+    def test_shuffle_and_task_constructors(self):
+        s = TaskInput.shuffle("r1", ["k"])
+        assert s.kind == "shuffle" and s.ref == "r1"
+        t = TaskInput.task("up")
+        assert t.kind == "task" and t.ref == "up"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ExecutionError):
+            TaskInput("bogus", "x")
+
+
+class TestCompiledStages:
+    def test_filter_then_project(self):
+        stages = CompiledStages([
+            Filter(BinaryOp(">", ColumnRef(None, "x"), Literal(1))),
+            Project([OutputCol("y", BinaryOp("*", ColumnRef(None, "x"),
+                                             Literal(10)))]),
+        ])
+        rows = stages.run([{"x": 1}, {"x": 2}, {"x": 3}])
+        assert rows == [{"y": 20}, {"y": 30}]
+
+    def test_empty_chain_is_identity(self):
+        stages = CompiledStages([])
+        rows = [{"x": 1}]
+        assert stages.run(rows) == rows
+
+
+class TestSPTask:
+    def test_reconstitutes_key_columns(self):
+        task = SPTask("sp", TaskInput.shuffle("in", ["k1", "k2"]))
+        task.start((7, 8))
+        task.consume((7, 8), frozenset(["in"]), {"v": 1})
+        rows = task.finish((7, 8), {})
+        assert rows == [{"k1": 7, "k2": 8, "v": 1}]
+
+    def test_payload_map_renames(self):
+        task = SPTask("sp", TaskInput.shuffle(
+            "in", ["k"], payload_map=[("my.v", "base.v")]))
+        task.start((1,))
+        task.consume((1,), frozenset(["in"]), {"base.v": 42, "other": 1})
+        rows = task.finish((1,), {})
+        assert rows == [{"k": 1, "my.v": 42}]
+
+    def test_ignores_foreign_roles(self):
+        task = SPTask("sp", TaskInput.shuffle("mine", ["k"]))
+        task.start((1,))
+        task.consume((1,), frozenset(["other"]), {"v": 1})
+        assert task.finish((1,), {}) == []
+
+
+class TestJoinTask:
+    def _join(self, join_type="inner", residual=None):
+        return JoinTask(
+            "j",
+            TaskInput.shuffle("L", ["lk"]),
+            TaskInput.shuffle("R", ["rk"]),
+            join_type,
+            left_names=["lk", "lv"],
+            right_names=["rk", "rv"],
+            residual=residual)
+
+    def _feed(self, task, key, left, right):
+        task.start(key)
+        for payload in left:
+            task.consume(key, frozenset(["L"]), payload)
+        for payload in right:
+            task.consume(key, frozenset(["R"]), payload)
+        return task.finish(key, {})
+
+    def test_inner_join_cross_within_group(self):
+        rows = self._feed(self._join(), (1,),
+                          [{"lv": "a"}, {"lv": "b"}], [{"rv": "x"}])
+        assert len(rows) == 2
+        assert all(r["lk"] == 1 and r["rk"] == 1 for r in rows)
+
+    def test_inner_join_no_match(self):
+        assert self._feed(self._join(), (1,), [{"lv": "a"}], []) == []
+
+    def test_left_outer_null_extends(self):
+        rows = self._feed(self._join("left"), (1,), [{"lv": "a"}], [])
+        assert rows == [{"lk": 1, "lv": "a", "rk": None, "rv": None}]
+
+    def test_right_outer_null_extends(self):
+        rows = self._feed(self._join("right"), (1,), [], [{"rv": "x"}])
+        assert rows == [{"lk": None, "lv": None, "rk": 1, "rv": "x"}]
+
+    def test_full_outer_both_sides(self):
+        task = self._join("full")
+        rows = self._feed(task, (1,), [{"lv": "a"}], [])
+        assert rows[0]["rv"] is None
+        rows = self._feed(task, (2,), [], [{"rv": "x"}])
+        assert rows[0]["lv"] is None
+
+    def test_residual_filters_pairs(self):
+        residual = lambda row: row["lv"] < row["rv"]
+        rows = self._feed(self._join(residual=residual), (1,),
+                          [{"lv": 1}, {"lv": 9}], [{"rv": 5}])
+        assert len(rows) == 1 and rows[0]["lv"] == 1
+
+    def test_residual_miss_null_extends_left_join(self):
+        residual = lambda row: row["lv"] < row["rv"]
+        rows = self._feed(self._join("left", residual=residual), (1,),
+                          [{"lv": 9}], [{"rv": 5}])
+        assert rows == [{"lk": 1, "lv": 9, "rk": None, "rv": None}]
+
+    def test_null_key_group_never_matches(self):
+        rows = self._feed(self._join("left"), (None,),
+                          [{"lv": "a"}], [{"rv": "x"}])
+        assert rows == [{"lk": None, "lv": "a", "rk": None, "rv": None}]
+
+    def test_self_join_pair_lands_in_both_buffers(self):
+        task = JoinTask("j", TaskInput.shuffle("L", ["lk"]),
+                        TaskInput.shuffle("R", ["rk"]),
+                        "inner", ["lk", "lv"], ["rk", "rv"])
+        task.start((1,))
+        task.consume((1,), frozenset(["L", "R"]), {"lv": 5, "rv": 5})
+        rows = task.finish((1,), {})
+        assert len(rows) == 1  # the record joins with itself
+
+    def test_compute_ops_counted(self):
+        task = self._join()
+        self._feed(task, (1,), [{"lv": "a"}] * 3, [{"rv": "x"}] * 2)
+        assert task.compute_ops == 6
+
+    def test_upstream_task_input(self):
+        task = JoinTask("j", TaskInput.task("up"),
+                        TaskInput.shuffle("R", ["rk"]),
+                        "inner", ["lk", "lv"], ["rk", "rv"])
+        task.start((1,))
+        task.consume((1,), frozenset(["R"]), {"rv": "x"})
+        rows = task.finish((1,), {"up": [{"lk": 1, "lv": "a"}]})
+        assert len(rows) == 1
+
+    def test_missing_upstream_raises(self):
+        task = JoinTask("j", TaskInput.task("ghost"),
+                        TaskInput.shuffle("R", ["rk"]),
+                        "inner", ["lk"], ["rk"])
+        task.start((1,))
+        with pytest.raises(ExecutionError, match="ghost"):
+            task.finish((1,), {})
+
+
+class TestAggTask:
+    def test_local_grouping_beyond_partition_key(self):
+        """Partitioned on k, grouped on (k, g) — the YSmart AGG-in-merged
+        scenario."""
+        task = AggTask(
+            "a", TaskInput.shuffle("in", ["k"]),
+            group_exprs=[("__g0", lambda r: r["k"]),
+                         ("__g1", lambda r: r["g"])],
+            agg_specs=[("__agg0", "sum", (lambda r: r["v"]), False, False)])
+        task.start((1,))
+        for g, v in [("x", 1), ("x", 2), ("y", 5)]:
+            task.consume((1,), frozenset(["in"]), {"g": g, "v": v})
+        rows = sorted(task.finish((1,), {}), key=lambda r: r["__g1"])
+        assert rows == [
+            {"__g0": 1, "__g1": "x", "__agg0": 3},
+            {"__g0": 1, "__g1": "y", "__agg0": 5},
+        ]
+
+    def test_partial_mode_absorbs_states(self):
+        task = AggTask(
+            "a", TaskInput.shuffle("in", ["__g0"]),
+            group_exprs=[("__g0", lambda r: r["__g0"])],
+            agg_specs=[("s", "sum", (lambda r: r.get("s")), False, False)],
+            partial=True)
+        task.start((1,))
+        task.consume((1,), frozenset(["in"]), {"s": (10, True)})
+        task.consume((1,), frozenset(["in"]), {"s": (5, True)})
+        rows = task.finish((1,), {})
+        assert rows == [{"__g0": 1, "s": 15}]
+
+    def test_global_agg_emits_on_empty(self):
+        task = AggTask(
+            "a", TaskInput.shuffle("in", []),
+            group_exprs=[],
+            agg_specs=[("c", "count", None, False, True)],
+            global_agg=True)
+        task.start(())
+        assert task.finish((), {}) == [{"c": 0}]
+
+    def test_stages_applied_to_agg_output(self):
+        stages = CompiledStages([
+            Filter(BinaryOp(">", ColumnRef(None, "c"), Literal(1)))])
+        task = AggTask(
+            "a", TaskInput.shuffle("in", ["k"]),
+            group_exprs=[("k", lambda r: r["k"])],
+            agg_specs=[("c", "count", None, False, True)],
+            stages=stages)
+        task.start((1,))
+        task.consume((1,), frozenset(["in"]), {})
+        assert task.finish((1,), {}) == []  # count=1 filtered out
+
+
+class TestCommonReducer:
+    def test_algorithm1_single_pass_dispatch(self):
+        a = SPTask("a", TaskInput.shuffle("ra", ["k"]))
+        b = SPTask("b", TaskInput.shuffle("rb", ["k"]))
+        reducer = CommonReducer([a, b])
+        out = reducer.reduce((1,), [tv(["ra"], v=1), tv(["ra", "rb"], v=2),
+                                    tv(["rb"], v=3)])
+        assert [r["v"] for r in out["a"]] == [1, 2]
+        assert [r["v"] for r in out["b"]] == [2, 3]
+        assert reducer.dispatch_ops() == 4
+        assert reducer.dispatch_ops() == 0  # counter drains
+
+    def test_post_job_chain(self):
+        """A task consuming an upstream task's output inside the same key
+        group — the paper's post-job computation."""
+        base = SPTask("base", TaskInput.shuffle("in", ["k"]))
+        stages = CompiledStages([Project(
+            [OutputCol("k", ColumnRef(None, "k")),
+             OutputCol("doubled", BinaryOp("*", ColumnRef(None, "v"),
+                                           Literal(2)))])])
+        post = SPTask("post", TaskInput.task("base"), stages)
+        reducer = CommonReducer([base, post])
+        out = reducer.reduce((1,), [tv(["in"], v=21)])
+        assert out["post"] == [{"k": 1, "doubled": 42}]
+
+    def test_topological_order_enforced(self):
+        post = SPTask("post", TaskInput.task("base"))
+        base = SPTask("base", TaskInput.shuffle("in", ["k"]))
+        with pytest.raises(ExecutionError, match="before it is computed"):
+            CommonReducer([post, base])
+
+    def test_duplicate_task_id_rejected(self):
+        a = SPTask("x", TaskInput.shuffle("r1", ["k"]))
+        b = SPTask("x", TaskInput.shuffle("r2", ["k"]))
+        with pytest.raises(ExecutionError, match="duplicate"):
+            CommonReducer([a, b])
+
+    def test_compute_ops_aggregated(self):
+        a = SPTask("a", TaskInput.shuffle("ra", ["k"]))
+        reducer = CommonReducer([a])
+        reducer.reduce((1,), [tv(["ra"], v=1), tv(["ra"], v=2)])
+        assert reducer.compute_ops() == 2

@@ -1,0 +1,91 @@
+"""Locks the exact plan shapes of the paper's queries to the figures.
+
+These assertions pin the reproduction to the paper: the post-order
+operator sequences match Fig. 2(a), Fig. 4, and Fig. 8, and the merged
+YSmart job compositions match the Sec. VII-A.2 analysis verbatim.  If a
+planner change alters any of these, the diff is a fidelity question, not
+just a code question.
+"""
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.plan.explain import plan_signature
+from repro.workloads.queries import paper_queries, plan_paper_query
+
+
+class TestFigureShapes:
+    def test_q17_matches_fig4(self):
+        """Fig. 4: AGG1 (inner), JOIN1 (outer), JOIN2, AGG2."""
+        sig = plan_signature(plan_paper_query("q17"))
+        assert sig == [
+            "SCAN lineitem", "AGG1",
+            "SCAN lineitem", "SCAN part", "JOIN1",
+            "JOIN2", "AGG2",
+        ]
+
+    def test_qcsa_matches_fig2a(self):
+        """Fig. 2(a): JOIN1, AGG1, AGG2, JOIN2, AGG3, AGG4 bottom-up."""
+        sig = plan_signature(plan_paper_query("q_csa"))
+        assert sig == [
+            "SCAN clicks",
+            "SCAN clicks", "SCAN clicks", "JOIN1",
+            "AGG1", "AGG2", "JOIN2", "AGG3", "AGG4",
+        ]
+
+    def test_q18_matches_fig8a(self):
+        """Fig. 8(a): JOIN1(lineitem, orders), AGG1, JOIN2, then the
+        customer join, final aggregation and sort."""
+        sig = plan_signature(plan_paper_query("q18"))
+        assert sig == [
+            "SCAN lineitem", "SCAN orders", "JOIN1",
+            "SCAN lineitem", "AGG1", "JOIN2",
+            "SCAN customer", "JOIN3", "AGG2", "SORT1",
+        ]
+
+    def test_q21_subtree_matches_fig8b(self):
+        """Fig. 8(b): JOIN1, AGG1, JOIN2, AGG2, Left Outer Join 1."""
+        plan = plan_paper_query("q21_subtree")
+        sig = plan_signature(plan)
+        assert sig == [
+            "SCAN lineitem", "SCAN orders", "JOIN1",
+            "SCAN lineitem", "AGG1", "JOIN2",
+            "SCAN lineitem", "AGG2", "JOIN3",
+        ]
+        loj = plan
+        assert loj.label == "JOIN3" and loj.join_type == "left"
+
+    def test_q21_subtree_scans_lineitem_three_times(self):
+        """The paper's motivating observation: the naive plan scans
+        lineitem three times (Sec. VII-C's 65%-of-time jobs)."""
+        sig = plan_signature(plan_paper_query("q21_subtree"))
+        assert sig.count("SCAN lineitem") == 3
+
+
+class TestMergedJobCompositions:
+    """The exact operator sets of YSmart's merged jobs (Sec. VII-A.2)."""
+
+    def _names(self, query):
+        tr = translate_sql(paper_queries()[query], mode="ysmart",
+                           namespace=f"shape.{query}")
+        return [job.name for job in tr.jobs]
+
+    def test_q17(self):
+        assert self._names("q17") == ["AGG1+JOIN1+JOIN2", "AGG2"]
+
+    def test_qcsa(self):
+        assert self._names("q_csa") == [
+            "JOIN1+AGG1+AGG2+JOIN2+AGG3", "AGG4"]
+
+    def test_q21_subtree(self):
+        assert self._names("q21_subtree") == [
+            "JOIN1+AGG1+JOIN2+AGG2+JOIN3"]
+
+    def test_q18(self):
+        assert self._names("q18") == [
+            "JOIN1+AGG1+JOIN2", "JOIN3+AGG2", "SORT1"]
+
+    def test_q21_full(self):
+        names = self._names("q21")
+        assert names[0] == "JOIN1+AGG1+JOIN2+AGG2+JOIN3"
+        assert len(names) == 5

@@ -1,0 +1,277 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlparser.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    JoinClause,
+    Literal,
+    SelectStmt,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+    contains_aggregate,
+)
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+class TestSelectList:
+    def test_single_column(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert stmt.items[0].expr == ColumnRef(None, "a")
+        assert stmt.items[0].alias is None
+
+    def test_alias_with_as(self):
+        stmt = parse_sql("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_bare_alias(self):
+        stmt = parse_sql("SELECT a x FROM t")
+        assert stmt.items[0].alias == "x"
+
+    def test_qualified_column(self):
+        stmt = parse_sql("SELECT t1.a FROM t AS t1")
+        assert stmt.items[0].expr == ColumnRef("t1", "a")
+
+    def test_multiple_items(self):
+        stmt = parse_sql("SELECT a, b, a + b AS s FROM t")
+        assert len(stmt.items) == 3
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+        assert not parse_sql("SELECT a FROM t").distinct
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr == BinaryOp("+", Literal(1),
+                                BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_parentheses(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr == BinaryOp("*", BinaryOp("+", Literal(1), Literal(2)),
+                                Literal(3))
+
+    def test_unary_minus(self):
+        assert self._expr("-a") == UnaryOp("-", ColumnRef(None, "a"))
+
+    def test_float_literal(self):
+        assert self._expr("0.2") == Literal(0.2)
+
+    def test_string_literal(self):
+        assert self._expr("'F'") == Literal("F")
+
+    def test_null_literal(self):
+        assert self._expr("NULL") == Literal(None)
+
+    def test_count_star(self):
+        expr = self._expr("count(*)")
+        assert expr == FuncCall("count", star=True)
+        assert contains_aggregate(expr)
+
+    def test_count_distinct(self):
+        expr = self._expr("count(DISTINCT a)")
+        assert expr == FuncCall("count", (ColumnRef(None, "a"),),
+                                distinct=True)
+
+    def test_nested_function_arg(self):
+        expr = self._expr("sum(a * 2)")
+        assert expr.name == "sum"
+        assert isinstance(expr.args[0], BinaryOp)
+
+    def test_case_when(self):
+        expr = self._expr("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, CaseWhen)
+        assert expr.default == Literal("y")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT CASE ELSE 1 END FROM t")
+
+
+class TestPredicates:
+    def _where(self, text):
+        return parse_sql(f"SELECT a FROM t WHERE {text}").where
+
+    def test_and_or_precedence(self):
+        expr = self._where("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = self._where("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_is_null(self):
+        assert self._where("a IS NULL") == IsNull(ColumnRef(None, "a"))
+
+    def test_is_not_null(self):
+        assert self._where("a IS NOT NULL") == IsNull(
+            ColumnRef(None, "a"), negated=True)
+
+    def test_between(self):
+        expr = self._where("a BETWEEN 1 AND 5")
+        assert expr == Between(ColumnRef(None, "a"), Literal(1), Literal(5))
+
+    def test_not_between(self):
+        expr = self._where("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = self._where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = self._where("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", ">", "<=", ">="):
+            expr = self._where(f"a {op} 1")
+            assert expr.op == op
+
+
+class TestFromClause:
+    def test_table_alias_forms(self):
+        stmt = parse_sql("SELECT a FROM t AS x")
+        assert stmt.from_items[0] == TableRef("t", "x")
+        stmt = parse_sql("SELECT a FROM t x")
+        assert stmt.from_items[0] == TableRef("t", "x")
+
+    def test_comma_join(self):
+        stmt = parse_sql("SELECT a FROM t1, t2, t3")
+        assert len(stmt.from_items) == 3
+
+    def test_explicit_join(self):
+        stmt = parse_sql("SELECT a FROM t1 JOIN t2 ON t1.x = t2.y")
+        item = stmt.from_items[0]
+        assert isinstance(item, JoinClause) and item.join_type == "inner"
+
+    @pytest.mark.parametrize("sql_word,jt", [
+        ("INNER JOIN", "inner"), ("LEFT JOIN", "left"),
+        ("LEFT OUTER JOIN", "left"), ("RIGHT OUTER JOIN", "right"),
+        ("FULL OUTER JOIN", "full"),
+    ])
+    def test_join_types(self, sql_word, jt):
+        stmt = parse_sql(f"SELECT a FROM t1 {sql_word} t2 ON t1.x = t2.y")
+        assert stmt.from_items[0].join_type == jt
+
+    def test_join_chain_left_associates(self):
+        stmt = parse_sql(
+            "SELECT a FROM t1 JOIN t2 ON t1.x = t2.x "
+            "JOIN t3 ON t2.y = t3.y")
+        outer = stmt.from_items[0]
+        assert isinstance(outer.left, JoinClause)
+        assert outer.right == TableRef("t3", None)
+
+    def test_derived_table(self):
+        stmt = parse_sql("SELECT a FROM (SELECT b FROM t) AS d")
+        item = stmt.from_items[0]
+        assert isinstance(item, SubqueryRef) and item.alias == "d"
+        assert isinstance(item.query, SelectStmt)
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM (SELECT b FROM t)")
+
+    def test_parenthesized_join(self):
+        stmt = parse_sql(
+            "SELECT a FROM (t1 JOIN t2 ON t1.x = t2.x)")
+        assert isinstance(stmt.from_items[0], JoinClause)
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        stmt = parse_sql("SELECT a, count(*) FROM t GROUP BY a")
+        assert stmt.group_by == (ColumnRef(None, "a"),)
+
+    def test_having(self):
+        stmt = parse_sql(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 2")
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [(o.expr.name, o.ascending) for o in stmt.order_by] == [
+            ("a", False), ("b", True), ("a", True)]
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t LIMIT 1.5")
+
+    def test_trailing_semicolon_ok(self):
+        parse_sql("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="trailing"):
+            parse_sql("SELECT a FROM t garbage extra")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM t1 JOIN t2",
+        "SELECT a FROM t ORDER a",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(bad)
+
+
+class TestAstHelpers:
+    def test_conjuncts_splits_top_level_and(self):
+        where = parse_sql(
+            "SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d = 4"
+        ).where
+        parts = conjuncts(where)
+        assert len(parts) == 3
+
+    def test_conjoin_roundtrip(self):
+        where = parse_sql(
+            "SELECT a FROM t WHERE a = 1 AND b = 2").where
+        assert conjoin(conjuncts(where)) == where
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_walk_visits_all(self):
+        expr = parse_sql("SELECT a + b * c FROM t").items[0].expr
+        names = {e.name for e in expr.walk() if isinstance(e, ColumnRef)}
+        assert names == {"a", "b", "c"}
+
+
+class TestToSqlRoundtrip:
+    @pytest.mark.parametrize("name", [
+        "q17", "q18", "q21", "q21_subtree", "q_csa", "q_agg"])
+    def test_paper_queries_roundtrip(self, name):
+        """Rendering a parsed statement and reparsing yields the same AST."""
+        sql = paper_queries()[name]
+        first = parse_sql(sql)
+        second = parse_sql(first.to_sql())
+        assert first == second
+
+    def test_roundtrip_preserves_string_escapes(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = 'don''t'")
+        assert parse_sql(stmt.to_sql()) == stmt

@@ -1,0 +1,272 @@
+"""Unit tests for the planner: plan shapes, resolution, pushdown."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.errors import (
+    NameResolutionError,
+    PlanError,
+    UnsupportedSqlError,
+)
+from repro.plan.explain import explain_plan, plan_signature
+from repro.plan.nodes import (
+    AggNode,
+    Filter,
+    JoinNode,
+    Project,
+    ScanNode,
+    SortNode,
+)
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = standard_catalog()
+    cat.register("t1", Schema.of(("a", T.INT), ("b", T.INT), ("c", T.STRING)))
+    cat.register("t2", Schema.of(("a", T.INT), ("d", T.INT)))
+    return cat
+
+
+def plan(sql, catalog):
+    return plan_query(parse_sql(sql), catalog)
+
+
+class TestScanBlocks:
+    def test_sp_plan(self, catalog):
+        p = plan("SELECT a, b FROM t1 WHERE c = 'x'", catalog)
+        assert isinstance(p, ScanNode)
+        kinds = [type(s).__name__ for s in p.stages]
+        assert kinds == ["Filter", "Project"]
+        assert p.output_names == ["a", "b"]
+
+    def test_expression_output(self, catalog):
+        p = plan("SELECT a + b AS s FROM t1", catalog)
+        assert p.output_names == ["s"]
+
+    def test_auto_output_names(self, catalog):
+        p = plan("SELECT a, a + 1 FROM t1", catalog)
+        assert p.output_names == ["a", "_col1"]
+
+    def test_duplicate_output_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate output"):
+            plan("SELECT a, b AS a FROM t1", catalog)
+
+
+class TestResolution:
+    def test_unknown_table(self, catalog):
+        with pytest.raises(Exception):
+            plan("SELECT a FROM ghost", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(NameResolutionError, match="unknown column"):
+            plan("SELECT zz FROM t1", catalog)
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(NameResolutionError, match="ambiguous"):
+            plan("SELECT a FROM t1, t2 WHERE t1.a = t2.a", catalog)
+
+    def test_qualified_disambiguates(self, catalog):
+        p = plan("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.a", catalog)
+        assert p.output_names == ["a"]
+
+    def test_duplicate_alias_rejected(self, catalog):
+        with pytest.raises(NameResolutionError, match="duplicate table alias"):
+            plan("SELECT x.a FROM t1 AS x, t2 AS x WHERE x.a = x.d", catalog)
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(NameResolutionError, match="unknown table alias"):
+            plan("SELECT zz.a FROM t1", catalog)
+
+
+class TestJoins:
+    def test_comma_join_with_where_equi(self, catalog):
+        p = plan("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.a", catalog)
+        assert isinstance(p, JoinNode)
+        assert p.join_type == "inner"
+        assert len(p.left_keys) == 1
+
+    def test_single_table_filters_pushed_to_scan(self, catalog):
+        p = plan("SELECT t1.a FROM t1, t2 "
+                 "WHERE t1.a = t2.a AND t1.b > 5 AND t2.d < 3", catalog)
+        left, right = p.children
+        assert any(isinstance(s, Filter) for s in left.stages)
+        assert any(isinstance(s, Filter) for s in right.stages)
+
+    def test_cross_item_residual_stays_on_join(self, catalog):
+        p = plan("SELECT t1.a FROM t1, t2 "
+                 "WHERE t1.a = t2.a AND t1.b < t2.d", catalog)
+        assert any(isinstance(s, Filter) for s in p.stages)
+
+    def test_cross_join_rejected(self, catalog):
+        with pytest.raises(UnsupportedSqlError, match="cross join"):
+            plan("SELECT t1.a FROM t1, t2", catalog)
+
+    def test_explicit_join_on(self, catalog):
+        p = plan("SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a AND t1.b < t2.d",
+                 catalog)
+        assert isinstance(p, JoinNode)
+        assert p.residual is not None  # non-equi conjunct
+
+    def test_outer_join_type_preserved(self, catalog):
+        p = plan("SELECT t1.a FROM t1 LEFT OUTER JOIN t2 ON t1.a = t2.a",
+                 catalog)
+        assert p.join_type == "left"
+
+    def test_join_without_equi_rejected(self, catalog):
+        with pytest.raises(UnsupportedSqlError, match="equi-join"):
+            plan("SELECT t1.a FROM t1 JOIN t2 ON t1.b < t2.d", catalog)
+
+    def test_self_join_detection(self, catalog):
+        p = plan("SELECT x.a FROM t1 AS x, t1 AS y WHERE x.a = y.a", catalog)
+        assert isinstance(p, JoinNode) and p.is_self_join
+
+    def test_three_way_left_deep_in_from_order(self, catalog):
+        cat = Catalog()
+        cat.register("r", Schema.of(("k1", T.INT)))
+        cat.register("s", Schema.of(("k1", T.INT), ("k2", T.INT)))
+        cat.register("u", Schema.of(("k2", T.INT)))
+        p = plan("SELECT r.k1 FROM r, s, u "
+                 "WHERE r.k1 = s.k1 AND s.k2 = u.k2", cat)
+        assert isinstance(p, JoinNode)
+        assert isinstance(p.left, JoinNode)  # (r ⋈ s) ⋈ u
+
+    def test_out_of_order_comma_items_connect(self, catalog):
+        cat = Catalog()
+        cat.register("r", Schema.of(("k1", T.INT)))
+        cat.register("s", Schema.of(("k1", T.INT), ("k2", T.INT)))
+        cat.register("u", Schema.of(("k2", T.INT)))
+        # r connects to s, not to u; u must wait for s.
+        p = plan("SELECT r.k1 FROM r, u, s "
+                 "WHERE r.k1 = s.k1 AND s.k2 = u.k2", cat)
+        assert isinstance(p, JoinNode)
+
+
+class TestAggregation:
+    def test_group_by_plan(self, catalog):
+        p = plan("SELECT c, count(*) AS n FROM t1 GROUP BY c", catalog)
+        assert isinstance(p, AggNode)
+        assert p.output_names == ["c", "n"]
+        assert p.aggs[0].func == "count" and p.aggs[0].star
+
+    def test_global_aggregate(self, catalog):
+        p = plan("SELECT sum(a) AS s FROM t1", catalog)
+        assert isinstance(p, AggNode) and p.is_global
+
+    def test_global_agg_pk_is_none(self, catalog):
+        from repro.core.correlation import CorrelationAnalysis
+        p = plan("SELECT sum(a) AS s FROM t1", catalog)
+        assert CorrelationAnalysis(p).pk(p) is None
+
+    def test_mixed_expression_over_group_and_agg(self, catalog):
+        p = plan("SELECT c, count(*) - 2 AS n FROM t1 GROUP BY c", catalog)
+        assert p.output_names == ["c", "n"]
+
+    def test_group_by_select_alias(self, catalog):
+        # The paper's Q-CSA relies on GROUP BY naming a select alias.
+        p = plan("SELECT a + b AS s, count(*) AS n FROM t1 GROUP BY s",
+                 catalog)
+        assert isinstance(p, AggNode)
+        assert len(p.group_keys) == 1
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="neither grouped nor aggregated"):
+            plan("SELECT b, count(*) FROM t1 GROUP BY c", catalog)
+
+    def test_having_becomes_filter_stage(self, catalog):
+        p = plan("SELECT c FROM t1 GROUP BY c HAVING count(*) > 1", catalog)
+        assert isinstance(p.stages[0], Filter)
+
+    def test_having_agg_deduplicated_with_select(self, catalog):
+        p = plan("SELECT c, sum(a) AS s FROM t1 GROUP BY c "
+                 "HAVING sum(a) > 10", catalog)
+        assert len(p.aggs) == 1
+
+    def test_duplicate_aggregates_share_slot(self, catalog):
+        p = plan("SELECT sum(a) AS x, sum(a) + 1 AS y FROM t1", catalog)
+        assert len(p.aggs) == 1
+
+    def test_nested_aggregate_rejected(self, catalog):
+        with pytest.raises(UnsupportedSqlError, match="nested aggregate"):
+            plan("SELECT sum(count(a)) FROM t1", catalog)
+
+    def test_distinct_becomes_grouping(self, catalog):
+        p = plan("SELECT DISTINCT c FROM t1", catalog)
+        assert isinstance(p, AggNode)
+        assert not p.aggs
+
+    def test_unique_slots_across_agg_nodes(self, catalog):
+        sql = """
+        SELECT s.c, count(*) AS n FROM
+          (SELECT c, sum(a) AS t FROM t1 GROUP BY c) AS s
+        GROUP BY s.c
+        """
+        p = plan(sql, catalog)
+        slots = set()
+        for node in p.post_order():
+            if isinstance(node, AggNode):
+                for gk in node.group_keys:
+                    assert gk.slot not in slots
+                    slots.add(gk.slot)
+
+
+class TestSortLimitDistinct:
+    def test_order_by(self, catalog):
+        p = plan("SELECT a, b FROM t1 ORDER BY b DESC, a", catalog)
+        assert isinstance(p, SortNode)
+        assert p.keys == [("b", False), ("a", True)]
+
+    def test_limit_without_order(self, catalog):
+        p = plan("SELECT a FROM t1 LIMIT 5", catalog)
+        assert isinstance(p, SortNode) and p.limit == 5 and not p.keys
+
+    def test_order_by_unknown_column(self, catalog):
+        with pytest.raises(NameResolutionError):
+            plan("SELECT a FROM t1 ORDER BY zz", catalog)
+
+    def test_order_by_expression_unsupported(self, catalog):
+        with pytest.raises(UnsupportedSqlError):
+            plan("SELECT a FROM t1 ORDER BY a + 1", catalog)
+
+
+class TestDerivedTables:
+    def test_subquery_names_requalified(self, catalog):
+        p = plan("SELECT d.s FROM (SELECT a + b AS s FROM t1) AS d "
+                 "WHERE d.s > 3", catalog)
+        assert p.output_names == ["s"]
+
+    def test_sp_over_derived_appends_stages(self, catalog):
+        p = plan("SELECT d.s FROM (SELECT a AS s FROM t1) AS d "
+                 "WHERE d.s > 3", catalog)
+        # The derived scan carries both blocks' stages; no extra node.
+        assert isinstance(p, ScanNode)
+
+    def test_nested_blocks_have_unique_row_keys(self, catalog):
+        sql = """
+        SELECT o.s FROM
+          (SELECT i.s AS s FROM
+             (SELECT a AS s FROM t1) AS i) AS o
+        """
+        p = plan(sql, catalog)
+        assert p.output_names == ["s"]
+
+
+class TestExplain:
+    def test_explain_includes_labels_and_stages(self, catalog):
+        p = plan("SELECT c, count(*) AS n FROM t1 WHERE a > 1 GROUP BY c",
+                 catalog)
+        text = explain_plan(p)
+        assert "AGG1" in text and "SCAN" in text
+        assert "filter" in text and "project" in text
+
+    def test_plan_signature(self, catalog):
+        p = plan("SELECT t1.a FROM t1, t2 WHERE t1.a = t2.a", catalog)
+        assert plan_signature(p) == ["SCAN t1", "SCAN t2", "JOIN1"]
+
+    def test_labels_post_order(self, catalog):
+        p = plan("SELECT c, count(*) AS n FROM t1 GROUP BY c "
+                 "ORDER BY n DESC", catalog)
+        assert p.label == "SORT1"
+        assert p.child.label == "AGG1"

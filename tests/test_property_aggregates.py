@@ -1,0 +1,119 @@
+"""Property-based tests: accumulators vs Python reference semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.aggregates import (
+    AvgAcc,
+    CountAcc,
+    CountDistinctAcc,
+    CountStarAcc,
+    MaxAcc,
+    MinAcc,
+    StddevAcc,
+    SumAcc,
+    VarianceAcc,
+)
+
+values = st.lists(st.one_of(st.none(), st.integers(-1000, 1000)), max_size=60)
+#: ways to split a list into chunks (simulating map tasks)
+splits = st.integers(1, 5)
+
+
+def chunked(data, n):
+    if not data:
+        return [[]]
+    size = max(1, len(data) // n)
+    return [data[i:i + size] for i in range(0, len(data), size)]
+
+
+def reference(values, kind):
+    non_null = [v for v in values if v is not None]
+    if kind == "count_star":
+        return len(values)
+    if kind == "count":
+        return len(non_null)
+    if kind == "count_distinct":
+        return len(set(non_null))
+    if kind == "sum":
+        return sum(non_null) if non_null else None
+    if kind == "avg":
+        return sum(non_null) / len(non_null) if non_null else None
+    if kind == "min":
+        return min(non_null) if non_null else None
+    if kind == "max":
+        return max(non_null) if non_null else None
+    if kind == "variance":
+        if not non_null:
+            return None
+        mean = sum(non_null) / len(non_null)
+        return sum((x - mean) ** 2 for x in non_null) / len(non_null)
+    if kind == "stddev":
+        var = reference(values, "variance")
+        return None if var is None else var ** 0.5
+    raise AssertionError(kind)
+
+
+CASES = [
+    (CountStarAcc, "count_star"),
+    (CountAcc, "count"),
+    (CountDistinctAcc, "count_distinct"),
+    (SumAcc, "sum"),
+    (AvgAcc, "avg"),
+    (MinAcc, "min"),
+    (MaxAcc, "max"),
+    (VarianceAcc, "variance"),
+    (StddevAcc, "stddev"),
+]
+
+
+def _close(a, b):
+    if a is None or b is None:
+        return a == b
+    return abs(a - b) <= 1e-6 * max(1.0, abs(a), abs(b))
+
+
+@given(data=values)
+def test_single_pass_matches_reference(data):
+    for cls, kind in CASES:
+        acc = cls()
+        for v in data:
+            acc.add(v)
+        assert _close(acc.result(), reference(data, kind)), kind
+
+
+@given(data=values, n=splits)
+def test_partial_aggregation_matches_single_pass(data, n):
+    """state()/absorb() over any chunking equals one pass — the combiner
+    correctness invariant."""
+    for cls, kind in CASES:
+        merged = cls()
+        for chunk in chunked(data, n):
+            partial = cls()
+            for v in chunk:
+                partial.add(v)
+            merged.absorb(partial.state())
+        assert _close(merged.result(), reference(data, kind)), kind
+
+
+@given(data=values, n=splits)
+def test_merge_matches_single_pass(data, n):
+    for cls, kind in CASES:
+        merged = cls()
+        for chunk in chunked(data, n):
+            partial = cls()
+            for v in chunk:
+                partial.add(v)
+            merged.merge(partial)
+        assert _close(merged.result(), reference(data, kind)), kind
+
+
+@given(data=values)
+def test_add_order_irrelevant(data):
+    for cls, kind in CASES:
+        forward, backward = cls(), cls()
+        for v in data:
+            forward.add(v)
+        for v in reversed(data):
+            backward.add(v)
+        assert _close(forward.result(), backward.result()), kind

@@ -1,0 +1,68 @@
+"""Property-based tests for batch translation: random query batches are
+always correct, and sharing never runs more jobs than per-query mode."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.core.batch import run_batch, translate_batch
+from repro.data import Datastore, Table, rows_equal_unordered
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+
+_ns = itertools.count(1)
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 5),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-30, 30)),
+    }), min_size=0, max_size=20)
+
+#: Query templates over the shared fact table; some partition on k (and
+#: can share jobs), some on g, some filter.
+TEMPLATES = [
+    "SELECT f.k, count(*) AS n FROM fact AS f GROUP BY f.k",
+    "SELECT f.k, sum(f.v) AS s FROM fact AS f GROUP BY f.k",
+    "SELECT f.g, max(f.v) AS m FROM fact AS f GROUP BY f.g",
+    "SELECT f.k, min(f.v) AS mn FROM fact AS f WHERE f.v > 0 GROUP BY f.k",
+    "SELECT a.k, count(*) AS n FROM fact AS a, fact AS b "
+    "WHERE a.k = b.k AND a.v < b.v GROUP BY a.k",
+]
+
+batches = st.lists(st.sampled_from(TEMPLATES), min_size=1, max_size=4,
+                   unique=True)
+
+
+def make_ds(rows):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)), rows))
+    return ds
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=fact_rows, templates=batches)
+def test_batch_correct_and_never_worse(rows, templates):
+    ds = make_ds(rows)
+    queries = {f"q{i}": sql for i, sql in enumerate(templates)}
+    n = next(_ns)
+
+    shared = translate_batch(queries, catalog=ds.catalog,
+                             namespace=f"pb{n}s")
+    separate = translate_batch(queries, catalog=ds.catalog,
+                               namespace=f"pb{n}n",
+                               share_across_queries=False)
+    assert shared.job_count <= separate.job_count
+
+    result = run_batch(shared, ds)
+    for qid, sql in queries.items():
+        ref = run_reference(plan_query(parse_sql(sql), ds.catalog), ds)
+        cols = [bare for _, bare in shared.output_columns[qid]]
+        assert rows_equal_unordered(result.rows[qid], ref.rows, cols,
+                                    1e-6), qid

@@ -1,0 +1,207 @@
+"""Property-based tests for structural invariants: cost-model
+monotonicity, tag encoding, union-find, sort ordering, and planner
+well-formedness over randomized query shapes."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import UnionFind
+from repro.hadoop import HadoopCostModel, small_cluster
+from repro.mr.counters import JobCounters
+from repro.mr.kv import TagPolicy, key_bytes, tag_bytes, value_bytes
+from repro.refexec.executor import sort_rows
+
+common = settings(max_examples=50, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Cost-model monotonicity (DESIGN.md invariant 6)
+# ---------------------------------------------------------------------------
+
+# input_bytes starts above the point where the map-slot pool is already
+# saturated: below it, growing the input adds splits and therefore
+# parallelism, which can legitimately shave a few microseconds off the
+# other map work — a real (and realistic) small-scale non-monotonicity
+# hypothesis found.
+counter_volumes = st.fixed_dictionaries({
+    "input_bytes": st.integers(50_000_000, 10**9),
+    "input_records": st.integers(1, 10**6),
+    "map_output_bytes": st.integers(0, 10**8),
+    "map_output_records": st.integers(0, 10**6),
+    "reduce_dispatch_ops": st.integers(0, 10**6),
+    "reduce_compute_ops": st.integers(0, 10**6),
+    "output_bytes": st.integers(0, 10**8),
+})
+
+
+def make_counters(v):
+    c = JobCounters(job_id="p", name="prop", num_reducers=8)
+    c.input_bytes = {"t": v["input_bytes"]}
+    c.input_records = {"t": v["input_records"]}
+    c.map_eval_ops = v["input_records"]
+    c.pre_combine_records = v["map_output_records"]
+    c.map_output_records = v["map_output_records"]
+    c.map_output_bytes = v["map_output_bytes"]
+    c.reduce_groups = max(1, v["map_output_records"] // 10)
+    c.reduce_input_records = v["map_output_records"]
+    c.reduce_dispatch_ops = v["reduce_dispatch_ops"]
+    c.reduce_compute_ops = v["reduce_compute_ops"]
+    c.output_records = {"o": 1}
+    c.output_bytes = {"o": v["output_bytes"]}
+    return c
+
+
+@common
+@given(v=counter_volumes,
+       field=st.sampled_from(["input_bytes", "map_output_bytes",
+                              "reduce_compute_ops", "output_bytes"]),
+       factor=st.integers(2, 100))
+def test_cost_model_monotone_in_every_volume(v, field, factor):
+    model = HadoopCostModel(small_cluster(data_scale=10))
+    t1 = model.job_timing(make_counters(v)).total_s
+    bigger = dict(v)
+    bigger[field] = v[field] * factor + 1
+    t2 = model.job_timing(make_counters(bigger)).total_s
+    assert t2 >= t1 - 1e-9
+
+
+@common
+@given(v=counter_volumes, scale=st.floats(10.0, 1000.0))
+def test_cost_model_monotone_in_data_scale(v, scale):
+    # Base scale 10 keeps the smallest generated input past slot
+    # saturation (see the strategy comment above).
+    t1 = HadoopCostModel(small_cluster(data_scale=10)).job_timing(
+        make_counters(v)).total_s
+    t2 = HadoopCostModel(small_cluster(data_scale=10 * scale)).job_timing(
+        make_counters(v)).total_s
+    assert t2 >= t1 - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Tag encoding
+# ---------------------------------------------------------------------------
+
+@common
+@given(n_roles=st.integers(1, 12), data=st.data())
+def test_best_tag_never_worse(n_roles, data):
+    universe = [f"r{i}" for i in range(n_roles)]
+    subset = frozenset(data.draw(
+        st.sets(st.sampled_from(universe), min_size=1)))
+    best = tag_bytes(subset, n_roles, TagPolicy.BEST)
+    direct = tag_bytes(subset, n_roles, TagPolicy.DIRECT)
+    inverted = tag_bytes(subset, n_roles, TagPolicy.INVERTED)
+    assert best == min(direct, inverted)
+    assert best >= 0
+
+
+def test_single_role_job_needs_no_tag():
+    assert tag_bytes(frozenset(["r0"]), 1, TagPolicy.DIRECT) == 0
+
+
+@common
+@given(payload=st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(-10**6, 10**6), st.text(max_size=10), st.none()),
+    max_size=8))
+def test_value_bytes_counts_every_field(payload):
+    total = value_bytes(payload)
+    assert total == sum(len(str(v)) + 1 for v in payload.values())
+
+
+@common
+@given(key=st.tuples(st.integers(), st.text(max_size=5)))
+def test_key_bytes_positive(key):
+    assert key_bytes(key) >= len(key)
+
+
+# ---------------------------------------------------------------------------
+# Union-find
+# ---------------------------------------------------------------------------
+
+@common
+@given(pairs=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                      max_size=40))
+def test_union_find_is_an_equivalence(pairs):
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(str(a), str(b))
+    # Reflexive & symmetric & transitive via class representatives.
+    for a, b in pairs:
+        assert uf.same(str(a), str(b))
+    # Build the reference partition with naive flood fill.
+    import collections
+    adj = collections.defaultdict(set)
+    for a, b in pairs:
+        adj[a].add(b)
+        adj[b].add(a)
+    for start in list(adj):
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nxt in adj[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        for member in seen:
+            assert uf.same(str(start), str(member))
+
+
+# ---------------------------------------------------------------------------
+# Sorting
+# ---------------------------------------------------------------------------
+
+@common
+@given(rows=st.lists(st.fixed_dictionaries({
+    "a": st.one_of(st.none(), st.integers(-50, 50)),
+    "b": st.integers(0, 5),
+}), max_size=30))
+def test_sort_rows_total_order(rows):
+    out = sort_rows(rows, [("a", True), ("b", False)])
+    assert len(out) == len(rows)
+    # NULLS LAST ascending on a; within equal a, b descending.
+    for prev, cur in zip(out, out[1:]):
+        pa = (prev["a"] is None, prev["a"] if prev["a"] is not None else 0)
+        ca = (cur["a"] is None, cur["a"] if cur["a"] is not None else 0)
+        assert pa <= ca
+        if prev["a"] == cur["a"]:
+            assert prev["b"] >= cur["b"]
+
+
+@common
+@given(rows=st.lists(st.fixed_dictionaries({
+    "a": st.integers(0, 3), "b": st.integers(0, 100)}), max_size=30))
+def test_sort_rows_is_stable(rows):
+    tagged = [dict(r, idx=i) for i, r in enumerate(rows)]
+    out = sort_rows(tagged, [("a", True)])
+    for prev, cur in zip(out, out[1:]):
+        if prev["a"] == cur["a"]:
+            assert prev["idx"] < cur["idx"]
+
+
+# ---------------------------------------------------------------------------
+# Planner well-formedness on randomized query shapes
+# ---------------------------------------------------------------------------
+
+@common
+@given(agg=st.sampled_from(["count(*)", "sum(f.v)", "min(f.v)"]),
+       filtered=st.booleans(), ordered=st.booleans(),
+       grouped=st.booleans())
+def test_random_query_shapes_validate(agg, filtered, ordered, grouped):
+    from repro.catalog import Catalog, Schema
+    from repro.catalog.types import ColumnType as T
+    from repro.plan import plan_query, validate_plan
+    from repro.sqlparser.parser import parse_sql
+
+    cat = Catalog()
+    cat.register("f", Schema.of(("k", T.INT), ("g", T.INT), ("v", T.INT)))
+    parts = [f"SELECT {'f.g, ' if grouped else ''}{agg} AS a FROM f"]
+    if filtered:
+        parts.append("WHERE f.v > 3")
+    if grouped:
+        parts.append("GROUP BY f.g")
+    if ordered:
+        parts.append("ORDER BY a")
+    plan = plan_query(parse_sql(" ".join(parts)), cat)
+    validate_plan(plan)  # must not raise

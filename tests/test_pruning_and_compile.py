@@ -1,0 +1,166 @@
+"""Tests for projection pruning and job compilation details."""
+
+import pytest
+
+from repro.catalog import standard_catalog
+from repro.core.compile import CompileOptions, JobCompiler
+from repro.core.jobgen import generate_job_graph
+from repro.core.translator import translate_sql
+from repro.mr.engine import run_jobs
+from repro.mr.kv import TagPolicy
+from repro.plan.nodes import AggNode, JoinNode, ScanNode
+from repro.plan.planner import plan_query
+from repro.plan.pruning import (
+    child_requirements,
+    expr_columns,
+    needed_raw_columns,
+    scan_base_columns,
+)
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+def plan(sql):
+    return plan_query(parse_sql(sql), standard_catalog())
+
+
+class TestExprColumns:
+    def test_collects_all_refs(self):
+        p = plan("SELECT l_orderkey + l_partkey AS s FROM lineitem")
+        expr = p.stages[-1].outputs[0].expr
+        assert expr_columns(expr) == {"lineitem.l_orderkey",
+                                      "lineitem.l_partkey"}
+
+    def test_none_is_empty(self):
+        assert expr_columns(None) == set()
+
+
+class TestNeededRawColumns:
+    def test_backward_through_project(self):
+        p = plan("SELECT l_orderkey AS a, l_partkey AS b FROM lineitem")
+        needed = needed_raw_columns(p, {"a"})
+        assert needed == {"lineitem.l_orderkey"}
+
+    def test_filter_columns_always_needed(self):
+        p = plan("SELECT l_orderkey AS a FROM lineitem WHERE l_tax > 0")
+        needed = needed_raw_columns(p)
+        assert "lineitem.l_tax" in needed
+        assert "lineitem.l_orderkey" in needed
+
+
+class TestChildRequirements:
+    def test_join_requirements_split_by_side(self):
+        p = plan("SELECT l_quantity, p_name FROM lineitem, part "
+                 "WHERE l_partkey = p_partkey")
+        left, right = child_requirements(p)
+        assert "lineitem.l_quantity" in left
+        assert "lineitem.l_partkey" in left  # join key
+        assert "part.p_name" in right and "part.p_partkey" in right
+        assert not left & right
+
+    def test_agg_requirements_are_group_and_args(self):
+        p = plan("SELECT l_orderkey, sum(l_quantity) AS s FROM lineitem "
+                 "GROUP BY l_orderkey")
+        (req,) = child_requirements(p)
+        assert req == {"lineitem.l_orderkey", "lineitem.l_quantity"}
+
+    def test_scan_base_columns(self):
+        p = plan("SELECT l_orderkey AS a FROM lineitem WHERE l_tax > 0")
+        cols = scan_base_columns(p)
+        assert cols == {"l_orderkey", "l_tax"}
+
+
+class TestCompiledJobs:
+    def _compile(self, sql, **opts):
+        p = plan(sql)
+        graph = generate_job_graph(p)
+        compiler = JobCompiler(graph, "tc", CompileOptions(**opts))
+        return compiler, compiler.compile()
+
+    def test_q17_merged_job_shape(self):
+        _, jobs = self._compile(paper_queries()["q17"])
+        merged = jobs[0]
+        # lineitem scanned once with two roles, part with one.
+        by_dataset = {mi.dataset: mi for mi in merged.map_inputs}
+        assert len(by_dataset["lineitem"].specs) == 2
+        assert len(by_dataset["part"].specs) == 1
+        assert merged.role_universe == 3
+
+    def test_self_join_single_map_input(self):
+        _, jobs = self._compile(
+            "SELECT a.l_orderkey FROM lineitem AS a, lineitem AS b "
+            "WHERE a.l_orderkey = b.l_orderkey AND a.l_tax < b.l_tax")
+        job = jobs[0]
+        assert [mi.dataset for mi in job.map_inputs] == ["lineitem"]
+        assert len(job.map_inputs[0].specs) == 2
+
+    def test_global_agg_single_reducer(self):
+        _, jobs = self._compile("SELECT sum(l_quantity) AS s FROM lineitem")
+        assert jobs[0].num_reducers == 1
+        assert jobs[0].reducer.global_group
+
+    def test_standalone_agg_gets_combiner(self):
+        _, jobs = self._compile(paper_queries()["q_agg"])
+        assert jobs[0].map_agg is not None
+
+    def test_combiner_disabled_for_count_distinct(self):
+        _, jobs = self._compile(
+            "SELECT l_orderkey, count(DISTINCT l_suppkey) AS c "
+            "FROM lineitem GROUP BY l_orderkey")
+        assert jobs[0].map_agg is None
+
+    def test_combiner_option_off(self):
+        _, jobs = self._compile(paper_queries()["q_agg"],
+                                map_side_agg=False)
+        assert jobs[0].map_agg is None
+
+    def test_sort_job_flags(self):
+        _, jobs = self._compile(
+            "SELECT l_orderkey, l_quantity FROM lineitem "
+            "ORDER BY l_quantity DESC LIMIT 7")
+        sort_job = jobs[-1]
+        assert sort_job.sort_output
+        assert sort_job.sort_ascending == [False]
+        assert sort_job.limit == 7
+
+    def test_tag_policy_propagates(self):
+        _, jobs = self._compile(paper_queries()["q17"],
+                                tag_policy=TagPolicy.DIRECT)
+        assert all(j.tag_policy is TagPolicy.DIRECT for j in jobs)
+
+    def test_intermediate_columns_pruned(self, datastore, fresh_namespace):
+        """Only downstream-needed columns are materialized (the common
+        mapper's 'required data' rule applied across jobs)."""
+        sql = paper_queries()["q17"]
+        tr = translate_sql(sql, mode="hive", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        run_jobs(tr.jobs, datastore)
+        join1_out = next(d for j in tr.jobs for d in j.output_datasets
+                         if d.endswith("JOIN1"))
+        cols = set(datastore.intermediate(join1_out).rows[0])
+        # JOIN1 (lineitem x part) only feeds partkey/quantity/extendedprice.
+        assert len(cols) == 3
+
+    def test_dataset_name_registered_in_schedule_order(self):
+        compiler, jobs = self._compile(paper_queries()["q18"])
+        root = compiler.graph.root
+        assert compiler.dataset_name(root).endswith(".result")
+
+
+class TestCanonicalPayload:
+    def test_shared_base_payload_smaller_than_qualified(self, datastore,
+                                                        fresh_namespace):
+        """Canonical table.column payload naming lets overlapping roles
+        share bytes in the merged Q21 job."""
+        sql = paper_queries()["q21_subtree"]
+        sizes = {}
+        for canonical in (True, False):
+            p = plan_query(parse_sql(sql), datastore.catalog)
+            graph = generate_job_graph(p)
+            compiler = JobCompiler(
+                graph, f"{fresh_namespace}.c{canonical}",
+                CompileOptions(canonical_payload=canonical))
+            jobs = compiler.compile()
+            runs = run_jobs(jobs, datastore)
+            sizes[canonical] = runs[0].counters.map_output_bytes
+        assert sizes[True] < sizes[False]

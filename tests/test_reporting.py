@@ -1,0 +1,91 @@
+"""Tests for experiment persistence and regression comparison."""
+
+import pytest
+
+from repro.bench import ExperimentResult
+from repro.bench.reporting import (
+    compare_results,
+    load_results,
+    results_from_json,
+    results_to_json,
+    save_results,
+)
+
+
+def make_result(times=(100, 200)):
+    r = ExperimentResult("exp", "A test experiment",
+                         ["query", "system", "time_s"])
+    r.rows = [
+        {"query": "q1", "system": "ysmart", "time_s": times[0]},
+        {"query": "q1", "system": "hive", "time_s": times[1]},
+    ]
+    r.notes = ["note"]
+    return r
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        results = [make_result()]
+        back = results_from_json(results_to_json(results))
+        assert back[0].exp_id == "exp"
+        assert back[0].rows == results[0].rows
+        assert back[0].notes == ["note"]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        save_results([make_result()], path)
+        back = load_results(path)
+        assert back[0].value("time_s", system="ysmart") == 100
+
+
+class TestComparison:
+    def test_identical_runs_clean(self):
+        cmp = compare_results([make_result()], [make_result()])
+        assert cmp.clean
+        assert cmp.describe() == "no drift"
+
+    def test_within_tolerance_clean(self):
+        cmp = compare_results([make_result((100, 200))],
+                              [make_result((105, 195))], tolerance=0.10)
+        assert cmp.clean
+
+    def test_drift_detected(self):
+        cmp = compare_results([make_result((100, 200))],
+                              [make_result((150, 200))], tolerance=0.10)
+        assert not cmp.clean
+        assert len(cmp.drifts) == 1
+        drift = cmp.drifts[0]
+        assert drift.column == "time_s"
+        assert drift.ratio == pytest.approx(1.5)
+        assert "ysmart" in drift.row_key
+        assert "1.50x" in cmp.describe()
+
+    def test_missing_and_new_rows(self):
+        base = make_result()
+        cur = make_result()
+        cur.rows = [cur.rows[0],
+                    {"query": "q2", "system": "pig", "time_s": 5}]
+        cmp = compare_results([base], [cur])
+        assert any("hive" in k for k in cmp.missing_rows)
+        assert any("pig" in k for k in cmp.new_rows)
+
+    def test_missing_experiment(self):
+        cmp = compare_results([make_result()], [])
+        assert cmp.missing_rows == ["exp (whole experiment)"]
+
+    def test_non_numeric_change_reported(self):
+        base = ExperimentResult("e", "t", ["k", "status"])
+        base.rows = [{"k": 1, "status": "ok"}]
+        cur = ExperimentResult("e", "t", ["k", "status"])
+        cur.rows = [{"k": 1, "status": "inf"}]
+        cmp = compare_results([base], [cur])
+        assert not cmp.clean
+
+    def test_real_experiment_self_compare(self):
+        """A real regenerated table compares clean against itself after a
+        JSON round-trip (determinism end to end)."""
+        from repro.bench import standard_workload, table_job_counts
+        w = standard_workload(tpch_scale=0.001, clickstream_users=10)
+        a = table_job_counts(w)
+        b = results_from_json(results_to_json([a]))[0]
+        assert compare_results([a], [b]).clean

@@ -1,0 +1,111 @@
+"""Unit tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import Column, Schema, merge_disjoint
+from repro.catalog.types import ColumnType as T
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("a", T.INT), ("b", T.STRING), ("c", T.FLOAT))
+
+
+class TestConstruction:
+    def test_of_builds_ordered_columns(self, schema):
+        assert schema.names == ["a", "b", "c"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            Schema.of(("a", T.INT), ("a", T.FLOAT))
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("", T.INT)
+
+    def test_from_spec(self):
+        s = Schema.from_spec({"x": "int", "y": "string"})
+        assert s.type_of("x") is T.INT
+        assert s.type_of("y") is T.STRING
+
+    def test_len_iter_contains(self, schema):
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["a", "b", "c"]
+        assert "b" in schema
+        assert "z" not in schema
+
+    def test_equality_and_hash(self, schema):
+        other = Schema.of(("a", T.INT), ("b", T.STRING), ("c", T.FLOAT))
+        assert schema == other
+        assert hash(schema) == hash(other)
+        assert schema != Schema.of(("a", T.INT))
+
+
+class TestLookup:
+    def test_column(self, schema):
+        assert schema.column("b").type is T.STRING
+
+    def test_column_missing(self, schema):
+        with pytest.raises(CatalogError, match="no column 'z'"):
+            schema.column("z")
+
+    def test_index_of(self, schema):
+        assert schema.index_of("c") == 2
+
+    def test_index_of_missing(self, schema):
+        with pytest.raises(CatalogError):
+            schema.index_of("zz")
+
+
+class TestTransforms:
+    def test_project_orders_and_subsets(self, schema):
+        assert schema.project(["c", "a"]).names == ["c", "a"]
+
+    def test_project_unknown_raises(self, schema):
+        with pytest.raises(CatalogError):
+            schema.project(["a", "nope"])
+
+    def test_rename_partial(self, schema):
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b", "c"]
+        assert renamed.type_of("x") is T.INT
+
+    def test_prefixed(self, schema):
+        assert schema.prefixed("t1").names == ["t1.a", "t1.b", "t1.c"]
+
+    def test_concat(self, schema):
+        other = Schema.of(("d", T.INT))
+        assert schema.concat(other).names == ["a", "b", "c", "d"]
+
+    def test_concat_duplicate_raises(self, schema):
+        with pytest.raises(CatalogError):
+            schema.concat(Schema.of(("a", T.INT)))
+
+    def test_merge_disjoint_ok(self, schema):
+        merged = merge_disjoint(schema, Schema.of(("d", T.INT)))
+        assert merged.names == ["a", "b", "c", "d"]
+
+    def test_merge_disjoint_overlap_raises(self, schema):
+        with pytest.raises(CatalogError, match="overlap"):
+            merge_disjoint(schema, Schema.of(("b", T.INT)))
+
+
+class TestRowValidation:
+    def test_valid_row(self, schema):
+        schema.validate_row({"a": 1, "b": "x", "c": 2.5})
+
+    def test_null_fields_ok(self, schema):
+        schema.validate_row({"a": None, "b": None, "c": None})
+
+    def test_missing_column(self, schema):
+        with pytest.raises(CatalogError):
+            schema.validate_row({"a": 1, "b": "x"})
+
+    def test_extra_column(self, schema):
+        with pytest.raises(CatalogError):
+            schema.validate_row({"a": 1, "b": "x", "c": 2.5, "d": 9})
+
+    def test_wrong_type(self, schema):
+        with pytest.raises(CatalogError):
+            schema.validate_row({"a": "not-int", "b": "x", "c": 2.5})

@@ -1,0 +1,81 @@
+"""Tests for SELECT * / alias.* expansion and end-to-end execution."""
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.data import rows_equal_unordered
+from repro.errors import NameResolutionError, PlanError
+from repro.mr.engine import run_jobs
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.ast import Star
+from repro.sqlparser.parser import parse_sql
+
+
+class TestParsing:
+    def test_bare_star(self):
+        stmt = parse_sql("SELECT * FROM nation")
+        assert stmt.items[0].expr == Star()
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT n.* FROM nation AS n")
+        assert stmt.items[0].expr == Star("n")
+
+    def test_star_mixed_with_columns(self):
+        stmt = parse_sql("SELECT n.*, s_name FROM nation AS n, supplier")
+        assert len(stmt.items) == 2
+
+    def test_count_star_still_works(self):
+        stmt = parse_sql("SELECT count(*) FROM nation")
+        assert stmt.items[0].expr.star
+
+    def test_star_to_sql(self):
+        assert Star().to_sql() == "*"
+        assert Star("t").to_sql() == "t.*"
+
+
+class TestPlanning:
+    def test_expands_in_schema_order(self, datastore):
+        plan = plan_query(parse_sql("SELECT * FROM nation"),
+                          datastore.catalog)
+        assert plan.output_names == [
+            "n_nationkey", "n_name", "n_regionkey", "n_comment"]
+
+    def test_qualified_star_limits_to_source(self, datastore):
+        plan = plan_query(parse_sql(
+            "SELECT n.* FROM nation AS n, supplier "
+            "WHERE s_nationkey = n_nationkey"), datastore.catalog)
+        assert plan.output_names == [
+            "n_nationkey", "n_name", "n_regionkey", "n_comment"]
+
+    def test_star_over_derived_table(self, datastore):
+        plan = plan_query(parse_sql(
+            "SELECT * FROM (SELECT n_name AS nm, n_regionkey AS rk "
+            "FROM nation) AS d"), datastore.catalog)
+        assert plan.output_names == ["nm", "rk"]
+
+    def test_unknown_alias_star(self, datastore):
+        with pytest.raises(NameResolutionError):
+            plan_query(parse_sql("SELECT zz.* FROM nation"),
+                       datastore.catalog)
+
+    def test_self_join_star_collides(self, datastore):
+        with pytest.raises(PlanError, match="duplicate output"):
+            plan_query(parse_sql(
+                "SELECT * FROM nation AS a, nation AS b "
+                "WHERE a.n_nationkey = b.n_nationkey"), datastore.catalog)
+
+
+class TestExecution:
+    def test_star_query_through_translators(self, datastore,
+                                            fresh_namespace):
+        sql = ("SELECT n.*, s_name FROM nation AS n, supplier "
+               "WHERE s_nationkey = n_nationkey AND n_regionkey = 1")
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        for mode in ("ysmart", "hive"):
+            tr = translate_sql(sql, mode=mode, catalog=datastore.catalog,
+                               namespace=f"{fresh_namespace}.{mode}")
+            run_jobs(tr.jobs, datastore)
+            rows = datastore.intermediate(tr.final_dataset).rows
+            assert rows_equal_unordered(rows, ref.rows, tr.output_columns)

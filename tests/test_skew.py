@@ -1,0 +1,81 @@
+"""Tests for reduce-side key-skew measurement and its cost effect."""
+
+import pytest
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.data import Datastore, Table
+from repro.hadoop import HadoopCostModel, small_cluster
+from repro.mr import EmitSpec, MRJob, MapInput, MapReduceEngine, OutputSpec
+from repro.ops import SPTask, TaskInput
+
+
+def _job(ds, num_reducers=4, sort=False):
+    def emit(record):
+        return (record["k"],), {"v": record["v"]}
+
+    task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+    return MRJob(
+        job_id="skew", name="skew",
+        map_inputs=[MapInput("t", [EmitSpec("in", emit)])],
+        reducer=CommonReducer([task]),
+        outputs=[OutputSpec("skew.out", "sp", ["k", "v"])],
+        num_reducers=num_reducers,
+        sort_output=sort, sort_ascending=[True])
+
+
+def _store(rows):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("t", Schema.of(("k", T.INT), ("v", T.INT)), rows))
+    return ds
+
+
+class TestSkewMeasurement:
+    def test_uniform_keys_balanced(self):
+        rows = [{"k": i, "v": i} for i in range(100)]
+        c = MapReduceEngine(_store(rows)).run_job(_job(_store(rows)))
+        # 100 distinct keys over 4 partitions: no task should dominate.
+        assert c.reduce_max_task_records < 50
+
+    def test_single_hot_key_measured(self):
+        rows = [{"k": 7, "v": i} for i in range(90)] + \
+               [{"k": i, "v": i} for i in range(10)]
+        ds = _store(rows)
+        c = MapReduceEngine(ds).run_job(_job(ds))
+        assert c.reduce_max_task_records >= 90
+
+    def test_sort_job_range_loads(self):
+        rows = [{"k": i % 5, "v": i} for i in range(50)]
+        ds = _store(rows)
+        c = MapReduceEngine(ds).run_job(_job(ds, num_reducers=5, sort=True))
+        assert c.reduce_max_task_records >= 10
+
+    def test_scaled_preserves_ratio(self):
+        rows = [{"k": 7, "v": i} for i in range(40)]
+        ds = _store(rows)
+        c = MapReduceEngine(ds).run_job(_job(ds))
+        s = c.scaled(100)
+        assert s.reduce_max_task_records == c.reduce_max_task_records * 100
+
+
+class TestSkewCost:
+    def test_hot_key_slows_reduce(self):
+        """Same volume, one hot key vs uniform keys: the straggler bound
+        must make the skewed job slower."""
+        uniform = [{"k": i, "v": i} for i in range(200)]
+        skewed = [{"k": 1, "v": i} for i in range(200)]
+        model = HadoopCostModel(small_cluster(data_scale=10_000))
+        times = {}
+        for name, rows in (("uniform", uniform), ("skewed", skewed)):
+            ds = _store(rows)
+            c = MapReduceEngine(ds).run_job(_job(ds))
+            times[name] = model.job_timing(c).reduce_s
+        assert times["skewed"] > times["uniform"]
+
+    def test_uniform_matches_parallel_bound(self):
+        rows = [{"k": i, "v": i} for i in range(400)]
+        ds = _store(rows)
+        c = MapReduceEngine(ds).run_job(_job(ds))
+        # Max task share close to 1/num_reducers: the parallel term wins.
+        assert c.reduce_max_task_records / c.reduce_input_records < 0.5

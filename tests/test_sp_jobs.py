@@ -1,0 +1,73 @@
+"""Tests for SELECTION-PROJECTION jobs (the paper's fourth job type)."""
+
+import pytest
+
+from repro.core.translator import TRANSLATOR_MODES, translate_sql
+from repro.data import rows_equal_unordered
+from repro.mr.engine import run_jobs
+from repro.plan.nodes import ScanNode
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+
+SP_SQL = ("SELECT n_name AS name, n_regionkey * 10 AS rk FROM nation "
+          "WHERE n_nationkey BETWEEN 2 AND 9 AND n_regionkey <> 1")
+
+
+class TestSpJobs:
+    def test_plan_is_bare_scan(self, datastore):
+        plan = plan_query(parse_sql(SP_SQL), datastore.catalog)
+        assert isinstance(plan, ScanNode)
+
+    @pytest.mark.parametrize("mode", TRANSLATOR_MODES)
+    def test_single_sp_job_all_modes(self, mode, datastore, fresh_namespace):
+        ref = run_reference(plan_query(parse_sql(SP_SQL), datastore.catalog),
+                            datastore)
+        tr = translate_sql(SP_SQL, mode=mode, catalog=datastore.catalog,
+                           namespace=f"{fresh_namespace}.{mode}")
+        assert tr.job_count == 1
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns, 1e-6)
+
+    def test_selection_applied_map_side(self, datastore, fresh_namespace):
+        """The SP job's map phase filters; only surviving rows shuffle."""
+        tr = translate_sql(SP_SQL, mode="ysmart", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        runs = run_jobs(tr.jobs, datastore)
+        total = len(datastore.table("nation"))
+        kept = runs[0].counters.map_output_records
+        assert 0 < kept < total
+
+    def test_sp_then_sort(self, datastore, fresh_namespace):
+        sql = SP_SQL + " ORDER BY rk DESC, name"
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        tr = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert [(r["rk"], r["name"]) for r in rows] == \
+            [(r["rk"], r["name"]) for r in ref.rows]
+
+    def test_sp_over_derived_table(self, datastore, fresh_namespace):
+        sql = ("SELECT d.name FROM (SELECT n_name AS name, n_regionkey AS r "
+               "FROM nation) AS d WHERE d.r = 0")
+        ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                            datastore)
+        tr = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        assert tr.job_count == 1
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns)
+
+    def test_sp_job_in_batch(self, datastore, fresh_namespace):
+        from repro.core.batch import run_batch, translate_batch
+        batch = {"names": SP_SQL,
+                 "counts": "SELECT cid, count(*) AS n FROM clicks "
+                           "GROUP BY cid"}
+        tr = translate_batch(batch, catalog=datastore.catalog,
+                             namespace=fresh_namespace)
+        res = run_batch(tr, datastore)
+        assert res.rows["names"] and res.rows["counts"]

@@ -1,0 +1,87 @@
+"""Unit tests for repro.catalog.types."""
+
+import pytest
+
+from repro.catalog.types import ColumnType, type_of_value
+from repro.errors import CatalogError
+
+
+class TestColumnTypeValidate:
+    def test_int_accepts_int(self):
+        ColumnType.INT.validate(42)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(CatalogError):
+            ColumnType.INT.validate(4.2)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(CatalogError):
+            ColumnType.INT.validate(True)
+
+    def test_float_accepts_int_and_float(self):
+        ColumnType.FLOAT.validate(1)
+        ColumnType.FLOAT.validate(1.5)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(CatalogError):
+            ColumnType.FLOAT.validate("1.5")
+
+    def test_string_accepts_str(self):
+        ColumnType.STRING.validate("hello")
+
+    def test_string_rejects_int(self):
+        with pytest.raises(CatalogError):
+            ColumnType.STRING.validate(7)
+
+    def test_date_is_string_typed(self):
+        ColumnType.DATE.validate("1997-03-05")
+
+    def test_timestamp_is_int_typed(self):
+        ColumnType.TIMESTAMP.validate(1_000_000)
+        with pytest.raises(CatalogError):
+            ColumnType.TIMESTAMP.validate("1997-03-05")
+
+    def test_null_is_valid_for_every_type(self):
+        for typ in ColumnType:
+            typ.validate(None)
+
+    def test_any_accepts_everything(self):
+        ColumnType.ANY.validate(1)
+        ColumnType.ANY.validate("x")
+        ColumnType.ANY.validate((1, 2))
+
+
+class TestColumnTypeParse:
+    @pytest.mark.parametrize("name,expected", [
+        ("int", ColumnType.INT),
+        ("INT", ColumnType.INT),
+        ("Float", ColumnType.FLOAT),
+        ("string", ColumnType.STRING),
+        ("date", ColumnType.DATE),
+        ("timestamp", ColumnType.TIMESTAMP),
+    ])
+    def test_parse_known(self, name, expected):
+        assert ColumnType.parse(name) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(CatalogError, match="unknown column type"):
+            ColumnType.parse("varchar")
+
+
+class TestTypeOfValue:
+    def test_int(self):
+        assert type_of_value(3) is ColumnType.INT
+
+    def test_float(self):
+        assert type_of_value(3.5) is ColumnType.FLOAT
+
+    def test_string(self):
+        assert type_of_value("x") is ColumnType.STRING
+
+    def test_bool_rejected(self):
+        with pytest.raises(CatalogError):
+            type_of_value(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(CatalogError):
+            type_of_value(None)

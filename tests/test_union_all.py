@@ -1,0 +1,131 @@
+"""Tests for UNION ALL: parsing, planning, execution, translation."""
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.data import rows_equal_unordered
+from repro.errors import PlanError, SqlSyntaxError
+from repro.mr.engine import run_jobs
+from repro.plan.nodes import UnionNode
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.ast import SelectStmt, UnionStmt
+from repro.sqlparser.parser import parse_sql
+
+
+def check_modes(sql, datastore, namespace):
+    ref = run_reference(plan_query(parse_sql(sql), datastore.catalog),
+                        datastore)
+    for mode in ("ysmart", "ysmart_ic_tc", "one_to_one", "hive", "pig"):
+        tr = translate_sql(sql, mode=mode, catalog=datastore.catalog,
+                           namespace=f"{namespace}.{mode}")
+        run_jobs(tr.jobs, datastore)
+        rows = datastore.intermediate(tr.final_dataset).rows
+        assert rows_equal_unordered(rows, ref.rows, tr.output_columns,
+                                    1e-6), mode
+    return ref
+
+
+class TestParsing:
+    def test_two_branches(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, UnionStmt)
+        assert len(stmt.branches) == 2
+        assert all(isinstance(b, SelectStmt) for b in stmt.branches)
+
+    def test_three_branches(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u "
+                         "UNION ALL SELECT c FROM v")
+        assert len(stmt.branches) == 3
+
+    def test_union_requires_all(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+
+    def test_union_in_derived_table(self):
+        stmt = parse_sql("SELECT d.a FROM (SELECT a FROM t UNION ALL "
+                         "SELECT b FROM u) AS d")
+        assert isinstance(stmt.from_items[0].query, UnionStmt)
+
+    def test_to_sql_roundtrip(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert parse_sql(stmt.to_sql()) == stmt
+
+
+class TestPlanning:
+    def test_plan_shape(self, datastore):
+        plan = plan_query(parse_sql(
+            "SELECT n_name AS x FROM nation UNION ALL "
+            "SELECT s_name FROM supplier"), datastore.catalog)
+        assert isinstance(plan, UnionNode)
+        assert plan.label == "UNION1"
+        assert len(plan.children) == 2
+        assert plan.output_names == ["x"]
+
+    def test_arity_mismatch_rejected(self, datastore):
+        with pytest.raises(PlanError, match="same column count"):
+            plan_query(parse_sql(
+                "SELECT n_name, n_regionkey FROM nation UNION ALL "
+                "SELECT s_name FROM supplier"), datastore.catalog)
+
+    def test_union_has_no_partition_key(self, datastore):
+        from repro.core.correlation import CorrelationAnalysis
+        plan = plan_query(parse_sql(
+            "SELECT n_regionkey AS r FROM nation UNION ALL "
+            "SELECT n_regionkey FROM nation"), datastore.catalog)
+        assert CorrelationAnalysis(plan).pk(plan) is None
+
+
+class TestExecution:
+    def test_basic_union(self, datastore, fresh_namespace):
+        ref = check_modes(
+            "SELECT n_name AS name, n_nationkey AS k FROM nation "
+            "WHERE n_regionkey = 0 UNION ALL "
+            "SELECT s_name, s_suppkey FROM supplier",
+            datastore, fresh_namespace)
+        nations = len([r for r in datastore.table("nation").rows
+                       if r["n_regionkey"] == 0])
+        assert len(ref.rows) == nations + len(datastore.table("supplier"))
+
+    def test_duplicates_preserved(self, datastore, fresh_namespace):
+        ref = check_modes(
+            "SELECT n_regionkey AS r FROM nation UNION ALL "
+            "SELECT n_regionkey FROM nation",
+            datastore, fresh_namespace)
+        assert len(ref.rows) == 2 * len(datastore.table("nation"))
+
+    def test_union_feeding_aggregation(self, datastore, fresh_namespace):
+        check_modes(
+            "SELECT u.k, count(*) AS n FROM "
+            "(SELECT o_custkey AS k FROM orders WHERE o_orderstatus = 'F' "
+            " UNION ALL SELECT c_custkey FROM customer) AS u GROUP BY u.k",
+            datastore, fresh_namespace)
+
+    def test_union_of_aggregations(self, datastore, fresh_namespace):
+        check_modes(
+            "SELECT u.k, u.v FROM "
+            "(SELECT l_orderkey AS k, sum(l_quantity) AS v FROM lineitem "
+            " GROUP BY l_orderkey UNION ALL "
+            " SELECT o_orderkey, o_totalprice FROM orders) AS u "
+            "WHERE u.v > 100",
+            datastore, fresh_namespace)
+
+    def test_union_then_order(self, datastore, fresh_namespace):
+        check_modes(
+            "SELECT r, count(*) AS n FROM "
+            "(SELECT n_regionkey AS r FROM nation UNION ALL "
+            " SELECT n_regionkey FROM nation) AS u "
+            "GROUP BY r ORDER BY n DESC, r",
+            datastore, fresh_namespace)
+
+    def test_same_table_branches_share_one_scan(self, datastore,
+                                                fresh_namespace):
+        """Two branches over the same table become two emit specs on a
+        single map input — one scan, like the self-join optimization."""
+        sql = ("SELECT n_regionkey AS r FROM nation WHERE n_nationkey < 5 "
+               "UNION ALL SELECT n_nationkey FROM nation")
+        tr = translate_sql(sql, mode="ysmart", catalog=datastore.catalog,
+                           namespace=fresh_namespace)
+        runs = run_jobs(tr.jobs, datastore)
+        nation_bytes = datastore.table("nation").estimated_bytes()
+        assert runs[0].counters.input_bytes["nation"] == nation_bytes

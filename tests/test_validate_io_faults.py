@@ -1,0 +1,211 @@
+"""Tests for the plan validator, table I/O, and the fault model."""
+
+import math
+import os
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.data import (
+    Datastore,
+    Table,
+    generate_tpch,
+    load_datastore,
+    read_table,
+    save_datastore,
+    write_table,
+)
+from repro.data.tpch import TpchConfig
+from repro.errors import CatalogError, ConfigError, DataGenError, PlanError
+from repro.hadoop import (
+    FaultModel,
+    HadoopCostModel,
+    expected_pipelined_time,
+    materialization_advantage,
+    materialized_phase_time,
+    small_cluster,
+)
+from repro.plan import plan_query, validate_plan
+from repro.plan.nodes import Filter, JoinNode, OutputCol, Project, ScanNode
+from repro.sqlparser.ast import BinaryOp, ColumnRef, Literal
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+
+
+class TestValidator:
+    @pytest.mark.parametrize("name", ["q17", "q18", "q21", "q_csa", "q_agg"])
+    def test_paper_plans_validate(self, name):
+        plan = plan_query(parse_sql(paper_queries()[name]),
+                          standard_catalog())
+        validate_plan(plan)  # raises on failure
+
+    def _scan(self):
+        scan = ScanNode("t", "t", 0, ["a", "b"])
+        scan.label = "SCAN1"
+        return scan
+
+    def test_unlabeled_rejected(self):
+        scan = ScanNode("t", "t", 0, ["a"])
+        with pytest.raises(PlanError, match="no label"):
+            validate_plan(scan)
+
+    def test_bad_filter_reference(self):
+        scan = self._scan()
+        scan.add_filter(BinaryOp(">", ColumnRef(None, "t.zz"), Literal(1)))
+        with pytest.raises(PlanError, match="unknown columns"):
+            validate_plan(scan)
+
+    def test_bad_projection_reference(self):
+        scan = self._scan()
+        scan.add_project([OutputCol("x", ColumnRef(None, "nope"))])
+        with pytest.raises(PlanError, match="unknown columns"):
+            validate_plan(scan)
+
+    def test_duplicate_projection_name(self):
+        scan = self._scan()
+        scan.add_project([OutputCol("x", ColumnRef(None, "t.a")),
+                          OutputCol("x", ColumnRef(None, "t.b"))])
+        with pytest.raises(PlanError, match="duplicate output"):
+            validate_plan(scan)
+
+    def test_stage_order_matters(self):
+        """A filter placed after a renaming projection must reference the
+        new names, not the raw ones."""
+        scan = self._scan()
+        scan.add_project([OutputCol("x", ColumnRef(None, "t.a"))])
+        scan.add_filter(BinaryOp(">", ColumnRef(None, "t.a"), Literal(1)))
+        with pytest.raises(PlanError, match="unknown columns"):
+            validate_plan(scan)
+
+    def test_bad_join_keys(self):
+        left = ScanNode("t", "l", 0, ["a"])
+        right = ScanNode("u", "r", 0, ["b"])
+        join = JoinNode(left, right, "inner", ["l.zz"], ["r.b"])
+        left.label, right.label, join.label = "SCAN1", "SCAN2", "JOIN1"
+        with pytest.raises(PlanError, match="join keys missing"):
+            validate_plan(join)
+
+    def test_overlapping_children_rejected(self):
+        left = ScanNode("t", "x", 0, ["a"])
+        right = ScanNode("u", "x", 0, ["a"])  # same alias -> same names
+        join = JoinNode(left, right, "inner", ["x.a"], ["x.a"])
+        left.label, right.label, join.label = "SCAN1", "SCAN2", "JOIN1"
+        with pytest.raises(PlanError, match="overlap"):
+            validate_plan(join)
+
+
+class TestTableIO:
+    @pytest.fixture
+    def schema(self):
+        return Schema.of(("k", T.INT), ("name", T.STRING), ("x", T.FLOAT),
+                         ("d", T.DATE), ("ts", T.TIMESTAMP))
+
+    def test_roundtrip_with_nulls(self, tmp_path, schema):
+        rows = [
+            {"k": 1, "name": "alpha", "x": 1.5, "d": "1997-01-01",
+             "ts": 1000},
+            {"k": 2, "name": None, "x": None, "d": None, "ts": None},
+        ]
+        table = Table("t", schema, rows)
+        path = str(tmp_path / "t.tbl")
+        assert write_table(table, path) == 2
+        back = read_table(path, "t", schema)
+        assert back.rows == rows
+
+    def test_types_restored(self, tmp_path, schema):
+        table = Table("t", schema, [
+            {"k": 7, "name": "x", "x": 2.0, "d": "1999-09-09", "ts": 5}])
+        path = str(tmp_path / "t.tbl")
+        write_table(table, path)
+        row = read_table(path, "t", schema).rows[0]
+        assert isinstance(row["k"], int)
+        assert isinstance(row["x"], float)
+        assert isinstance(row["d"], str)
+        assert isinstance(row["ts"], int)
+
+    def test_delimiter_in_value_rejected(self, tmp_path, schema):
+        table = Table("t", schema, [
+            {"k": 1, "name": "has|pipe", "x": 0.0, "d": "x", "ts": 0}])
+        with pytest.raises(DataGenError, match="delimiter"):
+            write_table(table, str(tmp_path / "bad.tbl"))
+
+    def test_field_count_mismatch(self, tmp_path, schema):
+        path = str(tmp_path / "corrupt.tbl")
+        with open(path, "w") as f:
+            f.write("1|only-two\n")
+        with pytest.raises(CatalogError, match="expected 5 fields"):
+            read_table(path, "t", schema)
+
+    def test_save_and_load_datastore(self, tmp_path):
+        ds = Datastore(standard_catalog())
+        for table in generate_tpch(TpchConfig(scale_factor=0.0003)).values():
+            ds.load_table(table)
+        directory = str(tmp_path / "snapshot")
+        names = save_datastore(ds, directory, tables=["nation", "supplier"])
+        assert names == ["nation", "supplier"]
+        assert os.path.exists(os.path.join(directory, "nation.tbl"))
+
+        loaded = load_datastore(directory)
+        assert loaded.table("nation").rows == ds.table("nation").rows
+        assert loaded.table("supplier").rows == ds.table("supplier").rows
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(DataGenError, match="manifest"):
+            load_datastore(str(tmp_path))
+
+    def test_loaded_data_runs_queries(self, tmp_path):
+        """A persisted workload answers queries identically."""
+        from repro.refexec import run_reference
+        ds = Datastore(standard_catalog())
+        for table in generate_tpch(TpchConfig(scale_factor=0.0005)).values():
+            ds.load_table(table)
+        directory = str(tmp_path / "snap")
+        save_datastore(ds, directory)
+        loaded = load_datastore(directory, Datastore(standard_catalog()))
+        sql = paper_queries()["q17"]
+        a = run_reference(plan_query(parse_sql(sql), ds.catalog), ds)
+        b = run_reference(plan_query(parse_sql(sql), loaded.catalog), loaded)
+        assert a.rows == b.rows
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultModel(task_failure_prob=1.0)
+        with pytest.raises(ConfigError):
+            FaultModel(task_failure_prob=-0.1)
+        with pytest.raises(ConfigError):
+            FaultModel(detect_latency_s=-1)
+
+    def test_zero_failures_identity(self):
+        fm = FaultModel(task_failure_prob=0.0)
+        assert materialized_phase_time(100, 50, 10, fm) == 100
+        assert expected_pipelined_time(100, 50, fm) == 100
+
+    def test_materialized_overhead_grows_with_p(self):
+        t1 = materialized_phase_time(
+            100, 50, 10, FaultModel(task_failure_prob=0.01))
+        t2 = materialized_phase_time(
+            100, 50, 10, FaultModel(task_failure_prob=0.05))
+        assert 100 < t1 < t2
+
+    def test_pipelined_explodes_with_tasks(self):
+        fm = FaultModel(task_failure_prob=0.01)
+        small = materialization_advantage(100, 10, 10, fm)
+        large = materialization_advantage(100, 2000, 10, fm)
+        assert small < 2
+        assert large > 100  # materialization is the only viable design
+
+    def test_pipelined_inf_at_extreme(self):
+        fm = FaultModel(task_failure_prob=0.5)
+        assert math.isinf(expected_pipelined_time(100, 10_000, fm))
+
+    def test_cost_model_integration(self):
+        from tests.test_costmodel import counters
+        base = small_cluster(data_scale=100)
+        faulty = base.with_faults(FaultModel(task_failure_prob=0.05))
+        c = counters()
+        t_base = HadoopCostModel(base).job_timing(c).total_s
+        t_faulty = HadoopCostModel(faulty).job_timing(c).total_s
+        assert t_faulty > t_base
