@@ -1,0 +1,30 @@
+"""Execution-runtime parallelism: serial vs 2/4/8-worker wall-clock.
+
+Measures the task-based runtime itself (real elapsed time, not the
+simulated cluster model) on the two interesting schedule shapes: Q21's
+linear five-job chain (task-level parallelism only) and a three-report
+batch with no cross-job dependencies (whole jobs overlap).  The
+regenerated table rides on ``benchmark.extra_info`` like every other
+experiment, so ``repro.bench.reporting`` can save and diff it.
+"""
+
+from benchmarks.conftest import attach
+from repro.bench import runtime_parallel
+
+
+def test_runtime_parallel(benchmark, workload):
+    result = benchmark.pedantic(
+        runtime_parallel, args=(workload,), rounds=1, iterations=1)
+    attach(benchmark, result)
+
+    assert len(result.rows) == 8
+    # The load-bearing invariant: every worker count reproduced the
+    # serial rows exactly.
+    assert all(row["identical"] for row in result.rows)
+    # The batch really scheduled its three independent jobs in one wave.
+    widths = {row["max_wave_width"] for row in
+              result.by(workload="3-report batch") if row["workers"] > 1}
+    assert widths == {3}
+    # Q21's chain is linear: one job per wave regardless of workers.
+    assert all(row["max_wave_width"] == 1 for row in result.by(
+        workload="q21"))

@@ -1,0 +1,67 @@
+"""Micro-benchmark for the shuffle-partitioning hot path.
+
+``stable_hash`` runs once per map-output pair, and shuffle keys repeat
+heavily (one entry per record, a few thousand distinct keys).  The
+optimized implementation formats the key's components straight into one
+delimited buffer — no intermediate ``repr(tuple)`` — and memoizes the
+crc32 behind an LRU cache, so a repeated key costs a dict hit.
+
+This module benchmarks the shipped implementation against the
+historical one on a realistic repeated-key distribution and prints the
+ratio.  No hard speedup assertion (machine-dependent); correctness —
+determinism, NULL handling — is asserted here and in
+``tests/test_runtime.py``.
+"""
+
+import zlib
+
+from repro.mr import stable_hash
+
+
+def _legacy_stable_hash(key):
+    """The pre-optimization implementation: repr the whole tuple."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def _workload():
+    """~60k lookups over ~3k distinct keys, mixing the key shapes the
+    translator emits: int singletons, (int, str) join keys, and
+    composite keys with NULLs."""
+    keys = []
+    for i in range(1000):
+        keys.append((i,))
+        keys.append((i % 500, f"supplier#{i % 250:05d}"))
+        keys.append((None if i % 97 == 0 else i % 400, i % 7, "URGENT"))
+    return keys * 20
+
+
+KEYS = _workload()
+
+
+def _hash_all(fn):
+    total = 0
+    for key in KEYS:
+        total ^= fn(key)
+    return total
+
+
+def test_stable_hash_optimized(benchmark):
+    stable_hash.cache_clear()
+    checksum = benchmark(_hash_all, stable_hash)
+    benchmark.extra_info["keys"] = len(KEYS)
+    benchmark.extra_info["checksum"] = checksum
+
+
+def test_stable_hash_legacy_baseline(benchmark):
+    checksum = benchmark(_hash_all, _legacy_stable_hash)
+    benchmark.extra_info["keys"] = len(KEYS)
+    benchmark.extra_info["checksum"] = checksum
+
+
+def test_cached_hash_is_deterministic():
+    stable_hash.cache_clear()
+    cold = [stable_hash(k) for k in KEYS[:3000]]
+    warm = [stable_hash(k) for k in KEYS[:3000]]
+    assert cold == warm
+    stable_hash.cache_clear()
+    assert [stable_hash(k) for k in KEYS[:3000]] == cold

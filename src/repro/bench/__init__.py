@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig12_facebook_q17,
     fig13_facebook_q18_q21,
     run_all,
+    runtime_parallel,
     standard_workload,
     table_job_counts,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "fig12_facebook_q17",
     "fig13_facebook_q18_q21",
     "run_all",
+    "runtime_parallel",
     "standard_workload",
     "table_job_counts",
 ]

@@ -357,6 +357,84 @@ def table_job_counts(workload: Optional[Workload] = None) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# Runtime parallelism: real wall-clock of the task-based executor
+# ---------------------------------------------------------------------------
+
+#: Three independent reports over ``lineitem`` — a batch whose jobs have
+#: no data dependencies, so the runtime can overlap whole jobs (the
+#: job-level parallelism case; Q21's linear chain covers the task-level
+#: case).
+RUNTIME_BATCH_REPORTS = {
+    "waiting_suppliers": Q21_SUBTREE_SQL,
+    "order_sizes": ("SELECT l_orderkey, count(*) AS lines, "
+                    "sum(l_quantity) AS qty FROM lineitem "
+                    "GROUP BY l_orderkey"),
+    "late_lines": ("SELECT l_orderkey, count(*) AS late FROM lineitem "
+                   "WHERE l_receiptdate > l_commitdate "
+                   "GROUP BY l_orderkey"),
+}
+
+
+def runtime_parallel(workload: Optional[Workload] = None) -> ExperimentResult:
+    """Serial vs 2/4/8-worker wall-clock of the execution runtime.
+
+    Unlike the ``fig*`` experiments this measures REAL elapsed time of
+    the in-process engine, not simulated cluster time.  Python threads
+    share the GIL, so the interesting outputs are the schedule (wave
+    width) and the invariant column — ``identical`` must be True
+    everywhere — rather than large speedups.
+    """
+    import time
+
+    from repro.core.batch import run_batch, translate_batch
+    from repro.core.translator import translate_sql
+
+    w = workload or standard_workload()
+    ds = w.datastore
+    result = ExperimentResult(
+        "runtime-parallel",
+        "Task runtime wall-clock: serial vs parallel executors on Q21 "
+        "(linear 5-job chain) and a 3-report batch (independent jobs)",
+        ["workload", "workers", "wall_ms", "speedup_x", "max_wave_width",
+         "identical"])
+
+    q21 = translate_sql(paper_queries()["q21"], catalog=ds.catalog,
+                        namespace="rtpar.q21")
+    batch = translate_batch(RUNTIME_BATCH_REPORTS, catalog=ds.catalog,
+                            namespace="rtpar.batch",
+                            share_across_queries=False)
+
+    def run_q21(workers):
+        start = time.perf_counter()
+        res = run_translation(q21, ds, parallelism=workers,
+                              keep_trace=workers > 1)
+        return time.perf_counter() - start, res.rows, res.trace
+
+    def run_reports(workers):
+        start = time.perf_counter()
+        res = run_batch(batch, ds, parallelism=workers,
+                        keep_trace=workers > 1)
+        return time.perf_counter() - start, res.rows, res.trace
+
+    for label, runner in (("q21", run_q21), ("3-report batch", run_reports)):
+        baseline_s, baseline_rows, _ = runner(1)
+        for workers in (1, 2, 4, 8):
+            wall_s, rows, trace = runner(workers)
+            result.rows.append({
+                "workload": label,
+                "workers": workers,
+                "wall_ms": round(wall_s * 1000, 1),
+                "speedup_x": round(baseline_s / wall_s, 2) if wall_s else "",
+                "max_wave_width": trace.max_wave_width if trace else 1,
+                "identical": rows == baseline_rows})
+    result.notes.append(
+        "wall_ms is real in-process time (threads share the GIL; the "
+        "runtime exists for schedule fidelity and the serial==parallel "
+        "invariant, which the `identical` column asserts).")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "fig2b": fig2_performance_gap,
     "fig9": fig9_q21_breakdown,
@@ -365,6 +443,7 @@ ALL_EXPERIMENTS = {
     "fig12": fig12_facebook_q17,
     "fig13": fig13_facebook_q18_q21,
     "job-counts": table_job_counts,
+    "runtime-parallel": runtime_parallel,
 }
 
 

@@ -95,8 +95,13 @@ def cmd_run(args) -> int:
         cluster = CLUSTERS[args.cluster](scale)
 
     result = run_query(args.sql, ds, mode=args.mode, cluster=cluster,
-                       namespace="cli")
-    print(f"mode={args.mode} jobs={result.job_count}")
+                       namespace="cli", parallelism=args.parallel,
+                       keep_trace=args.parallel > 1)
+    workers = f" workers={args.parallel}" if args.parallel > 1 else ""
+    print(f"mode={args.mode} jobs={result.job_count}{workers}")
+    if result.trace is not None and result.trace.max_wave_width > 1:
+        waves = " | ".join(",".join(w) for w in result.trace.waves)
+        print(f"schedule waves: {waves}")
     if result.timing is not None:
         print(f"simulated time on {result.timing.cluster}: "
               f"{result.timing.total_s:.1f}s")
@@ -179,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="model the generated data as this many GB")
     p.add_argument("--limit", type=int, default=20,
                    help="result rows to print")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="execution-runtime workers: independent jobs and "
+                        "their map/reduce tasks run concurrently "
+                        "(results are identical to serial)")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
 

@@ -40,8 +40,8 @@ from repro.core.jobgen import (
 from repro.data.datastore import Datastore
 from repro.data.table import Row
 from repro.errors import TranslationError
-from repro.mr.engine import MapReduceEngine
 from repro.mr.job import MRJob
+from repro.mr.runtime import Runtime, job_spec_dependencies, make_executor
 from repro.plan.nodes import PlanNode
 from repro.plan.planner import Planner
 from repro.sqlparser.parser import parse_sql
@@ -59,6 +59,9 @@ class BatchTranslation:
     result_datasets: Dict[str, str]
     #: query id -> [(qualified_column, bare_column)] in select order
     output_columns: Dict[str, List[Tuple[str, str]]]
+    #: job_id → prerequisite job ids (the DAG the runtime overlaps on —
+    #: for a batch, jobs of *different* queries are typically independent)
+    dag_edges: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def job_count(self) -> int:
@@ -131,6 +134,7 @@ def translate_batch(queries: Mapping[str, str],
         result_datasets={qid: result_names[id(root)]
                          for root, qid in zip(roots, ids)},
         output_columns=output_columns,
+        dag_edges=job_spec_dependencies(jobs),
     )
 
 
@@ -169,15 +173,27 @@ class BatchRunResult:
     translation: BatchTranslation
     runs: list
     rows: Dict[str, List[Row]] = field(default_factory=dict)
+    #: the runtime's schedule (waves, batches) when tracing was on
+    trace: Optional[object] = None
 
 
 def run_batch(translation: BatchTranslation,
-              datastore: Datastore) -> BatchRunResult:
-    """Execute a batch translation and collect each query's result."""
-    engine = MapReduceEngine(datastore)
-    runs = engine.run_jobs(translation.jobs)
+              datastore: Datastore,
+              parallelism: int = 1,
+              keep_trace: bool = False) -> BatchRunResult:
+    """Execute a batch translation and collect each query's result.
+
+    ``parallelism`` > 1 runs independent jobs (typically whole sibling
+    queries of the batch) and their tasks concurrently on a thread pool;
+    rows and counters are identical to the serial schedule.
+    """
+    runtime = Runtime(datastore, executor=make_executor(parallelism),
+                      keep_trace=keep_trace)
+    runs = runtime.run_jobs(translation.jobs,
+                            dependencies=translation.dag_edges or None)
     rows = {}
     for qid, dataset in translation.result_datasets.items():
         table = datastore.intermediate(dataset)
         rows[qid] = translation.bare_rows(qid, table.rows)
-    return BatchRunResult(translation=translation, runs=runs, rows=rows)
+    return BatchRunResult(translation=translation, runs=runs, rows=rows,
+                          trace=runtime.trace)

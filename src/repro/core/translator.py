@@ -28,6 +28,7 @@ from repro.core.jobgen import JobGraph, generate_job_graph
 from repro.errors import TranslationError
 from repro.mr.job import MRJob
 from repro.mr.kv import TagPolicy
+from repro.mr.runtime import job_spec_dependencies
 from repro.plan.nodes import PlanNode
 from repro.plan.planner import plan_query
 from repro.sqlparser.parser import parse_sql
@@ -49,10 +50,21 @@ class Translation:
     #: cost-model multiplier on intermediate/shuffle bytes (Pig's fatter
     #: tuple encoding; 1.0 elsewhere)
     intermediate_inflation: float = 1.0
+    #: job_id → prerequisite job ids — the inter-job dependency DAG the
+    #: execution runtime uses to overlap independent jobs (None for
+    #: hand-built translations; derived lazily from the dataset names)
+    dag_edges: Optional[Dict[str, List[str]]] = None
 
     @property
     def job_count(self) -> int:
         return len(self.jobs)
+
+    def dependencies(self) -> Dict[str, List[str]]:
+        """The inter-job DAG (emitted at translation time, or derived
+        from the job specs' dataset names on first use)."""
+        if self.dag_edges is None:
+            self.dag_edges = job_spec_dependencies(self.jobs)
+        return self.dag_edges
 
     def describe(self) -> str:
         lines = [f"mode={self.mode} jobs={self.job_count}"]
@@ -130,6 +142,7 @@ def translate_plan(plan: PlanNode, mode: str = "ysmart",
         output_columns=list(graph.root.output_names),
         intermediate_inflation=(PIG_INTERMEDIATE_INFLATION
                                 if mode == "pig" else 1.0),
+        dag_edges=job_spec_dependencies(jobs),
     )
 
 

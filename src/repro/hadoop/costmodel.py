@@ -143,9 +143,14 @@ class HadoopCostModel:
                        / cfg.shuffle_bandwidth)
         # Key-skew straggler bound: the phase cannot finish before the
         # most loaded reduce task does (its share of records approximates
-        # its share of the phase's work).
+        # its share of the phase's work).  The task runtime reports the
+        # measured per-task loads; fall back to the scalar max for
+        # counters built by hand or loaded from old recordings.
         reduce_work = reduce_read_s + reduce_cpu_s + write_s
-        skew_share = (c.reduce_max_task_records / c.reduce_input_records
+        max_task_records = (max(c.reduce_task_records)
+                            if c.reduce_task_records
+                            else c.reduce_max_task_records)
+        skew_share = (max_task_records / c.reduce_input_records
                       if c.reduce_input_records else 0.0)
         reduce_s = (max(reduce_work / reduce_parallel,
                         reduce_work * skew_share)

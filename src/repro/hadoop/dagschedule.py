@@ -14,6 +14,11 @@ visible in ``benchmarks/bench_ablations.py`` — is "some, but not the
 mechanism": overlap hides startup latency of sibling jobs, but the
 redundant scans, shuffles, and materializations still burn the same
 cluster resources, and YSmart still wins.
+
+The same DAG also drives *real* execution now: the task runtime
+(:mod:`repro.mr.runtime`) schedules independent jobs of a chain in
+concurrent waves using :func:`~repro.mr.runtime.job_spec_dependencies`,
+the spec-level twin of :func:`job_dependencies` below.
 """
 
 from __future__ import annotations
@@ -55,6 +60,16 @@ class DagTiming:
     def overlap_speedup(self) -> float:
         """How much the DAG schedule gains over sequential submission."""
         return self.sequential_s / self.total_s if self.total_s else 1.0
+
+
+def spec_dependencies(jobs) -> Dict[str, List[str]]:
+    """job_id → producer job ids, derived from a list of job *specs*.
+
+    Delegates to the runtime's derivation so the what-if schedule here
+    and the real concurrent execution agree on the DAG by construction.
+    """
+    from repro.mr.runtime import job_spec_dependencies
+    return job_spec_dependencies(jobs)
 
 
 def job_dependencies(runs: Sequence[JobRun],

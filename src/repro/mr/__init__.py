@@ -1,7 +1,22 @@
-"""MapReduce engine: job specs, counters, shuffle, execution."""
+"""MapReduce engine: job specs, counters, task graphs, execution runtime."""
 
 from repro.mr.counters import JobCounters, JobRun, total_counter
 from repro.mr.engine import MapReduceEngine, run_jobs, stable_hash
+from repro.mr.runtime import (
+    ParallelExecutor,
+    Runtime,
+    RuntimeTrace,
+    SerialExecutor,
+    job_spec_dependencies,
+    make_executor,
+)
+from repro.mr.tasks import (
+    InputSplit,
+    JobTaskGraph,
+    MapTask,
+    ReduceTask,
+    TaskCounters,
+)
 from repro.mr.job import (
     EmitSpec,
     MRJob,
@@ -23,18 +38,29 @@ from repro.mr.kv import (
 
 __all__ = [
     "EmitSpec",
+    "InputSplit",
     "JobCounters",
     "JobRun",
+    "JobTaskGraph",
     "Key",
     "MRJob",
     "MapAggSpec",
     "MapInput",
     "MapReduceEngine",
+    "MapTask",
     "OutputSpec",
+    "ParallelExecutor",
+    "ReduceTask",
     "ReducerProtocol",
+    "Runtime",
+    "RuntimeTrace",
+    "SerialExecutor",
     "TagPolicy",
     "TaggedValue",
+    "TaskCounters",
+    "job_spec_dependencies",
     "key_bytes",
+    "make_executor",
     "pair_bytes",
     "rows_bytes",
     "run_jobs",

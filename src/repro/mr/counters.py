@@ -44,6 +44,9 @@ class JobCounters:
     #: records landing on the most loaded reduce task (key-skew straggler;
     #: the cost model serializes at least this share of the reduce work)
     reduce_max_task_records: int = 0
+    #: measured records per executed reduce task, in partition order (the
+    #: task runtime fills this; ``reduce_max_task_records`` is its max)
+    reduce_task_records: List[int] = field(default_factory=list)
     #: CMF dispatch operations (value × interested merged reducers)
     reduce_dispatch_ops: int = 0
     #: reduce compute operations (join pair evaluations, aggregate updates,
@@ -100,6 +103,8 @@ class JobCounters:
             reduce_groups=int(self.reduce_groups * factor),
             reduce_input_records=int(self.reduce_input_records * factor),
             reduce_max_task_records=int(self.reduce_max_task_records * factor),
+            reduce_task_records=[int(v * factor)
+                                 for v in self.reduce_task_records],
             reduce_dispatch_ops=int(self.reduce_dispatch_ops * factor),
             reduce_compute_ops=int(self.reduce_compute_ops * factor),
             output_records=scale_map(self.output_records),

@@ -1,13 +1,14 @@
 """The MapReduce engine: executes :class:`~repro.mr.job.MRJob` specs.
 
-The engine *really runs* each job over real rows — map emission, pair
-merging (shared scans), optional map-side aggregation, partition/sort
-shuffle, and key-group reduction — while measuring the counters the cost
-model converts into simulated cluster time.  The execution is logical
-(one process), but every quantity that determines cluster behaviour is
-measured: records, serialized byte sizes, groups, dispatch operations.
+Historically this module held a monolithic single-threaded executor;
+the execution path now lives in the task runtime —
+:mod:`repro.mr.tasks` decomposes each job into per-split map tasks and
+per-partition reduce tasks, and :mod:`repro.mr.runtime` schedules them
+on a pluggable executor.  :class:`MapReduceEngine` remains the stable
+entry point: a serial runtime with the default decomposition, whose
+rows and counters are byte-identical to the historical engine's.
 
-Semantics notes:
+Semantics (enforced by the task layer):
 
 * Pairs emitted by multiple roles for the same record and key are merged
   into one multi-role pair (the paper's shared-scan / self-join single
@@ -22,218 +23,35 @@ Semantics notes:
 
 from __future__ import annotations
 
-import functools
-import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
-from repro.catalog.schema import Column, Schema
-from repro.catalog.types import ColumnType
 from repro.data.datastore import Datastore
-from repro.data.table import Row, Table
-from repro.errors import ExecutionError
-from repro.expr.aggregates import make_accumulator
 from repro.mr.counters import JobCounters, JobRun
-from repro.mr.job import MRJob, OutputSpec
-from repro.mr.kv import Key, TaggedValue, pair_bytes, rows_bytes
-
-
-def stable_hash(key: Key) -> int:
-    """Deterministic hash of a composite key (crc32 of its repr)."""
-    return zlib.crc32(repr(key).encode("utf-8"))
-
-
-def _order_key(value: object) -> Tuple:
-    """Sortable wrapper for one key component (NULLs first)."""
-    return (value is not None, value)
-
-
-def _compare_keys(a: Key, b: Key, ascending: Sequence[bool]) -> int:
-    for i, (x, y) in enumerate(zip(a, b)):
-        asc = ascending[i] if i < len(ascending) else True
-        kx, ky = _order_key(x), _order_key(y)
-        if kx == ky:
-            continue
-        less = kx < ky
-        if asc:
-            return -1 if less else 1
-        return 1 if less else -1
-    return 0
+from repro.mr.job import MRJob
+from repro.mr.runtime import Runtime, SerialExecutor
+from repro.mr.tasks import stable_hash  # noqa: F401  (stable public API)
 
 
 class MapReduceEngine:
-    """Executes jobs against a datastore, writing outputs as intermediates."""
+    """Executes jobs against a datastore, writing outputs as intermediates.
+
+    A thin serial façade over :class:`~repro.mr.runtime.Runtime`; callers
+    that want task/job parallelism construct a ``Runtime`` with a
+    :class:`~repro.mr.runtime.ParallelExecutor` directly (or pass
+    ``parallelism=`` to the workload runner).
+    """
 
     def __init__(self, datastore: Datastore):
         self.datastore = datastore
-
-    # -- public API -----------------------------------------------------------
+        self._runtime = Runtime(datastore, executor=SerialExecutor())
 
     def run_job(self, job: MRJob) -> JobCounters:
-        job.validate()
-        counters = JobCounters(job_id=job.job_id, name=job.name,
-                               num_reducers=job.num_reducers)
-        pairs = self._map_phase(job, counters)
-        groups = self._shuffle(job, pairs, counters)
-        self._reduce_phase(job, groups, counters)
-        return counters
+        return self._runtime.run_job(job)
 
     def run_jobs(self, jobs: Sequence[MRJob]) -> List[JobRun]:
-        """Run a job chain in order (callers provide topological order)."""
-        runs: List[JobRun] = []
-        for i, job in enumerate(jobs):
-            counters = self.run_job(job)
-            runs.append(JobRun(job.job_id, job.name, counters, order=i))
-        return runs
-
-    # -- map phase ---------------------------------------------------------------
-
-    def _map_phase(self, job: MRJob, counters: JobCounters
-                   ) -> List[Tuple[Key, TaggedValue]]:
-        merged: Dict[Tuple, Dict] = {}
-        emit_order: List[Tuple] = []
-
-        for map_input in job.map_inputs:
-            table = self.datastore.resolve(map_input.dataset)
-            counters.input_bytes[map_input.dataset] = (
-                counters.input_bytes.get(map_input.dataset, 0)
-                + table.estimated_bytes())
-            counters.input_records[map_input.dataset] = (
-                counters.input_records.get(map_input.dataset, 0) + len(table))
-
-            for rec_no, record in enumerate(table.rows):
-                counters.map_eval_ops += len(map_input.specs)
-                for spec in map_input.specs:
-                    emitted = spec.emit(record)
-                    if emitted is None:
-                        continue
-                    key, payload = emitted
-                    # Merge multi-role emissions of the same record+key
-                    # into one pair (shared scan / self-join single scan).
-                    slot = (map_input.dataset, rec_no, key)
-                    entry = merged.get(slot)
-                    if entry is None:
-                        merged[slot] = {"roles": {spec.role}, "payload": payload}
-                        emit_order.append(slot)
-                    else:
-                        entry["roles"].add(spec.role)
-                        entry["payload"].update(payload)
-
-        pairs = [(slot[2], TaggedValue(frozenset(e["roles"]), e["payload"]))
-                 for slot, e in ((s, merged[s]) for s in emit_order)]
-        counters.pre_combine_records = len(pairs)
-
-        if job.map_agg is not None:
-            pairs = self._combine(job, pairs)
-
-        counters.map_output_records = len(pairs)
-        universe = job.role_universe
-        counters.map_output_bytes = sum(
-            pair_bytes(k, v, universe, job.tag_policy) for k, v in pairs)
-        return pairs
-
-    def _combine(self, job: MRJob, pairs: List[Tuple[Key, TaggedValue]]
-                 ) -> List[Tuple[Key, TaggedValue]]:
-        """Map-side hash aggregation: collapse pairs per key into partial
-        accumulator states (only single-role agg jobs configure this)."""
-        agg_specs = job.map_agg.agg_specs
-        partials: Dict[Key, Dict[str, object]] = {}
-        roles: Dict[Key, frozenset] = {}
-        order: List[Key] = []
-        for key, tv in pairs:
-            accs = partials.get(key)
-            if accs is None:
-                accs = {slot: make_accumulator(func, distinct, star)
-                        for slot, (func, distinct, star) in agg_specs.items()}
-                partials[key] = accs
-                roles[key] = tv.roles
-                order.append(key)
-            for slot, acc in accs.items():
-                acc.add(tv.payload.get(slot))
-        out: List[Tuple[Key, TaggedValue]] = []
-        for key in order:
-            payload = {slot: acc.state() for slot, acc in partials[key].items()}
-            out.append((key, TaggedValue(roles[key], payload)))
-        return out
-
-    # -- shuffle ---------------------------------------------------------------------
-
-    def _shuffle(self, job: MRJob, pairs: List[Tuple[Key, TaggedValue]],
-                 counters: JobCounters) -> List[Tuple[Key, List[TaggedValue]]]:
-        by_key: Dict[Key, List[TaggedValue]] = {}
-        for key, value in pairs:
-            by_key.setdefault(key, []).append(value)
-
-        if not by_key and self._wants_default_group(job):
-            by_key[()] = []
-
-        counters.reduce_groups = len(by_key)
-        counters.reduce_input_records = len(pairs)
-
-        keys = list(by_key)
-        if job.sort_output:
-            cmp = functools.cmp_to_key(
-                lambda a, b: _compare_keys(a, b, job.sort_ascending))
-            keys.sort(key=cmp)
-            # Range partitioning: contiguous key chunks per reduce task.
-            if keys:
-                chunk = max(1, -(-len(keys) // job.num_reducers))
-                loads = [sum(len(by_key[k]) for k in keys[i:i + chunk])
-                         for i in range(0, len(keys), chunk)]
-                counters.reduce_max_task_records = max(loads)
-        else:
-            # Hadoop: hash partition, then sort within each partition.
-            partitions: Dict[int, List[Key]] = {}
-            for key in keys:
-                partitions.setdefault(
-                    stable_hash(key) % job.num_reducers, []).append(key)
-            keys = []
-            max_load = 0
-            for pid in sorted(partitions):
-                part = partitions[pid]
-                part.sort(key=lambda k: tuple(_order_key(v) for v in k))
-                keys.extend(part)
-                max_load = max(max_load,
-                               sum(len(by_key[k]) for k in part))
-            counters.reduce_max_task_records = max_load
-
-        return [(k, by_key[k]) for k in keys]
-
-    def _wants_default_group(self, job: MRJob) -> bool:
-        """Grand-aggregate jobs reduce once even on empty input (SQL
-        semantics: a global aggregate over nothing yields one row)."""
-        return getattr(job.reducer, "global_group", False)
-
-    # -- reduce phase -------------------------------------------------------------------
-
-    def _reduce_phase(self, job: MRJob,
-                      groups: List[Tuple[Key, List[TaggedValue]]],
-                      counters: JobCounters) -> None:
-        buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
-        for key, values in groups:
-            results = job.reducer.reduce(key, values)
-            counters.reduce_dispatch_ops += job.reducer.dispatch_ops()
-            counters.reduce_compute_ops += job.reducer.compute_ops()
-            for task_id, rows in results.items():
-                if task_id in buffers and rows:
-                    buffers[task_id].extend(rows)
-
-        for out in job.outputs:
-            rows = buffers[out.task_id]
-            if job.limit is not None:
-                rows = rows[:job.limit]
-            try:
-                # Project to the declared columns so byte accounting never
-                # charges for fields the downstream jobs pruned away.
-                rows = [{c: r[c] for c in out.columns} for r in rows]
-            except KeyError as exc:
-                raise ExecutionError(
-                    f"job {job.job_id} output {out.dataset!r} is missing "
-                    f"column {exc.args[0]!r}") from None
-            schema = Schema(Column(c, ColumnType.ANY) for c in out.columns)
-            table = Table(out.dataset, schema, rows)
-            self.datastore.write_intermediate(out.dataset, table)
-            counters.output_records[out.dataset] = len(rows)
-            counters.output_bytes[out.dataset] = rows_bytes(rows)
+        """Run a job chain (callers provide topological order; the
+        runtime schedules by the dataset-derived dependency DAG)."""
+        return self._runtime.run_jobs(jobs)
 
 
 def run_jobs(jobs: Sequence[MRJob], datastore: Datastore) -> List[JobRun]:

@@ -1,0 +1,313 @@
+"""The execution runtime: pluggable parallel executors over task graphs.
+
+Where :mod:`repro.mr.tasks` defines *what* a job's schedulable units are,
+this module decides *when and where* they run:
+
+* :class:`SerialExecutor` — runs task batches in order on the calling
+  thread (the default; byte-identical to the historical monolithic
+  engine);
+* :class:`ParallelExecutor` — a thread- or process-pool that runs a
+  batch's tasks concurrently.  Thread is the default: translator-emitted
+  jobs carry compiled closures that cannot cross a process boundary
+  (``kind="process"`` raises a clear error for such jobs and exists for
+  hand-built picklable specs and experiments);
+* :class:`Runtime` — schedules a whole job chain.  It derives the
+  inter-job dependency DAG from the dataset names (the same derivation
+  :mod:`repro.hadoop.dagschedule` uses for its what-if timing) and
+  executes the chain in dependency *waves*: every job whose producers
+  have finished is launched in the same wave, and within a wave the map
+  tasks of all jobs form one executor batch, then the reduce tasks of
+  all jobs form another.  Independent jobs of a query — or of a
+  batch-translated multi-query plan — therefore really run concurrently,
+  task-interleaved, while all scheduling decisions stay on the caller's
+  thread (no nested pool submission, no deadlock).
+
+Determinism: batches are ordered (submission order = job order within
+the wave, then task order within the job) and results are collected by
+index, so rows, counters, and intermediate datasets are identical for
+every executor.  The :class:`RuntimeTrace` records the schedule — waves,
+batch composition, and task start/finish events — so tests and benches
+can observe the concurrency without racing on wall-clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.data.datastore import Datastore
+from repro.errors import ExecutionError
+from repro.mr.counters import JobCounters, JobRun
+from repro.mr.job import MRJob
+from repro.mr.tasks import JobTaskGraph
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class SerialExecutor:
+    """Run every task of a batch in order on the calling thread."""
+
+    name = "serial"
+    max_workers = 1
+
+    def run_all(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
+        return [thunk() for thunk in thunks]
+
+
+def _call(thunk):
+    return thunk()
+
+
+class ParallelExecutor:
+    """Run each batch's tasks on a thread or process pool.
+
+    ``kind="thread"`` (default) suits the translator-emitted jobs, whose
+    emit specs and reducers are closures; the map/reduce tasks release
+    the GIL around nothing in particular, but independent jobs and
+    partitions still overlap their pure-Python work across waves of
+    blocking points and, more importantly, keep the runtime's scheduling
+    semantics identical to a real cluster's.  ``kind="process"``
+    requires every task to be picklable.
+    """
+
+    def __init__(self, max_workers: int = 4, kind: str = "thread"):
+        if max_workers < 1:
+            raise ExecutionError(
+                f"ParallelExecutor needs max_workers >= 1, got {max_workers}")
+        if kind not in ("thread", "process"):
+            raise ExecutionError(
+                f"unknown executor kind {kind!r}; pick 'thread' or 'process'")
+        self.max_workers = max_workers
+        self.kind = kind
+        self.name = f"{kind}x{max_workers}"
+
+    def run_all(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
+        if len(thunks) <= 1 or self.max_workers == 1:
+            return [thunk() for thunk in thunks]
+        workers = min(self.max_workers, len(thunks))
+        if self.kind == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_call, thunks))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_call, thunks))
+        except (TypeError, AttributeError, ImportError) as exc:
+            raise ExecutionError(
+                "process executor could not pickle a task (translator-"
+                "emitted jobs carry closures; use kind='thread' for them): "
+                f"{exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Trace
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskEvent:
+    """One task's start or finish, in global observation order."""
+
+    seq: int
+    wave: int
+    job_id: str
+    task_id: str
+    kind: str        # "map" | "reduce"
+    phase: str       # "start" | "finish"
+    worker: str = ""
+
+
+@dataclass
+class RuntimeTrace:
+    """What the runtime scheduled: waves, batches, and task events.
+
+    ``waves`` and ``batches`` are deterministic (they record scheduling
+    *decisions*); ``events`` record the actual interleaving and are only
+    deterministic under the serial executor.
+    """
+
+    #: job ids launched together, one list per dependency wave
+    waves: List[List[str]] = field(default_factory=list)
+    #: (wave, phase-kind, [(job_id, task_id), ...]) per executor batch
+    batches: List[Tuple[int, str, List[Tuple[str, str]]]] = \
+        field(default_factory=list)
+    events: List[TaskEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_event(self, wave: int, job_id: str, task_id: str,
+                     kind: str, phase: str) -> None:
+        with self._lock:
+            self.events.append(TaskEvent(
+                seq=len(self.events), wave=wave, job_id=job_id,
+                task_id=task_id, kind=kind, phase=phase,
+                worker=threading.current_thread().name))
+
+    # -- inspection helpers -------------------------------------------------
+
+    @property
+    def max_wave_width(self) -> int:
+        """The widest wave: how many jobs ran concurrently."""
+        return max((len(w) for w in self.waves), default=0)
+
+    def concurrent_job_batches(self) -> List[Tuple[int, str, List[str]]]:
+        """Batches that interleaved tasks from more than one job."""
+        out = []
+        for wave, kind, tasks in self.batches:
+            jobs = sorted({job_id for job_id, _ in tasks})
+            if len(jobs) > 1:
+                out.append((wave, kind, jobs))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The runtime
+# ---------------------------------------------------------------------------
+
+def job_spec_dependencies(jobs: Sequence[MRJob]) -> Dict[str, List[str]]:
+    """job_id → ids of the jobs in ``jobs`` producing its inputs.
+
+    The same dataset-name derivation :func:`repro.hadoop.dagschedule.
+    job_dependencies` applies to measured runs, here applied to the
+    specs before execution so the runtime can overlap independent jobs.
+    """
+    producer: Dict[str, str] = {}
+    for job in jobs:
+        for dataset in job.output_datasets:
+            producer[dataset] = job.job_id
+    deps: Dict[str, List[str]] = {}
+    for job in jobs:
+        wanted = {producer[d] for d in job.input_datasets
+                  if d in producer and producer[d] != job.job_id}
+        deps[job.job_id] = sorted(wanted)
+    return deps
+
+
+class Runtime:
+    """Executes job chains as task graphs on a pluggable executor.
+
+    ``split_rows`` bounds map-task size (None = one split per input,
+    matching the historical engine's counters exactly); it is part of
+    the decomposition, not the executor, so changing the executor never
+    changes rows or counters.
+    """
+
+    def __init__(self, datastore: Datastore,
+                 executor: Optional[object] = None,
+                 split_rows: Optional[int] = None,
+                 keep_trace: bool = False):
+        self.datastore = datastore
+        self.executor = executor or SerialExecutor()
+        self.split_rows = split_rows
+        self.trace: Optional[RuntimeTrace] = \
+            RuntimeTrace() if keep_trace else None
+
+    # -- public API --------------------------------------------------------
+
+    def run_job(self, job: MRJob) -> JobCounters:
+        """Execute one job (its map and reduce tasks may still run in
+        parallel on the configured executor)."""
+        return self._run_wave([job], wave=len(self.trace.waves)
+                              if self.trace else 0)[job.job_id]
+
+    def run_jobs(self, jobs: Sequence[MRJob],
+                 dependencies: Optional[Dict[str, List[str]]] = None
+                 ) -> List[JobRun]:
+        """Execute a job chain in dependency waves.
+
+        ``dependencies`` (job_id → prerequisite job ids) defaults to the
+        dataset-derived DAG; translations pass their own emitted edges.
+        Returned runs are in submission order regardless of schedule.
+        """
+        if dependencies is None:
+            dependencies = job_spec_dependencies(jobs)
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            raise ExecutionError(f"duplicate job ids in chain: {ids}")
+        unknown = {d for deps in dependencies.values() for d in deps} \
+            - set(ids)
+        if unknown:
+            raise ExecutionError(
+                f"dependencies name unknown jobs: {sorted(unknown)}")
+
+        counters: Dict[str, JobCounters] = {}
+        pending = list(jobs)
+        wave = len(self.trace.waves) if self.trace else 0
+        while pending:
+            ready = [job for job in pending
+                     if all(dep in counters
+                            for dep in dependencies.get(job.job_id, ()))]
+            if not ready:
+                stuck = [job.job_id for job in pending]
+                raise ExecutionError(
+                    f"job dependency cycle or missing producer among {stuck}")
+            counters.update(self._run_wave(ready, wave))
+            done = {job.job_id for job in ready}
+            pending = [job for job in pending if job.job_id not in done]
+            wave += 1
+
+        return [JobRun(job.job_id, job.name, counters[job.job_id], order=i)
+                for i, job in enumerate(jobs)]
+
+    # -- wave execution ----------------------------------------------------
+
+    def _run_wave(self, jobs: Sequence[MRJob],
+                  wave: int) -> Dict[str, JobCounters]:
+        """Run independent jobs concurrently, phase-batched: all their
+        map tasks in one executor batch, then all their reduce tasks.
+        Shuffle and output writes stay on the scheduler thread."""
+        if self.trace is not None:
+            self.trace.waves.append([job.job_id for job in jobs])
+        graphs = [JobTaskGraph(job, self.datastore, self.split_rows)
+                  for job in jobs]
+
+        map_tasks = [(graph, task) for graph in graphs
+                     for task in graph.map_tasks]
+        map_results = self._run_batch(wave, "map", map_tasks)
+
+        reduce_tasks = []
+        offset = 0
+        for graph in graphs:
+            n = len(graph.map_tasks)
+            for task in graph.shuffle(map_results[offset:offset + n]):
+                reduce_tasks.append((graph, task))
+            offset += n
+        reduce_results = self._run_batch(wave, "reduce", reduce_tasks)
+
+        out: Dict[str, JobCounters] = {}
+        for graph in graphs:
+            results = [r for (g, _), r in zip(reduce_tasks, reduce_results)
+                       if g is graph]
+            out[graph.job.job_id] = graph.finalize(results)
+        return out
+
+    def _run_batch(self, wave: int, kind: str, tasks) -> List[object]:
+        if self.trace is not None and tasks:
+            self.trace.batches.append((
+                wave, kind,
+                [(graph.job.job_id, task.task_id) for graph, task in tasks]))
+        thunks = [self._thunk(wave, kind, graph, task)
+                  for graph, task in tasks]
+        return self.executor.run_all(thunks)
+
+    def _thunk(self, wave, kind, graph, task):
+        if self.trace is None:
+            return task.run
+        trace = self.trace
+
+        def run():
+            trace.record_event(wave, graph.job.job_id, task.task_id,
+                               kind, "start")
+            result = task.run()
+            trace.record_event(wave, graph.job.job_id, task.task_id,
+                               kind, "finish")
+            return result
+        return run
+
+
+def make_executor(parallelism: int = 1, kind: str = "thread"):
+    """The executor for a requested degree of parallelism (1 = serial)."""
+    if parallelism <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(max_workers=parallelism, kind=kind)

@@ -1,0 +1,437 @@
+"""Task decomposition: one :class:`~repro.mr.job.MRJob` → schedulable tasks.
+
+This is the unit-of-work layer under the execution runtime
+(:mod:`repro.mr.runtime`).  A job is decomposed exactly the way Hadoop
+decomposes it:
+
+* one :class:`MapTask` per input split (a contiguous row range of one
+  map input) — each task streams its split's records through the job's
+  emit specs, merges multi-role emissions per record (the paper's shared
+  scan), runs the map-side combiner over its own output when configured,
+  and partitions the result into per-reducer shuffle buffers;
+* one :class:`ReduceTask` per non-empty reduce partition — hash
+  partitions for normal jobs, contiguous key ranges for ``sort_output``
+  jobs (Hadoop's TotalOrderPartitioner; we compute exact split points at
+  shuffle time where Hadoop samples them up front);
+* a :class:`JobTaskGraph` that plans the tasks, builds the shuffle, and
+  folds every task's :class:`TaskCounters` into one
+  :class:`~repro.mr.counters.JobCounters`.
+
+Decomposition is a function of the job and the ``split_rows`` setting
+only — never of the executor — so serial and parallel execution of the
+same graph produce byte-identical rows and counters by construction.
+With the default ``split_rows=None`` each map input is a single split
+and the aggregated counters equal the historical monolithic engine's.
+
+Semantics notes (inherited from the monolithic engine):
+
+* Pairs emitted by multiple roles for the same record and key are merged
+  into one multi-role pair (paper Sec. V-A); the merge is per-record, so
+  split boundaries never affect it.
+* Partitioning uses a stable hash (crc32) so runs are deterministic.
+* SQL NULL inside keys sorts before everything else and hashes stably.
+* The combiner runs per map task (as in Hadoop).  With multiple splits
+  per dataset it may therefore emit more pairs than a whole-input
+  combine would — but the same pairs for every executor, and reduce
+  merges the partial states either way.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import ColumnType
+from repro.data.datastore import Datastore
+from repro.data.table import Row, Table
+from repro.errors import ExecutionError
+from repro.expr.aggregates import make_accumulator
+from repro.mr.counters import JobCounters
+from repro.mr.job import MRJob, MapInput
+from repro.mr.kv import Key, TaggedValue, pair_bytes, rows_bytes
+
+
+@functools.lru_cache(maxsize=65536)
+def stable_hash(key: Key) -> int:
+    """Deterministic hash of a composite key (crc32, NULL-stable).
+
+    Components are formatted directly into one delimited buffer (no
+    intermediate tuple ``repr``) and results are memoized: shuffle
+    partitioning hashes one key per *pair*, and keys repeat heavily, so
+    the cache turns the hot path into a dict hit
+    (``benchmarks/bench_stable_hash.py`` measures the win).
+    """
+    return zlib.crc32(("%r;" * len(key) % key).encode("utf-8"))
+
+
+def _order_key(value: object) -> Tuple:
+    """Sortable wrapper for one key component (NULLs first)."""
+    return (value is not None, value)
+
+
+def _compare_keys(a: Key, b: Key, ascending: Sequence[bool]) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        asc = ascending[i] if i < len(ascending) else True
+        kx, ky = _order_key(x), _order_key(y)
+        if kx == ky:
+            continue
+        less = kx < ky
+        if asc:
+            return -1 if less else 1
+        return 1 if less else -1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Per-task measurement
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskCounters:
+    """Measured quantities for one executed task.
+
+    Map tasks fill the ``input_records``/``eval_ops``/``pre_combine``/
+    ``output_*`` fields; reduce tasks fill ``input_records`` (values
+    delivered), ``groups``, ``dispatch_ops`` and ``compute_ops``.  The
+    :class:`JobTaskGraph` sums them into the job's
+    :class:`~repro.mr.counters.JobCounters`.
+    """
+
+    task_id: str
+    kind: str                      # "map" | "reduce"
+    job_id: str
+    input_records: int = 0
+    eval_ops: int = 0
+    pre_combine_records: int = 0
+    output_records: int = 0
+    output_bytes: int = 0
+    groups: int = 0
+    dispatch_ops: int = 0
+    compute_ops: int = 0
+
+
+Pair = Tuple[Key, TaggedValue]
+
+
+@dataclass
+class InputSplit:
+    """A contiguous slice of one map input's records."""
+
+    dataset: str
+    index: int
+    start: int
+    rows: List[Row]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class MapTaskOutput:
+    """One map task's shuffle contribution."""
+
+    counters: TaskCounters
+    #: reducer partition id → pairs, for hash-partitioned jobs
+    partitions: Optional[Dict[int, List[Pair]]] = None
+    #: flat pair list, for sort_output jobs (range split points need the
+    #: global key set, so partitioning happens at shuffle time)
+    pairs: Optional[List[Pair]] = None
+
+
+class MapTask:
+    """Map one input split: emit, merge per-record, combine, partition."""
+
+    def __init__(self, job: MRJob, map_input: MapInput, split: InputSplit):
+        self.job = job
+        self.map_input = map_input
+        self.split = split
+        self.task_id = f"{job.job_id}/map/{map_input.dataset}[{split.index}]"
+
+    def run(self) -> MapTaskOutput:
+        job, specs = self.job, self.map_input.specs
+        counters = TaskCounters(self.task_id, "map", job.job_id)
+        counters.input_records = len(self.split.rows)
+
+        pairs: List[Pair] = []
+        for record in self.split.rows:
+            counters.eval_ops += len(specs)
+            # Merge multi-role emissions of the same record+key into one
+            # pair (shared scan / self-join single scan).  The merge slot
+            # is per-record, so it lives entirely inside this split.
+            merged: Dict[Key, Dict] = {}
+            for spec in specs:
+                emitted = spec.emit(record)
+                if emitted is None:
+                    continue
+                key, payload = emitted
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = {"roles": {spec.role}, "payload": payload}
+                else:
+                    entry["roles"].add(spec.role)
+                    entry["payload"].update(payload)
+            for key, entry in merged.items():
+                pairs.append((key, TaggedValue(frozenset(entry["roles"]),
+                                               entry["payload"])))
+
+        counters.pre_combine_records = len(pairs)
+        if job.map_agg is not None:
+            pairs = _combine(job.map_agg.agg_specs, pairs)
+
+        counters.output_records = len(pairs)
+        universe = job.role_universe
+        counters.output_bytes = sum(
+            pair_bytes(k, v, universe, job.tag_policy) for k, v in pairs)
+
+        if job.sort_output:
+            return MapTaskOutput(counters, pairs=pairs)
+        buffers: Dict[int, List[Pair]] = {}
+        for key, value in pairs:
+            pid = stable_hash(key) % job.num_reducers
+            buffers.setdefault(pid, []).append((key, value))
+        return MapTaskOutput(counters, partitions=buffers)
+
+
+def _combine(agg_specs, pairs: List[Pair]) -> List[Pair]:
+    """Map-side hash aggregation: collapse this task's pairs per key into
+    partial accumulator states (only single-role agg jobs configure it)."""
+    partials: Dict[Key, Dict[str, object]] = {}
+    roles: Dict[Key, frozenset] = {}
+    order: List[Key] = []
+    for key, tv in pairs:
+        accs = partials.get(key)
+        if accs is None:
+            accs = {slot: make_accumulator(func, distinct, star)
+                    for slot, (func, distinct, star) in agg_specs.items()}
+            partials[key] = accs
+            roles[key] = tv.roles
+            order.append(key)
+        for slot, acc in accs.items():
+            acc.add(tv.payload.get(slot))
+    out: List[Pair] = []
+    for key in order:
+        payload = {slot: acc.state() for slot, acc in partials[key].items()}
+        out.append((key, TaggedValue(roles[key], payload)))
+    return out
+
+
+@dataclass
+class ReduceTaskOutput:
+    """One reduce task's rows (per output task id) and counters."""
+
+    counters: TaskCounters
+    buffers: Dict[str, List[Row]] = field(default_factory=dict)
+
+
+class ReduceTask:
+    """Reduce one partition's key groups in sorted key order.
+
+    Each task drives its own deep copy of the job's reducer, so
+    partitions can execute concurrently without sharing the reducer's
+    per-key working state or its dispatch/compute op counters (which the
+    graph sums afterwards — the totals equal a serial pass).
+    """
+
+    def __init__(self, job: MRJob, partition: int,
+                 groups: List[Tuple[Key, List[TaggedValue]]]):
+        self.job = job
+        self.partition = partition
+        self.groups = groups
+        self.task_id = f"{job.job_id}/reduce[{partition}]"
+
+    @property
+    def input_records(self) -> int:
+        """Values delivered to this task (the measured per-task load the
+        cost model's skew bound reads)."""
+        return sum(len(values) for _, values in self.groups)
+
+    def run(self) -> ReduceTaskOutput:
+        job = self.job
+        counters = TaskCounters(self.task_id, "reduce", job.job_id)
+        counters.input_records = self.input_records
+        counters.groups = len(self.groups)
+        reducer = copy.deepcopy(job.reducer)
+        buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        for key, values in self.groups:
+            results = reducer.reduce(key, values)
+            counters.dispatch_ops += reducer.dispatch_ops()
+            counters.compute_ops += reducer.compute_ops()
+            for task_id, rows in results.items():
+                if task_id in buffers and rows:
+                    buffers[task_id].extend(rows)
+        counters.output_records = sum(len(r) for r in buffers.values())
+        return ReduceTaskOutput(counters, buffers)
+
+
+# ---------------------------------------------------------------------------
+# The per-job task graph
+# ---------------------------------------------------------------------------
+
+class JobTaskGraph:
+    """Plans one job's tasks and folds their counters back together.
+
+    Lifecycle (driven by the runtime)::
+
+        graph = JobTaskGraph(job, datastore, split_rows)
+        outputs = [t.run() for t in graph.map_tasks]      # parallelizable
+        reduce_tasks = graph.shuffle(outputs)
+        results = [t.run() for t in reduce_tasks]         # parallelizable
+        counters = graph.finalize(results)                # writes outputs
+
+    ``shuffle`` and ``finalize`` run on the scheduler thread; only
+    ``run`` calls are handed to an executor.
+    """
+
+    def __init__(self, job: MRJob, datastore: Datastore,
+                 split_rows: Optional[int] = None):
+        job.validate()
+        if split_rows is not None and split_rows < 1:
+            raise ExecutionError(
+                f"job {job.job_id}: split_rows must be >= 1, "
+                f"got {split_rows}")
+        self.job = job
+        self.datastore = datastore
+        self.counters = JobCounters(job_id=job.job_id, name=job.name,
+                                    num_reducers=job.num_reducers)
+        self.map_tasks: List[MapTask] = []
+        for map_input in job.map_inputs:
+            table = datastore.resolve(map_input.dataset)
+            self.counters.input_bytes[map_input.dataset] = (
+                self.counters.input_bytes.get(map_input.dataset, 0)
+                + table.estimated_bytes())
+            self.counters.input_records.setdefault(map_input.dataset, 0)
+            for split in _plan_splits(map_input.dataset, table, split_rows):
+                self.map_tasks.append(MapTask(job, map_input, split))
+
+    # -- shuffle -----------------------------------------------------------
+
+    def shuffle(self, outputs: Sequence[MapTaskOutput]) -> List[ReduceTask]:
+        """Fold map-task counters and build one reduce task per non-empty
+        partition, in deterministic partition order."""
+        job, counters = self.job, self.counters
+        if len(outputs) != len(self.map_tasks):
+            raise ExecutionError(
+                f"job {job.job_id}: shuffle got {len(outputs)} map outputs "
+                f"for {len(self.map_tasks)} map tasks")
+        for task, output in zip(self.map_tasks, outputs):
+            tc = output.counters
+            dataset = task.split.dataset
+            counters.input_records[dataset] = (
+                counters.input_records.get(dataset, 0) + tc.input_records)
+            counters.map_eval_ops += tc.eval_ops
+            counters.pre_combine_records += tc.pre_combine_records
+            counters.map_output_records += tc.output_records
+            counters.map_output_bytes += tc.output_bytes
+
+        if job.sort_output:
+            tasks = self._range_partitions(outputs)
+        else:
+            tasks = self._hash_partitions(outputs)
+
+        if not tasks and _wants_default_group(job):
+            # Grand-aggregate jobs reduce once even on empty input (SQL
+            # semantics: a global aggregate over nothing yields one row).
+            tasks = [ReduceTask(job, 0, [((), [])])]
+            counters.reduce_groups = 1
+
+        loads = [t.input_records for t in tasks]
+        counters.reduce_input_records = sum(loads)
+        counters.reduce_task_records = loads
+        counters.reduce_max_task_records = max(loads) if loads else 0
+        return tasks
+
+    def _hash_partitions(self, outputs: Sequence[MapTaskOutput]
+                         ) -> List[ReduceTask]:
+        """Hadoop partitioning: merge the map tasks' per-partition
+        buffers (in task order, preserving scan order within each key),
+        then sort keys within each partition."""
+        tasks: List[ReduceTask] = []
+        pids = sorted({pid for o in outputs for pid in (o.partitions or ())})
+        for pid in pids:
+            by_key: Dict[Key, List[TaggedValue]] = {}
+            for output in outputs:
+                for key, value in (output.partitions or {}).get(pid, ()):
+                    by_key.setdefault(key, []).append(value)
+            keys = sorted(by_key,
+                          key=lambda k: tuple(_order_key(v) for v in k))
+            self.counters.reduce_groups += len(keys)
+            tasks.append(ReduceTask(self.job, pid,
+                                    [(k, by_key[k]) for k in keys]))
+        return tasks
+
+    def _range_partitions(self, outputs: Sequence[MapTaskOutput]
+                          ) -> List[ReduceTask]:
+        """Total-order partitioning: globally sort the keys per the
+        per-position ascending flags and cut contiguous reducer ranges,
+        so concatenated partitions are fully sorted."""
+        job = self.job
+        by_key: Dict[Key, List[TaggedValue]] = {}
+        for output in outputs:
+            for key, value in output.pairs or ():
+                by_key.setdefault(key, []).append(value)
+        self.counters.reduce_groups += len(by_key)
+        if not by_key:
+            return []
+        cmp = functools.cmp_to_key(
+            lambda a, b: _compare_keys(a, b, job.sort_ascending))
+        keys = sorted(by_key, key=cmp)
+        chunk = max(1, -(-len(keys) // job.num_reducers))
+        return [
+            ReduceTask(job, pid,
+                       [(k, by_key[k]) for k in keys[i:i + chunk]])
+            for pid, i in enumerate(range(0, len(keys), chunk))
+        ]
+
+    # -- finalize ----------------------------------------------------------
+
+    def finalize(self, results: Sequence[ReduceTaskOutput]) -> JobCounters:
+        """Concatenate reduce-task outputs in partition order, apply the
+        limit/projection, write every output dataset, and return the
+        aggregated job counters."""
+        job, counters = self.job, self.counters
+        buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        for result in results:
+            counters.reduce_dispatch_ops += result.counters.dispatch_ops
+            counters.reduce_compute_ops += result.counters.compute_ops
+            for task_id, rows in result.buffers.items():
+                if task_id in buffers:
+                    buffers[task_id].extend(rows)
+
+        for out in job.outputs:
+            rows = buffers[out.task_id]
+            if job.limit is not None:
+                rows = rows[:job.limit]
+            try:
+                # Project to the declared columns so byte accounting never
+                # charges for fields the downstream jobs pruned away.
+                rows = [{c: r[c] for c in out.columns} for r in rows]
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"job {job.job_id} output {out.dataset!r} is missing "
+                    f"column {exc.args[0]!r}") from None
+            schema = Schema(Column(c, ColumnType.ANY) for c in out.columns)
+            table = Table(out.dataset, schema, rows)
+            self.datastore.write_intermediate(out.dataset, table)
+            counters.output_records[out.dataset] = len(rows)
+            counters.output_bytes[out.dataset] = rows_bytes(rows)
+        return counters
+
+
+def _plan_splits(dataset: str, table: Table,
+                 split_rows: Optional[int]) -> List[InputSplit]:
+    """Cut one map input into splits (one split when ``split_rows`` is
+    None or the table is smaller; empty tables still get one empty split
+    so their counters exist)."""
+    rows = table.rows
+    if split_rows is None or len(rows) <= split_rows:
+        return [InputSplit(dataset, 0, 0, list(rows))]
+    return [InputSplit(dataset, i, start, list(rows[start:start + split_rows]))
+            for i, start in enumerate(range(0, len(rows), split_rows))]
+
+
+def _wants_default_group(job: MRJob) -> bool:
+    return getattr(job.reducer, "global_group", False)

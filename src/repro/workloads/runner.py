@@ -23,7 +23,7 @@ from repro.data.tpch import TpchConfig, generate_tpch
 from repro.hadoop.config import ClusterConfig
 from repro.hadoop.costmodel import HadoopCostModel, QueryTiming
 from repro.mr.counters import JobRun
-from repro.mr.engine import MapReduceEngine
+from repro.mr.runtime import Runtime, RuntimeTrace, make_executor
 
 _namespace_counter = itertools.count(1)
 
@@ -63,6 +63,8 @@ class QueryRunResult:
     rows: List[Row]
     columns: List[str]
     timing: Optional[QueryTiming] = None
+    #: the runtime's schedule (waves, batches, task events) when traced
+    trace: Optional[RuntimeTrace] = None
 
     @property
     def job_count(self) -> int:
@@ -75,10 +77,22 @@ class QueryRunResult:
 
 def run_translation(translation: Translation, datastore: Datastore,
                     cluster: Optional[ClusterConfig] = None,
-                    instance: int = 0) -> QueryRunResult:
-    """Execute an existing translation and (optionally) time it."""
-    engine = MapReduceEngine(datastore)
-    runs = engine.run_jobs(translation.jobs)
+                    instance: int = 0,
+                    parallelism: int = 1,
+                    split_rows: Optional[int] = None,
+                    keep_trace: bool = False) -> QueryRunResult:
+    """Execute an existing translation and (optionally) time it.
+
+    ``parallelism`` > 1 executes independent jobs of the translation's
+    DAG — and the map/reduce tasks inside every job — concurrently on a
+    thread pool.  Rows and counters are byte-identical to serial
+    execution; only wall-clock changes.  ``split_rows`` caps map-task
+    size (None keeps one split per input).
+    """
+    runtime = Runtime(datastore, executor=make_executor(parallelism),
+                      split_rows=split_rows, keep_trace=keep_trace)
+    runs = runtime.run_jobs(translation.jobs,
+                            dependencies=translation.dependencies())
     table = datastore.intermediate(translation.final_dataset)
     timing = None
     if cluster is not None:
@@ -90,23 +104,30 @@ def run_translation(translation: Translation, datastore: Datastore,
     return QueryRunResult(
         translation=translation, runs=runs,
         rows=[dict(r) for r in table.rows],
-        columns=list(translation.output_columns), timing=timing)
+        columns=list(translation.output_columns), timing=timing,
+        trace=runtime.trace)
 
 
 def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               cluster: Optional[ClusterConfig] = None,
               namespace: Optional[str] = None,
               num_reducers: Optional[int] = None,
-              instance: int = 0) -> QueryRunResult:
+              instance: int = 0,
+              parallelism: int = 1,
+              split_rows: Optional[int] = None,
+              keep_trace: bool = False) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
     real Hadoop deployments size reduce tasks); pass an explicit value to
-    override.
+    override.  ``parallelism`` sets the worker count of the execution
+    runtime (1 = serial; results are identical either way).
     """
     ns = namespace or f"q{next(_namespace_counter)}"
     if num_reducers is None:
         num_reducers = cluster.total_reduce_slots if cluster is not None else 8
     translation = translate_sql(sql, mode=mode, catalog=datastore.catalog,
                                 namespace=ns, num_reducers=num_reducers)
-    return run_translation(translation, datastore, cluster, instance)
+    return run_translation(translation, datastore, cluster, instance,
+                           parallelism=parallelism, split_rows=split_rows,
+                           keep_trace=keep_trace)

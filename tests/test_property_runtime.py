@@ -1,0 +1,146 @@
+"""Property-based tests for the execution runtime: for ANY query in the
+supported subset, ANY split decomposition, and ANY worker count, the
+parallel executor produces byte-identical rows, counters, and
+intermediate datasets to the serial executor.
+
+This is the refactor's load-bearing invariant — decomposition is a
+function of (job, split_rows) only, never of the executor — exercised
+over randomized data, randomized plans, and the paper queries.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.mr.runtime import Runtime, make_executor
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore, run_translation
+
+_ns = itertools.count(1)
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=25)
+
+dim_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "w": st.integers(0, 9),
+    }), min_size=0, max_size=10)
+
+split_choices = st.one_of(st.none(), st.integers(1, 8))
+worker_choices = st.integers(2, 6)
+
+QUERY_SHAPES = [
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g",
+    "SELECT f.g, count(DISTINCT f.v) AS a FROM fact AS f "
+    "WHERE f.v > 0 GROUP BY f.g",
+    "SELECT f.g, d.w FROM fact AS f, dim AS d WHERE f.k = d.k",
+    "SELECT d.w, avg(f.v) AS a FROM fact AS f, dim AS d "
+    "WHERE f.k = d.k GROUP BY d.w",
+    "SELECT f.k, f.v FROM fact AS f, "
+    "(SELECT g, avg(v) AS a FROM fact GROUP BY g) AS m "
+    "WHERE f.g = m.g AND f.v < m.a",
+    "SELECT a.g, count(*) AS n FROM fact AS a, fact AS b "
+    "WHERE a.k = b.k AND a.v < b.v GROUP BY a.g",
+    "SELECT f.g, count(*) AS n FROM fact AS f GROUP BY f.g "
+    "ORDER BY n DESC, g LIMIT 3",
+    "SELECT count(*) AS n, max(f.v) AS m FROM fact AS f",
+]
+
+
+def make_datastore(fact, dim):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)), fact))
+    ds.load_table(Table("dim", Schema.of(("k", T.INT), ("w", T.INT)), dim))
+    return ds
+
+
+def snapshot(datastore, translation):
+    """All intermediate datasets a translation wrote, rows by name."""
+    return {name: list(datastore.intermediate(name).rows)
+            for job in translation.jobs for name in job.output_datasets}
+
+
+def check_serial_equals_parallel(translation, datastore,
+                                 workers=4, split_rows=None):
+    serial = Runtime(datastore, executor=make_executor(1),
+                     split_rows=split_rows)
+    runs_s = serial.run_jobs(translation.jobs,
+                             dependencies=translation.dependencies())
+    mid_s = snapshot(datastore, translation)
+
+    parallel = Runtime(datastore, executor=make_executor(workers),
+                       split_rows=split_rows)
+    runs_p = parallel.run_jobs(translation.jobs,
+                               dependencies=translation.dependencies())
+    mid_p = snapshot(datastore, translation)
+
+    assert [vars(r.counters) for r in runs_p] == \
+        [vars(r.counters) for r in runs_s]
+    assert mid_p == mid_s
+
+
+common = settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(fact=fact_rows, dim=dim_rows,
+       shape=st.sampled_from(QUERY_SHAPES),
+       workers=worker_choices, split_rows=split_choices)
+def test_random_plans_identical_under_any_executor(fact, dim, shape,
+                                                   workers, split_rows):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"pr{next(_ns)}")
+    check_serial_equals_parallel(tr, ds, workers=workers,
+                                 split_rows=split_rows)
+
+
+@common
+@given(fact=fact_rows, dim=dim_rows,
+       shape=st.sampled_from(QUERY_SHAPES),
+       mode=st.sampled_from(["one_to_one", "hive", "pig"]),
+       workers=worker_choices)
+def test_baseline_modes_identical_under_any_executor(fact, dim, shape,
+                                                     mode, workers):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, mode=mode, catalog=ds.catalog,
+                       namespace=f"pr{next(_ns)}")
+    check_serial_equals_parallel(tr, ds, workers=workers)
+
+
+_paper_store = None
+
+
+def paper_store():
+    global _paper_store
+    if _paper_store is None:
+        _paper_store = build_datastore(tpch_scale=0.002,
+                                       clickstream_users=40, seed=11)
+    return _paper_store
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(sorted(paper_queries())),
+       workers=worker_choices, split_rows=split_choices)
+def test_paper_queries_identical_under_any_executor(name, workers,
+                                                    split_rows):
+    ds = paper_store()
+    tr = translate_sql(paper_queries()[name], catalog=ds.catalog,
+                       namespace=f"pq.{name}")
+    check_serial_equals_parallel(tr, ds, workers=workers,
+                                 split_rows=split_rows)
+    result = run_translation(tr, ds, parallelism=workers)
+    assert result.rows == run_translation(tr, ds).rows

@@ -1,0 +1,369 @@
+"""Tests for the task-based execution runtime (`repro.mr.tasks` +
+`repro.mr.runtime`): split planning, task decomposition, the wave
+scheduler, and the central invariant that the executor never changes
+results — only wall-clock.
+
+The acceptance-level tests live here too: serial and parallel runs
+produce identical rows AND identical :class:`JobCounters` on every paper
+query, and a multi-job plan demonstrably runs its independent jobs
+concurrently (observed through the runtime trace, not wall-clock).
+"""
+
+import itertools
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.core.batch import run_batch, translate_batch
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table, rows_equal_unordered
+from repro.errors import ExecutionError
+from repro.mr import (
+    EmitSpec,
+    InputSplit,
+    JobTaskGraph,
+    MapInput,
+    MRJob,
+    OutputSpec,
+    ParallelExecutor,
+    Runtime,
+    SerialExecutor,
+    job_spec_dependencies,
+    make_executor,
+    stable_hash,
+)
+from repro.ops import SPTask, TaskInput
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_query, run_translation
+
+_ns = itertools.count(1)
+
+
+def small_datastore():
+    ds = Datastore(Catalog())
+    ds.load_table(Table("nums", Schema.of(("k", T.INT), ("v", T.INT)), [
+        {"k": 1, "v": 10}, {"k": 2, "v": 20}, {"k": 1, "v": 30},
+        {"k": 3, "v": 40}, {"k": 2, "v": 50},
+    ]))
+    return ds
+
+
+def passthrough_job(job_id="j1", dataset="nums", out=None, **kwargs):
+    def emit(record):
+        return (record["k"],), {"v": record["v"]}
+
+    task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+    defaults = dict(
+        job_id=job_id, name="pass",
+        map_inputs=[MapInput(dataset, [EmitSpec("in", emit)])],
+        reducer=CommonReducer([task]),
+        outputs=[OutputSpec(out or f"{job_id}.out", "sp", ["k", "v"])],
+    )
+    defaults.update(kwargs)
+    return MRJob(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Split planning and task decomposition
+# ---------------------------------------------------------------------------
+
+class TestSplits:
+    def test_default_is_one_split_per_input(self):
+        graph = JobTaskGraph(passthrough_job(), small_datastore())
+        assert len(graph.map_tasks) == 1
+        split = graph.map_tasks[0].split
+        assert (split.dataset, split.index, split.start) == ("nums", 0, 0)
+        assert len(split) == 5
+
+    def test_split_rows_cuts_contiguous_ranges(self):
+        graph = JobTaskGraph(passthrough_job(), small_datastore(),
+                             split_rows=2)
+        splits = [t.split for t in graph.map_tasks]
+        assert [(s.index, s.start, len(s)) for s in splits] == [
+            (0, 0, 2), (1, 2, 2), (2, 4, 1)]
+        assert [t.task_id for t in graph.map_tasks] == [
+            "j1/map/nums[0]", "j1/map/nums[1]", "j1/map/nums[2]"]
+
+    def test_empty_table_still_gets_one_split(self):
+        ds = Datastore(Catalog())
+        ds.load_table(Table("nums", Schema.of(("k", T.INT), ("v", T.INT)),
+                            []))
+        graph = JobTaskGraph(passthrough_job(), ds, split_rows=2)
+        assert len(graph.map_tasks) == 1
+        counters = graph.finalize([t.run() for t in
+                                   graph.shuffle([t.run() for t in
+                                                  graph.map_tasks])])
+        assert counters.input_records == {"nums": 0}
+        assert counters.reduce_max_task_records == 0
+        assert counters.reduce_task_records == []
+
+    def test_split_rows_must_be_positive(self):
+        with pytest.raises(ExecutionError, match="split_rows"):
+            JobTaskGraph(passthrough_job(), small_datastore(), split_rows=0)
+
+    def test_splitting_never_changes_rows(self, datastore):
+        tr = translate_sql(paper_queries()["q17"], catalog=datastore.catalog,
+                           namespace=f"split{next(_ns)}")
+        baseline = run_translation(tr, datastore)
+        for split_rows in (1, 7, 1000):
+            got = run_translation(tr, datastore,
+                                  split_rows=split_rows, parallelism=3)
+            # Splitting reorders float accumulation, so compare with a
+            # tolerance; the byte-exact invariant is executor-vs-executor
+            # for one decomposition, covered below.
+            assert rows_equal_unordered(got.rows, baseline.rows,
+                                        tr.output_columns,
+                                        float_tol=1e-6), split_rows
+            # Input accounting is split-invariant even though map-side
+            # combine totals legitimately vary per task.
+            for a, b in zip(baseline.runs, got.runs):
+                assert a.counters.input_records == b.counters.input_records
+                assert a.counters.reduce_groups == b.counters.reduce_groups
+
+    def test_shuffle_rejects_mismatched_outputs(self):
+        graph = JobTaskGraph(passthrough_job(), small_datastore())
+        with pytest.raises(ExecutionError, match="map outputs"):
+            graph.shuffle([])
+
+
+class TestStableHash:
+    def test_deterministic_and_null_stable(self):
+        assert stable_hash((1, "a", None)) == stable_hash((1, "a", None))
+        assert stable_hash((None,)) == stable_hash((None,))
+
+    def test_distinguishes_types_and_positions(self):
+        assert stable_hash((1, "2")) != stable_hash(("1", 2))
+        assert stable_hash(("ab", "c")) != stable_hash(("a", "bc"))
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class TestExecutors:
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        ex = make_executor(4)
+        assert isinstance(ex, ParallelExecutor)
+        assert (ex.max_workers, ex.kind, ex.name) == (4, "thread", "threadx4")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ExecutionError, match="max_workers"):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ExecutionError, match="kind"):
+            ParallelExecutor(kind="fiber")
+
+    def test_task_exception_propagates(self):
+        def boom(record):
+            raise ValueError("bad record")
+
+        job = passthrough_job(
+            map_inputs=[MapInput("nums", [EmitSpec("in", boom)])])
+        runtime = Runtime(small_datastore(),
+                          executor=ParallelExecutor(max_workers=2))
+        with pytest.raises(ValueError, match="bad record"):
+            runtime.run_job(job)
+
+    def test_process_executor_rejects_closure_jobs(self, datastore):
+        tr = translate_sql(paper_queries()["q_agg"],
+                           catalog=datastore.catalog,
+                           namespace=f"proc{next(_ns)}")
+        runtime = Runtime(datastore,
+                          executor=ParallelExecutor(max_workers=2,
+                                                    kind="process"))
+        with pytest.raises(ExecutionError, match="pickle"):
+            runtime.run_jobs(tr.jobs, dependencies=tr.dependencies())
+
+
+# ---------------------------------------------------------------------------
+# DAG derivation and wave scheduling
+# ---------------------------------------------------------------------------
+
+class TestDependencies:
+    def chain(self):
+        a = passthrough_job("a", out="a.out")
+        b = passthrough_job("b", dataset="a.out", out="b.out")
+        c = passthrough_job("c", out="c.out")
+        return [a, b, c]
+
+    def test_job_spec_dependencies(self):
+        deps = job_spec_dependencies(self.chain())
+        assert deps == {"a": [], "b": ["a"], "c": []}
+
+    def test_translation_emits_dag_edges(self, datastore):
+        tr = translate_sql(paper_queries()["q21"], catalog=datastore.catalog,
+                           namespace=f"dag{next(_ns)}")
+        assert tr.dag_edges is not None
+        assert tr.dependencies() == job_spec_dependencies(tr.jobs)
+        # Every edge points at an earlier job of the chain.
+        position = {job.job_id: i for i, job in enumerate(tr.jobs)}
+        for job_id, deps in tr.dag_edges.items():
+            assert all(position[d] < position[job_id] for d in deps)
+
+    def test_waves_follow_the_dag(self):
+        runtime = Runtime(small_datastore(), keep_trace=True)
+        runs = runtime.run_jobs(self.chain())
+        assert [r.job_id for r in runs] == ["a", "b", "c"]
+        assert runtime.trace.waves == [["a", "c"], ["b"]]
+
+    def test_duplicate_job_ids_rejected(self):
+        runtime = Runtime(small_datastore())
+        with pytest.raises(ExecutionError, match="duplicate"):
+            runtime.run_jobs([passthrough_job("x"), passthrough_job("x")])
+
+    def test_unknown_dependency_rejected(self):
+        runtime = Runtime(small_datastore())
+        with pytest.raises(ExecutionError, match="unknown"):
+            runtime.run_jobs([passthrough_job("x")],
+                             dependencies={"x": ["ghost"]})
+
+    def test_cycle_detected(self):
+        jobs = [passthrough_job("x", out="x.out"),
+                passthrough_job("y", dataset="nums", out="y.out")]
+        runtime = Runtime(small_datastore())
+        with pytest.raises(ExecutionError, match="cycle"):
+            runtime.run_jobs(jobs, dependencies={"x": ["y"], "y": ["x"]})
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: identical results for every executor
+# ---------------------------------------------------------------------------
+
+class TestSerialParallelIdentity:
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_paper_query_rows_and_counters_identical(self, name, datastore):
+        sql = paper_queries()[name]
+        tr = translate_sql(sql, catalog=datastore.catalog,
+                           namespace=f"ident.{name}")
+        serial = run_translation(tr, datastore)
+        parallel = run_translation(tr, datastore, parallelism=4,
+                                   keep_trace=True)
+        assert parallel.rows == serial.rows
+        for s, p in zip(serial.runs, parallel.runs):
+            assert vars(p.counters) == vars(s.counters)
+
+    def test_one_to_one_mode_identical(self, datastore):
+        tr = translate_sql(paper_queries()["q21"], mode="one_to_one",
+                           catalog=datastore.catalog,
+                           namespace=f"ident.oto{next(_ns)}")
+        serial = run_translation(tr, datastore)
+        parallel = run_translation(tr, datastore, parallelism=4)
+        assert parallel.rows == serial.rows
+        assert [vars(r.counters) for r in parallel.runs] == \
+            [vars(r.counters) for r in serial.runs]
+
+    def test_intermediate_datasets_identical(self, datastore):
+        tr = translate_sql(paper_queries()["q18"], catalog=datastore.catalog,
+                           namespace=f"ident.mid{next(_ns)}")
+        run_translation(tr, datastore)
+        intermediates = {ds: list(datastore.intermediate(ds).rows)
+                         for job in tr.jobs for ds in job.output_datasets}
+        run_translation(tr, datastore, parallelism=4)
+        for ds_name, rows in intermediates.items():
+            assert datastore.intermediate(ds_name).rows == rows, ds_name
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: independent jobs really overlap
+# ---------------------------------------------------------------------------
+
+class TestConcurrentScheduling:
+    def test_one_to_one_plan_overlaps_independent_jobs(self, datastore):
+        result = run_query(paper_queries()["q21"], datastore,
+                           mode="one_to_one",
+                           namespace=f"conc{next(_ns)}",
+                           parallelism=4, keep_trace=True)
+        trace = result.trace
+        assert trace is not None
+        assert trace.max_wave_width > 1
+        multi = trace.concurrent_job_batches()
+        assert multi, "expected batches mixing tasks of independent jobs"
+        wave0_jobs = set(trace.waves[0])
+        assert len(wave0_jobs) > 1
+        assert set(multi[0][2]) == wave0_jobs
+        # Every task of the wave got scheduled: starts == finishes.
+        starts = [e for e in trace.events if e.phase == "start"]
+        finishes = [e for e in trace.events if e.phase == "finish"]
+        assert len(starts) == len(finishes) > 0
+
+    def test_batch_of_independent_queries_runs_in_one_wave(self, datastore):
+        queries = {
+            "heavy_parts": ("SELECT l_partkey, count(*) AS n "
+                            "FROM lineitem GROUP BY l_partkey"),
+            "order_sizes": ("SELECT l_orderkey, sum(l_quantity) AS q "
+                            "FROM lineitem GROUP BY l_orderkey"),
+            "clicks_per_user": ("SELECT cid, count(*) AS n "
+                                "FROM clicks GROUP BY cid"),
+        }
+        bt = translate_batch(queries, catalog=datastore.catalog,
+                             namespace=f"bconc{next(_ns)}",
+                             share_across_queries=False)
+        assert bt.dag_edges == {job.job_id: [] for job in bt.jobs}
+        serial = run_batch(bt, datastore)
+        parallel = run_batch(bt, datastore, parallelism=4, keep_trace=True)
+        assert parallel.rows == serial.rows
+        assert [vars(r.counters) for r in parallel.runs] == \
+            [vars(r.counters) for r in serial.runs]
+        assert parallel.trace.waves == [[job.job_id for job in bt.jobs]]
+        assert parallel.trace.concurrent_job_batches()
+
+
+# ---------------------------------------------------------------------------
+# Runtime corner cases under the new engine
+# ---------------------------------------------------------------------------
+
+class TestRuntimeCorners:
+    def empty_store(self):
+        ds = Datastore(standard_catalog())
+        for name in ("lineitem", "orders", "part", "customer", "supplier",
+                     "nation", "clicks"):
+            schema = ds.catalog.schema(name)
+            ds.load_table(Table(name, schema, []))
+        return ds
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_empty_input_sort_output(self, parallelism):
+        ds = self.empty_store()
+        result = run_query(
+            "SELECT l_partkey, sum(l_quantity) AS q FROM lineitem "
+            "GROUP BY l_partkey ORDER BY q DESC LIMIT 5",
+            ds, namespace=f"empty{next(_ns)}", parallelism=parallelism)
+        assert result.rows == []
+        sort_runs = [r for r in result.runs
+                     if any(j.job_id == r.job_id and j.sort_output
+                            for j in result.translation.jobs)]
+        assert sort_runs
+        for run in sort_runs:
+            assert run.counters.reduce_max_task_records == 0
+            assert run.counters.reduce_task_records == []
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_grand_aggregate_on_empty_input(self, parallelism):
+        ds = self.empty_store()
+        result = run_query("SELECT count(*) AS n, sum(l_quantity) AS q "
+                           "FROM lineitem",
+                           ds, namespace=f"grand{next(_ns)}",
+                           parallelism=parallelism)
+        assert result.rows == [{"n": 0, "q": None}]
+        counters = result.runs[0].counters
+        assert counters.reduce_groups == 1
+        assert counters.reduce_task_records == [0]
+        assert counters.reduce_max_task_records == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCliParallel:
+    def test_run_parallel_smoke(self, capsys):
+        from repro.cli import main
+        code = main(["run",
+                     "SELECT cid, count(*) AS n FROM clicks GROUP BY cid",
+                     "--parallel", "2",
+                     "--clickstream-users", "10", "--tpch-scale", "0.0005"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers=2" in out
