@@ -2,14 +2,15 @@
 
 ``stable_hash`` runs once per map-output pair, and shuffle keys repeat
 heavily (one entry per record, a few thousand distinct keys).  The
-optimized implementation formats the key's components straight into one
-delimited buffer — no intermediate ``repr(tuple)`` — and memoizes the
-crc32 behind an LRU cache, so a repeated key costs a dict hit.
+optimized implementation keeps the historical ``repr(tuple)`` byte
+format (canonicalizing numeric spellings first, so equal keys always
+hash identically) and memoizes the crc32 behind an LRU cache, so a
+repeated key costs a dict hit.
 
 This module benchmarks the shipped implementation against the
-historical one on a realistic repeated-key distribution and prints the
-ratio.  No hard speedup assertion (machine-dependent); correctness —
-determinism, NULL handling — is asserted here and in
+historical uncached one on a realistic repeated-key distribution and
+prints the ratio.  No hard speedup assertion (machine-dependent);
+correctness — determinism, NULL handling — is asserted here and in
 ``tests/test_runtime.py``.
 """
 

@@ -6,7 +6,9 @@ the execution path now lives in the task runtime —
 per-partition reduce tasks, and :mod:`repro.mr.runtime` schedules them
 on a pluggable executor.  :class:`MapReduceEngine` remains the stable
 entry point: a serial runtime with the default decomposition, whose
-rows and counters are byte-identical to the historical engine's.
+rows and counters are byte-identical to the historical engine's (one
+caveat: keys containing bools or integral floats hash canonically now
+— see :func:`~repro.mr.tasks.stable_hash`).
 
 Semantics (enforced by the task layer):
 

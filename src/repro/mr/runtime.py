@@ -5,7 +5,8 @@ this module decides *when and where* they run:
 
 * :class:`SerialExecutor` — runs task batches in order on the calling
   thread (the default; byte-identical to the historical monolithic
-  engine);
+  engine, modulo the numeric-key canonicalization noted on
+  :func:`~repro.mr.tasks.stable_hash`);
 * :class:`ParallelExecutor` — a thread- or process-pool that runs a
   batch's tasks concurrently.  Thread is the default: translator-emitted
   jobs carry compiled closures that cannot cross a process boundary
@@ -32,6 +33,7 @@ can observe the concurrency without racing on wall-clock.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -95,7 +97,8 @@ class ParallelExecutor:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_call, thunks))
-        except (TypeError, AttributeError, ImportError) as exc:
+        except (pickle.PickleError, TypeError, AttributeError,
+                ImportError) as exc:
             raise ExecutionError(
                 "process executor could not pickle a task (translator-"
                 "emitted jobs carry closures; use kind='thread' for them): "
@@ -171,17 +174,26 @@ def job_spec_dependencies(jobs: Sequence[MRJob]) -> Dict[str, List[str]]:
     The same dataset-name derivation :func:`repro.hadoop.dagschedule.
     job_dependencies` applies to measured runs, here applied to the
     specs before execution so the runtime can overlap independent jobs.
+    The producer map is built in submission order, so a reader depends
+    on the most recent *preceding* writer of each dataset, and when two
+    jobs write the same dataset the later writer gets an ordering edge
+    on the earlier one — under a parallel executor they would otherwise
+    land in the same wave and race on the surviving content, where the
+    historical engine's strict submission order was deterministic.
     """
     producer: Dict[str, str] = {}
+    deps: Dict[str, set] = {job.job_id: set() for job in jobs}
     for job in jobs:
+        for dataset in job.input_datasets:
+            owner = producer.get(dataset)
+            if owner is not None and owner != job.job_id:
+                deps[job.job_id].add(owner)
         for dataset in job.output_datasets:
+            prev = producer.get(dataset)
+            if prev is not None and prev != job.job_id:
+                deps[job.job_id].add(prev)
             producer[dataset] = job.job_id
-    deps: Dict[str, List[str]] = {}
-    for job in jobs:
-        wanted = {producer[d] for d in job.input_datasets
-                  if d in producer and producer[d] != job.job_id}
-        deps[job.job_id] = sorted(wanted)
-    return deps
+    return {job_id: sorted(wanted) for job_id, wanted in deps.items()}
 
 
 class Runtime:

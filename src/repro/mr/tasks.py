@@ -55,17 +55,44 @@ from repro.mr.job import MRJob, MapInput
 from repro.mr.kv import Key, TaggedValue, pair_bytes, rows_bytes
 
 
+def _canonical(value: object) -> object:
+    """One spelling per equality class of a key component.
+
+    Python's cross-type numeric equality (``True == 1 == 1.0``) merges
+    such values into a single reduce group, so the partitioner must hash
+    them identically too — otherwise one group could be split across
+    reduce tasks.  Collapse bools and integral floats to the plain int;
+    everything else hashes by its own ``repr``.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
 @functools.lru_cache(maxsize=65536)
 def stable_hash(key: Key) -> int:
     """Deterministic hash of a composite key (crc32, NULL-stable).
 
-    Components are formatted directly into one delimited buffer (no
-    intermediate tuple ``repr``) and results are memoized: shuffle
-    partitioning hashes one key per *pair*, and keys repeat heavily, so
-    the cache turns the hot path into a dict hit
-    (``benchmarks/bench_stable_hash.py`` measures the win).
+    The byte input is ``repr`` of the canonicalized tuple — the same
+    format the historical monolithic engine hashed, so partition
+    assignment (and with it per-partition loads, output row order, and
+    ``reduce_max_task_records``) matches recorded baselines.  The sole
+    divergence: keys containing bools or integral floats hash via their
+    canonical int spelling (see :func:`_canonical`), where the old
+    engine's assignment depended on which spelling was scanned first.
+
+    Canonicalization also makes the memoization safe: equal keys (e.g.
+    ``(1,)`` and ``(1.0,)``) share one ``lru_cache`` slot, and because
+    both produce identical bytes the cached value is the same no matter
+    which spelling populated it — results never depend on call order,
+    cache eviction, or thread interleaving.  Shuffle partitioning hashes
+    one key per *pair* and keys repeat heavily, so the cache turns the
+    hot path into a dict hit (``benchmarks/bench_stable_hash.py``
+    measures the win).
     """
-    return zlib.crc32(("%r;" * len(key) % key).encode("utf-8"))
+    return zlib.crc32(repr(tuple(_canonical(v) for v in key)).encode("utf-8"))
 
 
 def _order_key(value: object) -> Tuple:

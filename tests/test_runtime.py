@@ -137,6 +137,23 @@ class TestStableHash:
         assert stable_hash((1, "2")) != stable_hash(("1", 2))
         assert stable_hash(("ab", "c")) != stable_hash(("a", "bc"))
 
+    def test_equal_numeric_spellings_hash_identically(self):
+        # 1 == 1.0 == True merge into one reduce group under dict
+        # equality, so every spelling must land in one partition — in
+        # any first-call order (the memo cache shares their slot).
+        for order in [((1,), (1.0,), (True,)), ((True,), (1.0,), (1,))]:
+            stable_hash.cache_clear()
+            assert len({stable_hash(k) for k in order}) == 1
+        assert stable_hash((2, "x", 3.0)) == stable_hash((2.0, "x", 3))
+        assert stable_hash((2.5,)) != stable_hash((2,))
+
+    def test_matches_historical_repr_format(self):
+        # Partition assignment (and so row order and per-partition
+        # loads) must match the pre-runtime monolithic engine.
+        import zlib
+        for key in ((1, "a"), (None,), ("x", 3, None), ("lone",)):
+            assert stable_hash(key) == zlib.crc32(repr(key).encode("utf-8"))
+
 
 # ---------------------------------------------------------------------------
 # Executors
@@ -166,6 +183,13 @@ class TestExecutors:
         with pytest.raises(ValueError, match="bad record"):
             runtime.run_job(job)
 
+    def test_process_executor_reports_unpicklable_thunks(self):
+        # Lambdas raise pickle.PicklingError, the most common failure
+        # mode — it must get the helpful kind='thread' message too.
+        ex = ParallelExecutor(max_workers=2, kind="process")
+        with pytest.raises(ExecutionError, match="thread"):
+            ex.run_all([lambda: 1, lambda: 2])
+
     def test_process_executor_rejects_closure_jobs(self, datastore):
         tr = translate_sql(paper_queries()["q_agg"],
                            catalog=datastore.catalog,
@@ -191,6 +215,30 @@ class TestDependencies:
     def test_job_spec_dependencies(self):
         deps = job_spec_dependencies(self.chain())
         assert deps == {"a": [], "b": ["a"], "c": []}
+
+    def test_duplicate_writers_get_ordering_edges(self):
+        # Two writers of one dataset must never share a wave: without a
+        # write-write edge the surviving content would be racy, where
+        # the historical strict submission order was deterministic.
+        w1 = passthrough_job("w1", out="shared.out")
+        w2 = passthrough_job("w2", out="shared.out")
+        r = passthrough_job("r", dataset="shared.out", out="r.out")
+        assert job_spec_dependencies([w1, w2, r]) == {
+            "w1": [], "w2": ["w1"], "r": ["w2"]}
+        runtime = Runtime(small_datastore(),
+                          executor=ParallelExecutor(max_workers=2),
+                          keep_trace=True)
+        runtime.run_jobs([w1, w2, r])
+        assert runtime.trace.waves == [["w1"], ["w2"], ["r"]]
+
+    def test_reader_depends_on_preceding_writer(self):
+        # A reader submitted between two writers reads the first
+        # writer's output under serial order; the spec DAG must agree.
+        w1 = passthrough_job("w1", out="d.out")
+        r = passthrough_job("r", dataset="d.out", out="r.out")
+        w2 = passthrough_job("w2", out="d.out")
+        assert job_spec_dependencies([w1, r, w2]) == {
+            "w1": [], "r": ["w1"], "w2": ["w1"]}
 
     def test_translation_emits_dag_edges(self, datastore):
         tr = translate_sql(paper_queries()["q21"], catalog=datastore.catalog,
