@@ -1,0 +1,94 @@
+"""Shared micro-benchmark harness for the standalone benchmark scripts.
+
+pytest-benchmark drives the figure-regeneration benches under pytest;
+this module is the dependency-free equivalent for scripts meant to run
+(and emit JSON) outside pytest — CI smoke runs, the record-path
+benchmark, ad-hoc profiling::
+
+    from benchmarks._microbench import measure, speedup, write_json
+
+    base = measure("legacy", lambda: kernel_legacy(data), repeats=5)
+    opt = measure("optimized", lambda: kernel(data), repeats=5)
+    write_json("BENCH_thing.json", {
+        "legacy": base.to_dict(), "optimized": opt.to_dict(),
+        "speedup": speedup(base, opt),
+    })
+
+Methodology: ``warmup`` unmeasured calls (imports, caches, allocator
+steady state), then ``repeats`` measured calls; the headline statistic
+is the **median** (robust against scheduler noise), with best/worst and
+raw samples preserved for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Measurement:
+    """Wall-clock samples for one benchmarked callable."""
+
+    name: str
+    samples: List[float]
+    #: whatever the last call returned (for identity checks / checksums)
+    result: object = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.samples)
+
+    @property
+    def worst_s(self) -> float:
+        return max(self.samples)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "median_s": self.median_s,
+            "best_s": self.best_s,
+            "worst_s": self.worst_s,
+            "repeats": len(self.samples),
+            "samples_s": self.samples,
+            **({"meta": self.meta} if self.meta else {}),
+        }
+
+
+def measure(name: str, fn: Callable[[], object], repeats: int = 5,
+            warmup: int = 1,
+            meta: Optional[Dict[str, object]] = None) -> Measurement:
+    """Time ``fn`` ``repeats`` times after ``warmup`` unmeasured calls."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return Measurement(name=name, samples=samples, result=result,
+                       meta=dict(meta or {}))
+
+
+def speedup(baseline: Measurement, optimized: Measurement) -> float:
+    """Median-over-median ratio (> 1 means ``optimized`` is faster)."""
+    if optimized.median_s == 0:
+        return float("inf")
+    return baseline.median_s / optimized.median_s
+
+
+def write_json(path: str, payload: Dict[str, object]) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")

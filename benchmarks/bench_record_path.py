@@ -1,0 +1,676 @@
+"""Record-path benchmark: the hot-path kernel overhaul, measured.
+
+Every optimized kernel on the record path is benchmarked against the
+**pre-overhaul implementation, copied verbatim from the seed engine**
+and monkeypatched back in (``legacy_record_path()``), so before/after
+run the same translator output on the same data in the same process:
+
+* **macro** — the full TPC-H/clickstream paper workload end to end,
+  legacy vs optimized, with the optimized engine's per-phase wall-clock
+  breakdown (``JobCounters.phase_wall_s``) and a row/counter identity
+  check (the overhaul must not move a byte);
+* **micro** — each kernel in isolation: map emit (merge + partition),
+  shuffle key sort (comparator vs sort-key vector), reduce dispatch
+  (deepcopy + per-check role sets vs clone + bound dispatch table), and
+  map-output byte accounting (per-pair recompute vs batched/cached).
+
+Writes ``BENCH_record_path.json`` at the repo root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_record_path.py          # full
+    PYTHONPATH=src python benchmarks/bench_record_path.py --smoke  # CI
+
+``--smoke`` uses a tiny dataset and one repeat, and exits nonzero
+unless the macro workload is both identical and faster (ratio > 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import copy
+import functools
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import Measurement, measure, speedup, write_json  # noqa: E402
+
+import repro.mr.tasks as mr_tasks
+import repro.ops.tasks as ops_tasks
+from repro.cmf import CommonReducer
+from repro.core.compile import JobCompiler, _getter
+from repro.data.table import Table
+from repro.core.translator import translate_sql
+from repro.mr.job import EmitSpec, MRJob, MapAggSpec, MapInput, OutputSpec
+from repro.mr.kv import (ROLE_ID_BYTES, TaggedValue, TagPolicy, key_bytes,
+                         pairs_bytes, value_bytes)
+from repro.mr.tasks import (InputSplit, JobTaskGraph, MapTaskOutput,
+                            ReduceTask, ReduceTaskOutput, TaskCounters,
+                            _combine, _compare_keys, _order_key,
+                            make_sort_key, stable_hash)
+from repro.ops.tasks import AggTask, CompiledStages, SPTask, TaskInput
+from repro.plan.nodes import Project, ScanNode
+from repro.refexec.executor import compile_resolved
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore, run_translation
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_record_path.json"))
+
+
+# ---------------------------------------------------------------------------
+# The legacy kernels — verbatim copies of the seed engine's record path
+# ---------------------------------------------------------------------------
+
+def _legacy_tag_bytes(roles, universe_size, policy=TagPolicy.BEST):
+    """Seed ``tag_bytes``: recomputed per pair, no memoization."""
+    if universe_size <= 1:
+        return 0
+    direct = ROLE_ID_BYTES * len(roles)
+    inverted = 1 + ROLE_ID_BYTES * (universe_size - len(roles))
+    if policy is TagPolicy.DIRECT:
+        return direct
+    if policy is TagPolicy.INVERTED:
+        return inverted
+    return min(direct, inverted)
+
+
+def _legacy_pair_bytes(key, value, universe_size, policy=TagPolicy.BEST):
+    return (key_bytes(key) + value_bytes(value.payload)
+            + _legacy_tag_bytes(value.roles, universe_size, policy))
+
+
+def _legacy_map_run(self):
+    """Seed ``MapTask.run``: per-record merge dict with set-typed roles,
+    per-pair byte accounting, setdefault partitioning."""
+    job, specs = self.job, self.map_input.specs
+    counters = TaskCounters(self.task_id, "map", job.job_id)
+    counters.input_records = len(self.split.rows)
+
+    pairs = []
+    for record in self.split.rows:
+        counters.eval_ops += len(specs)
+        merged = {}
+        for spec in specs:
+            emitted = spec.emit(record)
+            if emitted is None:
+                continue
+            key, payload = emitted
+            entry = merged.get(key)
+            if entry is None:
+                merged[key] = {"roles": {spec.role}, "payload": payload}
+            else:
+                entry["roles"].add(spec.role)
+                entry["payload"].update(payload)
+        for key, entry in merged.items():
+            pairs.append((key, TaggedValue(frozenset(entry["roles"]),
+                                           entry["payload"])))
+
+    counters.pre_combine_records = len(pairs)
+    if job.map_agg is not None:
+        pairs = _combine(job.map_agg.agg_specs, pairs)
+
+    counters.output_records = len(pairs)
+    universe = job.role_universe
+    counters.output_bytes = sum(
+        _legacy_pair_bytes(k, v, universe, job.tag_policy) for k, v in pairs)
+
+    if job.sort_output:
+        return MapTaskOutput(counters, pairs=pairs)
+    buffers = {}
+    for key, value in pairs:
+        pid = stable_hash(key) % job.num_reducers
+        buffers.setdefault(pid, []).append((key, value))
+    return MapTaskOutput(counters, partitions=buffers)
+
+
+def _legacy_reduce_run(self):
+    """Seed ``ReduceTask.run``: one ``copy.deepcopy`` of the job's
+    reducer per partition."""
+    job = self.job
+    counters = TaskCounters(self.task_id, "reduce", job.job_id)
+    counters.input_records = self.input_records
+    counters.groups = len(self.groups)
+    reducer = copy.deepcopy(job.reducer)
+    buffers = {o.task_id: [] for o in job.outputs}
+    for key, values in self.groups:
+        results = reducer.reduce(key, values)
+        counters.dispatch_ops += reducer.dispatch_ops()
+        counters.compute_ops += reducer.compute_ops()
+        for task_id, rows in results.items():
+            if task_id in buffers and rows:
+                buffers[task_id].extend(rows)
+    counters.output_records = sum(len(r) for r in buffers.values())
+    return ReduceTaskOutput(counters, buffers)
+
+
+def _legacy_hash_partitions(self, outputs):
+    """Seed ``JobTaskGraph._hash_partitions``: setdefault per pair, a
+    fresh lambda-built sort key per partition."""
+    tasks = []
+    pids = sorted({pid for o in outputs for pid in (o.partitions or ())})
+    for pid in pids:
+        by_key = {}
+        for output in outputs:
+            for key, value in (output.partitions or {}).get(pid, ()):
+                by_key.setdefault(key, []).append(value)
+        keys = sorted(by_key,
+                      key=lambda k: tuple(_order_key(v) for v in k))
+        self.counters.reduce_groups += len(keys)
+        tasks.append(ReduceTask(self.job, pid,
+                                [(k, by_key[k]) for k in keys]))
+    return tasks
+
+
+def _legacy_range_partitions(self, outputs):
+    """Seed ``JobTaskGraph._range_partitions``: comparator sort via
+    ``functools.cmp_to_key``."""
+    job = self.job
+    by_key = {}
+    for output in outputs:
+        for key, value in output.pairs or ():
+            by_key.setdefault(key, []).append(value)
+    self.counters.reduce_groups += len(by_key)
+    if not by_key:
+        return []
+    cmp = functools.cmp_to_key(
+        lambda a, b: _compare_keys(a, b, job.sort_ascending))
+    keys = sorted(by_key, key=cmp)
+    chunk = max(1, -(-len(keys) // job.num_reducers))
+    return [
+        ReduceTask(job, pid,
+                   [(k, by_key[k]) for k in keys[i:i + chunk]])
+        for pid, i in enumerate(range(0, len(keys), chunk))
+    ]
+
+
+def _legacy_common_reduce(self, key, values):
+    """Seed ``CommonReducer.reduce``: builds each task's shuffle-role
+    frozenset (and an intersection set) per (value, task) check."""
+    for task in self.tasks:
+        task.start(key)
+    for tv in values:
+        for task in self.tasks:
+            if tv.roles & frozenset(i.ref for i in task.inputs
+                                    if i.kind == "shuffle"):
+                task.consume(key, tv.roles, tv.payload)
+                self._dispatch += 1
+    outputs = {}
+    for task in self.tasks:
+        before = task.compute_ops
+        outputs[task.task_id] = task.finish(key, outputs)
+        self._compute += task.compute_ops - before
+    return outputs
+
+
+def _legacy_stages_run(self, rows):
+    """Seed ``CompiledStages.run``: one materialized list per stage."""
+    for kind, op in self._ops:
+        if kind == "filter":
+            rows = [r for r in rows if op(r)]
+        else:
+            rows = [{name: fn(r) for name, fn in op} for r in rows]
+    return rows
+
+
+def _legacy_stages_run_one(self, row):
+    """The seed had no single-row path: emit closures wrapped each
+    record in a one-element list and ran the multi-pass chain."""
+    rows = _legacy_stages_run(self, [row])
+    return rows[0] if rows else None
+
+
+def _legacy_estimated_bytes(self):
+    """Seed ``Table.estimated_bytes``: re-measured on every call (every
+    job charging input bytes walked the whole table again)."""
+    total = 0
+    for row in self.rows:
+        for col in self.schema.names:
+            total += len(str(row[col])) + 1
+    return total
+
+
+def _legacy_plan_splits(dataset, table, split_rows):
+    """Seed ``_plan_splits``: copies every table's rows, split or not."""
+    rows = table.rows
+    if split_rows is None or len(rows) <= split_rows:
+        return [InputSplit(dataset, 0, 0, list(rows))]
+    return [InputSplit(dataset, i, start,
+                       list(rows[start:start + split_rows]))
+            for i, start in enumerate(range(0, len(rows), split_rows))]
+
+
+# -- seed emit builders (verbatim) ------------------------------------------
+# The emit closures are baked into a translation at compile time, so the
+# legacy engine must also TRANSLATE under these patches — otherwise it
+# would inherit the optimized dict-free emit fast paths and the
+# comparison would flatter the seed.
+
+def _legacy_scan_emit(self, scan, role, key_cols, payload_cols):
+    """Seed ``JobCompiler._scan_emit``: per-record qualified dict plus a
+    one-row ``stages.run`` round trip for every record."""
+    stages = CompiledStages(scan.stages)
+    qualified = [(scan.qualified(c), c) for c in scan.columns]
+    has_project = any(isinstance(s, Project) for s in scan.stages)
+    canonical = self.options.canonical_payload and not has_project
+
+    if canonical:
+        payload_names = {q: f"{scan.table}.{q.rsplit('@', 1)[0].split('.', 1)[1]}"
+                         for q in payload_cols}
+    else:
+        payload_names = {q: q for q in payload_cols}
+    payload_map = sorted(payload_names.items())
+    key_cols = list(key_cols)
+    payload_items = sorted(payload_names.items())
+
+    def emit(record):
+        row = {q: record[c] for q, c in qualified}
+        rows = stages.run([row])
+        if not rows:
+            return None
+        out = rows[0]
+        key = tuple(out[c] for c in key_cols)
+        return key, {p: out[q] for q, p in payload_items}
+
+    return EmitSpec(role, emit), payload_map
+
+
+def _legacy_dataset_emit(self, role, key_cols, payload_cols):
+    """Seed ``JobCompiler._dataset_emit``."""
+    key_cols = list(key_cols)
+    payload_cols = sorted(set(payload_cols) - set(key_cols))
+
+    def emit(record):
+        key = tuple(record[c] for c in key_cols)
+        return key, {c: record[c] for c in payload_cols}
+
+    return EmitSpec(role, emit)
+
+
+def _legacy_compile_sp(self, draft, node, job_id, name):
+    """Seed ``JobCompiler._compile_sp``."""
+    needed = [c for c in node.output_names if c in self.needed(node)]
+    role = f"{node.label}.in"
+    stages = CompiledStages(node.stages)
+    qualified = [(node.qualified(c), c) for c in node.columns]
+    key_cols = list(needed)
+
+    def emit(record):
+        row = {q: record[c] for q, c in qualified}
+        rows = stages.run([row])
+        if not rows:
+            return None
+        out = rows[0]
+        return tuple(out[c] for c in key_cols), {}
+
+    task = SPTask(node.label, TaskInput.shuffle(role, key_cols))
+    outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+               for n, ds in self._register_outputs(draft)]
+    return MRJob(
+        job_id=job_id, name=name,
+        map_inputs=[MapInput(node.table, [EmitSpec(role, emit)])],
+        reducer=CommonReducer([task]),
+        outputs=outputs,
+        num_reducers=self.options.num_reducers,
+        tag_policy=self.options.tag_policy)
+
+
+def _legacy_compile_standalone_agg(self, draft, node, job_id, name):
+    """Seed ``JobCompiler._compile_standalone_agg``."""
+    child = node.child
+    role = f"{node.label}.in"
+    group_fns = [(gk.slot, compile_resolved(gk.expr))
+                 for gk in node.group_keys]
+    agg_fns = [(spec, compile_resolved(spec.arg)
+                if spec.arg is not None else None)
+               for spec in node.aggs]
+    key_slots = [slot for slot, _ in group_fns]
+
+    if isinstance(child, ScanNode):
+        stages = CompiledStages(child.stages)
+        qualified = [(child.qualified(c), c) for c in child.columns]
+
+        def emit(record):
+            row = {q: record[c] for q, c in qualified}
+            rows = stages.run([row])
+            if not rows:
+                return None
+            out = rows[0]
+            key = tuple(fn(out) for _, fn in group_fns)
+            payload = {spec.slot: fn(out)
+                       for spec, fn in agg_fns if fn is not None}
+            return key, payload
+
+        map_inputs = [MapInput(child.table, [EmitSpec(role, emit)])]
+    else:
+        def emit(record):
+            key = tuple(fn(record) for _, fn in group_fns)
+            payload = {spec.slot: fn(record)
+                       for spec, fn in agg_fns if fn is not None}
+            return key, payload
+
+        map_inputs = [MapInput(self.dataset_name(child),
+                               [EmitSpec(role, emit)])]
+
+    mergeable = all(
+        not spec.distinct or spec.func in ("min", "max")
+        for spec in node.aggs)
+    map_agg = None
+    if self.options.map_side_agg and mergeable:
+        map_agg = MapAggSpec({
+            spec.slot: (spec.func, spec.distinct, spec.star)
+            for spec in node.aggs})
+
+    task = AggTask(
+        node.label,
+        TaskInput.shuffle(role, key_slots),
+        group_exprs=[(slot, _getter(slot)) for slot in key_slots],
+        agg_specs=[(spec.slot, spec.func,
+                    _getter(spec.slot) if spec.arg is not None else None,
+                    spec.distinct, spec.star)
+                   for spec in node.aggs],
+        partial=map_agg is not None,
+        global_agg=node.is_global,
+        stages=CompiledStages(node.stages))
+
+    outputs = [OutputSpec(ds, n.label, self._output_columns(n))
+               for n, ds in self._register_outputs(draft)]
+    return MRJob(
+        job_id=job_id, name=name, map_inputs=map_inputs,
+        reducer=CommonReducer([task], global_group=node.is_global),
+        outputs=outputs, map_agg=map_agg,
+        num_reducers=1 if node.is_global else self.options.num_reducers,
+        tag_policy=self.options.tag_policy)
+
+
+@contextlib.contextmanager
+def legacy_record_path():
+    """Swap the seed kernels back into the live engine, restore on exit."""
+    patches = [
+        (mr_tasks.MapTask, "run", _legacy_map_run),
+        (mr_tasks.ReduceTask, "run", _legacy_reduce_run),
+        (mr_tasks.JobTaskGraph, "_hash_partitions", _legacy_hash_partitions),
+        (mr_tasks.JobTaskGraph, "_range_partitions", _legacy_range_partitions),
+        (mr_tasks, "_plan_splits", _legacy_plan_splits),
+        (CommonReducer, "reduce", _legacy_common_reduce),
+        (ops_tasks.CompiledStages, "run", _legacy_stages_run),
+        (ops_tasks.CompiledStages, "run_one", _legacy_stages_run_one),
+        (Table, "estimated_bytes", _legacy_estimated_bytes),
+        (JobCompiler, "_scan_emit", _legacy_scan_emit),
+        (JobCompiler, "_dataset_emit", _legacy_dataset_emit),
+        (JobCompiler, "_compile_sp", _legacy_compile_sp),
+        (JobCompiler, "_compile_standalone_agg",
+         _legacy_compile_standalone_agg),
+    ]
+    saved = [(obj, name, getattr(obj, name)) for obj, name, _ in patches]
+    for obj, name, fn in patches:
+        setattr(obj, name, fn)
+    try:
+        yield
+    finally:
+        for obj, name, fn in saved:
+            setattr(obj, name, fn)
+
+
+# ---------------------------------------------------------------------------
+# Macro: the paper workload end to end
+# ---------------------------------------------------------------------------
+
+def _phase_totals(runs) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for run in runs:
+        for phase, seconds in run.counters.phase_wall_s.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    return totals
+
+
+def macro_benchmark(datastore, repeats: int) -> Dict[str, object]:
+    queries: Dict[str, object] = {}
+    total_legacy = total_opt = 0.0
+    all_identical = True
+    for name, sql in sorted(paper_queries().items()):
+        translation = translate_sql(sql, catalog=datastore.catalog,
+                                    namespace=f"bench.{name}",
+                                    num_reducers=8)
+
+        def run_it(tr=translation):
+            return run_translation(tr, datastore)
+
+        with legacy_record_path():
+            # Translate under the patch too: emit closures are baked in
+            # at compile time (same namespace, so datasets/counters are
+            # comparable field for field).
+            legacy_translation = translate_sql(sql, catalog=datastore.catalog,
+                                               namespace=f"bench.{name}",
+                                               num_reducers=8)
+
+            def run_legacy(tr=legacy_translation):
+                return run_translation(tr, datastore)
+
+            legacy = measure(f"legacy:{name}", run_legacy, repeats=repeats)
+        optimized = measure(f"optimized:{name}", run_it, repeats=repeats)
+
+        identical = (
+            optimized.result.rows == legacy.result.rows
+            and [r.counters.comparable() for r in optimized.result.runs]
+            == [r.counters.comparable() for r in legacy.result.runs])
+        all_identical = all_identical and identical
+        total_legacy += legacy.median_s
+        total_opt += optimized.median_s
+        queries[name] = {
+            "legacy_s": legacy.median_s,
+            "optimized_s": optimized.median_s,
+            "speedup": speedup(legacy, optimized),
+            "identical": identical,
+            "jobs": len(optimized.result.runs),
+            "rows": len(optimized.result.rows),
+            "phase_wall_s": _phase_totals(optimized.result.runs),
+        }
+    return {
+        "queries": queries,
+        "total_legacy_s": total_legacy,
+        "total_optimized_s": total_opt,
+        "speedup": (total_legacy / total_opt) if total_opt else float("inf"),
+        "identical": all_identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Micro: each kernel in isolation
+# ---------------------------------------------------------------------------
+
+def micro_map_emit(datastore, repeats: int):
+    """The map kernel on a real translated job (q17's lineitem scans
+    exercise the multi-spec merge; its orders scan the single-spec
+    fast path)."""
+    translation = translate_sql(paper_queries()["q17"],
+                                catalog=datastore.catalog,
+                                namespace="bench.micro_map", num_reducers=8)
+    # Only the first job scans base tables (later jobs read intermediates
+    # that exist only mid-chain); its map tasks are the kernel under test.
+    graph = JobTaskGraph(translation.jobs[0], datastore)
+    tasks = list(graph.map_tasks)
+
+    def run_all(ts=tasks):
+        return [task.run().counters.output_records for task in ts]
+
+    with legacy_record_path():
+        # Emit closures are compiled into the translation, so the legacy
+        # arm needs its own translation built under the seed builders.
+        legacy_translation = translate_sql(paper_queries()["q17"],
+                                           catalog=datastore.catalog,
+                                           namespace="bench.micro_map",
+                                           num_reducers=8)
+        legacy_tasks = list(
+            JobTaskGraph(legacy_translation.jobs[0], datastore).map_tasks)
+        legacy = measure("legacy",
+                         lambda: run_all(legacy_tasks), repeats=repeats)
+    optimized = measure("optimized", run_all, repeats=repeats)
+    assert optimized.result == legacy.result
+    return legacy, optimized
+
+
+def micro_shuffle_sort(repeats: int, n_keys: int = 20000):
+    """Comparator sort vs precomputed sort-key vectors on translator-
+    shaped composite keys with NULLs and a mixed-direction ORDER BY."""
+    keys = []
+    for i in range(n_keys):
+        keys.append((None if i % 97 == 0 else i % 1500,
+                     f"name#{i % 700:05d}",
+                     float(i % 31)))
+    ascending = [False, True, False]
+
+    def legacy_sort():
+        cmp = functools.cmp_to_key(
+            lambda a, b: _compare_keys(a, b, ascending))
+        return sorted(keys, key=cmp)
+
+    def optimized_sort():
+        return sorted(keys, key=make_sort_key(ascending))
+
+    legacy = measure("legacy", legacy_sort, repeats=repeats,
+                     meta={"keys": len(keys)})
+    optimized = measure("optimized", optimized_sort, repeats=repeats,
+                        meta={"keys": len(keys)})
+    assert optimized.result == legacy.result
+    return legacy, optimized
+
+
+def micro_reduce_dispatch(repeats: int, n_groups: int = 1500):
+    """Per-partition reducer instantiation + per-value dispatch: deepcopy
+    and rebuilt role sets (seed) vs clone and the bound dispatch table."""
+    prototype = CommonReducer([
+        SPTask("a", TaskInput.shuffle("ra", ["k"])),
+        SPTask("b", TaskInput.shuffle("rb", ["k"])),
+        SPTask("c", TaskInput.shuffle("rc", ["k"])),
+    ])
+    groups = []
+    for i in range(n_groups):
+        values = [TaggedValue(frozenset([role]), {"v": i + j})
+                  for j, role in enumerate(("ra", "rb", "rc", "ra"))]
+        groups.append(((i,), values))
+
+    def legacy_partition():
+        reducer = copy.deepcopy(prototype)
+        total = 0
+        for key, values in groups:
+            out = _legacy_common_reduce(reducer, key, values)
+            total += sum(len(rows) for rows in out.values())
+        return total, reducer.dispatch_ops()
+
+    def optimized_partition():
+        reducer = prototype.clone()
+        total = 0
+        for key, values in groups:
+            out = reducer.reduce(key, values)
+            total += sum(len(rows) for rows in out.values())
+        return total, reducer.dispatch_ops()
+
+    legacy = measure("legacy", legacy_partition, repeats=repeats,
+                     meta={"groups": n_groups})
+    optimized = measure("optimized", optimized_partition, repeats=repeats,
+                        meta={"groups": n_groups})
+    assert optimized.result == legacy.result
+    return legacy, optimized
+
+
+def micro_byte_accounting(repeats: int, n_pairs: int = 30000):
+    """Map-output byte estimate: per-pair tag recompute vs the batched
+    accumulator with per-task tag memoization."""
+    roles = [frozenset(["r1"]), frozenset(["r2"]), frozenset(["r1", "r2"]),
+             frozenset(["r1", "r2", "r3"])]
+    pairs = [((i % 2000, f"k{i % 300}"),
+              TaggedValue(roles[i % len(roles)],
+                          {"a": i, "b": f"text{i % 50}"}))
+             for i in range(n_pairs)]
+
+    def legacy_bytes():
+        return sum(_legacy_pair_bytes(k, v, 3) for k, v in pairs)
+
+    def optimized_bytes():
+        return pairs_bytes(pairs, 3)
+
+    legacy = measure("legacy", legacy_bytes, repeats=repeats,
+                     meta={"pairs": n_pairs})
+    optimized = measure("optimized", optimized_bytes, repeats=repeats,
+                        meta={"pairs": n_pairs})
+    assert optimized.result == legacy.result
+    return legacy, optimized
+
+
+def _micro_entry(pair) -> Dict[str, object]:
+    legacy, optimized = pair
+    return {"legacy": legacy.to_dict(), "optimized": optimized.to_dict(),
+            "speedup": speedup(legacy, optimized)}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny data, one repeat; exit 1 unless the "
+                             "macro workload is identical and faster")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the macro workload")
+    parser.add_argument("--users", type=int, default=60,
+                        help="clickstream users for the macro workload")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.users, args.repeats = 0.001, 20, 1
+
+    datastore = build_datastore(tpch_scale=args.scale,
+                                clickstream_users=args.users, seed=7)
+
+    macro = macro_benchmark(datastore, args.repeats)
+    micro = {
+        "map_emit": _micro_entry(micro_map_emit(datastore, args.repeats)),
+        "shuffle_sort": _micro_entry(micro_shuffle_sort(args.repeats)),
+        "reduce_dispatch": _micro_entry(
+            micro_reduce_dispatch(args.repeats)),
+        "byte_accounting": _micro_entry(
+            micro_byte_accounting(args.repeats)),
+    }
+
+    payload = {
+        "benchmark": "record_path",
+        "config": {"tpch_scale": args.scale, "clickstream_users": args.users,
+                   "seed": 7, "repeats": args.repeats, "smoke": args.smoke},
+        "macro": macro,
+        "micro": micro,
+    }
+    write_json(args.out, payload)
+
+    print(f"macro: legacy {macro['total_legacy_s'] * 1e3:.1f}ms -> "
+          f"optimized {macro['total_optimized_s'] * 1e3:.1f}ms "
+          f"({macro['speedup']:.2f}x), identical={macro['identical']}")
+    for name, entry in sorted(macro["queries"].items()):
+        phases = entry["phase_wall_s"]
+        breakdown = " ".join(f"{p}={phases.get(p, 0.0) * 1e3:.1f}ms"
+                             for p in ("map", "shuffle", "reduce",
+                                       "finalize"))
+        print(f"   {name:<12} {entry['legacy_s'] * 1e3:>8.1f}ms -> "
+              f"{entry['optimized_s'] * 1e3:>7.1f}ms "
+              f"({entry['speedup']:>5.2f}x)  [{breakdown}]")
+    for name, entry in micro.items():
+        print(f"micro {name:<16} {entry['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+
+    if not macro["identical"]:
+        print("FAIL: legacy and optimized engines disagree", file=sys.stderr)
+        return 1
+    if args.smoke and macro["speedup"] <= 1.0:
+        print(f"FAIL: smoke speedup {macro['speedup']:.2f}x <= 1.0",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,10 +6,24 @@ linear five-job chain (task-level parallelism only) and a three-report
 batch with no cross-job dependencies (whole jobs overlap).  The
 regenerated table rides on ``benchmark.extra_info`` like every other
 experiment, so ``repro.bench.reporting`` can save and diff it.
+
+Runs under pytest-benchmark (``pytest benchmarks/ --benchmark-only``)
+or standalone on the shared :mod:`benchmarks._microbench` harness::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_parallel.py
 """
 
-from benchmarks.conftest import attach
-from repro.bench import runtime_parallel
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+# Repo root too, so ``benchmarks.conftest`` resolves when run standalone.
+sys.path.insert(
+    0, os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir)))
+from _microbench import measure, write_json  # noqa: E402
+
+from benchmarks.conftest import attach  # noqa: E402
+from repro.bench import runtime_parallel, standard_workload  # noqa: E402
 
 
 def test_runtime_parallel(benchmark, workload):
@@ -28,3 +42,31 @@ def test_runtime_parallel(benchmark, workload):
     # Q21's chain is linear: one job per wave regardless of workers.
     assert all(row["max_wave_width"] == 1 for row in result.by(
         workload="q21"))
+
+
+def main(argv=None) -> int:
+    """Standalone run on the shared micro-benchmark harness.
+
+    The experiment times each worker count internally, so one measured
+    repeat per invocation is enough; the harness supplies the warmup
+    and wall-clock bookkeeping.
+    """
+    workload = standard_workload(tpch_scale=0.002, clickstream_users=50)
+    m = measure("runtime_parallel", lambda: runtime_parallel(workload),
+                repeats=3, warmup=1)
+    result = m.result
+    assert all(row["identical"] for row in result.rows), \
+        "parallel executors diverged from serial rows"
+    print(result.to_markdown())
+    out = os.path.normpath(os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_runtime_parallel.json"))
+    write_json(out, {"experiment": result.exp_id,
+                     "rows": result.rows,
+                     "notes": result.notes,
+                     "wall": m.to_dict()})
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,9 +12,19 @@ historical uncached one on a realistic repeated-key distribution and
 prints the ratio.  No hard speedup assertion (machine-dependent);
 correctness — determinism, NULL handling — is asserted here and in
 ``tests/test_runtime.py``.
+
+Runs under pytest-benchmark (``pytest benchmarks/ --benchmark-only``)
+or standalone on the shared :mod:`benchmarks._microbench` harness::
+
+    PYTHONPATH=src python benchmarks/bench_stable_hash.py
 """
 
+import os
+import sys
 import zlib
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import measure, speedup, write_json  # noqa: E402
 
 from repro.mr import stable_hash
 
@@ -66,3 +76,32 @@ def test_cached_hash_is_deterministic():
     assert cold == warm
     stable_hash.cache_clear()
     assert [stable_hash(k) for k in KEYS[:3000]] == cold
+
+
+def main(argv=None) -> int:
+    """Standalone run on the shared micro-benchmark harness."""
+    repeats = 5
+
+    def run_optimized():
+        stable_hash.cache_clear()
+        return _hash_all(stable_hash)
+
+    legacy = measure("legacy", lambda: _hash_all(_legacy_stable_hash),
+                     repeats=repeats, meta={"keys": len(KEYS)})
+    optimized = measure("optimized", run_optimized,
+                        repeats=repeats, meta={"keys": len(KEYS)})
+    assert optimized.result == legacy.result, "hash checksums diverged"
+    ratio = speedup(legacy, optimized)
+    print(f"stable_hash: legacy {legacy.median_s * 1e3:.1f}ms -> "
+          f"optimized {optimized.median_s * 1e3:.1f}ms ({ratio:.2f}x)")
+    out = os.path.normpath(os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_stable_hash.json"))
+    write_json(out, {"legacy": legacy.to_dict(),
+                     "optimized": optimized.to_dict(),
+                     "speedup": ratio})
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,8 @@ Usage: python scripts/generate_experiments_md.py
 """
 
 import io
+import json
+import os
 import time
 
 from repro.bench import ALL_EXPERIMENTS, standard_workload
@@ -34,6 +36,47 @@ wins, by what factor, where the crossovers fall.
 | Sec. VII-A.2 | Q-CSA: YSmart 2 jobs vs Hive 6; Q17 sub-tree in one job | exact match (see job-count table) |
 
 """
+
+
+def record_path_section(path="BENCH_record_path.json"):
+    """Render the record-path wall-clock trajectory, if the benchmark has
+    been run (``PYTHONPATH=src python benchmarks/bench_record_path.py``).
+
+    Unlike everything above — simulated cluster seconds — these are real
+    in-process milliseconds: the engine's per-record kernels against the
+    seed engine's, on identical inputs with byte-identical outputs.
+    """
+    if not os.path.exists(path):
+        return ""
+    with open(path) as fh:
+        data = json.load(fh)
+    macro, micro, cfg = data["macro"], data["micro"], data["config"]
+    out = io.StringIO()
+    out.write("\n## Record-path wall-clock trajectory "
+              "(real time, not simulated)\n\n")
+    out.write(f"From `{os.path.basename(path)}` "
+              f"(seed {cfg['seed']}, TPC-H SF {cfg['tpch_scale']}, "
+              f"{cfg['repeats']} repeats"
+              f"{', smoke run' if cfg.get('smoke') else ''}): "
+              f"macro speedup **{macro['speedup']:.2f}x** "
+              f"({macro['total_legacy_s'] * 1e3:.0f}ms -> "
+              f"{macro['total_optimized_s'] * 1e3:.0f}ms), outputs "
+              f"{'identical' if macro['identical'] else 'DIVERGED'}.\n\n")
+    out.write("| query | legacy_ms | optimized_ms | speedup | "
+              "map_ms | shuffle_ms | reduce_ms | finalize_ms |\n")
+    out.write("|---|---|---|---|---|---|---|---|\n")
+    for name, q in sorted(macro["queries"].items()):
+        walls = q["phase_wall_s"]
+        out.write(f"| {name} | {q['legacy_s'] * 1e3:.1f} "
+                  f"| {q['optimized_s'] * 1e3:.1f} "
+                  f"| {q['speedup']:.2f}x |"
+                  + "|".join(f" {walls.get(p, 0.0) * 1e3:.1f} "
+                             for p in ("map", "shuffle", "reduce",
+                                       "finalize")) + "|\n")
+    out.write("\nMicro-kernels: "
+              + ", ".join(f"{name} {micro[name]['speedup']:.2f}x"
+                          for name in sorted(micro)) + ".\n")
+    return out.getvalue()
 
 
 def main():
@@ -104,6 +147,7 @@ def main():
     for name, result in results.items():
         out.write(result.to_markdown())
         out.write("\n\n")
+    out.write(record_path_section())
     out.write(f"\n*Generated in {time.time() - start:.0f}s from the "
               "standard workload (TPC-H SF 0.005, 120 click-stream users) "
               "with seed 2011.*\n")

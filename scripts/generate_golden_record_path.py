@@ -1,0 +1,107 @@
+"""Regenerate the record-path golden snapshots.
+
+Writes ``tests/golden/record_path.json``: for every paper workload query
+(translated in ysmart mode against the standard small test datasets) the
+final result rows, every job's deterministic :class:`JobCounters` fields,
+and the executed reduce partitions (ids and record loads) in partition
+order.  ``tests/test_golden_record_path.py`` asserts the engine still
+reproduces these byte-for-byte, for serial and parallel executors alike.
+
+Only rerun this when engine *semantics* intentionally change (never for
+performance work — the whole point of the snapshot is that hot-path
+optimization must not move a single byte)::
+
+    PYTHONPATH=src python scripts/generate_golden_record_path.py
+"""
+
+import json
+import os
+
+from repro.catalog import standard_catalog
+from repro.core.translator import translate_sql
+from repro.data import ClickstreamConfig, Datastore, TpchConfig
+from repro.data import generate_clickstream, generate_tpch
+from repro.mr.tasks import JobTaskGraph
+from repro.workloads.queries import paper_queries
+
+# Must match the session fixtures in tests/conftest.py.
+DATASTORE_CONFIG = {"tpch_scale": 0.002, "clickstream_users": 60, "seed": 7}
+NUM_REDUCERS = 8
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "tests", "golden", "record_path.json")
+
+
+def build_datastore():
+    cfg = DATASTORE_CONFIG
+    ds = Datastore(standard_catalog())
+    for table in generate_tpch(TpchConfig(scale_factor=cfg["tpch_scale"],
+                                          seed=cfg["seed"])).values():
+        ds.load_table(table)
+    ds.load_table(generate_clickstream(ClickstreamConfig(
+        num_users=cfg["clickstream_users"], seed=cfg["seed"])))
+    return ds
+
+
+def counters_snapshot(counters):
+    """The deterministic counter fields (everything but measured wall
+    timings, which executor choice legitimately changes)."""
+    snap = getattr(counters, "comparable", None)
+    data = snap() if callable(snap) else dict(vars(counters))
+    data.pop("phase_wall_s", None)
+    return data
+
+
+def execute_chain(translation, datastore):
+    """Run a translation's jobs serially through the task graph,
+    recording per-job counters and executed reduce partitions.
+
+    Translations list jobs in topological order (every DAG edge points
+    at an earlier job), so straight submission order is a valid serial
+    schedule — the same order ``Runtime`` + ``SerialExecutor`` uses.
+    """
+    jobs_snapshot = []
+    for job in translation.jobs:
+        graph = JobTaskGraph(job, datastore)
+        map_outputs = [task.run() for task in graph.map_tasks]
+        reduce_tasks = graph.shuffle(map_outputs)
+        partitions = [[task.partition, task.input_records]
+                      for task in reduce_tasks]
+        counters = graph.finalize([task.run() for task in reduce_tasks])
+        jobs_snapshot.append({
+            "job_id": job.job_id,
+            "name": job.name,
+            "partitions": partitions,
+            "counters": counters_snapshot(counters),
+        })
+    final = datastore.intermediate(translation.final_dataset)
+    return {
+        "columns": list(translation.output_columns),
+        "rows": [dict(row) for row in final.rows],
+        "jobs": jobs_snapshot,
+    }
+
+
+def main():
+    ds = build_datastore()
+    snapshot = {"config": dict(DATASTORE_CONFIG,
+                               num_reducers=NUM_REDUCERS, mode="ysmart"),
+                "queries": {}}
+    for name, sql in sorted(paper_queries().items()):
+        translation = translate_sql(sql, catalog=ds.catalog,
+                                    namespace=f"golden.{name}",
+                                    num_reducers=NUM_REDUCERS)
+        snapshot["queries"][name] = execute_chain(translation, ds)
+        print(f"{name}: {len(snapshot['queries'][name]['rows'])} rows, "
+              f"{len(snapshot['queries'][name]['jobs'])} jobs")
+
+    path = os.path.normpath(OUT_PATH)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -99,6 +99,18 @@ def cmd_run(args) -> int:
                        keep_trace=args.parallel > 1)
     workers = f" workers={args.parallel}" if args.parallel > 1 else ""
     print(f"mode={args.mode} jobs={result.job_count}{workers}")
+    if args.timings:
+        phases = ("map", "shuffle", "reduce", "finalize")
+        totals = {p: 0.0 for p in phases}
+        print("measured phase wall-clock (this process, not simulated):")
+        for run in result.runs:
+            walls = run.counters.phase_wall_s
+            print("   " + f"{run.name:<30} " + " ".join(
+                f"{p}={walls.get(p, 0.0) * 1e3:>8.2f}ms" for p in phases))
+            for p in phases:
+                totals[p] += walls.get(p, 0.0)
+        print("   " + f"{'total':<30} " + " ".join(
+            f"{p}={totals[p] * 1e3:>8.2f}ms" for p in phases))
     if result.trace is not None and result.trace.max_wave_width > 1:
         waves = " | ".join(",".join(w) for w in result.trace.waves)
         print(f"schedule waves: {waves}")
@@ -188,6 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution-runtime workers: independent jobs and "
                         "their map/reduce tasks run concurrently "
                         "(results are identical to serial)")
+    p.add_argument("--timings", action="store_true",
+                   help="print measured per-job phase wall-clock "
+                        "(map/shuffle/reduce/finalize)")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
 

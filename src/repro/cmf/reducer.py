@@ -32,6 +32,14 @@ class CommonReducer(ReducerProtocol):
     ``tasks`` must be topologically ordered (every ``TaskInput.task``
     reference points at an earlier task); ``global_group`` marks a
     grand-aggregate job that must reduce once even over empty input.
+
+    Dispatch is the CMF's one instruction per (value, interested task),
+    so the loop is kept allocation-free: each task's shuffle-role set is
+    resolved once at bind time and membership is tested with
+    ``frozenset.isdisjoint`` (no intersection set is built).  The
+    engine runs one :meth:`clone` per reduce partition — a shallow
+    re-binding of per-partition state over the shared compiled task
+    configuration, replacing the historical ``copy.deepcopy``.
     """
 
     def __init__(self, tasks: Sequence[ReduceTask], global_group: bool = False):
@@ -40,6 +48,30 @@ class CommonReducer(ReducerProtocol):
         self._dispatch = 0
         self._compute = 0
         self._validate()
+        self._bind()
+
+    def _bind(self) -> None:
+        """Precompute the dispatch table: tasks that take shuffle input,
+        paired with their (immutable) role sets."""
+        self._dispatch_table = [(task, task.shuffle_roles)
+                                for task in self.tasks if task.shuffle_roles]
+        # Most jobs shuffle into exactly one task; dispatching to it
+        # directly drops the per-value table scan.
+        self._sole_dispatch = (self._dispatch_table[0]
+                               if len(self._dispatch_table) == 1 else None)
+        self._sole_task = self.tasks[0] if len(self.tasks) == 1 else None
+
+    def clone(self) -> "CommonReducer":
+        """A fresh reducer for another reduce partition: cloned tasks
+        (shared compiled config, fresh buffers/counters), zeroed op
+        counters.  Skips re-validation — the prototype already passed."""
+        dup = CommonReducer.__new__(CommonReducer)
+        dup.tasks = [task.clone() for task in self.tasks]
+        dup.global_group = self.global_group
+        dup._dispatch = 0
+        dup._compute = 0
+        dup._bind()
+        return dup
 
     def _validate(self) -> None:
         seen: set = set()
@@ -58,21 +90,42 @@ class CommonReducer(ReducerProtocol):
         return [t.task_id for t in self.tasks]
 
     def reduce(self, key: Key, values: List[TaggedValue]) -> Dict[str, List[Row]]:
-        for task in self.tasks:
+        tasks = self.tasks
+        for task in tasks:
             task.start(key)
 
         # One pass over the value list, dispatching by visibility tag.
-        for tv in values:
-            for task in self.tasks:
-                if tv.roles & task.shuffle_roles:
-                    task.consume(key, tv.roles, tv.payload)
-                    self._dispatch += 1
+        # ``isdisjoint`` is the allocation-free spelling of "tag
+        # intersects the task's shuffle roles"; tasks without shuffle
+        # inputs never enter the loop (they dispatch nothing either way).
+        sole = self._sole_dispatch
+        if sole is not None:
+            task, shuffle_roles = sole
+            dispatched = task.consume_all(key, values, shuffle_roles)
+        else:
+            dispatched = 0
+            dispatch_table = self._dispatch_table
+            for tv in values:
+                roles = tv.roles
+                for task, shuffle_roles in dispatch_table:
+                    if not roles.isdisjoint(shuffle_roles):
+                        task.consume(key, roles, tv.payload)
+                        dispatched += 1
+        self._dispatch += dispatched
 
         outputs: Dict[str, List[Row]] = {}
-        for task in self.tasks:
+        solo = self._sole_task
+        if solo is not None:
+            before = solo.compute_ops
+            outputs[solo.task_id] = solo.finish(key, outputs)
+            self._compute += solo.compute_ops - before
+            return outputs
+        computed = 0
+        for task in tasks:
             before = task.compute_ops
             outputs[task.task_id] = task.finish(key, outputs)
-            self._compute += task.compute_ops - before
+            computed += task.compute_ops - before
+        self._compute += computed
         return outputs
 
     def dispatch_ops(self) -> int:

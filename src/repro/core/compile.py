@@ -32,6 +32,7 @@ from repro.core.correlation import CorrelationAnalysis
 from repro.core.jobgen import JobDraft, JobGraph
 from repro.data.table import Row
 from repro.errors import TranslationError
+from repro.expr.compiler import compile_predicate
 from repro.mr.job import EmitSpec, MRJob, MapAggSpec, MapInput, OutputSpec
 from repro.mr.kv import TagPolicy
 from repro.ops.tasks import (
@@ -163,6 +164,29 @@ class JobCompiler:
 
     # -- emit-spec builders -----------------------------------------------------------------
 
+    @staticmethod
+    def _raw_predicates(stages: Sequence[object],
+                        qmap: Dict[str, str]) -> Optional[List[Callable]]:
+        """Recompile a Filter-only stage chain against *raw* source
+        column names.
+
+        Resolved predicates reference qualified row keys; ``qmap`` maps
+        those back to the scan's source columns, so the compiled
+        predicates run directly on source records and the per-record
+        qualified dict is never built.  Returns ``None`` when a
+        predicate references a column outside the scan's map (caller
+        falls back to the staged path).
+        """
+        def resolver(table: Optional[str], name: str) -> str:
+            if table is not None:
+                raise KeyError(name)
+            return qmap[name]
+
+        try:
+            return [compile_predicate(s.predicate, resolver) for s in stages]
+        except KeyError:
+            return None
+
     def _scan_emit(self, scan: ScanNode, role: str, key_cols: Sequence[str],
                    payload_cols: Sequence[str]
                    ) -> Tuple[EmitSpec, List[Tuple[str, str]]]:
@@ -182,12 +206,61 @@ class JobCompiler:
         key_cols = list(key_cols)
         payload_items = sorted(payload_names.items())
 
+        if not len(stages):
+            # Stage-free scan: no filter can drop the record and no
+            # project renames it, so key and payload read straight from
+            # the source row — the per-record qualified dict disappears.
+            qmap = dict(qualified)
+            key_src = [qmap[c] for c in key_cols]
+            payload_src = [(p, qmap[q]) for q, p in payload_items]
+
+            if len(key_src) == 1:
+                kc = key_src[0]
+
+                def emit(record: Row):
+                    return ((record[kc],),
+                            {p: record[c] for p, c in payload_src})
+            else:
+
+                def emit(record: Row):
+                    return (tuple([record[c] for c in key_src]),
+                            {p: record[c] for p, c in payload_src})
+
+            return EmitSpec(role, emit), payload_map
+
+        if not has_project:
+            # Filter-only chain: no stage renames a column, so the
+            # predicates recompile against the raw source row and key/
+            # payload read straight from it — same dict-free emit as the
+            # stage-free path, gated on the predicates.
+            qmap = dict(qualified)
+            preds = self._raw_predicates(scan.stages, qmap)
+            if preds is not None:
+                key_src = [qmap[c] for c in key_cols]
+                payload_src = [(p, qmap[q]) for q, p in payload_items]
+                if len(preds) == 1:
+                    pred0 = preds[0]
+
+                    def emit(record: Row):
+                        if not pred0(record):
+                            return None
+                        return (tuple([record[c] for c in key_src]),
+                                {p: record[c] for p, c in payload_src})
+                else:
+
+                    def emit(record: Row):
+                        for pred in preds:
+                            if not pred(record):
+                                return None
+                        return (tuple([record[c] for c in key_src]),
+                                {p: record[c] for p, c in payload_src})
+
+                return EmitSpec(role, emit), payload_map
+
         def emit(record: Row):
-            row = {q: record[c] for q, c in qualified}
-            rows = stages.run([row])
-            if not rows:
+            out = stages.run_one({q: record[c] for q, c in qualified})
+            if out is None:
                 return None
-            out = rows[0]
             key = tuple(out[c] for c in key_cols)
             return key, {p: out[q] for q, p in payload_items}
 
@@ -199,9 +272,19 @@ class JobCompiler:
         key_cols = list(key_cols)
         payload_cols = sorted(set(payload_cols) - set(key_cols))
 
-        def emit(record: Row):
-            key = tuple(record[c] for c in key_cols)
-            return key, {c: record[c] for c in payload_cols}
+        # Intermediate-dataset emits dominate multi-job chains, so the
+        # single-key-column shape (the usual case: jobs partition on one
+        # join/group column) skips the tuple-building loop entirely.
+        if len(key_cols) == 1:
+            kc = key_cols[0]
+
+            def emit(record: Row):
+                return (record[kc],), {c: record[c] for c in payload_cols}
+        else:
+
+            def emit(record: Row):
+                return (tuple([record[c] for c in key_cols]),
+                        {c: record[c] for c in payload_cols})
 
         return EmitSpec(role, emit)
 
@@ -249,13 +332,33 @@ class JobCompiler:
         qualified = [(node.qualified(c), c) for c in node.columns]
         key_cols = list(needed)
 
-        def emit(record: Row):
-            row = {q: record[c] for q, c in qualified}
-            rows = stages.run([row])
-            if not rows:
-                return None
-            out = rows[0]
-            return tuple(out[c] for c in key_cols), {}
+        has_project = any(isinstance(s, Project) for s in node.stages)
+        preds = None
+        if len(stages) and not has_project:
+            qmap = dict(qualified)
+            preds = self._raw_predicates(node.stages, qmap)
+
+        if not len(stages):
+            qmap = dict(qualified)
+            key_src = [qmap[c] for c in key_cols]
+
+            def emit(record: Row):
+                return tuple([record[c] for c in key_src]), {}
+        elif preds is not None:
+            key_src = [qmap[c] for c in key_cols]
+            raw_preds = preds
+
+            def emit(record: Row):
+                for pred in raw_preds:
+                    if not pred(record):
+                        return None
+                return tuple([record[c] for c in key_src]), {}
+        else:
+            def emit(record: Row):
+                out = stages.run_one({q: record[c] for q, c in qualified})
+                if out is None:
+                    return None
+                return tuple([out[c] for c in key_cols]), {}
 
         task = SPTask(node.label, TaskInput.shuffle(role, key_cols))
         outputs = [OutputSpec(ds, n.label, self._output_columns(n))
@@ -329,11 +432,9 @@ class JobCompiler:
             qualified = [(child.qualified(c), c) for c in child.columns]
 
             def emit(record: Row):
-                row = {q: record[c] for q, c in qualified}
-                rows = stages.run([row])
-                if not rows:
+                out = stages.run_one({q: record[c] for q, c in qualified})
+                if out is None:
                     return None
-                out = rows[0]
                 key = tuple(fn(out) for _, fn in group_fns)
                 payload = {spec.slot: fn(out)
                            for spec, fn in agg_fns if fn is not None}

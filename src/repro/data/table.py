@@ -24,7 +24,7 @@ class Table:
     tests use it, hot paths (MR intermediate datasets) skip it.
     """
 
-    __slots__ = ("name", "schema", "rows")
+    __slots__ = ("name", "schema", "rows", "_size_cache")
 
     def __init__(
         self,
@@ -36,6 +36,7 @@ class Table:
         self.name = name
         self.schema = schema
         self.rows: List[Row] = list(rows) if rows is not None else []
+        self._size_cache: Optional[int] = None
         if validate:
             for row in self.rows:
                 schema.validate_row(row)
@@ -53,9 +54,11 @@ class Table:
         if validate:
             self.schema.validate_row(row)
         self.rows.append(row)
+        self._size_cache = None
 
     def extend(self, rows: Iterable[Row]) -> None:
         self.rows.extend(rows)
+        self._size_cache = None
 
     def column_values(self, column: str) -> List[object]:
         """Return all values of ``column`` in row order."""
@@ -67,12 +70,20 @@ class Table:
 
         Each value costs its string rendering plus one delimiter byte; this
         tracks the text-file encoding Hadoop jobs in the paper read.
+
+        Cached after the first call (every job scanning a table charges
+        for its size, so the same table used to be re-measured per job);
+        ``append``/``extend`` invalidate the cache.
         """
-        total = 0
-        for row in self.rows:
-            for col in self.schema.names:
-                total += len(str(row[col])) + 1
-        return total
+        cached = self._size_cache
+        if cached is None:
+            names = self.schema.names
+            total = 0
+            for row in self.rows:
+                for col in names:
+                    total += len(str(row[col])) + 1
+            cached = self._size_cache = total
+        return cached
 
     def sorted_rows(self) -> List[Row]:
         """Rows sorted by their full value tuple — a canonical order for

@@ -300,6 +300,24 @@ def make_accumulator(name: str, distinct: bool = False, star: bool = False) -> A
 
 def accumulator_factory(name: str, distinct: bool = False,
                         star: bool = False) -> Callable[[], Accumulator]:
-    """Return a zero-argument factory (validated once, called per group)."""
-    make_accumulator(name, distinct, star)  # validate eagerly
-    return lambda: make_accumulator(name, distinct, star)
+    """Return a zero-argument factory (validated once, called per group).
+
+    Resolves the accumulator *class* up front, so the per-group call is
+    a bare constructor instead of re-running the name/flag dispatch —
+    reduce tasks build fresh accumulators for every key group.
+    """
+    if star:
+        if name != "count":
+            raise UnsupportedSqlError(f"{name}(*) is not a valid aggregate")
+        return CountStarAcc
+    if distinct:
+        if name == "count":
+            return CountDistinctAcc
+        if name in ("min", "max"):
+            # DISTINCT is a no-op for min/max.
+            return _FACTORIES[name]
+        raise UnsupportedSqlError(f"{name}(DISTINCT …) is not supported")
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise UnsupportedSqlError(f"unknown aggregate function {name!r}") from None

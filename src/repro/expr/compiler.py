@@ -37,15 +37,20 @@ Scalar = Callable[[Row], object]
 Resolver = Callable[[Optional[str], str], str]
 
 
+import operator as _op
+
+#: op → raw (non-NULL-safe) evaluator, for the ops whose NULL handling is
+#: plain propagation (``/`` and ``||`` have their own semantics).
+_RAW_BINOPS = {
+    "+": _op.add, "-": _op.sub, "*": _op.mul, "%": _op.mod,
+    "=": _op.eq, "<>": _op.ne, "<": _op.lt, ">": _op.gt,
+    "<=": _op.le, ">=": _op.ge,
+}
+
+
 def _null_safe_binop(op: str) -> Callable[[object, object], object]:
     """Return a binary evaluator with SQL NULL propagation."""
-    import operator as _op
-
-    table = {
-        "+": _op.add, "-": _op.sub, "*": _op.mul, "%": _op.mod,
-        "=": _op.eq, "<>": _op.ne, "<": _op.lt, ">": _op.gt,
-        "<=": _op.le, ">=": _op.ge,
-    }
+    table = _RAW_BINOPS
     if op == "/":
         def divide(a, b):
             if a is None or b is None:
@@ -128,6 +133,20 @@ def compile_scalar(expr: Expr, resolver: Resolver) -> Scalar:
             return k_or
         left = compile_scalar(expr.left, resolver)
         right = compile_scalar(expr.right, resolver)
+        fn = _RAW_BINOPS.get(expr.op)
+        if fn is not None:
+            # Plain-propagation ops: inline the NULL checks so each
+            # evaluation is one closure call, not two.
+            def k_binop(row):
+                a = left(row)
+                if a is None:
+                    return None
+                b = right(row)
+                if b is None:
+                    return None
+                return fn(a, b)
+
+            return k_binop
         apply = _null_safe_binop(expr.op)
         return lambda row: apply(left(row), right(row))
 

@@ -3,12 +3,27 @@
 All counters are *measured* during real execution of the job over real
 rows (never estimated), mirroring Hadoop's built-in counters plus the CMF
 dispatch counter the paper's Fig. 9 analysis reasons about.
+
+Two kinds of fields live here:
+
+* **deterministic counters** — records, bytes, groups, operation counts.
+  Byte-identical for every executor and pinned by golden snapshots
+  (``tests/golden/record_path.json``); compare them with
+  :meth:`JobCounters.comparable`.
+* **measured wall-clock phase timings** (``phase_wall_s``) — real
+  elapsed seconds per phase, which legitimately vary run to run and per
+  executor.  They are excluded from dataclass equality
+  (``compare=False``) and from ``comparable()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+#: Field names holding measured wall-clock time rather than deterministic
+#: counts — excluded from :meth:`JobCounters.comparable`.
+TIMING_FIELDS = ("phase_wall_s",)
 
 
 @dataclass
@@ -57,7 +72,23 @@ class JobCounters:
     #: estimated bytes written to HDFS, per output dataset
     output_bytes: Dict[str, int] = field(default_factory=dict)
 
+    # -- measured wall-clock (not deterministic; see module docstring) -------
+    #: real elapsed seconds per execution phase: ``map`` (sum of map-task
+    #: walls), ``shuffle`` (scheduler-side partition build + sort),
+    #: ``reduce`` (sum of reduce-task walls), ``finalize`` (output
+    #: projection + write).  Surfaced by ``repro run --timings``.
+    phase_wall_s: Dict[str, float] = field(default_factory=dict,
+                                           compare=False)
+
     # -- convenience -----------------------------------------------------------
+
+    def comparable(self) -> Dict[str, object]:
+        """Every deterministic field — what golden snapshots pin and
+        executor-identity tests compare (wall timings excluded)."""
+        data = dict(vars(self))
+        for name in TIMING_FIELDS:
+            data.pop(name, None)
+        return data
 
     @property
     def total_input_bytes(self) -> int:
@@ -109,6 +140,8 @@ class JobCounters:
             reduce_compute_ops=int(self.reduce_compute_ops * factor),
             output_records=scale_map(self.output_records),
             output_bytes=scale_map(self.output_bytes),
+            # Wall timings are measured, not volume-linear: carry as-is.
+            phase_wall_s=dict(self.phase_wall_s),
         )
 
 

@@ -86,10 +86,29 @@ class ReducerProtocol:
     ``reduce`` receives the key and the list of (roles, payload) values
     and returns ``{task_id: rows}`` for every output task.  ``dispatch_ops``
     lets the engine collect the CMF dispatch-count counter.
+
+    ``clone`` is the per-partition instantiation contract: the engine
+    runs one clone per reduce partition, so clones must share **no**
+    mutable state with the prototype or each other (per-key buffers, op
+    counters, accumulator scratch), while immutable compiled
+    configuration should be shared rather than copied.
     """
 
     def reduce(self, key: Key, values) -> Dict[str, List[Row]]:
         raise NotImplementedError
+
+    def clone(self) -> "ReducerProtocol":
+        """A fresh reducer for one reduce partition.
+
+        Fallback for third-party reducers only: a deep copy trivially
+        satisfies the no-shared-mutable-state contract, but walks the
+        whole object graph per partition.  Every shipped reducer
+        overrides this with a cheap constructor-style clone (see
+        :meth:`repro.cmf.CommonReducer.clone`) — the execution hot path
+        never deep-copies.
+        """
+        import copy
+        return copy.deepcopy(self)
 
     def dispatch_ops(self) -> int:
         """Value-dispatch operations performed since the last call."""

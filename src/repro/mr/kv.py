@@ -16,7 +16,8 @@ highly overlapped map outputs); :func:`tag_bytes` picks per the policy.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Tuple
+import functools
+from typing import Dict, FrozenSet, Iterable, NamedTuple, Sequence, Tuple
 
 Key = Tuple[object, ...]
 
@@ -51,12 +52,18 @@ def key_bytes(key: Key) -> int:
     return sum(len(str(part)) + 1 for part in key)
 
 
+@functools.lru_cache(maxsize=4096)
 def tag_bytes(roles: FrozenSet[str], universe_size: int,
               policy: TagPolicy = TagPolicy.BEST) -> int:
     """Estimated size of the visibility tag for one pair.
 
     ``universe_size`` is the number of roles in the whole job.  Jobs with a
     single role need no tag at all.
+
+    Memoized: a job emits millions of pairs but only a handful of
+    distinct role combinations (the map task interns one ``frozenset``
+    per combination, so cache keys are shared objects), and the tag cost
+    is a pure function of ``(roles, universe, policy)``.
     """
     if universe_size <= 1:
         return 0
@@ -74,6 +81,37 @@ def pair_bytes(key: Key, value: TaggedValue, universe_size: int,
     """Total estimated wire size of one map-output pair."""
     return (key_bytes(key) + value_bytes(value.payload)
             + tag_bytes(value.roles, universe_size, policy))
+
+
+def pairs_bytes(pairs: Sequence[Tuple[Key, TaggedValue]],
+                universe_size: int,
+                policy: TagPolicy = TagPolicy.BEST) -> int:
+    """Total estimated wire size of a batch of map-output pairs.
+
+    Charge-identical to ``sum(pair_bytes(k, v, ...) for k, v in pairs)``
+    but the tag cost is looked up per distinct role combination instead
+    of re-derived per pair, and the key/value ``str()`` accounting runs
+    in one flat loop (no per-pair generator frames).  This is the map
+    task's per-pair accounting hot path.
+    """
+    total = 0
+    tag_cache: Dict[FrozenSet[str], int] = {}
+    tag_get = tag_cache.get
+    for key, value in pairs:
+        roles = value.roles
+        tag = tag_get(roles)
+        if tag is None:
+            tag = tag_cache[roles] = tag_bytes(roles, universe_size, policy)
+        payload = value.payload
+        n = tag + len(key) + len(payload)   # one delimiter per field
+        # ``str()`` of a str is itself — skip the copy for the common
+        # string-typed fields (same count, fewer allocations).
+        for part in key:
+            n += len(part) if type(part) is str else len(str(part))
+        for v in payload.values():
+            n += len(v) if type(v) is str else len(str(v))
+        total += n
+    return total
 
 
 def rows_bytes(rows: Iterable[Dict[str, object]]) -> int:

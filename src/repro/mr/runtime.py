@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -120,6 +121,9 @@ class TaskEvent:
     kind: str        # "map" | "reduce"
     phase: str       # "start" | "finish"
     worker: str = ""
+    #: monotonic wall-clock stamp (perf_counter); only meaningful as a
+    #: difference against other events of the same trace
+    t: float = 0.0
 
 
 @dataclass
@@ -145,7 +149,8 @@ class RuntimeTrace:
             self.events.append(TaskEvent(
                 seq=len(self.events), wave=wave, job_id=job_id,
                 task_id=task_id, kind=kind, phase=phase,
-                worker=threading.current_thread().name))
+                worker=threading.current_thread().name,
+                t=time.perf_counter()))
 
     # -- inspection helpers -------------------------------------------------
 

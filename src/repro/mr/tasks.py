@@ -34,25 +34,37 @@ Semantics notes (inherited from the monolithic engine):
   per dataset it may therefore emit more pairs than a whole-input
   combine would — but the same pairs for every executor, and reduce
   merges the partial states either way.
+
+Hot-path kernels (see ``docs/internals.md`` § "The record hot path"):
+every per-record loop in this module is written against the invariant
+that rows, counters, and partition assignment stay byte-identical to
+the naive formulation — single-spec emit specialization, interned role
+tags, cached key→buffer partition routing, decorated one-pass sort keys
+(:func:`make_sort_key`), batch byte accounting
+(:func:`repro.mr.kv.pairs_bytes`), and per-partition reducer ``clone()``
+instead of ``copy.deepcopy``.  Golden snapshots
+(``tests/golden/record_path.json``) pin the invariant; every task also
+measures its wall clock into ``TaskCounters.wall_s``, folded into the
+job's ``phase_wall_s`` (surfaced by ``repro run --timings``).
 """
 
 from __future__ import annotations
 
-import copy
 import functools
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.types import ColumnType
 from repro.data.datastore import Datastore
 from repro.data.table import Row, Table
 from repro.errors import ExecutionError
-from repro.expr.aggregates import make_accumulator
+from repro.expr.aggregates import accumulator_factory
 from repro.mr.counters import JobCounters
 from repro.mr.job import MRJob, MapInput
-from repro.mr.kv import Key, TaggedValue, pair_bytes, rows_bytes
+from repro.mr.kv import Key, TaggedValue, pairs_bytes, rows_bytes
 
 
 def _canonical(value: object) -> object:
@@ -101,6 +113,16 @@ def _order_key(value: object) -> Tuple:
 
 
 def _compare_keys(a: Key, b: Key, ascending: Sequence[bool]) -> int:
+    """Reference total order over composite keys (NULLs first, per-position
+    ascending flags).
+
+    This is the *specification* the sort kernels implement: the old
+    engine sorted with ``functools.cmp_to_key(_compare_keys)``, paying a
+    Python comparison call per key pair.  Execution now uses the
+    precomputed key vectors from :func:`make_sort_key` (tests assert the
+    orders are identical); this function stays as the executable contract
+    and for property tests.
+    """
     for i, (x, y) in enumerate(zip(a, b)):
         asc = ascending[i] if i < len(ascending) else True
         kx, ky = _order_key(x), _order_key(y)
@@ -111,6 +133,64 @@ def _compare_keys(a: Key, b: Key, ascending: Sequence[bool]) -> int:
             return -1 if less else 1
         return 1 if less else -1
     return 0
+
+
+class _Descending:
+    """Reverses the ordering of one sort-key component.
+
+    Wrapping a component's ascending key ``(not-null, value)`` in this
+    class inside the decorated tuple makes ``sorted()`` order that
+    position descending while tuple comparison still short-circuits on
+    the earlier positions.  Only ``__eq__``/``__lt__`` are needed: tuple
+    comparison probes equality first, then less-than, and ``sorted()``
+    uses nothing else.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __eq__(self, other):
+        return self.key == other.key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    __hash__ = None
+
+
+def _asc_sort_key(key: Key) -> Tuple:
+    """Decorated sort key for an all-ascending order (the hash-partition
+    group order and the common ``sort_output`` case)."""
+    return tuple((v is not None, v) for v in key)
+
+
+def make_sort_key(ascending: Sequence[bool]) -> Callable[[Key], Tuple]:
+    """Build the per-job sort-key function equivalent to
+    ``cmp_to_key(lambda a, b: _compare_keys(a, b, ascending))``.
+
+    Built once per job: ``sorted(keys, key=...)`` then computes one
+    decorated tuple per key (O(n)) instead of one Python comparator call
+    per key *pair* (O(n log n) calls).  Positions beyond ``ascending``
+    default to ascending, NULLs-first is preserved by the per-component
+    ``(not-null, value)`` wrapping, and descending positions wrap in
+    :class:`_Descending`.
+    """
+    flags = list(ascending)
+    if all(flags):
+        return _asc_sort_key
+
+    def sort_key(key: Key) -> Tuple:
+        parts = []
+        for i, v in enumerate(key):
+            part = (v is not None, v)
+            if i < len(flags) and not flags[i]:
+                part = _Descending(part)
+            parts.append(part)
+        return tuple(parts)
+
+    return sort_key
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +219,10 @@ class TaskCounters:
     groups: int = 0
     dispatch_ops: int = 0
     compute_ops: int = 0
+    #: measured wall-clock seconds of this task's ``run`` (not
+    #: deterministic — excluded from equality, folded into the job's
+    #: ``phase_wall_s`` map/reduce entries)
+    wall_s: float = field(default=0.0, compare=False)
 
 
 Pair = Tuple[Key, TaggedValue]
@@ -169,8 +253,63 @@ class MapTaskOutput:
     pairs: Optional[List[Pair]] = None
 
 
+def _merge_record(emitted, tags: Dict[Tuple[str, ...], frozenset],
+                  append) -> None:
+    """Merge one record's surviving ``(role, (key, payload))`` emissions
+    into tagged pairs (slow half of :meth:`MapTask._emit_merged`).
+
+    Single-role and all-keys-equal records — the overwhelming majority —
+    never build the merge dict; mixed-key records fall through to it.
+    """
+    if not emitted:
+        return
+    if len(emitted) == 1:
+        role, (key, payload) = emitted[0]
+        roles_t = (role,)
+        tag = tags.get(roles_t)
+        if tag is None:
+            tag = tags[roles_t] = frozenset(roles_t)
+        append((key, TaggedValue(tag, payload)))
+        return
+    first_key = emitted[0][1][0]
+    if all(e[0] == first_key for _, e in emitted[1:]):
+        roles_t = tuple(role for role, _ in emitted)
+        tag = tags.get(roles_t)
+        if tag is None:
+            tag = tags[roles_t] = frozenset(roles_t)
+        payload = emitted[0][1][1]
+        for _, (_, extra) in emitted[1:]:
+            payload.update(extra)
+        append((first_key, TaggedValue(tag, payload)))
+        return
+    merged: Dict[Key, List] = {}
+    for role, (key, payload) in emitted:
+        entry = merged.get(key)
+        if entry is None:
+            merged[key] = [(role,), payload]
+        else:
+            entry[0] += (role,)
+            entry[1].update(payload)
+    for key, (roles, payload) in merged.items():
+        tag = tags.get(roles)
+        if tag is None:
+            tag = tags[roles] = frozenset(roles)
+        append((key, TaggedValue(tag, payload)))
+
+
 class MapTask:
-    """Map one input split: emit, merge per-record, combine, partition."""
+    """Map one input split: emit, merge per-record, combine, partition.
+
+    The inner loop is the whole system's record hot path, so ``run``
+    specializes it: single-spec inputs (the overwhelmingly common case)
+    skip the per-record merge machinery entirely and share one interned
+    role tag, multi-spec inputs intern one ``frozenset`` per role
+    *combination* instead of building a set + frozenset per record, and
+    hash partitioning caches ``key → partition buffer`` so repeated keys
+    cost one dict hit instead of a hash + modulo + ``setdefault``.
+    Byte-identical to the naive loop — same pairs, same order, same
+    counters (golden-pinned).
+    """
 
     def __init__(self, job: MRJob, map_input: MapInput, split: InputSplit):
         self.job = job
@@ -179,61 +318,154 @@ class MapTask:
         self.task_id = f"{job.job_id}/map/{map_input.dataset}[{split.index}]"
 
     def run(self) -> MapTaskOutput:
+        start = time.perf_counter()
         job, specs = self.job, self.map_input.specs
         counters = TaskCounters(self.task_id, "map", job.job_id)
-        counters.input_records = len(self.split.rows)
+        rows = self.split.rows
+        counters.input_records = len(rows)
 
-        pairs: List[Pair] = []
-        for record in self.split.rows:
-            counters.eval_ops += len(specs)
-            # Merge multi-role emissions of the same record+key into one
-            # pair (shared scan / self-join single scan).  The merge slot
-            # is per-record, so it lives entirely inside this split.
-            merged: Dict[Key, Dict] = {}
-            for spec in specs:
-                emitted = spec.emit(record)
-                if emitted is None:
-                    continue
-                key, payload = emitted
-                entry = merged.get(key)
-                if entry is None:
-                    merged[key] = {"roles": {spec.role}, "payload": payload}
-                else:
-                    entry["roles"].add(spec.role)
-                    entry["payload"].update(payload)
-            for key, entry in merged.items():
-                pairs.append((key, TaggedValue(frozenset(entry["roles"]),
-                                               entry["payload"])))
+        if len(specs) == 1:
+            pairs = self._emit_single(specs[0], rows)
+        else:
+            pairs = self._emit_merged(specs, rows)
+        counters.eval_ops = len(rows) * len(specs)
 
         counters.pre_combine_records = len(pairs)
         if job.map_agg is not None:
             pairs = _combine(job.map_agg.agg_specs, pairs)
 
         counters.output_records = len(pairs)
-        universe = job.role_universe
-        counters.output_bytes = sum(
-            pair_bytes(k, v, universe, job.tag_policy) for k, v in pairs)
+        counters.output_bytes = pairs_bytes(pairs, job.role_universe,
+                                            job.tag_policy)
 
         if job.sort_output:
-            return MapTaskOutput(counters, pairs=pairs)
+            output = MapTaskOutput(counters, pairs=pairs)
+        else:
+            output = MapTaskOutput(counters,
+                                   partitions=self._partition(pairs))
+        counters.wall_s = time.perf_counter() - start
+        return output
+
+    @staticmethod
+    def _emit_single(spec, rows: Sequence[Row]) -> List[Pair]:
+        """Fast path for one emit spec: no other role can merge with it,
+        so skip the per-record merge dict and reuse one role tag."""
+        emit = spec.emit
+        tag = frozenset((spec.role,))
+        pairs: List[Pair] = []
+        append = pairs.append
+        for record in rows:
+            emitted = emit(record)
+            if emitted is not None:
+                append((emitted[0], TaggedValue(tag, emitted[1])))
+        return pairs
+
+    @staticmethod
+    def _emit_merged(specs, rows: Sequence[Row]) -> List[Pair]:
+        """Merge multi-role emissions of the same record+key into one
+        pair (shared scan / self-join single scan).  The merge slot is
+        per-record, so it lives entirely inside this split.  Role
+        combinations repeat across records, so the tag ``frozenset`` is
+        interned per combination (also making the downstream tag-byte
+        memo a shared-object cache hit)."""
+        spec_fns = [(spec.emit, spec.role) for spec in specs]
+        tags: Dict[Tuple[str, ...], frozenset] = {}
+        pairs: List[Pair] = []
+        append = pairs.append
+        if len(spec_fns) == 2:
+            # Shared scan of exactly two roles (the self-join single-scan
+            # case): branch on the four emit outcomes directly instead of
+            # driving the general per-record merge dict.
+            (emit_a, role_a), (emit_b, role_b) = spec_fns
+            tag_a = frozenset((role_a,))
+            tag_b = frozenset((role_b,))
+            tag_ab = frozenset((role_a, role_b))
+            for record in rows:
+                ea = emit_a(record)
+                eb = emit_b(record)
+                if ea is None:
+                    if eb is not None:
+                        append((eb[0], TaggedValue(tag_b, eb[1])))
+                    continue
+                if eb is None:
+                    append((ea[0], TaggedValue(tag_a, ea[1])))
+                    continue
+                key_a, payload_a = ea
+                key_b, payload_b = eb
+                if key_a == key_b:
+                    payload_a.update(payload_b)
+                    append((key_a, TaggedValue(tag_ab, payload_a)))
+                else:
+                    append((key_a, TaggedValue(tag_a, payload_a)))
+                    append((key_b, TaggedValue(tag_b, payload_b)))
+            return pairs
+        if len(spec_fns) == 3:
+            # Three roles sharing one scan (q21-shaped self-joins): when
+            # all three emit the same key — the dominant case, since
+            # shared roles key on the same join column — merge without
+            # the per-record list or dict.
+            (em_a, role_a), (em_b, role_b), (em_c, role_c) = spec_fns
+            tag_abc = frozenset((role_a, role_b, role_c))
+            for record in rows:
+                ea = em_a(record)
+                eb = em_b(record)
+                ec = em_c(record)
+                if ea is not None and eb is not None and ec is not None:
+                    key = ea[0]
+                    if eb[0] == key and ec[0] == key:
+                        payload = ea[1]
+                        payload.update(eb[1])
+                        payload.update(ec[1])
+                        append((key, TaggedValue(tag_abc, payload)))
+                        continue
+                emitted = [(role, e) for role, e in
+                           ((role_a, ea), (role_b, eb), (role_c, ec))
+                           if e is not None]
+                _merge_record(emitted, tags, append)
+            return pairs
+        for record in rows:
+            # Collect the surviving emissions first: most records either
+            # emit one role or emit the same key for every role (shared
+            # self-join scans key all roles on the join column), and both
+            # shapes skip the per-record merge dict.
+            emitted = [(role, e) for emit, role in spec_fns
+                       if (e := emit(record)) is not None]
+            _merge_record(emitted, tags, append)
+        return pairs
+
+    def _partition(self, pairs: Sequence[Pair]) -> Dict[int, List[Pair]]:
+        """Hash-partition into per-reducer shuffle buffers, caching the
+        key → buffer resolution (keys repeat heavily, so most pairs cost
+        one dict probe)."""
+        num_reducers = self.job.num_reducers
         buffers: Dict[int, List[Pair]] = {}
-        for key, value in pairs:
-            pid = stable_hash(key) % job.num_reducers
-            buffers.setdefault(pid, []).append((key, value))
-        return MapTaskOutput(counters, partitions=buffers)
+        route: Dict[Key, List[Pair]] = {}
+        route_get = route.get
+        for pair in pairs:
+            key = pair[0]
+            bucket = route_get(key)
+            if bucket is None:
+                pid = stable_hash(key) % num_reducers
+                bucket = buffers.get(pid)
+                if bucket is None:
+                    bucket = buffers[pid] = []
+                route[key] = bucket
+            bucket.append(pair)
+        return buffers
 
 
 def _combine(agg_specs, pairs: List[Pair]) -> List[Pair]:
     """Map-side hash aggregation: collapse this task's pairs per key into
     partial accumulator states (only single-role agg jobs configure it)."""
+    factories = [(slot, accumulator_factory(func, distinct, star))
+                 for slot, (func, distinct, star) in agg_specs.items()]
     partials: Dict[Key, Dict[str, object]] = {}
     roles: Dict[Key, frozenset] = {}
     order: List[Key] = []
     for key, tv in pairs:
         accs = partials.get(key)
         if accs is None:
-            accs = {slot: make_accumulator(func, distinct, star)
-                    for slot, (func, distinct, star) in agg_specs.items()}
+            accs = {slot: factory() for slot, factory in factories}
             partials[key] = accs
             roles[key] = tv.roles
             order.append(key)
@@ -257,10 +489,15 @@ class ReduceTaskOutput:
 class ReduceTask:
     """Reduce one partition's key groups in sorted key order.
 
-    Each task drives its own deep copy of the job's reducer, so
-    partitions can execute concurrently without sharing the reducer's
-    per-key working state or its dispatch/compute op counters (which the
-    graph sums afterwards — the totals equal a serial pass).
+    Each task drives its own :meth:`~repro.mr.job.ReducerProtocol.clone`
+    of the job's reducer, so partitions can execute concurrently without
+    sharing the reducer's per-key working state or its dispatch/compute
+    op counters (which the graph sums afterwards — the totals equal a
+    serial pass).  ``clone()`` shares the immutable compiled
+    configuration (stage chains, input specs, task lists) and only
+    resets mutable run state — the historical per-partition
+    ``copy.deepcopy`` walked every compiled closure and static task
+    list, which was pure waste.
     """
 
     def __init__(self, job: MRJob, partition: int,
@@ -277,20 +514,27 @@ class ReduceTask:
         return sum(len(values) for _, values in self.groups)
 
     def run(self) -> ReduceTaskOutput:
+        start = time.perf_counter()
         job = self.job
         counters = TaskCounters(self.task_id, "reduce", job.job_id)
         counters.input_records = self.input_records
         counters.groups = len(self.groups)
-        reducer = copy.deepcopy(job.reducer)
+        reducer = job.reducer.clone()
         buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        reduce = reducer.reduce
+        buffer_get = buffers.get
         for key, values in self.groups:
-            results = reducer.reduce(key, values)
-            counters.dispatch_ops += reducer.dispatch_ops()
-            counters.compute_ops += reducer.compute_ops()
-            for task_id, rows in results.items():
-                if task_id in buffers and rows:
-                    buffers[task_id].extend(rows)
+            for task_id, rows in reduce(key, values).items():
+                if rows:
+                    buffer = buffer_get(task_id)
+                    if buffer is not None:
+                        buffer.extend(rows)
+        # The op counters drain since-last-call deltas; one drain after
+        # the loop equals the historical per-group drain summed.
+        counters.dispatch_ops = reducer.dispatch_ops()
+        counters.compute_ops = reducer.compute_ops()
         counters.output_records = sum(len(r) for r in buffers.values())
+        counters.wall_s = time.perf_counter() - start
         return ReduceTaskOutput(counters, buffers)
 
 
@@ -339,11 +583,13 @@ class JobTaskGraph:
     def shuffle(self, outputs: Sequence[MapTaskOutput]) -> List[ReduceTask]:
         """Fold map-task counters and build one reduce task per non-empty
         partition, in deterministic partition order."""
+        start = time.perf_counter()
         job, counters = self.job, self.counters
         if len(outputs) != len(self.map_tasks):
             raise ExecutionError(
                 f"job {job.job_id}: shuffle got {len(outputs)} map outputs "
                 f"for {len(self.map_tasks)} map tasks")
+        map_wall = 0.0
         for task, output in zip(self.map_tasks, outputs):
             tc = output.counters
             dataset = task.split.dataset
@@ -353,6 +599,7 @@ class JobTaskGraph:
             counters.pre_combine_records += tc.pre_combine_records
             counters.map_output_records += tc.output_records
             counters.map_output_bytes += tc.output_bytes
+            map_wall += tc.wall_s
 
         if job.sort_output:
             tasks = self._range_partitions(outputs)
@@ -369,24 +616,47 @@ class JobTaskGraph:
         counters.reduce_input_records = sum(loads)
         counters.reduce_task_records = loads
         counters.reduce_max_task_records = max(loads) if loads else 0
+        counters.phase_wall_s["map"] = map_wall
+        counters.phase_wall_s["shuffle"] = time.perf_counter() - start
         return tasks
 
     def _hash_partitions(self, outputs: Sequence[MapTaskOutput]
                          ) -> List[ReduceTask]:
         """Hadoop partitioning: merge the map tasks' per-partition
         buffers (in task order, preserving scan order within each key),
-        then sort keys within each partition."""
+        then sort keys within each partition.
+
+        Partition ids are walked ``0 .. num_reducers-1`` — every map
+        task's partitioner mods by ``num_reducers``, so that range covers
+        exactly the ids that can exist — and, exactly like the
+        range-partition path, only non-empty partitions get a task.
+        Group lists are built with a cached ``dict.get``-probe append
+        (not per-pair ``setdefault``), and the group sort decorates each
+        key once via :func:`_asc_sort_key` rather than rebuilding
+        ``_order_key`` tuples inside a lambda.
+        """
         tasks: List[ReduceTask] = []
-        pids = sorted({pid for o in outputs for pid in (o.partitions or ())})
-        for pid in pids:
+        job, chunks = self.job, []
+        for output in outputs:
+            if output.partitions:
+                chunks.append(output.partitions)
+        for pid in range(job.num_reducers):
             by_key: Dict[Key, List[TaggedValue]] = {}
-            for output in outputs:
-                for key, value in (output.partitions or {}).get(pid, ()):
-                    by_key.setdefault(key, []).append(value)
-            keys = sorted(by_key,
-                          key=lambda k: tuple(_order_key(v) for v in k))
+            probe = by_key.get
+            for partitions in chunks:
+                chunk = partitions.get(pid)
+                if not chunk:
+                    continue
+                for key, value in chunk:
+                    values = probe(key)
+                    if values is None:
+                        values = by_key[key] = []
+                    values.append(value)
+            if not by_key:
+                continue
+            keys = sorted(by_key, key=_asc_sort_key)
             self.counters.reduce_groups += len(keys)
-            tasks.append(ReduceTask(self.job, pid,
+            tasks.append(ReduceTask(job, pid,
                                     [(k, by_key[k]) for k in keys]))
         return tasks
 
@@ -394,18 +664,26 @@ class JobTaskGraph:
                           ) -> List[ReduceTask]:
         """Total-order partitioning: globally sort the keys per the
         per-position ascending flags and cut contiguous reducer ranges,
-        so concatenated partitions are fully sorted."""
+        so concatenated partitions are fully sorted.
+
+        The sort uses the per-job precomputed key vector from
+        :func:`make_sort_key` — one decorated tuple per key — instead of
+        the historical ``cmp_to_key(_compare_keys)`` comparator object
+        per key with a Python comparison call per key *pair*.
+        """
         job = self.job
         by_key: Dict[Key, List[TaggedValue]] = {}
+        probe = by_key.get
         for output in outputs:
             for key, value in output.pairs or ():
-                by_key.setdefault(key, []).append(value)
+                values = probe(key)
+                if values is None:
+                    values = by_key[key] = []
+                values.append(value)
         self.counters.reduce_groups += len(by_key)
         if not by_key:
             return []
-        cmp = functools.cmp_to_key(
-            lambda a, b: _compare_keys(a, b, job.sort_ascending))
-        keys = sorted(by_key, key=cmp)
+        keys = sorted(by_key, key=make_sort_key(job.sort_ascending))
         chunk = max(1, -(-len(keys) // job.num_reducers))
         return [
             ReduceTask(job, pid,
@@ -419,11 +697,14 @@ class JobTaskGraph:
         """Concatenate reduce-task outputs in partition order, apply the
         limit/projection, write every output dataset, and return the
         aggregated job counters."""
+        start = time.perf_counter()
         job, counters = self.job, self.counters
         buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        reduce_wall = 0.0
         for result in results:
             counters.reduce_dispatch_ops += result.counters.dispatch_ops
             counters.reduce_compute_ops += result.counters.compute_ops
+            reduce_wall += result.counters.wall_s
             for task_id, rows in result.buffers.items():
                 if task_id in buffers:
                     buffers[task_id].extend(rows)
@@ -445,6 +726,8 @@ class JobTaskGraph:
             self.datastore.write_intermediate(out.dataset, table)
             counters.output_records[out.dataset] = len(rows)
             counters.output_bytes[out.dataset] = rows_bytes(rows)
+        counters.phase_wall_s["reduce"] = reduce_wall
+        counters.phase_wall_s["finalize"] = time.perf_counter() - start
         return counters
 
 
@@ -452,11 +735,19 @@ def _plan_splits(dataset: str, table: Table,
                  split_rows: Optional[int]) -> List[InputSplit]:
     """Cut one map input into splits (one split when ``split_rows`` is
     None or the table is smaller; empty tables still get one empty split
-    so their counters exist)."""
+    so their counters exist).
+
+    Splits reference the table's rows without copying: map tasks only
+    read their split, and the datastore replaces whole ``Table`` objects
+    on write, so the single-split default shares the table's own row
+    list (the historical ``list(rows)`` duplicated every map input's
+    memory) and the multi-split case keeps just the one slice each
+    split needs.
+    """
     rows = table.rows
     if split_rows is None or len(rows) <= split_rows:
-        return [InputSplit(dataset, 0, 0, list(rows))]
-    return [InputSplit(dataset, i, start, list(rows[start:start + split_rows]))
+        return [InputSplit(dataset, 0, 0, rows)]
+    return [InputSplit(dataset, i, start, rows[start:start + split_rows])
             for i, start in enumerate(range(0, len(rows), split_rows))]
 
 

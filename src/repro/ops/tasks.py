@@ -15,19 +15,47 @@ rebuilds full rows as ``dict(zip(key_names, key)) | payload``.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.data.table import Row
 from repro.errors import ExecutionError
-from repro.expr.aggregates import Accumulator, make_accumulator
+from repro.expr.aggregates import Accumulator, accumulator_factory
 from repro.mr.kv import Key
 from repro.plan.nodes import Filter, Project, Stage
 from repro.refexec.executor import compile_resolved, compile_resolved_predicate
 
 
+def _make_key_builder(fns: Sequence[Callable[[Row], object]]
+                      ) -> Callable[[Row], Tuple]:
+    """row → group-key tuple, specialized by arity.
+
+    Group keys are built once per input row of every aggregation, so the
+    one- and two-column shapes (nearly all GROUP BY clauses) get a tuple
+    display instead of a generator-driven ``tuple()``.
+    """
+    if len(fns) == 1:
+        f0 = fns[0]
+        return lambda row: (f0(row),)
+    if len(fns) == 2:
+        f0, f1 = fns
+        return lambda row: (f0(row), f1(row))
+    fns = list(fns)
+    return lambda row: tuple([fn(row) for fn in fns])
+
+
 class CompiledStages:
-    """A node's Filter/Project stage chain, compiled once."""
+    """A node's Filter/Project stage chain, compiled once.
+
+    The chain is *fused* at compile time: ``run`` makes one pass over
+    the row list, driving each row through every filter/project in
+    order, instead of materializing an intermediate list per stage.
+    Per-row semantics are unchanged — each stage reads only its own row
+    — so output rows and their order are identical to the staged
+    formulation.  ``run_one`` is the single-row fast path map-emit
+    closures use (no per-record list allocation).
+    """
 
     def __init__(self, stages: Sequence[Stage]):
         self._ops: List[Tuple[str, object]] = []
@@ -41,14 +69,50 @@ class CompiledStages:
                 self._ops.append(("project", compiled))
             else:
                 raise ExecutionError(f"unknown stage type {type(stage).__name__}")
+        self._pipeline = self._fuse()
+
+    def _fuse(self) -> Optional[Callable[[List[Row]], List[Row]]]:
+        ops = self._ops
+        if not ops:
+            return None
+        if len(ops) == 1:
+            kind, op = ops[0]
+            if kind == "filter":
+                return lambda rows: [r for r in rows if op(r)]
+            return lambda rows: [{name: fn(r) for name, fn in op}
+                                 for r in rows]
+
+        def fused(rows: List[Row]) -> List[Row]:
+            out: List[Row] = []
+            append = out.append
+            for row in rows:
+                for kind, op in ops:
+                    if kind == "filter":
+                        if not op(row):
+                            break
+                    else:
+                        row = {name: fn(row) for name, fn in op}
+                else:
+                    append(row)
+            return out
+
+        return fused
 
     def run(self, rows: List[Row]) -> List[Row]:
+        if self._pipeline is None:
+            return rows
+        return self._pipeline(rows)
+
+    def run_one(self, row: Row) -> Optional[Row]:
+        """Drive one row through the chain: the resulting row, or
+        ``None`` when a filter drops it."""
         for kind, op in self._ops:
             if kind == "filter":
-                rows = [r for r in rows if op(r)]
+                if not op(row):
+                    return None
             else:
-                rows = [{name: fn(r) for name, fn in op} for r in rows]
-        return rows
+                row = {name: fn(row) for name, fn in op}
+        return row
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -91,7 +155,13 @@ class TaskInput:
 
 
 class ReduceTask:
-    """Base merged computation (the paper's init/next/final interface)."""
+    """Base merged computation (the paper's init/next/final interface).
+
+    Immutable configuration (inputs, compiled stages, operator wiring)
+    is set at construction; the only mutable run state is ``compute_ops``
+    and the per-key-group ``_buffers``.  :meth:`clone` relies on that
+    split — subclasses that add mutable run state must override it.
+    """
 
     def __init__(self, task_id: str, inputs: Sequence[TaskInput],
                  stages: Optional[CompiledStages] = None):
@@ -100,10 +170,42 @@ class ReduceTask:
         self.stages = stages or CompiledStages([])
         self.compute_ops = 0
         self._buffers: Dict[str, List[Row]] = {}
+        # Dispatch hot path: the common reducer checks every value's tag
+        # against these once per (value, task); computed per call they
+        # would dominate the reduce phase.
+        self._shuffle_inputs = tuple(i for i in self.inputs
+                                     if i.kind == "shuffle")
+        self._shuffle_roles = frozenset(i.ref for i in self._shuffle_inputs)
+        # Single-shuffle-input tasks (SP, AGG) take a loop-free consume
+        # path — the common case, since only JoinTask has two inputs.
+        self._sole_input = (self._shuffle_inputs[0]
+                            if len(self._shuffle_inputs) == 1 else None)
+        sole = self._sole_input
+        self._sole_ref = sole.ref if sole is not None else None
+        self._sole_keys = tuple(sole.key_names) if sole is not None else ()
+        self._sole_pm = sole.payload_map if sole is not None else None
+        # Single-column partition keys (the usual case) build the row
+        # with a dict display instead of dict(zip(...)).
+        self._sole_k0 = (self._sole_keys[0]
+                         if len(self._sole_keys) == 1 else None)
+        self._sole_buffer: Optional[List[Row]] = None
+        # True when this task's (only) source is its sole shuffle input:
+        # finish() then reads the buffer directly.
+        self._src_is_sole = bool(self.inputs
+                                 and self.inputs[0] is self._sole_input)
+
+    def clone(self) -> "ReduceTask":
+        """A fresh task for another reduce partition: shares the
+        immutable compiled configuration, owns its mutable run state."""
+        dup = copy.copy(self)
+        dup.compute_ops = 0
+        dup._buffers = {}
+        dup._sole_buffer = None
+        return dup
 
     @property
     def shuffle_roles(self) -> FrozenSet[str]:
-        return frozenset(i.ref for i in self.inputs if i.kind == "shuffle")
+        return self._shuffle_roles
 
     @property
     def upstream_ids(self) -> List[str]:
@@ -112,15 +214,43 @@ class ReduceTask:
     # -- per-key-group protocol -------------------------------------------------
 
     def start(self, key: Key) -> None:
-        """init(key): reset buffers for a new key group."""
-        self._buffers = {i.ref: [] for i in self.inputs if i.kind == "shuffle"}
+        """init(key): reset buffers for a new key group.
+
+        The buffer dict is reused across groups (its key set never
+        changes); only the per-group row lists are fresh.
+        """
+        sole_ref = self._sole_ref
+        if sole_ref is not None:
+            buf: List[Row] = []
+            self._sole_buffer = buf
+            self._buffers[sole_ref] = buf
+        else:
+            buffers = self._buffers
+            for i in self._shuffle_inputs:
+                buffers[i.ref] = []
 
     def consume(self, key: Key, roles: FrozenSet[str],
                 payload: Dict[str, object]) -> None:
         """next(key, value): buffer a dispatched shuffle value for every
         input role present on the pair's tag."""
-        for inp in self.inputs:
-            if inp.kind == "shuffle" and inp.ref in roles:
+        sole_ref = self._sole_ref
+        if sole_ref is not None:
+            if sole_ref in roles:
+                k0 = self._sole_k0
+                if k0 is not None:
+                    row = {k0: key[0]}
+                else:
+                    row = dict(zip(self._sole_keys, key))
+                pm = self._sole_pm
+                if pm is None:
+                    row.update(payload)
+                else:
+                    for task_name, payload_name in pm:
+                        row[task_name] = payload[payload_name]
+                self._sole_buffer.append(row)
+            return
+        for inp in self._shuffle_inputs:
+            if inp.ref in roles:
                 row = dict(zip(inp.key_names, key))
                 if inp.payload_map is None:
                     row.update(payload)
@@ -128,6 +258,46 @@ class ReduceTask:
                     for task_name, payload_name in inp.payload_map:
                         row[task_name] = payload[payload_name]
                 self._buffers[inp.ref].append(row)
+
+    def consume_all(self, key: Key, values: Sequence,
+                    shuffle_roles: FrozenSet[str]) -> int:
+        """Batched ``next``: dispatch every matching tagged value of a
+        key group in one call, returning the dispatch count.
+
+        Used by the common reducer when this is the only task taking
+        shuffle input — the per-value dispatch call and the double role
+        test both disappear (for a sole input, "tag intersects
+        shuffle_roles" IS "sole ref in tag").
+        """
+        count = 0
+        sole_ref = self._sole_ref
+        if sole_ref is not None:
+            append = self._sole_buffer.append
+            keys = self._sole_keys
+            k0 = self._sole_k0
+            pm = self._sole_pm
+            for tv in values:
+                if sole_ref in tv.roles:
+                    count += 1
+                    if k0 is not None:
+                        row = {k0: key[0]}
+                    else:
+                        row = dict(zip(keys, key))
+                    if pm is None:
+                        row.update(tv.payload)
+                    else:
+                        payload = tv.payload
+                        for task_name, payload_name in pm:
+                            row[task_name] = payload[payload_name]
+                    append(row)
+            return count
+        consume = self.consume
+        for tv in values:
+            roles = tv.roles
+            if not roles.isdisjoint(shuffle_roles):
+                count += 1
+                consume(key, roles, tv.payload)
+        return count
 
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
         """final(key): compute this task's rows for the group."""
@@ -159,7 +329,10 @@ class SPTask(ReduceTask):
         super().__init__(task_id, [source], stages)
 
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
-        rows = self._input_rows(self.inputs[0], upstream)
+        if self._src_is_sole:
+            rows = self._sole_buffer
+        else:
+            rows = self._input_rows(self.inputs[0], upstream)
         self.compute_ops += len(rows)
         return self.stages.run(rows)
 
@@ -186,32 +359,68 @@ class JoinTask(ReduceTask):
         self.left_names = list(left_names)
         self.right_names = list(right_names)
         self.residual = residual
+        # Per-group constants, hoisted: the null-extension templates and
+        # which sides outer-join semantics extend.
+        self._null_left = {n: None for n in self.left_names}
+        self._null_right = {n: None for n in self.right_names}
+        self._extend_unmatched_left = join_type in ("left", "full")
+        self._extend_unmatched_right = join_type in ("right", "full")
 
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
         left_rows = self._input_rows(self.left_input, upstream)
         right_rows = self._input_rows(self.right_input, upstream)
-        null_left = {n: None for n in self.left_names}
-        null_right = {n: None for n in self.right_names}
-        key_is_null = any(part is None for part in key)
+        null_right = self._null_right
+        extend_left = self._extend_unmatched_left
 
         out: List[Row] = []
-        matched_right = [False] * len(right_rows)
-        for lrow in left_rows:
-            hit = False
-            if not key_is_null:
+        append = out.append
+
+        if any(part is None for part in key):
+            # NULL join keys never match: only outer-join extensions.
+            if extend_left:
+                for lrow in left_rows:
+                    append({**lrow, **null_right})
+            if self._extend_unmatched_right:
+                null_left = self._null_left
+                for rrow in right_rows:
+                    append({**null_left, **rrow})
+            return self.stages.run(out)
+
+        residual = self.residual
+        n_right = len(right_rows)
+        track_right = self._extend_unmatched_right
+        matched_right = [False] * n_right if track_right else None
+        if residual is None:
+            # Pure equi-join: every cross pair within the group matches.
+            for lrow in left_rows:
+                if n_right:
+                    for rrow in right_rows:
+                        append({**lrow, **rrow})
+                elif extend_left:
+                    append({**lrow, **null_right})
+            if track_right and left_rows and n_right:
+                matched_right = None  # all matched; nothing to extend
+            self.compute_ops += len(left_rows) * n_right
+        else:
+            compute = 0
+            for lrow in left_rows:
+                hit = False
                 for ri, rrow in enumerate(right_rows):
-                    self.compute_ops += 1
+                    compute += 1
                     combined = {**lrow, **rrow}
-                    if self.residual is None or self.residual(combined) is True:
+                    if residual(combined) is True:
                         hit = True
-                        matched_right[ri] = True
-                        out.append(combined)
-            if not hit and self.join_type in ("left", "full"):
-                out.append({**lrow, **null_right})
-        if self.join_type in ("right", "full"):
+                        if matched_right is not None:
+                            matched_right[ri] = True
+                        append(combined)
+                if not hit and extend_left:
+                    append({**lrow, **null_right})
+            self.compute_ops += compute
+        if matched_right is not None:
+            null_left = self._null_left
             for ri, rrow in enumerate(right_rows):
                 if not matched_right[ri]:
-                    out.append({**null_left, **rrow})
+                    append({**null_left, **rrow})
         return self.stages.run(out)
 
 
@@ -263,41 +472,107 @@ class AggTask(ReduceTask):
         self.agg_specs = list(agg_specs)
         self.partial = partial
         self.global_agg = global_agg
+        # Hot-path precomputation: finish() runs per key group and its
+        # inner loop per row, so the per-row work reads flat lists
+        # instead of unpacking spec tuples each time.
+        self._group_slots = [slot for slot, _ in self.group_exprs]
+        self._group_fns = [fn for _, fn in self.group_exprs]
+        self._agg_slots = [slot for slot, *_rest in self.agg_specs]
+        self._arg_fns = [None if star else arg_fn
+                         for _, _, arg_fn, _, star in self.agg_specs]
+        self._acc_factories = [accumulator_factory(func, distinct, star)
+                               for _, func, _, distinct, star
+                               in self.agg_specs]
+        self._group_key = _make_key_builder(self._group_fns)
 
     def _new_accs(self) -> List[Accumulator]:
-        return [make_accumulator(func, distinct, star)
-                for _, func, _, distinct, star in self.agg_specs]
+        return [factory() for factory in self._acc_factories]
 
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
-        rows = self._input_rows(self.inputs[0], upstream)
+        if self._src_is_sole:
+            rows = self._sole_buffer
+        else:
+            rows = self._input_rows(self.inputs[0], upstream)
+
+        if len(rows) == 1:
+            # One row ⇒ one group: skip the grouping dicts outright.
+            row0 = rows[0]
+            out_row = dict(zip(self._group_slots, self._group_key(row0)))
+            accs = self._new_accs()
+            if self.partial:
+                for acc, slot in zip(accs, self._agg_slots):
+                    acc.absorb(row0.get(slot))
+            else:
+                for acc, arg in zip(accs, self._arg_fns):
+                    acc.add(arg(row0) if arg is not None else None)
+            for acc, slot in zip(accs, self._agg_slots):
+                out_row[slot] = acc.result()
+            self.compute_ops += len(self.agg_specs)
+            return self.stages.run([out_row])
 
         groups: Dict[Tuple, List[Accumulator]] = {}
         reprs: Dict[Tuple, Row] = {}
-        for row in rows:
-            gkey = tuple(fn(row) for _, fn in self.group_exprs)
-            accs = groups.get(gkey)
-            if accs is None:
-                accs = self._new_accs()
-                groups[gkey] = accs
-                reprs[gkey] = {slot: v for (slot, _), v
-                               in zip(self.group_exprs, gkey)}
-            self.compute_ops += len(accs)
-            if self.partial:
-                for acc, (slot, *_rest) in zip(accs, self.agg_specs):
-                    acc.absorb(row.get(slot))
+        group_key = self._group_key
+        group_slots = self._group_slots
+        new_accs = self._new_accs
+        probe = groups.get
+        n_aggs = len(self.agg_specs)
+        if self.partial:
+            slots = self._agg_slots
+            if n_aggs == 1:
+                slot0 = slots[0]
+                for row in rows:
+                    gkey = group_key(row)
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = new_accs()
+                        groups[gkey] = accs
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    accs[0].absorb(row.get(slot0))
             else:
-                for acc, (slot, func, arg_fn, distinct, star) in zip(
-                        accs, self.agg_specs):
-                    acc.add(None if star else arg_fn(row))
+                for row in rows:
+                    gkey = group_key(row)
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = new_accs()
+                        groups[gkey] = accs
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    for acc, slot in zip(accs, slots):
+                        acc.absorb(row.get(slot))
+        else:
+            arg_fns = self._arg_fns
+            if n_aggs == 1:
+                arg0 = arg_fns[0]
+                for row in rows:
+                    gkey = group_key(row)
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = new_accs()
+                        groups[gkey] = accs
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    accs[0].add(arg0(row) if arg0 is not None else None)
+            else:
+                for row in rows:
+                    gkey = group_key(row)
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = new_accs()
+                        groups[gkey] = accs
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    for acc, arg in zip(accs, arg_fns):
+                        acc.add(arg(row) if arg is not None else None)
+        # Every row touches every accumulator exactly once.
+        self.compute_ops += n_aggs * len(rows)
 
         if self.global_agg and not groups:
             groups[()] = self._new_accs()
             reprs[()] = {}
 
         out: List[Row] = []
+        agg_slots = self._agg_slots
         for gkey, accs in groups.items():
             row = dict(reprs[gkey])
-            for acc, (slot, *_rest) in zip(accs, self.agg_specs):
+            for acc, slot in zip(accs, agg_slots):
                 row[slot] = acc.result()
             out.append(row)
         return self.stages.run(out)

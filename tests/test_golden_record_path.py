@@ -1,0 +1,132 @@
+"""Golden record-path snapshots: the hot-path kernels move no bytes.
+
+``tests/golden/record_path.json`` was generated from the engine *before*
+the record-path performance overhaul (map-emit fast paths, sort-key
+vectors, reducer clones, cached byte accounting).  These tests pin, for
+every paper workload query:
+
+* the final result rows, byte for byte;
+* every deterministic :class:`JobCounters` field, including
+  ``map_output_bytes`` and ``reduce_task_records``;
+* the executed reduce partitions — ids and record loads in partition
+  order (empty partitions are never scheduled, and present ones keep
+  their ``stable_hash % num_reducers`` id).
+
+Any optimization that changes one of these is a semantics change, not a
+performance change, and fails here.  Regenerate only for intentional
+semantic changes: ``PYTHONPATH=src python
+scripts/generate_golden_record_path.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.mr.tasks import JobTaskGraph
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_translation
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "record_path.json")
+
+
+def _golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+GOLDEN = _golden()
+
+
+def _roundtrip(obj):
+    """Canonicalize through JSON so live values compare against the
+    snapshot on equal footing (tuples become lists, etc.)."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def _translate(name, datastore):
+    cfg = GOLDEN["config"]
+    return translate_sql(paper_queries()[name], catalog=datastore.catalog,
+                         namespace=f"golden.{name}",
+                         num_reducers=cfg["num_reducers"])
+
+
+def _execute_chain(translation, datastore):
+    """Mirror scripts/generate_golden_record_path.py exactly."""
+    jobs_snapshot = []
+    for job in translation.jobs:
+        graph = JobTaskGraph(job, datastore)
+        map_outputs = [task.run() for task in graph.map_tasks]
+        reduce_tasks = graph.shuffle(map_outputs)
+        partitions = [[task.partition, task.input_records]
+                      for task in reduce_tasks]
+        counters = graph.finalize([task.run() for task in reduce_tasks])
+        snap = counters.comparable()
+        snap.pop("phase_wall_s", None)
+        jobs_snapshot.append({
+            "job_id": job.job_id,
+            "name": job.name,
+            "partitions": partitions,
+            "counters": snap,
+        })
+    final = datastore.intermediate(translation.final_dataset)
+    return {
+        "columns": list(translation.output_columns),
+        "rows": [dict(row) for row in final.rows],
+        "jobs": jobs_snapshot,
+    }
+
+
+def test_golden_config_matches_session_fixtures():
+    # The snapshot was generated against the same data the session
+    # datastore fixture builds; if conftest.py changes, regenerate.
+    assert GOLDEN["config"] == {"tpch_scale": 0.002,
+                                "clickstream_users": 60, "seed": 7,
+                                "num_reducers": 8, "mode": "ysmart"}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["queries"]))
+def test_rows_counters_and_partitions_identical(name, datastore):
+    expected = GOLDEN["queries"][name]
+    got = _roundtrip(_execute_chain(_translate(name, datastore), datastore))
+    assert got["columns"] == expected["columns"]
+    assert got["rows"] == expected["rows"]
+    assert len(got["jobs"]) == len(expected["jobs"])
+    for got_job, exp_job in zip(got["jobs"], expected["jobs"]):
+        assert got_job["job_id"] == exp_job["job_id"]
+        assert got_job["partitions"] == exp_job["partitions"], \
+            f"{name}/{exp_job['job_id']}: partition assignment drifted"
+        assert got_job["counters"] == exp_job["counters"], \
+            f"{name}/{exp_job['job_id']}: counters drifted"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["queries"]))
+def test_parallel_executor_matches_golden(name, datastore):
+    expected = GOLDEN["queries"][name]
+    result = run_translation(_translate(name, datastore), datastore,
+                             parallelism=4)
+    assert _roundtrip(result.rows) == expected["rows"]
+    got = [_roundtrip({k: v for k, v in r.counters.comparable().items()})
+           for r in result.runs]
+    assert got == [job["counters"] for job in expected["jobs"]]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["queries"]))
+def test_partition_consistency(name):
+    """Regression for the shuffle partition-build rework: executed
+    partitions carry in-range, strictly increasing ids, never empty
+    loads, and their loads reproduce the pinned reduce_task_records."""
+    num_reducers = GOLDEN["config"]["num_reducers"]
+    for job in GOLDEN["queries"][name]["jobs"]:
+        pids = [pid for pid, _ in job["partitions"]]
+        loads = [load for _, load in job["partitions"]]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == len(pids)
+        assert all(0 <= pid < num_reducers for pid in pids)
+        assert all(load > 0 for load in loads)
+        assert loads == job["counters"]["reduce_task_records"]
+        assert sum(loads) == job["counters"]["reduce_input_records"]

@@ -1,0 +1,78 @@
+"""Phase-timing observability: measured wall-clock per execution phase.
+
+The record-path overhaul added real (not simulated) per-phase timings to
+:class:`JobCounters` so the benchmark and ``repro run --timings`` can
+show where time goes.  Timings are measurement, not semantics: they are
+excluded from counter equality and golden snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cli import main as cli_main
+from repro.core.translator import translate_sql
+from repro.mr.counters import JobCounters, TIMING_FIELDS
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_translation
+
+_ns = itertools.count(1)
+
+PHASES = ("map", "shuffle", "reduce", "finalize")
+
+
+def test_every_job_reports_all_phases(datastore):
+    tr = translate_sql(paper_queries()["q17"], catalog=datastore.catalog,
+                       namespace=f"walls{next(_ns)}")
+    result = run_translation(tr, datastore)
+    for run in result.runs:
+        walls = run.counters.phase_wall_s
+        assert set(walls) == set(PHASES)
+        assert all(v >= 0.0 for v in walls.values())
+        # Real work happened, so *something* took nonzero time.
+        assert sum(walls.values()) > 0.0
+
+
+def test_timings_excluded_from_equality_and_comparable():
+    a = JobCounters(job_id="j", phase_wall_s={"map": 1.0})
+    b = JobCounters(job_id="j", phase_wall_s={"map": 2.0})
+    assert a == b
+    assert a.comparable() == b.comparable()
+    for name in TIMING_FIELDS:
+        assert name not in a.comparable()
+
+
+def test_scaled_carries_timings_unscaled():
+    c = JobCounters(job_id="j", map_output_bytes=100,
+                    phase_wall_s={"map": 0.5})
+    scaled = c.scaled(10.0)
+    assert scaled.map_output_bytes == 1000
+    assert scaled.phase_wall_s == {"map": 0.5}
+    assert scaled.phase_wall_s is not c.phase_wall_s
+
+
+def test_trace_events_carry_timestamps(datastore):
+    tr = translate_sql(paper_queries()["q_agg"], catalog=datastore.catalog,
+                       namespace=f"walls{next(_ns)}")
+    result = run_translation(tr, datastore, parallelism=2, keep_trace=True)
+    events = result.trace.events
+    assert events and all(e.t > 0.0 for e in events)
+    starts = {(e.job_id, e.task_id): e.t for e in events
+              if e.phase == "start"}
+    for e in events:
+        if e.phase == "finish":
+            assert e.t >= starts[(e.job_id, e.task_id)]
+
+
+def test_cli_run_timings_flag(capsys):
+    rc = cli_main(["run",
+                   "SELECT l_orderkey, count(*) AS n FROM lineitem "
+                   "GROUP BY l_orderkey",
+                   "--timings", "--tpch-scale", "0.001", "--limit", "2",
+                   "--clickstream-users", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "measured phase wall-clock" in out
+    for phase in PHASES:
+        assert f"{phase}=" in out
+    assert "total" in out

@@ -85,8 +85,8 @@ def check_serial_equals_parallel(translation, datastore,
                                dependencies=translation.dependencies())
     mid_p = snapshot(datastore, translation)
 
-    assert [vars(r.counters) for r in runs_p] == \
-        [vars(r.counters) for r in runs_s]
+    assert [r.counters.comparable() for r in runs_p] == \
+        [r.counters.comparable() for r in runs_s]
     assert mid_p == mid_s
 
 

@@ -1,0 +1,246 @@
+"""Property tests for the record hot-path kernels.
+
+Each optimized kernel in the record path ships with an executable
+reference — the formulation the historical engine used — and these
+properties assert equivalence on randomized inputs:
+
+* :func:`make_sort_key` orders exactly like
+  ``functools.cmp_to_key(_compare_keys)`` (NULLs first, per-position
+  descending flags);
+* :func:`pairs_bytes` equals the per-pair :func:`pair_bytes` sum;
+* the fused :class:`CompiledStages` pipeline equals the historical
+  stage-at-a-time multi-pass, and ``run_one`` equals ``run([row])``;
+* ``clone()``d reducers share no mutable state with their prototype or
+  each other (the contract that let the engine drop ``copy.deepcopy``
+  from the reduce path).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mr.kv import TaggedValue, TagPolicy, pair_bytes, pairs_bytes
+from repro.mr.tasks import _compare_keys, make_sort_key
+from repro.ops.tasks import CompiledStages, SPTask, TaskInput
+from repro.cmf import CommonReducer
+
+
+# ---------------------------------------------------------------------------
+# Sort-key vectors vs the comparator reference
+# ---------------------------------------------------------------------------
+
+_POSITION_TYPES = [
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50, allow_nan=False),
+    st.text(max_size=4),
+]
+
+
+@st.composite
+def keys_and_flags(draw):
+    """Keys of a common width, each position typed consistently (mixed
+    int/float is allowed — the engine's numeric canonicalization treats
+    them as one domain) and optionally NULL."""
+    width = draw(st.integers(min_value=1, max_value=3))
+    position = [draw(st.sampled_from(_POSITION_TYPES)) for _ in range(width)]
+    key = st.tuples(*[st.one_of(st.none(), strat) for strat in position])
+    keys = draw(st.lists(key, min_size=0, max_size=30))
+    flags = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+    return keys, flags
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys_and_flags())
+def test_sort_key_vector_matches_comparator(case):
+    keys, ascending = case
+    reference = sorted(keys, key=functools.cmp_to_key(
+        lambda a, b: _compare_keys(a, b, ascending)))
+    assert sorted(keys, key=make_sort_key(ascending)) == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys_and_flags())
+def test_all_ascending_fast_path_matches_comparator(case):
+    keys, flags = case
+    ascending = [True] * len(flags)
+    reference = sorted(keys, key=functools.cmp_to_key(
+        lambda a, b: _compare_keys(a, b, ascending)))
+    assert sorted(keys, key=make_sort_key(ascending)) == reference
+
+
+# ---------------------------------------------------------------------------
+# Batched byte accounting vs the per-pair reference
+# ---------------------------------------------------------------------------
+
+_ROLES = ["r1", "r2", "r3", "r4"]
+
+pairs_strategy = st.lists(
+    st.tuples(
+        st.tuples(st.integers(min_value=0, max_value=999),
+                  st.text(max_size=6)),
+        st.builds(
+            TaggedValue,
+            roles=st.sets(st.sampled_from(_ROLES), min_size=1,
+                          max_size=len(_ROLES)).map(frozenset),
+            payload=st.dictionaries(st.sampled_from(["a", "bb", "ccc"]),
+                                    st.integers(0, 10 ** 6), max_size=3),
+        ),
+    ),
+    max_size=25)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=pairs_strategy,
+       universe=st.integers(min_value=1, max_value=8),
+       policy=st.sampled_from(list(TagPolicy)))
+def test_pairs_bytes_matches_per_pair_sum(pairs, universe, policy):
+    expected = sum(pair_bytes(key, value, universe, policy)
+                   for key, value in pairs)
+    assert pairs_bytes(pairs, universe, policy) == expected
+
+
+# ---------------------------------------------------------------------------
+# Fused stage pipeline vs the historical multi-pass
+# ---------------------------------------------------------------------------
+
+def _stages_from_ops(ops):
+    """A CompiledStages over pre-compiled ops (bypasses plan-node
+    compilation so properties can use arbitrary callables)."""
+    stages = CompiledStages.__new__(CompiledStages)
+    stages._ops = list(ops)
+    stages._pipeline = stages._fuse()
+    return stages
+
+
+def _multipass(ops, rows):
+    """The historical stage-at-a-time formulation: one full list per
+    stage."""
+    for kind, op in ops:
+        if kind == "filter":
+            rows = [r for r in rows if op(r)]
+        else:
+            rows = [{name: fn(r) for name, fn in op} for r in rows]
+    return rows
+
+
+_FILTERS = {
+    "even": lambda r: r["v"] % 2 == 0,
+    "positive": lambda r: r["v"] > 0,
+    "small": lambda r: abs(r["v"]) < 10,
+}
+_PROJECTS = {
+    "double": [("v", lambda r: r["v"] * 2)],
+    "shift": [("v", lambda r: r["v"] - 3), ("orig", lambda r: r["v"])],
+}
+
+op_strategy = st.one_of(
+    st.sampled_from(sorted(_FILTERS)).map(
+        lambda n: ("filter", _FILTERS[n])),
+    st.sampled_from(sorted(_PROJECTS)).map(
+        lambda n: ("project", _PROJECTS[n])),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(op_strategy, max_size=4),
+       values=st.lists(st.integers(min_value=-100, max_value=100),
+                       max_size=30))
+def test_fused_pipeline_matches_multipass(ops, values):
+    rows = [{"v": v} for v in values]
+    stages = _stages_from_ops(ops)
+    assert stages.run(list(rows)) == _multipass(ops, rows)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=st.lists(op_strategy, max_size=4),
+       value=st.integers(min_value=-100, max_value=100))
+def test_run_one_matches_run_single_row(ops, value):
+    stages = _stages_from_ops(ops)
+    batch = stages.run([{"v": value}])
+    single = stages.run_one({"v": value})
+    assert single == (batch[0] if batch else None)
+
+
+# ---------------------------------------------------------------------------
+# Reducer clones share no mutable state
+# ---------------------------------------------------------------------------
+
+def _make_reducer():
+    return CommonReducer([SPTask("a", TaskInput.shuffle("ra", ["k"])),
+                          SPTask("b", TaskInput.shuffle("rb", ["k"]))])
+
+
+def _tv(roles, **payload):
+    return TaggedValue(roles=frozenset(roles), payload=payload)
+
+
+values_strategy = st.lists(
+    st.tuples(st.sets(st.sampled_from(["ra", "rb"]), min_size=1, max_size=2),
+              st.integers(0, 99)),
+    min_size=1, max_size=15)
+
+
+@settings(max_examples=100, deadline=None)
+@given(groups=st.lists(st.tuples(st.integers(0, 9), values_strategy),
+                       min_size=1, max_size=5))
+def test_cloned_reducers_share_no_mutable_state(groups):
+    prototype = _make_reducer()
+    fresh = _make_reducer()
+
+    clones = [prototype.clone() for _ in range(2)]
+    for clone in clones:
+        outputs = [clone.reduce((key,), [_tv(roles, v=v)
+                                         for roles, v in values])
+                   for key, values in groups]
+        expected = [fresh.reduce((key,), [_tv(roles, v=v)
+                                          for roles, v in values])
+                    for key, values in groups]
+        assert outputs == expected
+
+        # The prototype never saw a value: its op counters stay zero and
+        # its tasks' buffers stay empty.
+        assert prototype._dispatch == 0 and prototype._compute == 0
+        for task in prototype.tasks:
+            assert task._buffers == {}
+            assert task.compute_ops == 0
+
+    # Clones drained independently: each saw exactly its own dispatches.
+    ops = [clone.dispatch_ops() for clone in clones]
+    assert ops[0] == ops[1] > 0
+    fresh.dispatch_ops()
+
+
+def test_clone_shares_compiled_config_but_not_tasks():
+    prototype = _make_reducer()
+    clone = prototype.clone()
+    assert clone.tasks is not prototype.tasks
+    for orig, dup in zip(prototype.tasks, clone.tasks):
+        assert dup is not orig
+        assert dup._buffers is not orig._buffers
+        # Immutable compiled configuration is shared, not copied.
+        assert dup._shuffle_inputs is orig._shuffle_inputs
+        assert dup.shuffle_roles is orig.shuffle_roles
+        assert dup.stages is orig.stages
+
+
+def test_protocol_clone_fallback_is_deep():
+    """Third-party reducers that don't override clone() still get the
+    no-shared-mutable-state contract via the deepcopy fallback."""
+    from repro.mr.job import ReducerProtocol
+
+    class Custom(ReducerProtocol):
+        def __init__(self):
+            self.seen = []
+
+        def reduce(self, key, values):
+            self.seen.append(key)
+            return {}
+
+    proto = Custom()
+    dup = proto.clone()
+    dup.reduce((1,), [])
+    assert proto.seen == []
+    assert dup.seen == [(1,)]

@@ -290,7 +290,7 @@ class TestSerialParallelIdentity:
                                    keep_trace=True)
         assert parallel.rows == serial.rows
         for s, p in zip(serial.runs, parallel.runs):
-            assert vars(p.counters) == vars(s.counters)
+            assert p.counters.comparable() == s.counters.comparable()
 
     def test_one_to_one_mode_identical(self, datastore):
         tr = translate_sql(paper_queries()["q21"], mode="one_to_one",
@@ -299,8 +299,8 @@ class TestSerialParallelIdentity:
         serial = run_translation(tr, datastore)
         parallel = run_translation(tr, datastore, parallelism=4)
         assert parallel.rows == serial.rows
-        assert [vars(r.counters) for r in parallel.runs] == \
-            [vars(r.counters) for r in serial.runs]
+        assert [r.counters.comparable() for r in parallel.runs] == \
+            [r.counters.comparable() for r in serial.runs]
 
     def test_intermediate_datasets_identical(self, datastore):
         tr = translate_sql(paper_queries()["q18"], catalog=datastore.catalog,
@@ -352,8 +352,8 @@ class TestConcurrentScheduling:
         serial = run_batch(bt, datastore)
         parallel = run_batch(bt, datastore, parallelism=4, keep_trace=True)
         assert parallel.rows == serial.rows
-        assert [vars(r.counters) for r in parallel.runs] == \
-            [vars(r.counters) for r in serial.runs]
+        assert [r.counters.comparable() for r in parallel.runs] == \
+            [r.counters.comparable() for r in serial.runs]
         assert parallel.trace.waves == [[job.job_id for job in bt.jobs]]
         assert parallel.trace.concurrent_job_batches()
 
