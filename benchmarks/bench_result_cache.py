@@ -1,0 +1,192 @@
+"""Result-cache benchmark: warm workload sessions vs cold re-execution.
+
+Replays the paper's query workload (every query, ``--rounds`` times)
+through two :class:`~repro.workloads.WorkloadSession` arms built over
+the same datastore:
+
+* **cold** — ``cache_mb=0``: every round re-translates and re-executes
+  every job, exactly like the pre-cache runner;
+* **warm** — a shared :class:`~repro.reuse.ResultCache`: round 1
+  populates it, later rounds replay materialized job outputs.
+
+Both arms use the same deterministic namespace stream, so the warm
+arm's rows *and* ``comparable()`` counters must be byte-identical to
+the cold arm's, job for job — the benchmark checks this per query and
+refuses to report a speedup that moved a byte.  The simulated Hadoop
+totals (the paper's cost model, with cached jobs credited at zero
+cost) are reported alongside wall-clock.
+
+Writes ``BENCH_result_cache.json`` at the repo root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_result_cache.py          # full
+    PYTHONPATH=src python benchmarks/bench_result_cache.py --smoke  # CI
+
+Exits nonzero if any query's warm arm is not byte-identical to cold,
+or if the warm arm never hit the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import measure, write_json  # noqa: E402
+
+from repro.hadoop.config import small_cluster
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore
+from repro.workloads.session import WorkloadSession
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_result_cache.json"))
+
+
+def workload_stream(rounds: int) -> List[Tuple[str, str]]:
+    """The repeated paper workload: every query, ``rounds`` times."""
+    queries = sorted(paper_queries().items())
+    return [(name, sql) for _ in range(rounds) for name, sql in queries]
+
+
+def replay(datastore, stream, cache_mb: float,
+           cluster) -> WorkloadSession:
+    """One arm: a fresh session replaying the whole stream."""
+    session = WorkloadSession(datastore, cache_mb=cache_mb,
+                              cluster=cluster, namespace_prefix="bench")
+    session.run_stream(stream)
+    return session
+
+
+def compare_arms(cold: WorkloadSession,
+                 warm: WorkloadSession) -> Dict[str, object]:
+    """Per-query identity, timing, and cache-traffic report."""
+    queries: Dict[str, Dict[str, object]] = {}
+    all_identical = True
+    for cold_run, warm_run in zip(cold.runs, warm.runs):
+        identical = (
+            warm_run.result.rows == cold_run.result.rows
+            and [r.counters.comparable() for r in warm_run.result.runs]
+            == [r.counters.comparable() for r in cold_run.result.runs])
+        all_identical = all_identical and identical
+        entry = queries.setdefault(cold_run.name, {
+            "cold_s": 0.0, "warm_s": 0.0, "identical": True,
+            "jobs": len(cold_run.result.runs),
+            "rows": len(cold_run.result.rows),
+            "cache_hits": 0, "cache_misses": 0,
+            "cold_simulated_s": 0.0, "warm_simulated_s": 0.0,
+        })
+        entry["cold_s"] += cold_run.wall_s
+        entry["warm_s"] += warm_run.wall_s
+        entry["identical"] = entry["identical"] and identical
+        entry["cache_hits"] += warm_run.cache_hits
+        entry["cache_misses"] += warm_run.cache_misses
+        if cold_run.result.timing is not None:
+            entry["cold_simulated_s"] += cold_run.result.timing.total_s
+            entry["warm_simulated_s"] += warm_run.result.timing.total_s
+    for entry in queries.values():
+        entry["speedup"] = (entry["cold_s"] / entry["warm_s"]
+                            if entry["warm_s"] else float("inf"))
+    return {"queries": queries, "identical": all_identical}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny data, two rounds, one repeat; exit 1 "
+                             "unless warm is byte-identical and hit the "
+                             "cache")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the workload")
+    parser.add_argument("--users", type=int, default=60,
+                        help="clickstream users for the workload")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="times the whole workload repeats per arm")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measured replays of each arm")
+    parser.add_argument("--cache-mb", type=float, default=64.0)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.users = 0.001, 20
+        args.rounds, args.repeats = 2, 1
+
+    datastore = build_datastore(tpch_scale=args.scale,
+                                clickstream_users=args.users, seed=7)
+    cluster = small_cluster(data_scale=100.0)
+    stream = workload_stream(args.rounds)
+
+    cold = measure(
+        "cold", lambda: replay(datastore, stream, 0.0, cluster),
+        repeats=args.repeats)
+    warm = measure(
+        "warm", lambda: replay(datastore, stream, args.cache_mb, cluster),
+        repeats=args.repeats)
+
+    cold_session: WorkloadSession = cold.result
+    warm_session: WorkloadSession = warm.result
+    report = compare_arms(cold_session, warm_session)
+    stats = warm_session.stats
+    cold_sim = sum(r.result.timing.total_s for r in cold_session.runs)
+    warm_sim = sum(r.result.timing.total_s for r in warm_session.runs)
+
+    macro = {
+        "cold_s": cold.median_s,
+        "warm_s": warm.median_s,
+        "speedup": (cold.median_s / warm.median_s
+                    if warm.median_s else float("inf")),
+        "identical": report["identical"],
+        "queries": report["queries"],
+        "cold_simulated_s": cold_sim,
+        "warm_simulated_s": warm_sim,
+        "simulated_speedup": (cold_sim / warm_sim
+                              if warm_sim else float("inf")),
+        "cache": stats.as_dict(),
+        "cache_bytes": warm_session.cache.total_bytes,
+        "cache_budget_bytes": warm_session.cache.budget_bytes,
+        "cold": cold.to_dict(),
+        "warm": warm.to_dict(),
+    }
+    payload = {
+        "benchmark": "result_cache",
+        "config": {"tpch_scale": args.scale,
+                   "clickstream_users": args.users, "seed": 7,
+                   "rounds": args.rounds, "repeats": args.repeats,
+                   "cache_mb": args.cache_mb, "smoke": args.smoke},
+        "macro": macro,
+    }
+    write_json(args.out, payload)
+
+    print(f"macro: cold {cold.median_s * 1e3:.1f}ms -> "
+          f"warm {warm.median_s * 1e3:.1f}ms "
+          f"({macro['speedup']:.2f}x wall, "
+          f"{macro['simulated_speedup']:.2f}x simulated), "
+          f"identical={macro['identical']}")
+    for name, entry in sorted(report["queries"].items()):
+        print(f"   {name:<12} {entry['cold_s'] * 1e3:>8.1f}ms -> "
+              f"{entry['warm_s'] * 1e3:>7.1f}ms "
+              f"({entry['speedup']:>5.2f}x)  "
+              f"hits={entry['cache_hits']}/"
+              f"{entry['cache_hits'] + entry['cache_misses']} "
+              f"identical={entry['identical']}")
+    print(f"cache: hits={stats.hits} misses={stats.misses} "
+          f"evictions={stats.evictions} "
+          f"bytes_saved={stats.bytes_saved} "
+          f"resident={warm_session.cache.total_bytes}/"
+          f"{warm_session.cache.budget_bytes}B")
+    print(f"wrote {args.out}")
+
+    if not macro["identical"]:
+        print("FAIL: warm arm is not byte-identical to cold",
+              file=sys.stderr)
+        return 1
+    if stats.hits == 0:
+        print("FAIL: warm arm never hit the cache", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

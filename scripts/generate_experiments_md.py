@@ -79,6 +79,53 @@ def record_path_section(path="BENCH_record_path.json"):
     return out.getvalue()
 
 
+def result_cache_section(path="BENCH_result_cache.json"):
+    """Render the warm-vs-cold result-cache trajectory, if the benchmark
+    has been run (``PYTHONPATH=src python benchmarks/bench_result_cache.py``).
+
+    Like the record path, these are real in-process milliseconds — a
+    repeated paper workload replayed cold (no reuse) and warm (one
+    shared fingerprint-keyed cache), with rows and ``comparable()``
+    counters asserted byte-identical per query.
+    """
+    if not os.path.exists(path):
+        return ""
+    with open(path) as fh:
+        data = json.load(fh)
+    macro, cfg = data["macro"], data["config"]
+    stats = macro["cache"]
+    out = io.StringIO()
+    out.write("\n## Inter-query result-cache trajectory "
+              "(real time, not simulated)\n\n")
+    out.write(f"From `{os.path.basename(path)}` "
+              f"(seed {cfg['seed']}, TPC-H SF {cfg['tpch_scale']}, "
+              f"{cfg['rounds']} rounds x {cfg['repeats']} repeats, "
+              f"{cfg['cache_mb']:g} MB budget"
+              f"{', smoke run' if cfg.get('smoke') else ''}): "
+              f"macro speedup **{macro['speedup']:.2f}x** wall "
+              f"({macro['cold_s'] * 1e3:.0f}ms -> "
+              f"{macro['warm_s'] * 1e3:.0f}ms), "
+              f"{macro['simulated_speedup']:.2f}x simulated, outputs "
+              f"{'identical' if macro['identical'] else 'DIVERGED'}.\n\n")
+    out.write("| query | cold_ms | warm_ms | speedup | hits | "
+              "identical |\n")
+    out.write("|---|---|---|---|---|---|\n")
+    for name, q in sorted(macro["queries"].items()):
+        jobs = q["cache_hits"] + q["cache_misses"]
+        out.write(f"| {name} | {q['cold_s'] * 1e3:.1f} "
+                  f"| {q['warm_s'] * 1e3:.1f} "
+                  f"| {q['speedup']:.2f}x "
+                  f"| {q['cache_hits']}/{jobs} "
+                  f"| {'yes' if q['identical'] else 'NO'} |\n")
+    out.write(f"\nCache traffic: {stats['hits']} hits / "
+              f"{stats['misses']} misses / {stats['evictions']} "
+              f"evictions, {stats['bytes_saved']:,} bytes of I/O "
+              f"avoided, {macro['cache_bytes']:,} of "
+              f"{macro['cache_budget_bytes']:,} budget bytes "
+              "resident.\n")
+    return out.getvalue()
+
+
 def main():
     start = time.time()
     workload = standard_workload()
@@ -148,6 +195,7 @@ def main():
         out.write(result.to_markdown())
         out.write("\n\n")
     out.write(record_path_section())
+    out.write(result_cache_section())
     out.write(f"\n*Generated in {time.time() - start:.0f}s from the "
               "standard workload (TPC-H SF 0.005, 120 click-stream users) "
               "with seed 2011.*\n")

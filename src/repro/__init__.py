@@ -68,8 +68,10 @@ from repro.hadoop import (
 from repro.mr import MapReduceEngine, run_jobs
 from repro.plan import explain_plan, plan_query
 from repro.refexec import run_reference
+from repro.reuse import CacheStats, ResultCache
 from repro.sqlparser import parse_sql
 from repro.workloads import (
+    WorkloadSession,
     build_datastore,
     data_scale_for,
     paper_queries,
@@ -80,6 +82,7 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStats",
     "Catalog",
     "ClickstreamConfig",
     "ClusterConfig",
@@ -92,11 +95,13 @@ __all__ = [
     "MapReduceEngine",
     "QueryTiming",
     "ReproError",
+    "ResultCache",
     "Schema",
     "TRANSLATOR_MODES",
     "Table",
     "TpchConfig",
     "Translation",
+    "WorkloadSession",
     "__version__",
     "BatchTranslation",
     "build_datastore",

@@ -81,22 +81,29 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _cluster_for(args, ds):
+    if args.cluster is None:
+        return None
+    if args.target_gb is not None:
+        tables = [t for t in TPCH_TABLES if ds.has_table(t)]
+        if ds.has_table("clicks"):
+            tables.append("clicks")
+        scale = data_scale_for(ds, tables, args.target_gb)
+    else:
+        scale = 1.0
+    return CLUSTERS[args.cluster](scale)
+
+
 def cmd_run(args) -> int:
+    from repro.reuse import ResultCache
     ds = _datastore(args)
-    cluster = None
-    if args.cluster is not None:
-        if args.target_gb is not None:
-            tables = [t for t in TPCH_TABLES if ds.has_table(t)]
-            if ds.has_table("clicks"):
-                tables.append("clicks")
-            scale = data_scale_for(ds, tables, args.target_gb)
-        else:
-            scale = 1.0
-        cluster = CLUSTERS[args.cluster](scale)
+    cluster = _cluster_for(args, ds)
+    cache = (ResultCache(budget_bytes=int(args.cache_mb * 1024 * 1024))
+             if args.cache_mb > 0 else None)
 
     result = run_query(args.sql, ds, mode=args.mode, cluster=cluster,
                        namespace="cli", parallelism=args.parallel,
-                       keep_trace=args.parallel > 1)
+                       keep_trace=args.parallel > 1, cache=cache)
     workers = f" workers={args.parallel}" if args.parallel > 1 else ""
     print(f"mode={args.mode} jobs={result.job_count}{workers}")
     if args.timings:
@@ -111,6 +118,12 @@ def cmd_run(args) -> int:
                 totals[p] += walls.get(p, 0.0)
         print("   " + f"{'total':<30} " + " ".join(
             f"{p}={totals[p] * 1e3:>8.2f}ms" for p in phases))
+        if cache is not None:
+            hits = sum(r.counters.cache_hits for r in result.runs)
+            misses = sum(r.counters.cache_misses for r in result.runs)
+            saved = sum(r.counters.cached_bytes_saved for r in result.runs)
+            print(f"   result cache: hits={hits} misses={misses} "
+                  f"bytes_saved={saved}")
     if result.trace is not None and result.trace.max_wave_width > 1:
         waves = " | ".join(",".join(w) for w in result.trace.waves)
         print(f"schedule waves: {waves}")
@@ -128,6 +141,50 @@ def cmd_run(args) -> int:
         print("   " + " | ".join(columns))
         for row in shown:
             print("   " + " | ".join(str(row[c]) for c in columns))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.workloads import WorkloadSession, extra_queries, paper_queries
+    available = dict(paper_queries())
+    available.update(extra_queries())
+    names = args.names or sorted(paper_queries())
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        print(f"unknown query name(s): {unknown}; "
+              f"available: {sorted(available)}", file=sys.stderr)
+        return 2
+
+    ds = _datastore(args)
+    cluster = _cluster_for(args, ds)
+    session = WorkloadSession(
+        ds, cache_mb=args.cache_mb, mode=args.mode, cluster=cluster,
+        parallelism=args.parallel)
+    stream = [(name, available[name])
+              for _ in range(args.repeat) for name in names]
+    cached = (f"cache={args.cache_mb:g}MB" if args.cache_mb > 0
+              else "cache=off")
+    print(f"workload: {len(stream)} queries "
+          f"({args.repeat}x {','.join(names)}), mode={args.mode}, {cached}")
+    for name, sql in stream:
+        result = session.run(sql, name=name)
+        run = session.runs[-1]
+        line = (f"   {name:<14} jobs={len(result.runs)} "
+                f"hits={run.cache_hits} wall={run.wall_s * 1e3:8.2f}ms")
+        if result.timing is not None:
+            line += f" simulated={result.timing.total_s:9.1f}s"
+        print(line)
+
+    summary = session.summary()
+    stats = session.stats
+    print(f"total wall: {summary['wall_s'] * 1e3:.2f}ms over "
+          f"{summary['queries']} queries / {summary['jobs']} jobs")
+    if args.cache_mb > 0:
+        print(f"cache: hits={stats.hits} misses={stats.misses} "
+              f"evictions={stats.evictions} "
+              f"bytes_saved={stats.bytes_saved} "
+              f"resident={summary['cache_bytes']}/"
+              f"{summary['cache_budget_bytes']}B")
     return 0
 
 
@@ -203,8 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timings", action="store_true",
                    help="print measured per-job phase wall-clock "
                         "(map/shuffle/reduce/finalize)")
+    p.add_argument("--cache-mb", type=float, default=0.0, metavar="N",
+                   help="enable the inter-query result cache with this "
+                        "byte budget (0 = off)")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("workload",
+                       help="run a query stream against one shared "
+                            "result cache (warm session)")
+    p.add_argument("names", nargs="*",
+                   help="query names (default: all paper queries; extra "
+                        "queries q3/q10 also available)")
+    p.add_argument("--repeat", type=int, default=2, metavar="N",
+                   help="number of passes over the query list")
+    p.add_argument("--cache-mb", type=float, default=64.0, metavar="N",
+                   help="result-cache byte budget (0 disables reuse)")
+    p.add_argument("--mode", choices=TRANSLATOR_MODES, default="ysmart")
+    p.add_argument("--cluster", choices=sorted(CLUSTERS), default=None,
+                   help="also report simulated time on this cluster preset")
+    p.add_argument("--target-gb", type=float, default=None,
+                   help="model the generated data as this many GB")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="execution-runtime workers per query")
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_workload)
 
     p = sub.add_parser("experiments",
                        help="regenerate the paper's tables and figures")

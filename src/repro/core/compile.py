@@ -55,6 +55,7 @@ from repro.plan.nodes import (
 )
 from repro.plan.pruning import child_requirements, needed_raw_columns
 from repro.refexec.executor import compile_resolved, compile_resolved_predicate
+from repro.reuse.fingerprint import draft_signature, signature_digest
 
 
 @dataclass
@@ -85,6 +86,9 @@ class JobCompiler:
         self.options = options or CompileOptions()
         self._dataset_of: Dict[int, str] = {}     # node id -> dataset name
         self._needed: Dict[int, Set[str]] = {}    # node id -> required outputs
+        #: dataset name -> "<producing job signature digest>/<output idx>",
+        #: the namespace-free identity the result cache chains through
+        self._sig_refs: Dict[str, str] = {}
         #: id(root) -> result dataset name (batch translation names each
         #: query's result; single-query default is "<ns>.result")
         self._result_names = result_names or {
@@ -138,12 +142,27 @@ class JobCompiler:
             out.append((node, name))
         return out
 
+    def signature_ref(self, dataset: str) -> str:
+        """The namespace-free identity of an already-compiled job output
+        (used by plan fingerprints to reference upstream datasets)."""
+        ref = self._sig_refs.get(dataset)
+        if ref is None:
+            raise TranslationError(
+                f"dataset {dataset!r} has no plan signature yet "
+                "(schedule violation)")
+        return ref
+
     # -- compile -------------------------------------------------------------------------
 
     def compile(self) -> List[MRJob]:
         jobs: List[MRJob] = []
         for index, draft in enumerate(self.graph.schedule()):
-            jobs.append(self._compile_draft(draft, index))
+            job = self._compile_draft(draft, index)
+            job.plan_signature = draft_signature(self, draft)
+            digest = signature_digest(job.plan_signature)
+            for out_index, out in enumerate(job.outputs):
+                self._sig_refs[out.dataset] = f"{digest}/{out_index}"
+            jobs.append(job)
         return jobs
 
     def _compile_draft(self, draft: JobDraft, index: int) -> MRJob:

@@ -4,11 +4,19 @@ A :class:`Datastore` plays the role of HDFS in the simulation: translators
 read base tables from it, every MapReduce job writes its output dataset back
 into it, and the cost model charges HDFS read/write traffic against the
 byte sizes reported here.
+
+Every dataset also carries a **version**: a monotone registration stamp
+(bumped each time a table is loaded or an intermediate is written)
+combined with the table's in-place mutation counter.  The result cache
+(:mod:`repro.reuse`) folds versions into its keys, so mutating a base
+table — or rewriting an intermediate — invalidates exactly the cached
+results that read it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from difflib import get_close_matches
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Schema
@@ -24,6 +32,23 @@ class Datastore:
         self.catalog = catalog or Catalog()
         self._tables: Dict[str, Table] = {}
         self._intermediates: Dict[str, Table] = {}
+        #: dataset name -> registration stamp from the monotone clock
+        self._versions: Dict[str, int] = {}
+        self._clock: int = 0
+
+    def _stamp(self, name: str) -> None:
+        self._clock += 1
+        self._versions[name] = self._clock
+
+    def _suggestion(self, name: str) -> str:
+        """A did-you-mean suffix built from every known dataset name."""
+        known = self.table_names() + self.intermediate_names()
+        close = get_close_matches(name.lower(), known, n=3, cutoff=0.6)
+        if not close:
+            close = get_close_matches(name, known, n=3, cutoff=0.6)
+        if not close:
+            return ""
+        return "; did you mean " + " or ".join(repr(c) for c in close) + "?"
 
     # -- base tables --------------------------------------------------------
 
@@ -31,6 +56,7 @@ class Datastore:
         """Store a base table, registering its schema in the catalog."""
         key = table.name.lower()
         self._tables[key] = table
+        self._stamp(key)
         if register_schema and not self.catalog.has(key):
             self.catalog.register(key, table.schema)
 
@@ -38,7 +64,9 @@ class Datastore:
         try:
             return self._tables[name.lower()]
         except KeyError:
-            raise CatalogError(f"no table loaded under name {name!r}") from None
+            raise CatalogError(
+                f"no table loaded under name {name!r}"
+                f"{self._suggestion(name)}") from None
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -52,12 +80,15 @@ class Datastore:
         if not replace and name in self._intermediates:
             raise ExecutionError(f"intermediate dataset {name!r} already exists")
         self._intermediates[name] = table
+        self._stamp(name)
 
     def intermediate(self, name: str) -> Table:
         try:
             return self._intermediates[name]
         except KeyError:
-            raise ExecutionError(f"no intermediate dataset {name!r}") from None
+            raise ExecutionError(
+                f"no intermediate dataset {name!r}"
+                f"{self._suggestion(name)}") from None
 
     def drop_intermediates(self) -> None:
         self._intermediates.clear()
@@ -79,7 +110,36 @@ class Datastore:
             return self._intermediates[name]
         if self.has_table(name):
             return self.table(name)
-        raise ExecutionError(f"dataset {name!r} is neither a table nor an intermediate")
+        raise ExecutionError(
+            f"dataset {name!r} is neither a table nor an intermediate"
+            f"{self._suggestion(name)}")
 
     def dataset_bytes(self, name: str) -> int:
         return self.resolve(name).estimated_bytes()
+
+    # -- versions & sizes -----------------------------------------------------
+
+    def version(self, name: str) -> str:
+        """The dataset's version stamp: ``<registration>.<mutations>``.
+
+        The registration component comes from the store-wide monotone
+        clock (bumped on every :meth:`load_table` / :meth:`write_intermediate`);
+        the mutation component is the table's own in-place
+        ``append``/``extend`` counter.  Any change to the dataset — a
+        reload, a rewrite, or an in-place mutation — yields a stamp never
+        seen before, so version-keyed cache entries can never alias.
+        """
+        table = self.resolve(name)  # raises (with suggestion) when unknown
+        key = name if name in self._intermediates else name.lower()
+        return f"{self._versions.get(key, 0)}.{table.mutations}"
+
+    def versions(self) -> Dict[str, str]:
+        """Version stamps for every known dataset."""
+        return {name: self.version(name)
+                for name in self.table_names() + self.intermediate_names()}
+
+    def sizes(self, names: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Estimated byte sizes, for every dataset or the given subset."""
+        if names is None:
+            names = self.table_names() + self.intermediate_names()
+        return {name: self.dataset_bytes(name) for name in names}

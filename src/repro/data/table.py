@@ -24,7 +24,7 @@ class Table:
     tests use it, hot paths (MR intermediate datasets) skip it.
     """
 
-    __slots__ = ("name", "schema", "rows", "_size_cache")
+    __slots__ = ("name", "schema", "rows", "mutations", "_size_cache")
 
     def __init__(
         self,
@@ -36,6 +36,10 @@ class Table:
         self.name = name
         self.schema = schema
         self.rows: List[Row] = list(rows) if rows is not None else []
+        #: in-place mutation counter (``append``/``extend`` bump it); the
+        #: datastore folds it into dataset versions so cached results
+        #: derived from an earlier state of this table are never served
+        self.mutations: int = 0
         self._size_cache: Optional[int] = None
         if validate:
             for row in self.rows:
@@ -54,10 +58,12 @@ class Table:
         if validate:
             self.schema.validate_row(row)
         self.rows.append(row)
+        self.mutations += 1
         self._size_cache = None
 
     def extend(self, rows: Iterable[Row]) -> None:
         self.rows.extend(rows)
+        self.mutations += 1
         self._size_cache = None
 
     def column_values(self, column: str) -> List[object]:

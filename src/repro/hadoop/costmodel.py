@@ -196,6 +196,16 @@ class HadoopCostModel:
                      instance: int = 0) -> QueryTiming:
         timing = QueryTiming(cluster=self.config.name)
         for index, run in enumerate(runs):
+            if getattr(run, "cached", False):
+                # Result-cache hit: the job never launched, so the model
+                # credits everything a hit avoids — job startup, the HDFS
+                # scan, shuffle, and the HDFS write (the output already
+                # sits in the store).  A zero-cost entry keeps the job in
+                # the breakdown so warm/cold timelines stay comparable.
+                timing.jobs.append(JobTiming(
+                    job_id=run.job_id, name=run.name,
+                    startup_s=0.0, map_s=0.0, shuffle_s=0.0, reduce_s=0.0))
+                continue
             timing.jobs.append(self.job_timing(
                 run.counters, num_reducers=num_reducers,
                 intermediate_inflation=intermediate_inflation,

@@ -25,6 +25,13 @@ from typing import Dict, List
 #: counts — excluded from :meth:`JobCounters.comparable`.
 TIMING_FIELDS = ("phase_wall_s",)
 
+#: Result-cache bookkeeping fields — like the wall timings, they describe
+#: *how* the run was served (cold vs warm), never *what* it computed, so
+#: they are excluded from :meth:`JobCounters.comparable` and from
+#: dataclass equality.  A warm run and a cold run of the same query must
+#: compare byte-identical.
+CACHE_FIELDS = ("cache_hits", "cache_misses", "cached_bytes_saved")
+
 
 @dataclass
 class JobCounters:
@@ -80,13 +87,24 @@ class JobCounters:
     phase_wall_s: Dict[str, float] = field(default_factory=dict,
                                            compare=False)
 
+    # -- result-cache bookkeeping (not deterministic; see CACHE_FIELDS) ------
+    #: jobs of this run served from the result cache (1 for a replayed
+    #: job's counters, summed at workload level)
+    cache_hits: int = field(default=0, compare=False)
+    #: cacheable jobs that executed because no entry matched
+    cache_misses: int = field(default=0, compare=False)
+    #: HDFS read+write bytes a cache hit avoided (from the replayed
+    #: counters; what the cost model credits)
+    cached_bytes_saved: int = field(default=0, compare=False)
+
     # -- convenience -----------------------------------------------------------
 
     def comparable(self) -> Dict[str, object]:
         """Every deterministic field — what golden snapshots pin and
-        executor-identity tests compare (wall timings excluded)."""
+        executor-identity tests compare (wall timings and cache
+        bookkeeping excluded)."""
         data = dict(vars(self))
-        for name in TIMING_FIELDS:
+        for name in TIMING_FIELDS + CACHE_FIELDS:
             data.pop(name, None)
         return data
 
@@ -142,6 +160,9 @@ class JobCounters:
             output_bytes=scale_map(self.output_bytes),
             # Wall timings are measured, not volume-linear: carry as-is.
             phase_wall_s=dict(self.phase_wall_s),
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cached_bytes_saved=int(self.cached_bytes_saved * factor),
         )
 
 
@@ -153,6 +174,9 @@ class JobRun:
     name: str
     counters: JobCounters
     order: int = 0
+    #: True when the result cache served this job's outputs (the cost
+    #: model then credits its startup, reads, and writes)
+    cached: bool = False
 
 
 def total_counter(runs: List[JobRun], attr: str) -> int:

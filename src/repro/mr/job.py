@@ -141,6 +141,10 @@ class MRJob:
     limit: Optional[int] = None
     #: visibility-tag encoding policy (byte accounting only)
     tag_policy: TagPolicy = TagPolicy.BEST
+    #: canonical plan fingerprint (see :mod:`repro.reuse.fingerprint`),
+    #: attached by the plan compiler; ``None`` for hand-built jobs, which
+    #: makes them ineligible for result-cache reuse
+    plan_signature: Optional[str] = None
 
     @property
     def role_universe(self) -> int:

@@ -40,11 +40,17 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import ColumnType
 from repro.data.datastore import Datastore
-from repro.errors import ExecutionError
+from repro.data.table import Table
+from repro.errors import ExecutionError, ReproError
 from repro.mr.counters import JobCounters, JobRun
 from repro.mr.job import MRJob
 from repro.mr.tasks import JobTaskGraph
+from repro.reuse.cache import (CachedOutput, CacheEntry, ResultCache,
+                               canonical_counters, rehydrate_counters)
+from repro.reuse.fingerprint import job_cache_key
 
 
 # ---------------------------------------------------------------------------
@@ -213,12 +219,16 @@ class Runtime:
     def __init__(self, datastore: Datastore,
                  executor: Optional[object] = None,
                  split_rows: Optional[int] = None,
-                 keep_trace: bool = False):
+                 keep_trace: bool = False,
+                 result_cache: Optional[ResultCache] = None):
         self.datastore = datastore
         self.executor = executor or SerialExecutor()
         self.split_rows = split_rows
         self.trace: Optional[RuntimeTrace] = \
             RuntimeTrace() if keep_trace else None
+        #: inter-query result cache (None = every job executes); consulted
+        #: per ready job in run_jobs before its tasks are scheduled
+        self.result_cache = result_cache
 
     # -- public API --------------------------------------------------------
 
@@ -249,6 +259,10 @@ class Runtime:
                 f"dependencies name unknown jobs: {sorted(unknown)}")
 
         counters: Dict[str, JobCounters] = {}
+        cached_ids: set = set()
+        reuse = (_ReuseTracker(self.result_cache, self.datastore,
+                               self.split_rows)
+                 if self.result_cache is not None else None)
         pending = list(jobs)
         wave = len(self.trace.waves) if self.trace else 0
         while pending:
@@ -259,12 +273,30 @@ class Runtime:
                 stuck = [job.job_id for job in pending]
                 raise ExecutionError(
                     f"job dependency cycle or missing producer among {stuck}")
-            counters.update(self._run_wave(ready, wave))
+            if reuse is None:
+                counters.update(self._run_wave(ready, wave))
+            else:
+                to_run: List[Tuple[MRJob, Optional[str]]] = []
+                for job in ready:
+                    key = reuse.key_for(job)
+                    hit = reuse.replay(job, key) if key is not None else None
+                    if hit is not None:
+                        counters[job.job_id] = hit
+                        cached_ids.add(job.job_id)
+                    else:
+                        to_run.append((job, key))
+                if to_run:
+                    counters.update(self._run_wave(
+                        [job for job, _ in to_run], wave))
+                    for job, key in to_run:
+                        if key is not None:
+                            reuse.admit(job, key, counters[job.job_id])
             done = {job.job_id for job in ready}
             pending = [job for job in pending if job.job_id not in done]
             wave += 1
 
-        return [JobRun(job.job_id, job.name, counters[job.job_id], order=i)
+        return [JobRun(job.job_id, job.name, counters[job.job_id], order=i,
+                       cached=job.job_id in cached_ids)
                 for i, job in enumerate(jobs)]
 
     # -- wave execution ----------------------------------------------------
@@ -321,6 +353,75 @@ class Runtime:
                                kind, "finish")
             return result
         return run
+
+
+class _ReuseTracker:
+    """Per-``run_jobs``-call cache bookkeeping.
+
+    Tracks the content identity of every dataset the chain produces
+    (``job:<cache key>/<output index>``), so downstream jobs' cache keys
+    chain through their producers instead of re-reading intermediate
+    bytes — the Merkle structure that lets a sub-plan of a *different*
+    query hit a cached common job.  Inputs not produced in this chain
+    (base tables, pre-existing intermediates) contribute their datastore
+    version stamp, which is what invalidates entries on mutation.
+    """
+
+    def __init__(self, cache: ResultCache, datastore: Datastore,
+                 split_rows: Optional[int]):
+        self.cache = cache
+        self.datastore = datastore
+        self.split_rows = split_rows
+        self._content_ids: Dict[str, str] = {}
+
+    def key_for(self, job: MRJob) -> Optional[str]:
+        """The job's cache key, or None when it cannot participate
+        (hand-built spec, or an input of unknown identity)."""
+        if job.plan_signature is None:
+            return None
+        refs: List[str] = []
+        for dataset in job.input_datasets:
+            ref = self._content_ids.get(dataset)
+            if ref is None:
+                try:
+                    version = self.datastore.version(dataset)
+                except ReproError:
+                    return None  # input not materialized yet: stay cold
+                ref = f"data:{dataset}@{version}"
+            refs.append(ref)
+        key = job_cache_key(job.plan_signature, refs, self.split_rows)
+        for i, out in enumerate(job.outputs):
+            self._content_ids[out.dataset] = f"job:{key}/{i}"
+        return key
+
+    def replay(self, job: MRJob, key: str) -> Optional[JobCounters]:
+        """Serve the job from the cache: write its materialized outputs
+        into the datastore as if it ran, and return replayed counters.
+        Returns None on a miss."""
+        entry = self.cache.lookup(key)
+        if entry is None:
+            return None
+        for out, cached in zip(job.outputs, entry.outputs):
+            schema = Schema(Column(c, ColumnType.ANY)
+                            for c in cached.columns)
+            self.datastore.write_intermediate(
+                out.dataset, Table(out.dataset, schema, cached.rows))
+        counters = rehydrate_counters(job, entry.counters)
+        self.cache.stats.bytes_saved += counters.cached_bytes_saved
+        return counters
+
+    def admit(self, job: MRJob, key: str, counters: JobCounters) -> None:
+        """Store a just-executed job's outputs under its key."""
+        outputs: List[CachedOutput] = []
+        size = 0
+        for out in job.outputs:
+            table = self.datastore.intermediate(out.dataset)
+            outputs.append(CachedOutput(list(out.columns), table.rows))
+            size += table.estimated_bytes()
+        self.cache.admit(CacheEntry(
+            key=key, outputs=outputs,
+            counters=canonical_counters(job, counters), size_bytes=size))
+        counters.cache_misses = 1
 
 
 def make_executor(parallelism: int = 1, kind: str = "thread"):

@@ -1,0 +1,35 @@
+"""Inter-query result reuse: plan fingerprints and the materialized
+result cache (ReStore-style, over YSmart's merged jobs).
+
+* :mod:`repro.reuse.fingerprint` renders each compiled job's plan into a
+  canonical signature — namespace-, label-, and block-id-agnostic — and
+  combines it with dataset versions into runtime cache keys;
+* :mod:`repro.reuse.cache` holds the byte-budgeted LRU of materialized
+  job outputs the execution runtime consults before scheduling tasks.
+"""
+
+from repro.reuse.cache import (
+    CachedOutput,
+    CacheEntry,
+    CacheStats,
+    ResultCache,
+    canonical_counters,
+    rehydrate_counters,
+)
+from repro.reuse.fingerprint import (
+    canonicalize_signature,
+    draft_signature,
+    signature_digest,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "CachedOutput",
+    "ResultCache",
+    "canonical_counters",
+    "canonicalize_signature",
+    "draft_signature",
+    "rehydrate_counters",
+    "signature_digest",
+]

@@ -1,0 +1,204 @@
+"""The materialized result cache: a byte-budgeted LRU of job outputs.
+
+Entries are keyed by the runtime cache key (plan-signature digest ×
+input content identities × split geometry, see :func:`repro.reuse.
+fingerprint.job_cache_key`) and hold the producing job's output rows
+plus its counters in a *canonical* form: dataset-keyed counter maps are
+re-keyed by input/output position and the job id/name are cleared, so a
+hit from a different query (different namespace, different labels) can
+rehydrate counters under its own names and still compare byte-identical
+to a cold run.
+
+Row lists are shared, never copied: the execution engine treats dataset
+rows as immutable (map tasks read them, finalize builds fresh dicts, the
+workload runner copies result rows), so a cached output can back any
+number of replays.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data.table import Row
+from repro.mr.counters import JobCounters
+from repro.mr.job import MRJob
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: entries stored (misses that were admitted under the budget)
+    admissions: int = 0
+    #: entries larger than the whole budget, never stored
+    rejected: int = 0
+    #: input+output bytes of every replayed job (what hits avoided)
+    bytes_saved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "admissions": self.admissions,
+            "rejected": self.rejected, "bytes_saved": self.bytes_saved,
+        }
+
+
+@dataclass
+class CachedOutput:
+    """One materialized output dataset of a cached job."""
+
+    columns: List[str]
+    rows: List[Row]
+
+
+@dataclass
+class CacheEntry:
+    """One cached job: its outputs and canonicalized counters."""
+
+    key: str
+    outputs: List[CachedOutput]
+    counters: JobCounters
+    #: estimated bytes of every output (the budget currency)
+    size_bytes: int = 0
+
+
+class ResultCache:
+    """Byte-budgeted LRU over :class:`CacheEntry` objects.
+
+    ``lookup`` counts a hit or miss and refreshes recency; ``admit``
+    stores an entry, evicting least-recently-used entries until the
+    budget holds (an entry bigger than the whole budget is rejected).
+    """
+
+    def __init__(self, budget_bytes: int = 64 * 1024 * 1024):
+        if budget_bytes <= 0:
+            raise ValueError(f"cache budget must be positive, "
+                             f"got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self._entries.values())
+
+    def keys(self) -> List[str]:
+        """Keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def admit(self, entry: CacheEntry) -> bool:
+        if entry.size_bytes > self.budget_bytes:
+            self.stats.rejected += 1
+            return False
+        if entry.key in self._entries:
+            self._entries.move_to_end(entry.key)
+            self._entries[entry.key] = entry
+        else:
+            self._entries[entry.key] = entry
+            self.stats.admissions += 1
+        over = self.total_bytes - self.budget_bytes
+        while over > 0:
+            victim_key = next(iter(self._entries))
+            if victim_key == entry.key:
+                break  # never evict what was just admitted
+            victim = self._entries.pop(victim_key)
+            over -= victim.size_bytes
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+# ---------------------------------------------------------------------------
+# Counter canonicalization
+# ---------------------------------------------------------------------------
+# Counter dicts are keyed by dataset name, and dataset names carry the
+# translation namespace (``q7.JOIN1``).  Cached counters re-key them by
+# map-input / output *position* — positions are part of the plan
+# fingerprint, so any job that matches the entry has the same layout.
+
+def canonical_counters(job: MRJob, counters: JobCounters) -> JobCounters:
+    """Strip job identity and namespaced dataset names for storage."""
+    in_index = {mi.dataset: str(i) for i, mi in enumerate(job.map_inputs)}
+    out_index = {o.dataset: str(i) for i, o in enumerate(job.outputs)}
+    return JobCounters(
+        job_id="",
+        name="",
+        num_reducers=counters.num_reducers,
+        input_bytes={in_index[k]: v for k, v in counters.input_bytes.items()},
+        input_records={in_index[k]: v
+                       for k, v in counters.input_records.items()},
+        map_eval_ops=counters.map_eval_ops,
+        map_output_records=counters.map_output_records,
+        map_output_bytes=counters.map_output_bytes,
+        pre_combine_records=counters.pre_combine_records,
+        reduce_groups=counters.reduce_groups,
+        reduce_input_records=counters.reduce_input_records,
+        reduce_max_task_records=counters.reduce_max_task_records,
+        reduce_task_records=list(counters.reduce_task_records),
+        reduce_dispatch_ops=counters.reduce_dispatch_ops,
+        reduce_compute_ops=counters.reduce_compute_ops,
+        output_records={out_index[k]: v
+                        for k, v in counters.output_records.items()},
+        output_bytes={out_index[k]: v
+                      for k, v in counters.output_bytes.items()},
+    )
+
+
+def rehydrate_counters(job: MRJob, canonical: JobCounters) -> JobCounters:
+    """Replay stored counters under the hitting job's own names.
+
+    The result is byte-identical (per ``comparable()``) to what a cold
+    execution of ``job`` would have measured; the cache bookkeeping
+    fields record that the run was served warm.
+    """
+    in_name = {str(i): mi.dataset for i, mi in enumerate(job.map_inputs)}
+    out_name = {str(i): o.dataset for i, o in enumerate(job.outputs)}
+    replayed = JobCounters(
+        job_id=job.job_id,
+        name=job.name,
+        num_reducers=canonical.num_reducers,
+        input_bytes={in_name[k]: v
+                     for k, v in canonical.input_bytes.items()},
+        input_records={in_name[k]: v
+                       for k, v in canonical.input_records.items()},
+        map_eval_ops=canonical.map_eval_ops,
+        map_output_records=canonical.map_output_records,
+        map_output_bytes=canonical.map_output_bytes,
+        pre_combine_records=canonical.pre_combine_records,
+        reduce_groups=canonical.reduce_groups,
+        reduce_input_records=canonical.reduce_input_records,
+        reduce_max_task_records=canonical.reduce_max_task_records,
+        reduce_task_records=list(canonical.reduce_task_records),
+        reduce_dispatch_ops=canonical.reduce_dispatch_ops,
+        reduce_compute_ops=canonical.reduce_compute_ops,
+        output_records={out_name[k]: v
+                        for k, v in canonical.output_records.items()},
+        output_bytes={out_name[k]: v
+                      for k, v in canonical.output_bytes.items()},
+    )
+    replayed.cache_hits = 1
+    replayed.cached_bytes_saved = (replayed.total_input_bytes
+                                   + replayed.total_output_bytes)
+    return replayed

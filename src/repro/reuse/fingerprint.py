@@ -1,0 +1,269 @@
+"""Canonical plan fingerprints for compiled MapReduce jobs.
+
+A compiled :class:`~repro.mr.job.MRJob` carries opaque closures (emit
+functions, residual predicates, stage chains), so content-hashing the job
+object itself is impossible.  Instead the :class:`~repro.core.compile.
+JobCompiler` calls :func:`draft_signature` while it still holds the job's
+plan nodes, and renders everything those closures were compiled *from*:
+
+* operator structure (join type/keys/residual, grouping and aggregate
+  expressions, sort keys, union branches) with expressions in their
+  canonical SQL rendering;
+* the compiler's own derived decisions — partition-key classes, per-side
+  shuffle key columns, globally-pruned needed-column sets, output
+  columns — so two jobs match only when they would *execute* identically;
+* compile options that change behavior or counters (reducer count,
+  map-side aggregation, payload naming, tag policy).
+
+Canonicalization makes the signature stable across queries:
+
+* the translation **namespace** never appears — upstream intermediates
+  are referenced by the *producing job's* signature digest (a Merkle
+  chain), base tables by name;
+* plan **labels** (``JOIN1``, ``q17:AGG2`` …) never appear — in-draft
+  task references are positional;
+* **block ids** (``@2`` in qualified row keys) and internal **slot
+  numbers** (``__g0`` / ``__agg3``) are renumbered densely by first
+  appearance, so the same sub-plan nested at a different depth of a
+  different query still fingerprints equal.
+
+The signature deliberately *excludes* dataset contents: the runtime
+combines the digest with :meth:`~repro.data.datastore.Datastore.version`
+stamps of every base input (and the upstream jobs' cache keys) to form
+the actual cache key, which is what gives exact invalidation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.plan.nodes import (
+    AggNode,
+    Filter,
+    JoinNode,
+    PlanNode,
+    Project,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.compile import JobCompiler
+    from repro.core.jobgen import JobDraft
+
+#: Tokens renumbered densely by first appearance: qualified-name block
+#: ids, aggregate slots, grouping slots.  Replacements use uppercase so a
+#: second pass could never re-match them.
+_RENUMBER = re.compile(r"@\d+|__agg\d+|__g\d+")
+_PREFIX = {"@": "@B", "__agg": "__AGG", "__g": "__G"}
+
+
+def canonicalize_signature(text: str) -> str:
+    """Renumber block ids and internal slots by first appearance."""
+    seen = {}
+
+    def replace(match: "re.Match[str]") -> str:
+        token = match.group(0)
+        mapped = seen.get(token)
+        if mapped is None:
+            prefix = "@" if token[0] == "@" else \
+                ("__agg" if token.startswith("__agg") else "__g")
+            mapped = f"{_PREFIX[prefix]}{len(seen)}"
+            seen[token] = mapped
+        return mapped
+
+    return _RENUMBER.sub(replace, text)
+
+
+def signature_digest(signature: str) -> str:
+    """A short stable content hash of a canonical signature."""
+    return hashlib.sha256(signature.encode("utf-8")).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Rendering helpers
+# ---------------------------------------------------------------------------
+
+def _expr(e) -> str:
+    return e.to_sql() if e is not None else "-"
+
+
+def _stages(node: PlanNode) -> str:
+    out: List[str] = []
+    for stage in node.stages:
+        if isinstance(stage, Filter):
+            out.append(f"F({_expr(stage.predicate)})")
+        elif isinstance(stage, Project):
+            cols = ",".join(f"{o.name}={_expr(o.expr)}"
+                            for o in stage.outputs)
+            out.append(f"P({cols})")
+        else:  # pragma: no cover - no other stage kinds exist
+            out.append(repr(stage))
+    return "[" + ";".join(out) + "]"
+
+
+def _cols(names) -> str:
+    return ",".join(names)
+
+
+def draft_signature(compiler: "JobCompiler", draft: "JobDraft") -> str:
+    """The canonical signature of one compiled draft (one MRJob).
+
+    Must be called *after* the draft was compiled (output datasets
+    registered) but within the same schedule pass, so upstream drafts
+    already have signature refs.  Mirrors ``JobCompiler._compile_draft``'s
+    dispatch: every piece of information the compiled closures read is
+    rendered here in a label- and namespace-free form.
+    """
+    opt = compiler.options
+    index_of = {id(n): i for i, n in enumerate(draft.nodes)}
+
+    def child_ref(child: PlanNode) -> str:
+        """Canonical reference to a task input: an in-draft feed, an
+        inline base-table scan, or an upstream job's output."""
+        i = index_of.get(id(child))
+        if i is not None:
+            return f"task:{i}"
+        if isinstance(child, ScanNode):
+            return (f"scan(table={child.table},"
+                    f"alias={child.alias}@{child.block_id},"
+                    f"cols={_cols(child.columns)},stages={_stages(child)})")
+        name = compiler.dataset_name(child)
+        return f"ds({compiler.signature_ref(name)})"
+
+    def need(parent: PlanNode, child: PlanNode) -> str:
+        return _cols(sorted(compiler.requirement_from(parent, child)))
+
+    parts: List[str] = [
+        f"options(num_reducers={opt.num_reducers},"
+        f"map_side_agg={opt.map_side_agg},"
+        f"canonical_payload={opt.canonical_payload},"
+        f"tag_policy={opt.tag_policy.name})",
+    ]
+
+    # Mirror _compile_draft's dispatch exactly.
+    node = draft.nodes[0] if len(draft.nodes) == 1 else None
+    if isinstance(node, SortNode):
+        keys = ",".join(f"{k}{'+' if asc else '-'}" for k, asc in node.keys)
+        parts.append(
+            f"sort(keys={keys},limit={node.limit},"
+            f"need={need(node, node.child)},stages={_stages(node)},"
+            f"child={child_ref(node.child)})")
+    elif isinstance(node, UnionNode):
+        branches = ";".join(
+            f"b{i}({child_ref(child)},cols={_cols(names)})"
+            for i, (child, names) in enumerate(
+                zip(node.children, node.branch_names)))
+        parts.append(
+            f"union(names={_cols(node.names)},"
+            f"need={_cols(sorted(compiler.needed(node)))},"
+            f"stages={_stages(node)},branches=[{branches}])")
+    elif isinstance(node, AggNode):
+        parts.append(_agg_signature(compiler, node, standalone=True,
+                                    source=child_ref(node.child),
+                                    need=need(node, node.child)))
+    elif isinstance(node, ScanNode):
+        cols = [c for c in node.output_names if c in compiler.needed(node)]
+        parts.append(
+            f"sp(table={node.table},alias={node.alias}@{node.block_id},"
+            f"cols={_cols(node.columns)},stages={_stages(node)},"
+            f"out={_cols(cols)})")
+    else:  # common job: a multi-node draft, or a single join node
+        parts.append(_common_signature(compiler, draft, index_of,
+                                       child_ref, need))
+
+    parts.append(_outputs_signature(compiler, draft, index_of))
+    return canonicalize_signature("\n".join(parts))
+
+
+def _agg_signature(compiler, node: AggNode, standalone: bool,
+                   source: str, need: str) -> str:
+    group = ";".join(f"{gk.slot}={_expr(gk.expr)}|src={gk.source_col}"
+                     for gk in node.group_keys)
+    aggs = ";".join(
+        f"{a.slot}={a.func}({_expr(a.arg)},distinct={a.distinct},"
+        f"star={a.star})" for a in node.aggs)
+    kind = "agg1" if standalone else "agg"
+    return (f"{kind}(group=[{group}],aggs=[{aggs}],"
+            f"global={node.is_global},stages={_stages(node)},"
+            f"need={need},src={source})")
+
+
+def _common_signature(compiler, draft, index_of, child_ref, need) -> str:
+    classes = compiler._draft_key_classes(draft)
+    analysis = compiler.analysis
+    lines: List[str] = [f"common(classes={_cols(classes)})"]
+
+    def shuffle_ref(parent: PlanNode, child: PlanNode,
+                    key_cols: List[str]) -> str:
+        return (f"{child_ref(child)}|key={_cols(key_cols)}"
+                f"|need={need(parent, child)}")
+
+    for i, node in enumerate(draft.nodes):
+        if isinstance(node, JoinNode):
+            sides = []
+            for child, keys in ((node.left, node.left_keys),
+                                (node.right, node.right_keys)):
+                if id(child) in index_of:
+                    sides.append(child_ref(child))
+                else:
+                    by_class = {}
+                    for col in keys:
+                        by_class.setdefault(analysis.class_of(col), col)
+                    key_cols = compiler._side_key_columns(classes, by_class)
+                    sides.append(shuffle_ref(node, child, key_cols))
+            lines.append(
+                f"task{i}=join(type={node.join_type},"
+                f"L=<{sides[0]}>,R=<{sides[1]}>,"
+                f"lkeys={_cols(node.left_keys)},"
+                f"rkeys={_cols(node.right_keys)},"
+                f"lnames={need(node, node.left)},"
+                f"rnames={need(node, node.right)},"
+                f"residual={_expr(node.residual)},"
+                f"stages={_stages(node)})")
+        elif isinstance(node, AggNode):
+            child = node.child
+            if id(child) in index_of:
+                source = child_ref(child)
+            else:
+                by_class = {}
+                for gk in node.group_keys:
+                    if gk.source_col is not None:
+                        by_class.setdefault(
+                            analysis.class_of(gk.slot), gk.source_col)
+                key_cols = compiler._side_key_columns(classes, by_class)
+                source = shuffle_ref(node, child, key_cols)
+            lines.append(f"task{i}=" + _agg_signature(
+                compiler, node, standalone=False, source=source,
+                need=need(node, child)))
+        else:  # pragma: no cover - compiler raises first
+            lines.append(f"task{i}=?{type(node).__name__}")
+    return "\n".join(lines)
+
+
+def _outputs_signature(compiler, draft, index_of) -> str:
+    outs = []
+    for i, node in enumerate(compiler.graph.written_nodes(draft)):
+        outs.append(f"out{i}(node=task:{index_of[id(node)]},"
+                    f"cols={_cols(compiler._output_columns(node))})")
+    return ";".join(outs)
+
+
+def job_cache_key(plan_signature: Optional[str],
+                  input_refs: List[str],
+                  split_rows: Optional[int]) -> Optional[str]:
+    """The runtime cache key: plan digest × input content ids × split
+    geometry.  ``input_refs`` are content identities of every map input
+    (``data:<name>@<version>`` for stored datasets, ``job:<key>/<i>`` for
+    outputs produced earlier in the same chain); ``split_rows`` is part
+    of the key because the map-side combiner's pre-combine counters
+    depend on split boundaries."""
+    if plan_signature is None:
+        return None
+    material = "\n".join(
+        [f"plan:{signature_digest(plan_signature)}",
+         f"split_rows:{split_rows}"] + [f"in:{ref}" for ref in input_refs])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -20,6 +20,7 @@ from repro.workloads.runner import (
     run_query,
     run_translation,
 )
+from repro.workloads.session import SessionRun, WorkloadSession
 
 __all__ = [
     "Q10_SQL",
@@ -29,6 +30,8 @@ __all__ = [
     "Q21_SUBTREE_SQL",
     "Q_AGG_SQL",
     "QueryRunResult",
+    "SessionRun",
+    "WorkloadSession",
     "build_datastore",
     "data_scale_for",
     "extra_queries",

@@ -24,6 +24,7 @@ from repro.hadoop.config import ClusterConfig
 from repro.hadoop.costmodel import HadoopCostModel, QueryTiming
 from repro.mr.counters import JobRun
 from repro.mr.runtime import Runtime, RuntimeTrace, make_executor
+from repro.reuse.cache import ResultCache
 
 _namespace_counter = itertools.count(1)
 
@@ -48,7 +49,7 @@ def data_scale_for(datastore: Datastore, tables: Sequence[str],
     """The linear multiplier projecting the generated tables up to
     ``target_gb`` of modeled data (how the paper's 10 GB/100 GB/1 TB runs
     are represented)."""
-    actual = sum(datastore.table(t).estimated_bytes() for t in tables)
+    actual = sum(datastore.sizes(tables).values())
     if actual == 0:
         return 1.0
     return target_gb * 1024 ** 3 / actual
@@ -80,7 +81,8 @@ def run_translation(translation: Translation, datastore: Datastore,
                     instance: int = 0,
                     parallelism: int = 1,
                     split_rows: Optional[int] = None,
-                    keep_trace: bool = False) -> QueryRunResult:
+                    keep_trace: bool = False,
+                    cache: Optional[ResultCache] = None) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -88,9 +90,17 @@ def run_translation(translation: Translation, datastore: Datastore,
     thread pool.  Rows and counters are byte-identical to serial
     execution; only wall-clock changes.  ``split_rows`` caps map-task
     size (None keeps one split per input).
+
+    ``cache`` is an inter-query :class:`~repro.reuse.ResultCache`: jobs
+    whose fingerprint matches a cached entry are served from it instead
+    of executing (rows and ``comparable()`` counters stay byte-identical
+    to a cold run), and freshly executed jobs are admitted under the
+    cache's byte budget.  Pass the same cache across calls — a
+    :class:`~repro.workloads.WorkloadSession` does this for a stream.
     """
     runtime = Runtime(datastore, executor=make_executor(parallelism),
-                      split_rows=split_rows, keep_trace=keep_trace)
+                      split_rows=split_rows, keep_trace=keep_trace,
+                      result_cache=cache)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     table = datastore.intermediate(translation.final_dataset)
@@ -115,13 +125,15 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               instance: int = 0,
               parallelism: int = 1,
               split_rows: Optional[int] = None,
-              keep_trace: bool = False) -> QueryRunResult:
+              keep_trace: bool = False,
+              cache: Optional[ResultCache] = None) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
     real Hadoop deployments size reduce tasks); pass an explicit value to
     override.  ``parallelism`` sets the worker count of the execution
-    runtime (1 = serial; results are identical either way).
+    runtime (1 = serial; results are identical either way).  ``cache``
+    enables inter-query result reuse (see :func:`run_translation`).
     """
     ns = namespace or f"q{next(_namespace_counter)}"
     if num_reducers is None:
@@ -130,4 +142,4 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                                 namespace=ns, num_reducers=num_reducers)
     return run_translation(translation, datastore, cluster, instance,
                            parallelism=parallelism, split_rows=split_rows,
-                           keep_trace=keep_trace)
+                           keep_trace=keep_trace, cache=cache)

@@ -1,0 +1,126 @@
+"""Warm workload sessions: a query stream over one shared result cache.
+
+A :class:`WorkloadSession` is the inter-query counterpart of
+:func:`~repro.workloads.runner.run_query`: every query it runs shares
+one :class:`~repro.reuse.ResultCache`, so repeated queries — and
+different queries whose merged common jobs fingerprint-match — are
+served from materialized results instead of re-executing.  Namespaces
+are session-local and deterministic (``<prefix>.q1``, ``<prefix>.q2``
+…), so two sessions replaying the same stream produce byte-identical
+rows and ``comparable()`` counters whether or not their caches hit —
+the property the result-cache benchmark and tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.data.datastore import Datastore
+from repro.hadoop.config import ClusterConfig
+from repro.reuse.cache import CacheStats, ResultCache
+from repro.workloads.runner import QueryRunResult, run_query
+
+
+@dataclass
+class SessionRun:
+    """One query execution inside a session."""
+
+    name: str
+    namespace: str
+    result: QueryRunResult
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    cached_bytes_saved: int
+
+    @property
+    def fully_cached(self) -> bool:
+        return self.cache_hits == len(self.result.runs)
+
+
+class WorkloadSession:
+    """Executes a query stream against one shared result cache.
+
+    ``cache_mb`` sets the cache's byte budget; ``0`` (or ``None``)
+    disables reuse entirely, making the session a plain sequential
+    runner — useful as the cold arm of a warm/cold comparison.
+    """
+
+    def __init__(self, datastore: Datastore,
+                 cache_mb: Optional[float] = 64.0,
+                 mode: str = "ysmart",
+                 cluster: Optional[ClusterConfig] = None,
+                 parallelism: int = 1,
+                 split_rows: Optional[int] = None,
+                 num_reducers: Optional[int] = None,
+                 namespace_prefix: str = "ws"):
+        self.datastore = datastore
+        self.mode = mode
+        self.cluster = cluster
+        self.parallelism = parallelism
+        self.split_rows = split_rows
+        self.num_reducers = num_reducers
+        self.namespace_prefix = namespace_prefix
+        self.cache: Optional[ResultCache] = (
+            ResultCache(budget_bytes=int(cache_mb * 1024 * 1024))
+            if cache_mb else None)
+        self.runs: List[SessionRun] = []
+        self._counter = itertools.count(1)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, sql: str, name: Optional[str] = None) -> QueryRunResult:
+        """Translate and execute one query against the session cache."""
+        namespace = f"{self.namespace_prefix}.q{next(self._counter)}"
+        start = time.perf_counter()
+        result = run_query(
+            sql, self.datastore, mode=self.mode, cluster=self.cluster,
+            namespace=namespace, num_reducers=self.num_reducers,
+            parallelism=self.parallelism, split_rows=self.split_rows,
+            cache=self.cache)
+        wall = time.perf_counter() - start
+        self.runs.append(SessionRun(
+            name=name or namespace, namespace=namespace, result=result,
+            wall_s=wall,
+            cache_hits=sum(r.counters.cache_hits for r in result.runs),
+            cache_misses=sum(r.counters.cache_misses for r in result.runs),
+            cached_bytes_saved=sum(r.counters.cached_bytes_saved
+                                   for r in result.runs)))
+        return result
+
+    def run_stream(self, queries: Iterable[Tuple[str, str]]
+                   ) -> List[QueryRunResult]:
+        """Execute ``(name, sql)`` pairs in order, sharing the cache."""
+        return [self.run(sql, name=name) for name, sql in queries]
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """The shared cache's stats (all zeros when reuse is disabled)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.runs)
+
+    def summary(self) -> dict:
+        """Session-level aggregates for reporting."""
+        stats = self.stats
+        return {
+            "queries": len(self.runs),
+            "jobs": sum(len(r.result.runs) for r in self.runs),
+            "wall_s": self.total_wall_s,
+            "cache_hits": sum(r.cache_hits for r in self.runs),
+            "cache_misses": sum(r.cache_misses for r in self.runs),
+            "cached_bytes_saved": sum(r.cached_bytes_saved
+                                      for r in self.runs),
+            "cache": stats.as_dict(),
+            "cache_bytes": (self.cache.total_bytes
+                            if self.cache is not None else 0),
+            "cache_budget_bytes": (self.cache.budget_bytes
+                                   if self.cache is not None else 0),
+        }

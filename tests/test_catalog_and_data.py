@@ -175,3 +175,92 @@ class TestDatastore:
         ds.drop_intermediates()
         with pytest.raises(ExecutionError):
             ds.intermediate("d")
+
+
+class TestDatastoreSuggestions:
+    def store(self):
+        ds = Datastore()
+        ds.load_table(Table("lineitem", Schema.of(("a", T.INT)), []))
+        ds.load_table(Table("orders", Schema.of(("a", T.INT)), []))
+        ds.write_intermediate("q1.job1.out",
+                              Table("x", Schema.of(("a", T.INT)), []))
+        return ds
+
+    def test_table_typo_suggests(self):
+        with pytest.raises(CatalogError,
+                           match="did you mean 'lineitem'"):
+            self.store().table("lineitm")
+
+    def test_case_is_folded_before_matching(self):
+        with pytest.raises(CatalogError, match="did you mean 'orders'"):
+            self.store().table("ORDRES")
+
+    def test_intermediate_typo_suggests(self):
+        with pytest.raises(ExecutionError,
+                           match="did you mean 'q1.job1.out'"):
+            self.store().intermediate("q1.job1.ot")
+
+    def test_resolve_typo_suggests(self):
+        with pytest.raises(ExecutionError, match="did you mean"):
+            self.store().resolve("ordes")
+
+    def test_no_close_match_no_suffix(self):
+        with pytest.raises(CatalogError) as excinfo:
+            self.store().table("zzzzzz")
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestDatastoreVersions:
+    def test_load_stamps_and_reload_bumps(self):
+        ds = Datastore()
+        ds.load_table(Table("t", Schema.of(("a", T.INT)), [{"a": 1}]))
+        v0 = ds.version("t")
+        ds.load_table(Table("t", Schema.of(("a", T.INT)), [{"a": 2}]))
+        assert ds.version("t") != v0
+
+    def test_mutation_bumps_without_reload(self):
+        ds = Datastore()
+        table = Table("t", Schema.of(("a", T.INT)), [{"a": 1}])
+        ds.load_table(table)
+        v0 = ds.version("t")
+        table.append({"a": 2})
+        v1 = ds.version("t")
+        assert v1 != v0
+        table.extend([{"a": 3}])
+        assert ds.version("t") not in (v0, v1)
+
+    def test_intermediate_rewrite_bumps(self):
+        ds = Datastore()
+        ds.write_intermediate("d", Table("x", Schema.of(("a", T.INT)), []))
+        v0 = ds.version("d")
+        ds.write_intermediate("d", Table("x", Schema.of(("a", T.INT)), []))
+        assert ds.version("d") != v0
+
+    def test_versions_lists_every_dataset(self):
+        ds = Datastore()
+        ds.load_table(Table("t", Schema.of(("a", T.INT)), []))
+        ds.write_intermediate("d", Table("x", Schema.of(("a", T.INT)), []))
+        assert set(ds.versions()) == {"t", "d"}
+
+    def test_version_unknown_raises_with_suggestion(self):
+        ds = Datastore()
+        ds.load_table(Table("events", Schema.of(("a", T.INT)), []))
+        with pytest.raises(ExecutionError, match="did you mean 'events'"):
+            ds.version("event")
+
+
+class TestDatastoreSizes:
+    def test_sizes_all_and_subset(self):
+        ds = Datastore()
+        ds.load_table(Table("t", Schema.of(("a", T.INT)), [{"a": 1}]))
+        ds.write_intermediate("d", Table("x", Schema.of(("a", T.INT)),
+                                         [{"a": 22}]))
+        sizes = ds.sizes()
+        assert set(sizes) == {"t", "d"}
+        assert all(v > 0 for v in sizes.values())
+        assert ds.sizes(["t"]) == {"t": sizes["t"]}
+
+    def test_sizes_match_dataset_bytes(self):
+        ds = Datastore()
+        ds.load_table(Table("t", Schema.of(("a", T.INT)), [{"a": 1}]))
+        assert ds.sizes(["t"])["t"] == ds.dataset_bytes("t")

@@ -1,0 +1,147 @@
+"""Property-based tests for inter-query result reuse: for ANY
+interleaving of queries and table mutations, and ANY executor, a
+session running with the result cache on is byte-identical — rows,
+intermediate datasets, and ``comparable()`` counters — to the same
+stream executed cold.
+
+This is the cache's load-bearing invariant: reuse plus exact
+version-based invalidation must be indistinguishable from
+re-execution, no matter when the data changes underneath it.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.mr.runtime import ParallelExecutor, Runtime, make_executor
+from repro.reuse import ResultCache
+from repro.workloads.runner import run_query
+
+_case = itertools.count(1)
+
+QUERY_SHAPES = [
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g",
+    "SELECT f.g, count(DISTINCT f.v) AS a FROM fact AS f "
+    "WHERE f.v > 0 GROUP BY f.g",
+    "SELECT f.g, d.w FROM fact AS f, dim AS d WHERE f.k = d.k",
+    "SELECT d.w, avg(f.v) AS a FROM fact AS f, dim AS d "
+    "WHERE f.k = d.k GROUP BY d.w",
+    "SELECT f.g, count(*) AS n FROM fact AS f GROUP BY f.g "
+    "ORDER BY n DESC, g LIMIT 3",
+    "SELECT count(*) AS n, max(f.v) AS m FROM fact AS f",
+]
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=20)
+
+dim_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "w": st.integers(0, 9),
+    }), min_size=0, max_size=8)
+
+# A step either runs a query or mutates a base table in place.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"),
+                  st.integers(0, len(QUERY_SHAPES) - 1)),
+        st.tuples(st.just("mutate_fact"), st.fixed_dictionaries({
+            "k": st.integers(0, 6), "g": st.integers(0, 3),
+            "v": st.integers(-50, 50)})),
+        st.tuples(st.just("mutate_dim"), st.fixed_dictionaries({
+            "k": st.integers(0, 6), "w": st.integers(0, 9)})),
+    ), min_size=2, max_size=8)
+
+
+def make_datastore(fact, dim):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)),
+        [dict(r) for r in fact]))
+    ds.load_table(Table("dim", Schema.of(("k", T.INT), ("w", T.INT)),
+                        [dict(r) for r in dim]))
+    return ds
+
+
+def replay(ops, datastore, cache, prefix, parallelism):
+    """Apply the step stream; return per-query (rows, counters)."""
+    observed = []
+    for i, (kind, payload) in enumerate(ops):
+        if kind == "query":
+            result = run_query(QUERY_SHAPES[payload], datastore,
+                               cache=cache, parallelism=parallelism,
+                               namespace=f"{prefix}.q{i}")
+            observed.append((result.rows,
+                             [r.counters.comparable()
+                              for r in result.runs]))
+        elif kind == "mutate_fact":
+            datastore.table("fact").append(dict(payload))
+        else:
+            datastore.table("dim").append(dict(payload))
+    return observed
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, dim=dim_rows, ops=steps,
+       parallelism=st.sampled_from([1, 4]))
+def test_cached_stream_identical_to_cold(fact, dim, ops, parallelism):
+    prefix = f"pc{next(_case)}"
+    cold = replay(ops, make_datastore(fact, dim), None,
+                  prefix, parallelism)
+    cache = ResultCache()
+    warm = replay(ops, make_datastore(fact, dim), cache,
+                  prefix, parallelism)
+    assert warm == cold
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, dim=dim_rows,
+       shape=st.sampled_from(QUERY_SHAPES))
+def test_serial_and_thread_arms_share_one_cache(fact, dim, shape):
+    # A cache populated under one executor must serve another: keys
+    # depend on the plan and the data, never on the execution strategy.
+    prefix = f"px{next(_case)}"
+    ds = make_datastore(fact, dim)
+    cache = ResultCache()
+    first = run_query(shape, ds, cache=cache, parallelism=1,
+                      namespace=f"{prefix}.a")
+    second = run_query(shape, ds, cache=cache, parallelism=4,
+                       namespace=f"{prefix}.b")
+    assert second.rows == first.rows
+    assert all(r.cached for r in second.runs)
+    assert cache.stats.hits == len(second.runs)
+
+
+def test_process_executor_serves_fully_cached_stream():
+    # Translator jobs carry closures the process executor cannot
+    # pickle — but a fully cached stream never reaches the executor,
+    # so reuse makes the process pool usable where cold execution
+    # would raise.  (Cold process-executor behavior is pinned in
+    # test_runtime.py::test_process_executor_rejects_closure_jobs.)
+    ds = make_datastore([{"k": 1, "g": 1, "v": 5}], [{"k": 1, "w": 2}])
+    cache = ResultCache()
+    sql = QUERY_SHAPES[0]
+    warmup = run_query(sql, ds, cache=cache, namespace="proc.a")
+    tr = translate_sql(sql, catalog=ds.catalog, namespace="proc.b")
+    runtime = Runtime(ds, executor=ParallelExecutor(max_workers=2,
+                                                    kind="process"),
+                      result_cache=cache)
+    runs = runtime.run_jobs(tr.jobs, dependencies=tr.dependencies())
+    assert all(r.cached for r in runs)
+    assert (ds.intermediate(tr.final_dataset).rows
+            == [dict(r) for r in warmup.rows])
+
+
+def test_serial_executor_used_for_degenerate_parallelism():
+    assert isinstance(make_executor(1), type(make_executor(0)))

@@ -1,0 +1,348 @@
+"""Tests for inter-query result reuse: plan fingerprints, the
+materialized result cache, and the runtime's replay path.
+
+The load-bearing invariants:
+
+* fingerprints are stable across namespaces and instances, and differ
+  whenever the plan (or its upstream chain, or the reducer count)
+  differs;
+* a warm run is byte-identical to a cold run — rows *and* every
+  ``comparable()`` counter field, across every paper query;
+* invalidation is exact: mutating a base table invalidates precisely
+  the cached results that read it, and nothing else;
+* reuse crosses query boundaries: a sub-plan of a *different* query
+  whose merged common job fingerprint-matches is served from cache.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.catalog import Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.mr.counters import JobCounters
+from repro.mr.runtime import Runtime, make_executor
+from repro.reuse import (
+    CachedOutput,
+    CacheEntry,
+    ResultCache,
+    canonicalize_signature,
+    signature_digest,
+)
+from repro.reuse.fingerprint import job_cache_key
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_query
+from repro.workloads.session import WorkloadSession
+
+_ns = itertools.count(1)
+
+AGG_SQL = ("SELECT l_orderkey, sum(l_quantity) AS qty FROM lineitem "
+           "GROUP BY l_orderkey")
+SORTED_AGG_SQL = AGG_SQL + " ORDER BY qty DESC LIMIT 5"
+ORDERS_SQL = ("SELECT o_orderstatus, count(*) AS n FROM orders "
+              "GROUP BY o_orderstatus")
+
+
+def signatures(sql, datastore, **kwargs):
+    tr = translate_sql(sql, catalog=datastore.catalog,
+                       namespace=f"fp{next(_ns)}", **kwargs)
+    return [job.plan_signature for job in tr.jobs]
+
+
+def tiny_datastore():
+    """A private mutable datastore (the shared fixture must stay clean).
+
+    Narrow schemas keep the rows small; the queries here only touch
+    these columns.
+    """
+    from repro.catalog import Catalog
+    ds = Datastore(Catalog())
+    ds.load_table(Table("lineitem", Schema.of(
+        ("l_orderkey", T.INT), ("l_quantity", T.FLOAT)), [
+        {"l_orderkey": k % 4, "l_quantity": float(k)}
+        for k in range(12)]))
+    ds.load_table(Table("orders", Schema.of(
+        ("o_orderkey", T.INT), ("o_orderstatus", T.STRING)), [
+        {"o_orderkey": k, "o_orderstatus": "OF"[k % 2]}
+        for k in range(6)]))
+    return ds
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+class TestFingerprints:
+    def test_stable_across_namespaces(self, datastore):
+        for sql in sorted(paper_queries().values()):
+            assert signatures(sql, datastore) == signatures(sql, datastore)
+
+    def test_different_queries_differ(self, datastore):
+        sigs = [signatures(sql, datastore)[0]
+                for sql in sorted(paper_queries().values())]
+        assert len(set(sigs)) == len(sigs)
+
+    def test_num_reducers_changes_signature(self, datastore):
+        assert (signatures(AGG_SQL, datastore, num_reducers=4)
+                != signatures(AGG_SQL, datastore, num_reducers=8))
+
+    def test_upstream_chain_is_merkle_hashed(self, datastore):
+        # The sort job's signature embeds the digest of the agg job it
+        # reads, so changing the upstream filter changes BOTH signatures.
+        base = signatures(SORTED_AGG_SQL, datastore)
+        filtered = signatures(
+            "SELECT l_orderkey, sum(l_quantity) AS qty FROM lineitem "
+            "WHERE l_quantity > 10 GROUP BY l_orderkey "
+            "ORDER BY qty DESC LIMIT 5", datastore)
+        assert len(base) == len(filtered) == 2
+        assert base[0] != filtered[0]
+        assert base[1] != filtered[1]
+
+    def test_shared_subplan_signatures_match(self, datastore):
+        # The agg stage of the sorted query IS the standalone agg query.
+        assert signatures(SORTED_AGG_SQL, datastore)[0] == \
+            signatures(AGG_SQL, datastore)[0]
+
+    def test_canonicalize_renumbers_by_first_appearance(self):
+        # One shared first-appearance counter across all token kinds.
+        assert (canonicalize_signature("@7 __agg3 @2 @7 __g5 __agg3")
+                == "@B0 __AGG1 @B2 @B0 __G3 __AGG1")
+
+    def test_canonicalize_is_idempotent(self):
+        once = canonicalize_signature("@9 __g2 @1")
+        assert canonicalize_signature(once) == once
+
+    def test_cache_key_folds_inputs_and_splits(self):
+        sig = "agg(group=[x])"
+        key = job_cache_key(sig, ["data:t@1.0"], None)
+        assert key is not None
+        assert key != job_cache_key(sig, ["data:t@2.0"], None)
+        assert key != job_cache_key(sig, ["data:t@1.0"], 4)
+        assert job_cache_key(None, ["data:t@1.0"], None) is None
+
+    def test_digest_is_short_hex(self):
+        digest = signature_digest("anything")
+        assert len(digest) == 24
+        int(digest, 16)
+
+
+# ---------------------------------------------------------------------------
+# The cache itself
+# ---------------------------------------------------------------------------
+
+def entry(key, size):
+    return CacheEntry(key=key, outputs=[CachedOutput(columns=["a"],
+                                                     rows=[{"a": 1}])],
+                      counters=[{}], size_bytes=size)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(budget_bytes=1000)
+        assert cache.lookup("k") is None
+        cache.admit(entry("k", 10))
+        assert cache.lookup("k").key == "k"
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(budget_bytes=100)
+        cache.admit(entry("a", 40))
+        cache.admit(entry("b", 40))
+        cache.lookup("a")            # refresh a; b is now LRU
+        cache.admit(entry("c", 40))  # over budget -> evict b
+        assert cache.keys() == ["a", "c"]
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = ResultCache(budget_bytes=100)
+        cache.admit(entry("big", 101))
+        assert cache.keys() == []
+        assert cache.stats.rejected == 1
+        assert cache.stats.admissions == 0
+
+    def test_clear(self):
+        cache = ResultCache(budget_bytes=100)
+        cache.admit(entry("a", 10))
+        cache.clear()
+        assert cache.total_bytes == 0
+        assert cache.lookup("a") is None
+
+    def test_readmit_replaces_in_place(self):
+        cache = ResultCache(budget_bytes=100)
+        cache.admit(entry("a", 10))
+        cache.admit(entry("a", 20))
+        assert cache.total_bytes == 20
+
+
+# ---------------------------------------------------------------------------
+# Warm == cold, byte for byte
+# ---------------------------------------------------------------------------
+
+class TestWarmColdIdentity:
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_paper_query_warm_identical(self, name, datastore):
+        sql = paper_queries()[name]
+        # Same prefix for both arms: comparable() keeps job ids and
+        # dataset names, so the streams must line up name for name.
+        prefix = f"wc{next(_ns)}"
+        cold = WorkloadSession(datastore, cache_mb=0,
+                               namespace_prefix=prefix)
+        warm = WorkloadSession(datastore, cache_mb=16,
+                               namespace_prefix=prefix)
+        for session in (cold, warm):
+            session.run(sql)
+            session.run(sql)
+        for cold_run, warm_run in zip(cold.runs, warm.runs):
+            assert warm_run.result.rows == cold_run.result.rows
+            assert ([r.counters.comparable()
+                     for r in warm_run.result.runs]
+                    == [r.counters.comparable()
+                        for r in cold_run.result.runs])
+        assert warm.runs[1].fully_cached
+        assert warm.stats.hits == len(warm.runs[1].result.runs)
+
+    def test_cached_run_marks_jobs(self, datastore):
+        cache = ResultCache()
+        first = run_query(AGG_SQL, datastore, cache=cache,
+                          namespace=f"mk{next(_ns)}")
+        second = run_query(AGG_SQL, datastore, cache=cache,
+                           namespace=f"mk{next(_ns)}")
+        assert [r.cached for r in first.runs] == [False]
+        assert [r.cached for r in second.runs] == [True]
+        assert second.runs[0].counters.cache_hits == 1
+        assert second.runs[0].counters.cached_bytes_saved > 0
+
+    def test_parallel_executor_shares_cache(self, datastore):
+        cache = ResultCache()
+        ns = f"px{next(_ns)}"
+        cold = run_query(paper_queries()["q17"], datastore,
+                         namespace=f"{ns}.a", parallelism=4, cache=cache)
+        warm = run_query(paper_queries()["q17"], datastore,
+                         namespace=f"{ns}.b", parallelism=4, cache=cache)
+        assert warm.rows == cold.rows
+        assert all(r.cached for r in warm.runs)
+
+
+# ---------------------------------------------------------------------------
+# Cross-query sub-plan reuse
+# ---------------------------------------------------------------------------
+
+class TestSubPlanReuse:
+    def test_agg_job_reused_by_different_query(self, datastore):
+        cache = ResultCache()
+        sorted_run = run_query(SORTED_AGG_SQL, datastore, cache=cache,
+                               namespace=f"sp{next(_ns)}")
+        assert cache.stats.misses == 2
+        ns = f"sp{next(_ns)}"
+        agg_run = run_query(AGG_SQL, datastore, cache=cache, namespace=ns)
+        # The standalone agg IS the sorted query's first job: a hit.
+        assert cache.stats.hits == 1
+        assert agg_run.runs[0].cached
+        # ... and identical to running it cold under the same namespace
+        # (comparable() keeps job ids and dataset names).
+        cold = run_query(AGG_SQL, datastore, namespace=ns)
+        assert agg_run.rows == cold.rows
+        assert (agg_run.runs[0].counters.comparable()
+                == cold.runs[0].counters.comparable())
+        del sorted_run
+
+
+# ---------------------------------------------------------------------------
+# Staleness: exact invalidation
+# ---------------------------------------------------------------------------
+
+class TestInvalidation:
+    def test_mutation_invalidates_exactly_its_readers(self):
+        ds = tiny_datastore()
+        cache = ResultCache()
+        for ns in ("inv1", "inv2"):
+            run_query(AGG_SQL, ds, cache=cache, namespace=f"{ns}.l")
+            run_query(ORDERS_SQL, ds, cache=cache, namespace=f"{ns}.o")
+        assert cache.stats.hits == 2  # second round fully cached
+        before = run_query(AGG_SQL, ds, namespace="inv.before").rows
+
+        ds.table("lineitem").append({"l_orderkey": 1, "l_quantity": 99.0})
+
+        lineitem_run = run_query(AGG_SQL, ds, cache=cache,
+                                 namespace="inv3.l")
+        orders_run = run_query(ORDERS_SQL, ds, cache=cache,
+                               namespace="inv3.o")
+        # lineitem reader recomputed; orders reader still served.
+        assert not lineitem_run.runs[0].cached
+        assert orders_run.runs[0].cached
+        # The recomputation saw the new row.
+        assert lineitem_run.rows != before
+        cold = run_query(AGG_SQL, ds, namespace="inv.after")
+        assert lineitem_run.rows == cold.rows
+
+    def test_version_bumps_on_mutation_and_reload(self):
+        ds = tiny_datastore()
+        v0 = ds.version("lineitem")
+        ds.table("lineitem").append({"l_orderkey": 0, "l_quantity": 1.0})
+        v1 = ds.version("lineitem")
+        assert v1 != v0
+        ds.load_table(Table("lineitem", ds.catalog.schema("lineitem"), []))
+        assert ds.version("lineitem") not in (v0, v1)
+
+
+# ---------------------------------------------------------------------------
+# Counters and cost-model crediting
+# ---------------------------------------------------------------------------
+
+class TestCounters:
+    def test_cache_fields_excluded_from_comparable(self):
+        counters = JobCounters(job_id="j", name="n")
+        counters.cache_hits = 5
+        counters.cache_misses = 2
+        counters.cached_bytes_saved = 1 << 20
+        comparable = counters.comparable()
+        for field in ("cache_hits", "cache_misses", "cached_bytes_saved",
+                      "phase_wall_s"):
+            assert field not in comparable
+
+    def test_cost_model_credits_cached_jobs(self, datastore):
+        from repro.hadoop import small_cluster
+        cache = ResultCache()
+        cluster = small_cluster(data_scale=100.0)
+        cold = run_query(AGG_SQL, datastore, cluster=cluster, cache=cache,
+                         namespace=f"cm{next(_ns)}")
+        warm = run_query(AGG_SQL, datastore, cluster=cluster, cache=cache,
+                         namespace=f"cm{next(_ns)}")
+        assert cold.timing.total_s > 0
+        assert warm.timing.total_s < cold.timing.total_s
+        for job_timing in warm.timing.jobs:
+            assert job_timing.total_s == 0
+
+    def test_uncacheable_jobs_run_cold(self, datastore):
+        # Hand-built jobs carry no plan signature: the runtime must
+        # bypass the cache entirely (no misses charged, no admission).
+        tr = translate_sql(AGG_SQL, catalog=datastore.catalog,
+                           namespace=f"uc{next(_ns)}")
+        for job in tr.jobs:
+            job.plan_signature = None
+        cache = ResultCache()
+        runtime = Runtime(datastore, executor=make_executor(1),
+                          result_cache=cache)
+        runs = runtime.run_jobs(tr.jobs, dependencies=tr.dependencies())
+        assert all(not r.cached for r in runs)
+        assert cache.stats.misses == 0
+        assert cache.keys() == []
+
+
+# ---------------------------------------------------------------------------
+# Budget pressure end to end
+# ---------------------------------------------------------------------------
+
+class TestBudgetPressure:
+    def test_tiny_budget_degrades_to_cold_but_stays_correct(self, datastore):
+        sql = paper_queries()["q17"]
+        cold = run_query(sql, datastore, namespace=f"bp{next(_ns)}")
+        tight = WorkloadSession(datastore, cache_mb=1e-6,  # ~1 byte
+                                namespace_prefix=f"bp{next(_ns)}")
+        for _ in range(2):
+            result = tight.run(sql)
+            assert result.rows == cold.rows
+        assert tight.stats.hits == 0
+        assert tight.stats.rejected > 0

@@ -1,0 +1,125 @@
+"""Tests for :class:`WorkloadSession` and its CLI surfaces
+(``repro workload`` and ``repro run --cache-mb``)."""
+
+import itertools
+
+from repro.cli import main
+from repro.workloads import WorkloadSession, paper_queries
+
+_ns = itertools.count(1)
+
+AGG_SQL = ("SELECT l_orderkey, sum(l_quantity) AS qty FROM lineitem "
+           "GROUP BY l_orderkey")
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+TINY = ("--tpch-scale", "0.001", "--clickstream-users", "20")
+
+
+class TestWorkloadSession:
+    def test_stream_shares_one_cache(self, datastore):
+        session = WorkloadSession(datastore, cache_mb=16,
+                                  namespace_prefix=f"ts{next(_ns)}")
+        stream = [("agg", AGG_SQL)] * 3
+        results = session.run_stream(stream)
+        assert len(results) == len(session.runs) == 3
+        assert [r.name for r in session.runs] == ["agg"] * 3
+        assert not session.runs[0].fully_cached
+        assert session.runs[1].fully_cached
+        assert session.runs[2].fully_cached
+        assert session.stats.hits == 2
+        assert results[0].rows == results[1].rows == results[2].rows
+
+    def test_namespaces_are_deterministic(self, datastore):
+        prefix = f"ts{next(_ns)}"
+        session = WorkloadSession(datastore, cache_mb=None,
+                                  namespace_prefix=prefix)
+        session.run(AGG_SQL)
+        session.run(AGG_SQL, name="again")
+        assert [r.namespace for r in session.runs] == \
+            [f"{prefix}.q1", f"{prefix}.q2"]
+        assert session.runs[0].name == f"{prefix}.q1"  # default = namespace
+        assert session.runs[1].name == "again"
+
+    def test_disabled_cache_runs_cold(self, datastore):
+        session = WorkloadSession(datastore, cache_mb=0,
+                                  namespace_prefix=f"ts{next(_ns)}")
+        session.run(AGG_SQL)
+        session.run(AGG_SQL)
+        assert session.cache is None
+        assert session.stats.hits == session.stats.misses == 0
+        assert all(r.cache_hits == 0 for r in session.runs)
+
+    def test_summary_aggregates(self, datastore):
+        session = WorkloadSession(datastore, cache_mb=16,
+                                  namespace_prefix=f"ts{next(_ns)}")
+        session.run(paper_queries()["q17"])
+        session.run(paper_queries()["q17"])
+        summary = session.summary()
+        jobs_per_query = len(session.runs[0].result.runs)
+        assert summary["queries"] == 2
+        assert summary["jobs"] == 2 * jobs_per_query
+        assert summary["cache_hits"] == jobs_per_query
+        assert summary["cache_misses"] == jobs_per_query
+        assert summary["cached_bytes_saved"] > 0
+        assert summary["wall_s"] == session.total_wall_s > 0
+        assert summary["cache_bytes"] > 0
+        assert summary["cache_budget_bytes"] == 16 * 1024 * 1024
+
+    def test_cost_model_credits_cached_queries(self, datastore):
+        from repro.hadoop import small_cluster
+        session = WorkloadSession(datastore, cache_mb=16,
+                                  cluster=small_cluster(data_scale=100.0),
+                                  namespace_prefix=f"ts{next(_ns)}")
+        first = session.run(AGG_SQL)
+        second = session.run(AGG_SQL)
+        assert first.timing.total_s > 0
+        assert second.timing.total_s < first.timing.total_s
+
+
+class TestWorkloadCli:
+    def test_warm_session_reports_hits(self, capsys):
+        code, out, _ = run_cli(capsys, "workload", "q_agg",
+                               "--repeat", "2", *TINY)
+        assert code == 0
+        assert "workload: 2 queries" in out
+        assert "hits=1" in out          # second pass served from cache
+        assert "cache: hits=1 misses=1" in out
+
+    def test_cache_off_suppresses_cache_report(self, capsys):
+        code, out, _ = run_cli(capsys, "workload", "q_agg",
+                               "--repeat", "2", "--cache-mb", "0", *TINY)
+        assert code == 0
+        assert "cache=off" in out
+        assert "cache:" not in out
+
+    def test_cluster_adds_simulated_times(self, capsys):
+        code, out, _ = run_cli(capsys, "workload", "q_agg", "--repeat", "2",
+                               "--cluster", "small", *TINY)
+        assert code == 0
+        assert "simulated=" in out
+
+    def test_unknown_query_name(self, capsys):
+        code, _, err = run_cli(capsys, "workload", "q_bogus", *TINY)
+        assert code == 2
+        assert "unknown query name" in err
+        assert "q_agg" in err  # lists what IS available
+
+    def test_run_cache_flag_prints_stats(self, capsys):
+        code, out, _ = run_cli(capsys, "run",
+                               "SELECT count(*) AS n FROM lineitem",
+                               "--timings", "--cache-mb", "16", *TINY)
+        assert code == 0
+        assert "result cache: hits=0 misses=1" in out
+
+    def test_run_without_cache_flag_silent(self, capsys):
+        code, out, _ = run_cli(capsys, "run",
+                               "SELECT count(*) AS n FROM lineitem",
+                               "--timings", *TINY)
+        assert code == 0
+        assert "result cache" not in out
