@@ -1,0 +1,236 @@
+"""Dataflow-scheduler benchmark: barrier-free vs wave execution.
+
+Runs the paper's query workload through two runtime arms over the same
+datastore and translations:
+
+* **wave** — the historical barrier scheduler: jobs grouped into DAG
+  levels, every wave's maps fence before its shuffles, a fresh pool per
+  task batch;
+* **dataflow** — the event-driven scheduler: one executor session per
+  chain, tasks dispatched the moment their inputs exist, shuffle and
+  reduce of one job overlapping other jobs' maps.
+
+Both arms run at ``--parallelism`` levels (default 1, 4, 8).  Rows and
+``comparable()`` counters must be byte-identical between arms at every
+level — the benchmark refuses to report a speedup that moved a byte.
+Alongside wall-clock it reports each arm's measured scheduling profile
+(makespan, idle time, utilization from :class:`RuntimeTrace`) and an
+overlap proof: a ``(reduce task, map task)`` pair from *different* jobs
+whose execution intervals intersected, which wave scheduling
+structurally forbids.  The cost model's list-scheduled chain makespan
+is reported for the same runs.
+
+Writes ``BENCH_dataflow_schedule.json`` at the repo root.  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_dataflow_schedule.py          # full
+    PYTHONPATH=src python benchmarks/bench_dataflow_schedule.py --smoke  # CI
+
+Exits nonzero if any arm pair is not byte-identical or the dataflow
+trace shows no cross-job overlap at parallelism >= 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import measure, write_json  # noqa: E402
+
+from repro.core.translator import translate_sql
+from repro.hadoop.config import small_cluster
+from repro.hadoop.costmodel import HadoopCostModel
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore, run_translation
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_dataflow_schedule.json"))
+
+
+def translations(datastore, prefix: str):
+    """One translation per paper query (shared by both arms)."""
+    out = []
+    for name, sql in sorted(paper_queries().items()):
+        out.append((name, translate_sql(
+            sql, catalog=datastore.catalog, namespace=f"{prefix}.{name}")))
+    return out
+
+
+def run_workload(datastore, trs, scheduler: str, parallelism: int,
+                 split_rows):
+    """One arm: every query once; returns per-query results + traces."""
+    return [(name, run_translation(
+        tr, datastore, parallelism=parallelism, split_rows=split_rows,
+        keep_trace=True, scheduler=scheduler)) for name, tr in trs]
+
+
+def profile_of(results) -> Dict[str, float]:
+    """Aggregate scheduling profile over every query's trace."""
+    makespan = sum(r.trace.makespan_s for _, r in results)
+    busy = sum(r.trace.busy_s for _, r in results)
+    idle = sum(r.trace.idle_s for _, r in results)
+    return {
+        "makespan_s": makespan,
+        "busy_s": busy,
+        "idle_s": idle,
+        "utilization": busy / (busy + idle) if busy + idle else 1.0,
+    }
+
+
+def identical(wave_results, flow_results) -> bool:
+    for (_, w), (_, f) in zip(wave_results, flow_results):
+        if f.rows != w.rows:
+            return False
+        if ([r.counters.comparable() for r in f.runs]
+                != [r.counters.comparable() for r in w.runs]):
+            return False
+    return True
+
+
+def overlap_proof(datastore, parallelism: int, prefix: str):
+    """The acceptance trace: one-op-one-job Q21 (independent jobs) under
+    dataflow — reduce tasks of one job must overlap other jobs' maps."""
+    tr = translate_sql(paper_queries()["q21"], mode="one_to_one",
+                       catalog=datastore.catalog,
+                       namespace=f"{prefix}.proof")
+    res = run_translation(tr, datastore, parallelism=parallelism,
+                          keep_trace=True, scheduler="dataflow")
+    pairs = res.trace.cross_job_overlap()
+    summary = res.trace.schedule_summary()
+    return {
+        "query": "q21 (one-op-one-job)",
+        "parallelism": parallelism,
+        "cross_job_overlap_pairs": len(pairs),
+        "example": list(pairs[0]) if pairs else None,
+        "makespan_s": summary["makespan_s"],
+        "utilization": summary["utilization"],
+        "critical_path_s": summary["critical_path_s"],
+    }
+
+
+def simulated_chains(trs, results) -> Dict[str, Dict[str, float]]:
+    """Cost-model list scheduling vs sequential submission per query."""
+    model = HadoopCostModel(small_cluster(data_scale=100.0))
+    out: Dict[str, Dict[str, float]] = {}
+    for (name, tr), (_, res) in zip(trs, results):
+        chain = model.chain_makespan(
+            res.runs, tr.dependencies(),
+            intermediate_inflation=tr.intermediate_inflation)
+        out[name] = {
+            "makespan_s": chain.makespan_s,
+            "sequential_s": chain.sequential_s,
+            "overlap_speedup": chain.overlap_speedup,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny data, one repeat, parallelism 1 and 4; "
+                             "exit 1 unless arms are byte-identical and "
+                             "the dataflow trace shows cross-job overlap")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the workload")
+    parser.add_argument("--users", type=int, default=60,
+                        help="clickstream users for the workload")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measured replays of each arm")
+    parser.add_argument("--parallelism", type=int, nargs="+",
+                        default=[1, 4, 8])
+    parser.add_argument("--split-rows", default="auto",
+                        help="split policy for both arms (int, 'auto', "
+                             "or 'none')")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.users = 0.001, 20
+        args.repeats = 1
+        args.parallelism = [1, 4]
+    split_rows = (None if args.split_rows == "none"
+                  else args.split_rows if args.split_rows == "auto"
+                  else int(args.split_rows))
+
+    datastore = build_datastore(tpch_scale=args.scale,
+                                clickstream_users=args.users, seed=7)
+    trs = translations(datastore, "benchflow")
+
+    levels: Dict[str, Dict[str, object]] = {}
+    all_identical = True
+    for p in args.parallelism:
+        wave = measure(
+            f"wave@p{p}",
+            lambda: run_workload(datastore, trs, "wave", p, split_rows),
+            repeats=args.repeats)
+        flow = measure(
+            f"dataflow@p{p}",
+            lambda: run_workload(datastore, trs, "dataflow", p, split_rows),
+            repeats=args.repeats)
+        same = identical(wave.result, flow.result)
+        all_identical = all_identical and same
+        levels[str(p)] = {
+            "wave_s": wave.median_s,
+            "dataflow_s": flow.median_s,
+            "speedup": (wave.median_s / flow.median_s
+                        if flow.median_s else float("inf")),
+            "identical": same,
+            "wave_profile": profile_of(wave.result),
+            "dataflow_profile": profile_of(flow.result),
+            "wave": wave.to_dict(),
+            "dataflow": flow.to_dict(),
+        }
+        print(f"parallelism {p}: wave {wave.median_s * 1e3:.1f}ms -> "
+              f"dataflow {flow.median_s * 1e3:.1f}ms "
+              f"({levels[str(p)]['speedup']:.2f}x) identical={same}")
+
+    proof = overlap_proof(datastore, max(args.parallelism), "benchflow")
+    simulated = simulated_chains(trs, measure(
+        "sim", lambda: run_workload(datastore, trs, "dataflow", 1,
+                                    split_rows), repeats=1).result)
+
+    payload = {
+        "benchmark": "dataflow_schedule",
+        "config": {"tpch_scale": args.scale,
+                   "clickstream_users": args.users, "seed": 7,
+                   "repeats": args.repeats,
+                   "parallelism": args.parallelism,
+                   "split_rows": args.split_rows, "smoke": args.smoke},
+        "levels": levels,
+        "identical": all_identical,
+        "overlap_proof": proof,
+        "simulated_chain": simulated,
+    }
+    write_json(args.out, payload)
+
+    print(f"overlap proof: {proof['cross_job_overlap_pairs']} cross-job "
+          f"(reduce, map) interval intersections at parallelism "
+          f"{proof['parallelism']}; example={proof['example']}")
+    for name, sim in sorted(simulated.items()):
+        print(f"   simulated {name:<8} chain {sim['makespan_s']:>8.1f}s "
+              f"vs sequential {sim['sequential_s']:>8.1f}s "
+              f"({sim['overlap_speedup']:.2f}x)")
+    print(f"wrote {args.out}")
+
+    if not all_identical:
+        print("FAIL: dataflow arm is not byte-identical to wave",
+              file=sys.stderr)
+        return 1
+    if proof["cross_job_overlap_pairs"] == 0:
+        print("FAIL: no cross-job overlap in the dataflow trace",
+              file=sys.stderr)
+        return 1
+    if not args.smoke:
+        wins = [p for p in args.parallelism if p >= 4
+                and levels[str(p)]["speedup"] > 1.0]
+        if not wins:
+            print("WARN: no wall-clock win at parallelism >= 4 "
+                  "(noisy host?)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,16 @@ def _cluster_for(args, ds):
     return CLUSTERS[args.cluster](scale)
 
 
+def _split_rows_arg(value: str):
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}")
+
+
 def cmd_run(args) -> int:
     from repro.reuse import ResultCache
     ds = _datastore(args)
@@ -101,10 +111,17 @@ def cmd_run(args) -> int:
     cache = (ResultCache(budget_bytes=int(args.cache_mb * 1024 * 1024))
              if args.cache_mb > 0 else None)
 
+    keep_trace = args.schedule or args.parallel != 1
     result = run_query(args.sql, ds, mode=args.mode, cluster=cluster,
                        namespace="cli", parallelism=args.parallel,
-                       keep_trace=args.parallel > 1, cache=cache)
-    workers = f" workers={args.parallel}" if args.parallel > 1 else ""
+                       split_rows=args.split_rows,
+                       keep_trace=keep_trace, cache=cache,
+                       scheduler=args.scheduler)
+    workers = ""
+    if args.parallel != 1:
+        shown = (result.trace.workers if result.trace is not None
+                 else args.parallel)
+        workers = f" workers={shown}"
     print(f"mode={args.mode} jobs={result.job_count}{workers}")
     if args.timings:
         phases = ("map", "shuffle", "reduce", "finalize")
@@ -118,15 +135,26 @@ def cmd_run(args) -> int:
                 totals[p] += walls.get(p, 0.0)
         print("   " + f"{'total':<30} " + " ".join(
             f"{p}={totals[p] * 1e3:>8.2f}ms" for p in phases))
+        print("per-job reduce skew (records on the largest reduce task):")
+        for run in result.runs:
+            c = run.counters
+            total = c.reduce_input_records
+            share = (c.reduce_max_task_records / total) if total else 0.0
+            print(f"   {run.name:<30} "
+                  f"max_task_records={c.reduce_max_task_records:>8} "
+                  f"of {total:>8} ({share:6.1%})")
         if cache is not None:
             hits = sum(r.counters.cache_hits for r in result.runs)
             misses = sum(r.counters.cache_misses for r in result.runs)
             saved = sum(r.counters.cached_bytes_saved for r in result.runs)
             print(f"   result cache: hits={hits} misses={misses} "
                   f"bytes_saved={saved}")
-    if result.trace is not None and result.trace.max_wave_width > 1:
+    if (result.trace is not None and result.trace.waves
+            and result.trace.max_wave_width > 1):
         waves = " | ".join(",".join(w) for w in result.trace.waves)
         print(f"schedule waves: {waves}")
+    if args.schedule and result.trace is not None:
+        _print_schedule(result, cluster)
     if result.timing is not None:
         print(f"simulated time on {result.timing.cluster}: "
               f"{result.timing.total_s:.1f}s")
@@ -142,6 +170,44 @@ def cmd_run(args) -> int:
         for row in shown:
             print("   " + " | ".join(str(row[c]) for c in columns))
     return 0
+
+
+def _print_schedule(result, cluster) -> None:
+    """The measured scheduling profile (and simulated chain makespan)."""
+    summary = result.trace.schedule_summary()
+    print(f"schedule ({summary['scheduler']}, "
+          f"{summary['workers']} worker(s)):")
+    kinds = " ".join(f"{k}={n}" for k, n in summary["tasks"].items())
+    print(f"   tasks: {kinds}")
+    print(f"   makespan={summary['makespan_s'] * 1e3:.2f}ms "
+          f"busy={summary['busy_s'] * 1e3:.2f}ms "
+          f"idle={summary['idle_s'] * 1e3:.2f}ms "
+          f"utilization={summary['utilization']:.1%}")
+    print(f"   critical path ({summary['critical_path_s'] * 1e3:.2f}ms): "
+          + " -> ".join(summary["critical_path"]))
+    print(f"   cross-job overlaps: {summary['cross_job_overlap']}")
+    tasks = list(result.trace.tasks.values())
+    t0 = min((t.ready_t for t in tasks), default=0.0)
+    for trace in sorted(tasks, key=lambda t: t.start_t):
+        print(f"   {trace.task_id:<42} {trace.kind:<8} "
+              f"+{(trace.start_t - t0) * 1e3:8.2f}ms "
+              f"{trace.duration_s * 1e3:8.2f}ms")
+    if cluster is not None:
+        from repro.hadoop.costmodel import HadoopCostModel
+        model = HadoopCostModel(cluster)
+        chain = model.chain_makespan(
+            result.runs, result.translation.dependencies(),
+            intermediate_inflation=result.translation
+            .intermediate_inflation)
+        print(f"simulated chain makespan on {chain.cluster}: "
+              f"{chain.makespan_s:.1f}s vs {chain.sequential_s:.1f}s "
+              f"sequential ({chain.overlap_speedup:.2f}x)")
+        for span in chain.spans:
+            tag = " (cached)" if span.cached else ""
+            print(f"   {span.job_id:<30} ready={span.ready_s:>7.1f}s "
+                  f"start={span.start_s:>7.1f}s "
+                  f"finish={span.finish_s:>7.1f}s "
+                  f"maps={span.map_tasks} reduces={span.reduce_tasks}{tag}")
 
 
 def cmd_workload(args) -> int:
@@ -256,10 +322,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="execution-runtime workers: independent jobs and "
                         "their map/reduce tasks run concurrently "
-                        "(results are identical to serial)")
+                        "(results are identical to serial; 0 = auto, "
+                        "one worker per CPU)")
+    p.add_argument("--scheduler", choices=["dataflow", "wave"],
+                   default="dataflow",
+                   help="event-driven dataflow scheduler (default) or the "
+                        "historical wave/barrier driver")
+    p.add_argument("--split-rows", type=_split_rows_arg, default=None,
+                   metavar="N|auto",
+                   help="cap map-task input splits at N rows, or 'auto' "
+                        "to derive deterministic splits from table sizes")
+    p.add_argument("--schedule", action="store_true",
+                   help="print the measured scheduling profile (per-task "
+                        "timeline, critical path, utilization) and, with "
+                        "--cluster, the simulated chain makespan")
     p.add_argument("--timings", action="store_true",
                    help="print measured per-job phase wall-clock "
-                        "(map/shuffle/reduce/finalize)")
+                        "(map/shuffle/reduce/finalize) and reduce skew")
     p.add_argument("--cache-mb", type=float, default=0.0, metavar="N",
                    help="enable the inter-query result cache with this "
                         "byte budget (0 = off)")

@@ -180,15 +180,17 @@ class BatchRunResult:
 def run_batch(translation: BatchTranslation,
               datastore: Datastore,
               parallelism: int = 1,
-              keep_trace: bool = False) -> BatchRunResult:
+              keep_trace: bool = False,
+              scheduler: str = "dataflow") -> BatchRunResult:
     """Execute a batch translation and collect each query's result.
 
     ``parallelism`` > 1 runs independent jobs (typically whole sibling
-    queries of the batch) and their tasks concurrently on a thread pool;
-    rows and counters are identical to the serial schedule.
+    queries of the batch) and their tasks concurrently on a thread pool
+    (0 = one worker per CPU); rows and counters are identical to the
+    serial schedule.  ``scheduler`` picks dataflow (default) vs wave.
     """
     runtime = Runtime(datastore, executor=make_executor(parallelism),
-                      keep_trace=keep_trace)
+                      keep_trace=keep_trace, scheduler=scheduler)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dag_edges or None)
     rows = {}

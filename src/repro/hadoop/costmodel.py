@@ -23,10 +23,12 @@ jobs startup-bound and big jobs bandwidth-bound.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ConfigError
 from repro.hadoop.config import ClusterConfig
 from repro.hadoop.faults import materialized_phase_time
 from repro.mr.counters import JobCounters, JobRun
@@ -78,6 +80,48 @@ class QueryTiming:
              "total_s": round(t.total_s, 1)}
             for t in self.jobs
         ]
+
+
+@dataclass
+class SimJobSpan:
+    """One job's placement on the simulated list schedule (seconds)."""
+
+    job_id: str
+    name: str
+    ready_s: float           # all producers finished
+    start_s: float           # first task dispatched
+    finish_s: float          # last reduce task (or shuffle) done
+    map_tasks: int
+    reduce_tasks: int
+    cached: bool = False
+    depends_on: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChainMakespan:
+    """List-scheduled makespan of a job chain on finite simulated slots.
+
+    Where :meth:`HadoopCostModel.query_timing` sums jobs sequentially
+    (the paper's submission model) and
+    :func:`repro.hadoop.dagschedule.dag_query_timing` overlaps whole
+    jobs with *unlimited* concurrency, this is the dataflow runtime's
+    simulated twin: individual map and reduce tasks compete for the
+    cluster's map/reduce slot pools, jobs start the moment their
+    producers finish, and sibling jobs' tasks interleave on the slots —
+    so the number reflects both overlap *and* resource contention.
+    """
+
+    cluster: str
+    makespan_s: float
+    #: the sequential submission total (``query_timing().total_s``)
+    sequential_s: float
+    spans: List[SimJobSpan] = field(default_factory=list)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Sequential time over list-scheduled makespan."""
+        return (self.sequential_s / self.makespan_s
+                if self.makespan_s else 1.0)
 
 
 class HadoopCostModel:
@@ -211,3 +255,173 @@ class HadoopCostModel:
                 intermediate_inflation=intermediate_inflation,
                 instance=instance, job_index=index))
         return timing
+
+    # -- chain makespan (task-level list scheduling) -----------------------
+
+    def _task_durations(self, counters: JobCounters,
+                        num_reducers: Optional[int],
+                        intermediate_inflation: float
+                        ) -> "tuple[List[float], float, List[float]]":
+        """Per-task simulated durations for one job: (map task durations,
+        serial shuffle link, reduce task durations).
+
+        The same cost terms as :meth:`job_timing`, attributed to tasks
+        instead of phases: each map task carries an even share of the
+        scan/eval/spill work plus its own startup; each reduce task
+        carries its *measured* share of the reduce work (the per-task
+        record loads the runtime reports — so Zipf skew shows up as one
+        long task, exactly the straggler the phase-level skew bound
+        approximates) plus an even share of the replication write.
+        """
+        cfg = self.config
+        c = counters.scaled(cfg.data_scale)
+        if num_reducers is None:
+            num_reducers = counters.num_reducers
+
+        input_bytes = c.total_input_bytes
+        map_tasks = max(1, sum(
+            max(1, math.ceil(b / cfg.hdfs_block_bytes))
+            for b in c.input_bytes.values()))
+        map_output_bytes = c.map_output_bytes * intermediate_inflation
+        remote_bytes = input_bytes * (1.0 - cfg.hdfs_locality)
+        read_s = (input_bytes / cfg.disk_read_bw
+                  + remote_bytes / cfg.network_bw_per_node)
+        cpu_s = (c.total_input_records * cfg.map_parse_cpu_s
+                 + c.map_eval_ops * cfg.map_record_cpu_s
+                 + c.pre_combine_records * cfg.map_emit_cpu_s)
+        spill_bytes = map_output_bytes
+        if cfg.compress_map_output:
+            cpu_s += map_output_bytes * cfg.compression_cpu_s_per_byte
+            spill_bytes = map_output_bytes * cfg.compression_ratio
+        spill_s = spill_bytes / cfg.disk_write_bw
+        map_work = read_s + cpu_s + spill_s
+        map_durs = [map_work / map_tasks + cfg.task_startup_s] * map_tasks
+
+        wire_bytes = (spill_bytes if cfg.compress_map_output
+                      else map_output_bytes)
+        shuffle_s = wire_bytes / cfg.shuffle_bandwidth
+
+        reduce_read_s = spill_bytes / cfg.disk_read_bw
+        reduce_cpu_s = (c.reduce_dispatch_ops * cfg.reduce_dispatch_cpu_s
+                        + c.reduce_compute_ops * cfg.reduce_compute_cpu_s)
+        if cfg.compress_map_output:
+            reduce_cpu_s += map_output_bytes * cfg.compression_cpu_s_per_byte
+        output_bytes = c.total_output_bytes * intermediate_inflation
+        write_s = output_bytes / cfg.disk_write_bw
+        replicate_s = (output_bytes * max(0, cfg.hdfs_replication - 1)
+                       / cfg.shuffle_bandwidth)
+        reduce_work = reduce_read_s + reduce_cpu_s + write_s
+        loads = c.reduce_task_records
+        if loads and sum(loads) > 0:
+            total = sum(loads)
+            shares = [load / total for load in loads]
+        else:
+            # Hand-built or historical counters without per-task loads:
+            # the model's even decomposition.
+            reduce_tasks = max(1, min(num_reducers, c.reduce_groups or 1))
+            shares = [1.0 / reduce_tasks] * reduce_tasks
+        per_task_extra = (replicate_s / len(shares)
+                          + cfg.task_startup_s)
+        reduce_durs = [reduce_work * share + per_task_extra
+                       for share in shares]
+        return map_durs, shuffle_s, reduce_durs
+
+    def chain_makespan(self, runs: Sequence[JobRun],
+                       dependencies: Optional[Dict[str, List[str]]] = None,
+                       num_reducers: Optional[int] = None,
+                       intermediate_inflation: float = 1.0,
+                       instance: int = 0) -> ChainMakespan:
+        """List-schedule a chain's tasks onto the cluster's slot pools.
+
+        Jobs are dispatched FIFO in (ready time, submission order) — the
+        same policy as Hadoop's FIFO scheduler and the dataflow
+        runtime's earliest-job-first ready queue.  Each job becomes
+        ready when its producers finish, pays its job startup, then its
+        map tasks drain through the ``total_map_slots`` pool; its
+        shuffle is a serial link after its own last map; its reduce
+        tasks drain through the ``total_reduce_slots`` pool.  Cached
+        runs complete instantly at their ready time (the same zero
+        credit :meth:`query_timing` gives them).
+
+        ``sequential_s`` is the paper's sequential submission total for
+        the identical runs, so ``overlap_speedup`` isolates what
+        barrier-free scheduling buys.  Fault re-execution and
+        production contention are modeled per phase, not per task, so
+        this simulation excludes them — compare like with like
+        (``cfg.faults``/``cfg.contention`` unset), as the benchmarks do.
+        """
+        cfg = self.config
+        if dependencies is None:
+            dependencies = {}
+        sequential_s = self.query_timing(
+            runs, num_reducers=num_reducers,
+            intermediate_inflation=intermediate_inflation,
+            instance=instance).total_s
+
+        order = {run.job_id: i for i, run in enumerate(runs)}
+        finish: Dict[str, float] = {}
+        spans: List[SimJobSpan] = []
+        map_slots = [0.0] * max(1, cfg.total_map_slots)
+        reduce_slots = [0.0] * max(1, cfg.total_reduce_slots)
+        heapq.heapify(map_slots)
+        heapq.heapify(reduce_slots)
+
+        remaining = list(runs)
+        while remaining:
+            candidates = []
+            for run in remaining:
+                deps = dependencies.get(run.job_id, ())
+                missing = [d for d in deps if d in order
+                           and d not in finish]
+                if not missing:
+                    ready = max((finish[d] for d in deps if d in finish),
+                                default=0.0)
+                    candidates.append((ready, order[run.job_id], run))
+            if not candidates:
+                stuck = sorted(r.job_id for r in remaining)
+                raise ConfigError(
+                    f"job dependency cycle among {stuck}")
+            ready, _, run = min(candidates)
+            remaining.remove(run)
+            deps = [d for d in dependencies.get(run.job_id, ())
+                    if d in order]
+
+            if getattr(run, "cached", False):
+                finish[run.job_id] = ready
+                spans.append(SimJobSpan(
+                    job_id=run.job_id, name=run.name, ready_s=ready,
+                    start_s=ready, finish_s=ready, map_tasks=0,
+                    reduce_tasks=0, cached=True, depends_on=deps))
+                continue
+
+            map_durs, shuffle_s, reduce_durs = self._task_durations(
+                run.counters, num_reducers, intermediate_inflation)
+            avail = ready + cfg.job_startup_s
+            first_start = None
+            last_map = avail
+            for dur in map_durs:
+                slot = heapq.heappop(map_slots)
+                start = max(slot, avail)
+                if first_start is None or start < first_start:
+                    first_start = start
+                end = start + dur
+                heapq.heappush(map_slots, end)
+                last_map = max(last_map, end)
+            shuffle_done = last_map + shuffle_s
+            job_finish = shuffle_done
+            for dur in reduce_durs:
+                slot = heapq.heappop(reduce_slots)
+                start = max(slot, shuffle_done)
+                end = start + dur
+                heapq.heappush(reduce_slots, end)
+                job_finish = max(job_finish, end)
+            finish[run.job_id] = job_finish
+            spans.append(SimJobSpan(
+                job_id=run.job_id, name=run.name, ready_s=ready,
+                start_s=first_start if first_start is not None else avail,
+                finish_s=job_finish, map_tasks=len(map_durs),
+                reduce_tasks=len(reduce_durs), depends_on=deps))
+
+        makespan = max((span.finish_s for span in spans), default=0.0)
+        return ChainMakespan(cluster=cfg.name, makespan_s=makespan,
+                             sequential_s=sequential_s, spans=spans)

@@ -7,6 +7,9 @@ from repro.mr.runtime import (
     Runtime,
     RuntimeTrace,
     SerialExecutor,
+    TaskEvent,
+    TaskTrace,
+    default_worker_count,
     job_spec_dependencies,
     make_executor,
 )
@@ -16,6 +19,7 @@ from repro.mr.tasks import (
     MapTask,
     ReduceTask,
     TaskCounters,
+    auto_split_rows,
 )
 from repro.mr.job import (
     EmitSpec,
@@ -58,6 +62,10 @@ __all__ = [
     "TagPolicy",
     "TaggedValue",
     "TaskCounters",
+    "TaskEvent",
+    "TaskTrace",
+    "auto_split_rows",
+    "default_worker_count",
     "job_spec_dependencies",
     "key_bytes",
     "make_executor",

@@ -3,42 +3,74 @@
 Where :mod:`repro.mr.tasks` defines *what* a job's schedulable units are,
 this module decides *when and where* they run:
 
-* :class:`SerialExecutor` — runs task batches in order on the calling
-  thread (the default; byte-identical to the historical monolithic
-  engine, modulo the numeric-key canonicalization noted on
+* :class:`SerialExecutor` — runs tasks in order on the calling thread
+  (the default; byte-identical to the historical monolithic engine,
+  modulo the numeric-key canonicalization noted on
   :func:`~repro.mr.tasks.stable_hash`);
-* :class:`ParallelExecutor` — a thread- or process-pool that runs a
-  batch's tasks concurrently.  Thread is the default: translator-emitted
-  jobs carry compiled closures that cannot cross a process boundary
-  (``kind="process"`` raises a clear error for such jobs and exists for
-  hand-built picklable specs and experiments);
+* :class:`ParallelExecutor` — a thread- or process-pool that runs tasks
+  concurrently.  ``max_workers`` defaults to one per CPU
+  (:func:`default_worker_count`).  Thread is the default kind:
+  translator-emitted jobs carry compiled closures that cannot cross a
+  process boundary (``kind="process"`` raises a clear error for such
+  jobs and exists for hand-built picklable specs and experiments);
 * :class:`Runtime` — schedules a whole job chain.  It derives the
   inter-job dependency DAG from the dataset names (the same derivation
   :mod:`repro.hadoop.dagschedule` uses for its what-if timing) and
-  executes the chain in dependency *waves*: every job whose producers
-  have finished is launched in the same wave, and within a wave the map
-  tasks of all jobs form one executor batch, then the reduce tasks of
-  all jobs form another.  Independent jobs of a query — or of a
-  batch-translated multi-query plan — therefore really run concurrently,
-  task-interleaved, while all scheduling decisions stay on the caller's
-  thread (no nested pool submission, no deadlock).
+  executes the chain with one of two schedulers.
 
-Determinism: batches are ordered (submission order = job order within
-the wave, then task order within the job) and results are collected by
-index, so rows, counters, and intermediate datasets are identical for
-every executor.  The :class:`RuntimeTrace` records the schedule — waves,
-batch composition, and task start/finish events — so tests and benches
-can observe the concurrency without racing on wall-clock.
+Schedulers
+----------
+
+``scheduler="dataflow"`` (the default) is event-driven: the chain is a
+per-*task* dependency graph and a ready queue, with no barrier anywhere.
+A job's map tasks become runnable the moment the datasets they read are
+written — not when a global wave advances; its shuffle runs as a
+schedulable task of its own as soon as *that job's* map tasks finish
+(so one straggler map in job A no longer stalls job B's reduces); each
+reduce task runs as its partition becomes available; the finalize step
+(output writes) runs on the scheduler thread so the datastore is only
+ever mutated from one thread.  Ready tasks are dispatched
+earliest-submitted-job-first, so a chain's downstream tasks jump ahead
+of later jobs' queued scans and the critical path drains first.  The
+executor owns one worker-pool *session* for the whole chain (the wave
+path tears a pool down per batch).
+
+``scheduler="wave"`` is the historical lockstep driver, retained as the
+compat/identity baseline: every job whose producers have finished is
+launched in the same wave, and within a wave the map tasks of all jobs
+form one executor batch, then the reduce tasks of all jobs form another.
+
+Both schedulers produce byte-identical rows, intermediates, and
+``comparable()`` counters on every executor: decomposition is a pure
+function of (job, ``split_rows``) — see :mod:`repro.mr.tasks` — results
+are collected per task and reassembled in deterministic task order, and
+write-after-read hazards are excluded by planning a reader's splits (on
+the scheduler thread) before any later writer of the same dataset may
+finalize.
+
+Determinism of the *trace*: scheduling decisions (task creation order,
+dependency edges) are deterministic; timestamps and the observed
+interleaving are only deterministic under the serial executor.  The
+:class:`RuntimeTrace` records a full scheduling profile — per-task
+ready/start/finish stamps, the task dependency edges, makespan,
+critical path, executor utilization/idle time, and cross-job overlap —
+surfaced by ``repro run --schedule``.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import os
 import pickle
+import queue
 import threading
 import time
+from collections import Counter, deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.types import ColumnType
@@ -47,7 +79,7 @@ from repro.data.table import Table
 from repro.errors import ExecutionError, ReproError
 from repro.mr.counters import JobCounters, JobRun
 from repro.mr.job import MRJob
-from repro.mr.tasks import JobTaskGraph
+from repro.mr.tasks import JobTaskGraph, MapTask, ReduceTask
 from repro.reuse.cache import (CachedOutput, CacheEntry, ResultCache,
                                canonical_counters, rehydrate_counters)
 from repro.reuse.fingerprint import job_cache_key
@@ -57,8 +89,48 @@ from repro.reuse.fingerprint import job_cache_key
 # Executors
 # ---------------------------------------------------------------------------
 
+def default_worker_count() -> int:
+    """Worker count for "auto" parallelism (``--parallel 0``,
+    ``ParallelExecutor(max_workers=None)``): one per CPU, capped at 32
+    so a big machine doesn't drown pure-Python tasks in pool overhead."""
+    return max(1, min(32, os.cpu_count() or 4))
+
+
+def _call(thunk):
+    return thunk()
+
+
+_PICKLE_ERRORS = (pickle.PickleError, TypeError, AttributeError, ImportError)
+
+_PICKLE_HINT = ("process executor could not pickle a task (translator-"
+                "emitted jobs carry closures; use kind='thread' for them): ")
+
+
+class _SerialSession:
+    """Session adapter that runs every submitted task inline."""
+
+    kind = "serial"
+    workers = 1
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, thunk: Callable[[], object],
+               done: Callable[[object, Optional[BaseException]], None]
+               ) -> None:
+        try:
+            result = thunk()
+        except BaseException as exc:  # delivered, not raised: the
+            done(None, exc)           # scheduler owns error handling
+        else:
+            done(result, None)
+
+
 class SerialExecutor:
-    """Run every task of a batch in order on the calling thread."""
+    """Run every task in order on the calling thread."""
 
     name = "serial"
     max_workers = 1
@@ -66,13 +138,54 @@ class SerialExecutor:
     def run_all(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
         return [thunk() for thunk in thunks]
 
+    def session(self) -> _SerialSession:
+        return _SerialSession()
 
-def _call(thunk):
-    return thunk()
+
+class _PoolSession:
+    """One live worker pool for the duration of a chain.
+
+    ``submit(thunk, done)`` never raises for task-level failures: the
+    exception is delivered through ``done`` so the scheduler can unwind
+    deterministically.  Process-pool pickling failures are rewritten
+    into the same actionable :class:`ExecutionError` the batch path
+    raises.
+    """
+
+    def __init__(self, kind: str, workers: int):
+        self.kind = kind
+        self.workers = workers
+        if kind == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        else:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self._pool.shutdown(wait=True)
+        return False
+
+    def submit(self, thunk, done) -> None:
+        is_process = self.kind == "process"
+
+        def relay(fut):
+            exc = fut.exception()
+            if exc is None:
+                done(fut.result(), None)
+            elif is_process and isinstance(exc, _PICKLE_ERRORS):
+                err = ExecutionError(_PICKLE_HINT + str(exc))
+                err.__cause__ = exc
+                done(None, err)
+            else:
+                done(None, exc)
+
+        self._pool.submit(_call, thunk).add_done_callback(relay)
 
 
 class ParallelExecutor:
-    """Run each batch's tasks on a thread or process pool.
+    """Run tasks on a thread or process pool.
 
     ``kind="thread"`` (default) suits the translator-emitted jobs, whose
     emit specs and reducers are closures; the map/reduce tasks release
@@ -81,9 +194,15 @@ class ParallelExecutor:
     blocking points and, more importantly, keep the runtime's scheduling
     semantics identical to a real cluster's.  ``kind="process"``
     requires every task to be picklable.
+
+    ``max_workers=None`` means "auto" — :func:`default_worker_count`,
+    derived from ``os.cpu_count()``.
     """
 
-    def __init__(self, max_workers: int = 4, kind: str = "thread"):
+    def __init__(self, max_workers: Optional[int] = None,
+                 kind: str = "thread"):
+        if max_workers is None:
+            max_workers = default_worker_count()
         if max_workers < 1:
             raise ExecutionError(
                 f"ParallelExecutor needs max_workers >= 1, got {max_workers}")
@@ -95,6 +214,9 @@ class ParallelExecutor:
         self.name = f"{kind}x{max_workers}"
 
     def run_all(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
+        """Batch shim for the wave scheduler: run one batch to
+        completion on a throwaway pool (the dataflow scheduler uses the
+        persistent :meth:`session` instead)."""
         if len(thunks) <= 1 or self.max_workers == 1:
             return [thunk() for thunk in thunks]
         workers = min(self.max_workers, len(thunks))
@@ -104,12 +226,11 @@ class ParallelExecutor:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_call, thunks))
-        except (pickle.PickleError, TypeError, AttributeError,
-                ImportError) as exc:
-            raise ExecutionError(
-                "process executor could not pickle a task (translator-"
-                "emitted jobs carry closures; use kind='thread' for them): "
-                f"{exc}") from exc
+        except _PICKLE_ERRORS as exc:
+            raise ExecutionError(_PICKLE_HINT + str(exc)) from exc
+
+    def session(self) -> _PoolSession:
+        return _PoolSession(self.kind, self.max_workers)
 
 
 # ---------------------------------------------------------------------------
@@ -121,10 +242,12 @@ class TaskEvent:
     """One task's start or finish, in global observation order."""
 
     seq: int
+    #: dependency wave under the wave scheduler; -1 under dataflow
+    #: (which has no waves)
     wave: int
     job_id: str
     task_id: str
-    kind: str        # "map" | "reduce"
+    kind: str        # "map" | "shuffle" | "reduce" | "finalize"
     phase: str       # "start" | "finish"
     worker: str = ""
     #: monotonic wall-clock stamp (perf_counter); only meaningful as a
@@ -133,24 +256,105 @@ class TaskEvent:
 
 
 @dataclass
-class RuntimeTrace:
-    """What the runtime scheduled: waves, batches, and task events.
+class TaskTrace:
+    """Scheduling profile of one task: when it could run, ran, finished.
 
-    ``waves`` and ``batches`` are deterministic (they record scheduling
-    *decisions*); ``events`` record the actual interleaving and are only
-    deterministic under the serial executor.
+    ``ready_t`` is stamped when the task's prerequisites are satisfied
+    (it enters the ready queue), ``start_t`` when it is dispatched to
+    the executor, ``finish_t`` when its completion is observed — so
+    ``ready_t <= start_t <= finish_t`` always, ``start_t - ready_t`` is
+    queueing delay, and ``finish_t - start_t`` is the measured task
+    duration the critical path sums.
     """
 
+    job_id: str
+    task_id: str
+    kind: str        # "map" | "shuffle" | "reduce" | "finalize"
+    ready_t: float
+    start_t: float = 0.0
+    finish_t: float = 0.0
+    worker: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.finish_t - self.start_t)
+
+
+@dataclass
+class RuntimeTrace:
+    """What the runtime scheduled, as a real scheduling profile.
+
+    ``tasks`` (per-task ready/start/finish stamps) and ``edges``
+    (task id → prerequisite task ids) are filled by both schedulers:
+    the dataflow scheduler records its actual dependency graph, the
+    wave scheduler records its barrier structure (every task of wave
+    *n* depends on every task of wave *n-1*, reduces on their wave's
+    maps).  ``waves`` and ``batches`` are only filled by the wave
+    scheduler; the derived views (:attr:`max_wave_width`,
+    :meth:`concurrent_job_batches`) fall back to interval analysis of
+    the task stamps on dataflow traces, so existing callers keep
+    working.  Scheduling decisions are deterministic; timestamps are
+    only deterministic under the serial executor.
+    """
+
+    #: "dataflow" | "wave" (set by the runtime at chain start)
+    scheduler: str = ""
+    #: executor worker count (denominator for utilization/idle)
+    workers: int = 1
     #: job ids launched together, one list per dependency wave
+    #: (wave scheduler only)
     waves: List[List[str]] = field(default_factory=list)
     #: (wave, phase-kind, [(job_id, task_id), ...]) per executor batch
+    #: (wave scheduler only)
     batches: List[Tuple[int, str, List[Tuple[str, str]]]] = \
         field(default_factory=list)
     events: List[TaskEvent] = field(default_factory=list)
+    #: task id → profile, in task creation (= ready) order
+    tasks: Dict[str, TaskTrace] = field(default_factory=dict)
+    #: task id → prerequisite task ids (edges point backwards in time)
+    edges: Dict[str, List[str]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- recording ----------------------------------------------------------
+
+    def add_task(self, job_id: str, task_id: str, kind: str,
+                 prereqs: Sequence[str] = ()) -> str:
+        """Register a task the moment it becomes ready; returns the
+        (deduplicated) trace id to stamp start/finish against."""
+        with self._lock:
+            tid = task_id
+            if tid in self.tasks:
+                tid = f"{task_id}#{len(self.tasks)}"
+            self.tasks[tid] = TaskTrace(job_id=job_id, task_id=tid,
+                                        kind=kind,
+                                        ready_t=time.perf_counter())
+            if prereqs:
+                self.edges[tid] = list(prereqs)
+            return tid
+
+    def mark_start(self, task_id: str, wave: int = -1) -> None:
+        with self._lock:
+            t = self.tasks[task_id]
+            t.start_t = time.perf_counter()
+            t.worker = threading.current_thread().name
+            self.events.append(TaskEvent(
+                seq=len(self.events), wave=wave, job_id=t.job_id,
+                task_id=t.task_id, kind=t.kind, phase="start",
+                worker=t.worker, t=t.start_t))
+
+    def mark_finish(self, task_id: str, wave: int = -1) -> None:
+        with self._lock:
+            t = self.tasks[task_id]
+            t.finish_t = time.perf_counter()
+            self.events.append(TaskEvent(
+                seq=len(self.events), wave=wave, job_id=t.job_id,
+                task_id=t.task_id, kind=t.kind, phase="finish",
+                worker=threading.current_thread().name, t=t.finish_t))
 
     def record_event(self, wave: int, job_id: str, task_id: str,
                      kind: str, phase: str) -> None:
+        """Append a bare event (legacy hook; the schedulers now stamp
+        through :meth:`mark_start`/:meth:`mark_finish`)."""
         with self._lock:
             self.events.append(TaskEvent(
                 seq=len(self.events), wave=wave, job_id=job_id,
@@ -160,19 +364,137 @@ class RuntimeTrace:
 
     # -- inspection helpers -------------------------------------------------
 
+    def _job_intervals(self) -> Dict[str, Tuple[float, float]]:
+        spans: Dict[str, Tuple[float, float]] = {}
+        for t in self.tasks.values():
+            if t.finish_t <= 0.0:
+                continue
+            lo, hi = spans.get(t.job_id, (t.start_t, t.finish_t))
+            spans[t.job_id] = (min(lo, t.start_t), max(hi, t.finish_t))
+        return spans
+
     @property
     def max_wave_width(self) -> int:
-        """The widest wave: how many jobs ran concurrently."""
-        return max((len(w) for w in self.waves), default=0)
+        """Wave scheduler: the widest wave (jobs launched together).
+        Dataflow: the peak number of jobs with overlapping execution —
+        the closest observable analogue."""
+        if self.waves:
+            return max(len(w) for w in self.waves)
+        points: List[Tuple[float, int]] = []
+        for lo, hi in self._job_intervals().values():
+            points.append((lo, 1))
+            points.append((hi, -1))
+        points.sort()
+        width = best = 0
+        for _, delta in points:
+            width += delta
+            best = max(best, width)
+        return best
 
     def concurrent_job_batches(self) -> List[Tuple[int, str, List[str]]]:
-        """Batches that interleaved tasks from more than one job."""
-        out = []
-        for wave, kind, tasks in self.batches:
-            jobs = sorted({job_id for job_id, _ in tasks})
-            if len(jobs) > 1:
-                out.append((wave, kind, jobs))
-        return out
+        """Wave scheduler: batches that interleaved tasks from more than
+        one job.  Dataflow (no batches): one pseudo-entry listing the
+        jobs whose execution intervals overlapped, if any."""
+        if self.batches:
+            out = []
+            for wave, kind, tasks in self.batches:
+                jobs = sorted({job_id for job_id, _ in tasks})
+                if len(jobs) > 1:
+                    out.append((wave, kind, jobs))
+            return out
+        spans = sorted(self._job_intervals().items(),
+                       key=lambda item: item[1])
+        overlapping: Set[str] = set()
+        for (job_a, (lo_a, hi_a)), (job_b, (lo_b, _)) in zip(spans,
+                                                             spans[1:]):
+            if lo_b < hi_a:
+                overlapping.update((job_a, job_b))
+        if len(overlapping) > 1:
+            return [(-1, "dataflow", sorted(overlapping))]
+        return []
+
+    @property
+    def makespan_s(self) -> float:
+        """Wall-clock span from the first task start to the last finish."""
+        done = [t for t in self.tasks.values() if t.finish_t > 0.0]
+        if not done:
+            return 0.0
+        return (max(t.finish_t for t in done)
+                - min(t.start_t for t in done))
+
+    @property
+    def busy_s(self) -> float:
+        """Summed task durations (worker-occupied seconds)."""
+        return sum(t.duration_s for t in self.tasks.values()
+                   if t.finish_t > 0.0)
+
+    @property
+    def idle_s(self) -> float:
+        """Worker-seconds the executor sat idle inside the makespan."""
+        return max(0.0, self.makespan_s * self.workers - self.busy_s)
+
+    @property
+    def utilization(self) -> float:
+        """busy / (makespan × workers), in [0, 1]."""
+        span = self.makespan_s * self.workers
+        return min(1.0, self.busy_s / span) if span > 0.0 else 0.0
+
+    def critical_path(self) -> Tuple[float, List[str]]:
+        """Longest dependency chain by measured task duration: the floor
+        any schedule — however many workers — needs for this chain."""
+        best: Dict[str, Tuple[float, Optional[str]]] = {}
+        top_id: Optional[str] = None
+        top_len = 0.0
+        for tid, t in self.tasks.items():
+            base, parent = 0.0, None
+            for pre in self.edges.get(tid, ()):
+                got = best.get(pre)
+                if got is not None and got[0] > base:
+                    base, parent = got[0], pre
+            length = base + t.duration_s
+            best[tid] = (length, parent)
+            if length >= top_len:
+                top_len, top_id = length, tid
+        path: List[str] = []
+        while top_id is not None:
+            path.append(top_id)
+            top_id = best[top_id][1]
+        path.reverse()
+        return top_len, path
+
+    def cross_job_overlap(self) -> List[Tuple[str, str]]:
+        """(reduce task, map task) pairs from *different* jobs whose
+        execution intervals intersected — each pair is a reduce task
+        that started before an unrelated job's map task finished, the
+        barrier-freedom the wave scheduler structurally forbids."""
+        maps = [t for t in self.tasks.values()
+                if t.kind == "map" and t.finish_t > 0.0]
+        pairs: List[Tuple[str, str]] = []
+        for r in self.tasks.values():
+            if r.kind != "reduce" or r.finish_t <= 0.0:
+                continue
+            for m in maps:
+                if (m.job_id != r.job_id and r.start_t < m.finish_t
+                        and m.start_t < r.finish_t):
+                    pairs.append((r.task_id, m.task_id))
+        return pairs
+
+    def schedule_summary(self) -> Dict[str, object]:
+        """The profile ``repro run --schedule`` prints."""
+        cp_s, cp = self.critical_path()
+        kinds = Counter(t.kind for t in self.tasks.values())
+        return {
+            "scheduler": self.scheduler,
+            "workers": self.workers,
+            "tasks": dict(kinds),
+            "makespan_s": self.makespan_s,
+            "busy_s": self.busy_s,
+            "idle_s": self.idle_s,
+            "utilization": self.utilization,
+            "critical_path_s": cp_s,
+            "critical_path": cp,
+            "cross_job_overlap": len(self.cross_job_overlap()),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -189,8 +511,8 @@ def job_spec_dependencies(jobs: Sequence[MRJob]) -> Dict[str, List[str]]:
     on the most recent *preceding* writer of each dataset, and when two
     jobs write the same dataset the later writer gets an ordering edge
     on the earlier one — under a parallel executor they would otherwise
-    land in the same wave and race on the surviving content, where the
-    historical engine's strict submission order was deterministic.
+    race on the surviving content, where the historical engine's strict
+    submission order was deterministic.
     """
     producer: Dict[str, str] = {}
     deps: Dict[str, set] = {job.job_id: set() for job in jobs}
@@ -207,27 +529,91 @@ def job_spec_dependencies(jobs: Sequence[MRJob]) -> Dict[str, List[str]]:
     return {job_id: sorted(wanted) for job_id, wanted in deps.items()}
 
 
+class _Node:
+    """One schedulable unit in the dataflow ready queue."""
+
+    __slots__ = ("kind", "state", "thunk", "task", "index", "trace_id")
+
+    def __init__(self, kind: str, state: "_JobState",
+                 thunk: Callable[[], object],
+                 task: Optional[object] = None, index: int = 0):
+        self.kind = kind          # "map" | "shuffle" | "reduce" | "finalize"
+        self.state = state
+        self.thunk = thunk
+        self.task = task
+        self.index = index
+        self.trace_id: Optional[str] = None
+
+
+class _JobState:
+    """Per-job dataflow bookkeeping (all mutated on the scheduler
+    thread only)."""
+
+    __slots__ = ("job", "order", "graph", "deps_left", "scan_deps",
+                 "scan_waiting", "scans_enqueued", "barrier_left",
+                 "maps_outstanding", "map_results", "shuffle_enqueued",
+                 "shuffle_done", "reduces_outstanding", "reduce_results",
+                 "map_trace_ids", "shuffle_trace_id", "finalize_trace_id",
+                 "reduce_trace_ids", "finalize_enqueued", "activated",
+                 "cache_key")
+
+    def __init__(self, job: MRJob, order: int):
+        self.job = job
+        self.order = order
+        self.graph: Optional[JobTaskGraph] = None
+        self.deps_left: Set[str] = set()
+        #: per map input: the dep jobs producing that input's dataset
+        self.scan_deps: List[List[str]] = []
+        self.scan_waiting: List[Set[str]] = []
+        self.scans_enqueued: Set[int] = set()
+        #: deps that produce none of our inputs (pure ordering edges,
+        #: e.g. write-write): they gate the finalize write, not the scans
+        self.barrier_left: Set[str] = set()
+        self.maps_outstanding = 0
+        self.map_results: Dict[int, object] = {}   # id(MapTask) → output
+        self.shuffle_enqueued = False
+        self.shuffle_done = False
+        self.reduces_outstanding = 0
+        self.reduce_results: List[object] = []
+        self.map_trace_ids: List[str] = []
+        self.shuffle_trace_id: Optional[str] = None
+        self.reduce_trace_ids: List[str] = []
+        self.finalize_trace_id: Optional[str] = None
+        self.finalize_enqueued = False
+        self.activated = False
+        self.cache_key: Optional[str] = None
+
+
 class Runtime:
     """Executes job chains as task graphs on a pluggable executor.
 
     ``split_rows`` bounds map-task size (None = one split per input,
-    matching the historical engine's counters exactly); it is part of
-    the decomposition, not the executor, so changing the executor never
-    changes rows or counters.
+    matching the historical engine's counters exactly; ``"auto"`` =
+    deterministic row-count-derived splits, see
+    :func:`~repro.mr.tasks.auto_split_rows`); it is part of the
+    decomposition, not the executor, so changing the executor never
+    changes rows or counters.  ``scheduler`` picks the event-driven
+    dataflow scheduler (default) or the historical wave driver — both
+    byte-identical in rows and ``comparable()`` counters.
     """
 
     def __init__(self, datastore: Datastore,
                  executor: Optional[object] = None,
-                 split_rows: Optional[int] = None,
+                 split_rows: Optional[object] = None,
                  keep_trace: bool = False,
-                 result_cache: Optional[ResultCache] = None):
+                 result_cache: Optional[ResultCache] = None,
+                 scheduler: str = "dataflow"):
+        if scheduler not in ("dataflow", "wave"):
+            raise ExecutionError(
+                f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
         self.datastore = datastore
         self.executor = executor or SerialExecutor()
         self.split_rows = split_rows
+        self.scheduler = scheduler
         self.trace: Optional[RuntimeTrace] = \
             RuntimeTrace() if keep_trace else None
-        #: inter-query result cache (None = every job executes); consulted
-        #: per ready job in run_jobs before its tasks are scheduled
+        #: inter-query result cache (None = every job executes);
+        #: consulted per job the moment its producers complete
         self.result_cache = result_cache
 
     # -- public API --------------------------------------------------------
@@ -235,13 +621,12 @@ class Runtime:
     def run_job(self, job: MRJob) -> JobCounters:
         """Execute one job (its map and reduce tasks may still run in
         parallel on the configured executor)."""
-        return self._run_wave([job], wave=len(self.trace.waves)
-                              if self.trace else 0)[job.job_id]
+        return self.run_jobs([job])[0].counters
 
     def run_jobs(self, jobs: Sequence[MRJob],
                  dependencies: Optional[Dict[str, List[str]]] = None
                  ) -> List[JobRun]:
-        """Execute a job chain in dependency waves.
+        """Execute a job chain under the configured scheduler.
 
         ``dependencies`` (job_id → prerequisite job ids) defaults to the
         dataset-derived DAG; translations pass their own emitted edges.
@@ -258,6 +643,23 @@ class Runtime:
             raise ExecutionError(
                 f"dependencies name unknown jobs: {sorted(unknown)}")
 
+        if self.trace is not None:
+            self.trace.scheduler = self.scheduler
+            self.trace.workers = getattr(self.executor, "max_workers", 1)
+        if self.scheduler == "wave":
+            counters, cached_ids = self._run_jobs_waves(jobs, dependencies)
+        else:
+            counters, cached_ids = self._run_jobs_dataflow(jobs,
+                                                           dependencies)
+        return [JobRun(job.job_id, job.name, counters[job.job_id], order=i,
+                       cached=job.job_id in cached_ids)
+                for i, job in enumerate(jobs)]
+
+    # -- wave execution (compat path) --------------------------------------
+
+    def _run_jobs_waves(self, jobs: Sequence[MRJob],
+                        dependencies: Dict[str, List[str]]
+                        ) -> Tuple[Dict[str, JobCounters], set]:
         counters: Dict[str, JobCounters] = {}
         cached_ids: set = set()
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
@@ -265,6 +667,7 @@ class Runtime:
                  if self.result_cache is not None else None)
         pending = list(jobs)
         wave = len(self.trace.waves) if self.trace else 0
+        prev_ids: List[str] = []
         while pending:
             ready = [job for job in pending
                      if all(dep in counters
@@ -274,7 +677,9 @@ class Runtime:
                 raise ExecutionError(
                     f"job dependency cycle or missing producer among {stuck}")
             if reuse is None:
-                counters.update(self._run_wave(ready, wave))
+                wave_counters, prev_ids = self._run_wave(ready, wave,
+                                                         prev_ids)
+                counters.update(wave_counters)
             else:
                 to_run: List[Tuple[MRJob, Optional[str]]] = []
                 for job in ready:
@@ -286,26 +691,25 @@ class Runtime:
                     else:
                         to_run.append((job, key))
                 if to_run:
-                    counters.update(self._run_wave(
-                        [job for job, _ in to_run], wave))
+                    wave_counters, prev_ids = self._run_wave(
+                        [job for job, _ in to_run], wave, prev_ids)
+                    counters.update(wave_counters)
                     for job, key in to_run:
                         if key is not None:
                             reuse.admit(job, key, counters[job.job_id])
             done = {job.job_id for job in ready}
             pending = [job for job in pending if job.job_id not in done]
             wave += 1
+        return counters, cached_ids
 
-        return [JobRun(job.job_id, job.name, counters[job.job_id], order=i,
-                       cached=job.job_id in cached_ids)
-                for i, job in enumerate(jobs)]
-
-    # -- wave execution ----------------------------------------------------
-
-    def _run_wave(self, jobs: Sequence[MRJob],
-                  wave: int) -> Dict[str, JobCounters]:
+    def _run_wave(self, jobs: Sequence[MRJob], wave: int,
+                  prev_ids: Sequence[str] = ()
+                  ) -> Tuple[Dict[str, JobCounters], List[str]]:
         """Run independent jobs concurrently, phase-batched: all their
         map tasks in one executor batch, then all their reduce tasks.
-        Shuffle and output writes stay on the scheduler thread."""
+        Shuffle and output writes stay on the scheduler thread.
+        ``prev_ids`` (the previous wave's task ids) become every
+        task's trace prerequisites — the wave barrier, made explicit."""
         if self.trace is not None:
             self.trace.waves.append([job.job_id for job in jobs])
         graphs = [JobTaskGraph(job, self.datastore, self.split_rows)
@@ -313,7 +717,8 @@ class Runtime:
 
         map_tasks = [(graph, task) for graph in graphs
                      for task in graph.map_tasks]
-        map_results = self._run_batch(wave, "map", map_tasks)
+        map_results, map_ids = self._run_batch(wave, "map", map_tasks,
+                                               prev_ids)
 
         reduce_tasks = []
         offset = 0
@@ -322,41 +727,330 @@ class Runtime:
             for task in graph.shuffle(map_results[offset:offset + n]):
                 reduce_tasks.append((graph, task))
             offset += n
-        reduce_results = self._run_batch(wave, "reduce", reduce_tasks)
+        reduce_results, reduce_ids = self._run_batch(wave, "reduce",
+                                                     reduce_tasks, map_ids)
 
+        # One-pass regroup: results land in reduce-task order, which is
+        # graph-major, so a single sweep buckets them (the old
+        # per-graph zip rescan was quadratic in the wave's task count).
+        grouped: Dict[int, List[object]] = {id(g): [] for g in graphs}
+        for (graph, _), result in zip(reduce_tasks, reduce_results):
+            grouped[id(graph)].append(result)
         out: Dict[str, JobCounters] = {}
         for graph in graphs:
-            results = [r for (g, _), r in zip(reduce_tasks, reduce_results)
-                       if g is graph]
-            out[graph.job.job_id] = graph.finalize(results)
-        return out
+            out[graph.job.job_id] = graph.finalize(grouped[id(graph)])
+        return out, map_ids + reduce_ids
 
-    def _run_batch(self, wave: int, kind: str, tasks) -> List[object]:
+    def _run_batch(self, wave: int, kind: str, tasks,
+                   prereq_ids: Sequence[str]
+                   ) -> Tuple[List[object], List[str]]:
+        tids: List[Optional[str]] = [None] * len(tasks)
         if self.trace is not None and tasks:
             self.trace.batches.append((
                 wave, kind,
                 [(graph.job.job_id, task.task_id) for graph, task in tasks]))
-        thunks = [self._thunk(wave, kind, graph, task)
-                  for graph, task in tasks]
-        return self.executor.run_all(thunks)
+            tids = [self.trace.add_task(graph.job.job_id, task.task_id,
+                                        kind, prereq_ids)
+                    for graph, task in tasks]
+        thunks = [self._thunk(wave, tid, task)
+                  for tid, (graph, task) in zip(tids, tasks)]
+        return self.executor.run_all(thunks), [t for t in tids
+                                               if t is not None]
 
-    def _thunk(self, wave, kind, graph, task):
-        if self.trace is None:
+    def _thunk(self, wave, tid, task):
+        if tid is None:
             return task.run
         trace = self.trace
 
         def run():
-            trace.record_event(wave, graph.job.job_id, task.task_id,
-                               kind, "start")
+            trace.mark_start(tid, wave)
             result = task.run()
-            trace.record_event(wave, graph.job.job_id, task.task_id,
-                               kind, "finish")
+            trace.mark_finish(tid, wave)
             return result
         return run
 
+    # -- dataflow execution ------------------------------------------------
+
+    def _run_jobs_dataflow(self, jobs: Sequence[MRJob],
+                           dependencies: Dict[str, List[str]]
+                           ) -> Tuple[Dict[str, JobCounters], set]:
+        """The event-driven scheduler: a ready queue over the per-task
+        dependency graph.
+
+        Scheduling protocol (all graph mutation on this thread):
+
+        * a job's map input is *planned* (splits cut, map tasks queued)
+          the moment every dep that writes that dataset has completed —
+          per input, not per job, so sibling inputs scan early;
+        * shuffle queues when the job's own maps finish; reduces when
+          its shuffle finishes; finalize when its reduces and its pure
+          ordering deps (write-write edges) are done;
+        * map/reduce/shuffle tasks run on the executor session;
+          finalize always runs inline here (the datastore is
+          single-threaded by construction), as does shuffle on process
+          pools (its counter folding must mutate the local graph);
+        * ready tasks dispatch earliest-submitted-job-first, so a
+          chain's downstream tasks overtake later jobs' queued scans;
+        * with a result cache, a job is instead gated on *all* its deps
+          and replayed/admitted the moment they complete — no wave to
+          wait for, same hit set as the wave scheduler.
+
+        Write-after-read safety: when a producer completes, dependent
+        readers' splits are planned (capturing row lists) before any
+        overwriting job's finalize can be dispatched, so strict
+        submission-order reads are preserved without barriers.
+        """
+        trace = self.trace
+        counters: Dict[str, JobCounters] = {}
+        cached_ids: set = set()
+        if not jobs:
+            return counters, cached_ids
+        reuse = (_ReuseTracker(self.result_cache, self.datastore,
+                               self.split_rows)
+                 if self.result_cache is not None else None)
+
+        outputs_of = {job.job_id: set(job.output_datasets) for job in jobs}
+        states: Dict[str, _JobState] = {}
+        dependents: Dict[str, List[str]] = {job.job_id: [] for job in jobs}
+        for order, job in enumerate(jobs):
+            st = _JobState(job, order)
+            st.graph = JobTaskGraph(job, self.datastore, self.split_rows,
+                                    defer=True)
+            deps = list(dict.fromkeys(dependencies.get(job.job_id, ())))
+            st.deps_left = set(deps)
+            scan_union: Set[str] = set()
+            for map_input in job.map_inputs:
+                gate = [d for d in deps
+                        if map_input.dataset in outputs_of[d]]
+                st.scan_deps.append(gate)
+                st.scan_waiting.append(set(gate))
+                scan_union.update(gate)
+            st.barrier_left = {d for d in deps if d not in scan_union}
+            for d in deps:
+                dependents[d].append(job.job_id)
+            states[job.job_id] = st
+
+        ready: List[Tuple[int, int, _Node]] = []
+        seq = itertools.count()
+        completions: "queue.Queue" = queue.Queue()
+        finished: deque = deque()
+        inflight = 0
+        jobs_left = len(jobs)
+
+        def enqueue(node: _Node) -> None:
+            heapq.heappush(ready, (node.state.order, next(seq), node))
+
+        def plan_scan(st: _JobState, index: int) -> None:
+            if index in st.scans_enqueued:
+                return
+            st.scans_enqueued.add(index)
+            tasks = st.graph.plan_input(index)
+            prereqs: List[str] = []
+            if trace is not None:
+                prereqs = [states[d].finalize_trace_id
+                           for d in st.scan_deps[index]
+                           if states[d].finalize_trace_id is not None]
+            for task in tasks:
+                node = _Node("map", st, task.run, task=task)
+                st.maps_outstanding += 1
+                if trace is not None:
+                    node.trace_id = trace.add_task(
+                        st.job.job_id, task.task_id, "map", prereqs)
+                    st.map_trace_ids.append(node.trace_id)
+                enqueue(node)
+
+        def maybe_shuffle(st: _JobState) -> None:
+            if (st.shuffle_enqueued or st.maps_outstanding
+                    or len(st.scans_enqueued) != len(st.job.map_inputs)
+                    or not st.graph.all_inputs_planned):
+                return
+            st.shuffle_enqueued = True
+            outputs = [st.map_results[id(task)]
+                       for task in st.graph.map_tasks]
+            node = _Node("shuffle", st, partial(st.graph.shuffle, outputs))
+            if trace is not None:
+                node.trace_id = trace.add_task(
+                    st.job.job_id, f"{st.job.job_id}/shuffle", "shuffle",
+                    st.map_trace_ids)
+                st.shuffle_trace_id = node.trace_id
+            enqueue(node)
+
+        def maybe_finalize(st: _JobState) -> None:
+            if (st.finalize_enqueued or not st.shuffle_done
+                    or st.reduces_outstanding or st.barrier_left):
+                return
+            st.finalize_enqueued = True
+            node = _Node("finalize", st,
+                         partial(st.graph.finalize, st.reduce_results))
+            if trace is not None:
+                prereqs = list(st.reduce_trace_ids)
+                if not prereqs and st.shuffle_trace_id is not None:
+                    prereqs = [st.shuffle_trace_id]
+                prereqs += [states[d].finalize_trace_id
+                            for d in sorted(
+                                set(dependencies.get(st.job.job_id, ())))
+                            if d not in set().union(*st.scan_deps or [[]])
+                            and states[d].finalize_trace_id is not None]
+                node.trace_id = trace.add_task(
+                    st.job.job_id, f"{st.job.job_id}/finalize", "finalize",
+                    prereqs)
+                st.finalize_trace_id = node.trace_id
+            enqueue(node)
+
+        def activate(st: _JobState) -> None:
+            """Start a job whose gating condition is met: without a
+            cache, plan every input whose producers are done; with one,
+            called once all deps are done — try a replay first."""
+            nonlocal jobs_left
+            if st.activated:
+                return
+            st.activated = True
+            if reuse is not None:
+                st.cache_key = reuse.key_for(st.job)
+                hit = (reuse.replay(st.job, st.cache_key)
+                       if st.cache_key is not None else None)
+                if hit is not None:
+                    counters[st.job.job_id] = hit
+                    cached_ids.add(st.job.job_id)
+                    jobs_left -= 1
+                    finished.append(st.job.job_id)
+                    return
+                st.barrier_left.clear()  # all deps already completed
+                for index in range(len(st.job.map_inputs)):
+                    plan_scan(st, index)
+            else:
+                for index, waiting in enumerate(st.scan_waiting):
+                    if not waiting:
+                        plan_scan(st, index)
+            maybe_shuffle(st)
+
+        def handle(node: _Node, result: object) -> None:
+            nonlocal jobs_left
+            st = node.state
+            if node.kind == "map":
+                st.map_results[id(node.task)] = result
+                st.maps_outstanding -= 1
+                maybe_shuffle(st)
+            elif node.kind == "shuffle":
+                st.shuffle_done = True
+                reduce_tasks: List[ReduceTask] = result
+                st.reduces_outstanding = len(reduce_tasks)
+                st.reduce_results = [None] * len(reduce_tasks)
+                for index, task in enumerate(reduce_tasks):
+                    rnode = _Node("reduce", st, task.run, task=task,
+                                  index=index)
+                    if trace is not None:
+                        rnode.trace_id = trace.add_task(
+                            st.job.job_id, task.task_id, "reduce",
+                            [st.shuffle_trace_id])
+                        st.reduce_trace_ids.append(rnode.trace_id)
+                    enqueue(rnode)
+                maybe_finalize(st)
+            elif node.kind == "reduce":
+                st.reduce_results[node.index] = result
+                st.reduces_outstanding -= 1
+                maybe_finalize(st)
+            else:  # finalize
+                counters[st.job.job_id] = result
+                jobs_left -= 1
+                finished.append(st.job.job_id)
+
+        def drain_finished() -> None:
+            """Propagate completed jobs: admit to the cache, plan newly
+            unblocked scans (pass 1 — before any overwriting finalize
+            can dispatch), then release ordering barriers (pass 2)."""
+            while finished:
+                done_id = finished.popleft()
+                done_st = states[done_id]
+                if (reuse is not None and done_st.cache_key is not None
+                        and done_id not in cached_ids):
+                    reuse.admit(done_st.job, done_st.cache_key,
+                                counters[done_id])
+                kids = dependents[done_id]
+                for kid in kids:                       # pass 1: scans
+                    kst = states[kid]
+                    kst.deps_left.discard(done_id)
+                    if reuse is not None:
+                        if not kst.deps_left:
+                            activate(kst)
+                        continue
+                    for index, waiting in enumerate(kst.scan_waiting):
+                        if done_id in waiting:
+                            waiting.discard(done_id)
+                            if not waiting and kst.activated:
+                                plan_scan(kst, index)
+                                maybe_shuffle(kst)
+                for kid in kids:                       # pass 2: barriers
+                    kst = states[kid]
+                    if done_id in kst.barrier_left:
+                        kst.barrier_left.discard(done_id)
+                        maybe_finalize(kst)
+
+        with self._session() as session:
+            cap = max(1, getattr(session, "workers", 1))
+            offload_shuffle = getattr(session, "kind", "serial") == "thread"
+
+            def dispatch() -> None:
+                nonlocal inflight
+                while ready and inflight < cap:
+                    _, _, node = heapq.heappop(ready)
+                    if node.trace_id is not None:
+                        trace.mark_start(node.trace_id)
+                    if node.kind == "finalize" or (
+                            node.kind == "shuffle" and not offload_shuffle):
+                        result = node.thunk()
+                        if node.trace_id is not None:
+                            trace.mark_finish(node.trace_id)
+                        handle(node, result)
+                        continue
+                    inflight += 1
+                    session.submit(
+                        node.thunk,
+                        partial(lambda n, res, err:
+                                completions.put((n, res, err)), node))
+
+            for job in jobs:
+                st = states[job.job_id]
+                if reuse is not None:
+                    if not st.deps_left:
+                        activate(st)
+                else:
+                    activate(st)
+
+            while True:
+                drain_finished()
+                dispatch()
+                if finished:
+                    continue
+                if jobs_left == 0 and inflight == 0:
+                    break
+                if inflight == 0:
+                    stuck = sorted(jid for jid in states
+                                   if jid not in counters)
+                    raise ExecutionError(
+                        "job dependency cycle or missing producer among "
+                        f"{stuck}")
+                node, result, error = completions.get()
+                inflight -= 1
+                if error is not None:
+                    raise error
+                if node.trace_id is not None:
+                    trace.mark_finish(node.trace_id)
+                handle(node, result)
+
+        return counters, cached_ids
+
+    def _session(self):
+        """The executor's submit-session; executors predating the
+        dataflow protocol fall back to inline (serial) submission."""
+        session_factory = getattr(self.executor, "session", None)
+        if session_factory is None:
+            return _SerialSession()
+        return session_factory()
+
 
 class _ReuseTracker:
-    """Per-``run_jobs``-call cache bookkeeping.
+    """Per-chain cache bookkeeping.
 
     Tracks the content identity of every dataset the chain produces
     (``job:<cache key>/<output index>``), so downstream jobs' cache keys
@@ -368,7 +1062,7 @@ class _ReuseTracker:
     """
 
     def __init__(self, cache: ResultCache, datastore: Datastore,
-                 split_rows: Optional[int]):
+                 split_rows: Optional[object]):
         self.cache = cache
         self.datastore = datastore
         self.split_rows = split_rows
@@ -425,7 +1119,16 @@ class _ReuseTracker:
 
 
 def make_executor(parallelism: int = 1, kind: str = "thread"):
-    """The executor for a requested degree of parallelism (1 = serial)."""
-    if parallelism <= 1:
+    """The executor for a requested degree of parallelism.
+
+    ``1`` = serial (the default), ``N >= 2`` = a pool of N workers,
+    ``0`` = "auto": one worker per CPU (:func:`default_worker_count`).
+    """
+    if parallelism < 0:
+        raise ExecutionError(
+            f"parallelism must be >= 0 (0 = auto), got {parallelism}")
+    if parallelism == 0:
+        return ParallelExecutor(max_workers=None, kind=kind)
+    if parallelism == 1:
         return SerialExecutor()
     return ParallelExecutor(max_workers=parallelism, kind=kind)

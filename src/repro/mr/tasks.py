@@ -22,6 +22,10 @@ only — never of the executor — so serial and parallel execution of the
 same graph produce byte-identical rows and counters by construction.
 With the default ``split_rows=None`` each map input is a single split
 and the aggregated counters equal the historical monolithic engine's.
+``split_rows="auto"`` sizes splits deterministically from the table's
+row count alone (:func:`auto_split_rows`), so big scans decompose into
+multiple map tasks out of the box while the decomposition stays a pure
+function of (job, split setting, table contents).
 
 Semantics notes (inherited from the monolithic engine):
 
@@ -65,6 +69,29 @@ from repro.expr.aggregates import accumulator_factory
 from repro.mr.counters import JobCounters
 from repro.mr.job import MRJob, MapInput
 from repro.mr.kv import Key, TaggedValue, pairs_bytes, rows_bytes
+
+
+#: ``split_rows="auto"`` aims for this many map tasks per input …
+AUTO_SPLIT_TARGET_TASKS = 8
+#: … but never cuts splits smaller than this many rows (tiny tasks cost
+#: more in scheduling than they buy in overlap).
+AUTO_SPLIT_MIN_ROWS = 256
+
+
+def auto_split_rows(num_rows: int) -> Optional[int]:
+    """Deterministic split size for ``split_rows="auto"``.
+
+    A pure function of the input's row count — never of the executor or
+    worker count — so the decomposition (and with it combiner output,
+    counters, and partition loads) is identical on every executor.
+    Tables at or under :data:`AUTO_SPLIT_MIN_ROWS` stay whole (one
+    split, counters equal to ``split_rows=None``); larger tables are cut
+    into up to :data:`AUTO_SPLIT_TARGET_TASKS` splits of at least
+    :data:`AUTO_SPLIT_MIN_ROWS` rows each.
+    """
+    if num_rows <= AUTO_SPLIT_MIN_ROWS:
+        return None
+    return max(AUTO_SPLIT_MIN_ROWS, -(-num_rows // AUTO_SPLIT_TARGET_TASKS))
 
 
 def _canonical(value: object) -> object:
@@ -553,30 +580,80 @@ class JobTaskGraph:
         results = [t.run() for t in reduce_tasks]         # parallelizable
         counters = graph.finalize(results)                # writes outputs
 
-    ``shuffle`` and ``finalize`` run on the scheduler thread; only
-    ``run`` calls are handed to an executor.
+    ``shuffle`` and ``finalize`` run on the scheduler thread (wave
+    scheduler) or as schedulable tasks of their own (dataflow
+    scheduler); only ``run`` calls are handed to an executor either way.
+
+    With ``defer=True`` the constructor plans *nothing*: the dataflow
+    scheduler calls :meth:`plan_input` per map input the moment that
+    input's dataset is written, so splits capture the exact table the
+    job would have read under strict submission order — the split plan
+    is still a pure function of (job, split setting, table contents),
+    just computed lazily.  Counter dict keys are seeded up front in
+    ``map_inputs`` order so planning order never changes counter layout.
     """
 
     def __init__(self, job: MRJob, datastore: Datastore,
-                 split_rows: Optional[int] = None):
+                 split_rows: Optional[object] = None,
+                 defer: bool = False):
         job.validate()
-        if split_rows is not None and split_rows < 1:
+        if not (split_rows is None or split_rows == "auto"
+                or (isinstance(split_rows, int) and not isinstance(
+                    split_rows, bool) and split_rows >= 1)):
             raise ExecutionError(
-                f"job {job.job_id}: split_rows must be >= 1, "
-                f"got {split_rows}")
+                f"job {job.job_id}: split_rows must be >= 1, None, or "
+                f"'auto', got {split_rows!r}")
         self.job = job
         self.datastore = datastore
+        self.split_rows = split_rows
         self.counters = JobCounters(job_id=job.job_id, name=job.name,
                                     num_reducers=job.num_reducers)
-        self.map_tasks: List[MapTask] = []
+        self._planned: List[Optional[List[MapTask]]] = \
+            [None] * len(job.map_inputs)
+        self._unplanned = len(job.map_inputs)
         for map_input in job.map_inputs:
-            table = datastore.resolve(map_input.dataset)
-            self.counters.input_bytes[map_input.dataset] = (
-                self.counters.input_bytes.get(map_input.dataset, 0)
-                + table.estimated_bytes())
+            self.counters.input_bytes.setdefault(map_input.dataset, 0)
             self.counters.input_records.setdefault(map_input.dataset, 0)
-            for split in _plan_splits(map_input.dataset, table, split_rows):
-                self.map_tasks.append(MapTask(job, map_input, split))
+        if not defer:
+            for index in range(len(job.map_inputs)):
+                self.plan_input(index)
+
+    def plan_input(self, index: int) -> List[MapTask]:
+        """Resolve one map input's table *now* and plan its splits.
+
+        Idempotent per input.  Splits hold row-list references, so a
+        later job overwriting the dataset (the datastore replaces whole
+        ``Table`` objects) can never change what these tasks scan.
+        """
+        planned = self._planned[index]
+        if planned is not None:
+            return planned
+        map_input = self.job.map_inputs[index]
+        table = self.datastore.resolve(map_input.dataset)
+        self.counters.input_bytes[map_input.dataset] += (
+            table.estimated_bytes())
+        planned = [MapTask(self.job, map_input, split)
+                   for split in _plan_splits(map_input.dataset, table,
+                                             self.split_rows)]
+        self._planned[index] = planned
+        self._unplanned -= 1
+        return planned
+
+    @property
+    def all_inputs_planned(self) -> bool:
+        return self._unplanned == 0
+
+    @property
+    def map_tasks(self) -> List[MapTask]:
+        """Every planned map task, in map-input order then split order —
+        the canonical order ``shuffle`` consumes results in."""
+        if self._unplanned:
+            missing = [self.job.map_inputs[i].dataset
+                       for i, p in enumerate(self._planned) if p is None]
+            raise ExecutionError(
+                f"job {self.job.job_id}: map inputs not planned yet: "
+                f"{missing}")
+        return [task for planned in self._planned for task in planned]
 
     # -- shuffle -----------------------------------------------------------
 
@@ -585,12 +662,13 @@ class JobTaskGraph:
         partition, in deterministic partition order."""
         start = time.perf_counter()
         job, counters = self.job, self.counters
-        if len(outputs) != len(self.map_tasks):
+        map_tasks = self.map_tasks
+        if len(outputs) != len(map_tasks):
             raise ExecutionError(
                 f"job {job.job_id}: shuffle got {len(outputs)} map outputs "
-                f"for {len(self.map_tasks)} map tasks")
+                f"for {len(map_tasks)} map tasks")
         map_wall = 0.0
-        for task, output in zip(self.map_tasks, outputs):
+        for task, output in zip(map_tasks, outputs):
             tc = output.counters
             dataset = task.split.dataset
             counters.input_records[dataset] = (
@@ -732,10 +810,11 @@ class JobTaskGraph:
 
 
 def _plan_splits(dataset: str, table: Table,
-                 split_rows: Optional[int]) -> List[InputSplit]:
+                 split_rows: Optional[object]) -> List[InputSplit]:
     """Cut one map input into splits (one split when ``split_rows`` is
-    None or the table is smaller; empty tables still get one empty split
-    so their counters exist).
+    None or the table is smaller; ``"auto"`` resolves to
+    :func:`auto_split_rows` of the table's row count; empty tables still
+    get one empty split so their counters exist).
 
     Splits reference the table's rows without copying: map tasks only
     read their split, and the datastore replaces whole ``Table`` objects
@@ -745,6 +824,8 @@ def _plan_splits(dataset: str, table: Table,
     split needs.
     """
     rows = table.rows
+    if split_rows == "auto":
+        split_rows = auto_split_rows(len(rows))
     if split_rows is None or len(rows) <= split_rows:
         return [InputSplit(dataset, 0, 0, rows)]
     return [InputSplit(dataset, i, start, rows[start:start + split_rows])

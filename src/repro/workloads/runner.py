@@ -80,16 +80,22 @@ def run_translation(translation: Translation, datastore: Datastore,
                     cluster: Optional[ClusterConfig] = None,
                     instance: int = 0,
                     parallelism: int = 1,
-                    split_rows: Optional[int] = None,
+                    split_rows: Optional[object] = None,
                     keep_trace: bool = False,
-                    cache: Optional[ResultCache] = None) -> QueryRunResult:
+                    cache: Optional[ResultCache] = None,
+                    scheduler: str = "dataflow") -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
     DAG — and the map/reduce tasks inside every job — concurrently on a
-    thread pool.  Rows and counters are byte-identical to serial
-    execution; only wall-clock changes.  ``split_rows`` caps map-task
-    size (None keeps one split per input).
+    thread pool; ``parallelism=0`` means "auto" (one worker per CPU,
+    :func:`repro.mr.runtime.default_worker_count`).  Rows and counters
+    are byte-identical to serial execution; only wall-clock changes.
+    ``split_rows`` caps map-task size (None keeps one split per input;
+    ``"auto"`` derives deterministic splits from table row counts).
+    ``scheduler`` picks the event-driven ``"dataflow"`` scheduler
+    (default) or the historical ``"wave"`` driver — identical results,
+    different overlap.
 
     ``cache`` is an inter-query :class:`~repro.reuse.ResultCache`: jobs
     whose fingerprint matches a cached entry are served from it instead
@@ -100,7 +106,7 @@ def run_translation(translation: Translation, datastore: Datastore,
     """
     runtime = Runtime(datastore, executor=make_executor(parallelism),
                       split_rows=split_rows, keep_trace=keep_trace,
-                      result_cache=cache)
+                      result_cache=cache, scheduler=scheduler)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     table = datastore.intermediate(translation.final_dataset)
@@ -124,16 +130,19 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               num_reducers: Optional[int] = None,
               instance: int = 0,
               parallelism: int = 1,
-              split_rows: Optional[int] = None,
+              split_rows: Optional[object] = None,
               keep_trace: bool = False,
-              cache: Optional[ResultCache] = None) -> QueryRunResult:
+              cache: Optional[ResultCache] = None,
+              scheduler: str = "dataflow") -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
     real Hadoop deployments size reduce tasks); pass an explicit value to
     override.  ``parallelism`` sets the worker count of the execution
-    runtime (1 = serial; results are identical either way).  ``cache``
-    enables inter-query result reuse (see :func:`run_translation`).
+    runtime (1 = serial, 0 = one worker per CPU; results are identical
+    either way).  ``cache`` enables inter-query result reuse and
+    ``scheduler`` picks dataflow vs wave scheduling (see
+    :func:`run_translation`).
     """
     ns = namespace or f"q{next(_namespace_counter)}"
     if num_reducers is None:
@@ -142,4 +151,5 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                                 namespace=ns, num_reducers=num_reducers)
     return run_translation(translation, datastore, cluster, instance,
                            parallelism=parallelism, split_rows=split_rows,
-                           keep_trace=keep_trace, cache=cache)
+                           keep_trace=keep_trace, cache=cache,
+                           scheduler=scheduler)

@@ -54,14 +54,16 @@ class WorkloadSession:
                  mode: str = "ysmart",
                  cluster: Optional[ClusterConfig] = None,
                  parallelism: int = 1,
-                 split_rows: Optional[int] = None,
+                 split_rows: Optional[object] = None,
                  num_reducers: Optional[int] = None,
-                 namespace_prefix: str = "ws"):
+                 namespace_prefix: str = "ws",
+                 scheduler: str = "dataflow"):
         self.datastore = datastore
         self.mode = mode
         self.cluster = cluster
         self.parallelism = parallelism
         self.split_rows = split_rows
+        self.scheduler = scheduler
         self.num_reducers = num_reducers
         self.namespace_prefix = namespace_prefix
         self.cache: Optional[ResultCache] = (
@@ -80,7 +82,7 @@ class WorkloadSession:
             sql, self.datastore, mode=self.mode, cluster=self.cluster,
             namespace=namespace, num_reducers=self.num_reducers,
             parallelism=self.parallelism, split_rows=self.split_rows,
-            cache=self.cache)
+            cache=self.cache, scheduler=self.scheduler)
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,

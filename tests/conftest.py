@@ -10,6 +10,7 @@ datastore across engine runs is safe.
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
 
@@ -56,3 +57,15 @@ def fresh_namespace():
 @pytest.fixture
 def empty_datastore():
     return Datastore(standard_catalog())
+
+
+@pytest.fixture(scope="session")
+def suite_executor_kind():
+    """Executor kind for tests whose jobs are picklable.
+
+    The process-executor CI leg runs the suite with
+    ``REPRO_SUITE_EXECUTOR=process`` so those tests exercise real
+    multiprocess pools; translator-emitted jobs carry closures and
+    always stay on threads regardless of this knob.
+    """
+    return os.environ.get("REPRO_SUITE_EXECUTOR", "thread")

@@ -1,0 +1,353 @@
+"""Tests for the event-driven dataflow scheduler.
+
+Three pillars:
+
+* **Identity** — the dataflow scheduler produces byte-identical rows and
+  ``comparable()`` counters to the wave scheduler (and the golden-pinned
+  serial runs) on every paper query, serial and parallel, with and
+  without the result cache, under every split policy.
+* **Scheduling profile** — :class:`RuntimeTrace` records a real
+  schedule: ready <= start <= finish per task, no task starts before its
+  prerequisites finish, and the critical path / utilization / overlap
+  inspections are consistent under both schedulers.
+* **Simulated chain makespan** — the cost model's list scheduler
+  respects dependencies, never beats the critical job, and never loses
+  to sequential submission.
+"""
+
+import itertools
+import os
+import time
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.data import Datastore, Table
+from repro.errors import ConfigError, ExecutionError
+from repro.hadoop import small_cluster
+from repro.hadoop.costmodel import HadoopCostModel
+from repro.mr import (
+    EmitSpec,
+    JobTaskGraph,
+    MapInput,
+    MRJob,
+    OutputSpec,
+    ParallelExecutor,
+    Runtime,
+    auto_split_rows,
+    default_worker_count,
+    make_executor,
+)
+from repro.mr.tasks import AUTO_SPLIT_MIN_ROWS, AUTO_SPLIT_TARGET_TASKS
+from repro.ops import SPTask, TaskInput
+from repro.reuse import ResultCache
+from repro.core.translator import translate_sql
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_translation
+
+_ns = itertools.count(1)
+
+
+def _emit_kv(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def _emit_kv_slow(record):
+    time.sleep(0.004)
+    return (record["k"],), {"v": record["v"]}
+
+
+def picklable_job(job_id, dataset="nums", out=None, emit=_emit_kv):
+    """A hand-built job with module-level functions only, safe to ship
+    to a process pool."""
+    task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+    return MRJob(
+        job_id=job_id, name="pass",
+        map_inputs=[MapInput(dataset, [EmitSpec("in", emit)])],
+        reducer=CommonReducer([task]),
+        outputs=[OutputSpec(out or f"{job_id}.out", "sp", ["k", "v"])],
+    )
+
+
+def small_datastore(wide_rows=0):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("nums", Schema.of(("k", T.INT), ("v", T.INT)), [
+        {"k": 1, "v": 10}, {"k": 2, "v": 20}, {"k": 1, "v": 30},
+        {"k": 3, "v": 40}, {"k": 2, "v": 50},
+    ]))
+    if wide_rows:
+        ds.load_table(Table(
+            "wide", Schema.of(("k", T.INT), ("v", T.INT)),
+            [{"k": i % 7, "v": i} for i in range(wide_rows)]))
+    return ds
+
+
+# ---------------------------------------------------------------------------
+# Deterministic auto splits
+# ---------------------------------------------------------------------------
+
+class TestAutoSplits:
+    def test_small_tables_stay_single_split(self):
+        assert auto_split_rows(0) is None
+        assert auto_split_rows(AUTO_SPLIT_MIN_ROWS) is None
+
+    def test_large_tables_split_toward_target(self):
+        n = AUTO_SPLIT_MIN_ROWS * AUTO_SPLIT_TARGET_TASKS * 4
+        rows = auto_split_rows(n)
+        assert rows == n // AUTO_SPLIT_TARGET_TASKS
+        # Never below the floor, however large the target task count.
+        assert auto_split_rows(AUTO_SPLIT_MIN_ROWS + 1) == AUTO_SPLIT_MIN_ROWS
+
+    def test_auto_accepted_by_task_graph(self):
+        graph = JobTaskGraph(picklable_job("j"), small_datastore(),
+                             split_rows="auto")
+        assert len(graph.map_tasks) == 1  # 5 rows: below the floor
+
+        big = small_datastore(wide_rows=AUTO_SPLIT_MIN_ROWS * 3)
+        graph = JobTaskGraph(picklable_job("j", dataset="wide"), big,
+                             split_rows="auto")
+        assert len(graph.map_tasks) == 3
+
+    def test_bad_split_spelling_rejected(self):
+        with pytest.raises(ExecutionError, match="split_rows"):
+            JobTaskGraph(picklable_job("j"), small_datastore(),
+                         split_rows="eight")
+
+    def test_auto_decomposition_is_executor_invariant(self):
+        # The split plan is a function of (job, split_rows) only — the
+        # byte-identity invariant depends on it.
+        ds = small_datastore(wide_rows=AUTO_SPLIT_MIN_ROWS * 3)
+        job = picklable_job("j", dataset="wide")
+        serial = Runtime(ds, split_rows="auto", keep_trace=True)
+        serial.run_job(job)
+        parallel = Runtime(ds, executor=ParallelExecutor(max_workers=4),
+                           split_rows="auto", keep_trace=True)
+        parallel.run_job(job)
+        maps = lambda tr: sorted(t.task_id for t in tr.tasks.values()
+                                 if t.kind == "map")
+        assert maps(serial.trace) == maps(parallel.trace)
+
+
+# ---------------------------------------------------------------------------
+# Auto parallelism
+# ---------------------------------------------------------------------------
+
+class TestAutoParallelism:
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        ex = make_executor(0)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.max_workers == 6
+
+    def test_cpu_count_unknown_falls_back(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_worker_count() == 4
+
+    def test_worker_count_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 512)
+        assert default_worker_count() == 32
+
+    def test_negative_parallelism_rejected(self):
+        with pytest.raises(ExecutionError, match="parallelism"):
+            make_executor(-1)
+
+
+# ---------------------------------------------------------------------------
+# Identity: dataflow == wave == golden, everywhere
+# ---------------------------------------------------------------------------
+
+class TestDataflowIdentity:
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_paper_queries_identical_to_wave(self, name, datastore):
+        tr = translate_sql(paper_queries()[name], catalog=datastore.catalog,
+                           namespace=f"df.{name}")
+        wave = run_translation(tr, datastore, scheduler="wave")
+        for parallelism in (1, 4):
+            got = run_translation(tr, datastore, parallelism=parallelism,
+                                  scheduler="dataflow")
+            assert got.rows == wave.rows, (name, parallelism)
+            assert [r.counters.comparable() for r in got.runs] == \
+                [r.counters.comparable() for r in wave.runs]
+
+    def test_identical_with_explicit_and_auto_splits(self, datastore):
+        tr = translate_sql(paper_queries()["q21"], catalog=datastore.catalog,
+                           namespace=f"df.split{next(_ns)}")
+        for split_rows in (None, "auto", 64):
+            wave = run_translation(tr, datastore, split_rows=split_rows,
+                                   scheduler="wave")
+            flow = run_translation(tr, datastore, split_rows=split_rows,
+                                   parallelism=4, scheduler="dataflow")
+            assert flow.rows == wave.rows, split_rows
+            assert [r.counters.comparable() for r in flow.runs] == \
+                [r.counters.comparable() for r in wave.runs]
+
+    def test_identical_under_result_cache(self, datastore):
+        tr = translate_sql(paper_queries()["q17"], catalog=datastore.catalog,
+                           namespace=f"df.cache{next(_ns)}")
+        cold = run_translation(tr, datastore, scheduler="wave")
+        cache = ResultCache(budget_bytes=64 * 1024 * 1024)
+        miss = run_translation(tr, datastore, parallelism=4, cache=cache,
+                               scheduler="dataflow")
+        hit = run_translation(tr, datastore, parallelism=4, cache=cache,
+                              scheduler="dataflow")
+        assert miss.rows == cold.rows == hit.rows
+        assert all(not r.cached for r in miss.runs)
+        assert all(r.cached for r in hit.runs)
+        for a, b in zip(cold.runs, hit.runs):
+            assert a.counters.comparable() == b.counters.comparable()
+
+    def test_cache_admits_as_jobs_complete(self, datastore):
+        # A chain executed once must be fully served from cache on the
+        # second pass — admission happens per job at finalize, not at
+        # at the end of a wave.
+        tr = translate_sql(paper_queries()["q21"], catalog=datastore.catalog,
+                           namespace=f"df.admit{next(_ns)}")
+        cache = ResultCache(budget_bytes=64 * 1024 * 1024)
+        run_translation(tr, datastore, parallelism=4, cache=cache)
+        again = run_translation(tr, datastore, parallelism=4, cache=cache)
+        assert all(r.cached for r in again.runs)
+
+    def test_process_pool_identity_for_picklable_jobs(
+            self, suite_executor_kind):
+        ds = small_datastore(wide_rows=300)
+        jobs = [picklable_job("a", dataset="wide", out="a.out"),
+                picklable_job("b", dataset="a.out", out="b.out"),
+                picklable_job("c", dataset="nums", out="c.out")]
+        serial = Runtime(small_datastore(wide_rows=300))
+        base = serial.run_jobs([picklable_job("a", dataset="wide",
+                                              out="a.out"),
+                                picklable_job("b", dataset="a.out",
+                                              out="b.out"),
+                                picklable_job("c", dataset="nums",
+                                              out="c.out")])
+        runtime = Runtime(ds, executor=ParallelExecutor(
+            max_workers=2, kind=suite_executor_kind))
+        runs = runtime.run_jobs(jobs)
+        assert [r.counters.comparable() for r in runs] == \
+            [r.counters.comparable() for r in base]
+        want = serial.datastore.intermediate("b.out").rows
+        assert ds.intermediate("b.out").rows == want
+
+
+# ---------------------------------------------------------------------------
+# Trace invariants and the scheduling profile
+# ---------------------------------------------------------------------------
+
+def _assert_trace_invariants(trace):
+    assert trace.tasks
+    for tid, t in trace.tasks.items():
+        assert t.ready_t <= t.start_t <= t.finish_t, tid
+        for pre in trace.edges.get(tid, ()):
+            assert trace.tasks[pre].finish_t <= t.start_t, (pre, tid)
+
+
+class TestSchedulingProfile:
+    @pytest.mark.parametrize("scheduler", ["dataflow", "wave"])
+    def test_trace_invariants_hold(self, datastore, scheduler):
+        tr = translate_sql(paper_queries()["q21"], catalog=datastore.catalog,
+                           namespace=f"df.trace{next(_ns)}.{scheduler}")
+        res = run_translation(tr, datastore, parallelism=4, keep_trace=True,
+                              scheduler=scheduler)
+        _assert_trace_invariants(res.trace)
+        summary = res.trace.schedule_summary()
+        for key in ("scheduler", "workers", "tasks", "makespan_s", "busy_s",
+                    "idle_s", "utilization", "critical_path_s",
+                    "critical_path", "cross_job_overlap"):
+            assert key in summary, key
+        assert summary["scheduler"] == scheduler
+        assert summary["workers"] == 4
+        assert 0.0 < summary["critical_path_s"] <= summary["makespan_s"] + 1e-9
+        assert summary["critical_path"], "critical path must be non-empty"
+        # The path must be a real chain through the recorded edges.
+        path = summary["critical_path"]
+        for pre, nxt in zip(path, path[1:]):
+            assert pre in res.trace.edges.get(nxt, ()), (pre, nxt)
+
+    @pytest.mark.parametrize("scheduler", ["dataflow", "wave"])
+    def test_width_inspections_work_on_both_traces(self, datastore,
+                                                   scheduler):
+        tr = translate_sql(paper_queries()["q21"], mode="one_to_one",
+                           catalog=datastore.catalog,
+                           namespace=f"df.width{next(_ns)}.{scheduler}")
+        res = run_translation(tr, datastore, parallelism=4, keep_trace=True,
+                              scheduler=scheduler)
+        assert res.trace.max_wave_width > 1
+        batches = res.trace.concurrent_job_batches()
+        assert batches and len(set(batches[0][2])) > 1
+
+    def test_serial_dataflow_has_full_utilization(self):
+        runtime = Runtime(small_datastore(wide_rows=3000), keep_trace=True)
+        runtime.run_job(picklable_job("solo", dataset="wide"))
+        s = runtime.trace.schedule_summary()
+        assert s["workers"] == 1
+        assert s["utilization"] > 0.9
+
+    def test_reduce_overlaps_unrelated_jobs_map(self):
+        # One slow independent scan (wide, per-record sleep) next to a
+        # fast two-job chain: with two workers the chain's reduces must
+        # run while the slow map still holds the other worker — the
+        # cross-job overlap waves structurally forbid.
+        ds = small_datastore(wide_rows=60)
+        jobs = [picklable_job("slow", dataset="wide", out="slow.out",
+                              emit=_emit_kv_slow),
+                picklable_job("c1", dataset="nums", out="c1.out"),
+                picklable_job("c2", dataset="c1.out", out="c2.out")]
+        runtime = Runtime(ds, executor=ParallelExecutor(max_workers=2),
+                          keep_trace=True)
+        runtime.run_jobs(jobs)
+        overlaps = runtime.trace.cross_job_overlap()
+        assert any("slow" in map_id for _, map_id in overlaps), overlaps
+        reduce_jobs = {rid.split("/")[0] for rid, _ in overlaps}
+        assert reduce_jobs & {"c1", "c2"}
+        _assert_trace_invariants(runtime.trace)
+
+
+# ---------------------------------------------------------------------------
+# Simulated chain makespan (cost-model list scheduling)
+# ---------------------------------------------------------------------------
+
+class TestChainMakespan:
+    def _result(self, datastore, mode="ysmart"):
+        tr = translate_sql(paper_queries()["q21"], mode=mode,
+                           catalog=datastore.catalog,
+                           namespace=f"df.sim{next(_ns)}")
+        res = run_translation(tr, datastore)
+        return tr, res
+
+    def test_respects_dependencies_and_sequential_bound(self, datastore):
+        tr, res = self._result(datastore)
+        model = HadoopCostModel(small_cluster())
+        chain = model.chain_makespan(res.runs, tr.dependencies())
+        assert chain.makespan_s <= chain.sequential_s + 1e-9
+        assert chain.overlap_speedup >= 1.0
+        finish = {s.job_id: s.finish_s for s in chain.spans}
+        for span in chain.spans:
+            assert span.ready_s <= span.start_s <= span.finish_s
+            for dep in span.depends_on:
+                assert finish[dep] <= span.ready_s + 1e-9
+
+    def test_independent_jobs_beat_sequential(self, datastore):
+        tr, res = self._result(datastore, mode="one_to_one")
+        model = HadoopCostModel(small_cluster())
+        chain = model.chain_makespan(res.runs, tr.dependencies())
+        assert chain.overlap_speedup > 1.0
+
+    def test_cached_runs_cost_nothing(self, datastore):
+        tr, res = self._result(datastore)
+        for run in res.runs:
+            run.cached = True
+        model = HadoopCostModel(small_cluster())
+        chain = model.chain_makespan(res.runs, tr.dependencies())
+        assert chain.makespan_s == 0.0
+        assert all(s.cached and s.finish_s == s.ready_s
+                   for s in chain.spans)
+
+    def test_cycle_rejected(self, datastore):
+        tr, res = self._result(datastore)
+        ids = [r.job_id for r in res.runs[:2]]
+        cyclic = {ids[0]: [ids[1]], ids[1]: [ids[0]]}
+        model = HadoopCostModel(small_cluster())
+        with pytest.raises(ConfigError, match="cycle"):
+            model.chain_makespan(res.runs[:2], cyclic)

@@ -143,5 +143,10 @@ def test_process_executor_serves_fully_cached_stream():
             == [dict(r) for r in warmup.rows])
 
 
-def test_serial_executor_used_for_degenerate_parallelism():
-    assert isinstance(make_executor(1), type(make_executor(0)))
+def test_parallelism_zero_is_auto_and_one_is_serial():
+    from repro.mr.runtime import (SerialExecutor, ParallelExecutor,
+                                  default_worker_count)
+    assert isinstance(make_executor(1), SerialExecutor)
+    auto = make_executor(0)
+    assert isinstance(auto, ParallelExecutor)
+    assert auto.max_workers == default_worker_count()

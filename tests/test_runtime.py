@@ -227,9 +227,33 @@ class TestDependencies:
             "w1": [], "w2": ["w1"], "r": ["w2"]}
         runtime = Runtime(small_datastore(),
                           executor=ParallelExecutor(max_workers=2),
-                          keep_trace=True)
+                          keep_trace=True, scheduler="wave")
         runtime.run_jobs([w1, w2, r])
         assert runtime.trace.waves == [["w1"], ["w2"], ["r"]]
+
+    def test_duplicate_writers_ordered_under_dataflow(self):
+        # The dataflow scheduler honors write-write edges at the commit
+        # point: w2's maps may overlap w1 (they read a base table), but
+        # w2's *finalize* — the datastore write — must wait for w1's,
+        # and the reader's scan must wait for w2's commit.
+        w1 = passthrough_job("w1", out="shared.out")
+        w2 = passthrough_job("w2", out="shared.out")
+        r = passthrough_job("r", dataset="shared.out", out="r.out")
+        runtime = Runtime(small_datastore(),
+                          executor=ParallelExecutor(max_workers=2),
+                          keep_trace=True)
+        runtime.run_jobs([w1, w2, r])
+        tasks = runtime.trace.tasks
+
+        def fin(job_id):
+            return next(t for t in tasks.values()
+                        if t.job_id == job_id and t.kind == "finalize")
+
+        assert fin("w2").start_t >= fin("w1").finish_t
+        r_maps = [t.start_t for t in tasks.values()
+                  if t.job_id == "r" and t.kind == "map"]
+        assert r_maps and min(r_maps) >= fin("w2").finish_t
+        assert runtime.datastore.intermediate("shared.out") is not None
 
     def test_reader_depends_on_preceding_writer(self):
         # A reader submitted between two writers reads the first
@@ -251,7 +275,8 @@ class TestDependencies:
             assert all(position[d] < position[job_id] for d in deps)
 
     def test_waves_follow_the_dag(self):
-        runtime = Runtime(small_datastore(), keep_trace=True)
+        runtime = Runtime(small_datastore(), keep_trace=True,
+                          scheduler="wave")
         runs = runtime.run_jobs(self.chain())
         assert [r.job_id for r in runs] == ["a", "b", "c"]
         assert runtime.trace.waves == [["a", "c"], ["b"]]
@@ -318,20 +343,25 @@ class TestSerialParallelIdentity:
 # ---------------------------------------------------------------------------
 
 class TestConcurrentScheduling:
-    def test_one_to_one_plan_overlaps_independent_jobs(self, datastore):
+    @pytest.mark.parametrize("scheduler", ["dataflow", "wave"])
+    def test_one_to_one_plan_overlaps_independent_jobs(self, datastore,
+                                                       scheduler):
         result = run_query(paper_queries()["q21"], datastore,
                            mode="one_to_one",
                            namespace=f"conc{next(_ns)}",
-                           parallelism=4, keep_trace=True)
+                           parallelism=4, keep_trace=True,
+                           scheduler=scheduler)
         trace = result.trace
         assert trace is not None
         assert trace.max_wave_width > 1
         multi = trace.concurrent_job_batches()
         assert multi, "expected batches mixing tasks of independent jobs"
-        wave0_jobs = set(trace.waves[0])
-        assert len(wave0_jobs) > 1
-        assert set(multi[0][2]) == wave0_jobs
-        # Every task of the wave got scheduled: starts == finishes.
+        assert len(set(multi[0][2])) > 1
+        if scheduler == "wave":
+            wave0_jobs = set(trace.waves[0])
+            assert len(wave0_jobs) > 1
+            assert set(multi[0][2]) == wave0_jobs
+        # Every scheduled task completed: starts == finishes.
         starts = [e for e in trace.events if e.phase == "start"]
         finishes = [e for e in trace.events if e.phase == "finish"]
         assert len(starts) == len(finishes) > 0
@@ -350,12 +380,17 @@ class TestConcurrentScheduling:
                              share_across_queries=False)
         assert bt.dag_edges == {job.job_id: [] for job in bt.jobs}
         serial = run_batch(bt, datastore)
-        parallel = run_batch(bt, datastore, parallelism=4, keep_trace=True)
+        parallel = run_batch(bt, datastore, parallelism=4, keep_trace=True,
+                             scheduler="wave")
         assert parallel.rows == serial.rows
         assert [r.counters.comparable() for r in parallel.runs] == \
             [r.counters.comparable() for r in serial.runs]
         assert parallel.trace.waves == [[job.job_id for job in bt.jobs]]
         assert parallel.trace.concurrent_job_batches()
+        dataflow = run_batch(bt, datastore, parallelism=4, keep_trace=True)
+        assert dataflow.rows == serial.rows
+        assert dataflow.trace.max_wave_width > 1
+        assert dataflow.trace.concurrent_job_batches()
 
 
 # ---------------------------------------------------------------------------
