@@ -1,91 +1,320 @@
-"""Fault-tolerance analysis: why MapReduce materializes (paper Sec. III).
+"""Fault-tolerance benchmark: byte-identity under injected task kills.
 
-The paper's design space is bounded by MapReduce's materialization
-policy: intermediate results persist so a failed task re-runs alone.
-This bench quantifies the trade-off the policy implies:
+The paper grounds YSmart's design space in MapReduce's materialization
+policy (Sec. III): intermediate results persist *because* tasks fail
+and re-run.  This bench exercises both halves of that argument:
 
-* under realistic per-task failure rates, a *materialized* job chain's
-  expected overhead stays within a few percent, while a hypothetical
-  fully *pipelined* execution (restart-on-any-failure) explodes with
-  task count — the reason "minimize the number of jobs" is the right
-  optimization rather than "remove the materialization";
-* with failures enabled on the cost model, YSmart's advantage over Hive
-  persists (both pay the same per-task retry factor; Hive still pays
-  more scans, more startup, more materialized bytes).
+* **analytical** — :mod:`repro.hadoop.faults`: a materialized chain's
+  expected overhead stays within a few percent under realistic failure
+  rates while a hypothetical pipelined (restart-on-any-failure)
+  execution explodes with task count;
+* **measured** — the real runtime under a deterministic
+  :class:`~repro.mr.faultplan.FaultPlan` at ``p=0.05, seed=7``: every
+  paper query must return rows and ``comparable()`` counters
+  byte-identical to the fault-free run on the serial and thread
+  executors (dataflow and wave schedulers, plus a speculative arm), and
+  a hand-built picklable job chain proves the same on the process
+  executor — with ``task_retries > 0`` proving the kills actually
+  fired;
+* **calibration** — the measured retry factor (attempts per task) must
+  land within 15% of the analytical
+  :func:`~repro.hadoop.faults.expected_retry_factor` at the same
+  probability, tying the cost model's fault math to observed behaviour.
+
+Writes ``BENCH_fault_tolerance.json`` at the repo root.  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py          # full
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --smoke  # CI
+
+Exits nonzero if any arm is not byte-identical, no retries fired, or
+the measured retry factor is off the analytical model by more than 15%.
 """
 
-import pytest
+from __future__ import annotations
 
-from benchmarks.conftest import attach
-from repro.bench import ExperimentResult
-from repro.hadoop import (
-    FaultModel,
-    expected_pipelined_time,
-    materialized_phase_time,
-    small_cluster,
-)
-from repro.workloads import run_query
-from repro.workloads.queries import Q21_SUBTREE_SQL
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import measure, write_json  # noqa: E402
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.data import Datastore, Table
+from repro.hadoop.faults import (FaultModel, expected_pipelined_time,
+                                 expected_retry_factor,
+                                 materialized_phase_time)
+from repro.mr import (EmitSpec, FaultPlan, MapInput, MRJob, OutputSpec,
+                      ParallelExecutor, Runtime)
+from repro.ops import SPTask, TaskInput
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore, run_query
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_fault_tolerance.json"))
+
+PROBABILITY = 0.05
+SEED = 7
 
 
-def run_fault_analysis(workload):
-    result = ExperimentResult(
-        "faults", "Materialized vs pipelined expected times, and query "
-        "times under task failures",
-        ["section", "variant", "metric", "value"])
+# ---------------------------------------------------------------------------
+# Analytical section (repro.hadoop.faults, with the halved-rerun fix)
+# ---------------------------------------------------------------------------
 
-    # -- analytical: 600s of work split over n tasks ------------------------
+def analytical_section() -> Dict[str, object]:
+    """600s of work split over n tasks: materialized re-execution vs
+    restart-on-any-failure pipelining."""
     model = FaultModel(task_failure_prob=0.01)
+    rows = []
     for tasks in (10, 100, 1000, 5000):
         mat = materialized_phase_time(600.0, tasks, 100, model)
         pipe = expected_pipelined_time(600.0, tasks, model)
-        result.rows.append({"section": "analytical",
-                            "variant": f"{tasks}-tasks",
-                            "metric": "materialized_s",
-                            "value": round(mat, 1)})
-        result.rows.append({"section": "analytical",
-                            "variant": f"{tasks}-tasks",
-                            "metric": "pipelined_s",
-                            "value": (round(pipe, 1)
-                                      if pipe != float("inf") else "inf")})
-
-    # -- simulated: Q21 sub-tree with failures on -----------------------------
-    ds = workload.datastore
-    base = small_cluster(data_scale=workload.tpch_scale_10gb)
-    for prob in (0.0, 0.02, 0.05):
-        cluster = base.with_faults(
-            FaultModel(task_failure_prob=prob) if prob else None)
-        for mode in ("ysmart", "hive"):
-            res = run_query(Q21_SUBTREE_SQL, ds, mode=mode, cluster=cluster,
-                            namespace=f"flt.{prob}.{mode}")
-            result.rows.append({"section": "simulated",
-                                "variant": f"p={prob}",
-                                "metric": f"{mode}_s",
-                                "value": round(res.timing.total_s)})
-    return result
+        rows.append({"tasks": tasks,
+                     "materialized_s": round(mat, 1),
+                     "pipelined_s": (round(pipe, 1)
+                                     if pipe != float("inf") else "inf")})
+    ok = (rows[-1]["materialized_s"] < 600 * 1.2
+          and (rows[2]["pipelined_s"] == "inf"
+               or rows[2]["pipelined_s"] > 600 * 100))
+    return {"model": {"task_failure_prob": 0.01, "detect_latency_s": 12.0},
+            "base_s": 600.0, "rows": rows, "ok": ok}
 
 
-def test_fault_tolerance(benchmark, workload):
-    result = benchmark.pedantic(
-        run_fault_analysis, args=(workload,), rounds=1, iterations=1)
-    attach(benchmark, result)
+# ---------------------------------------------------------------------------
+# Measured identity arms (translator-emitted paper queries)
+# ---------------------------------------------------------------------------
 
-    # Materialized overhead stays bounded; pipelined explodes.
-    mat_5000 = result.value("value", section="analytical",
-                            variant="5000-tasks", metric="materialized_s")
-    assert mat_5000 < 600 * 1.2
-    pipe_1000 = result.value("value", section="analytical",
-                             variant="1000-tasks", metric="pipelined_s")
-    assert pipe_1000 == "inf" or pipe_1000 > 600 * 100
+def run_arm(scale, users, name, **kwargs) -> Dict[str, object]:
+    """Run every paper query on a fresh datastore; returns rows,
+    comparable counters, and fault bookkeeping per query."""
+    ds = build_datastore(tpch_scale=scale, clickstream_users=users, seed=7)
+    out: Dict[str, object] = {}
+    for qname, sql in sorted(paper_queries().items()):
+        res = run_query(sql, ds, namespace=f"flt.{qname}",
+                        split_rows="auto", keep_trace=True, **kwargs)
+        trace = res.trace
+        base_tasks = sum(
+            1 for t in trace.tasks.values()
+            if t.kind in ("map", "shuffle", "reduce")
+            and "@a" not in t.task_id)
+        out[qname] = {
+            "rows": res.rows,
+            "comparable": [r.counters.comparable() for r in res.runs],
+            "task_retries": sum(r.counters.task_retries
+                                for r in res.runs),
+            "speculative_wins": sum(r.counters.speculative_wins
+                                    for r in res.runs),
+            "faultable_tasks": base_tasks,
+        }
+    return {"name": name, "queries": out}
 
-    # Failures hurt everyone but never flip the ordering.
-    for prob in ("p=0.0", "p=0.02", "p=0.05"):
-        ys = result.value("value", section="simulated", variant=prob,
-                          metric="ysmart_s")
-        hv = result.value("value", section="simulated", variant=prob,
-                          metric="hive_s")
-        assert ys < hv
-    assert result.value("value", section="simulated", variant="p=0.05",
-                        metric="ysmart_s") > \
-        result.value("value", section="simulated", variant="p=0.0",
-                     metric="ysmart_s")
+
+def arm_summary(arm) -> Dict[str, int]:
+    qs = arm["queries"].values()
+    return {"task_retries": sum(q["task_retries"] for q in qs),
+            "speculative_wins": sum(q["speculative_wins"] for q in qs),
+            "faultable_tasks": sum(q["faultable_tasks"] for q in qs)}
+
+
+def identical_to(base, arm) -> bool:
+    for qname, ref in base["queries"].items():
+        got = arm["queries"][qname]
+        if got["rows"] != ref["rows"]:
+            return False
+        if got["comparable"] != ref["comparable"]:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Process-executor arm (hand-built picklable jobs)
+# ---------------------------------------------------------------------------
+
+def _emit_kv(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def _picklable_job(job_id: str, dataset: str, out: str) -> MRJob:
+    task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+    return MRJob(
+        job_id=job_id, name="pass",
+        map_inputs=[MapInput(dataset, [EmitSpec("in", _emit_kv)])],
+        reducer=CommonReducer([task]),
+        outputs=[OutputSpec(out, "sp", ["k", "v"])],
+    )
+
+
+def _picklable_chain() -> List[MRJob]:
+    return [_picklable_job("a", "wide", "a.out"),
+            _picklable_job("b", "a.out", "b.out"),
+            _picklable_job("c", "nums", "c.out")]
+
+
+def _picklable_datastore(rows: int) -> Datastore:
+    ds = Datastore(Catalog())
+    ds.load_table(Table("nums", Schema.of(("k", T.INT), ("v", T.INT)),
+                        [{"k": i % 5, "v": i * 7} for i in range(rows)]))
+    ds.load_table(Table("wide", Schema.of(("k", T.INT), ("v", T.INT)),
+                        [{"k": i % 11, "v": i} for i in range(rows * 2)]))
+    return ds
+
+
+def process_arm(plan: FaultPlan, workers: int,
+                rows: int) -> Dict[str, object]:
+    """Translator jobs carry closures, so the process executor gets a
+    hand-built picklable chain: fault-free serial vs injected process
+    runs must be byte-identical."""
+    def one_run(runtime_kwargs):
+        ds = _picklable_datastore(rows)
+        runtime = Runtime(ds, split_rows=64, **runtime_kwargs)
+        runs = runtime.run_jobs(_picklable_chain())
+        tables = {out: ds.intermediate(out).rows
+                  for out in ("a.out", "b.out", "c.out")}
+        return runs, tables
+
+    base_runs, base_tables = one_run({})
+    fault_runs, fault_tables = one_run(dict(
+        executor=ParallelExecutor(max_workers=workers, kind="process"),
+        fault_plan=plan, max_attempts=8))
+    same = (fault_tables == base_tables and
+            [r.counters.comparable() for r in fault_runs]
+            == [r.counters.comparable() for r in base_runs])
+    retries = sum(r.counters.task_retries for r in fault_runs)
+    return {"identical": same, "task_retries": retries,
+            "workers": workers, "rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# Calibration: measured retry factor vs expected_retry_factor
+# ---------------------------------------------------------------------------
+
+def calibrate(scale, users, rounds: int) -> Dict[str, object]:
+    """Attempts per faultable task, measured over ``rounds`` namespaced
+    passes of the paper workload, against the analytical 1/(1-p)."""
+    tasks = retries = 0
+    ds = build_datastore(tpch_scale=scale, clickstream_users=users, seed=7)
+    plan = FaultPlan(PROBABILITY, seed=SEED)
+    for rnd in range(rounds):
+        for qname, sql in sorted(paper_queries().items()):
+            res = run_query(sql, ds, namespace=f"cal{rnd}.{qname}",
+                            split_rows="auto", keep_trace=True,
+                            fault_plan=plan, max_attempts=16)
+            retries += sum(r.counters.task_retries for r in res.runs)
+            tasks += sum(
+                1 for t in res.trace.tasks.values()
+                if t.kind in ("map", "shuffle", "reduce")
+                and "@a" not in t.task_id)
+    measured = (tasks + retries) / tasks if tasks else float("nan")
+    expected = expected_retry_factor(FaultModel(task_failure_prob=PROBABILITY))
+    rel_err = abs(measured - expected) / expected
+    return {"probability": PROBABILITY, "seed": SEED, "rounds": rounds,
+            "faultable_tasks": tasks, "retries": retries,
+            "measured_retry_factor": measured,
+            "expected_retry_factor": expected,
+            "relative_error": rel_err, "within_15pct": rel_err <= 0.15}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small data, fewer arms/rounds; exit 1 "
+                             "unless every identity and calibration "
+                             "gate holds")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the workload")
+    parser.add_argument("--users", type=int, default=60,
+                        help="clickstream users for the workload")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="workload passes for retry-factor "
+                             "calibration")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rounds = 1
+
+    plan = FaultPlan(PROBABILITY, seed=SEED)
+    analytical = analytical_section()
+
+    base = run_arm(args.scale, args.users, "serial-baseline")
+    arms: Dict[str, Dict[str, object]] = {}
+    specs = [
+        ("serial-faults", dict(fault_plan=plan)),
+        ("thread4-faults", dict(fault_plan=plan, parallelism=4)),
+        ("wave-faults", dict(fault_plan=plan, scheduler="wave")),
+        ("thread4-speculate", dict(fault_plan=plan, parallelism=4,
+                                   speculate=True)),
+    ]
+    all_identical = True
+    retries_fired = False
+    for name, kwargs in specs:
+        timed = measure(name, lambda kw=kwargs: run_arm(
+            args.scale, args.users, name, **kw), repeats=1)
+        arm = timed.result
+        same = identical_to(base, arm)
+        summary = arm_summary(arm)
+        all_identical = all_identical and same
+        retries_fired = retries_fired or summary["task_retries"] > 0
+        arms[name] = {"identical": same, "wall_s": timed.median_s,
+                      **summary}
+        print(f"{name:<20} identical={same} "
+              f"retries={summary['task_retries']} "
+              f"speculative_wins={summary['speculative_wins']} "
+              f"tasks={summary['faultable_tasks']} "
+              f"({timed.median_s * 1e3:.0f}ms)")
+
+    proc = process_arm(plan, workers=2, rows=512 if args.smoke else 2048)
+    all_identical = all_identical and proc["identical"]
+    print(f"{'process2-faults':<20} identical={proc['identical']} "
+          f"retries={proc['task_retries']}")
+
+    cal = calibrate(args.scale, args.users, args.rounds)
+    print(f"retry factor: measured {cal['measured_retry_factor']:.4f} vs "
+          f"expected {cal['expected_retry_factor']:.4f} "
+          f"(rel err {cal['relative_error']:.1%}, "
+          f"{cal['faultable_tasks']} tasks, {cal['retries']} retries)")
+
+    payload = {
+        "benchmark": "fault_tolerance",
+        "config": {"tpch_scale": args.scale,
+                   "clickstream_users": args.users,
+                   "probability": PROBABILITY, "seed": SEED,
+                   "rounds": args.rounds, "smoke": args.smoke},
+        "analytical": analytical,
+        "arms": arms,
+        "process_arm": proc,
+        "calibration": cal,
+        "identical": all_identical,
+        "retries_fired": retries_fired,
+    }
+    write_json(args.out, payload)
+    print(f"wrote {args.out}")
+
+    failed = False
+    if not all_identical:
+        print("FAIL: a fault-injected arm is not byte-identical to the "
+              "fault-free baseline", file=sys.stderr)
+        failed = True
+    if not retries_fired:
+        print("FAIL: no task retries fired — the fault plan never killed "
+              "an attempt", file=sys.stderr)
+        failed = True
+    if not cal["within_15pct"]:
+        print("FAIL: measured retry factor is off expected_retry_factor "
+              f"by {cal['relative_error']:.1%} (> 15%)", file=sys.stderr)
+        failed = True
+    if not analytical["ok"]:
+        print("FAIL: analytical crossover did not hold", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

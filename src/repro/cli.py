@@ -111,18 +111,33 @@ def cmd_run(args) -> int:
     cache = (ResultCache(budget_bytes=int(args.cache_mb * 1024 * 1024))
              if args.cache_mb > 0 else None)
 
+    fault_plan = None
+    if args.inject_faults > 0.0:
+        from repro.mr.faultplan import FaultPlan
+        fault_plan = FaultPlan(args.inject_faults, seed=args.fault_seed)
+
     keep_trace = args.schedule or args.parallel != 1
     result = run_query(args.sql, ds, mode=args.mode, cluster=cluster,
                        namespace="cli", parallelism=args.parallel,
                        split_rows=args.split_rows,
                        keep_trace=keep_trace, cache=cache,
-                       scheduler=args.scheduler)
+                       scheduler=args.scheduler, fault_plan=fault_plan,
+                       max_attempts=args.max_attempts,
+                       speculate=args.speculate)
     workers = ""
     if args.parallel != 1:
         shown = (result.trace.workers if result.trace is not None
                  else args.parallel)
         workers = f" workers={shown}"
     print(f"mode={args.mode} jobs={result.job_count}{workers}")
+    if fault_plan is not None or args.speculate:
+        retries = sum(r.counters.task_retries for r in result.runs)
+        wins = sum(r.counters.speculative_wins for r in result.runs)
+        bits = [f"task_retries={retries}", f"speculative_wins={wins}"]
+        if fault_plan is not None:
+            bits.insert(0, f"p={fault_plan.probability} "
+                           f"seed={fault_plan.seed}")
+        print("fault tolerance: " + " ".join(bits))
     if args.timings:
         phases = ("map", "shuffle", "reduce", "finalize")
         totals = {p: 0.0 for p in phases}
@@ -186,6 +201,15 @@ def _print_schedule(result, cluster) -> None:
     print(f"   critical path ({summary['critical_path_s'] * 1e3:.2f}ms): "
           + " -> ".join(summary["critical_path"]))
     print(f"   cross-job overlaps: {summary['cross_job_overlap']}")
+    if result.trace.attempts:
+        print(f"   attempts: retries={summary['task_retries']} "
+              f"speculative_wins={summary['speculative_wins']} "
+              f"lost={summary['lost_attempts']}")
+        for a in result.trace.attempts:
+            spec = " speculative" if a.speculative else ""
+            cause = f" ({a.cause})" if a.cause else ""
+            print(f"      {a.task_id:<42} attempt={a.attempt} "
+                  f"{a.outcome}{spec}{cause}")
     tasks = list(result.trace.tasks.values())
     t0 = min((t.ready_t for t in tasks), default=0.0)
     for trace in sorted(tasks, key=lambda t: t.start_t):
@@ -342,6 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-mb", type=float, default=0.0, metavar="N",
                    help="enable the inter-query result cache with this "
                         "byte budget (0 = off)")
+    p.add_argument("--inject-faults", type=float, default=0.0, metavar="P",
+                   help="kill each task attempt with probability P "
+                        "(deterministic, seeded; results stay identical "
+                        "to a fault-free run)")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                   help="seed for the deterministic fault plan")
+    p.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                   help="retry budget per task (default: 4 with "
+                        "--inject-faults, else 1)")
+    p.add_argument("--speculate", action="store_true",
+                   help="launch speculative duplicate attempts for "
+                        "straggler tasks when workers idle "
+                        "(dataflow scheduler)")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
 

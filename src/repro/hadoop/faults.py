@@ -89,9 +89,14 @@ def expected_pipelined_time(base_s: float, tasks: int,
     success = (1.0 - p) ** tasks
     if success <= 0.0:
         return math.inf
-    # Each failed attempt runs, in expectation, half way before dying.
+    # Each failed attempt runs, in expectation, half way before dying:
+    # the one successful attempt costs base_s, and each of the
+    # (expected_attempts - 1) failed attempts costs half of base_s plus
+    # a detection latency.  (A previous spelling multiplied the half-run
+    # term by 2, which algebraically cancelled back to a *full* rerun
+    # per failure and overstated pipelining's cost.)
     expected_attempts = 1.0 / success
-    return base_s * (1.0 + 0.5 * (expected_attempts - 1.0) * 2.0) \
+    return base_s * (1.0 + 0.5 * (expected_attempts - 1.0)) \
         + model.detect_latency_s * (expected_attempts - 1.0)
 
 

@@ -32,6 +32,13 @@ TIMING_FIELDS = ("phase_wall_s",)
 #: compare byte-identical.
 CACHE_FIELDS = ("cache_hits", "cache_misses", "cached_bytes_saved")
 
+#: Fault-tolerance bookkeeping fields — how many attempts the scheduler
+#: had to make, not what the job computed.  A run with injected faults
+#: must compare byte-identical to a fault-free run, so these are
+#: excluded from :meth:`JobCounters.comparable` and dataclass equality
+#: exactly like the wall timings and cache fields.
+FAULT_FIELDS = ("task_retries", "speculative_wins")
+
 
 @dataclass
 class JobCounters:
@@ -97,14 +104,22 @@ class JobCounters:
     #: counters; what the cost model credits)
     cached_bytes_saved: int = field(default=0, compare=False)
 
+    # -- fault-tolerance bookkeeping (not deterministic results; see
+    # FAULT_FIELDS) ----------------------------------------------------------
+    #: failed task attempts the scheduler retried for this job (injected
+    #: faults plus real task errors under ``max_attempts > 1``)
+    task_retries: int = field(default=0, compare=False)
+    #: speculative duplicate attempts that committed first for this job
+    speculative_wins: int = field(default=0, compare=False)
+
     # -- convenience -----------------------------------------------------------
 
     def comparable(self) -> Dict[str, object]:
         """Every deterministic field — what golden snapshots pin and
-        executor-identity tests compare (wall timings and cache
-        bookkeeping excluded)."""
+        executor-identity tests compare (wall timings, cache
+        bookkeeping, and fault-tolerance bookkeeping excluded)."""
         data = dict(vars(self))
-        for name in TIMING_FIELDS + CACHE_FIELDS:
+        for name in TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS:
             data.pop(name, None)
         return data
 
@@ -163,6 +178,9 @@ class JobCounters:
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             cached_bytes_saved=int(self.cached_bytes_saved * factor),
+            # Attempt bookkeeping counts scheduler events, not volume.
+            task_retries=self.task_retries,
+            speculative_wins=self.speculative_wins,
         )
 
 

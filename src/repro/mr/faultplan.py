@@ -1,0 +1,100 @@
+"""Deterministic fault injection for the task runtime.
+
+The analytical model in :mod:`repro.hadoop.faults` reasons about what
+task failures *cost*; this module makes the real runtime *experience*
+them.  A :class:`FaultPlan` is a pure function from ``(task id, attempt
+number)`` to "does this attempt die?" — seeded, executor-independent,
+and picklable, so the same plan kills the same attempts whether tasks
+run inline, on a thread pool, or in worker processes, and a run can be
+replayed bit-for-bit from ``(probability, seed)`` alone.
+
+The scheduler (:mod:`repro.mr.runtime`) consults the plan per task
+*attempt*: a killed attempt raises :class:`InjectedFault`, its outputs
+are discarded, and the task is retried with fresh attempt-scoped state
+up to ``max_attempts`` times — the TaskTracker behaviour MapReduce's
+materialization policy exists to exploit (paper Sec. III).  Map and
+reduce attempts die *after* doing their work (the strictest test of
+attempt isolation: any state leaked by the doomed attempt would corrupt
+the retry); shuffle attempts die on entry, before the shuffle folds map
+counters into the job, so re-execution is trivially idempotent.  The
+finalize step is never killed — it is the commit point, the in-process
+equivalent of Hadoop's output committer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hadoop.faults import FaultModel
+
+
+class InjectedFault(Exception):
+    """A task attempt killed by a :class:`FaultPlan`.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it models a
+    dying worker, not a library bug, and the scheduler's retry loop is
+    its intended consumer.  An attempt that exhausts its retries
+    surfaces as a single :class:`~repro.errors.ExecutionError`.
+    """
+
+
+#: Task kinds a plan may kill.  ``finalize`` is excluded by design: it
+#: is the datastore commit step (Hadoop's output committer), which the
+#: fault-tolerance protocol protects rather than exercises.
+FAULT_KINDS = ("map", "shuffle", "reduce")
+
+_DENOM = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic per-attempt failure decisions.
+
+    ``should_fail(task_id, attempt)`` hashes ``(seed, task_id,
+    attempt)`` to a uniform draw in ``[0, 1)`` and kills the attempt
+    when it lands under ``probability`` — the runtime realization of
+    :attr:`repro.hadoop.faults.FaultModel.task_failure_prob`.  Because
+    the decision depends on nothing but the task's stable id and its
+    attempt number, every executor and both schedulers inject the same
+    failures, and retried attempts get independent draws (a task can
+    fail several times in a row, exactly like the analytical model's
+    independent-attempt assumption).
+    """
+
+    probability: float
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability < 1.0:
+            raise ConfigError(
+                f"FaultPlan probability must be in [0, 1), "
+                f"got {self.probability}")
+
+    @classmethod
+    def from_model(cls, model: FaultModel, seed: int = 0) -> "FaultPlan":
+        """The runtime plan realizing an analytical fault model."""
+        return cls(probability=model.task_failure_prob, seed=seed)
+
+    def model(self, detect_latency_s: float = 12.0) -> FaultModel:
+        """The analytical model this plan realizes (for calibration)."""
+        return FaultModel(task_failure_prob=self.probability,
+                          detect_latency_s=detect_latency_s)
+
+    def draw(self, task_id: str, attempt: int) -> float:
+        """The uniform [0, 1) draw for one attempt.
+
+        Hashes the seeded attempt identity with blake2b — stable across
+        processes and platforms.  A CRC is *not* good enough here: CRCs
+        are linear, so for task ids of equal length a one-character seed
+        change XORs every draw by the same constant and whole families
+        of tasks flip between alive and killed together.
+        """
+        data = f"{self.seed}|{task_id}|{attempt}".encode("utf-8")
+        digest = hashlib.blake2b(data, digest_size=8).digest()
+        return int.from_bytes(digest, "big") / _DENOM
+
+    def should_fail(self, task_id: str, attempt: int) -> bool:
+        return (self.probability > 0.0
+                and self.draw(task_id, attempt) < self.probability)

@@ -78,6 +78,7 @@ from repro.data.datastore import Datastore
 from repro.data.table import Table
 from repro.errors import ExecutionError, ReproError
 from repro.mr.counters import JobCounters, JobRun
+from repro.mr.faultplan import FAULT_KINDS, FaultPlan, InjectedFault
 from repro.mr.job import MRJob
 from repro.mr.tasks import JobTaskGraph, MapTask, ReduceTask
 from repro.reuse.cache import (CachedOutput, CacheEntry, ResultCache,
@@ -121,10 +122,15 @@ class _SerialSession:
     def submit(self, thunk: Callable[[], object],
                done: Callable[[object, Optional[BaseException]], None]
                ) -> None:
+        # Task failures are delivered through ``done``, not raised — the
+        # scheduler owns error handling (retry, unwind).  Non-Exception
+        # BaseExceptions (KeyboardInterrupt, SystemExit) are NOT task
+        # failures: they must abort the run, so they propagate here
+        # instead of being swallowed into the retry/unwind path.
         try:
             result = thunk()
-        except BaseException as exc:  # delivered, not raised: the
-            done(None, exc)           # scheduler owns error handling
+        except Exception as exc:
+            done(None, exc)
         else:
             done(result, None)
 
@@ -171,6 +177,12 @@ class _PoolSession:
         is_process = self.kind == "process"
 
         def relay(fut):
+            # Runs on a pool callback thread, so even run-aborting
+            # BaseExceptions must travel through ``done`` (raising here
+            # would vanish into the pool's callback handler); the
+            # scheduler re-raises non-Exception BaseExceptions
+            # immediately — they are never treated as retryable task
+            # failures.
             exc = fut.exception()
             if exc is None:
                 done(fut.result(), None)
@@ -281,6 +293,27 @@ class TaskTrace:
 
 
 @dataclass
+class TaskAttempt:
+    """One task attempt's fate, as the fault-tolerant scheduler saw it.
+
+    Recorded whenever fault tolerance did something observable: every
+    failed attempt (``outcome="failed"``, with the failure cause), every
+    speculative or retried attempt that committed (``outcome="ok"``),
+    and every duplicate whose sibling committed first
+    (``outcome="lost"``).  First-attempt successes are not recorded —
+    they *are* the ordinary trace.
+    """
+
+    job_id: str
+    task_id: str
+    kind: str          # "map" | "shuffle" | "reduce"
+    attempt: int       # 1-based attempt number for this task
+    outcome: str       # "ok" | "failed" | "lost"
+    cause: str = ""    # failure cause ("" for ok/lost)
+    speculative: bool = False
+
+
+@dataclass
 class RuntimeTrace:
     """What the runtime scheduled, as a real scheduling profile.
 
@@ -313,6 +346,9 @@ class RuntimeTrace:
     tasks: Dict[str, TaskTrace] = field(default_factory=dict)
     #: task id → prerequisite task ids (edges point backwards in time)
     edges: Dict[str, List[str]] = field(default_factory=dict)
+    #: retry/speculation history (failed, lost, and non-first committed
+    #: attempts), in observation order — empty on fault-free runs
+    attempts: List[TaskAttempt] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # -- recording ----------------------------------------------------------
@@ -362,7 +398,24 @@ class RuntimeTrace:
                 worker=threading.current_thread().name,
                 t=time.perf_counter()))
 
+    def record_attempt(self, attempt: TaskAttempt) -> None:
+        """Append one attempt record (thread-safe; both schedulers call
+        this only for retry/speculation events, never the common case)."""
+        with self._lock:
+            self.attempts.append(attempt)
+
     # -- inspection helpers -------------------------------------------------
+
+    @property
+    def task_retries(self) -> int:
+        """Failed attempts the scheduler retried or gave up on."""
+        return sum(1 for a in self.attempts if a.outcome == "failed")
+
+    @property
+    def speculative_wins(self) -> int:
+        """Speculative duplicates that committed before the original."""
+        return sum(1 for a in self.attempts
+                   if a.outcome == "ok" and a.speculative)
 
     def _job_intervals(self) -> Dict[str, Tuple[float, float]]:
         spans: Dict[str, Tuple[float, float]] = {}
@@ -494,6 +547,10 @@ class RuntimeTrace:
             "critical_path_s": cp_s,
             "critical_path": cp,
             "cross_job_overlap": len(self.cross_job_overlap()),
+            "task_retries": self.task_retries,
+            "speculative_wins": self.speculative_wins,
+            "lost_attempts": sum(1 for a in self.attempts
+                                 if a.outcome == "lost"),
         }
 
 
@@ -529,20 +586,114 @@ def job_spec_dependencies(jobs: Sequence[MRJob]) -> Dict[str, List[str]]:
     return {job_id: sorted(wanted) for job_id, wanted in deps.items()}
 
 
-class _Node:
-    """One schedulable unit in the dataflow ready queue."""
+# ---------------------------------------------------------------------------
+# Fault-tolerant attempt machinery
+# ---------------------------------------------------------------------------
 
-    __slots__ = ("kind", "state", "thunk", "task", "index", "trace_id")
+#: Attempt budget per task when a fault plan is active and the caller
+#: did not pick one — Hadoop's ``mapred.map.max.attempts`` default.
+#: Without a fault plan the default stays 1 (fail fast on real bugs).
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+def _injected(task_key: str, attempt: int, plan: FaultPlan) -> InjectedFault:
+    return InjectedFault(
+        f"injected fault killed {task_key} attempt {attempt} "
+        f"(p={plan.probability}, seed={plan.seed})")
+
+
+def _fault_after(plan: FaultPlan, task_key: str, attempt: int,
+                 thunk: Callable[[], object]) -> object:
+    """Run the attempt to completion, then kill it: the work happens and
+    its outputs are discarded — the strictest test of attempt isolation
+    (map and reduce attempts are pure, so a doomed attempt can leak no
+    state into the retry).  Module-level so process pools can pickle
+    the partial."""
+    result = thunk()
+    if plan.should_fail(task_key, attempt):
+        raise _injected(task_key, attempt, plan)
+    return result
+
+
+def _fault_before(plan: FaultPlan, task_key: str, attempt: int,
+                  thunk: Callable[[], object]) -> object:
+    """Kill the attempt on entry — used for shuffle, whose body folds
+    map counters into the job graph; dying before the fold keeps the
+    retry trivially idempotent."""
+    if plan.should_fail(task_key, attempt):
+        raise _injected(task_key, attempt, plan)
+    return thunk()
+
+
+def _attempt_task(task, attempt: int):
+    """The task object to run for one attempt.
+
+    Map retries get a *fresh* :class:`MapTask` over the same (job,
+    input, split) — re-planned attempt-scoped state, never the doomed
+    attempt's object.  Reduce attempts are isolated already:
+    :meth:`~repro.mr.tasks.ReduceTask.run` clones the reducer per call.
+    """
+    if attempt > 1 and isinstance(task, MapTask):
+        return MapTask(task.job, task.map_input, task.split)
+    return task
+
+
+def _run_task_attempts(task, plan: FaultPlan,
+                       max_attempts: int) -> Tuple[object, tuple]:
+    """Wave-scheduler fault shim: run one map/reduce task with local
+    retries inside the worker (the wave batch protocol has no
+    per-attempt scheduling).  Returns ``(result, failures)`` where
+    ``failures`` is a tuple of ``(attempt, cause)`` pairs for the
+    injected kills survived along the way.  Real task errors propagate
+    unretried — wave keeps its historical fail-fast semantics for
+    genuine bugs.  Module-level and closure-free so process pools can
+    pickle the partial."""
+    failures = []
+    attempt = 0
+    while True:
+        attempt += 1
+        result = _attempt_task(task, attempt).run()
+        if not plan.should_fail(task.task_id, attempt):
+            return result, tuple(failures)
+        fault = _injected(task.task_id, attempt, plan)
+        failures.append((attempt, str(fault)))
+        if attempt >= max_attempts:
+            raise ExecutionError(
+                f"job {task.job.job_id}: {task.task_id} failed after "
+                f"{attempt} of {max_attempts} attempt(s); last error: "
+                f"{fault}") from fault
+
+
+class _Node:
+    """One schedulable unit in the dataflow ready queue.
+
+    A node is the *task*; its ``attempt`` number advances each time the
+    scheduler starts (or restarts) it.  ``task_key`` is the stable task
+    identity fault plans and attempt accounting key on — identical
+    across executors and schedulers.
+    """
+
+    __slots__ = ("kind", "state", "thunk", "task", "index", "trace_id",
+                 "task_key", "prereq_ids", "attempt", "speculative",
+                 "started_at")
 
     def __init__(self, kind: str, state: "_JobState",
                  thunk: Callable[[], object],
-                 task: Optional[object] = None, index: int = 0):
+                 task: Optional[object] = None, index: int = 0,
+                 task_key: Optional[str] = None):
         self.kind = kind          # "map" | "shuffle" | "reduce" | "finalize"
         self.state = state
         self.thunk = thunk
         self.task = task
         self.index = index
         self.trace_id: Optional[str] = None
+        self.task_key = task_key or (
+            task.task_id if task is not None
+            else f"{state.job.job_id}/{kind}")
+        self.prereq_ids: List[str] = []
+        self.attempt = 0
+        self.speculative = False
+        self.started_at = 0.0
 
 
 class _JobState:
@@ -595,6 +746,15 @@ class Runtime:
     changes rows or counters.  ``scheduler`` picks the event-driven
     dataflow scheduler (default) or the historical wave driver — both
     byte-identical in rows and ``comparable()`` counters.
+
+    Fault tolerance: ``fault_plan`` (a :class:`FaultPlan`) kills task
+    attempts deterministically; ``max_attempts`` bounds retries per task
+    (default: 4 with a plan, 1 without — so real bugs still fail fast);
+    ``speculate`` lets the dataflow scheduler launch duplicate attempts
+    for straggler map/reduce tasks when workers would otherwise idle
+    (first commit wins, the loser's outputs are discarded).  None of
+    this changes rows or ``comparable()`` counters — that invariant is
+    what the fault-tolerance tests pin.
     """
 
     def __init__(self, datastore: Datastore,
@@ -602,10 +762,19 @@ class Runtime:
                  split_rows: Optional[object] = None,
                  keep_trace: bool = False,
                  result_cache: Optional[ResultCache] = None,
-                 scheduler: str = "dataflow"):
+                 scheduler: str = "dataflow",
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_attempts: Optional[int] = None,
+                 speculate: bool = False):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
+        if max_attempts is None:
+            max_attempts = (DEFAULT_MAX_ATTEMPTS if fault_plan is not None
+                            else 1)
+        if max_attempts < 1:
+            raise ExecutionError(
+                f"max_attempts must be >= 1, got {max_attempts}")
         self.datastore = datastore
         self.executor = executor or SerialExecutor()
         self.split_rows = split_rows
@@ -615,6 +784,9 @@ class Runtime:
         #: inter-query result cache (None = every job executes);
         #: consulted per job the moment its producers complete
         self.result_cache = result_cache
+        self.fault_plan = fault_plan
+        self.max_attempts = max_attempts
+        self.speculate = speculate
 
     # -- public API --------------------------------------------------------
 
@@ -724,7 +896,8 @@ class Runtime:
         offset = 0
         for graph in graphs:
             n = len(graph.map_tasks)
-            for task in graph.shuffle(map_results[offset:offset + n]):
+            for task in self._shuffle_guarded(graph,
+                                              map_results[offset:offset + n]):
                 reduce_tasks.append((graph, task))
             offset += n
         reduce_results, reduce_ids = self._run_batch(wave, "reduce",
@@ -741,6 +914,36 @@ class Runtime:
             out[graph.job.job_id] = graph.finalize(grouped[id(graph)])
         return out, map_ids + reduce_ids
 
+    def _shuffle_guarded(self, graph: JobTaskGraph,
+                         outputs: Sequence[object]) -> List[ReduceTask]:
+        """Wave-path shuffle with fault injection: injected kills fire
+        on entry (before the counter fold) and retry on the scheduler
+        thread up to ``max_attempts``; real shuffle errors are never
+        retried (a half-applied counter fold is not re-runnable)."""
+        plan = self.fault_plan
+        if plan is None:
+            return graph.shuffle(outputs)
+        key = f"{graph.job.job_id}/shuffle"
+        attempt = 0
+        while True:
+            attempt += 1
+            if not plan.should_fail(key, attempt):
+                if attempt > 1 and self.trace is not None:
+                    self.trace.record_attempt(TaskAttempt(
+                        graph.job.job_id, key, "shuffle", attempt, "ok"))
+                return graph.shuffle(outputs)
+            fault = _injected(key, attempt, plan)
+            graph.counters.task_retries += 1
+            if self.trace is not None:
+                self.trace.record_attempt(TaskAttempt(
+                    graph.job.job_id, key, "shuffle", attempt, "failed",
+                    cause=str(fault)))
+            if attempt >= self.max_attempts:
+                raise ExecutionError(
+                    f"job {graph.job.job_id}: {key} failed after "
+                    f"{attempt} of {self.max_attempts} attempt(s); "
+                    f"last error: {fault}") from fault
+
     def _run_batch(self, wave: int, kind: str, tasks,
                    prereq_ids: Sequence[str]
                    ) -> Tuple[List[object], List[str]]:
@@ -752,19 +955,61 @@ class Runtime:
             tids = [self.trace.add_task(graph.job.job_id, task.task_id,
                                         kind, prereq_ids)
                     for graph, task in tasks]
-        thunks = [self._thunk(wave, tid, task)
-                  for tid, (graph, task) in zip(tids, tasks)]
-        return self.executor.run_all(thunks), [t for t in tids
-                                               if t is not None]
+        plan = self.fault_plan
+        calls = [task.run if plan is None
+                 else partial(_run_task_attempts, task, plan,
+                              self.max_attempts)
+                 for _, task in tasks]
+        # Process pools can't ship the tracing closure (and child-process
+        # trace mutations would be lost anyway), so mark those batches
+        # coarsely on the scheduler thread instead.
+        in_process = getattr(self.executor, "kind", "serial") == "process"
+        if in_process:
+            thunks = calls
+            for tid in tids:
+                if tid is not None:
+                    self.trace.mark_start(tid, wave)
+        else:
+            thunks = [self._thunk(wave, tid, call)
+                      for tid, call in zip(tids, calls)]
+        try:
+            results = self.executor.run_all(thunks)
+        except ReproError:
+            raise
+        except Exception as exc:
+            batch_jobs = sorted({graph.job.job_id for graph, _ in tasks})
+            raise ExecutionError(
+                f"{kind} task failed in wave {wave} (jobs {batch_jobs}): "
+                f"{exc}") from exc
+        if in_process:
+            for tid in tids:
+                if tid is not None:
+                    self.trace.mark_finish(tid, wave)
+        if plan is not None:
+            unpacked = []
+            for (graph, task), (result, failures) in zip(tasks, results):
+                if failures:
+                    graph.counters.task_retries += len(failures)
+                    if self.trace is not None:
+                        for attempt, cause in failures:
+                            self.trace.record_attempt(TaskAttempt(
+                                graph.job.job_id, task.task_id, kind,
+                                attempt, "failed", cause=cause))
+                        self.trace.record_attempt(TaskAttempt(
+                            graph.job.job_id, task.task_id, kind,
+                            len(failures) + 1, "ok"))
+                unpacked.append(result)
+            results = unpacked
+        return results, [t for t in tids if t is not None]
 
-    def _thunk(self, wave, tid, task):
+    def _thunk(self, wave, tid, call):
         if tid is None:
-            return task.run
+            return call
         trace = self.trace
 
         def run():
             trace.mark_start(tid, wave)
-            result = task.run()
+            result = call()
             trace.mark_finish(tid, wave)
             return result
         return run
@@ -836,6 +1081,18 @@ class Runtime:
         finished: deque = deque()
         inflight = 0
         jobs_left = len(jobs)
+        plan = self.fault_plan
+        max_attempts = self.max_attempts
+        #: task_key → attempts started (retries + speculation share it,
+        #: so total attempts per task never exceed ``max_attempts``)
+        attempts_started: Dict[str, int] = {}
+        #: task_key → attempts currently on the executor
+        inflight_nodes: Dict[str, List[_Node]] = {}
+        #: task_keys whose result has committed (late duplicates lose)
+        done_keys: Set[str] = set()
+        #: task_key → trace id of the latest started attempt (retry
+        #: trace tasks chain behind the attempt they replace)
+        last_attempt_tid: Dict[str, str] = {}
 
         def enqueue(node: _Node) -> None:
             heapq.heappush(ready, (node.state.order, next(seq), node))
@@ -852,6 +1109,7 @@ class Runtime:
                            if states[d].finalize_trace_id is not None]
             for task in tasks:
                 node = _Node("map", st, task.run, task=task)
+                node.prereq_ids = prereqs
                 st.maps_outstanding += 1
                 if trace is not None:
                     node.trace_id = trace.add_task(
@@ -868,6 +1126,7 @@ class Runtime:
             outputs = [st.map_results[id(task)]
                        for task in st.graph.map_tasks]
             node = _Node("shuffle", st, partial(st.graph.shuffle, outputs))
+            node.prereq_ids = list(st.map_trace_ids)
             if trace is not None:
                 node.trace_id = trace.add_task(
                     st.job.job_id, f"{st.job.job_id}/shuffle", "shuffle",
@@ -940,6 +1199,7 @@ class Runtime:
                     rnode = _Node("reduce", st, task.run, task=task,
                                   index=index)
                     if trace is not None:
+                        rnode.prereq_ids = [st.shuffle_trace_id]
                         rnode.trace_id = trace.add_task(
                             st.job.job_id, task.task_id, "reduce",
                             [st.shuffle_trace_id])
@@ -990,24 +1250,161 @@ class Runtime:
             cap = max(1, getattr(session, "workers", 1))
             offload_shuffle = getattr(session, "kind", "serial") == "thread"
 
-            def dispatch() -> None:
+            def attempt_trace(node: _Node) -> None:
+                """Stamp this attempt's start.  Retries and speculative
+                duplicates become trace tasks of their own: a retry
+                chains behind the attempt it replaces, a duplicate
+                inherits the original's prerequisites (it races, it
+                does not follow)."""
+                if trace is None:
+                    return
+                if node.attempt > 1 or node.speculative:
+                    prereqs = list(node.prereq_ids)
+                    prev = last_attempt_tid.get(node.task_key)
+                    if prev is not None and not node.speculative:
+                        prereqs.append(prev)
+                    node.trace_id = trace.add_task(
+                        node.state.job.job_id,
+                        f"{node.task_key}@a{node.attempt}",
+                        node.kind, prereqs)
+                if node.trace_id is not None:
+                    last_attempt_tid[node.task_key] = node.trace_id
+                    trace.mark_start(node.trace_id)
+
+            def begin(node: _Node) -> None:
+                """Start the next attempt of a node: fresh attempt-
+                scoped task object, fault-plan wrapper, then inline run
+                (finalize, and shuffle off thread pools) or session
+                submission."""
                 nonlocal inflight
+                key = node.task_key
+                n = attempts_started.get(key, 0) + 1
+                attempts_started[key] = n
+                node.attempt = n
+                attempt_trace(node)
+                thunk = node.thunk
+                if node.task is not None:
+                    thunk = _attempt_task(node.task, n).run
+                if plan is not None and node.kind in FAULT_KINDS:
+                    wrap = (_fault_before if node.kind == "shuffle"
+                            else _fault_after)
+                    thunk = partial(wrap, plan, key, n, thunk)
+                if node.kind == "finalize" or (
+                        node.kind == "shuffle" and not offload_shuffle):
+                    try:
+                        result = thunk()
+                    except Exception as exc:
+                        settle(node, None, exc)
+                    else:
+                        settle(node, result, None)
+                    return
+                inflight += 1
+                node.started_at = time.perf_counter()
+                inflight_nodes.setdefault(key, []).append(node)
+                session.submit(
+                    thunk,
+                    partial(lambda nd, res, err:
+                            completions.put((nd, res, err)), node))
+
+            def settle(node: _Node, result: object,
+                       error: Optional[BaseException]) -> None:
+                """One attempt finished: commit its result, retry the
+                task, or unwind the run."""
+                key = node.task_key
+                siblings = inflight_nodes.get(key)
+                if siblings and node in siblings:
+                    siblings.remove(node)
+                if error is not None and not isinstance(error, Exception):
+                    # KeyboardInterrupt / SystemExit: run-aborting,
+                    # never a retryable task failure.
+                    raise error
+                st = node.state
+                if key in done_keys:
+                    # A duplicate attempt already committed this task:
+                    # this one lost the race; discard its outputs.
+                    if node.trace_id is not None:
+                        trace.mark_finish(node.trace_id)
+                    if trace is not None:
+                        trace.record_attempt(TaskAttempt(
+                            st.job.job_id, key, node.kind, node.attempt,
+                            "lost",
+                            cause="" if error is None else repr(error),
+                            speculative=node.speculative))
+                    return
+                if error is None:
+                    done_keys.add(key)
+                    if node.trace_id is not None:
+                        trace.mark_finish(node.trace_id)
+                    if node.speculative:
+                        st.graph.counters.speculative_wins += 1
+                    if (node.speculative or node.attempt > 1) \
+                            and trace is not None:
+                        trace.record_attempt(TaskAttempt(
+                            st.job.job_id, key, node.kind, node.attempt,
+                            "ok", speculative=node.speculative))
+                    handle(node, result)
+                    return
+                # -- a failed attempt ----------------------------------
+                if node.trace_id is not None:
+                    trace.mark_finish(node.trace_id)
+                if trace is not None:
+                    trace.record_attempt(TaskAttempt(
+                        st.job.job_id, key, node.kind, node.attempt,
+                        "failed", cause=repr(error),
+                        speculative=node.speculative))
+                st.graph.counters.task_retries += 1
+                retryable = (node.kind in ("map", "reduce")
+                             or (node.kind == "shuffle"
+                                 and isinstance(error, InjectedFault)))
+                if inflight_nodes.get(key):
+                    return  # a sibling attempt still runs this task
+                if retryable and attempts_started[key] < max_attempts:
+                    node.speculative = False
+                    enqueue(node)
+                    return
+                used = attempts_started[key]
+                if isinstance(error, ExecutionError):
+                    raise error  # already actionable (e.g. pickle hint)
+                if used > 1 or max_attempts > 1:
+                    raise ExecutionError(
+                        f"job {st.job.job_id}: {node.kind} task {key} "
+                        f"failed after {used} of {max_attempts} "
+                        f"attempt(s); last error: {error}") from error
+                raise ExecutionError(
+                    f"job {st.job.job_id}: {node.kind} task {key} "
+                    f"failed: {error}") from error
+
+            def dispatch() -> None:
                 while ready and inflight < cap:
                     _, _, node = heapq.heappop(ready)
-                    if node.trace_id is not None:
-                        trace.mark_start(node.trace_id)
-                    if node.kind == "finalize" or (
-                            node.kind == "shuffle" and not offload_shuffle):
-                        result = node.thunk()
-                        if node.trace_id is not None:
-                            trace.mark_finish(node.trace_id)
-                        handle(node, result)
-                        continue
-                    inflight += 1
-                    session.submit(
-                        node.thunk,
-                        partial(lambda n, res, err:
-                                completions.put((n, res, err)), node))
+                    begin(node)
+
+            def speculate_stragglers() -> None:
+                """The ready queue is dry and workers idle: duplicate
+                the longest-running lone map/reduce attempt (first
+                commit wins, the loser's outputs are discarded — the
+                TaskTracker speculative-execution move)."""
+                while inflight < cap:
+                    straggler: Optional[_Node] = None
+                    for key, nodes in inflight_nodes.items():
+                        if len(nodes) != 1 or key in done_keys:
+                            continue
+                        cand = nodes[0]
+                        if (cand.kind not in ("map", "reduce")
+                                or attempts_started[key] >= max_attempts):
+                            continue
+                        if (straggler is None
+                                or cand.started_at < straggler.started_at):
+                            straggler = cand
+                    if straggler is None:
+                        return
+                    dup = _Node(straggler.kind, straggler.state,
+                                straggler.thunk, task=straggler.task,
+                                index=straggler.index,
+                                task_key=straggler.task_key)
+                    dup.speculative = True
+                    dup.prereq_ids = list(straggler.prereq_ids)
+                    begin(dup)
 
             for job in jobs:
                 st = states[job.job_id]
@@ -1024,6 +1421,8 @@ class Runtime:
                     continue
                 if jobs_left == 0 and inflight == 0:
                     break
+                if self.speculate:
+                    speculate_stragglers()
                 if inflight == 0:
                     stuck = sorted(jid for jid in states
                                    if jid not in counters)
@@ -1032,11 +1431,7 @@ class Runtime:
                         f"{stuck}")
                 node, result, error = completions.get()
                 inflight -= 1
-                if error is not None:
-                    raise error
-                if node.trace_id is not None:
-                    trace.mark_finish(node.trace_id)
-                handle(node, result)
+                settle(node, result, error)
 
         return counters, cached_ids
 

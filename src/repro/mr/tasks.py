@@ -67,7 +67,7 @@ from repro.data.table import Row, Table
 from repro.errors import ExecutionError
 from repro.expr.aggregates import accumulator_factory
 from repro.mr.counters import JobCounters
-from repro.mr.job import MRJob, MapInput
+from repro.mr.job import MRJob, MapInput, OutputSpec
 from repro.mr.kv import Key, TaggedValue, pairs_bytes, rows_bytes
 
 
@@ -787,6 +787,12 @@ class JobTaskGraph:
                 if task_id in buffers:
                     buffers[task_id].extend(rows)
 
+        # Two-phase commit: build every output table first, then write
+        # them all.  A failure while building (e.g. a missing column on
+        # the second output) must leave the datastore untouched — no
+        # partially committed job — so the error-path unwind and any
+        # retry of the whole job see a clean store.
+        staged: List[Tuple[OutputSpec, Table, List[Row]]] = []
         for out in job.outputs:
             rows = buffers[out.task_id]
             if job.limit is not None:
@@ -800,7 +806,8 @@ class JobTaskGraph:
                     f"job {job.job_id} output {out.dataset!r} is missing "
                     f"column {exc.args[0]!r}") from None
             schema = Schema(Column(c, ColumnType.ANY) for c in out.columns)
-            table = Table(out.dataset, schema, rows)
+            staged.append((out, Table(out.dataset, schema, rows), rows))
+        for out, table, rows in staged:
             self.datastore.write_intermediate(out.dataset, table)
             counters.output_records[out.dataset] = len(rows)
             counters.output_bytes[out.dataset] = rows_bytes(rows)

@@ -23,6 +23,7 @@ from repro.data.tpch import TpchConfig, generate_tpch
 from repro.hadoop.config import ClusterConfig
 from repro.hadoop.costmodel import HadoopCostModel, QueryTiming
 from repro.mr.counters import JobRun
+from repro.mr.faultplan import FaultPlan
 from repro.mr.runtime import Runtime, RuntimeTrace, make_executor
 from repro.reuse.cache import ResultCache
 
@@ -83,7 +84,10 @@ def run_translation(translation: Translation, datastore: Datastore,
                     split_rows: Optional[object] = None,
                     keep_trace: bool = False,
                     cache: Optional[ResultCache] = None,
-                    scheduler: str = "dataflow") -> QueryRunResult:
+                    scheduler: str = "dataflow",
+                    fault_plan: Optional[FaultPlan] = None,
+                    max_attempts: Optional[int] = None,
+                    speculate: bool = False) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -103,10 +107,18 @@ def run_translation(translation: Translation, datastore: Datastore,
     to a cold run), and freshly executed jobs are admitted under the
     cache's byte budget.  Pass the same cache across calls — a
     :class:`~repro.workloads.WorkloadSession` does this for a stream.
+
+    ``fault_plan`` (with ``max_attempts`` / ``speculate``) turns on the
+    runtime's fault-tolerance machinery: deterministic injected task
+    kills, bounded retries, and optional speculative duplicates — rows
+    and ``comparable()`` counters stay byte-identical to a fault-free
+    run (see :mod:`repro.mr.faultplan`).
     """
     runtime = Runtime(datastore, executor=make_executor(parallelism),
                       split_rows=split_rows, keep_trace=keep_trace,
-                      result_cache=cache, scheduler=scheduler)
+                      result_cache=cache, scheduler=scheduler,
+                      fault_plan=fault_plan, max_attempts=max_attempts,
+                      speculate=speculate)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     table = datastore.intermediate(translation.final_dataset)
@@ -133,7 +145,10 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               split_rows: Optional[object] = None,
               keep_trace: bool = False,
               cache: Optional[ResultCache] = None,
-              scheduler: str = "dataflow") -> QueryRunResult:
+              scheduler: str = "dataflow",
+              fault_plan: Optional[FaultPlan] = None,
+              max_attempts: Optional[int] = None,
+              speculate: bool = False) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -152,4 +167,5 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
     return run_translation(translation, datastore, cluster, instance,
                            parallelism=parallelism, split_rows=split_rows,
                            keep_trace=keep_trace, cache=cache,
-                           scheduler=scheduler)
+                           scheduler=scheduler, fault_plan=fault_plan,
+                           max_attempts=max_attempts, speculate=speculate)

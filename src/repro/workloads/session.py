@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.data.datastore import Datastore
 from repro.hadoop.config import ClusterConfig
+from repro.mr.faultplan import FaultPlan
 from repro.reuse.cache import CacheStats, ResultCache
 from repro.workloads.runner import QueryRunResult, run_query
 
@@ -57,7 +58,10 @@ class WorkloadSession:
                  split_rows: Optional[object] = None,
                  num_reducers: Optional[int] = None,
                  namespace_prefix: str = "ws",
-                 scheduler: str = "dataflow"):
+                 scheduler: str = "dataflow",
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_attempts: Optional[int] = None,
+                 speculate: bool = False):
         self.datastore = datastore
         self.mode = mode
         self.cluster = cluster
@@ -66,6 +70,10 @@ class WorkloadSession:
         self.scheduler = scheduler
         self.num_reducers = num_reducers
         self.namespace_prefix = namespace_prefix
+        #: fault-tolerance knobs forwarded to every query's Runtime
+        self.fault_plan = fault_plan
+        self.max_attempts = max_attempts
+        self.speculate = speculate
         self.cache: Optional[ResultCache] = (
             ResultCache(budget_bytes=int(cache_mb * 1024 * 1024))
             if cache_mb else None)
@@ -82,7 +90,9 @@ class WorkloadSession:
             sql, self.datastore, mode=self.mode, cluster=self.cluster,
             namespace=namespace, num_reducers=self.num_reducers,
             parallelism=self.parallelism, split_rows=self.split_rows,
-            cache=self.cache, scheduler=self.scheduler)
+            cache=self.cache, scheduler=self.scheduler,
+            fault_plan=self.fault_plan, max_attempts=self.max_attempts,
+            speculate=self.speculate)
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,

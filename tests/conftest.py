@@ -69,3 +69,28 @@ def suite_executor_kind():
     always stay on threads regardless of this knob.
     """
     return os.environ.get("REPRO_SUITE_EXECUTOR", "thread")
+
+
+# -- fault-injection suite leg (REPRO_SUITE_FAULTS=1) ------------------------
+#
+# The CI leg runs the whole tier-1 suite with low-probability injected
+# task kills: every Runtime that did not ask for fault tolerance gets a
+# seeded FaultPlan and a generous retry budget.  Because results and
+# comparable() counters are byte-identical under injection, the entire
+# suite must pass unchanged — the strongest whole-system statement of
+# the fault-tolerance invariant.
+
+if os.environ.get("REPRO_SUITE_FAULTS"):
+    from repro.mr.faultplan import FaultPlan
+    from repro.mr.runtime import Runtime
+
+    _SUITE_FAULT_PLAN = FaultPlan(0.02, seed=11)
+    _orig_runtime_init = Runtime.__init__
+
+    def _faulty_runtime_init(self, *args, **kwargs):
+        if kwargs.get("fault_plan") is None and "max_attempts" not in kwargs:
+            kwargs["fault_plan"] = _SUITE_FAULT_PLAN
+            kwargs["max_attempts"] = 20
+        _orig_runtime_init(self, *args, **kwargs)
+
+    Runtime.__init__ = _faulty_runtime_init

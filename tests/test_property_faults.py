@@ -1,0 +1,202 @@
+"""Property-based tests for the fault-tolerant runtime: for ANY fault
+seed, ANY failure probability in [0, 0.3], ANY executor/scheduler, and
+ANY supported query, a run with injected task kills is byte-identical —
+rows, ``comparable()`` counters, and intermediate datasets — to the
+fault-free run, and the scheduler never starts more attempts than
+``tasks * max_attempts``.
+
+This generalizes the retry-identity examples in
+``tests/test_runtime_faults.py`` the same way
+``tests/test_property_runtime.py`` generalizes the executor-identity
+examples: the invariant must hold for *every* plan, not the seeds we
+happened to pick.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.mr import (
+    EmitSpec,
+    FAULT_KINDS,
+    FaultPlan,
+    MapInput,
+    MRJob,
+    OutputSpec,
+    ParallelExecutor,
+    Runtime,
+    make_executor,
+)
+from repro.ops import SPTask, TaskInput
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore
+
+_ns = itertools.count(1)
+
+MAX_ATTEMPTS = 20
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=25)
+
+seeds = st.integers(0, 2 ** 16)
+probabilities = st.floats(0.0, 0.3, allow_nan=False)
+worker_choices = st.integers(1, 5)  # 1 selects the serial executor
+scheduler_choices = st.sampled_from(["dataflow", "wave"])
+split_choices = st.one_of(st.none(), st.integers(1, 8))
+
+QUERY_SHAPES = [
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g",
+    "SELECT f.g, count(DISTINCT f.v) AS a FROM fact AS f "
+    "WHERE f.v > 0 GROUP BY f.g",
+    "SELECT f.k, f.v FROM fact AS f, "
+    "(SELECT g, avg(v) AS a FROM fact GROUP BY g) AS m "
+    "WHERE f.g = m.g AND f.v < m.a",
+    "SELECT count(*) AS n, max(f.v) AS m FROM fact AS f",
+]
+
+
+def make_datastore(fact):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)), fact))
+    return ds
+
+
+def snapshot(datastore, jobs):
+    return {name: list(datastore.intermediate(name).rows)
+            for job in jobs for name in job.output_datasets}
+
+
+def assert_attempt_budget_respected(trace, max_attempts):
+    """Started attempts never exceed the per-task retry budget."""
+    planned = sum(1 for t in trace.tasks.values()
+                  if t.kind in FAULT_KINDS and "@a" not in t.task_id)
+    extra = sum(1 for t in trace.tasks.values() if "@a" in t.task_id)
+    assert planned + extra <= planned * max_attempts
+
+
+def check_faults_invisible(jobs, dependencies, datastore, plan,
+                           workers=1, scheduler="dataflow",
+                           split_rows=None, speculate=False):
+    base = Runtime(datastore, split_rows=split_rows)
+    runs_base = base.run_jobs(jobs, dependencies=dependencies)
+    mid_base = snapshot(datastore, jobs)
+
+    faulty = Runtime(datastore, executor=make_executor(workers),
+                     scheduler=scheduler, split_rows=split_rows,
+                     fault_plan=plan, max_attempts=MAX_ATTEMPTS,
+                     speculate=speculate, keep_trace=True)
+    runs = faulty.run_jobs(jobs, dependencies=dependencies)
+
+    assert [r.counters.comparable() for r in runs] == \
+        [r.counters.comparable() for r in runs_base]
+    assert snapshot(datastore, jobs) == mid_base
+    assert sum(r.counters.task_retries for r in runs) \
+        == faulty.trace.task_retries
+    assert_attempt_budget_respected(faulty.trace, MAX_ATTEMPTS)
+
+
+common = settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(fact=fact_rows, shape=st.sampled_from(QUERY_SHAPES),
+       seed=seeds, probability=probabilities,
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_random_faults_invisible_on_random_plans(fact, shape, seed,
+                                                 probability, workers,
+                                                 scheduler, split_rows):
+    ds = make_datastore(fact)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"pf{next(_ns)}")
+    check_faults_invisible(tr.jobs, tr.dependencies(), ds,
+                           FaultPlan(probability, seed=seed),
+                           workers=workers, scheduler=scheduler,
+                           split_rows=split_rows)
+
+
+_paper_store = None
+
+
+def paper_store():
+    global _paper_store
+    if _paper_store is None:
+        _paper_store = build_datastore(tpch_scale=0.002,
+                                       clickstream_users=40, seed=11)
+    return _paper_store
+
+
+# The cheap end of the paper workload; the full set runs in the
+# fault-injection suite leg (REPRO_SUITE_FAULTS=1) and the benchmark.
+PAPER_SAMPLE = ["q_agg", "q_csa", "q17"]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(PAPER_SAMPLE), seed=seeds,
+       probability=probabilities, workers=worker_choices,
+       scheduler=scheduler_choices, speculate=st.booleans())
+def test_random_faults_invisible_on_paper_queries(name, seed, probability,
+                                                  workers, scheduler,
+                                                  speculate):
+    ds = paper_store()
+    tr = translate_sql(paper_queries()[name], catalog=ds.catalog,
+                       namespace=f"pfq{next(_ns)}.{name}")
+    check_faults_invisible(tr.jobs, tr.dependencies(), ds,
+                           FaultPlan(probability, seed=seed),
+                           workers=workers, scheduler=scheduler,
+                           split_rows="auto", speculate=speculate)
+
+
+# -- process pools: hand-built picklable jobs (translator jobs carry
+# closures and cannot cross a process boundary) ------------------------------
+
+def _emit_kv(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def picklable_chain(ns):
+    def job(job_id, dataset, out):
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        return MRJob(
+            job_id=job_id, name="pass",
+            map_inputs=[MapInput(dataset, [EmitSpec("in", _emit_kv)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec(out, "sp", ["k", "v"])])
+    return [job(f"{ns}.a", "fact", f"{ns}.a.out"),
+            job(f"{ns}.b", f"{ns}.a.out", f"{ns}.b.out")]
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, seed=seeds, probability=probabilities,
+       scheduler=scheduler_choices)
+def test_random_faults_invisible_on_process_pools(fact, seed, probability,
+                                                  scheduler):
+    ds = make_datastore(fact)
+    ns = f"pp{next(_ns)}"
+    jobs = picklable_chain(ns)
+    base = Runtime(ds, split_rows=8).run_jobs(picklable_chain(ns))
+    mid_base = snapshot(ds, jobs)
+    faulty = Runtime(ds, executor=ParallelExecutor(max_workers=2,
+                                                   kind="process"),
+                     scheduler=scheduler, split_rows=8,
+                     fault_plan=FaultPlan(probability, seed=seed),
+                     max_attempts=MAX_ATTEMPTS, keep_trace=True)
+    runs = faulty.run_jobs(jobs)
+    assert snapshot(ds, jobs) == mid_base
+    assert [r.counters.comparable() for r in runs] == \
+        [r.counters.comparable() for r in base]
+    assert_attempt_budget_respected(faulty.trace, MAX_ATTEMPTS)

@@ -173,6 +173,8 @@ class TestExecutors:
             ParallelExecutor(kind="fiber")
 
     def test_task_exception_propagates(self):
+        # A real task bug surfaces as exactly one actionable
+        # ExecutionError naming the task, chained to the original.
         def boom(record):
             raise ValueError("bad record")
 
@@ -180,8 +182,9 @@ class TestExecutors:
             map_inputs=[MapInput("nums", [EmitSpec("in", boom)])])
         runtime = Runtime(small_datastore(),
                           executor=ParallelExecutor(max_workers=2))
-        with pytest.raises(ValueError, match="bad record"):
+        with pytest.raises(ExecutionError, match="bad record") as info:
             runtime.run_job(job)
+        assert isinstance(info.value.__cause__, ValueError)
 
     def test_process_executor_reports_unpicklable_thunks(self):
         # Lambdas raise pickle.PicklingError, the most common failure

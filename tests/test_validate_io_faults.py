@@ -201,6 +201,25 @@ class TestFaultModel:
         fm = FaultModel(task_failure_prob=0.5)
         assert math.isinf(expected_pipelined_time(100, 10_000, fm))
 
+    def test_pipelined_half_rerun_formula_pinned(self):
+        # Each failed attempt dies, in expectation, half way through:
+        # base * (1 + 0.5*(E-1)) + detect * (E-1), E = (1-p)^-n.
+        fm = FaultModel(task_failure_prob=0.1, detect_latency_s=12.0)
+        e = (1.0 - 0.1) ** -20
+        assert expected_pipelined_time(100, 20, fm) == pytest.approx(
+            100 * (1.0 + 0.5 * (e - 1.0)) + 12.0 * (e - 1.0))
+
+    def test_failed_attempt_costs_half_a_run(self):
+        # The regression this pins: an earlier spelling cancelled the
+        # half-run term back to a FULL rerun per failure.  With no
+        # detection latency the expected time must sit strictly below
+        # the full-rerun bound base * E and above the lower bound base.
+        fm = FaultModel(task_failure_prob=0.2, detect_latency_s=0.0)
+        e = (1.0 - 0.2) ** -5
+        t = expected_pipelined_time(100, 5, fm)
+        assert t == pytest.approx(100 * (1.0 + 0.5 * (e - 1.0)))
+        assert 100 < t < 100 * e
+
     def test_cost_model_integration(self):
         from tests.test_costmodel import counters
         base = small_cluster(data_scale=100)
