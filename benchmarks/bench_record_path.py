@@ -5,10 +5,12 @@ Every optimized kernel on the record path is benchmarked against the
 and monkeypatched back in (``legacy_record_path()``), so before/after
 run the same translator output on the same data in the same process:
 
-* **macro** — the full TPC-H/clickstream paper workload end to end,
-  legacy vs optimized, with the optimized engine's per-phase wall-clock
-  breakdown (``JobCounters.phase_wall_s``) and a row/counter identity
-  check (the overhaul must not move a byte);
+* **macro** — the full TPC-H/clickstream paper workload end to end in
+  three arms — seed kernels (``legacy``), the optimized per-row engine
+  (``row``), and the columnar batch plane (``batch``, the default) —
+  with the batch engine's per-phase wall-clock breakdown
+  (``JobCounters.phase_wall_s``) and a row/counter identity check
+  across all three (no overhaul may move a byte);
 * **micro** — each kernel in isolation: map emit (merge + partition),
   shuffle key sort (comparator vs sort-key vector), reduce dispatch
   (deepcopy + per-check role sets vs clone + bound dispatch table), and
@@ -20,7 +22,8 @@ Writes ``BENCH_record_path.json`` at the repo root.  Run standalone::
     PYTHONPATH=src python benchmarks/bench_record_path.py --smoke  # CI
 
 ``--smoke`` uses a tiny dataset and one repeat, and exits nonzero
-unless the macro workload is both identical and faster (ratio > 1.0).
+unless the macro workload is identical across all three arms and both
+ratios are wins (batch vs legacy > 1.0 and batch vs row > 1.0).
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import argparse
 import contextlib
 import copy
 import functools
+import math
 import os
 import sys
 from typing import Dict, List
@@ -204,6 +208,15 @@ def _legacy_common_reduce(self, key, values):
     return outputs
 
 
+def _legacy_compute_ops(self):
+    """Seed ``CommonReducer.compute_ops``: drains the per-group deltas
+    ``_legacy_common_reduce`` accumulates (the live engine reads the
+    tasks' own counters instead, which the seed reduce loop does not
+    reset — patching both keeps the pair consistent)."""
+    ops, self._compute = self._compute, 0
+    return ops
+
+
 def _legacy_stages_run(self, rows):
     """Seed ``CompiledStages.run``: one materialized list per stage."""
     for kind, op in self._ops:
@@ -231,8 +244,13 @@ def _legacy_estimated_bytes(self):
     return total
 
 
-def _legacy_plan_splits(dataset, table, split_rows):
-    """Seed ``_plan_splits``: copies every table's rows, split or not."""
+def _legacy_plan_splits(dataset, table, split_rows, batch=False):
+    """Seed ``_plan_splits``: copies every table's rows, split or not.
+
+    ``batch`` is a signature-compat shim (the live graph passes it); the
+    seed engine had no batch plane, so it is ignored — the legacy arms
+    always run with ``data_plane="row"``.
+    """
     rows = table.rows
     if split_rows is None or len(rows) <= split_rows:
         return [InputSplit(dataset, 0, 0, list(rows))]
@@ -394,6 +412,7 @@ def legacy_record_path():
         (mr_tasks.JobTaskGraph, "_range_partitions", _legacy_range_partitions),
         (mr_tasks, "_plan_splits", _legacy_plan_splits),
         (CommonReducer, "reduce", _legacy_common_reduce),
+        (CommonReducer, "compute_ops", _legacy_compute_ops),
         (ops_tasks.CompiledStages, "run", _legacy_stages_run),
         (ops_tasks.CompiledStages, "run_one", _legacy_stages_run_one),
         (Table, "estimated_bytes", _legacy_estimated_bytes),
@@ -425,17 +444,37 @@ def _phase_totals(runs) -> Dict[str, float]:
     return totals
 
 
+def _run_signature(measurement) -> tuple:
+    """Rows + comparable counters: what byte-identity pins per arm."""
+    return (measurement.result.rows,
+            [r.counters.comparable() for r in measurement.result.runs])
+
+
 def macro_benchmark(datastore, repeats: int) -> Dict[str, object]:
+    """Three arms per paper query: the seed kernels (``legacy``), the
+    optimized per-row engine (``row``), and the columnar batch plane
+    (``batch``, the default engine).  All three must agree byte for byte
+    on rows and ``comparable()`` counters.
+
+    The headline ``speedup``/``batch_over_row`` figures are the
+    geometric mean of the per-query ratios — the macro-average, each
+    query weighted equally, as SPEC aggregates workload speedups — so
+    the synthetic size mix of the generated tables does not decide the
+    weighting.  The wall-clock-total ratios (micro-average, runtime
+    weighted) are reported alongside as ``*_wall``."""
     queries: Dict[str, object] = {}
-    total_legacy = total_opt = 0.0
+    total_legacy = total_row = total_batch = 0.0
     all_identical = True
     for name, sql in sorted(paper_queries().items()):
         translation = translate_sql(sql, catalog=datastore.catalog,
                                     namespace=f"bench.{name}",
                                     num_reducers=8)
 
-        def run_it(tr=translation):
-            return run_translation(tr, datastore)
+        def run_row(tr=translation):
+            return run_translation(tr, datastore, data_plane="row")
+
+        def run_batch(tr=translation):
+            return run_translation(tr, datastore, data_plane="batch")
 
         with legacy_record_path():
             # Translate under the patch too: emit closures are baked in
@@ -446,32 +485,48 @@ def macro_benchmark(datastore, repeats: int) -> Dict[str, object]:
                                                num_reducers=8)
 
             def run_legacy(tr=legacy_translation):
-                return run_translation(tr, datastore)
+                return run_translation(tr, datastore, data_plane="row")
 
             legacy = measure(f"legacy:{name}", run_legacy, repeats=repeats)
-        optimized = measure(f"optimized:{name}", run_it, repeats=repeats)
+        row = measure(f"row:{name}", run_row, repeats=repeats)
+        batch = measure(f"batch:{name}", run_batch, repeats=repeats)
 
-        identical = (
-            optimized.result.rows == legacy.result.rows
-            and [r.counters.comparable() for r in optimized.result.runs]
-            == [r.counters.comparable() for r in legacy.result.runs])
+        sig = _run_signature(batch)
+        identical = (sig == _run_signature(row)
+                     and sig == _run_signature(legacy))
         all_identical = all_identical and identical
         total_legacy += legacy.median_s
-        total_opt += optimized.median_s
+        total_row += row.median_s
+        total_batch += batch.median_s
         queries[name] = {
             "legacy_s": legacy.median_s,
-            "optimized_s": optimized.median_s,
-            "speedup": speedup(legacy, optimized),
+            "row_s": row.median_s,
+            "batch_s": batch.median_s,
+            "speedup": speedup(legacy, batch),
+            "batch_over_row": speedup(row, batch),
             "identical": identical,
-            "jobs": len(optimized.result.runs),
-            "rows": len(optimized.result.rows),
-            "phase_wall_s": _phase_totals(optimized.result.runs),
+            "jobs": len(batch.result.runs),
+            "rows": len(batch.result.rows),
+            "batches": sum(r.counters.batches for r in batch.result.runs),
+            "phase_wall_s": _phase_totals(batch.result.runs),
         }
+    def geomean(key: str) -> float:
+        ratios = [entry[key] for entry in queries.values()]
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
     return {
         "queries": queries,
         "total_legacy_s": total_legacy,
-        "total_optimized_s": total_opt,
-        "speedup": (total_legacy / total_opt) if total_opt else float("inf"),
+        "total_row_s": total_row,
+        "total_batch_s": total_batch,
+        "speedup": geomean("speedup"),
+        "batch_over_row": geomean("batch_over_row"),
+        "speedup_wall": (total_legacy / total_batch) if total_batch
+        else float("inf"),
+        "row_speedup_wall": (total_legacy / total_row) if total_row
+        else float("inf"),
+        "batch_over_row_wall": (total_row / total_batch) if total_batch
+        else float("inf"),
         "identical": all_identical,
     }
 
@@ -480,19 +535,21 @@ def macro_benchmark(datastore, repeats: int) -> Dict[str, object]:
 # Micro: each kernel in isolation
 # ---------------------------------------------------------------------------
 
-def micro_map_emit(datastore, repeats: int):
+def micro_map_emit(datastore, repeats: int) -> Dict[str, object]:
     """The map kernel on a real translated job (q17's lineitem scans
-    exercise the multi-spec merge; its orders scan the single-spec
-    fast path)."""
+    exercise the multi-spec merge; its orders scan the single-spec fast
+    path) — three arms: seed kernel, per-row kernel, batch kernel."""
     translation = translate_sql(paper_queries()["q17"],
                                 catalog=datastore.catalog,
                                 namespace="bench.micro_map", num_reducers=8)
     # Only the first job scans base tables (later jobs read intermediates
     # that exist only mid-chain); its map tasks are the kernel under test.
-    graph = JobTaskGraph(translation.jobs[0], datastore)
-    tasks = list(graph.map_tasks)
+    row_tasks = list(JobTaskGraph(translation.jobs[0], datastore,
+                                  data_plane="row").map_tasks)
+    batch_tasks = list(JobTaskGraph(translation.jobs[0], datastore,
+                                    data_plane="batch").map_tasks)
 
-    def run_all(ts=tasks):
+    def run_all(ts):
         return [task.run().counters.output_records for task in ts]
 
     with legacy_record_path():
@@ -503,12 +560,17 @@ def micro_map_emit(datastore, repeats: int):
                                            namespace="bench.micro_map",
                                            num_reducers=8)
         legacy_tasks = list(
-            JobTaskGraph(legacy_translation.jobs[0], datastore).map_tasks)
+            JobTaskGraph(legacy_translation.jobs[0], datastore,
+                         data_plane="row").map_tasks)
         legacy = measure("legacy",
                          lambda: run_all(legacy_tasks), repeats=repeats)
-    optimized = measure("optimized", run_all, repeats=repeats)
-    assert optimized.result == legacy.result
-    return legacy, optimized
+    row = measure("row", lambda: run_all(row_tasks), repeats=repeats)
+    batch = measure("batch", lambda: run_all(batch_tasks), repeats=repeats)
+    assert batch.result == row.result == legacy.result
+    return {"legacy": legacy.to_dict(), "row": row.to_dict(),
+            "batch": batch.to_dict(),
+            "speedup": speedup(legacy, batch),
+            "batch_over_row": speedup(row, batch)}
 
 
 def micro_shuffle_sort(repeats: int, n_keys: int = 20000):
@@ -614,9 +676,9 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny data, one repeat; exit 1 unless the "
                              "macro workload is identical and faster")
-    parser.add_argument("--scale", type=float, default=0.002,
+    parser.add_argument("--scale", type=float, default=0.004,
                         help="TPC-H scale factor for the macro workload")
-    parser.add_argument("--users", type=int, default=60,
+    parser.add_argument("--users", type=int, default=120,
                         help="clickstream users for the macro workload")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", default=DEFAULT_OUT)
@@ -630,7 +692,7 @@ def main(argv=None) -> int:
 
     macro = macro_benchmark(datastore, args.repeats)
     micro = {
-        "map_emit": _micro_entry(micro_map_emit(datastore, args.repeats)),
+        "map_emit": micro_map_emit(datastore, args.repeats),
         "shuffle_sort": _micro_entry(micro_shuffle_sort(args.repeats)),
         "reduce_dispatch": _micro_entry(
             micro_reduce_dispatch(args.repeats)),
@@ -648,26 +710,39 @@ def main(argv=None) -> int:
     write_json(args.out, payload)
 
     print(f"macro: legacy {macro['total_legacy_s'] * 1e3:.1f}ms -> "
-          f"optimized {macro['total_optimized_s'] * 1e3:.1f}ms "
-          f"({macro['speedup']:.2f}x), identical={macro['identical']}")
+          f"row {macro['total_row_s'] * 1e3:.1f}ms -> "
+          f"batch {macro['total_batch_s'] * 1e3:.1f}ms "
+          f"(geomean {macro['speedup']:.2f}x vs legacy, "
+          f"{macro['batch_over_row']:.2f}x vs row; "
+          f"wall {macro['speedup_wall']:.2f}x / "
+          f"{macro['batch_over_row_wall']:.2f}x), "
+          f"identical={macro['identical']}")
     for name, entry in sorted(macro["queries"].items()):
         phases = entry["phase_wall_s"]
         breakdown = " ".join(f"{p}={phases.get(p, 0.0) * 1e3:.1f}ms"
                              for p in ("map", "shuffle", "reduce",
                                        "finalize"))
         print(f"   {name:<12} {entry['legacy_s'] * 1e3:>8.1f}ms -> "
-              f"{entry['optimized_s'] * 1e3:>7.1f}ms "
-              f"({entry['speedup']:>5.2f}x)  [{breakdown}]")
+              f"{entry['row_s'] * 1e3:>7.1f}ms -> "
+              f"{entry['batch_s'] * 1e3:>7.1f}ms "
+              f"({entry['batch_over_row']:>5.2f}x vs row)  [{breakdown}]")
     for name, entry in micro.items():
-        print(f"micro {name:<16} {entry['speedup']:.2f}x")
+        extra = (f" ({entry['batch_over_row']:.2f}x vs row)"
+                 if "batch_over_row" in entry else "")
+        print(f"micro {name:<16} {entry['speedup']:.2f}x{extra}")
     print(f"wrote {args.out}")
 
     if not macro["identical"]:
-        print("FAIL: legacy and optimized engines disagree", file=sys.stderr)
+        print("FAIL: legacy, row, and batch engines disagree",
+              file=sys.stderr)
         return 1
     if args.smoke and macro["speedup"] <= 1.0:
         print(f"FAIL: smoke speedup {macro['speedup']:.2f}x <= 1.0",
               file=sys.stderr)
+        return 1
+    if args.smoke and macro["batch_over_row"] <= 1.0:
+        print(f"FAIL: smoke batch_over_row "
+              f"{macro['batch_over_row']:.2f}x <= 1.0", file=sys.stderr)
         return 1
     return 0
 

@@ -43,8 +43,11 @@ def record_path_section(path="BENCH_record_path.json"):
     been run (``PYTHONPATH=src python benchmarks/bench_record_path.py``).
 
     Unlike everything above — simulated cluster seconds — these are real
-    in-process milliseconds: the engine's per-record kernels against the
-    seed engine's, on identical inputs with byte-identical outputs.
+    in-process milliseconds, across three arms on identical inputs with
+    byte-identical outputs: the seed engine's kernels (legacy), the
+    optimized per-row plane, and the columnar batch plane (the default).
+    Headline speedups are geometric means of per-query ratios; the
+    wall-clock totals ratios are reported alongside.
     """
     if not os.path.exists(path):
         return ""
@@ -58,22 +61,28 @@ def record_path_section(path="BENCH_record_path.json"):
               f"(seed {cfg['seed']}, TPC-H SF {cfg['tpch_scale']}, "
               f"{cfg['repeats']} repeats"
               f"{', smoke run' if cfg.get('smoke') else ''}): "
-              f"macro speedup **{macro['speedup']:.2f}x** "
-              f"({macro['total_legacy_s'] * 1e3:.0f}ms -> "
-              f"{macro['total_optimized_s'] * 1e3:.0f}ms), outputs "
+              f"legacy {macro['total_legacy_s'] * 1e3:.0f}ms -> "
+              f"row {macro['total_row_s'] * 1e3:.0f}ms -> "
+              f"batch {macro['total_batch_s'] * 1e3:.0f}ms; geomean "
+              f"speedup **{macro['speedup']:.2f}x** vs legacy and "
+              f"**{macro['batch_over_row']:.2f}x** vs the row plane "
+              f"(wall-clock totals {macro['speedup_wall']:.2f}x / "
+              f"{macro['batch_over_row_wall']:.2f}x), outputs "
               f"{'identical' if macro['identical'] else 'DIVERGED'}.\n\n")
-    out.write("| query | legacy_ms | optimized_ms | speedup | "
-              "map_ms | shuffle_ms | reduce_ms | finalize_ms |\n")
-    out.write("|---|---|---|---|---|---|---|---|\n")
+    out.write("| query | legacy_ms | row_ms | batch_ms | vs legacy | "
+              "vs row | map_ms | shuffle_ms | reduce_ms | finalize_ms |\n")
+    out.write("|---|---|---|---|---|---|---|---|---|---|\n")
     for name, q in sorted(macro["queries"].items()):
         walls = q["phase_wall_s"]
         out.write(f"| {name} | {q['legacy_s'] * 1e3:.1f} "
-                  f"| {q['optimized_s'] * 1e3:.1f} "
-                  f"| {q['speedup']:.2f}x |"
+                  f"| {q['row_s'] * 1e3:.1f} "
+                  f"| {q['batch_s'] * 1e3:.1f} "
+                  f"| {q['speedup']:.2f}x "
+                  f"| {q['batch_over_row']:.2f}x |"
                   + "|".join(f" {walls.get(p, 0.0) * 1e3:.1f} "
                              for p in ("map", "shuffle", "reduce",
                                        "finalize")) + "|\n")
-    out.write("\nMicro-kernels: "
+    out.write("\nMicro-kernels vs seed: "
               + ", ".join(f"{name} {micro[name]['speedup']:.2f}x"
                           for name in sorted(micro)) + ".\n")
     return out.getvalue()

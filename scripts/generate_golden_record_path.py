@@ -12,10 +12,18 @@ performance work — the whole point of the snapshot is that hot-path
 optimization must not move a single byte)::
 
     PYTHONPATH=src python scripts/generate_golden_record_path.py
+
+``--check`` recomputes the snapshot and compares it against the
+committed file without writing, exiting nonzero on any drift — CI runs
+this so the golden can never silently go stale::
+
+    PYTHONPATH=src python scripts/generate_golden_record_path.py --check
 """
 
+import argparse
 import json
 import os
+import sys
 
 from repro.catalog import standard_catalog
 from repro.core.translator import translate_sql
@@ -82,7 +90,13 @@ def execute_chain(translation, datastore):
     }
 
 
-def main():
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="recompute and diff against the committed "
+                             "snapshot instead of writing; exit 1 on drift")
+    args = parser.parse_args(argv)
+
     ds = build_datastore()
     snapshot = {"config": dict(DATASTORE_CONFIG,
                                num_reducers=NUM_REDUCERS, mode="ysmart"),
@@ -96,12 +110,36 @@ def main():
               f"{len(snapshot['queries'][name]['jobs'])} jobs")
 
     path = os.path.normpath(OUT_PATH)
+    # Round-trip through JSON so tuples/ints compare exactly as the
+    # committed file stores them.
+    recomputed = json.loads(json.dumps(snapshot, sort_keys=True))
+
+    if args.check:
+        try:
+            with open(path) as fh:
+                committed = json.load(fh)
+        except FileNotFoundError:
+            print(f"FAIL: no committed snapshot at {path}", file=sys.stderr)
+            return 1
+        if recomputed != committed:
+            drift = [q for q in recomputed.get("queries", {})
+                     if recomputed["queries"][q]
+                     != committed.get("queries", {}).get(q)]
+            print("FAIL: engine output drifted from the committed golden "
+                  f"snapshot (queries: {', '.join(drift) or 'config'}); "
+                  "if the semantic change is intentional, regenerate with "
+                  "scripts/generate_golden_record_path.py", file=sys.stderr)
+            return 1
+        print(f"golden snapshot matches ({path})")
+        return 0
+
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w") as fh:
         json.dump(snapshot, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {path}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

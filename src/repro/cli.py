@@ -123,7 +123,8 @@ def cmd_run(args) -> int:
                        keep_trace=keep_trace, cache=cache,
                        scheduler=args.scheduler, fault_plan=fault_plan,
                        max_attempts=args.max_attempts,
-                       speculate=args.speculate)
+                       speculate=args.speculate,
+                       data_plane=args.data_plane)
     workers = ""
     if args.parallel != 1:
         shown = (result.trace.workers if result.trace is not None
@@ -150,6 +151,17 @@ def cmd_run(args) -> int:
                 totals[p] += walls.get(p, 0.0)
         print("   " + f"{'total':<30} " + " ".join(
             f"{p}={totals[p] * 1e3:>8.2f}ms" for p in phases))
+        print("per-job data plane (column batches moved, rows per batch):")
+        for run in result.runs:
+            c = run.counters
+            if c.batches:
+                per = c.batch_rows / c.batches
+                plane = (f"batches={c.batches:>6} "
+                         f"batch_rows={c.batch_rows:>8} "
+                         f"rows/batch={per:>8.1f}")
+            else:
+                plane = "row plane (no batches)"
+            print(f"   {run.name:<30} {plane}")
         print("per-job reduce skew (records on the largest reduce task):")
         for run in result.runs:
             c = run.counters
@@ -379,6 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="launch speculative duplicate attempts for "
                         "straggler tasks when workers idle "
                         "(dataflow scheduler)")
+    p.add_argument("--data-plane", choices=["batch", "row"], default=None,
+                   help="columnar batch engine (default) or the per-row "
+                        "engine; rows and comparable counters are "
+                        "byte-identical either way")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
 

@@ -112,20 +112,47 @@ class CommonReducer(ReducerProtocol):
                         task.consume(key, roles, tv.payload)
                         dispatched += 1
         self._dispatch += dispatched
+        return self._finish_group(key)
 
+    def reduce_segments(self, key: Key, segs) -> Dict[str, List[Row]]:
+        """Batch-plane twin of :meth:`reduce`.
+
+        ``segs`` is a list of ``(ValueStream, idxs)`` pairs — the key
+        group's values as column slices, in merged value order within
+        each stream.  Each task consumes the segments whose tags
+        intersect its shuffle roles; dispatch is counted per (value,
+        interested task) exactly like the row loop, so the CMF dispatch
+        counter is identical on both planes.
+        """
+        tasks = self.tasks
+        for task in tasks:
+            task.start(key)
+
+        sole = self._sole_dispatch
+        if sole is not None:
+            task, shuffle_roles = sole
+            dispatched = task.consume_segments(key, segs, shuffle_roles)
+        else:
+            dispatched = 0
+            for task, shuffle_roles in self._dispatch_table:
+                dispatched += task.consume_segments(key, segs, shuffle_roles)
+        self._dispatch += dispatched
+        return self._finish_group(key)
+
+    def _finish_group(self, key: Key) -> Dict[str, List[Row]]:
+        """Run the tasks' ``finish`` chain (identical on both planes).
+
+        Compute ops accumulate on the tasks themselves (fresh per
+        :meth:`clone`); :meth:`compute_ops` folds them in when the
+        partition's counters are read, so the per-group loop carries no
+        accounting."""
         outputs: Dict[str, List[Row]] = {}
         solo = self._sole_task
         if solo is not None:
-            before = solo.compute_ops
             outputs[solo.task_id] = solo.finish(key, outputs)
-            self._compute += solo.compute_ops - before
             return outputs
-        computed = 0
-        for task in tasks:
-            before = task.compute_ops
+        for task in self.tasks:
             outputs[task.task_id] = task.finish(key, outputs)
-            computed += task.compute_ops - before
-        self._compute += computed
         return outputs
 
     def dispatch_ops(self) -> int:
@@ -133,5 +160,9 @@ class CommonReducer(ReducerProtocol):
         return ops
 
     def compute_ops(self) -> int:
-        ops, self._compute = self._compute, 0
+        ops = self._compute
+        self._compute = 0
+        for task in self.tasks:
+            ops += task.compute_ops
+            task.compute_ops = 0
         return ops

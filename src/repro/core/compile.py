@@ -32,8 +32,9 @@ from repro.core.correlation import CorrelationAnalysis
 from repro.core.jobgen import JobDraft, JobGraph
 from repro.data.table import Row
 from repro.errors import TranslationError
-from repro.expr.compiler import compile_predicate
-from repro.mr.job import EmitSpec, MRJob, MapAggSpec, MapInput, OutputSpec
+from repro.expr.compiler import compile_batch_predicate, compile_predicate
+from repro.mr.job import (BatchEmit, EmitSpec, MRJob, MapAggSpec, MapInput,
+                          OutputSpec)
 from repro.mr.kv import TagPolicy
 from repro.ops.tasks import (
     AggTask,
@@ -54,7 +55,8 @@ from repro.plan.nodes import (
     UnionNode,
 )
 from repro.plan.pruning import child_requirements, needed_raw_columns
-from repro.refexec.executor import compile_resolved, compile_resolved_predicate
+from repro.refexec.executor import (compile_resolved, compile_resolved_batch,
+                                    compile_resolved_predicate)
 from repro.reuse.fingerprint import draft_signature, signature_digest
 
 
@@ -206,6 +208,23 @@ class JobCompiler:
         except KeyError:
             return None
 
+    @staticmethod
+    def _raw_batch_predicates(stages: Sequence[object],
+                              qmap: Dict[str, str]) -> Optional[List[Callable]]:
+        """Columnar twin of :meth:`_raw_predicates`: selection-vector
+        kernels over raw source columns, or ``None`` when some predicate
+        has no batch kernel (the spec then runs on the row plane)."""
+        def resolver(table: Optional[str], name: str) -> str:
+            if table is not None:
+                raise KeyError(name)
+            return qmap[name]
+
+        try:
+            return [compile_batch_predicate(s.predicate, resolver)
+                    for s in stages]
+        except Exception:
+            return None
+
     def _scan_emit(self, scan: ScanNode, role: str, key_cols: Sequence[str],
                    payload_cols: Sequence[str]
                    ) -> Tuple[EmitSpec, List[Tuple[str, str]]]:
@@ -245,7 +264,8 @@ class JobCompiler:
                     return (tuple([record[c] for c in key_src]),
                             {p: record[c] for p, c in payload_src})
 
-            return EmitSpec(role, emit), payload_map
+            return EmitSpec(role, emit,
+                            _raw_batch(key_src, payload_src)), payload_map
 
         if not has_project:
             # Filter-only chain: no stage renames a column, so the
@@ -274,7 +294,10 @@ class JobCompiler:
                         return (tuple([record[c] for c in key_src]),
                                 {p: record[c] for p, c in payload_src})
 
-                return EmitSpec(role, emit), payload_map
+                bpreds = self._raw_batch_predicates(scan.stages, qmap)
+                batch = (_raw_batch(key_src, payload_src, bpreds)
+                         if bpreds is not None else None)
+                return EmitSpec(role, emit, batch), payload_map
 
         def emit(record: Row):
             out = stages.run_one({q: record[c] for q, c in qualified})
@@ -283,7 +306,10 @@ class JobCompiler:
             key = tuple(out[c] for c in key_cols)
             return key, {p: out[q] for q, p in payload_items}
 
-        return EmitSpec(role, emit), payload_map
+        batch = (_staged_batch(stages, qualified, key_cols,
+                               [(p, q) for q, p in payload_items])
+                 if stages.batch_supported else None)
+        return EmitSpec(role, emit, batch), payload_map
 
     def _dataset_emit(self, role: str, key_cols: Sequence[str],
                       payload_cols: Sequence[str]) -> EmitSpec:
@@ -305,7 +331,8 @@ class JobCompiler:
                 return (tuple([record[c] for c in key_cols]),
                         {c: record[c] for c in payload_cols})
 
-        return EmitSpec(role, emit)
+        return EmitSpec(role, emit,
+                        _raw_batch(key_cols, [(c, c) for c in payload_cols]))
 
     # -- sort jobs -------------------------------------------------------------------------------
 
@@ -363,6 +390,8 @@ class JobCompiler:
 
             def emit(record: Row):
                 return tuple([record[c] for c in key_src]), {}
+
+            batch = _raw_batch(key_src, [])
         elif preds is not None:
             key_src = [qmap[c] for c in key_cols]
             raw_preds = preds
@@ -372,6 +401,10 @@ class JobCompiler:
                     if not pred(record):
                         return None
                 return tuple([record[c] for c in key_src]), {}
+
+            bpreds = self._raw_batch_predicates(node.stages, qmap)
+            batch = (_raw_batch(key_src, [], bpreds)
+                     if bpreds is not None else None)
         else:
             def emit(record: Row):
                 out = stages.run_one({q: record[c] for q, c in qualified})
@@ -379,12 +412,15 @@ class JobCompiler:
                     return None
                 return tuple([out[c] for c in key_cols]), {}
 
+            batch = (_staged_batch(stages, qualified, key_cols, [])
+                     if stages.batch_supported else None)
+
         task = SPTask(node.label, TaskInput.shuffle(role, key_cols))
         outputs = [OutputSpec(ds, n.label, self._output_columns(n))
                    for n, ds in self._register_outputs(draft)]
         return MRJob(
             job_id=job_id, name=name,
-            map_inputs=[MapInput(node.table, [EmitSpec(role, emit)])],
+            map_inputs=[MapInput(node.table, [EmitSpec(role, emit, batch)])],
             reducer=CommonReducer([task]),
             outputs=outputs,
             num_reducers=self.options.num_reducers,
@@ -446,6 +482,16 @@ class JobCompiler:
 
         child_need = sorted(self.requirement_from(node, child))
 
+        # Batch twins of the group/argument expressions; any expression
+        # without a batch kernel drops the whole job to the row plane.
+        try:
+            group_fns_b = [compile_resolved_batch(gk.expr)
+                           for gk in node.group_keys]
+            agg_fns_b = [(spec.slot, compile_resolved_batch(spec.arg))
+                         for spec in node.aggs if spec.arg is not None]
+        except Exception:
+            group_fns_b = agg_fns_b = None
+
         if isinstance(child, ScanNode):
             stages = CompiledStages(child.stages)
             qualified = [(child.qualified(c), c) for c in child.columns]
@@ -459,7 +505,21 @@ class JobCompiler:
                            for spec, fn in agg_fns if fn is not None}
                 return key, payload
 
-            map_inputs = [MapInput(child.table, [EmitSpec(role, emit)])]
+            batch = None
+            if group_fns_b is not None and stages.batch_supported:
+                def kernel(cols, n):
+                    qcols = {q: cols[c] for q, c in qualified}
+                    qcols, n2, sel = stages.run_batch(qcols, n)
+                    m = n2 if sel is None else len(sel)
+                    if m == 0:
+                        return [], 0, [], []
+                    return (None, m,
+                            [fn(qcols, n2, sel) for fn in group_fns_b],
+                            [(slot, fn(qcols, n2, sel))
+                             for slot, fn in agg_fns_b])
+
+                batch = BatchEmit(kernel)
+            map_inputs = [MapInput(child.table, [EmitSpec(role, emit, batch)])]
         else:
             def emit(record: Row):
                 key = tuple(fn(record) for _, fn in group_fns)
@@ -467,8 +527,19 @@ class JobCompiler:
                            for spec, fn in agg_fns if fn is not None}
                 return key, payload
 
+            batch = None
+            if group_fns_b is not None:
+                def kernel(cols, n):
+                    if n == 0:
+                        return [], 0, [], []
+                    return (None, n,
+                            [fn(cols, n, None) for fn in group_fns_b],
+                            [(slot, fn(cols, n, None))
+                             for slot, fn in agg_fns_b])
+
+                batch = BatchEmit(kernel)
             map_inputs = [MapInput(self.dataset_name(child),
-                                   [EmitSpec(role, emit)])]
+                                   [EmitSpec(role, emit, batch)])]
 
         mergeable = all(
             not spec.distinct or spec.func in ("min", "max")
@@ -628,7 +699,66 @@ class JobCompiler:
 
 
 def _getter(name: str) -> Callable[[Row], object]:
-    return lambda row: row.get(name)
+    fn = lambda row: row.get(name)
+    # Marks the closure as a bare column read for the batch reduce path:
+    # AggTask can then pull the slot's column slice directly instead of
+    # rebuilding row dicts (identical values — ``row.get`` of the emitted
+    # payload IS the column value, None when the slot is absent).
+    fn.direct_slot = name
+    return fn
+
+
+def _raw_batch(key_src: Sequence[str], payload_src: Sequence[Tuple[str, str]],
+               preds: Optional[Sequence[Callable]] = None) -> BatchEmit:
+    """Raw batch emit kernel: keys and payload alias the source columns
+    (zero copy); ``preds`` — selection-vector kernels — narrow the
+    selection first.  ``raw=True`` advertises the record-aligned shape
+    the engine's shared-scan merge requires."""
+    key_src = list(key_src)
+    payload_src = list(payload_src)
+
+    if preds is None:
+        def kernel(cols, n):
+            return (None, n, [cols[c] for c in key_src],
+                    [(p, cols[c]) for p, c in payload_src])
+    else:
+        preds = list(preds)
+
+        def kernel(cols, n):
+            sel = None
+            for pred in preds:
+                sel = pred(cols, n, sel)
+                if not sel:
+                    break
+            # Even with an empty selection the sequences stay
+            # record-aligned: a shared-scan merge may still read this
+            # spec's key columns for records other specs kept.
+            return (sel, len(sel), [cols[c] for c in key_src],
+                    [(p, cols[c]) for p, c in payload_src])
+
+    return BatchEmit(kernel, key_src=tuple(key_src), raw=True)
+
+
+def _staged_batch(stages: CompiledStages,
+                  qualified: Sequence[Tuple[str, str]],
+                  key_cols: Sequence[str],
+                  payload_src: Sequence[Tuple[str, str]]) -> BatchEmit:
+    """Batch emit kernel for staged scans: alias the source columns under
+    their qualified names, drive them through the compiled stage chain's
+    columnar twin, then read keys and payload off the stage output."""
+    key_cols = list(key_cols)
+    payload_src = list(payload_src)
+
+    def kernel(cols, n):
+        qcols = {q: cols[c] for q, c in qualified}
+        qcols, n2, sel = stages.run_batch(qcols, n)
+        m = n2 if sel is None else len(sel)
+        if m == 0:
+            return [], 0, [], []
+        return (sel, m, [qcols[c] for c in key_cols],
+                [(p, qcols[q]) for p, q in payload_src])
+
+    return BatchEmit(kernel)
 
 
 def compile_graph(graph: JobGraph, namespace: str,

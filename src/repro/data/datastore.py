@@ -117,6 +117,14 @@ class Datastore:
     def dataset_bytes(self, name: str) -> int:
         return self.resolve(name).estimated_bytes()
 
+    def scan_columns(self, name: str):
+        """The dataset's cached columnar scan view (batch data plane).
+
+        Same resolution rules as :meth:`resolve`; the returned column
+        lists are shared and read-only (see :meth:`Table.column_batch`).
+        """
+        return self.resolve(name).column_batch()
+
     # -- versions & sizes -----------------------------------------------------
 
     def version(self, name: str) -> str:

@@ -24,7 +24,8 @@ class Table:
     tests use it, hot paths (MR intermediate datasets) skip it.
     """
 
-    __slots__ = ("name", "schema", "rows", "mutations", "_size_cache")
+    __slots__ = ("name", "schema", "rows", "mutations", "_size_cache",
+                 "_columns_cache")
 
     def __init__(
         self,
@@ -41,6 +42,7 @@ class Table:
         #: derived from an earlier state of this table are never served
         self.mutations: int = 0
         self._size_cache: Optional[int] = None
+        self._columns_cache: Optional[Dict[str, List[object]]] = None
         if validate:
             for row in self.rows:
                 schema.validate_row(row)
@@ -60,16 +62,34 @@ class Table:
         self.rows.append(row)
         self.mutations += 1
         self._size_cache = None
+        self._columns_cache = None
 
     def extend(self, rows: Iterable[Row]) -> None:
         self.rows.extend(rows)
         self.mutations += 1
         self._size_cache = None
+        self._columns_cache = None
 
     def column_values(self, column: str) -> List[object]:
         """Return all values of ``column`` in row order."""
         self.schema.column(column)  # raises on unknown column
         return [row[column] for row in self.rows]
+
+    def column_batch(self) -> Dict[str, List[object]]:
+        """The table's columnar scan view: one value list per schema
+        column, all aligned with row order.
+
+        This is what the batch data plane feeds to map tasks.  The view
+        is cached (``append``/``extend`` invalidate it) and *shared* —
+        callers must treat the lists as read-only; splits slice them.
+        """
+        cached = self._columns_cache
+        if cached is None:
+            rows = self.rows
+            cached = self._columns_cache = {
+                name: [row[name] for row in rows]
+                for name in self.schema.names}
+        return cached
 
     def estimated_bytes(self) -> int:
         """Deterministic size estimate used by the storage/cost layer.

@@ -13,7 +13,7 @@ empty (or all-NULL) input yield NULL; ``count`` yields 0.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.errors import UnsupportedSqlError
 
@@ -45,6 +45,38 @@ class Accumulator:
         """Merge a partial state produced by :meth:`state`."""
         raise NotImplementedError
 
+    # -- column-slice folds (batch data plane) ------------------------------
+    #
+    # The batch reduce path feeds whole column slices instead of single
+    # values.  The defaults below reproduce the exact sequential
+    # ``add``/``absorb`` order, so any override must be fold-equivalent:
+    # same result bit for bit (left folds over ``+`` qualify; anything
+    # order-sensitive must keep the loop).
+
+    def add_seq(self, col: Sequence, idxs: Sequence[int]) -> None:
+        """``add(col[i])`` for each i in ``idxs``, in order."""
+        add = self.add
+        for i in idxs:
+            add(col[i])
+
+    def add_repeat(self, value: object, count: int) -> None:
+        """``add(value)`` repeated ``count`` times."""
+        add = self.add
+        for _ in range(count):
+            add(value)
+
+    def absorb_seq(self, col: Sequence, idxs: Sequence[int]) -> None:
+        """``absorb(col[i])`` for each i in ``idxs``, in order."""
+        absorb = self.absorb
+        for i in idxs:
+            absorb(col[i])
+
+    def absorb_repeat(self, state: object, count: int) -> None:
+        """``absorb(state)`` repeated ``count`` times."""
+        absorb = self.absorb
+        for _ in range(count):
+            absorb(state)
+
 
 class CountStarAcc(Accumulator):
     """``count(*)`` — counts every row, NULLs included."""
@@ -54,6 +86,16 @@ class CountStarAcc(Accumulator):
 
     def add(self, value: object) -> None:
         self.count += 1
+
+    def add_seq(self, col, idxs) -> None:
+        self.count += len(idxs)
+
+    def add_repeat(self, value, count) -> None:
+        self.count += count
+
+    def absorb_seq(self, col, idxs) -> None:
+        # states are ints: summing them is the exact sequential fold
+        self.count += sum(col[i] for i in idxs)
 
     def merge(self, other: "CountStarAcc") -> None:
         self.count += other.count
@@ -77,6 +119,16 @@ class CountAcc(Accumulator):
     def add(self, value: object) -> None:
         if value is not None:
             self.count += 1
+
+    def add_seq(self, col, idxs) -> None:
+        self.count += sum(1 for i in idxs if col[i] is not None)
+
+    def add_repeat(self, value, count) -> None:
+        if value is not None:
+            self.count += count
+
+    def absorb_seq(self, col, idxs) -> None:
+        self.count += sum(col[i] for i in idxs)
 
     def merge(self, other: "CountAcc") -> None:
         self.count += other.count
@@ -108,6 +160,13 @@ class CountDistinctAcc(Accumulator):
         if value is not None:
             self.values.add(value)
 
+    def add_seq(self, col, idxs) -> None:
+        self.values.update(v for i in idxs if (v := col[i]) is not None)
+
+    def add_repeat(self, value, count) -> None:
+        if value is not None and count:
+            self.values.add(value)
+
     def merge(self, other: "CountDistinctAcc") -> None:
         self.values |= other.values
 
@@ -129,6 +188,14 @@ class SumAcc(Accumulator):
     def add(self, value: object) -> None:
         if value is not None:
             self.total += value
+            self.seen = True
+
+    def add_seq(self, col, idxs) -> None:
+        # sum(..., start) is the same left fold as sequential "+=": the
+        # additions happen in the same order with the same operands.
+        vals = [v for i in idxs if (v := col[i]) is not None]
+        if vals:
+            self.total = sum(vals, self.total)
             self.seen = True
 
     def merge(self, other: "SumAcc") -> None:
@@ -159,6 +226,12 @@ class AvgAcc(Accumulator):
             self.total += value
             self.count += 1
 
+    def add_seq(self, col, idxs) -> None:
+        vals = [v for i in idxs if (v := col[i]) is not None]
+        if vals:
+            self.total = sum(vals, self.total)
+            self.count += len(vals)
+
     def merge(self, other: "AvgAcc") -> None:
         self.total += other.total
         self.count += other.count
@@ -183,6 +256,12 @@ class MinAcc(Accumulator):
         if value is not None and (self.value is None or value < self.value):
             self.value = value
 
+    def add_seq(self, col, idxs) -> None:
+        # min() keeps the leftmost minimum, like the strict-< fold.
+        vals = [v for i in idxs if (v := col[i]) is not None]
+        if vals:
+            self.add(min(vals))
+
     def merge(self, other: "MinAcc") -> None:
         self.add(other.value)
 
@@ -203,6 +282,11 @@ class MaxAcc(Accumulator):
     def add(self, value: object) -> None:
         if value is not None and (self.value is None or value > self.value):
             self.value = value
+
+    def add_seq(self, col, idxs) -> None:
+        vals = [v for i in idxs if (v := col[i]) is not None]
+        if vals:
+            self.add(max(vals))
 
     def merge(self, other: "MaxAcc") -> None:
         self.add(other.value)
@@ -231,6 +315,13 @@ class VarianceAcc(Accumulator):
             self.n += 1
             self.total += value
             self.total_sq += value * value
+
+    def add_seq(self, col, idxs) -> None:
+        vals = [v for i in idxs if (v := col[i]) is not None]
+        if vals:
+            self.n += len(vals)
+            self.total = sum(vals, self.total)
+            self.total_sq = sum((v * v for v in vals), self.total_sq)
 
     def merge(self, other: "VarianceAcc") -> None:
         self.n += other.n

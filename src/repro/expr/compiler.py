@@ -96,6 +96,12 @@ def compile_scalar(expr: Expr, resolver: Resolver) -> Scalar:
                     f"row is missing column {_key!r}; row has {sorted(row)}"
                 ) from None
 
+        # Bare column reads can run straight off a column batch.
+        # ``direct_strict`` records that a missing column RAISES here
+        # (unlike ``row.get`` readers) — batch consumers must leave the
+        # statically-missing case on the row path to preserve the error.
+        lookup.direct_slot = key
+        lookup.direct_strict = True
         return lookup
 
     if isinstance(expr, BinaryOp):
@@ -269,3 +275,441 @@ def identity_resolver(table: Optional[str], name: str) -> str:
     """Resolver for rows keyed by qualified ``table.name`` when a qualifier
     is present, bare ``name`` otherwise — used in tests and simple paths."""
     return f"{table}.{name}" if table else name
+
+
+# ---------------------------------------------------------------------------
+# Batch (columnar) compilation — the vectorized twin of compile_scalar /
+# compile_predicate, used by the MR engine's batch data plane.
+#
+# A batch kernel closes over the expression and evaluates it for a whole
+# column batch at once:
+#
+#   scalar(cols, n, sel)    -> list of values, aligned with ``sel``
+#                              (or with records 0..n-1 when sel is None)
+#   predicate(cols, n, sel) -> the refined selection vector: the ascending
+#                              record indices (drawn from ``sel``) where
+#                              the expression evaluates to True
+#
+# ``cols`` maps column name -> record-aligned value sequence.  Kernels may
+# return a source column itself (zero copy); callers treat results as
+# read-only.  Value-identity with the row compiler is the contract: every
+# kernel reproduces compile_scalar's results element for element,
+# including Kleene logic and its short-circuit evaluation order (the
+# right operand of AND/OR, CASE branch values, COALESCE tails, and IN
+# items are only evaluated on the rows the row compiler would reach).
+# ---------------------------------------------------------------------------
+
+Columns = Mapping[str, list]
+Selection = Optional[list]
+BatchScalar = Callable[[Columns, int, Selection], list]
+BatchPredicate = Callable[[Columns, int, Selection], list]
+
+#: comparison subset of _RAW_BINOPS — boolean-valued, eligible for
+#: direct selection-vector compilation.
+_COMPARISON_OPS = frozenset(("=", "<>", "<", ">", "<=", ">="))
+
+
+def _batch_column(key: str) -> BatchScalar:
+    def column(cols, n, sel, _key=key):
+        try:
+            col = cols[_key]
+        except KeyError:
+            raise NameResolutionError(
+                f"batch is missing column {_key!r}; batch has {sorted(cols)}"
+            ) from None
+        if sel is None:
+            return col
+        return [col[i] for i in sel]
+
+    return column
+
+
+def _resel(sel: Selection, positions: list) -> list:
+    """Map positions (indices into the current value list) back to record
+    indices, so sub-expressions can be evaluated on a narrowed selection."""
+    if sel is None:
+        return positions
+    return [sel[p] for p in positions]
+
+
+def _boolean_shaped(expr: Expr) -> bool:
+    """True when the expression can only evaluate to True/False/None.
+
+    For such expressions ``k_and(a, b) is True`` ⟺ both operands are
+    ``True``, which lets AND compile to sequential selection refinement.
+    Non-boolean operands break that equivalence (Kleene AND maps any
+    non-False, non-NULL operand — e.g. 0 — to True), so they fall back
+    to batch scalar evaluation.
+    """
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("AND", "OR"):
+            return _boolean_shaped(expr.left) and _boolean_shaped(expr.right)
+        return expr.op in _COMPARISON_OPS
+    if isinstance(expr, UnaryOp):
+        return expr.op == "NOT" and _boolean_shaped(expr.operand)
+    return isinstance(expr, (IsNull, Between, InList))
+
+
+def compile_batch_scalar(expr: Expr, resolver: Resolver) -> BatchScalar:
+    """Compile ``expr`` into a column-batch kernel (see module comment)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+
+        def literal(cols, n, sel):
+            return [value] * (n if sel is None else len(sel))
+
+        return literal
+
+    if isinstance(expr, ColumnRef):
+        return _batch_column(resolver(expr.table, expr.name))
+
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            left = compile_batch_scalar(expr.left, resolver)
+            right = compile_batch_scalar(expr.right, resolver)
+
+            def k_and(cols, n, sel):
+                avals = left(cols, n, sel)
+                out = [False] * len(avals)
+                pending = [p for p, a in enumerate(avals) if a is not False]
+                if pending:
+                    bvals = right(cols, n, _resel(sel, pending))
+                    for p, b in zip(pending, bvals):
+                        if b is False:
+                            pass  # already False
+                        elif avals[p] is None or b is None:
+                            out[p] = None
+                        else:
+                            out[p] = True
+                return out
+
+            return k_and
+        if expr.op == "OR":
+            left = compile_batch_scalar(expr.left, resolver)
+            right = compile_batch_scalar(expr.right, resolver)
+
+            def k_or(cols, n, sel):
+                avals = left(cols, n, sel)
+                out = [True] * len(avals)
+                pending = [p for p, a in enumerate(avals) if a is not True]
+                if pending:
+                    bvals = right(cols, n, _resel(sel, pending))
+                    for p, b in zip(pending, bvals):
+                        if b is True:
+                            pass  # already True
+                        elif avals[p] is None or b is None:
+                            out[p] = None
+                        else:
+                            out[p] = False
+                return out
+
+            return k_or
+        left = compile_batch_scalar(expr.left, resolver)
+        right = compile_batch_scalar(expr.right, resolver)
+        fn = _RAW_BINOPS.get(expr.op)
+        if fn is not None:
+            def k_binop(cols, n, sel):
+                return [None if a is None or b is None else fn(a, b)
+                        for a, b in zip(left(cols, n, sel),
+                                        right(cols, n, sel))]
+
+            return k_binop
+        apply = _null_safe_binop(expr.op)
+
+        def k_apply(cols, n, sel):
+            return [apply(a, b) for a, b in zip(left(cols, n, sel),
+                                                right(cols, n, sel))]
+
+        return k_apply
+
+    if isinstance(expr, UnaryOp):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        if expr.op == "-":
+            return lambda cols, n, sel: [
+                None if v is None else -v for v in operand(cols, n, sel)]
+        if expr.op == "NOT":
+            return lambda cols, n, sel: [
+                None if v is None else not v for v in operand(cols, n, sel)]
+        raise UnsupportedSqlError(f"unsupported unary operator {expr.op!r}")
+
+    if isinstance(expr, IsNull):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        if expr.negated:
+            return lambda cols, n, sel: [
+                v is not None for v in operand(cols, n, sel)]
+        return lambda cols, n, sel: [
+            v is None for v in operand(cols, n, sel)]
+
+    if isinstance(expr, Between):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        low = compile_batch_scalar(expr.low, resolver)
+        high = compile_batch_scalar(expr.high, resolver)
+
+        def between(cols, n, sel):
+            return [None if v is None or lo is None or hi is None
+                    else lo <= v <= hi
+                    for v, lo, hi in zip(operand(cols, n, sel),
+                                         low(cols, n, sel),
+                                         high(cols, n, sel))]
+
+        return between
+
+    if isinstance(expr, InList):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        negated = expr.negated
+        if all(isinstance(i, Literal) for i in expr.items):
+            values = [i.value for i in expr.items]
+            non_null = [x for x in values if x is not None]
+            has_null = len(non_null) != len(values)
+
+            def contains_lit(cols, n, sel):
+                out = []
+                append = out.append
+                for v in operand(cols, n, sel):
+                    if v is None:
+                        append(None)
+                    elif v in non_null:
+                        append(not negated)
+                    elif has_null:
+                        append(None)
+                    else:
+                        append(negated)
+                return out
+
+            return contains_lit
+        items = [compile_batch_scalar(i, resolver) for i in expr.items]
+
+        def contains(cols, n, sel):
+            vvals = operand(cols, n, sel)
+            out = [None] * len(vvals)
+            pending = [p for p, v in enumerate(vvals) if v is not None]
+            if pending:
+                psel = _resel(sel, pending)
+                ivals = [item(cols, n, psel) for item in items]
+                for j, p in enumerate(pending):
+                    v = vvals[p]
+                    values = [iv[j] for iv in ivals]
+                    if v in [x for x in values if x is not None]:
+                        out[p] = not negated
+                    elif any(x is None for x in values):
+                        out[p] = None
+                    else:
+                        out[p] = negated
+            return out
+
+        return contains
+
+    if isinstance(expr, CaseWhen):
+        branches = [
+            (compile_batch_scalar(c, resolver),
+             compile_batch_scalar(v, resolver))
+            for c, v in expr.branches
+        ]
+        default = (compile_batch_scalar(expr.default, resolver)
+                   if expr.default is not None else None)
+
+        def case(cols, n, sel):
+            m = n if sel is None else len(sel)
+            out = [None] * m
+            remaining = list(range(m))
+            for cond, value in branches:
+                if not remaining:
+                    break
+                rsel = _resel(sel, remaining)
+                cvals = cond(cols, n, rsel)
+                hits = [p for p, c in zip(remaining, cvals) if c is True]
+                if hits:
+                    vvals = value(cols, n, _resel(sel, hits))
+                    for p, v in zip(hits, vvals):
+                        out[p] = v
+                    remaining = [p for p, c in zip(remaining, cvals)
+                                 if c is not True]
+            if default is not None and remaining:
+                dvals = default(cols, n, _resel(sel, remaining))
+                for p, v in zip(remaining, dvals):
+                    out[p] = v
+            return out
+
+        return case
+
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            raise UnsupportedSqlError(
+                f"aggregate {expr.name}() cannot be compiled as a scalar; "
+                "the planner must rewrite it first"
+            )
+        return _compile_batch_builtin(expr, resolver)
+
+    raise UnsupportedSqlError(f"cannot compile expression: {expr!r}")
+
+
+def _compile_batch_builtin(expr: FuncCall, resolver: Resolver) -> BatchScalar:
+    args = [compile_batch_scalar(a, resolver) for a in expr.args]
+    name = expr.name
+
+    if name == "abs" and len(args) == 1:
+        return lambda cols, n, sel: [
+            None if v is None else abs(v) for v in args[0](cols, n, sel)]
+    if name == "round":
+        if len(args) == 1:
+            return lambda cols, n, sel: [
+                None if v is None else round(v)
+                for v in args[0](cols, n, sel)]
+        if len(args) == 2:
+            def round2(cols, n, sel):
+                return [None if v is None or d is None else round(v, int(d))
+                        for v, d in zip(args[0](cols, n, sel),
+                                        args[1](cols, n, sel))]
+            return round2
+    if name == "coalesce" and args:
+        def coalesce(cols, n, sel):
+            m = n if sel is None else len(sel)
+            out = [None] * m
+            remaining = list(range(m))
+            for arg in args:
+                if not remaining:
+                    break
+                vals = arg(cols, n, _resel(sel, remaining))
+                still = []
+                for p, v in zip(remaining, vals):
+                    if v is not None:
+                        out[p] = v
+                    else:
+                        still.append(p)
+                remaining = still
+            return out
+        return coalesce
+    if name == "length" and len(args) == 1:
+        return lambda cols, n, sel: [
+            None if v is None else len(str(v))
+            for v in args[0](cols, n, sel)]
+
+    raise UnsupportedSqlError(f"unsupported function: {name}()")
+
+
+def _selection_kernel(expr: Expr, resolver: Resolver) -> Optional[BatchPredicate]:
+    """Direct selection-vector compilation for the predicate shapes that
+    dominate WHERE clauses; returns None when the shape doesn't qualify."""
+    if isinstance(expr, BinaryOp):
+        op = expr.op
+        if op in _COMPARISON_OPS:
+            fn = _RAW_BINOPS[op]
+            left, right = expr.left, expr.right
+            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+                key = resolver(left.table, left.name)
+                lit = right.value
+                if lit is None:
+                    return lambda cols, n, sel: []
+                column = _batch_column(key)
+
+                def sel_col_lit(cols, n, sel):
+                    col = cols[key] if key in cols else column(cols, n, None)
+                    rng = range(n) if sel is None else sel
+                    return [i for i in rng
+                            if (v := col[i]) is not None and fn(v, lit)]
+
+                return sel_col_lit
+            if isinstance(left, Literal) and isinstance(right, ColumnRef):
+                key = resolver(right.table, right.name)
+                lit = left.value
+                if lit is None:
+                    return lambda cols, n, sel: []
+                column = _batch_column(key)
+
+                def sel_lit_col(cols, n, sel):
+                    col = cols[key] if key in cols else column(cols, n, None)
+                    rng = range(n) if sel is None else sel
+                    return [i for i in rng
+                            if (v := col[i]) is not None and fn(lit, v)]
+
+                return sel_lit_col
+            if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+                lkey = resolver(left.table, left.name)
+                rkey = resolver(right.table, right.name)
+                lcol_k = _batch_column(lkey)
+                rcol_k = _batch_column(rkey)
+
+                def sel_col_col(cols, n, sel):
+                    lcol = cols[lkey] if lkey in cols else lcol_k(cols, n, None)
+                    rcol = cols[rkey] if rkey in cols else rcol_k(cols, n, None)
+                    rng = range(n) if sel is None else sel
+                    return [i for i in rng
+                            if (a := lcol[i]) is not None
+                            and (b := rcol[i]) is not None and fn(a, b)]
+
+                return sel_col_col
+            return None
+        if op == "AND" and _boolean_shaped(expr.left) \
+                and _boolean_shaped(expr.right):
+            # For boolean-shaped operands, Kleene AND is True exactly when
+            # both sides are True — sequential refinement, with the right
+            # side only evaluated on survivors (the rows the row compiler
+            # would not short-circuit away).
+            lp = compile_batch_predicate(expr.left, resolver)
+            rp = compile_batch_predicate(expr.right, resolver)
+
+            def sel_and(cols, n, sel):
+                return rp(cols, n, lp(cols, n, sel))
+
+            return sel_and
+        if op == "OR":
+            # Kleene OR is True exactly when either side is True, for any
+            # operand values; the right side is only evaluated on rows the
+            # left did not already accept.
+            lp = compile_batch_predicate(expr.left, resolver)
+            rp = compile_batch_predicate(expr.right, resolver)
+
+            def sel_or(cols, n, sel):
+                ls = lp(cols, n, sel)
+                rng = range(n) if sel is None else sel
+                taken = set(ls)
+                rest = [i for i in rng if i not in taken]
+                rs = rp(cols, n, rest)
+                return sorted(ls + rs) if rs else ls
+
+            return sel_or
+        return None
+    if isinstance(expr, IsNull) and isinstance(expr.operand, ColumnRef):
+        key = resolver(expr.operand.table, expr.operand.name)
+        column = _batch_column(key)
+        if expr.negated:
+            def sel_not_null(cols, n, sel):
+                col = cols[key] if key in cols else column(cols, n, None)
+                rng = range(n) if sel is None else sel
+                return [i for i in rng if col[i] is not None]
+            return sel_not_null
+
+        def sel_null(cols, n, sel):
+            col = cols[key] if key in cols else column(cols, n, None)
+            rng = range(n) if sel is None else sel
+            return [i for i in rng if col[i] is None]
+
+        return sel_null
+    return None
+
+
+def compile_batch_predicate(expr: Optional[Expr],
+                            resolver: Resolver) -> BatchPredicate:
+    """Compile a filter into a selection-vector kernel.
+
+    The result refines the incoming selection: it returns the ascending
+    record indices where the predicate holds (NULL counts as false),
+    drawn from ``sel`` (all of 0..n-1 when sel is None).
+    """
+    if expr is None:
+        def all_rows(cols, n, sel):
+            return list(range(n)) if sel is None else sel
+
+        return all_rows
+    kernel = _selection_kernel(expr, resolver)
+    if kernel is not None:
+        return kernel
+    scalar = compile_batch_scalar(expr, resolver)
+
+    def filter_true(cols, n, sel):
+        vals = scalar(cols, n, sel)
+        if sel is None:
+            return [i for i, v in enumerate(vals) if v is True]
+        return [i for i, v in zip(sel, vals) if v is True]
+
+    return filter_true

@@ -1,0 +1,167 @@
+"""Column batches for the MR data plane.
+
+The batch data plane moves :class:`PairBlock` objects — one Python list
+per payload column plus a parallel list of shuffle keys — through
+map → partition → shuffle instead of per-record ``(key, TaggedValue)``
+tuples.  The shuffle side concatenates blocks into :class:`ValueStream`
+objects whose group index (``by_key``) gives reducers direct column
+slices per key, so reduce dispatch touches whole segments instead of
+individual values.
+
+Identity contract: a block is nothing more than a transposed run of the
+pairs the row plane would have produced — same keys, same payload
+values, same role tags, same relative order (``order`` records each
+pair's original record index inside its map task, so interleaved blocks
+from one task can be merged back into emission order).  Everything
+downstream (grouping, sorting, dispatch counting, byte accounting) is
+derived from the same primitives the row plane uses.
+
+Blocks frequently *share* their column lists with the source table's
+cached columnar view (zero-copy scans); all consumers treat block
+columns as read-only.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.mr.kv import Key
+
+__all__ = ["PairBlock", "ValueStream", "Segment", "ingest_streams",
+           "merged_stream_indices", "zip_keys"]
+
+#: Record indices within a map task fit comfortably below 2**32, so a
+#: single integer ``(task_seq << TASK_SHIFT) | record_index`` gives a
+#: total order over all values a partition receives — exactly the order
+#: the row plane's append-per-pair shuffle produces.
+TASK_SHIFT = 32
+
+
+def zip_keys(key_seqs: List[list], m: int) -> List[Key]:
+    """Transpose record-aligned key columns into per-record key tuples."""
+    if not key_seqs:
+        return [()] * m
+    if len(key_seqs) == 1:
+        return [(v,) for v in key_seqs[0]]
+    return list(zip(*key_seqs))
+
+
+class PairBlock:
+    """A homogeneous run of shuffle pairs in columnar form.
+
+    ``tag`` is the shared role frozenset, ``keys[i]`` the i-th pair's
+    key tuple, ``columns[name][i]`` its payload value, and ``order`` the
+    original record index of each pair inside its map task (``None``
+    means the block is the task's only block, so positions 0..n-1 are
+    already emission order).
+    """
+
+    __slots__ = ("tag", "keys", "columns", "order")
+
+    def __init__(self, tag: FrozenSet[str], keys: List[Key],
+                 columns: Dict[str, list],
+                 order: Optional[List[int]] = None):
+        self.tag = tag
+        self.keys = keys
+        self.columns = columns
+        self.order = order
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def gather(self, idxs: List[int]) -> "PairBlock":
+        """The sub-block holding the pairs at ``idxs`` (partition fan-out).
+
+        A gathered block always carries explicit ``order``: even when the
+        source block was its task's only block (``order=None``, positions
+        0..n-1), the sub-block's pairs keep their *original* record
+        indices so global emission order survives partitioning.
+        """
+        keys = self.keys
+        order = self.order
+        return PairBlock(
+            self.tag,
+            [keys[i] for i in idxs],
+            {name: [col[i] for i in idxs]
+             for name, col in self.columns.items()},
+            list(idxs) if order is None else [order[i] for i in idxs])
+
+
+class ValueStream:
+    """All of one partition's values that share a tag and column layout.
+
+    Built by concatenating same-signature blocks in map-task order.
+    ``by_key[key]`` lists the stream-local indices of the key's values in
+    ascending order, and ``positions[i]`` is the value's global emission
+    position ``(task_seq << 32) | record_index`` — the tiebreaker used
+    when one reduce group draws from several streams.
+    """
+
+    __slots__ = ("tag", "columns", "by_key", "positions")
+
+    def __init__(self, tag: FrozenSet[str], columns: Dict[str, list]):
+        self.tag = tag
+        self.columns = columns
+        self.by_key: Dict[Key, List[int]] = {}
+        self.positions: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+#: A reduce-group slice of one stream: ``(stream, ascending indices)``.
+Segment = Tuple[ValueStream, List[int]]
+
+
+def ingest_streams(blocks: Iterable[Tuple[int, PairBlock]]) -> List[ValueStream]:
+    """Fold ``(task_seq, block)`` pairs, in task order, into value streams.
+
+    Blocks with the same ``(tag, column names)`` signature share a
+    stream; the group index and global positions are extended as each
+    block lands, so per-key value order inside a stream is exactly the
+    row plane's pair order.
+    """
+    streams: Dict[tuple, ValueStream] = {}
+    for task_seq, block in blocks:
+        m = len(block.keys)
+        if not m:
+            continue
+        names = tuple(block.columns)
+        sig = (block.tag, names)
+        stream = streams.get(sig)
+        if stream is None:
+            stream = streams[sig] = ValueStream(
+                block.tag, {name: [] for name in names})
+        cols = stream.columns
+        for name, col in block.columns.items():
+            cols[name].extend(col)
+        shift = task_seq << TASK_SHIFT
+        positions = stream.positions
+        base = len(positions)
+        if block.order is None:
+            positions.extend(range(shift, shift + m))
+        else:
+            positions.extend(map(shift.__add__, block.order))
+        by_key = stream.by_key
+        probe = by_key.get
+        j = base
+        for key in block.keys:
+            lst = probe(key)
+            if lst is None:
+                by_key[key] = [j]
+            else:
+                lst.append(j)
+            j += 1
+    return list(streams.values())
+
+
+def merged_stream_indices(segs: List[Segment]) -> Iterator[Tuple[ValueStream, int]]:
+    """Interleave multi-stream segments back into global emission order."""
+    entries: List[Tuple[int, ValueStream, int]] = []
+    for stream, idxs in segs:
+        positions = stream.positions
+        entries.extend((positions[i], stream, i) for i in idxs)
+    entries.sort(key=itemgetter(0))
+    for _, stream, i in entries:
+        yield stream, i

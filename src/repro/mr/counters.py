@@ -39,6 +39,14 @@ CACHE_FIELDS = ("cache_hits", "cache_misses", "cached_bytes_saved")
 #: exactly like the wall timings and cache fields.
 FAULT_FIELDS = ("task_retries", "speculative_wins")
 
+#: Batch data-plane bookkeeping fields — how the engine moved the data
+#: (column batches vs per-record pairs), never what it computed.  The
+#: batch plane is byte-identical to the row plane by contract, so a
+#: batch run and a row run of the same job must compare equal; these are
+#: excluded from :meth:`JobCounters.comparable` and dataclass equality
+#: like the wall timings.  Zero on the row plane.
+BATCH_FIELDS = ("batches", "batch_rows")
+
 
 @dataclass
 class JobCounters:
@@ -112,14 +120,23 @@ class JobCounters:
     #: speculative duplicate attempts that committed first for this job
     speculative_wins: int = field(default=0, compare=False)
 
+    # -- batch data-plane bookkeeping (not deterministic results; see
+    # BATCH_FIELDS) ----------------------------------------------------------
+    #: column batches moved through the job (map blocks + reduce streams);
+    #: 0 when the job ran on the row plane
+    batches: int = field(default=0, compare=False)
+    #: records those batches carried
+    batch_rows: int = field(default=0, compare=False)
+
     # -- convenience -----------------------------------------------------------
 
     def comparable(self) -> Dict[str, object]:
         """Every deterministic field — what golden snapshots pin and
         executor-identity tests compare (wall timings, cache
-        bookkeeping, and fault-tolerance bookkeeping excluded)."""
+        bookkeeping, fault-tolerance bookkeeping, and batch-plane
+        bookkeeping excluded)."""
         data = dict(vars(self))
-        for name in TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS:
+        for name in TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS + BATCH_FIELDS:
             data.pop(name, None)
         return data
 
@@ -181,6 +198,10 @@ class JobCounters:
             # Attempt bookkeeping counts scheduler events, not volume.
             task_retries=self.task_retries,
             speculative_wins=self.speculative_wins,
+            # Batch count tracks tasks, not volume; the rows they carried
+            # scale with the data.
+            batches=self.batches,
+            batch_rows=int(self.batch_rows * factor),
         )
 
 

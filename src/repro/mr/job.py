@@ -26,6 +26,35 @@ from repro.mr.kv import Key, TagPolicy
 
 EmitFn = Callable[[Row], Optional[Tuple[Key, Dict[str, object]]]]
 
+#: Batch emit kernel: ``kernel(cols, n) -> (sel, m, key_seqs, payload_items)``
+#: where ``cols`` is the split's record-aligned column view, ``m`` the
+#: number of surviving records, ``sel`` their record indices (``None``
+#: when ``key_seqs``/``payload_items`` are already the m survivors), and
+#: ``payload_items`` an ordered ``[(column_name, value_seq), ...]``.
+#: When ``sel`` is a list, the sequences stay record-aligned and the
+#: engine gathers through it.
+BatchEmitFn = Callable[[Dict[str, list], int],
+                       Tuple[Optional[list], int, List[list],
+                             List[Tuple[str, list]]]]
+
+
+@dataclass
+class BatchEmit:
+    """The columnar twin of an :class:`EmitSpec`'s ``emit`` closure.
+
+    ``raw=True`` promises the kernel returns *record-aligned source
+    sequences* plus a selection vector (no per-record reshaping), which
+    is what lets the engine merge several specs over one scan into
+    combined-visibility blocks.  ``key_src`` names the source columns the
+    key is read from when the key is a plain column projection — two raw
+    specs with equal ``key_src`` are guaranteed to emit equal keys for
+    the same record, the precondition for tag merging.
+    """
+
+    kernel: BatchEmitFn
+    key_src: Optional[Tuple[str, ...]] = None
+    raw: bool = False
+
 
 @dataclass
 class EmitSpec:
@@ -40,10 +69,16 @@ class EmitSpec:
     roles share bytes (the paper's "remove redundant map outputs").
     The reduce side reconstitutes key columns from ``key`` (they are not
     duplicated into the payload, matching the paper's Fig. 5 jobs).
+
+    ``batch``, when present, is the equivalent columnar kernel (see
+    :class:`BatchEmit`); jobs whose specs all carry one are eligible for
+    the batch data plane.  Hand-built jobs leave it ``None`` and run on
+    the row plane.
     """
 
     role: str
     emit: EmitFn
+    batch: Optional[BatchEmit] = None
 
 
 @dataclass

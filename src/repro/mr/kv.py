@@ -117,3 +117,55 @@ def pairs_bytes(pairs: Sequence[Tuple[Key, TaggedValue]],
 def rows_bytes(rows: Iterable[Dict[str, object]]) -> int:
     """Estimated text-file size of output rows (HDFS write accounting)."""
     return sum(value_bytes(row) for row in rows)
+
+
+def blocks_bytes(blocks: Iterable[object], universe_size: int,
+                 policy: TagPolicy = TagPolicy.BEST) -> int:
+    """Total estimated wire size of columnar pair blocks.
+
+    Charge-identical to :func:`pairs_bytes` over the pairs a block
+    transposes to: every pair in a block shares the block's tag and
+    column layout, so the per-pair overhead (tag + one delimiter per
+    field) folds into one multiply and the ``str()`` accounting runs
+    down whole columns.  Blocks are duck-typed (``tag``/``keys``/
+    ``columns``) so this module stays import-free of the engine.
+    """
+    total = 0
+    for block in blocks:
+        keys = block.keys
+        m = len(keys)
+        if not m:
+            continue
+        tag = tag_bytes(block.tag, universe_size, policy)
+        columns = block.columns
+        arity = len(keys[0])
+        total += m * (tag + arity + len(columns))
+        if arity == 1 and type(keys[0][0]) is str:
+            try:
+                # All-string single-column keys: one C-level pass.
+                # ``join`` rejects any non-string, so the fallback keeps
+                # identical accounting for mixed keys.
+                total += len("".join([k[0] for k in keys]))
+            except TypeError:
+                for key in keys:
+                    part = key[0]
+                    total += (len(part) if type(part) is str
+                              else len(str(part)))
+        else:
+            for key in keys:
+                for part in key:
+                    total += (len(part) if type(part) is str
+                              else len(str(part)))
+        for col in columns.values():
+            if col and type(col[0]) is str:
+                try:
+                    # Homogeneous string columns length-sum at C speed;
+                    # mixed columns fall back to the per-value loop with
+                    # identical accounting.
+                    total += len("".join(col))
+                    continue
+                except TypeError:
+                    pass
+            for v in col:
+                total += len(v) if type(v) is str else len(str(v))
+    return total

@@ -755,6 +755,13 @@ class Runtime:
     (first commit wins, the loser's outputs are discarded).  None of
     this changes rows or ``comparable()`` counters — that invariant is
     what the fault-tolerance tests pin.
+
+    ``data_plane`` selects the columnar batch engine (``"batch"``) or
+    the historical per-row engine (``"row"``); ``None`` resolves the
+    ``REPRO_DATA_PLANE`` environment default (batch) per job graph.
+    Both planes are byte-identical in rows and ``comparable()``
+    counters, which is what lets the result cache, golden snapshots,
+    and refexec oracle stay plane-agnostic.
     """
 
     def __init__(self, datastore: Datastore,
@@ -765,7 +772,8 @@ class Runtime:
                  scheduler: str = "dataflow",
                  fault_plan: Optional[FaultPlan] = None,
                  max_attempts: Optional[int] = None,
-                 speculate: bool = False):
+                 speculate: bool = False,
+                 data_plane: Optional[str] = None):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
@@ -787,6 +795,10 @@ class Runtime:
         self.fault_plan = fault_plan
         self.max_attempts = max_attempts
         self.speculate = speculate
+        #: "row" / "batch" / None (resolve REPRO_DATA_PLANE per graph);
+        #: both planes are byte-identical, so the result cache stays
+        #: plane-agnostic and entries are shared across planes
+        self.data_plane = data_plane
 
     # -- public API --------------------------------------------------------
 
@@ -884,7 +896,8 @@ class Runtime:
         task's trace prerequisites — the wave barrier, made explicit."""
         if self.trace is not None:
             self.trace.waves.append([job.job_id for job in jobs])
-        graphs = [JobTaskGraph(job, self.datastore, self.split_rows)
+        graphs = [JobTaskGraph(job, self.datastore, self.split_rows,
+                               data_plane=self.data_plane)
                   for job in jobs]
 
         map_tasks = [(graph, task) for graph in graphs
@@ -1060,7 +1073,8 @@ class Runtime:
         for order, job in enumerate(jobs):
             st = _JobState(job, order)
             st.graph = JobTaskGraph(job, self.datastore, self.split_rows,
-                                    defer=True)
+                                    defer=True,
+                                    data_plane=self.data_plane)
             deps = list(dict.fromkeys(dependencies.get(job.job_id, ())))
             st.deps_left = set(deps)
             scan_union: Set[str] = set()

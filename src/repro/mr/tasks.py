@@ -55,6 +55,7 @@ job's ``phase_wall_s`` (surfaced by ``repro run --timings``).
 from __future__ import annotations
 
 import functools
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -66,9 +67,11 @@ from repro.data.datastore import Datastore
 from repro.data.table import Row, Table
 from repro.errors import ExecutionError
 from repro.expr.aggregates import accumulator_factory
+from repro.mr.blocks import PairBlock, ValueStream, ingest_streams, zip_keys
 from repro.mr.counters import JobCounters
 from repro.mr.job import MRJob, MapInput, OutputSpec
-from repro.mr.kv import Key, TaggedValue, pairs_bytes, rows_bytes
+from repro.mr.kv import (Key, TaggedValue, blocks_bytes, pairs_bytes,
+                         rows_bytes)
 
 
 #: ``split_rows="auto"`` aims for this many map tasks per input …
@@ -92,6 +95,49 @@ def auto_split_rows(num_rows: int) -> Optional[int]:
     if num_rows <= AUTO_SPLIT_MIN_ROWS:
         return None
     return max(AUTO_SPLIT_MIN_ROWS, -(-num_rows // AUTO_SPLIT_TARGET_TASKS))
+
+
+def default_data_plane() -> str:
+    """The data plane jobs run on unless the caller picks one explicitly.
+
+    ``REPRO_DATA_PLANE=row`` forces the per-record pair plane everywhere
+    (the CI row-plane leg and the benchmark baseline use it); the
+    default is the columnar batch plane.  Read at call time so tests can
+    flip it per case.
+    """
+    plane = os.environ.get("REPRO_DATA_PLANE", "batch")
+    if plane not in ("row", "batch"):
+        raise ExecutionError(
+            f"REPRO_DATA_PLANE must be 'row' or 'batch', got {plane!r}")
+    return plane
+
+
+def _job_batch_eligible(job: MRJob) -> bool:
+    """Whether this job can run on the batch plane.
+
+    Requires a batch kernel on every emit spec, a reducer that speaks
+    :meth:`~repro.cmf.CommonReducer.reduce_segments`, and — for shared
+    scans (several specs over one input) — raw record-aligned kernels
+    that key on the same source columns, the precondition for merging
+    per-record emissions into combined-visibility blocks exactly like
+    the row plane's per-record merge.  Hand-built jobs fail the check
+    and transparently run on the row plane.
+    """
+    if not hasattr(job.reducer, "reduce_segments"):
+        return False
+    for map_input in job.map_inputs:
+        specs = map_input.specs
+        for spec in specs:
+            if spec.batch is None:
+                return False
+        if len(specs) > 1:
+            key_src = specs[0].batch.key_src
+            if key_src is None:
+                return False
+            if not all(s.batch.raw and s.batch.key_src == key_src
+                       for s in specs):
+                return False
+    return True
 
 
 def _canonical(value: object) -> object:
@@ -246,6 +292,12 @@ class TaskCounters:
     groups: int = 0
     dispatch_ops: int = 0
     compute_ops: int = 0
+    #: column batches this task produced (map) or consumed as value
+    #: streams (reduce); 0 on the row plane.  Bookkeeping, not results —
+    #: folded into ``JobCounters.batches``/``batch_rows``, which are
+    #: excluded from comparisons (see ``repro.mr.counters.BATCH_FIELDS``).
+    batches: int = 0
+    batch_rows: int = 0
     #: measured wall-clock seconds of this task's ``run`` (not
     #: deterministic — excluded from equality, folded into the job's
     #: ``phase_wall_s`` map/reduce entries)
@@ -257,12 +309,21 @@ Pair = Tuple[Key, TaggedValue]
 
 @dataclass
 class InputSplit:
-    """A contiguous slice of one map input's records."""
+    """A contiguous slice of one map input's records.
+
+    On the batch plane the planner also attaches ``columns`` — the
+    split's record-aligned columnar view (shared with the table's cached
+    view for single-split inputs, sliced per split otherwise).  Map
+    tasks branch on its presence, so a split fully determines the plane
+    its task runs on — retried attempts rebuild the task from the same
+    split and land on the same plane.
+    """
 
     dataset: str
     index: int
     start: int
     rows: List[Row]
+    columns: Optional[Dict[str, list]] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -278,6 +339,9 @@ class MapTaskOutput:
     #: flat pair list, for sort_output jobs (range split points need the
     #: global key set, so partitioning happens at shuffle time)
     pairs: Optional[List[Pair]] = None
+    #: batch-plane twins of the two fields above
+    block_partitions: Optional[Dict[int, List[PairBlock]]] = None
+    blocks: Optional[List[PairBlock]] = None
 
 
 def _merge_record(emitted, tags: Dict[Tuple[str, ...], frozenset],
@@ -345,6 +409,8 @@ class MapTask:
         self.task_id = f"{job.job_id}/map/{map_input.dataset}[{split.index}]"
 
     def run(self) -> MapTaskOutput:
+        if self.split.columns is not None:
+            return self._run_batch()
         start = time.perf_counter()
         job, specs = self.job, self.map_input.specs
         counters = TaskCounters(self.task_id, "map", job.job_id)
@@ -460,6 +526,181 @@ class MapTask:
             _merge_record(emitted, tags, append)
         return pairs
 
+    # -- batch plane -------------------------------------------------------
+
+    def _run_batch(self) -> MapTaskOutput:
+        """Columnar twin of :meth:`run`: one kernel call per emit spec
+        over the split's column view, producing :class:`PairBlock` runs
+        that transpose to exactly the pairs the row loop would emit —
+        same keys, payload values, role tags, order, and counters."""
+        start = time.perf_counter()
+        job, specs = self.job, self.map_input.specs
+        counters = TaskCounters(self.task_id, "map", job.job_id)
+        cols = self.split.columns
+        n = len(self.split.rows)
+        counters.input_records = n
+
+        if len(specs) == 1:
+            spec = specs[0]
+            sel, m, key_seqs, payload_items = spec.batch.kernel(cols, n)
+            if m:
+                blocks = [self._build_block(frozenset((spec.role,)),
+                                            sel, m, key_seqs, payload_items)]
+            else:
+                blocks = []
+        else:
+            blocks = self._emit_merged_batch(specs, cols, n)
+        counters.eval_ops = n * len(specs)
+
+        counters.pre_combine_records = sum(len(b) for b in blocks)
+        if job.map_agg is not None:
+            blocks = _combine_blocks(job.map_agg.agg_specs, blocks)
+
+        out_records = sum(len(b) for b in blocks)
+        counters.output_records = out_records
+        counters.output_bytes = blocks_bytes(blocks, job.role_universe,
+                                             job.tag_policy)
+        counters.batches = len(blocks)
+        counters.batch_rows = out_records
+
+        if job.sort_output:
+            output = MapTaskOutput(counters, blocks=blocks)
+        else:
+            output = MapTaskOutput(
+                counters, block_partitions=self._partition_blocks(blocks))
+        counters.wall_s = time.perf_counter() - start
+        return output
+
+    @staticmethod
+    def _build_block(tag: frozenset, sel: Optional[list], m: int,
+                     key_seqs: List[list],
+                     payload_items: List[Tuple[str, list]]) -> PairBlock:
+        """Materialize one kernel result as a block.  ``sel=None`` means
+        the sequences already hold exactly the m survivors (zero-copy
+        when they alias source columns); otherwise they stay
+        record-aligned and are gathered through ``sel`` here."""
+        if sel is None:
+            keys = zip_keys(key_seqs, m)
+            columns = dict(payload_items)
+        else:
+            keys = zip_keys([[seq[i] for i in sel] for seq in key_seqs], m)
+            columns = {name: [seq[i] for i in sel]
+                       for name, seq in payload_items}
+        return PairBlock(tag, keys, columns, None)
+
+    @staticmethod
+    def _emit_merged_batch(specs, cols: Dict[str, list],
+                           n: int) -> List[PairBlock]:
+        """Columnar twin of :meth:`_emit_merged` for shared scans.
+
+        Eligibility guarantees every spec's kernel is *raw* (returns
+        record-aligned source sequences plus a selection) and keys on
+        the same source columns, so per-record emissions always merge:
+        each record yields one pair tagged with the roles whose
+        selections kept it.  Records are bucketed by that role
+        combination; each bucket becomes one block whose ``order``
+        carries the record indices, preserving global emission order.
+        """
+        results = []
+        roles = []
+        for spec in specs:
+            results.append(spec.batch.kernel(cols, n))
+            roles.append(spec.role)
+
+        if all(res[0] is None for res in results):
+            # Every spec keeps every record: a single all-roles block.
+            if n == 0:
+                return []
+            srcs: Dict[str, list] = {}
+            for _, _, _, payload_items in results:
+                for name, seq in payload_items:
+                    srcs[name] = seq
+            return [PairBlock(frozenset(roles),
+                              zip_keys(results[0][2], n), srcs, None)]
+
+        base = 0
+        sel_specs = []
+        for j, res in enumerate(results):
+            if res[0] is None:
+                base |= 1 << j
+            else:
+                sel_specs.append((j, res[0]))
+        combo = [base] * n
+        for j, sel in sel_specs:
+            bit = 1 << j
+            for i in sel:
+                combo[i] |= bit
+
+        buckets: Dict[int, List[int]] = {}
+        probe = buckets.get
+        for i, c in enumerate(combo):
+            if c:
+                bucket = probe(c)
+                if bucket is None:
+                    bucket = buckets[c] = []
+                bucket.append(i)
+
+        # Shared key_src: every spec's key sequences hold equal values,
+        # so the first spec's serve all combinations.
+        key_seqs = results[0][2]
+        blocks: List[PairBlock] = []
+        for c, idxs in buckets.items():
+            tag = frozenset(role for j, role in enumerate(roles)
+                            if c >> j & 1)
+            keys = zip_keys([[seq[i] for i in idxs] for seq in key_seqs],
+                            len(idxs))
+            # Payload union in spec order (later specs overwrite shared
+            # names, matching the row merge's dict.update).
+            srcs = {}
+            for j, res in enumerate(results):
+                if c >> j & 1:
+                    for name, seq in res[3]:
+                        srcs[name] = seq
+            columns = {name: [seq[i] for i in idxs]
+                       for name, seq in srcs.items()}
+            blocks.append(PairBlock(tag, keys, columns, idxs))
+        return blocks
+
+    def _partition_blocks(self, blocks: Sequence[PairBlock]
+                          ) -> Dict[int, List[PairBlock]]:
+        """Hash-partition blocks into per-reducer sub-blocks, caching the
+        key → partition resolution like the row path's :meth:`_partition`.
+        Blocks whose keys all land on one partition pass through whole
+        (the common single-group aggregation shape) — zero copying."""
+        num_reducers = self.job.num_reducers
+        buffers: Dict[int, List[PairBlock]] = {}
+        for block in blocks:
+            route: Dict[Key, int] = {}
+            route_get = route.get
+            pids = []
+            append = pids.append
+            for key in block.keys:
+                pid = route_get(key)
+                if pid is None:
+                    pid = stable_hash(key) % num_reducers
+                    route[key] = pid
+                append(pid)
+            if len(route) == 1 or len(set(pids)) == 1:
+                pid = pids[0]
+                bucket = buffers.get(pid)
+                if bucket is None:
+                    bucket = buffers[pid] = []
+                bucket.append(block)
+                continue
+            by_pid: Dict[int, List[int]] = {}
+            probe = by_pid.get
+            for i, pid in enumerate(pids):
+                idxs = probe(pid)
+                if idxs is None:
+                    idxs = by_pid[pid] = []
+                idxs.append(i)
+            for pid, idxs in by_pid.items():
+                bucket = buffers.get(pid)
+                if bucket is None:
+                    bucket = buffers[pid] = []
+                bucket.append(block.gather(idxs))
+        return buffers
+
     def _partition(self, pairs: Sequence[Pair]) -> Dict[int, List[Pair]]:
         """Hash-partition into per-reducer shuffle buffers, caching the
         key → buffer resolution (keys repeat heavily, so most pairs cost
@@ -503,6 +744,57 @@ def _combine(agg_specs, pairs: List[Pair]) -> List[Pair]:
         payload = {slot: acc.state() for slot, acc in partials[key].items()}
         out.append((key, TaggedValue(roles[key], payload)))
     return out
+
+
+def _combine_blocks(agg_specs, blocks: Sequence[PairBlock]
+                    ) -> List[PairBlock]:
+    """Batch twin of :func:`_combine`: collapse the task's blocks per key
+    into one block of partial accumulator states.
+
+    ``map_agg`` is only configured on single-role jobs, so every input
+    block shares one tag and the output is a single block in key
+    first-occurrence order — the same pair order :func:`_combine`
+    produces.  Per-key accumulation uses the accumulators' column-slice
+    folds (``add_seq``), which are fold-equivalent to the sequential
+    per-pair ``add`` by contract.
+    """
+    factories = [(slot, accumulator_factory(func, distinct, star))
+                 for slot, (func, distinct, star) in agg_specs.items()]
+    partials: Dict[Key, Dict[str, object]] = {}
+    order: List[Key] = []
+    tag = None
+    for block in blocks:
+        if tag is None:
+            tag = block.tag
+        columns = block.columns
+        idxs_by_key: Dict[Key, List[int]] = {}
+        key_order: List[Key] = []
+        probe = idxs_by_key.get
+        for i, key in enumerate(block.keys):
+            idxs = probe(key)
+            if idxs is None:
+                idxs_by_key[key] = [i]
+                key_order.append(key)
+            else:
+                idxs.append(i)
+        for key in key_order:
+            idxs = idxs_by_key[key]
+            accs = partials.get(key)
+            if accs is None:
+                accs = {slot: factory() for slot, factory in factories}
+                partials[key] = accs
+                order.append(key)
+            for slot, acc in accs.items():
+                col = columns.get(slot)
+                if col is None:
+                    acc.add_repeat(None, len(idxs))
+                else:
+                    acc.add_seq(col, idxs)
+    if not order:
+        return []
+    out_columns = {slot: [partials[key][slot].state() for key in order]
+                   for slot, _ in factories}
+    return [PairBlock(tag, order, out_columns, None)]
 
 
 @dataclass
@@ -565,6 +857,75 @@ class ReduceTask:
         return ReduceTaskOutput(counters, buffers)
 
 
+class BatchReduceTask:
+    """Reduce one partition's key groups from columnar value streams.
+
+    The batch twin of :class:`ReduceTask`: instead of per-key value
+    lists it holds the partition's :class:`ValueStream` objects and the
+    sorted group keys, handing each group to the reducer as ``(stream,
+    indices)`` segments.  Counters, output rows, and dispatch/compute
+    ops are identical to the row task by the segment contract.
+    """
+
+    __slots__ = ("job", "partition", "keys", "streams", "task_id",
+                 "_input_records")
+
+    def __init__(self, job: MRJob, partition: int, keys: List[Key],
+                 streams: List[ValueStream], input_records: int):
+        self.job = job
+        self.partition = partition
+        self.keys = keys
+        self.streams = streams
+        self._input_records = input_records
+        self.task_id = f"{job.job_id}/reduce[{partition}]"
+
+    @property
+    def input_records(self) -> int:
+        return self._input_records
+
+    def run(self) -> ReduceTaskOutput:
+        start = time.perf_counter()
+        job = self.job
+        counters = TaskCounters(self.task_id, "reduce", job.job_id)
+        counters.input_records = self._input_records
+        counters.groups = len(self.keys)
+        reducer = job.reducer.clone()
+        buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        reduce_segments = reducer.reduce_segments
+        buffer_get = buffers.get
+        streams = self.streams
+        if len(streams) == 1:
+            # Single stream (one tag + layout reached this partition):
+            # skip the per-key stream scan.
+            stream = streams[0]
+            by_key = stream.by_key.get
+            for key in self.keys:
+                idxs = by_key(key)
+                segs = [(stream, idxs)] if idxs else []
+                for task_id, rows in reduce_segments(key, segs).items():
+                    if rows:
+                        buffer = buffer_get(task_id)
+                        if buffer is not None:
+                            buffer.extend(rows)
+        else:
+            lookups = [(stream, stream.by_key.get) for stream in streams]
+            for key in self.keys:
+                segs = [(stream, idxs) for stream, get in lookups
+                        if (idxs := get(key))]
+                for task_id, rows in reduce_segments(key, segs).items():
+                    if rows:
+                        buffer = buffer_get(task_id)
+                        if buffer is not None:
+                            buffer.extend(rows)
+        counters.dispatch_ops = reducer.dispatch_ops()
+        counters.compute_ops = reducer.compute_ops()
+        counters.output_records = sum(len(r) for r in buffers.values())
+        counters.batches = len(streams)
+        counters.batch_rows = self._input_records
+        counters.wall_s = time.perf_counter() - start
+        return ReduceTaskOutput(counters, buffers)
+
+
 # ---------------------------------------------------------------------------
 # The per-job task graph
 # ---------------------------------------------------------------------------
@@ -595,7 +956,8 @@ class JobTaskGraph:
 
     def __init__(self, job: MRJob, datastore: Datastore,
                  split_rows: Optional[object] = None,
-                 defer: bool = False):
+                 defer: bool = False,
+                 data_plane: Optional[str] = None):
         job.validate()
         if not (split_rows is None or split_rows == "auto"
                 or (isinstance(split_rows, int) and not isinstance(
@@ -603,9 +965,19 @@ class JobTaskGraph:
             raise ExecutionError(
                 f"job {job.job_id}: split_rows must be >= 1, None, or "
                 f"'auto', got {split_rows!r}")
+        if data_plane is None:
+            data_plane = default_data_plane()
+        elif data_plane not in ("row", "batch"):
+            raise ExecutionError(
+                f"job {job.job_id}: data_plane must be 'row' or 'batch', "
+                f"got {data_plane!r}")
         self.job = job
         self.datastore = datastore
         self.split_rows = split_rows
+        self.data_plane = data_plane
+        #: the plane this job actually runs on: ``batch`` requires every
+        #: emit spec to carry a kernel (hand-built jobs fall back to row)
+        self._batch = data_plane == "batch" and _job_batch_eligible(job)
         self.counters = JobCounters(job_id=job.job_id, name=job.name,
                                     num_reducers=job.num_reducers)
         self._planned: List[Optional[List[MapTask]]] = \
@@ -634,7 +1006,8 @@ class JobTaskGraph:
             table.estimated_bytes())
         planned = [MapTask(self.job, map_input, split)
                    for split in _plan_splits(map_input.dataset, table,
-                                             self.split_rows)]
+                                             self.split_rows,
+                                             batch=self._batch)]
         self._planned[index] = planned
         self._unplanned -= 1
         return planned
@@ -677,9 +1050,14 @@ class JobTaskGraph:
             counters.pre_combine_records += tc.pre_combine_records
             counters.map_output_records += tc.output_records
             counters.map_output_bytes += tc.output_bytes
+            counters.batches += tc.batches
+            counters.batch_rows += tc.batch_rows
             map_wall += tc.wall_s
 
-        if job.sort_output:
+        if self._batch:
+            tasks = (self._range_partitions_batch(outputs) if job.sort_output
+                     else self._hash_partitions_batch(outputs))
+        elif job.sort_output:
             tasks = self._range_partitions(outputs)
         else:
             tasks = self._hash_partitions(outputs)
@@ -687,7 +1065,10 @@ class JobTaskGraph:
         if not tasks and _wants_default_group(job):
             # Grand-aggregate jobs reduce once even on empty input (SQL
             # semantics: a global aggregate over nothing yields one row).
-            tasks = [ReduceTask(job, 0, [((), [])])]
+            if self._batch:
+                tasks = [BatchReduceTask(job, 0, [()], [], 0)]
+            else:
+                tasks = [ReduceTask(job, 0, [((), [])])]
             counters.reduce_groups = 1
 
         loads = [t.input_records for t in tasks]
@@ -769,6 +1150,60 @@ class JobTaskGraph:
             for pid, i in enumerate(range(0, len(keys), chunk))
         ]
 
+    def _hash_partitions_batch(self, outputs: Sequence[MapTaskOutput]
+                               ) -> List[BatchReduceTask]:
+        """Batch twin of :meth:`_hash_partitions`: concatenate each
+        partition's blocks (in map-task order) into value streams, then
+        sort the union of group keys.  Distinct keys never tie under
+        :func:`_asc_sort_key` (equal sort keys imply equal dict keys),
+        so the sorted order is identical to the row path's."""
+        tasks: List[BatchReduceTask] = []
+        job, chunks = self.job, []
+        for seq, output in enumerate(outputs):
+            if output.block_partitions:
+                chunks.append((seq, output.block_partitions))
+        for pid in range(job.num_reducers):
+            pid_blocks = [(seq, block) for seq, partitions in chunks
+                          for block in partitions.get(pid, ())]
+            if not pid_blocks:
+                continue
+            streams = ingest_streams(pid_blocks)
+            group_keys = set()
+            for stream in streams:
+                group_keys.update(stream.by_key)
+            keys = sorted(group_keys, key=_asc_sort_key)
+            self.counters.reduce_groups += len(keys)
+            records = sum(len(stream) for stream in streams)
+            tasks.append(BatchReduceTask(job, pid, keys, streams, records))
+        return tasks
+
+    def _range_partitions_batch(self, outputs: Sequence[MapTaskOutput]
+                                ) -> List[BatchReduceTask]:
+        """Batch twin of :meth:`_range_partitions`: one global stream
+        ingest, then contiguous key ranges.  Tasks share the (read-only)
+        streams; each carries only its own key chunk."""
+        job = self.job
+        blocks = [(seq, block) for seq, output in enumerate(outputs)
+                  for block in output.blocks or ()]
+        streams = ingest_streams(blocks)
+        group_keys = set()
+        for stream in streams:
+            group_keys.update(stream.by_key)
+        self.counters.reduce_groups += len(group_keys)
+        if not group_keys:
+            return []
+        keys = sorted(group_keys, key=make_sort_key(job.sort_ascending))
+        chunk = max(1, -(-len(keys) // job.num_reducers))
+        tasks: List[BatchReduceTask] = []
+        for pid, i in enumerate(range(0, len(keys), chunk)):
+            chunk_keys = keys[i:i + chunk]
+            records = sum(
+                len(idxs) for stream in streams for key in chunk_keys
+                if (idxs := stream.by_key.get(key)) is not None)
+            tasks.append(BatchReduceTask(job, pid, chunk_keys, streams,
+                                         records))
+        return tasks
+
     # -- finalize ----------------------------------------------------------
 
     def finalize(self, results: Sequence[ReduceTaskOutput]) -> JobCounters:
@@ -782,6 +1217,8 @@ class JobTaskGraph:
         for result in results:
             counters.reduce_dispatch_ops += result.counters.dispatch_ops
             counters.reduce_compute_ops += result.counters.compute_ops
+            counters.batches += result.counters.batches
+            counters.batch_rows += result.counters.batch_rows
             reduce_wall += result.counters.wall_s
             for task_id, rows in result.buffers.items():
                 if task_id in buffers:
@@ -817,7 +1254,8 @@ class JobTaskGraph:
 
 
 def _plan_splits(dataset: str, table: Table,
-                 split_rows: Optional[object]) -> List[InputSplit]:
+                 split_rows: Optional[object],
+                 batch: bool = False) -> List[InputSplit]:
     """Cut one map input into splits (one split when ``split_rows`` is
     None or the table is smaller; ``"auto"`` resolves to
     :func:`auto_split_rows` of the table's row count; empty tables still
@@ -834,9 +1272,19 @@ def _plan_splits(dataset: str, table: Table,
     if split_rows == "auto":
         split_rows = auto_split_rows(len(rows))
     if split_rows is None or len(rows) <= split_rows:
-        return [InputSplit(dataset, 0, 0, rows)]
-    return [InputSplit(dataset, i, start, rows[start:start + split_rows])
-            for i, start in enumerate(range(0, len(rows), split_rows))]
+        columns = table.column_batch() if batch else None
+        return [InputSplit(dataset, 0, 0, rows, columns)]
+    splits = [InputSplit(dataset, i, start, rows[start:start + split_rows])
+              for i, start in enumerate(range(0, len(rows), split_rows))]
+    if batch:
+        # Slice the table's cached column view per split (the batch twin
+        # of the row-slice sharing above).
+        cols = table.column_batch()
+        for split in splits:
+            end = split.start + len(split.rows)
+            split.columns = {name: col[split.start:end]
+                             for name, col in cols.items()}
+    return splits
 
 
 def _wants_default_group(job: MRJob) -> bool:

@@ -22,9 +22,15 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.data.table import Row
 from repro.errors import ExecutionError
 from repro.expr.aggregates import Accumulator, accumulator_factory
+from repro.mr.blocks import Segment, merged_stream_indices
 from repro.mr.kv import Key
 from repro.plan.nodes import Filter, Project, Stage
-from repro.refexec.executor import compile_resolved, compile_resolved_predicate
+from repro.refexec.executor import (
+    compile_resolved,
+    compile_resolved_batch,
+    compile_resolved_predicate,
+    compile_resolved_predicate_batch,
+)
 
 
 def _make_key_builder(fns: Sequence[Callable[[Row], object]]
@@ -59,17 +65,51 @@ class CompiledStages:
 
     def __init__(self, stages: Sequence[Stage]):
         self._ops: List[Tuple[str, object]] = []
+        batch_ops: List[Tuple[str, object]] = []
+        batch_ok = True
         for stage in stages:
             if isinstance(stage, Filter):
                 self._ops.append(("filter",
                                   compile_resolved_predicate(stage.predicate)))
+                if batch_ok:
+                    try:
+                        batch_ops.append(("filter",
+                                          compile_resolved_predicate_batch(
+                                              stage.predicate)))
+                    except Exception:
+                        batch_ok = False
             elif isinstance(stage, Project):
                 compiled = [(o.name, compile_resolved(o.expr))
                             for o in stage.outputs]
                 self._ops.append(("project", compiled))
+                if batch_ok:
+                    try:
+                        batch_ops.append(
+                            ("project",
+                             [(o.name, compile_resolved_batch(o.expr))
+                              for o in stage.outputs]))
+                    except Exception:
+                        batch_ok = False
             else:
                 raise ExecutionError(f"unknown stage type {type(stage).__name__}")
+        #: the columnar twin of ``_ops``, or None when some expression has
+        #: no batch kernel — callers then stay on the row path.
+        self._batch_ops = batch_ops if batch_ok else None
         self._pipeline = self._fuse()
+
+    @staticmethod
+    def _direct_pairs(op) -> Optional[List[Tuple[str, str]]]:
+        """``(name, slot)`` pairs when every projected expression is a
+        plain strict column lookup (``direct_strict``), else None.  Such
+        projections can rebuild rows by dict indexing instead of one
+        compiled-function call per field."""
+        pairs = []
+        for name, fn in op:
+            slot = getattr(fn, "direct_slot", None)
+            if slot is None or not getattr(fn, "direct_strict", False):
+                return None
+            pairs.append((name, slot))
+        return pairs
 
     def _fuse(self) -> Optional[Callable[[List[Row]], List[Row]]]:
         ops = self._ops
@@ -79,10 +119,22 @@ class CompiledStages:
             kind, op = ops[0]
             if kind == "filter":
                 return lambda rows: [r for r in rows if op(r)]
+            pairs = self._direct_pairs(op)
+            if pairs is not None:
+                def project_direct(rows: List[Row]) -> List[Row]:
+                    try:
+                        return [{n: r[s] for n, s in pairs} for r in rows]
+                    except KeyError:
+                        # A row lacks a projected column: re-run through
+                        # the compiled lookups so the resolver raises its
+                        # own error, not a bare KeyError.
+                        return [{name: fn(r) for name, fn in op}
+                                for r in rows]
+                return project_direct
             return lambda rows: [{name: fn(r) for name, fn in op}
                                  for r in rows]
 
-        def fused(rows: List[Row]) -> List[Row]:
+        def fused_compiled(rows: List[Row]) -> List[Row]:
             out: List[Row] = []
             append = out.append
             for row in rows:
@@ -95,6 +147,41 @@ class CompiledStages:
                 else:
                     append(row)
             return out
+
+        fast_ops: List[Tuple[str, object]] = []
+        any_direct = False
+        for kind, op in ops:
+            if kind == "project":
+                pairs = self._direct_pairs(op)
+                if pairs is not None:
+                    fast_ops.append(("direct", pairs))
+                    any_direct = True
+                    continue
+            fast_ops.append((kind, op))
+        if not any_direct:
+            return fused_compiled
+
+        def fused(rows: List[Row]) -> List[Row]:
+            try:
+                out: List[Row] = []
+                append = out.append
+                for row in rows:
+                    for kind, op in fast_ops:
+                        if kind == "filter":
+                            if not op(row):
+                                break
+                        elif kind == "direct":
+                            row = {n: row[s] for n, s in op}
+                        else:
+                            row = {name: fn(row) for name, fn in op}
+                    else:
+                        append(row)
+                return out
+            except KeyError:
+                # Stages are pure per-row functions, so recomputing from
+                # scratch on the compiled path is value-identical and
+                # surfaces the resolver's error for the missing column.
+                return fused_compiled(rows)
 
         return fused
 
@@ -113,6 +200,30 @@ class CompiledStages:
             else:
                 row = {name: fn(row) for name, fn in op}
         return row
+
+    @property
+    def batch_supported(self) -> bool:
+        """True when every stage expression compiled to a batch kernel."""
+        return self._batch_ops is not None
+
+    def run_batch(self, cols, n: int, sel=None):
+        """Columnar :meth:`run`: drive a column batch through the chain.
+
+        ``cols`` maps name → record-aligned value sequence, ``sel`` the
+        current selection vector (None = all of 0..n-1).  Returns the
+        refined ``(cols, n, sel)``; filters narrow ``sel``, projects
+        materialize selected-aligned output columns and reset it.  The
+        surviving rows and their values are identical to :meth:`run`.
+        """
+        for kind, op in self._batch_ops:
+            if kind == "filter":
+                sel = op(cols, n, sel)
+            else:
+                m = n if sel is None else len(sel)
+                cols = {name: fn(cols, n, sel) for name, fn in op}
+                n = m
+                sel = None
+        return cols, n, sel
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -168,6 +279,10 @@ class ReduceTask:
         self.task_id = task_id
         self.inputs = list(inputs)
         self.stages = stages or CompiledStages([])
+        #: ``stages.run`` when there is a stage chain, else None — finish
+        #: implementations skip the no-op call (once per task per group).
+        self._stages_run = (self.stages.run
+                            if self.stages._pipeline is not None else None)
         self.compute_ops = 0
         self._buffers: Dict[str, List[Row]] = {}
         # Dispatch hot path: the common reducer checks every value's tag
@@ -193,6 +308,21 @@ class ReduceTask:
         # finish() then reads the buffer directly.
         self._src_is_sole = bool(self.inputs
                                  and self.inputs[0] is self._sole_input)
+        # Batch-plane row views, cached per (stream, input): a stream's
+        # records are materialized once with a bulk column transpose and
+        # every key group then fills its buffers by list indexing.
+        # Keyed by id(stream) — valid because the reduce task holds its
+        # streams alive for the whole run and every partition runs on a
+        # fresh clone.
+        self._seg_views: Dict[Tuple[int, str], List[Row]] = {}
+        #: fills amortize a bulk whole-stream row view; consumers whose
+        #: fills are a rare fallback (direct aggregations) clear this.
+        self._fill_via_view = True
+        self._inp_fill = tuple(
+            (i.ref, tuple(i.key_names),
+             i.key_names[0] if len(i.key_names) == 1 else None,
+             i.payload_map)
+            for i in self._shuffle_inputs)
 
     def clone(self) -> "ReduceTask":
         """A fresh task for another reduce partition: shares the
@@ -201,6 +331,7 @@ class ReduceTask:
         dup.compute_ops = 0
         dup._buffers = {}
         dup._sole_buffer = None
+        dup._seg_views = {}
         return dup
 
     @property
@@ -299,6 +430,191 @@ class ReduceTask:
                 consume(key, roles, tv.payload)
         return count
 
+    def consume_segments(self, key: Key, segs: Sequence[Segment],
+                         shuffle_roles: FrozenSet[str]) -> int:
+        """Batched ``next`` over column segments (the batch data plane).
+
+        ``segs`` lists the key group's ``(stream, indices)`` slices.  The
+        default implementation reconstitutes exactly the rows
+        :meth:`consume_all` would have buffered — same dicts, same order
+        — so every ``finish`` implementation works unchanged.  The
+        return value is the dispatch count: values whose tag intersects
+        ``shuffle_roles``, exactly as the row plane counts them.
+        """
+        sole_ref = self._sole_ref
+        if sole_ref is not None:
+            # One pass, no intermediate list: most groups draw each
+            # input from exactly one stream.
+            first = rest = None
+            for seg in segs:
+                if sole_ref in seg[0].tag:
+                    if first is None:
+                        first = seg
+                    elif rest is None:
+                        rest = [first, seg]
+                    else:
+                        rest.append(seg)
+            if rest is not None:
+                count = sum(len(idxs) for _, idxs in rest)
+                self._fill_buffer(self._sole_buffer, key, self._sole_keys,
+                                  self._sole_k0, self._sole_pm, sole_ref,
+                                  rest)
+                return count
+            if first is None:
+                return 0
+            stream, idxs = first
+            self._fill_one(self._sole_buffer, key, self._sole_keys,
+                           self._sole_k0, self._sole_pm, sole_ref,
+                           stream, idxs)
+            return len(idxs)
+        count = 0
+        for s, idxs in segs:
+            if not s.tag.isdisjoint(shuffle_roles):
+                count += len(idxs)
+        if not count:
+            return 0
+        for ref, key_names, k0, pm in self._inp_fill:
+            first = rest = None
+            for seg in segs:
+                if ref in seg[0].tag:
+                    if first is None:
+                        first = seg
+                    elif rest is None:
+                        rest = [first, seg]
+                    else:
+                        rest.append(seg)
+            if rest is not None:
+                self._fill_buffer(self._buffers[ref], key, key_names,
+                                  k0, pm, ref, rest)
+            elif first is not None:
+                stream, idxs = first
+                self._fill_one(self._buffers[ref], key, key_names, k0,
+                               pm, ref, stream, idxs)
+        return count
+
+    def _stream_view(self, stream, ref: str,
+                     key_names: Tuple[str, ...], k0: Optional[str],
+                     pm: Optional[List[Tuple[str, str]]]) -> List[Row]:
+        """The cached record-aligned row view of one (stream, input) pair.
+
+        Built once per stream with a C-level column transpose
+        (``zip(*cols)`` + ``dict(zip(names, vals))``) — the per-field
+        Python loop this replaces dominated small-group fills.  Each
+        record belongs to exactly one key group and each input keeps its
+        own view, so sharing the dicts with the fill buffers aliases
+        nothing the row plane would not also share.
+        """
+        views = self._seg_views
+        vkey = (id(stream), ref)
+        view = views.get(vkey)
+        if view is None:
+            cols = stream.columns
+            if pm is None:
+                names: Tuple[str, ...] = tuple(cols)
+                payload_cols = list(cols.values())
+            else:
+                names = tuple(tn for tn, _ in pm)
+                payload_cols = [cols[pn] for _, pn in pm]
+            n = len(stream.positions)
+            by_key = stream.by_key
+            # Key fields lead, exactly like the row plane's
+            # dict(zip(key_names, key)) base; a payload column sharing a
+            # key's name overwrites its value in place (dict(zip) keeps
+            # the first position, the last value — same as row.update).
+            if k0 is not None:
+                kseq: List[object] = [None] * n
+                for key, idxs in by_key.items():
+                    k = key[0]
+                    for i in idxs:
+                        kseq[i] = k
+                names = (k0,) + names
+                all_cols = [kseq] + payload_cols
+            else:
+                kseqs = [[None] * n for _ in key_names]
+                for key, idxs in by_key.items():
+                    for kc, seq in zip(key, kseqs):
+                        for i in idxs:
+                            seq[i] = kc
+                names = tuple(key_names) + names
+                all_cols = kseqs + payload_cols
+            view = views[vkey] = [dict(zip(names, vals))
+                                  for vals in zip(*all_cols)]
+        return view
+
+    def _fill_one(self, buffer: List[Row], key: Key,
+                  key_names: Tuple[str, ...], k0: Optional[str],
+                  pm: Optional[List[Tuple[str, str]]], ref: str,
+                  stream, idxs: List[int]) -> None:
+        """Materialize one stream's segment into ``buffer`` in order."""
+        use_view = self._fill_via_view
+        if use_view is None:
+            # Per-stream heuristic (direct aggregations): a whole-stream
+            # view pays off only when most records sit in tiny groups
+            # that will fill anyway; large-group streams keep the
+            # columnar fold path, so a view would double-materialize.
+            use_view = len(stream.positions) <= 8 * len(stream.by_key)
+        if use_view:
+            view = self._stream_view(stream, ref, key_names, k0, pm)
+            buffer.extend([view[i] for i in idxs])
+            return
+        # Rare-fallback fills (a large-group stream's occasional tiny
+        # group) build per record instead of paying a whole-stream view.
+        append = buffer.append
+        if k0 is not None:
+            base = {k0: key[0]}
+        else:
+            base = dict(zip(key_names, key))
+        cols = stream.columns
+        if pm is None:
+            named = list(cols.items())
+        else:
+            named = [(tn, cols[pn]) for tn, pn in pm]
+        if not named:
+            for _ in idxs:
+                append(dict(base))
+            return
+        for i in idxs:
+            row = dict(base)
+            for name, col in named:
+                row[name] = col[i]
+            append(row)
+
+    def _fill_buffer(self, buffer: List[Row], key: Key,
+                     key_names: Tuple[str, ...], k0: Optional[str],
+                     pm: Optional[List[Tuple[str, str]]], ref: str,
+                     segs: List[Segment]) -> None:
+        """Materialize segment values into ``buffer`` in value order."""
+        if len(segs) == 1:
+            stream, idxs = segs[0]
+            self._fill_one(buffer, key, key_names, k0, pm, ref,
+                           stream, idxs)
+            return
+        if len(segs) > 1:
+            # The group draws from several streams (mixed visibility
+            # combinations); interleave back into global emission order.
+            append = buffer.append
+            if self._fill_via_view is True:
+                views = {id(stream): self._stream_view(stream, ref,
+                                                       key_names, k0, pm)
+                         for stream, _ in segs}
+                for stream, i in merged_stream_indices(segs):
+                    append(views[id(stream)][i])
+                return
+            if k0 is not None:
+                base = {k0: key[0]}
+            else:
+                base = dict(zip(key_names, key))
+            for stream, i in merged_stream_indices(segs):
+                row = dict(base)
+                if pm is None:
+                    for name, col in stream.columns.items():
+                        row[name] = col[i]
+                else:
+                    cols = stream.columns
+                    for task_name, payload_name in pm:
+                        row[task_name] = cols[payload_name][i]
+                append(row)
+            return
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
         """final(key): compute this task's rows for the group."""
         raise NotImplementedError
@@ -334,7 +650,8 @@ class SPTask(ReduceTask):
         else:
             rows = self._input_rows(self.inputs[0], upstream)
         self.compute_ops += len(rows)
-        return self.stages.run(rows)
+        run = self._stages_run
+        return run(rows) if run is not None else rows
 
 
 class JoinTask(ReduceTask):
@@ -365,17 +682,34 @@ class JoinTask(ReduceTask):
         self._null_right = {n: None for n in self.right_names}
         self._extend_unmatched_left = join_type in ("left", "full")
         self._extend_unmatched_right = join_type in ("right", "full")
+        # (is_shuffle, ref) per side, pre-resolved off the finish path.
+        self._left_src = (left.kind == "shuffle", left.ref)
+        self._right_src = (right.kind == "shuffle", right.ref)
 
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
-        left_rows = self._input_rows(self.left_input, upstream)
-        right_rows = self._input_rows(self.right_input, upstream)
+        shuffle, ref = self._left_src
+        if shuffle:
+            left_rows = self._buffers.get(ref, [])
+        else:
+            left_rows = upstream.get(ref)
+            if left_rows is None:
+                left_rows = self._input_rows(self.left_input, upstream)
+        shuffle, ref = self._right_src
+        if shuffle:
+            right_rows = self._buffers.get(ref, [])
+        else:
+            right_rows = upstream.get(ref)
+            if right_rows is None:
+                right_rows = self._input_rows(self.right_input, upstream)
         null_right = self._null_right
         extend_left = self._extend_unmatched_left
 
         out: List[Row] = []
         append = out.append
 
-        if any(part is None for part in key):
+        # ``in`` tests identity first and no key type equals None, so
+        # this matches the per-part ``is None`` scan.
+        if None in key:
             # NULL join keys never match: only outer-join extensions.
             if extend_left:
                 for lrow in left_rows:
@@ -384,7 +718,8 @@ class JoinTask(ReduceTask):
                 null_left = self._null_left
                 for rrow in right_rows:
                     append({**null_left, **rrow})
-            return self.stages.run(out)
+            run = self._stages_run
+            return run(out) if run is not None else out
 
         residual = self.residual
         n_right = len(right_rows)
@@ -421,7 +756,8 @@ class JoinTask(ReduceTask):
             for ri, rrow in enumerate(right_rows):
                 if not matched_right[ri]:
                     append({**null_left, **rrow})
-        return self.stages.run(out)
+        run = self._stages_run
+        return run(out) if run is not None else out
 
 
 class UnionTask(ReduceTask):
@@ -442,7 +778,8 @@ class UnionTask(ReduceTask):
             rows = self._input_rows(inp, upstream)
             self.compute_ops += len(rows)
             out.extend(rows)
-        return self.stages.run(out)
+        run = self._stages_run
+        return run(out) if run is not None else out
 
 
 class AggTask(ReduceTask):
@@ -484,11 +821,274 @@ class AggTask(ReduceTask):
                                for _, func, _, distinct, star
                                in self.agg_specs]
         self._group_key = _make_key_builder(self._group_fns)
+        # Batch-plane capability: when every group/argument accessor is
+        # a direct slot read (``fn.direct_slot``), segments can be
+        # aggregated straight off the stream's columns — group keys from
+        # gathered column tuples, accumulator folds down column slices —
+        # without ever materializing row dicts.  A payload map just
+        # redirects each slot to its payload column name; a slot the
+        # map renames wins over an equal key-column name, matching the
+        # dict-override order of the materialized row.
+        direct = True
+        group_plan: List[Tuple[Optional[str], Optional[int]]] = []
+        arg_plan: List[Optional[Tuple[Optional[str], Optional[int]]]] = []
+        pm = self._sole_pm
+        rename = dict(pm) if pm is not None else None
+        keys = self._sole_keys
+
+        def resolve(fn, src):
+            if rename is None:
+                return (src, keys.index(src) if src in keys else None)
+            payload_name = rename.get(src)
+            if payload_name is not None:
+                return (payload_name, None)
+            if src in keys:
+                return (None, keys.index(src))
+            if getattr(fn, "direct_strict", False):
+                # A materialized row would not carry ``src`` at all, and
+                # this reader raises on a miss — keep the row path so
+                # the error (if ever hit) stays identical.
+                return None
+            return (None, None)  # row.get miss semantics
+
+        if self._sole_ref is None or not self._src_is_sole:
+            direct = False
+        else:
+            for fn in self._group_fns:
+                src = getattr(fn, "direct_slot", None)
+                plan = resolve(fn, src) if src is not None else None
+                if plan is None:
+                    direct = False
+                    break
+                group_plan.append(plan)
+            if direct:
+                for fn in self._arg_fns:
+                    if fn is None:
+                        arg_plan.append(None)
+                        continue
+                    src = getattr(fn, "direct_slot", None)
+                    plan = resolve(fn, src) if src is not None else None
+                    if plan is None:
+                        direct = False
+                        break
+                    arg_plan.append(plan)
+        self._batch_direct = direct
+        # Direct aggregations choose view vs per-record fill per stream
+        # (None = heuristic in _fill_one); their large-group streams
+        # aggregate straight off the columns and never fill.
+        self._fill_via_view = None if direct else True
+        self._bgroup_plan = group_plan
+        self._barg_plan = arg_plan
+        #: combiner-state column per agg slot, payload-map translated
+        self._bpartial_srcs = [
+            slot if rename is None else rename.get(slot)
+            for slot in self._agg_slots]
+        self._bgroups: Optional[Dict[Tuple, List[Accumulator]]] = None
+        self._breprs: Dict[Tuple, Row] = {}
+        self._brows = 0
+        # Row-path direct grouping (works for task-fed aggregations too,
+        # e.g. an AGG over a JOIN's output inside a merged job): when
+        # every group/argument accessor is a plain column read, the
+        # grouping loop indexes row dicts directly instead of calling
+        # compiled closures.  Strict readers become ``row[slot]`` (a
+        # KeyError falls back to the compiled loop so the resolver's
+        # error is preserved); non-strict ones become ``row.get(slot)``.
+        rd_groups: List[Tuple[str, bool]] = []
+        rd_args: List[Optional[Tuple[str, bool]]] = []
+        row_direct = not self.partial
+        if row_direct:
+            for fn in self._group_fns:
+                src = getattr(fn, "direct_slot", None)
+                if src is None:
+                    row_direct = False
+                    break
+                rd_groups.append((src, getattr(fn, "direct_strict", False)))
+        if row_direct:
+            for fn in self._arg_fns:
+                if fn is None:
+                    rd_args.append(None)
+                    continue
+                src = getattr(fn, "direct_slot", None)
+                if src is None:
+                    row_direct = False
+                    break
+                rd_args.append((src, getattr(fn, "direct_strict", False)))
+        self._row_direct = (rd_groups, rd_args) if row_direct else None
+        # The dominant shape — one strict group read, one strict argument
+        # read — gets fully specialized loops on both planes.
+        self._rd11: Optional[Tuple[str, str]] = None
+        if (row_direct and len(rd_groups) == 1 and len(rd_args) == 1
+                and rd_groups[0][1] and rd_args[0] is not None
+                and rd_args[0][1]):
+            self._rd11 = (rd_groups[0][0], rd_args[0][0])
 
     def _new_accs(self) -> List[Accumulator]:
         return [factory() for factory in self._acc_factories]
 
+    def start(self, key: Key) -> None:
+        super().start(key)
+        self._bgroups = None
+
+    def consume_segments(self, key: Key, segs: Sequence[Segment],
+                         shuffle_roles: FrozenSet[str]) -> int:
+        if not self._batch_direct:
+            return super().consume_segments(key, segs, shuffle_roles)
+        sole_ref = self._sole_ref
+        first = None
+        for seg in segs:
+            if sole_ref in seg[0].tag:
+                if first is None:
+                    first = seg
+                else:
+                    # Cross-stream accumulation order matters; rare
+                    # (mixed visibility combos feeding an aggregate) —
+                    # use the row path.
+                    return super().consume_segments(key, segs,
+                                                    shuffle_roles)
+        if first is None:
+            return 0
+        stream, idxs = first
+        if len(idxs) <= 8:
+            # Tiny group: buffer view rows and let finish() run the
+            # direct grouping loop — for a handful of records the
+            # columnar fold machinery costs more than it saves, and the
+            # stream view amortizes the dict builds across all of the
+            # stream's small groups.
+            self._fill_one(self._sole_buffer, key, self._sole_keys,
+                           self._sole_k0, self._sole_pm, sole_ref,
+                           stream, idxs)
+            return len(idxs)
+        self._consume_batch(key, stream.columns, idxs)
+        return len(idxs)
+
+    def _consume_batch(self, key: Key, cols: Dict[str, list],
+                       idxs: List[int]) -> None:
+        n = len(idxs)
+        groups = self._bgroups
+        if groups is None:
+            groups = self._bgroups = {}
+            self._breprs = {}
+            self._brows = 0
+        self._brows += n
+        # Resolve each group slot to a per-group constant (drawn from the
+        # partition key) or a gathered value column.
+        gvals: List[Tuple[bool, object]] = []
+        constant = True
+        for src, kpos in self._bgroup_plan:
+            if kpos is not None:
+                gvals.append((True, key[kpos]))
+            else:
+                col = cols.get(src)
+                if col is None:
+                    gvals.append((True, None))  # row.get miss semantics
+                else:
+                    gvals.append((False, [col[i] for i in idxs]))
+                    constant = False
+        partial = self.partial
+        if constant:
+            # Whole segment lands in one local group: fold each
+            # accumulator down its column slice.
+            gkey = tuple(v for _, v in gvals)
+            accs = groups.get(gkey)
+            if accs is None:
+                accs = groups[gkey] = self._new_accs()
+                self._breprs[gkey] = dict(zip(self._group_slots, gkey))
+            if partial:
+                for acc, src in zip(accs, self._bpartial_srcs):
+                    col = cols.get(src)
+                    if col is None:
+                        acc.absorb_repeat(None, n)
+                    else:
+                        acc.absorb_seq(col, idxs)
+            else:
+                for acc, plan in zip(accs, self._barg_plan):
+                    if plan is None:
+                        acc.add_repeat(None, n)
+                    else:
+                        src, kpos = plan
+                        if kpos is not None:
+                            acc.add_repeat(key[kpos], n)
+                        else:
+                            col = cols.get(src)
+                            if col is None:
+                                acc.add_repeat(None, n)
+                            else:
+                                acc.add_seq(col, idxs)
+            return
+        # General case: per-record local grouping over gathered columns.
+        if len(gvals) == 1:
+            _, seq = gvals[0]
+            gkeys = [(v,) for v in seq]
+        else:
+            seqs = [[v] * n if const else v for const, v in gvals]
+            gkeys = list(zip(*seqs))
+        probe = groups.get
+        new_accs = self._new_accs
+        reprs = self._breprs
+        group_slots = self._group_slots
+        if partial:
+            slot_cols = [cols.get(src) for src in self._bpartial_srcs]
+            for j, gkey in enumerate(gkeys):
+                accs = probe(gkey)
+                if accs is None:
+                    accs = groups[gkey] = new_accs()
+                    reprs[gkey] = dict(zip(group_slots, gkey))
+                i = idxs[j]
+                for acc, col in zip(accs, slot_cols):
+                    acc.absorb(col[i] if col is not None else None)
+        else:
+            resolved: List[Tuple[bool, object]] = []
+            for plan in self._barg_plan:
+                if plan is None:
+                    resolved.append((True, None))
+                else:
+                    src, kpos = plan
+                    if kpos is not None:
+                        resolved.append((True, key[kpos]))
+                    else:
+                        col = cols.get(src)
+                        if col is None:
+                            resolved.append((True, None))
+                        else:
+                            resolved.append((False, [col[i] for i in idxs]))
+            if len(resolved) == 1:
+                const0, v0 = resolved[0]
+                for j, gkey in enumerate(gkeys):
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = groups[gkey] = new_accs()
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    accs[0].add(v0 if const0 else v0[j])
+            else:
+                for j, gkey in enumerate(gkeys):
+                    accs = probe(gkey)
+                    if accs is None:
+                        accs = groups[gkey] = new_accs()
+                        reprs[gkey] = dict(zip(group_slots, gkey))
+                    for acc, (const, v) in zip(accs, resolved):
+                        acc.add(v if const else v[j])
+
+    def _finish_batch(self) -> List[Row]:
+        groups = self._bgroups
+        # Every buffered record touches every accumulator exactly once —
+        # the same formula the row path charges.
+        self.compute_ops += len(self.agg_specs) * self._brows
+        out: List[Row] = []
+        agg_slots = self._agg_slots
+        reprs = self._breprs
+        for gkey, accs in groups.items():
+            # The repr dicts are built fresh per group and never escape
+            # elsewhere — extend them in place instead of copying.
+            row = reprs[gkey]
+            for acc, slot in zip(accs, agg_slots):
+                row[slot] = acc.result()
+            out.append(row)
+        run = self._stages_run
+        return run(out) if run is not None else out
+
     def finish(self, key: Key, upstream: Dict[str, List[Row]]) -> List[Row]:
+        if self._bgroups is not None:
+            return self._finish_batch()
         if self._src_is_sole:
             rows = self._sole_buffer
         else:
@@ -497,6 +1097,22 @@ class AggTask(ReduceTask):
         if len(rows) == 1:
             # One row ⇒ one group: skip the grouping dicts outright.
             row0 = rows[0]
+            rd11 = self._rd11
+            if rd11 is not None:
+                g0, a0 = rd11
+                try:
+                    gv = row0[g0]
+                    av = row0[a0]
+                except KeyError:
+                    pass  # strict miss: the compiled path raises its error
+                else:
+                    acc = self._new_accs()[0]
+                    acc.add(av)
+                    out_row = {self._group_slots[0]: gv,
+                               self._agg_slots[0]: acc.result()}
+                    self.compute_ops += 1
+                    run = self._stages_run
+                    return run([out_row]) if run is not None else [out_row]
             out_row = dict(zip(self._group_slots, self._group_key(row0)))
             accs = self._new_accs()
             if self.partial:
@@ -508,10 +1124,90 @@ class AggTask(ReduceTask):
             for acc, slot in zip(accs, self._agg_slots):
                 out_row[slot] = acc.result()
             self.compute_ops += len(self.agg_specs)
-            return self.stages.run([out_row])
+            run = self._stages_run
+            return run([out_row]) if run is not None else [out_row]
 
         groups: Dict[Tuple, List[Accumulator]] = {}
         reprs: Dict[Tuple, Row] = {}
+        if self._row_direct is not None:
+            try:
+                self._group_rows_direct(rows, groups, reprs)
+            except KeyError:
+                # A strict slot was missing from some row: rerun the
+                # compiled loop from scratch so the resolver decides
+                # (raising its own error when the column truly does not
+                # exist).  Accumulators are pure, so the redo is
+                # value-identical.
+                groups = {}
+                reprs = {}
+                self._group_rows_compiled(rows, groups, reprs)
+        else:
+            self._group_rows_compiled(rows, groups, reprs)
+        # Every row touches every accumulator exactly once.
+        self.compute_ops += len(self.agg_specs) * len(rows)
+
+        if self.global_agg and not groups:
+            groups[()] = self._new_accs()
+            reprs[()] = {}
+
+        out: List[Row] = []
+        agg_slots = self._agg_slots
+        for gkey, accs in groups.items():
+            # Repr dicts are local to this call — extend in place.
+            row = reprs[gkey]
+            for acc, slot in zip(accs, agg_slots):
+                row[slot] = acc.result()
+            out.append(row)
+        run = self._stages_run
+        return run(out) if run is not None else out
+
+    def _group_rows_direct(self, rows: List[Row],
+                           groups: Dict[Tuple, List[Accumulator]],
+                           reprs: Dict[Tuple, Row]) -> None:
+        """Grouping loop over direct slot reads (no compiled closures).
+
+        Raises ``KeyError`` when a strict slot is absent from some row;
+        the caller falls back to :meth:`_group_rows_compiled`, which
+        resolves names through the full resolver.
+        """
+        rd_groups, rd_args = self._row_direct
+        group_slots = self._group_slots
+        new_accs = self._new_accs
+        probe = groups.get
+        if self._rd11 is not None:
+            # Strict single group / single argument: the dominant shape
+            # of the workload's aggregations.
+            g0, a0 = self._rd11
+            gslot = group_slots[0]
+            for row in rows:
+                gv = row[g0]
+                gkey = (gv,)
+                accs = probe(gkey)
+                if accs is None:
+                    accs = new_accs()
+                    groups[gkey] = accs
+                    reprs[gkey] = {gslot: gv}
+                accs[0].add(row[a0])
+            return
+        for row in rows:
+            gkey = tuple(row[s] if strict else row.get(s)
+                         for s, strict in rd_groups)
+            accs = probe(gkey)
+            if accs is None:
+                accs = new_accs()
+                groups[gkey] = accs
+                reprs[gkey] = dict(zip(group_slots, gkey))
+            for acc, arg in zip(accs, rd_args):
+                if arg is None:
+                    acc.add(None)
+                else:
+                    s, strict = arg
+                    acc.add(row[s] if strict else row.get(s))
+
+    def _group_rows_compiled(self, rows: List[Row],
+                             groups: Dict[Tuple, List[Accumulator]],
+                             reprs: Dict[Tuple, Row]) -> None:
+        """Grouping loop through the compiled group/argument closures."""
         group_key = self._group_key
         group_slots = self._group_slots
         new_accs = self._new_accs
@@ -561,18 +1257,3 @@ class AggTask(ReduceTask):
                         reprs[gkey] = dict(zip(group_slots, gkey))
                     for acc, arg in zip(accs, arg_fns):
                         acc.add(arg(row) if arg is not None else None)
-        # Every row touches every accumulator exactly once.
-        self.compute_ops += n_aggs * len(rows)
-
-        if self.global_agg and not groups:
-            groups[()] = self._new_accs()
-            reprs[()] = {}
-
-        out: List[Row] = []
-        agg_slots = self._agg_slots
-        for gkey, accs in groups.items():
-            row = dict(reprs[gkey])
-            for acc, slot in zip(accs, agg_slots):
-                row[slot] = acc.result()
-            out.append(row)
-        return self.stages.run(out)

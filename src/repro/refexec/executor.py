@@ -20,7 +20,12 @@ from repro.data.datastore import Datastore
 from repro.data.table import Row
 from repro.errors import ExecutionError
 from repro.expr.aggregates import make_accumulator
-from repro.expr.compiler import compile_predicate, compile_scalar
+from repro.expr.compiler import (
+    compile_batch_predicate,
+    compile_batch_scalar,
+    compile_predicate,
+    compile_scalar,
+)
 from repro.plan.nodes import (
     AggNode,
     Filter,
@@ -49,6 +54,16 @@ def compile_resolved(expr: Expr) -> Callable[[Row], object]:
 
 def compile_resolved_predicate(expr: Optional[Expr]) -> Callable[[Row], bool]:
     return compile_predicate(expr, _resolver)
+
+
+def compile_resolved_batch(expr: Expr):
+    """Batch twin of :func:`compile_resolved` (column-batch kernel)."""
+    return compile_batch_scalar(expr, _resolver)
+
+
+def compile_resolved_predicate_batch(expr: Optional[Expr]):
+    """Batch twin of :func:`compile_resolved_predicate` (selection vector)."""
+    return compile_batch_predicate(expr, _resolver)
 
 
 @dataclass

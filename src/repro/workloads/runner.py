@@ -87,7 +87,8 @@ def run_translation(translation: Translation, datastore: Datastore,
                     scheduler: str = "dataflow",
                     fault_plan: Optional[FaultPlan] = None,
                     max_attempts: Optional[int] = None,
-                    speculate: bool = False) -> QueryRunResult:
+                    speculate: bool = False,
+                    data_plane: Optional[str] = None) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -113,12 +114,17 @@ def run_translation(translation: Translation, datastore: Datastore,
     kills, bounded retries, and optional speculative duplicates — rows
     and ``comparable()`` counters stay byte-identical to a fault-free
     run (see :mod:`repro.mr.faultplan`).
+
+    ``data_plane`` picks the columnar batch engine (``"batch"``) or the
+    per-row engine (``"row"``); None resolves the ``REPRO_DATA_PLANE``
+    environment default (batch).  Rows and ``comparable()`` counters
+    are byte-identical on both planes.
     """
     runtime = Runtime(datastore, executor=make_executor(parallelism),
                       split_rows=split_rows, keep_trace=keep_trace,
                       result_cache=cache, scheduler=scheduler,
                       fault_plan=fault_plan, max_attempts=max_attempts,
-                      speculate=speculate)
+                      speculate=speculate, data_plane=data_plane)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     table = datastore.intermediate(translation.final_dataset)
@@ -148,7 +154,8 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               scheduler: str = "dataflow",
               fault_plan: Optional[FaultPlan] = None,
               max_attempts: Optional[int] = None,
-              speculate: bool = False) -> QueryRunResult:
+              speculate: bool = False,
+              data_plane: Optional[str] = None) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -168,4 +175,5 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                            parallelism=parallelism, split_rows=split_rows,
                            keep_trace=keep_trace, cache=cache,
                            scheduler=scheduler, fault_plan=fault_plan,
-                           max_attempts=max_attempts, speculate=speculate)
+                           max_attempts=max_attempts, speculate=speculate,
+                           data_plane=data_plane)

@@ -94,3 +94,24 @@ if os.environ.get("REPRO_SUITE_FAULTS"):
         _orig_runtime_init(self, *args, **kwargs)
 
     Runtime.__init__ = _faulty_runtime_init
+
+
+# -- row-plane suite leg (REPRO_SUITE_BATCH=0) -------------------------------
+#
+# The batch plane is the default engine, so the ordinary suite run
+# exercises it everywhere.  This CI leg runs the whole tier-1 suite
+# with the per-row plane forced back in for every Runtime that did not
+# explicitly choose a plane: because the planes are byte-identical, the
+# entire suite must pass unchanged on the legacy path too.
+
+if os.environ.get("REPRO_SUITE_BATCH") == "0":
+    from repro.mr.runtime import Runtime as _Runtime
+
+    _orig_plane_init = _Runtime.__init__
+
+    def _row_plane_init(self, *args, **kwargs):
+        if kwargs.get("data_plane") is None:
+            kwargs["data_plane"] = "row"
+        _orig_plane_init(self, *args, **kwargs)
+
+    _Runtime.__init__ = _row_plane_init

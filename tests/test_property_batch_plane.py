@@ -1,0 +1,226 @@
+"""Property-based tests for the columnar batch data plane: for ANY
+random query in the supported subset, ANY split size (1-record
+batches, tiny, default one-split, huge), ANY executor/scheduler
+combination, and with random fault injection layered on top, the batch
+plane is byte-identical to the per-row plane — rows, ``comparable()``
+counters, and every intermediate dataset — and both match the
+reference executor.
+
+This is the batch plane's load-bearing contract (no byte may move when
+operators exchange column batches instead of rows), generalized the
+same way ``tests/test_property_faults.py`` generalizes the
+fault-injection examples: the invariant must hold for *every* plan,
+not just the seeds we picked.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table, rows_equal_unordered
+from repro.mr import (
+    EmitSpec,
+    FaultPlan,
+    MapInput,
+    MRJob,
+    OutputSpec,
+    ParallelExecutor,
+    Runtime,
+    make_executor,
+)
+from repro.ops import SPTask, TaskInput
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore
+
+_ns = itertools.count(1)
+
+MAX_ATTEMPTS = 20
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=25)
+
+dim_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "w": st.integers(0, 9),
+    }), min_size=0, max_size=10)
+
+#: 1-record batches, tiny batches, one split per input, and a split cap
+#: far above any table (same partitioning as None, different plumbing).
+split_choices = st.sampled_from([1, 7, None, 10_000])
+worker_choices = st.integers(1, 5)  # 1 selects the serial executor
+scheduler_choices = st.sampled_from(["dataflow", "wave"])
+seeds = st.integers(0, 2 ** 16)
+probabilities = st.floats(0.0, 0.3, allow_nan=False)
+
+QUERY_SHAPES = [
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g",
+    "SELECT f.g, count(DISTINCT f.v) AS a FROM fact AS f "
+    "WHERE f.v > 0 GROUP BY f.g",
+    "SELECT f.g, d.w FROM fact AS f, dim AS d WHERE f.k = d.k",
+    "SELECT d.w, avg(f.v) AS a FROM fact AS f, dim AS d "
+    "WHERE f.k = d.k GROUP BY d.w",
+    "SELECT f.k, f.v FROM fact AS f, "
+    "(SELECT g, avg(v) AS a FROM fact GROUP BY g) AS m "
+    "WHERE f.g = m.g AND f.v < m.a",
+    "SELECT count(*) AS n, max(f.v) AS m FROM fact AS f",
+]
+
+
+def make_datastore(fact, dim):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)), fact))
+    ds.load_table(Table("dim", Schema.of(("k", T.INT), ("w", T.INT)), dim))
+    return ds
+
+
+def snapshot(datastore, jobs):
+    return {name: list(datastore.intermediate(name).rows)
+            for job in jobs for name in job.output_datasets}
+
+
+def check_planes_identical(jobs, dependencies, datastore,
+                           workers=1, scheduler="dataflow",
+                           split_rows=None, fault_plan=None):
+    """Row plane (serial, fault-free) vs batch plane (full config)."""
+    row_rt = Runtime(datastore, split_rows=split_rows, data_plane="row")
+    runs_row = row_rt.run_jobs(jobs, dependencies=dependencies)
+    mid_row = snapshot(datastore, jobs)
+
+    kwargs = {}
+    if fault_plan is not None:
+        kwargs = {"fault_plan": fault_plan, "max_attempts": MAX_ATTEMPTS}
+    batch_rt = Runtime(datastore, executor=make_executor(workers),
+                       scheduler=scheduler, split_rows=split_rows,
+                       data_plane="batch", **kwargs)
+    runs_batch = batch_rt.run_jobs(jobs, dependencies=dependencies)
+
+    assert [r.counters.comparable() for r in runs_batch] == \
+        [r.counters.comparable() for r in runs_row]
+    assert snapshot(datastore, jobs) == mid_row
+
+
+common = settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(fact=fact_rows, dim=dim_rows, shape=st.sampled_from(QUERY_SHAPES),
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_batch_plane_identical_on_random_plans(fact, dim, shape, workers,
+                                               scheduler, split_rows):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"bp{next(_ns)}")
+    check_planes_identical(tr.jobs, tr.dependencies(), ds,
+                           workers=workers, scheduler=scheduler,
+                           split_rows=split_rows)
+    # Both planes must also compute the reference relation.
+    ref = run_reference(plan_query(parse_sql(shape), ds.catalog), ds)
+    rows = ds.intermediate(tr.final_dataset).rows
+    assert rows_equal_unordered(rows, ref.rows, tr.output_columns,
+                                float_tol=1e-6), shape
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, dim=dim_rows, shape=st.sampled_from(QUERY_SHAPES),
+       seed=seeds, probability=probabilities,
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_batch_plane_identical_under_faults(fact, dim, shape, seed,
+                                            probability, workers,
+                                            scheduler, split_rows):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"bpf{next(_ns)}")
+    check_planes_identical(tr.jobs, tr.dependencies(), ds,
+                           workers=workers, scheduler=scheduler,
+                           split_rows=split_rows,
+                           fault_plan=FaultPlan(probability, seed=seed))
+
+
+_paper_store = None
+
+
+def paper_store():
+    global _paper_store
+    if _paper_store is None:
+        _paper_store = build_datastore(tpch_scale=0.002,
+                                       clickstream_users=40, seed=11)
+    return _paper_store
+
+
+# The cheap end of the paper workload; the whole suite runs on the row
+# plane in the REPRO_SUITE_BATCH=0 CI leg, and the benchmark pins all
+# six queries across three arms.
+PAPER_SAMPLE = ["q_agg", "q_csa", "q17"]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(PAPER_SAMPLE), workers=worker_choices,
+       scheduler=scheduler_choices, split_rows=split_choices)
+def test_batch_plane_identical_on_paper_queries(name, workers, scheduler,
+                                                split_rows):
+    ds = paper_store()
+    tr = translate_sql(paper_queries()[name], catalog=ds.catalog,
+                       namespace=f"bpq{next(_ns)}.{name}")
+    check_planes_identical(tr.jobs, tr.dependencies(), ds,
+                           workers=workers, scheduler=scheduler,
+                           split_rows=split_rows)
+
+
+# -- process pools: hand-built picklable jobs (translator jobs carry
+# closures and cannot cross a process boundary) ------------------------------
+
+def _emit_kv(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def picklable_chain(ns):
+    def job(job_id, dataset, out):
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        return MRJob(
+            job_id=job_id, name="pass",
+            map_inputs=[MapInput(dataset, [EmitSpec("in", _emit_kv)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec(out, "sp", ["k", "v"])])
+    return [job(f"{ns}.a", "fact", f"{ns}.a.out"),
+            job(f"{ns}.b", f"{ns}.a.out", f"{ns}.b.out")]
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, scheduler=scheduler_choices,
+       split_rows=st.sampled_from([1, 7, 8, 10_000]))
+def test_batch_plane_identical_on_process_pools(fact, scheduler,
+                                                split_rows):
+    ds = make_datastore(fact, [])
+    ns = f"bpp{next(_ns)}"
+    jobs = picklable_chain(ns)
+    row_rt = Runtime(ds, split_rows=split_rows, data_plane="row")
+    runs_row = row_rt.run_jobs(picklable_chain(ns))
+    mid_row = snapshot(ds, jobs)
+    batch_rt = Runtime(ds, executor=ParallelExecutor(max_workers=2,
+                                                     kind="process"),
+                       scheduler=scheduler, split_rows=split_rows,
+                       data_plane="batch")
+    runs_batch = batch_rt.run_jobs(jobs)
+    assert snapshot(ds, jobs) == mid_row
+    assert [r.counters.comparable() for r in runs_batch] == \
+        [r.counters.comparable() for r in runs_row]
