@@ -78,6 +78,15 @@ def cmd_explain(args) -> int:
     print(f"\none-op-one-job: {naive.job_count()} jobs; "
           f"YSmart: {merged.job_count()} jobs "
           f"({['+'.join(d.labels) for d in merged.schedule()]})")
+
+    from repro.stats import PlanEstimator, StatsCatalog, stats_enabled_default
+    if stats_enabled_default():
+        est = PlanEstimator(ds, StatsCatalog())
+        print("\n== Cardinality estimates ==")
+        for node in plan.post_order():
+            rows = est.records_output(node)
+            print(f"   {node.label:<8} est_rows={rows:>10} "
+                  f"est_row_bytes={est.est_row_bytes(node):>6.1f}")
     return 0
 
 
@@ -182,6 +191,14 @@ def cmd_run(args) -> int:
         print(f"schedule waves: {waves}")
     if args.schedule and result.trace is not None:
         _print_schedule(result, cluster)
+    if args.stats:
+        if result.stats is None:
+            print("stats: layer off (REPRO_STATS=off)")
+        else:
+            cat = result.stats.catalog
+            print(result.stats.log.render())
+            print(f"stats catalog: collections={cat.collections} "
+                  f"hits={cat.hits} invalidations={cat.invalidations}")
     if result.timing is not None:
         print(f"simulated time on {result.timing.cluster}: "
               f"{result.timing.total_s:.1f}s")
@@ -368,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N|auto",
                    help="cap map-task input splits at N rows, or 'auto' "
                         "to derive deterministic splits from table sizes")
+    p.add_argument("--stats", action="store_true",
+                   help="print the stats layer's decision log (merge, "
+                        "combiner, skew-partition, and split choices with "
+                        "estimate vs actual) and sketch-catalog counters")
     p.add_argument("--schedule", action="store_true",
                    help="print the measured scheduling profile (per-task "
                         "timeline, critical path, utilization) and, with "

@@ -74,6 +74,13 @@ class CompileOptions:
     canonical_payload: bool = True
     #: visibility-tag encoding (byte accounting only)
     tag_policy: TagPolicy = TagPolicy.BEST
+    #: stats-driven combiner gate: ``callable(agg_node, child) -> bool``
+    #: consulted where ``map_side_agg`` would install the combiner
+    #: (returning False skips it for that job).  This decision MUST be
+    #: made here at compile time: ``AggTask.partial`` fixes whether the
+    #: reducer receives accumulator states or raw values, so the
+    #: combiner cannot be stripped from a compiled job afterwards
+    combiner_advisor: Optional[Callable] = None
 
 
 class JobCompiler:
@@ -546,9 +553,11 @@ class JobCompiler:
             for spec in node.aggs)
         map_agg = None
         if self.options.map_side_agg and mergeable:
-            map_agg = MapAggSpec({
-                spec.slot: (spec.func, spec.distinct, spec.star)
-                for spec in node.aggs})
+            advisor = self.options.combiner_advisor
+            if advisor is None or advisor(node, child):
+                map_agg = MapAggSpec({
+                    spec.slot: (spec.func, spec.distinct, spec.star)
+                    for spec in node.aggs})
 
         task = AggTask(
             node.label,

@@ -27,7 +27,7 @@ example: plan (a) yields three jobs, the swapped plan (b) yields two).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.correlation import CorrelationAnalysis
 from repro.errors import TranslationError
@@ -208,10 +208,19 @@ def one_to_one_graph(root: PlanNode, analysis: CorrelationAnalysis) -> JobGraph:
     return JobGraph(root, analysis)
 
 
-def merge_step1(graph: JobGraph) -> int:
-    """Rule 1: merge independent drafts with IC + TC.  Returns merges done."""
+def merge_step1(graph: JobGraph, advisor: Optional[object] = None) -> int:
+    """Rule 1: merge independent drafts with IC + TC.  Returns merges done.
+
+    ``advisor`` (an object with ``approve(graph, da, db) -> bool``, e.g.
+    :class:`repro.stats.decisions.CostBasedMergeAdvisor`) may veto a
+    correlated pair when the cost model says the merge does not pay —
+    the paper's rule always merges, which stays the behaviour with no
+    advisor.  A vetoed pair stays two jobs; each pair is asked at most
+    once so a veto cannot loop.
+    """
     analysis = graph.analysis
     merges = 0
+    vetoed: Set[Tuple[int, int]] = set()
     changed = True
     while changed:
         changed = False
@@ -220,10 +229,16 @@ def merge_step1(graph: JobGraph) -> int:
             for db in drafts[i + 1:]:
                 if graph.depends_on(da, db) or graph.depends_on(db, da):
                     continue
+                if (da.draft_id, db.draft_id) in vetoed:
+                    continue
                 correlated = any(
                     analysis.transit_correlated(na, nb)
                     for na in da.nodes for nb in db.nodes)
                 if correlated:
+                    if advisor is not None and not advisor.approve(
+                            graph, da, db):
+                        vetoed.add((da.draft_id, db.draft_id))
+                        continue
                     graph.merge_drafts(da, db)
                     merges += 1
                     changed = True
@@ -303,10 +318,12 @@ def generate_job_graph(root: PlanNode,
                        use_rule1: bool = True,
                        use_rule234: bool = True,
                        use_swaps: bool = True,
-                       agg_pk_heuristic: str = "max_connections") -> JobGraph:
+                       agg_pk_heuristic: str = "max_connections",
+                       merge_advisor: Optional[object] = None) -> JobGraph:
     """Full YSmart job generation (flags stage the Fig. 9 ablation:
     one-op-one-job / IC+TC only / all correlations; ``agg_pk_heuristic``
-    ablates the PK-selection rule)."""
+    ablates the PK-selection rule; ``merge_advisor`` lets the stats
+    optimizer veto Rule-1 merges that the cost model says don't pay)."""
     analysis = analysis or CorrelationAnalysis(root, agg_pk_heuristic)
     if use_swaps and use_rule234:
         if apply_rule4_swaps(root, analysis):
@@ -314,7 +331,7 @@ def generate_job_graph(root: PlanNode,
             analysis = CorrelationAnalysis(root, agg_pk_heuristic)
     graph = one_to_one_graph(root, analysis)
     if use_rule1:
-        merge_step1(graph)
+        merge_step1(graph, advisor=merge_advisor)
     if use_rule234:
         merge_step2(graph)
     return graph

@@ -89,25 +89,47 @@ PIG_INTERMEDIATE_INFLATION = 1.9
 
 def translate_plan(plan: PlanNode, mode: str = "ysmart",
                    namespace: str = "q",
-                   num_reducers: int = 8) -> Translation:
-    """Translate a planned query tree into MapReduce jobs."""
+                   num_reducers: int = 8,
+                   optimizer: Optional[object] = None) -> Translation:
+    """Translate a planned query tree into MapReduce jobs.
+
+    ``optimizer`` (a :class:`repro.stats.decisions.StatsOptimizer`)
+    threads statistics into the YSmart modes: its merge advisor can veto
+    Rule-1 merges the cost model rejects, its combiner advisor decides
+    map-side aggregation per job, and its post-compile pass attaches
+    skew partition plans and cardinality annotations.  The baseline
+    modes (``one_to_one``/``hive``/``pig``) stay faithful to their
+    static originals and ignore it.  Every optimizer choice preserves
+    result bytes; only job structure, partition assignment, and split
+    sizing may change.
+    """
     if mode not in TRANSLATOR_MODES:
         raise TranslationError(
             f"unknown translator mode {mode!r}; pick from {TRANSLATOR_MODES}")
 
+    if optimizer is not None:
+        optimizer.num_reducers = num_reducers
+    merge_advisor = (optimizer.merge_advisor() if optimizer is not None
+                     else None)
+    combiner_advisor = (optimizer.combiner_advisor()
+                        if optimizer is not None else None)
+
     if mode == "ysmart":
-        graph = generate_job_graph(plan)
+        graph = generate_job_graph(plan, merge_advisor=merge_advisor)
         options = CompileOptions(num_reducers=num_reducers,
                                  map_side_agg=True,
                                  canonical_payload=True,
-                                 tag_policy=TagPolicy.BEST)
+                                 tag_policy=TagPolicy.BEST,
+                                 combiner_advisor=combiner_advisor)
     elif mode == "ysmart_ic_tc":
         graph = generate_job_graph(plan, use_rule1=True, use_rule234=False,
-                                   use_swaps=False)
+                                   use_swaps=False,
+                                   merge_advisor=merge_advisor)
         options = CompileOptions(num_reducers=num_reducers,
                                  map_side_agg=True,
                                  canonical_payload=True,
-                                 tag_policy=TagPolicy.BEST)
+                                 tag_policy=TagPolicy.BEST,
+                                 combiner_advisor=combiner_advisor)
     elif mode == "one_to_one":
         graph = generate_job_graph(plan, use_rule1=False, use_rule234=False,
                                    use_swaps=False)
@@ -133,7 +155,7 @@ def translate_plan(plan: PlanNode, mode: str = "ysmart",
     compiler = JobCompiler(graph, f"{namespace}.{mode}", options)
     jobs = compiler.compile()
     final = compiler.dataset_name(graph.root)
-    return Translation(
+    translation = Translation(
         mode=mode,
         jobs=jobs,
         graph=graph,
@@ -144,13 +166,17 @@ def translate_plan(plan: PlanNode, mode: str = "ysmart",
                                 if mode == "pig" else 1.0),
         dag_edges=job_spec_dependencies(jobs),
     )
+    if optimizer is not None and mode in ("ysmart", "ysmart_ic_tc"):
+        optimizer.apply(translation)
+    return translation
 
 
 def translate_sql(sql: str, mode: str = "ysmart",
                   catalog: Optional[Catalog] = None,
                   namespace: str = "q",
-                  num_reducers: int = 8) -> Translation:
+                  num_reducers: int = 8,
+                  optimizer: Optional[object] = None) -> Translation:
     """Parse, plan, and translate a SQL string."""
     plan = plan_query(parse_sql(sql), catalog or standard_catalog())
     return translate_plan(plan, mode=mode, namespace=namespace,
-                          num_reducers=num_reducers)
+                          num_reducers=num_reducers, optimizer=optimizer)

@@ -136,6 +136,12 @@ class Datastore:
         ``append``/``extend`` counter.  Any change to the dataset — a
         reload, a rewrite, or an in-place mutation — yields a stamp never
         seen before, so version-keyed cache entries can never alias.
+
+        Two independent caches key on this stamp — the
+        :class:`~repro.reuse.cache.ResultCache` (materialized job
+        outputs) and the :class:`~repro.stats.StatsCatalog` (column
+        sketches) — which is what makes a mutation invalidate cached
+        results *and* statistics in one versioned step.
         """
         table = self.resolve(name)  # raises (with suggestion) when unknown
         key = name if name in self._intermediates else name.lower()

@@ -91,6 +91,21 @@ class Table:
                 for name in self.schema.names}
         return cached
 
+    def columns_view(self, names: Sequence[str]) -> Dict[str, List[object]]:
+        """Row-aligned value lists for just ``names`` (unknown names are
+        skipped).  The stats catalog sketches one or two key columns of a
+        wide table and should not pay for materializing the rest; when
+        the batch data plane has already built the full
+        :meth:`column_batch` view, its cached lists are reused.  Callers
+        must treat the lists as read-only.
+        """
+        cached = self._columns_cache
+        if cached is not None:
+            return {n: cached[n] for n in names if n in cached}
+        known = set(self.schema.names)
+        rows = self.rows
+        return {n: [row[n] for row in rows] for n in names if n in known}
+
     def estimated_bytes(self) -> int:
         """Deterministic size estimate used by the storage/cost layer.
 

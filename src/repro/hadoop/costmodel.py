@@ -232,6 +232,24 @@ class HadoopCostModel:
             timing.scheduling_gap_s = self.config.inter_job_gap_s
         return timing
 
+    def estimate_chain_s(self, counters_seq: Sequence[JobCounters],
+                         intermediate_inflation: float = 1.0) -> float:
+        """Price a sequence of *estimated* counters as a sequential job
+        chain — the what-if query the stats optimizer asks when weighing
+        a Rule-1 merge: two separate jobs pay two startups (plus the
+        inter-job scheduling gap) but may shuffle less than the merged
+        common job, whose reduce dispatches every record to every
+        reduce-phase consumer.  The counters are synthetic
+        (:meth:`repro.stats.StatsOptimizer.estimate_draft_counters`),
+        and ``instance`` stays pinned at 0, so the comparison is
+        deterministic for a given cluster config.
+        """
+        return sum(
+            self.job_timing(c, job_index=i,
+                            intermediate_inflation=intermediate_inflation
+                            ).total_s
+            for i, c in enumerate(counters_seq))
+
     # -- per-query --------------------------------------------------------------------
 
     def query_timing(self, runs: Sequence[JobRun],

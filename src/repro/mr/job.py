@@ -180,6 +180,20 @@ class MRJob:
     #: attached by the plan compiler; ``None`` for hand-built jobs, which
     #: makes them ineligible for result-cache reuse
     plan_signature: Optional[str] = None
+    #: custom reduce partitioner (an object with ``partition(key) -> int``
+    #: in ``[0, num_reducers)``, e.g. :class:`repro.stats.decisions.
+    #: SkewPartitionPlan`); ``None`` = uniform ``stable_hash`` routing.
+    #: Changes partition *assignment* only, never rows — and must be a
+    #: deterministic pure function so every executor/attempt agrees
+    partitioner: Optional[object] = None
+    #: estimated distinct reduce keys (attached by the stats optimizer on
+    #: combiner jobs); ``split_rows="auto"`` uses it to size splits by
+    #: cardinality instead of raw row count when stats are enabled
+    est_key_distinct: Optional[int] = None
+    #: compact token of stats-driven choices applied to this job (None
+    #: when every decision matched the static engine); folded into the
+    #: result-cache key so differently-optimized runs never alias
+    stats_decisions: Optional[str] = None
 
     @property
     def role_universe(self) -> int:

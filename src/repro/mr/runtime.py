@@ -773,7 +773,8 @@ class Runtime:
                  fault_plan: Optional[FaultPlan] = None,
                  max_attempts: Optional[int] = None,
                  speculate: bool = False,
-                 data_plane: Optional[str] = None):
+                 data_plane: Optional[str] = None,
+                 stats: Optional[object] = None):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
@@ -799,6 +800,14 @@ class Runtime:
         #: both planes are byte-identical, so the result cache stays
         #: plane-agnostic and entries are shared across planes
         self.data_plane = data_plane
+        #: stats context (None/"on"/"off"/StatsContext; None resolves
+        #: the REPRO_STATS default).  Runtime-side it enables
+        #: cardinality-driven ``split_rows="auto"`` sizing on jobs the
+        #: optimizer annotated, and folds per-job ``stats_decisions``
+        #: into result-cache keys.  Deterministic: rows and counters
+        #: stay identical across executors/schedulers either way.
+        from repro.stats.decisions import resolve_stats
+        self.stats = resolve_stats(stats)
 
     # -- public API --------------------------------------------------------
 
@@ -847,7 +856,7 @@ class Runtime:
         counters: Dict[str, JobCounters] = {}
         cached_ids: set = set()
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
-                               self.split_rows)
+                               self.split_rows, stats=self.stats)
                  if self.result_cache is not None else None)
         pending = list(jobs)
         wave = len(self.trace.waves) if self.trace else 0
@@ -897,7 +906,8 @@ class Runtime:
         if self.trace is not None:
             self.trace.waves.append([job.job_id for job in jobs])
         graphs = [JobTaskGraph(job, self.datastore, self.split_rows,
-                               data_plane=self.data_plane)
+                               data_plane=self.data_plane,
+                               stats=self.stats)
                   for job in jobs]
 
         map_tasks = [(graph, task) for graph in graphs
@@ -1064,7 +1074,7 @@ class Runtime:
         if not jobs:
             return counters, cached_ids
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
-                               self.split_rows)
+                               self.split_rows, stats=self.stats)
                  if self.result_cache is not None else None)
 
         outputs_of = {job.job_id: set(job.output_datasets) for job in jobs}
@@ -1074,7 +1084,8 @@ class Runtime:
             st = _JobState(job, order)
             st.graph = JobTaskGraph(job, self.datastore, self.split_rows,
                                     defer=True,
-                                    data_plane=self.data_plane)
+                                    data_plane=self.data_plane,
+                                    stats=self.stats)
             deps = list(dict.fromkeys(dependencies.get(job.job_id, ())))
             st.deps_left = set(deps)
             scan_union: Set[str] = set()
@@ -1471,11 +1482,31 @@ class _ReuseTracker:
     """
 
     def __init__(self, cache: ResultCache, datastore: Datastore,
-                 split_rows: Optional[object]):
+                 split_rows: Optional[object],
+                 stats: Optional[object] = None):
         self.cache = cache
         self.datastore = datastore
         self.split_rows = split_rows
+        self.stats = stats
         self._content_ids: Dict[str, str] = {}
+
+    def _decisions_token(self, job: MRJob) -> Optional[str]:
+        """The stats token folded into the job's cache key.
+
+        ``job.stats_decisions`` covers translate-time choices (skew
+        plan, combiner off, cardinality annotation); the extra
+        ``run=`` marker records whether *this runtime* actually applies
+        cardinality-driven split sizing — the same annotated job planned
+        without a stats context (``REPRO_STATS=off``) cuts different
+        splits and must not alias.  Jobs the optimizer left untouched
+        return None, keeping their keys byte-identical to the
+        pre-stats format.
+        """
+        token = job.stats_decisions
+        if (self.stats is not None and self.split_rows == "auto"
+                and job.map_agg is not None and job.est_key_distinct):
+            token = ";".join(filter(None, [token, "run=stats_split"]))
+        return token
 
     def key_for(self, job: MRJob) -> Optional[str]:
         """The job's cache key, or None when it cannot participate
@@ -1492,7 +1523,8 @@ class _ReuseTracker:
                     return None  # input not materialized yet: stay cold
                 ref = f"data:{dataset}@{version}"
             refs.append(ref)
-        key = job_cache_key(job.plan_signature, refs, self.split_rows)
+        key = job_cache_key(job.plan_signature, refs, self.split_rows,
+                            decisions=self._decisions_token(job))
         for i, out in enumerate(job.outputs):
             self._content_ids[out.dataset] = f"job:{key}/{i}"
         return key

@@ -97,6 +97,35 @@ def auto_split_rows(num_rows: int) -> Optional[int]:
     return max(AUTO_SPLIT_MIN_ROWS, -(-num_rows // AUTO_SPLIT_TARGET_TASKS))
 
 
+def auto_split_rows_stats(num_rows: int,
+                          est_distinct: int) -> Optional[int]:
+    """Cardinality-driven split size for ``split_rows="auto"`` on
+    combiner jobs (``map_agg`` set) whose reduce-key cardinality the
+    stats optimizer estimated (``MRJob.est_key_distinct``).
+
+    Each split's combined output is at most ``est_distinct`` records,
+    so the shuffle carries about ``splits × est_distinct``: a
+    low-cardinality key wants fewer, bigger splits (more collapsing
+    before the wire), while a high-cardinality key gains nothing from
+    bigger splits, so it keeps the static task target for map
+    parallelism.  Like :func:`auto_split_rows`, a pure function of its
+    arguments — never of the executor — so rows and counters stay
+    identical on every executor and scheduler.
+    """
+    if num_rows <= AUTO_SPLIT_MIN_ROWS:
+        return None
+    est_distinct = max(1, est_distinct)
+    if est_distinct * AUTO_SPLIT_TARGET_TASKS >= num_rows:
+        tasks = AUTO_SPLIT_TARGET_TASKS
+    else:
+        # each split holds >= TARGET×distinct rows, so the combiner
+        # collapses at least TARGET-fold per split
+        tasks = max(1, min(AUTO_SPLIT_TARGET_TASKS,
+                           num_rows // (est_distinct
+                                        * AUTO_SPLIT_TARGET_TASKS)))
+    return max(AUTO_SPLIT_MIN_ROWS, -(-num_rows // tasks))
+
+
 def default_data_plane() -> str:
     """The data plane jobs run on unless the caller picks one explicitly.
 
@@ -668,6 +697,7 @@ class MapTask:
         Blocks whose keys all land on one partition pass through whole
         (the common single-group aggregation shape) — zero copying."""
         num_reducers = self.job.num_reducers
+        partitioner = self.job.partitioner
         buffers: Dict[int, List[PairBlock]] = {}
         for block in blocks:
             route: Dict[Key, int] = {}
@@ -677,7 +707,9 @@ class MapTask:
             for key in block.keys:
                 pid = route_get(key)
                 if pid is None:
-                    pid = stable_hash(key) % num_reducers
+                    pid = (partitioner.partition(key)
+                           if partitioner is not None
+                           else stable_hash(key) % num_reducers)
                     route[key] = pid
                 append(pid)
             if len(route) == 1 or len(set(pids)) == 1:
@@ -704,8 +736,11 @@ class MapTask:
     def _partition(self, pairs: Sequence[Pair]) -> Dict[int, List[Pair]]:
         """Hash-partition into per-reducer shuffle buffers, caching the
         key → buffer resolution (keys repeat heavily, so most pairs cost
-        one dict probe)."""
+        one dict probe).  A job-attached partitioner (skew plans) routes
+        instead of the uniform hash — same ``[0, num_reducers)`` range,
+        so downstream partition walks are unchanged."""
         num_reducers = self.job.num_reducers
+        partitioner = self.job.partitioner
         buffers: Dict[int, List[Pair]] = {}
         route: Dict[Key, List[Pair]] = {}
         route_get = route.get
@@ -713,7 +748,8 @@ class MapTask:
             key = pair[0]
             bucket = route_get(key)
             if bucket is None:
-                pid = stable_hash(key) % num_reducers
+                pid = (partitioner.partition(key) if partitioner is not None
+                       else stable_hash(key) % num_reducers)
                 bucket = buffers.get(pid)
                 if bucket is None:
                     bucket = buffers[pid] = []
@@ -957,7 +993,8 @@ class JobTaskGraph:
     def __init__(self, job: MRJob, datastore: Datastore,
                  split_rows: Optional[object] = None,
                  defer: bool = False,
-                 data_plane: Optional[str] = None):
+                 data_plane: Optional[str] = None,
+                 stats: Optional[object] = None):
         job.validate()
         if not (split_rows is None or split_rows == "auto"
                 or (isinstance(split_rows, int) and not isinstance(
@@ -974,6 +1011,10 @@ class JobTaskGraph:
         self.job = job
         self.datastore = datastore
         self.split_rows = split_rows
+        #: a :class:`repro.stats.StatsContext` (duck-typed to avoid the
+        #: import cycle) or None; enables cardinality-driven sizing of
+        #: ``split_rows="auto"`` on jobs the optimizer annotated
+        self.stats = stats
         self.data_plane = data_plane
         #: the plane this job actually runs on: ``batch`` requires every
         #: emit spec to carry a kernel (hand-built jobs fall back to row)
@@ -1004,13 +1045,40 @@ class JobTaskGraph:
         table = self.datastore.resolve(map_input.dataset)
         self.counters.input_bytes[map_input.dataset] += (
             table.estimated_bytes())
+        split_setting = self._split_setting(table)
         planned = [MapTask(self.job, map_input, split)
                    for split in _plan_splits(map_input.dataset, table,
-                                             self.split_rows,
+                                             split_setting,
                                              batch=self._batch)]
         self._planned[index] = planned
         self._unplanned -= 1
         return planned
+
+    def _split_setting(self, table: Table) -> Optional[object]:
+        """The effective split setting for one input table.
+
+        ``"auto"`` resolves by raw row count (the static rule) unless a
+        stats context is active *and* the optimizer annotated this
+        combiner job with an estimated key cardinality above the
+        policy's gate — then :func:`auto_split_rows_stats` sizes splits
+        by cardinality instead.  Deterministic either way; the choice is
+        logged for ``repro run --stats``.
+        """
+        stats = self.stats
+        job = self.job
+        if (stats is None or self.split_rows != "auto"
+                or job.map_agg is None or not job.est_key_distinct):
+            return self.split_rows
+        num_rows = len(table)
+        if num_rows < stats.policy.min_rows:
+            return self.split_rows
+        chosen = auto_split_rows_stats(num_rows, job.est_key_distinct)
+        static = auto_split_rows(num_rows)
+        stats.log.add_split_decision(
+            job_id=job.job_id, num_rows=num_rows,
+            est_distinct=job.est_key_distinct,
+            static_split=static, chosen_split=chosen)
+        return chosen
 
     @property
     def all_inputs_planned(self) -> bool:

@@ -254,16 +254,27 @@ def _outputs_signature(compiler, draft, index_of) -> str:
 
 def job_cache_key(plan_signature: Optional[str],
                   input_refs: List[str],
-                  split_rows: Optional[int]) -> Optional[str]:
+                  split_rows: Optional[int],
+                  decisions: Optional[str] = None) -> Optional[str]:
     """The runtime cache key: plan digest × input content ids × split
     geometry.  ``input_refs`` are content identities of every map input
     (``data:<name>@<version>`` for stored datasets, ``job:<key>/<i>`` for
     outputs produced earlier in the same chain); ``split_rows`` is part
     of the key because the map-side combiner's pre-combine counters
-    depend on split boundaries."""
+    depend on split boundaries.
+
+    ``decisions`` is the job's ``stats_decisions`` token: stats-driven
+    choices (skew partition plans, combiner off, cardinality-sized
+    splits) change schedule-shaped counters, so differently-optimized
+    runs must not alias one cache entry.  ``None`` — every job the
+    optimizer left static — contributes nothing, keeping those keys
+    byte-identical to the pre-stats format.
+    """
     if plan_signature is None:
         return None
     material = "\n".join(
         [f"plan:{signature_digest(plan_signature)}",
-         f"split_rows:{split_rows}"] + [f"in:{ref}" for ref in input_refs])
+         f"split_rows:{split_rows}"]
+        + ([f"stats:{decisions}"] if decisions is not None else [])
+        + [f"in:{ref}" for ref in input_refs])
     return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -1,0 +1,42 @@
+"""Adaptive statistics: table/column sketches feeding optimizer decisions.
+
+The stats layer has three floors:
+
+* :mod:`repro.stats.sketch` — deterministic column sketches (row count,
+  cardinality, Misra–Gries heavy hitters) collected in one pass;
+* :mod:`repro.stats.catalog` — :class:`StatsCatalog`, the version-keyed
+  cache of those sketches (invalidated by the same datastore version
+  stamps the result cache keys on);
+* :mod:`repro.stats.estimator` — :class:`PlanEstimator`, SimpleDB-style
+  ``records_output()`` / ``distinct_values()`` cardinality estimation
+  over plan trees;
+* :mod:`repro.stats.decisions` — :class:`StatsOptimizer` and friends:
+  skew-aware partition plans, cost-based merge/combiner decisions,
+  cardinality-driven split sizing, and the estimate-vs-actual
+  :class:`DecisionLog` behind ``repro run --stats``.
+
+Stats-driven optimization is on by default (``REPRO_STATS=off`` turns
+it off globally) but gated by :class:`StatsPolicy` thresholds that keep
+every decision static below 50k input rows — results are byte-identical
+either way; only partition assignment and split geometry may change.
+"""
+
+from repro.stats.catalog import (ColumnStats, StatsCatalog, TableStats,
+                                 stats_enabled_default)
+from repro.stats.decisions import (CostBasedMergeAdvisor, Decision,
+                                   DecisionLog, SkewPartitionPlan,
+                                   StatsContext, StatsOptimizer,
+                                   StatsPolicy, auto_split_rows_stats,
+                                   build_skew_plan, resolve_stats)
+from repro.stats.estimator import PlanEstimator
+from repro.stats.sketch import (DEFAULT_SKETCH_K, MisraGries,
+                                distinct_of_tuples, sketch_column)
+
+__all__ = [
+    "ColumnStats", "StatsCatalog", "TableStats", "stats_enabled_default",
+    "CostBasedMergeAdvisor", "Decision", "DecisionLog",
+    "SkewPartitionPlan", "StatsContext", "StatsOptimizer", "StatsPolicy",
+    "auto_split_rows_stats", "build_skew_plan", "resolve_stats",
+    "PlanEstimator", "DEFAULT_SKETCH_K", "MisraGries",
+    "distinct_of_tuples", "sketch_column",
+]

@@ -1,0 +1,166 @@
+"""The statistics catalog: version-keyed table/column stats.
+
+:class:`StatsCatalog` is the stats twin of :class:`repro.reuse.cache.
+ResultCache`: both key on :meth:`repro.data.datastore.Datastore.version`
+stamps, so a table mutation (reload, rewrite, or in-place append)
+invalidates cached sketches and cached job results in the *same*
+versioned step — there is no separate stats-invalidation protocol to get
+wrong.  Collection is lazy and incremental: a table's stats object is
+built on first demand, per-column sketches are added as consumers ask
+for them, and a version change drops the whole entry.
+
+``collections`` / ``hits`` counters make the caching observable: the
+result-cache regression test pins that a warm (fully cached) query run
+performs **zero** new collections.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.stats.sketch import (DEFAULT_SKETCH_K, distinct_of_tuples,
+                                sketch_column)
+
+
+@dataclass
+class ColumnStats:
+    """One column's sketch: cardinality, nulls, and heavy hitters."""
+
+    count: int
+    distinct: int
+    nulls: int
+    #: ``(value, estimated_count)`` heaviest first (exact when unsampled)
+    heavy: List[Tuple[object, int]] = field(default_factory=list)
+    sampled: bool = False
+
+    def heavy_share(self, value: object) -> float:
+        """The value's estimated share of the column's rows."""
+        if not self.count:
+            return 0.0
+        for v, c in self.heavy:
+            if v == value:
+                return c / self.count
+        return 0.0
+
+
+@dataclass
+class TableStats:
+    """Stats for one dataset at one version."""
+
+    dataset: str
+    version: str
+    row_count: int
+    est_bytes: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    #: composite-key distinct counts, keyed by the column-name tuple
+    composites: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+    @property
+    def row_bytes(self) -> float:
+        """Average bytes per row (0 for empty tables)."""
+        return self.est_bytes / self.row_count if self.row_count else 0.0
+
+
+class StatsCatalog:
+    """Lazily collected, version-keyed statistics for a datastore's
+    datasets.  One instance is shared per session (it lives alongside
+    the ``ResultCache`` in :class:`repro.workloads.WorkloadSession`), or
+    per run when the runner builds one ad hoc."""
+
+    def __init__(self, sketch_k: int = DEFAULT_SKETCH_K):
+        self.sketch_k = sketch_k
+        self._tables: Dict[str, TableStats] = {}
+        #: column/composite sketch passes performed (cache misses)
+        self.collections: int = 0
+        #: sketch requests served from cache
+        self.hits: int = 0
+        #: entries dropped because the dataset version moved
+        self.invalidations: int = 0
+
+    # -- entry management ----------------------------------------------------
+
+    def _entry(self, datastore, name: str) -> TableStats:
+        version = datastore.version(name)
+        entry = self._tables.get(name)
+        if entry is not None and entry.version != version:
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            table = datastore.resolve(name)
+            entry = TableStats(dataset=name, version=version,
+                               row_count=len(table),
+                               est_bytes=table.estimated_bytes())
+            self._tables[name] = entry
+        return entry
+
+    # -- queries --------------------------------------------------------------
+
+    def table_stats(self, datastore, name: str,
+                    columns: Sequence[str] = ()) -> TableStats:
+        """Stats for ``name`` at its current version, with sketches for
+        the requested ``columns`` (silently skipping names the dataset
+        does not have — lineage can over-approximate)."""
+        entry = self._entry(datastore, name)
+        missing = [c for c in columns if c not in entry.columns]
+        if missing:
+            table = datastore.resolve(name)
+            view = table.columns_view(missing)
+            for col in missing:
+                values = view.get(col)
+                if values is None:
+                    continue
+                count, distinct, nulls, heavy, sampled = sketch_column(
+                    values, self.sketch_k)
+                entry.columns[col] = ColumnStats(
+                    count=count, distinct=distinct, nulls=nulls,
+                    heavy=heavy, sampled=sampled)
+                self.collections += 1
+        if columns and not missing:
+            self.hits += 1
+        return entry
+
+    def column_stats(self, datastore, name: str,
+                     column: str) -> Optional[ColumnStats]:
+        return self.table_stats(datastore, name, (column,)).column(column)
+
+    def distinct_of(self, datastore, name: str,
+                    columns: Sequence[str]) -> Optional[int]:
+        """Distinct count of a (possibly composite) key over the
+        dataset's *current* contents; ``None`` when a column is absent."""
+        cols = tuple(columns)
+        entry = self._entry(datastore, name)
+        if len(cols) == 1:
+            stats = self.table_stats(datastore, name, cols).column(cols[0])
+            return stats.distinct if stats is not None else None
+        cached = entry.composites.get(cols)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        view = datastore.resolve(name).columns_view(cols)
+        seqs = []
+        for col in cols:
+            values = view.get(col)
+            if values is None:
+                return None
+            seqs.append(values)
+        distinct = distinct_of_tuples(seqs)
+        entry.composites[cols] = distinct
+        self.collections += 1
+        return distinct
+
+
+def stats_enabled_default() -> bool:
+    """Whether statistics-driven optimization is on by default.
+
+    ``REPRO_STATS=off`` (or ``0``/``false``) disables it everywhere a
+    caller did not choose explicitly — the ``REPRO_SUITE_STATS=0`` CI
+    leg runs the whole suite this way.  Read at call time so tests can
+    flip it per case.
+    """
+    return os.environ.get("REPRO_STATS", "on").lower() not in (
+        "0", "off", "false")

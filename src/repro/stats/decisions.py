@@ -1,0 +1,604 @@
+"""Statistics-driven optimization decisions.
+
+Everything the stats layer *does* lives here, behind one contract: a
+decision may change **how** a query runs — partition assignment, split
+geometry, whether an IC/TC merge or a map-side combiner happens — but
+never **what** it produces.  Final rows are byte-identical to the static
+engine; only schedule-shaped counters (per-partition loads, pre-combine
+records) may move.
+
+Three consumers:
+
+* **Skew-aware reduce partitioning** — :class:`SkewPartitionPlan` gives
+  sketched heavy keys dedicated reduce partitions and hashes the light
+  tail over the rest.  Attached post-compile to ``MRJob.partitioner``;
+  the plan is picklable (process pools) and a pure function of plan +
+  table stats (attempt-safe under fault injection: retried ``MapTask``
+  clones re-read it from the job spec).
+* **Cost-based merge decisions** — :class:`CostBasedMergeAdvisor` hooks
+  YSmart's Rule-1 loop (``jobgen.merge_step1``): it prices merged vs
+  separate drafts through :class:`~repro.hadoop.costmodel.
+  HadoopCostModel` with estimator-derived synthetic counters (shared
+  scans are the merge benefit, a lost map-side combiner and CMF dispatch
+  are its cost) and rejects merges that do not pay.  The combiner itself
+  is decided at compile time via ``CompileOptions.combiner_advisor`` —
+  it *must* be: ``AggTask.partial`` fixes the reducer's input contract
+  (accumulator states vs raw values), so stripping ``map_agg``
+  post-compile would corrupt results.
+* **Cardinality-driven split sizing** — :func:`auto_split_rows_stats`
+  replaces raw-row-count ``split_rows="auto"`` sizing for combiner jobs
+  whose group-key cardinality the optimizer estimated
+  (``MRJob.est_key_distinct``): a low-cardinality key wants fewer,
+  bigger splits so the combiner collapses more before the shuffle.
+
+Every choice is recorded as a :class:`Decision` in the run's
+:class:`DecisionLog` with its estimates; ``attach_actuals`` fills in the
+measured counters afterwards, and ``repro run --stats`` renders the
+estimate-vs-actual table.  :class:`StatsPolicy` gates keep all decisions
+static below ``min_rows`` — the default (50k rows) is far above the test
+suite's table sizes, so suite-scale behaviour (job counts, golden
+counters) is bit-for-bit the paper's static translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mr.counters import JobCounters
+from repro.mr.tasks import _canonical, auto_split_rows_stats, stable_hash
+from repro.plan.nodes import (AggNode, JoinNode, PlanNode, ScanNode,
+                              SortNode, UnionNode)
+from repro.stats.catalog import StatsCatalog, stats_enabled_default
+from repro.stats.estimator import PlanEstimator
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StatsPolicy:
+    """Engagement thresholds for every stats-driven decision.
+
+    The defaults are deliberately conservative: below ``min_rows``
+    estimated input rows, *every* decision falls back to the static
+    paper behaviour, so small workloads (and the whole test suite) are
+    unaffected.  Benchmarks and property tests lower the gates
+    explicitly to exercise the adaptive paths.
+    """
+
+    #: estimated input rows below which all decisions stay static
+    min_rows: int = 50_000
+    #: a key is heavy when its estimated reduce load exceeds this factor
+    #: times the fair per-partition share
+    heavy_factor: float = 2.0
+    #: dedicate at most this fraction of partitions to heavy keys
+    max_heavy_fraction: float = 0.5
+    #: reject an IC/TC merge only when the separate jobs model at least
+    #: this much cheaper (separate < merged × margin)
+    merge_margin: float = 0.85
+    #: drop the map-side combiner when estimated groups / input records
+    #: reaches this ratio (the combiner would collapse almost nothing)
+    combiner_distinct_ratio: float = 0.9
+
+
+# ---------------------------------------------------------------------------
+# Decision log
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Decision:
+    """One stats-driven choice, with its estimates and (later) actuals."""
+
+    #: "merge" | "combiner" | "skew" | "split"
+    kind: str
+    #: what the decision is about (draft labels or a column/key)
+    target: str
+    #: human-readable choice ("merged", "separate jobs", "combiner off",
+    #: "3 heavy keys -> dedicated partitions", "split_rows 12000", ...)
+    choice: str
+    #: True when the choice differs from the static engine's
+    changed: bool
+    estimate: Dict[str, object] = field(default_factory=dict)
+    actual: Dict[str, object] = field(default_factory=dict)
+    #: the compiled job this landed on (None for rejected merges, which
+    #: leave two separate jobs)
+    job_id: Optional[str] = None
+
+    def render(self) -> str:
+        def fmt(d: Dict[str, object]) -> str:
+            return ", ".join(f"{k}={v}" for k, v in d.items()) or "-"
+        mark = "*" if self.changed else " "
+        line = (f" {mark} [{self.kind}] {self.target}: {self.choice}\n"
+                f"     estimate: {fmt(self.estimate)}")
+        if self.actual:
+            line += f"\n     actual:   {fmt(self.actual)}"
+        return line
+
+
+class DecisionLog:
+    """Ordered record of every decision one translation + run made."""
+
+    def __init__(self):
+        self.decisions: List[Decision] = []
+
+    def add(self, decision: Decision) -> Decision:
+        self.decisions.append(decision)
+        return decision
+
+    def changed(self) -> List[Decision]:
+        return [d for d in self.decisions if d.changed]
+
+    def for_job(self, job_id: str) -> List[Decision]:
+        return [d for d in self.decisions if d.job_id == job_id]
+
+    def add_split_decision(self, job_id: str, num_rows: int,
+                           est_distinct: int,
+                           static_split: Optional[int],
+                           chosen_split: Optional[int]) -> Decision:
+        """Convenience used by the task planner (which cannot import
+        this module's classes without a cycle)."""
+        return self.add(Decision(
+            kind="split", target=job_id,
+            choice=f"split_rows {chosen_split}",
+            changed=chosen_split != static_split,
+            estimate={"input_rows": num_rows,
+                      "est_key_distinct": est_distinct,
+                      "static_split": static_split},
+            job_id=job_id))
+
+    def attach_actuals(self, runs: Sequence[object]) -> None:
+        """Fill each decision's ``actual`` dict from measured counters
+        (``runs`` are :class:`~repro.mr.counters.JobRun`)."""
+        by_id = {run.job_id: run.counters for run in runs}
+        for d in self.decisions:
+            c = by_id.get(d.job_id)
+            if c is None:
+                continue
+            if d.kind == "skew":
+                loads = c.reduce_task_records
+                if loads:
+                    mean = sum(loads) / len(loads)
+                    d.actual = {
+                        "reduce_tasks": len(loads),
+                        "max_task_records": max(loads),
+                        "max_over_mean": round(max(loads) / mean, 3)
+                        if mean else 0.0,
+                    }
+            elif d.kind == "combiner":
+                d.actual = {
+                    "pre_combine_records": c.pre_combine_records,
+                    "shuffled_records": c.map_output_records,
+                }
+            elif d.kind == "split":
+                d.actual = {
+                    "input_records": c.total_input_records,
+                    "shuffled_records": c.map_output_records,
+                }
+
+    def render(self) -> str:
+        if not self.decisions:
+            return ("stats: no decision points reached "
+                    "(all inputs below gates)")
+        n_changed = len(self.changed())
+        lines = [f"stats decisions ({len(self.decisions)} evaluated, "
+                 f"{n_changed} changed; '*' = differs from static):"]
+        lines += [d.render() for d in self.decisions]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Skew-aware partition plans
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SkewPartitionPlan:
+    """Deterministic partitioner: heavy keys pinned, light keys hashed.
+
+    ``heavy`` maps *canonicalized* key tuples (see
+    :func:`repro.mr.tasks._canonical` — the same equality classes the
+    default hash partitioner uses) to dedicated partition ids
+    ``0..num_heavy-1``; every other key hashes into the remaining
+    ``num_partitions - num_heavy`` partitions.  ``num_partitions``
+    always equals the job's ``num_reducers``, so the shuffle's
+    fixed-range partition walk is untouched.  Plain data only — the
+    plan pickles with the job for process pools.
+    """
+
+    heavy: Dict[Tuple, int]
+    num_partitions: int
+    num_heavy: int
+
+    def partition(self, key: Tuple) -> int:
+        pid = self.heavy.get(tuple(_canonical(v) for v in key))
+        if pid is not None:
+            return pid
+        return self.num_heavy + stable_hash(key) % (
+            self.num_partitions - self.num_heavy)
+
+    def describe(self) -> str:
+        return (f"{self.num_heavy} heavy key(s) -> partitions "
+                f"0..{self.num_heavy - 1}, light keys -> "
+                f"{self.num_heavy}..{self.num_partitions - 1}")
+
+
+def build_skew_plan(heavy_loads: Sequence[Tuple[object, int]],
+                    num_partitions: int) -> Optional[SkewPartitionPlan]:
+    """A plan dedicating one partition per heavy key (heaviest first,
+    ties broken by ``repr`` so the plan is deterministic), keeping at
+    least one partition for the light tail."""
+    if num_partitions < 2 or not heavy_loads:
+        return None
+    ordered = sorted(heavy_loads, key=lambda vc: (-vc[1], repr(vc[0])))
+    ordered = ordered[:num_partitions - 1]
+    heavy = {(_canonical(v),): i for i, (v, _) in enumerate(ordered)}
+    return SkewPartitionPlan(heavy=heavy, num_partitions=num_partitions,
+                             num_heavy=len(heavy))
+
+
+# ---------------------------------------------------------------------------
+# Context plumbing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StatsContext:
+    """The per-session stats state: sketch catalog + policy + log.
+
+    Shared across queries the way a ``ResultCache`` is (a
+    :class:`~repro.workloads.WorkloadSession` holds one of each); the
+    catalog's version keying makes mutation invalidate sketches and
+    cached results in the same step.
+    """
+
+    catalog: StatsCatalog = field(default_factory=StatsCatalog)
+    policy: StatsPolicy = field(default_factory=StatsPolicy)
+    log: DecisionLog = field(default_factory=DecisionLog)
+
+
+def resolve_stats(stats: object) -> Optional[StatsContext]:
+    """Normalize a ``stats=`` argument to a context or None (off).
+
+    ``None`` resolves the ``REPRO_STATS`` environment default (on);
+    ``True``/``"on"`` force a fresh context; ``False``/``"off"`` force
+    static behaviour; an existing :class:`StatsContext` passes through
+    (the session-sharing path).
+    """
+    if isinstance(stats, StatsContext):
+        return stats
+    if stats is None:
+        return StatsContext() if stats_enabled_default() else None
+    if stats in (True, "on"):
+        return StatsContext()
+    if stats in (False, "off"):
+        return None
+    raise ValueError(
+        f"stats must be None, True/False, 'on'/'off', or a StatsContext; "
+        f"got {stats!r}")
+
+
+# ---------------------------------------------------------------------------
+# The optimizer
+# ---------------------------------------------------------------------------
+
+class CostBasedMergeAdvisor:
+    """Rule-1 hook: approve or reject one IC/TC draft merge."""
+
+    def __init__(self, optimizer: "StatsOptimizer"):
+        self.optimizer = optimizer
+
+    def approve(self, graph, da, db) -> bool:
+        return self.optimizer.approve_merge(graph, da, db)
+
+
+class StatsOptimizer:
+    """Statistics-driven choices for one translation.
+
+    Built per query by the runner (sharing the session's
+    :class:`StatsContext`) and handed to ``translate_plan``, which
+    consults :meth:`merge_advisor` during Rule-1 merging,
+    :meth:`combiner_advisor` during compilation, and calls :meth:`apply`
+    on the finished translation to attach partition plans and
+    cardinality annotations.
+    """
+
+    def __init__(self, datastore, context: Optional[StatsContext] = None,
+                 cluster=None, num_reducers: int = 8):
+        from repro.hadoop.config import small_cluster
+        from repro.hadoop.costmodel import HadoopCostModel
+        self.datastore = datastore
+        self.context = context or StatsContext()
+        self.estimator = PlanEstimator(datastore, self.context.catalog)
+        self.cost = HadoopCostModel(cluster if cluster is not None
+                                    else small_cluster())
+        self.num_reducers = num_reducers
+
+    @property
+    def policy(self) -> StatsPolicy:
+        return self.context.policy
+
+    @property
+    def log(self) -> DecisionLog:
+        return self.context.log
+
+    # -- shuffle-shape analysis over drafts ---------------------------------
+
+    def _contributions(self, nodes: Sequence[PlanNode]
+                       ) -> List[Tuple[PlanNode, PlanNode, Optional[str]]]:
+        """The draft's shuffled map inputs: ``(parent, child, key_col)``
+        for every child outside the draft (``key_col`` is the partition
+        key column *in the child's output space* when the key is a
+        single column, else None)."""
+        in_draft = {id(n) for n in nodes}
+        out: List[Tuple[PlanNode, PlanNode, Optional[str]]] = []
+        for node in nodes:
+            if isinstance(node, ScanNode):
+                out.append((node, node, None))  # bare-scan SP job
+            elif isinstance(node, JoinNode):
+                for child, keys in ((node.left, node.left_keys),
+                                    (node.right, node.right_keys)):
+                    if id(child) not in in_draft:
+                        out.append((node, child,
+                                    keys[0] if len(keys) == 1 else None))
+            elif isinstance(node, AggNode):
+                child = node.child
+                if id(child) not in in_draft:
+                    col = (node.group_keys[0].source_col
+                           if len(node.group_keys) == 1 else None)
+                    out.append((node, child, col))
+            elif isinstance(node, SortNode):
+                if id(node.child) not in in_draft:
+                    out.append((node, node.child, None))
+            elif isinstance(node, UnionNode):
+                for child in node.children:
+                    if id(child) not in in_draft:
+                        out.append((node, child, None))
+        return out
+
+    def _terminal(self, nodes: Sequence[PlanNode]) -> PlanNode:
+        """The draft's output node (the one no other draft node reads)."""
+        read = set()
+        for node in nodes:
+            for child in node.children:
+                read.add(id(child))
+        for node in nodes:
+            if id(node) not in read:
+                return node
+        return nodes[-1]
+
+    def _heavy_loads(self, nodes: Sequence[PlanNode]
+                     ) -> Tuple[int, List[Tuple[object, int]]]:
+        """(estimated reduce input records, per-key heavy loads summed
+        across the draft's shuffled inputs).  Empty loads when any input
+        lacks a single-column key lineage."""
+        est = self.estimator
+        total = 0
+        loads: Dict[object, int] = {}
+        resolvable = True
+        for _parent, child, col in self._contributions(nodes):
+            rec = est.records_output(child)
+            total += rec
+            if col is None:
+                resolvable = False
+                continue
+            hh = est.heavy_hitters(child, col)
+            if not hh:
+                continue
+            for value, count in hh:
+                cv = _canonical(value)
+                loads[cv] = loads.get(cv, 0) + count
+        if not resolvable:
+            return total, []
+        merged = sorted(loads.items(), key=lambda vc: (-vc[1], repr(vc[0])))
+        return total, merged
+
+    # -- synthetic counters for the cost model ------------------------------
+
+    def estimate_draft_counters(self, nodes: Sequence[PlanNode]
+                                ) -> JobCounters:
+        """Synthetic :class:`JobCounters` for a (possibly merged) draft,
+        good enough for the cost model to *rank* merged vs separate:
+        shared scans dedupe into one input read (the merge benefit);
+        only a standalone aggregation keeps a map-side combiner (losing
+        it is the merge cost); a merged job's CMF dispatches every value
+        to each of its reduce tasks."""
+        est = self.estimator
+        c = JobCounters(job_id="est", name="estimate",
+                        num_reducers=self.num_reducers)
+        contribs = self._contributions(nodes)
+        emitted = 0
+        widths: List[float] = []
+        for _parent, child, _col in contribs:
+            rec = est.records_output(child)
+            width = est.est_row_bytes(child)
+            dataset = (child.table if isinstance(child, ScanNode)
+                       else f"job:{child.label}")
+            # dict assignment dedupes shared scans: the merged job reads
+            # a common table once, separate jobs read it once each
+            c.input_bytes[dataset] = int(rec * width)
+            c.input_records[dataset] = rec
+            c.map_eval_ops += rec
+            emitted += rec
+            widths.append(width)
+
+        node0 = nodes[0]
+        combiner = (len(nodes) == 1 and isinstance(node0, AggNode)
+                    and not node0.is_global
+                    and all(not s.distinct or s.func in ("min", "max")
+                            for s in node0.aggs))
+        groups = emitted
+        if len(nodes) == 1 and isinstance(node0, AggNode):
+            groups = est.records_output(node0)
+        else:
+            key_distincts = [est.distinct_values(child, col)
+                             for _p, child, col in contribs
+                             if col is not None]
+            if key_distincts:
+                groups = min(emitted, max(key_distincts))
+        shuffled = min(emitted, groups) if combiner else emitted
+        width = max(widths) if widths else 32.0
+
+        c.pre_combine_records = emitted
+        c.map_output_records = shuffled
+        c.map_output_bytes = int(shuffled * (width + 8))
+        c.reduce_input_records = shuffled
+        c.reduce_groups = max(1, groups)
+        reduce_tasks = sum(1 for n in nodes
+                           if not isinstance(n, ScanNode))
+        c.reduce_dispatch_ops = shuffled * max(1, reduce_tasks)
+
+        terminal = self._terminal(list(nodes))
+        out_records = est.records_output(terminal)
+        c.reduce_compute_ops = shuffled + out_records
+        c.output_records["out"] = out_records
+        c.output_bytes["out"] = int(out_records
+                                    * est.est_row_bytes(terminal))
+
+        fair = -(-shuffled // max(1, self.num_reducers))
+        _total, loads = self._heavy_loads(nodes)
+        c.reduce_max_task_records = max([fair] + [min(count, shuffled)
+                                                  for _v, count in loads])
+        return c
+
+    # -- decision points ----------------------------------------------------
+
+    def approve_merge(self, graph, da, db) -> bool:
+        """Rule-1 gate: keep the paper's always-merge below the policy
+        gate; above it, merge only when the cost model says it pays."""
+        est_a = self.estimate_draft_counters(da.nodes)
+        est_b = self.estimate_draft_counters(db.nodes)
+        total_in = (est_a.total_input_records
+                    + est_b.total_input_records)
+        if total_in < self.policy.min_rows:
+            return True
+        merged = self.estimate_draft_counters(list(da.nodes)
+                                              + list(db.nodes))
+        sep_s = self.cost.estimate_chain_s([est_a, est_b])
+        merged_s = self.cost.estimate_chain_s([merged])
+        approve = not (sep_s < merged_s * self.policy.merge_margin)
+        self.log.add(Decision(
+            kind="merge",
+            target=" + ".join(["|".join(da.labels), "|".join(db.labels)]),
+            choice="merged" if approve else "kept separate",
+            changed=not approve,
+            estimate={"separate_s": round(sep_s, 1),
+                      "merged_s": round(merged_s, 1),
+                      "input_records": total_in}))
+        return approve
+
+    def combiner_advisor(self):
+        """The ``CompileOptions.combiner_advisor`` callable: keep the
+        map-side combiner unless the group key's cardinality makes it
+        useless on a large input."""
+        def decide(node: AggNode, child: PlanNode) -> bool:
+            est = self.estimator
+            child_records = est.records_output(child)
+            if child_records < self.policy.min_rows:
+                return True
+            groups = est.records_output(node)
+            ratio = groups / child_records if child_records else 0.0
+            keep = ratio < self.policy.combiner_distinct_ratio
+            self.log.add(Decision(
+                kind="combiner", target=node.label,
+                choice="combiner on" if keep else "combiner off",
+                changed=not keep,
+                estimate={"input_records": child_records,
+                          "est_groups": groups,
+                          "distinct_ratio": round(ratio, 3)}))
+            return keep
+        return decide
+
+    def merge_advisor(self) -> CostBasedMergeAdvisor:
+        return CostBasedMergeAdvisor(self)
+
+    # -- post-compile annotation --------------------------------------------
+
+    def apply(self, translation) -> None:
+        """Walk the compiled jobs alongside their drafts (same order:
+        ``compile()`` iterates ``graph.schedule()``) attaching skew
+        partition plans, group-key cardinality annotations for runtime
+        split sizing, and the per-job ``stats_decisions`` cache token
+        (set only when a decision changed the job, so untouched jobs
+        keep byte-identical cache keys)."""
+        graph = translation.graph
+        if graph is None:
+            return
+        drafts = graph.schedule()
+        if len(drafts) != len(translation.jobs):
+            return  # defensive: unknown compile shape, change nothing
+        label_to_job = {}
+        for draft, job in zip(drafts, translation.jobs):
+            for n in draft.nodes:
+                label_to_job[n.label] = job
+            tokens: List[str] = []
+
+            if (job.map_agg is None and not job.sort_output
+                    and job.num_reducers >= 2):
+                self._apply_skew(draft, job, tokens)
+
+            if job.map_agg is not None and len(draft.nodes) == 1 \
+                    and isinstance(draft.nodes[0], AggNode):
+                node = draft.nodes[0]
+                child_records = self.estimator.records_output(node.child)
+                if child_records >= self.policy.min_rows:
+                    distinct = self.estimator.records_output(node)
+                    job.est_key_distinct = distinct
+                    tokens.append(f"estd={distinct}")
+
+            if tokens:
+                job.stats_decisions = ";".join(tokens)
+
+        # route compile-time combiner decisions to their jobs
+        for d in self.log.decisions:
+            if d.job_id is None and d.kind == "combiner":
+                job = label_to_job.get(d.target)
+                if job is not None:
+                    d.job_id = job.job_id
+                    if d.changed:
+                        job.stats_decisions = ";".join(
+                            filter(None, [job.stats_decisions, "nocombine"]))
+
+    def _apply_skew(self, draft, job, tokens: List[str]) -> None:
+        total, loads = self._heavy_loads(draft.nodes)
+        if total < self.policy.min_rows or not loads:
+            return
+        fair = total / job.num_reducers
+        threshold = fair * self.policy.heavy_factor
+        heavy = [(v, count) for v, count in loads if count > threshold]
+        if not heavy:
+            self.log.add(Decision(
+                kind="skew", target="|".join(draft.labels),
+                choice="uniform hash (no heavy keys)", changed=False,
+                estimate={"reduce_input": total,
+                          "fair_share": int(fair),
+                          "top_key_load": loads[0][1]},
+                job_id=job.job_id))
+            return
+        cap = max(1, int(job.num_reducers
+                         * self.policy.max_heavy_fraction))
+        heavy = heavy[:cap]
+        plan = build_skew_plan(heavy, job.num_reducers)
+        if plan is None:
+            return
+        job.partitioner = plan
+        tokens.append(f"skew={plan.num_heavy}")
+        self.log.add(Decision(
+            kind="skew", target="|".join(draft.labels),
+            choice=plan.describe(), changed=True,
+            estimate={"reduce_input": total,
+                      "fair_share": int(fair),
+                      "heavy_loads": [(repr(v), count)
+                                      for v, count in heavy]},
+            job_id=job.job_id))
+
+
+#: environment knob documented here for discoverability; resolution
+#: happens in :func:`repro.stats.catalog.stats_enabled_default`
+REPRO_STATS_ENV = "REPRO_STATS"
+
+__all__ = [
+    "StatsPolicy", "Decision", "DecisionLog", "SkewPartitionPlan",
+    "build_skew_plan", "auto_split_rows_stats", "StatsContext",
+    "resolve_stats", "CostBasedMergeAdvisor", "StatsOptimizer",
+    "REPRO_STATS_ENV",
+]

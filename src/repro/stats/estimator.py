@@ -1,0 +1,286 @@
+"""Cardinality estimation over plan trees (the SimpleDB idiom).
+
+:class:`PlanEstimator` answers ``records_output(node)`` and
+``distinct_values(node, column)`` for any plan node, rooted in the
+:class:`~repro.stats.catalog.StatsCatalog`'s base-table sketches:
+
+* scans start from true row counts, discounted by per-``Filter``
+  selectivities (equality → ``1/V(col)``, range → 1/3, …);
+* equi-joins use the System-R containment rule
+  ``|L ⋈ R| = |L|·|R| / max(V(L,k), V(R,k))`` per key pair;
+* aggregations output one row per distinct group key, capped by their
+  input size; sorts pass through (and apply ``LIMIT``).
+
+``base_source(node, column)`` is the lineage walk the skew planner runs
+on: it resolves an output column of any node back to the base-table
+column that feeds it (through project renames, join sides, and grouping
+slots), or ``None`` when the column is computed.  Heavy-hitter estimates
+ride the same walk: a base column's sketched hot values, scaled by the
+node's estimated selectivity/fanout.
+
+Estimates are intentionally crude — their job is to *rank* choices
+(merge vs not, skewed vs uniform, big vs small splits), and every
+decision they feed is logged with estimate-vs-actual so the ranking
+quality is observable (``repro run --stats``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.plan.nodes import (AggNode, Filter, JoinNode, PlanNode, Project,
+                              ScanNode, SortNode, UnionNode)
+from repro.sqlparser.ast import (Between, BinaryOp, ColumnRef, InList, IsNull,
+                                 Literal, UnaryOp)
+from repro.stats.catalog import ColumnStats, StatsCatalog
+
+#: Selectivity of a predicate the estimator cannot decompose.
+DEFAULT_SELECTIVITY = 0.5
+#: Selectivity of one range comparison (<, <=, >, >=).
+RANGE_SELECTIVITY = 1.0 / 3.0
+#: Distinct count assumed for a computed (expression) grouping key.
+DEFAULT_EXPR_DISTINCT = 100
+
+
+class PlanEstimator:
+    """Cardinality/skew estimates for one plan tree over one datastore."""
+
+    def __init__(self, datastore, catalog: Optional[StatsCatalog] = None):
+        self.datastore = datastore
+        self.catalog = catalog or StatsCatalog()
+        self._records: Dict[int, int] = {}
+
+    # -- base-table stats ------------------------------------------------------
+
+    def _base_column(self, table: str, column: str) -> Optional[ColumnStats]:
+        if not self.datastore.has_table(table):
+            return None
+        return self.catalog.column_stats(self.datastore, table, column)
+
+    def base_rows(self, table: str) -> int:
+        return self.catalog.table_stats(self.datastore, table).row_count
+
+    # -- lineage ---------------------------------------------------------------
+
+    def base_source(self, node: PlanNode,
+                    column: str) -> Optional[Tuple[str, str]]:
+        """Resolve ``column`` (an output name of ``node``) to the base
+        ``(table, column)`` feeding it, or ``None`` when computed."""
+        # Walk project renames backwards to the node's raw output name.
+        for stage in reversed(node.stages):
+            if not isinstance(stage, Project):
+                continue
+            src = None
+            for out in stage.outputs:
+                if out.name == column:
+                    src = out.passthrough_source
+                    break
+            if src is None:
+                return None
+            column = src
+
+        if isinstance(node, ScanNode):
+            name = column.rsplit("@", 1)[0]
+            if "." not in name:
+                return None
+            alias, col = name.split(".", 1)
+            if alias == node.alias and col in node.columns:
+                return (node.table, col)
+            return None
+        if isinstance(node, JoinNode):
+            if column in node.left.output_names:
+                return self.base_source(node.left, column)
+            if column in node.right.output_names:
+                return self.base_source(node.right, column)
+            return None
+        if isinstance(node, AggNode):
+            for gk in node.group_keys:
+                if gk.slot == column:
+                    if gk.source_col is None:
+                        return None
+                    return self.base_source(node.child, gk.source_col)
+            return None
+        if isinstance(node, SortNode):
+            return self.base_source(node.child, column)
+        return None  # unions mix sources; aggregates are computed
+
+    # -- selectivity ------------------------------------------------------------
+
+    def _column_distinct(self, node: PlanNode, column: str) -> Optional[int]:
+        source = self.base_source(node, column)
+        if source is None:
+            return None
+        stats = self._base_column(*source)
+        return stats.distinct if stats is not None else None
+
+    def selectivity(self, node: PlanNode, predicate) -> float:
+        """Estimated fraction of rows satisfying ``predicate`` at
+        ``node`` (clamped to [0, 1])."""
+        s = self._selectivity(node, predicate)
+        return min(1.0, max(0.0, s))
+
+    def _selectivity(self, node: PlanNode, pred) -> float:
+        if isinstance(pred, BinaryOp):
+            op = pred.op.lower()
+            if op == "and":
+                return (self._selectivity(node, pred.left)
+                        * self._selectivity(node, pred.right))
+            if op == "or":
+                a = self._selectivity(node, pred.left)
+                b = self._selectivity(node, pred.right)
+                return a + b - a * b
+            if op in ("=", "==", "!=", "<>"):
+                distinct = self._equality_distinct(node, pred)
+                eq = 1.0 / distinct if distinct else DEFAULT_SELECTIVITY
+                return eq if op in ("=", "==") else 1.0 - eq
+            if op in ("<", "<=", ">", ">="):
+                return RANGE_SELECTIVITY
+            return DEFAULT_SELECTIVITY
+        if isinstance(pred, UnaryOp) and pred.op.lower() == "not":
+            return 1.0 - self._selectivity(node, pred.operand)
+        if isinstance(pred, Between):
+            return RANGE_SELECTIVITY / 2.0
+        if isinstance(pred, InList):
+            col = pred.operand
+            sel = DEFAULT_SELECTIVITY
+            if isinstance(col, ColumnRef):
+                distinct = self._column_distinct(node, col.name)
+                if distinct:
+                    sel = min(1.0, len(pred.items) / distinct)
+            return sel if not pred.negated else 1.0 - sel
+        if isinstance(pred, IsNull):
+            base = (self.base_source(node, pred.operand.name)
+                    if isinstance(pred.operand, ColumnRef) else None)
+            if base is not None:
+                stats = self._base_column(*base)
+                if stats is not None and stats.count:
+                    frac = stats.nulls / stats.count
+                    return frac if not pred.negated else 1.0 - frac
+            return 0.1 if not pred.negated else 0.9
+        return DEFAULT_SELECTIVITY
+
+    def _equality_distinct(self, node: PlanNode, pred) -> Optional[int]:
+        """V(col) for a ``col = literal`` (or reversed) comparison."""
+        for a, b in ((pred.left, pred.right), (pred.right, pred.left)):
+            if isinstance(a, ColumnRef) and isinstance(b, Literal):
+                return self._column_distinct(node, a.name)
+        if (isinstance(pred.left, ColumnRef)
+                and isinstance(pred.right, ColumnRef)):
+            va = self._column_distinct(node, pred.left.name)
+            vb = self._column_distinct(node, pred.right.name)
+            candidates = [v for v in (va, vb) if v]
+            return max(candidates) if candidates else None
+        return None
+
+    # -- cardinality -------------------------------------------------------------
+
+    def records_output(self, node: PlanNode) -> int:
+        """Estimated rows the node delivers after its stage chain."""
+        cached = self._records.get(id(node))
+        if cached is not None:
+            return cached
+        raw = float(self._raw_records(node))
+        nonempty = raw > 0
+        for stage in node.stages:
+            if isinstance(stage, Filter):
+                raw *= self.selectivity(node, stage.predicate)
+        est = int(round(raw))
+        if nonempty:
+            est = max(1, est)
+        if isinstance(node, SortNode) and node.limit is not None:
+            est = min(est, node.limit)
+        self._records[id(node)] = est
+        return est
+
+    def _raw_records(self, node: PlanNode) -> int:
+        if isinstance(node, ScanNode):
+            return self.base_rows(node.table)
+        if isinstance(node, JoinNode):
+            left = self.records_output(node.left)
+            right = self.records_output(node.right)
+            est = float(left * right)
+            for lk, rk in zip(node.left_keys, node.right_keys):
+                vl = self._column_distinct(node.left, lk)
+                vr = self._column_distinct(node.right, rk)
+                v = max(v for v in (vl, vr, 1) if v)
+                est /= v
+            est = int(round(est))
+            if node.join_type in ("left", "full"):
+                est = max(est, left)
+            if node.join_type in ("right", "full"):
+                est = max(est, right)
+            return est
+        if isinstance(node, AggNode):
+            child_records = self.records_output(node.child)
+            if node.is_global:
+                return 1 if child_records >= 0 else 1
+            groups = 1
+            for gk in node.group_keys:
+                if gk.source_col is not None:
+                    v = self._column_distinct(node.child, gk.source_col)
+                else:
+                    v = None
+                groups *= v if v else DEFAULT_EXPR_DISTINCT
+                if groups >= child_records:
+                    break
+            return max(1, min(groups, child_records)) if child_records else 0
+        if isinstance(node, SortNode):
+            return self.records_output(node.child)
+        if isinstance(node, UnionNode):
+            return sum(self.records_output(c) for c in node.children)
+        raise TypeError(f"cannot estimate {type(node).__name__}")
+
+    def distinct_values(self, node: PlanNode, column: str) -> int:
+        """Estimated distinct values of one output column of ``node``.
+
+        Resolves through lineage to the base column's sketched
+        cardinality when possible; a grouping slot of an AGG node is
+        distinct per output row by construction; otherwise falls back to
+        the node's output cardinality (a safe upper bound).
+        """
+        records = self.records_output(node)
+        base = self.base_source(node, column)
+        if base is not None:
+            stats = self._base_column(*base)
+            if stats is not None:
+                return max(1, min(stats.distinct, records)) \
+                    if records else 0
+        if isinstance(node, AggNode) and len(node.group_keys) == 1 \
+                and node.group_keys[0].slot == column:
+            return records
+        return records
+
+    # -- skew --------------------------------------------------------------------
+
+    def heavy_hitters(self, node: PlanNode,
+                      column: str) -> List[Tuple[object, int]]:
+        """Estimated hot values of one output column, with counts scaled
+        to the node's output cardinality (heaviest first).  Empty when
+        the column has no base-table lineage."""
+        base = self.base_source(node, column)
+        if base is None:
+            return []
+        stats = self._base_column(*base)
+        if stats is None or not stats.count:
+            return []
+        ratio = self.records_output(node) / stats.count
+        return [(v, max(1, int(round(c * ratio)))) for v, c in stats.heavy]
+
+    # -- widths ------------------------------------------------------------------
+
+    def est_row_bytes(self, node: PlanNode) -> float:
+        """Crude average output-row width, for intermediate-size costing."""
+        if isinstance(node, ScanNode):
+            stats = self.catalog.table_stats(self.datastore, node.table)
+            return stats.row_bytes or 32.0
+        if isinstance(node, JoinNode):
+            return (self.est_row_bytes(node.left)
+                    + self.est_row_bytes(node.right))
+        if isinstance(node, AggNode):
+            return 24.0 * (len(node.group_keys) + len(node.aggs))
+        if isinstance(node, SortNode):
+            return self.est_row_bytes(node.child)
+        if isinstance(node, UnionNode):
+            widths = [self.est_row_bytes(c) for c in node.children]
+            return sum(widths) / len(widths)
+        return 32.0

@@ -1,0 +1,140 @@
+"""Streaming column sketches: Misra–Gries heavy hitters + distinct counts.
+
+One pass over a column produces everything the optimizer consumes: the
+row count, the number of distinct values, the null count, and the
+heavy-hitter candidates with *exact* counts (the Misra–Gries pass only
+nominates candidates — a second counting pass over the same values
+replaces the sketch's lower bounds with true frequencies, so estimates
+for base tables are exact and any estimate-vs-actual gap comes from plan
+propagation, not sketching noise).
+
+Determinism is a hard requirement: sketches feed partition plans, and
+partition plans must be pure functions of table contents (never of the
+executor, scheduler, or attempt).  Sampling, when a column exceeds
+:data:`SAMPLE_CAP`, is a fixed-stride scan — same rows every time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Columns longer than this are stride-sampled (deterministically);
+#: counts scale back up by the sampling ratio.  In-memory tables at the
+#: scales this reproduction runs are almost always under the cap, so
+#: sketches are usually exact.
+SAMPLE_CAP = 200_000
+
+#: Default number of Misra–Gries counters: candidates can only be keys
+#: with frequency above ``n / (k + 1)``, so 16 counters see every key
+#: heavier than ~6% of the column — far below any skew worth acting on.
+DEFAULT_SKETCH_K = 16
+
+
+class MisraGries:
+    """The classic deterministic heavy-hitter summary.
+
+    Holds at most ``k`` counters; any value whose true frequency exceeds
+    ``n / (k + 1)`` is guaranteed to survive as a candidate.  Counts are
+    lower bounds — callers wanting exact frequencies re-count candidates
+    in a second pass (see :func:`sketch_column`).
+    """
+
+    def __init__(self, k: int = DEFAULT_SKETCH_K):
+        if k < 1:
+            raise ValueError(f"sketch size must be >= 1, got {k}")
+        self.k = k
+        self.counters: Dict[object, int] = {}
+
+    def add(self, value: object) -> None:
+        counters = self.counters
+        if value in counters:
+            counters[value] += 1
+        elif len(counters) < self.k:
+            counters[value] = 1
+        else:
+            dead = [v for v, c in counters.items() if c == 1]
+            for v in counters:
+                counters[v] -= 1
+            for v in dead:
+                del counters[v]
+
+    def candidates(self) -> List[object]:
+        """Surviving values, heaviest surviving count first (ties by
+        insertion order, which is deterministic for a deterministic
+        input order)."""
+        return [v for v, _ in sorted(self.counters.items(),
+                                     key=lambda item: -item[1])]
+
+
+def _sample(values: Sequence[object], cap: int) -> Tuple[Sequence[object], float]:
+    """Deterministic stride sample: every ``stride``-th value, plus the
+    scale factor that maps sampled counts back to the full column."""
+    n = len(values)
+    if n <= cap:
+        return values, 1.0
+    stride = -(-n // cap)
+    sampled = values[::stride]
+    return sampled, n / len(sampled)
+
+
+def sketch_column(values: Sequence[object], k: int = DEFAULT_SKETCH_K,
+                  sample_cap: int = SAMPLE_CAP
+                  ) -> Tuple[int, int, int, List[Tuple[object, int]], bool]:
+    """Sketch one column: ``(count, distinct, nulls, heavy, sampled)``.
+
+    ``heavy`` lists ``(value, estimated_count)`` for the Misra–Gries
+    candidates, heaviest first, with counts exact over the scanned rows
+    (scaled up when sampling) — *not* thresholded; callers apply their
+    own heaviness policy.  ``count`` is always the full column length.
+    """
+    scanned, scale = _sample(values, sample_cap)
+    mg = MisraGries(k)
+    add = mg.add
+    seen = set()
+    seen_add = seen.add
+    nulls = 0
+    for v in scanned:
+        if v is None:
+            nulls += 1
+            continue
+        try:
+            hash(v)
+        except TypeError:  # unhashable value: sketch it via its repr
+            v = repr(v)
+        seen_add(v)
+        add(v)
+    candidates = set(mg.candidates())
+    exact: Dict[object, int] = {v: 0 for v in candidates}
+    if exact:
+        for v in scanned:
+            try:
+                known = v in exact
+            except TypeError:
+                v, known = repr(v), repr(v) in exact
+            if known:
+                exact[v] += 1
+    heavy = sorted(exact.items(), key=lambda item: (-item[1], repr(item[0])))
+    if scale != 1.0:
+        nulls = int(nulls * scale)
+        heavy = [(v, int(c * scale)) for v, c in heavy]
+    return (len(values), len(seen), nulls, heavy, scale != 1.0)
+
+
+def distinct_of_tuples(columns: Sequence[Sequence[object]],
+                       sample_cap: int = SAMPLE_CAP) -> int:
+    """Distinct count of a composite key (row-aligned column lists)."""
+    if not columns:
+        return 1
+    if len(columns) == 1:
+        scanned, scale = _sample(columns[0], sample_cap)
+        return min(len(columns[0]),
+                   int(len(set(map(repr, scanned))) * scale))
+    n = len(columns[0])
+    stride = 1 if n <= sample_cap else -(-n // sample_cap)
+    seen = set()
+    seen_add = seen.add
+    for i in range(0, n, stride):
+        seen_add(repr(tuple(col[i] for col in columns)))
+    scanned = len(range(0, n, stride))
+    scale = n / scanned if scanned else 1.0
+    return min(n, int(len(seen) * scale))

@@ -67,6 +67,9 @@ class QueryRunResult:
     timing: Optional[QueryTiming] = None
     #: the runtime's schedule (waves, batches, task events) when traced
     trace: Optional[RuntimeTrace] = None
+    #: the stats context this run consulted (catalog + decision log with
+    #: estimate-vs-actual), or None for a static run
+    stats: Optional[object] = None
 
     @property
     def job_count(self) -> int:
@@ -88,7 +91,8 @@ def run_translation(translation: Translation, datastore: Datastore,
                     fault_plan: Optional[FaultPlan] = None,
                     max_attempts: Optional[int] = None,
                     speculate: bool = False,
-                    data_plane: Optional[str] = None) -> QueryRunResult:
+                    data_plane: Optional[str] = None,
+                    stats: Optional[object] = None) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -119,14 +123,27 @@ def run_translation(translation: Translation, datastore: Datastore,
     per-row engine (``"row"``); None resolves the ``REPRO_DATA_PLANE``
     environment default (batch).  Rows and ``comparable()`` counters
     are byte-identical on both planes.
+
+    ``stats`` resolves the statistics layer (see
+    :func:`repro.stats.resolve_stats`): a shared
+    :class:`~repro.stats.StatsContext`, ``"on"``/``"off"``, or None for
+    the ``REPRO_STATS`` environment default.  At run time it gates
+    cardinality-driven split sizing and keeps stats-optimized jobs from
+    aliasing static cache entries; after the run the context's decision
+    log is back-filled with observed actuals.
     """
+    from repro.stats.decisions import resolve_stats
+    ctx = resolve_stats(stats)
     runtime = Runtime(datastore, executor=make_executor(parallelism),
                       split_rows=split_rows, keep_trace=keep_trace,
                       result_cache=cache, scheduler=scheduler,
                       fault_plan=fault_plan, max_attempts=max_attempts,
-                      speculate=speculate, data_plane=data_plane)
+                      speculate=speculate, data_plane=data_plane,
+                      stats=ctx)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
+    if ctx is not None:
+        ctx.log.attach_actuals(runs)
     table = datastore.intermediate(translation.final_dataset)
     timing = None
     if cluster is not None:
@@ -139,7 +156,7 @@ def run_translation(translation: Translation, datastore: Datastore,
         translation=translation, runs=runs,
         rows=[dict(r) for r in table.rows],
         columns=list(translation.output_columns), timing=timing,
-        trace=runtime.trace)
+        trace=runtime.trace, stats=ctx)
 
 
 def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
@@ -155,7 +172,8 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               fault_plan: Optional[FaultPlan] = None,
               max_attempts: Optional[int] = None,
               speculate: bool = False,
-              data_plane: Optional[str] = None) -> QueryRunResult:
+              data_plane: Optional[str] = None,
+              stats: Optional[object] = None) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -165,15 +183,29 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
     either way).  ``cache`` enables inter-query result reuse and
     ``scheduler`` picks dataflow vs wave scheduling (see
     :func:`run_translation`).
+
+    ``stats`` resolves the adaptive statistics layer (see
+    :func:`repro.stats.resolve_stats`).  When resolved on, a
+    :class:`~repro.stats.StatsOptimizer` is threaded through translation
+    (cost-based merge vetoes, per-job combiner decisions, skew partition
+    plans, cardinality split annotations) and the same context gates the
+    runtime; rows and refexec-oracle equality are unaffected either way.
     """
+    from repro.stats.decisions import StatsOptimizer, resolve_stats
     ns = namespace or f"q{next(_namespace_counter)}"
     if num_reducers is None:
         num_reducers = cluster.total_reduce_slots if cluster is not None else 8
+    ctx = resolve_stats(stats)
+    optimizer = (StatsOptimizer(datastore, ctx, cluster=cluster,
+                                num_reducers=num_reducers)
+                 if ctx is not None else None)
     translation = translate_sql(sql, mode=mode, catalog=datastore.catalog,
-                                namespace=ns, num_reducers=num_reducers)
+                                namespace=ns, num_reducers=num_reducers,
+                                optimizer=optimizer)
     return run_translation(translation, datastore, cluster, instance,
                            parallelism=parallelism, split_rows=split_rows,
                            keep_trace=keep_trace, cache=cache,
                            scheduler=scheduler, fault_plan=fault_plan,
                            max_attempts=max_attempts, speculate=speculate,
-                           data_plane=data_plane)
+                           data_plane=data_plane,
+                           stats=ctx if ctx is not None else "off")

@@ -61,7 +61,9 @@ class WorkloadSession:
                  scheduler: str = "dataflow",
                  fault_plan: Optional[FaultPlan] = None,
                  max_attempts: Optional[int] = None,
-                 speculate: bool = False):
+                 speculate: bool = False,
+                 stats: Optional[object] = None):
+        from repro.stats.decisions import resolve_stats
         self.datastore = datastore
         self.mode = mode
         self.cluster = cluster
@@ -77,6 +79,10 @@ class WorkloadSession:
         self.cache: Optional[ResultCache] = (
             ResultCache(budget_bytes=int(cache_mb * 1024 * 1024))
             if cache_mb else None)
+        #: the session-shared stats context (sketches cached alongside
+        #: the result cache, versioned on the same datastore stamps so a
+        #: mutation invalidates both in one step); None = static session
+        self.stats_context = resolve_stats(stats)
         self.runs: List[SessionRun] = []
         self._counter = itertools.count(1)
 
@@ -92,7 +98,9 @@ class WorkloadSession:
             parallelism=self.parallelism, split_rows=self.split_rows,
             cache=self.cache, scheduler=self.scheduler,
             fault_plan=self.fault_plan, max_attempts=self.max_attempts,
-            speculate=self.speculate)
+            speculate=self.speculate,
+            stats=(self.stats_context if self.stats_context is not None
+                   else "off"))
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,

@@ -115,3 +115,17 @@ if os.environ.get("REPRO_SUITE_BATCH") == "0":
         _orig_plane_init(self, *args, **kwargs)
 
     _Runtime.__init__ = _row_plane_init
+
+
+# -- static-optimizer suite leg (REPRO_SUITE_STATS=0) ------------------------
+#
+# The stats layer is on by default (REPRO_STATS resolves "on"), so the
+# ordinary suite run exercises the estimators and decision gates
+# everywhere.  This CI leg forces the whole tier-1 suite fully static —
+# no sketches, no advisors, no cardinality split sizing — by exporting
+# the environment default off before any runner resolves it: because
+# stats-driven choices preserve result bytes, the entire suite must pass
+# unchanged on the static path too.
+
+if os.environ.get("REPRO_SUITE_STATS") == "0":
+    os.environ["REPRO_STATS"] = "off"

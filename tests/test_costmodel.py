@@ -211,3 +211,52 @@ class TestQueryTiming:
         assert timing.jobs[0].scheduling_gap_s == 0.0
         assert timing.jobs[1].scheduling_gap_s == \
             small_cluster().inter_job_gap_s
+
+
+# ---------------------------------------------------------------------------
+# Pricing estimated counters (the stats optimizer's what-if query)
+# ---------------------------------------------------------------------------
+
+class TestEstimateChain:
+    def test_chain_price_is_sum_of_jobs_with_gaps(self):
+        model = HadoopCostModel(small_cluster())
+        a, b = counters(), counters()
+        expect = (model.job_timing(a, job_index=0).total_s
+                  + model.job_timing(b, job_index=1).total_s)
+        assert model.estimate_chain_s([a, b]) == pytest.approx(expect)
+
+    def test_two_jobs_pay_two_startups(self):
+        model = HadoopCostModel(small_cluster())
+        one = model.estimate_chain_s([counters()])
+        two = model.estimate_chain_s([counters(), counters()])
+        cfg = small_cluster()
+        assert two >= one + cfg.job_startup_s
+
+    def test_deterministic(self):
+        model = HadoopCostModel(small_cluster())
+        seq = [counters(), counters(reduce_groups=5)]
+        assert model.estimate_chain_s(seq) == model.estimate_chain_s(seq)
+
+    def test_skewed_estimate_prices_higher(self):
+        # The synthetic counters the stats optimizer builds carry
+        # reduce_max_task_records; the model must surface the straggler.
+        model = HadoopCostModel(small_cluster(data_scale=10_000))
+        fair = counters(reduce_max_task_records=50_000 // 8)
+        hot = counters(reduce_max_task_records=40_000)
+        assert model.estimate_chain_s([hot]) > \
+            model.estimate_chain_s([fair])
+
+    def test_merge_tradeoff_visible(self):
+        # A merged common job dedupes the shared scan but dispatches
+        # every shuffled record to both reduce-phase consumers -- the
+        # exact tension approve_merge weighs.
+        model = HadoopCostModel(small_cluster(data_scale=1_000))
+        separate = [counters(), counters()]
+        merged = counters(reduce_dispatch_ops=100_000,
+                          reduce_compute_ops=120_000)
+        merged.output_records = {"a": 10_000, "b": 10_000}
+        merged.output_bytes = {"a": 500_000, "b": 500_000}
+        sep_s = model.estimate_chain_s(separate)
+        merged_s = model.estimate_chain_s([merged])
+        # One scan + one startup beats two of each at this shape.
+        assert merged_s < sep_s

@@ -1,0 +1,154 @@
+"""Property-based tests for the adaptive statistics layer: for ANY
+random table, ANY skew profile, ANY executor/scheduler, and ANY fault
+seed, a stats-driven run (gates lowered so every decision point can
+fire) produces rows byte-identical to the static run and to the
+reference executor — and within one stats configuration, rows and
+``comparable()`` counters are identical across executors, schedulers,
+and fault injection (sketches and partition plans are attempt-safe:
+retried tasks re-read the same compiled job spec)."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.data.table import rows_equal_unordered
+from repro.mr import FaultPlan, Runtime, make_executor
+from repro.plan.planner import plan_query
+from repro.refexec import run_reference
+from repro.sqlparser.parser import parse_sql
+from repro.stats import StatsContext, StatsOptimizer, StatsPolicy
+
+_ns = itertools.count(1)
+
+MAX_ATTEMPTS = 20
+
+# Engage every decision gate on tiny tables; heavy_factor near 1 so even
+# mild skew triggers partition plans.
+LOW_GATES = dict(min_rows=1, heavy_factor=1.1)
+
+# Skewed fact rows: a hot block of key 0 (drawn separately so hypothesis
+# can shrink the skew itself) plus a light tail over a small key range.
+hot_sizes = st.integers(0, 40)
+tail_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 9),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=30)
+
+seeds = st.integers(0, 2 ** 16)
+probabilities = st.floats(0.0, 0.25, allow_nan=False)
+worker_choices = st.integers(1, 4)  # 1 selects the serial executor
+scheduler_choices = st.sampled_from(["dataflow", "wave"])
+
+QUERY_SHAPES = [
+    # standalone agg: combiner + cardinality-split decision points
+    "SELECT f.k, sum(f.v) AS s FROM fact AS f GROUP BY f.k",
+    "SELECT f.k, count(DISTINCT f.v) AS c FROM fact AS f GROUP BY f.k",
+    # reduce-side join: the skew-partition decision point
+    "SELECT f.k, f.v, d.w FROM fact AS f, dim AS d WHERE f.k = d.k",
+    # join + agg chain: merges and lineage through intermediates
+    "SELECT f.k, count(*) AS n FROM fact AS f, dim AS d "
+    "WHERE f.k = d.k GROUP BY f.k",
+]
+
+
+def make_store(hot, tail):
+    rows = [{"k": 0, "v": i % 13} for i in range(hot)] + tail
+    ds = Datastore(Catalog())
+    ds.load_table(Table("fact", Schema.of(("k", T.INT), ("v", T.INT)),
+                        rows))
+    ds.load_table(Table("dim", Schema.of(("k", T.INT), ("w", T.STRING)),
+                        [{"k": k, "w": f"w{k}"} for k in range(10)]))
+    return ds
+
+
+def adaptive_translation(sql, ds, ctx):
+    opt = StatsOptimizer(ds, ctx, num_reducers=8)
+    return translate_sql(sql, catalog=ds.catalog,
+                         namespace=f"ps{next(_ns)}", optimizer=opt)
+
+
+def canon(rows):
+    return sorted(repr(tuple(sorted(r.items(), key=lambda kv: kv[0])))
+                  for r in rows)
+
+
+common = settings(max_examples=12, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(hot=hot_sizes, tail=tail_rows,
+       shape=st.sampled_from(QUERY_SHAPES))
+def test_adaptive_rows_match_static_and_refexec(hot, tail, shape):
+    ds = make_store(hot, tail)
+    ctx = StatsContext(policy=StatsPolicy(**LOW_GATES))
+    tr = adaptive_translation(shape, ds, ctx)
+    Runtime(ds, stats=ctx, split_rows="auto").run_jobs(
+        tr.jobs, dependencies=tr.dependencies())
+    adaptive_rows = [dict(r)
+                     for r in ds.intermediate(tr.final_dataset).rows]
+
+    tr_static = translate_sql(shape, catalog=ds.catalog,
+                              namespace=f"ps{next(_ns)}")
+    Runtime(ds, stats="off", split_rows="auto").run_jobs(
+        tr_static.jobs, dependencies=tr_static.dependencies())
+    static_rows = [dict(r)
+                   for r in ds.intermediate(tr_static.final_dataset).rows]
+
+    assert canon(adaptive_rows) == canon(static_rows)
+    ref = run_reference(plan_query(parse_sql(shape), ds.catalog), ds)
+    assert rows_equal_unordered(adaptive_rows, ref.rows,
+                                tr.output_columns)
+
+
+@common
+@given(hot=hot_sizes, tail=tail_rows,
+       shape=st.sampled_from(QUERY_SHAPES),
+       workers=worker_choices, scheduler=scheduler_choices,
+       seed=seeds, probability=probabilities)
+def test_adaptive_identical_across_executors_and_faults(
+        hot, tail, shape, workers, scheduler, seed, probability):
+    ds = make_store(hot, tail)
+    ctx = StatsContext(policy=StatsPolicy(**LOW_GATES))
+    tr = adaptive_translation(shape, ds, ctx)
+
+    base = Runtime(ds, stats=ctx, split_rows="auto")
+    runs_base = base.run_jobs(tr.jobs, dependencies=tr.dependencies())
+    rows_base = list(ds.intermediate(tr.final_dataset).rows)
+
+    other = Runtime(ds, executor=make_executor(workers),
+                    scheduler=scheduler, stats=ctx, split_rows="auto",
+                    fault_plan=FaultPlan(probability, seed=seed),
+                    max_attempts=MAX_ATTEMPTS)
+    runs = other.run_jobs(tr.jobs, dependencies=tr.dependencies())
+
+    assert [r.counters.comparable() for r in runs] == \
+        [r.counters.comparable() for r in runs_base]
+    assert list(ds.intermediate(tr.final_dataset).rows) == rows_base
+
+
+@common
+@given(hot=st.integers(20, 40), tail=tail_rows,
+       workers=worker_choices, scheduler=scheduler_choices)
+def test_skew_plan_assignment_deterministic(hot, tail, workers,
+                                            scheduler):
+    """When a partition plan engages, re-running the same jobs on any
+    executor reproduces the same per-partition reduce loads."""
+    ds = make_store(hot, tail)
+    ctx = StatsContext(policy=StatsPolicy(**LOW_GATES))
+    sql = "SELECT f.k, f.v, d.w FROM fact AS f, dim AS d WHERE f.k = d.k"
+    tr = adaptive_translation(sql, ds, ctx)
+
+    first = Runtime(ds, stats=ctx).run_jobs(
+        tr.jobs, dependencies=tr.dependencies())
+    second = Runtime(ds, executor=make_executor(workers),
+                     scheduler=scheduler, stats=ctx).run_jobs(
+        tr.jobs, dependencies=tr.dependencies())
+    assert [r.counters.reduce_task_records for r in first] == \
+        [r.counters.reduce_task_records for r in second]

@@ -346,3 +346,81 @@ class TestBudgetPressure:
             assert result.rows == cold.rows
         assert tight.stats.hits == 0
         assert tight.stats.rejected > 0
+
+
+# ---------------------------------------------------------------------------
+# Stats/result-cache coupling: one versioned invalidation step
+# ---------------------------------------------------------------------------
+
+class TestStatsCacheCoupling:
+    """The sketch catalog and the result cache key on the same
+    ``Datastore.version`` stamps: a warm (fully cached) run collects
+    zero new sketches, and one table mutation invalidates the cached
+    results AND the sketches in the same versioned step."""
+
+    def _ctx(self):
+        from repro.stats import StatsContext, StatsPolicy
+        return StatsContext(policy=StatsPolicy(min_rows=1))
+
+    def test_warm_hit_collects_no_new_stats(self):
+        ds = tiny_datastore()
+        cache = ResultCache()
+        ctx = self._ctx()
+        run_query(AGG_SQL, ds, cache=cache, namespace="sc1.l", stats=ctx)
+        cold_collections = ctx.catalog.collections
+        assert cold_collections > 0  # the cold run sketched something
+
+        warm = run_query(AGG_SQL, ds, cache=cache, namespace="sc2.l",
+                         stats=ctx)
+        assert warm.runs[0].cached  # served from the result cache
+        assert ctx.catalog.collections == cold_collections
+        assert ctx.catalog.hits > 0  # estimators reused cached sketches
+
+    def test_mutation_invalidates_results_and_sketches_together(self):
+        ds = tiny_datastore()
+        cache = ResultCache()
+        ctx = self._ctx()
+        run_query(AGG_SQL, ds, cache=cache, namespace="sm1.l", stats=ctx)
+        cold_collections = ctx.catalog.collections
+        distinct_before = ctx.catalog.column_stats(
+            ds, "lineitem", "l_orderkey").distinct
+
+        ds.table("lineitem").append({"l_orderkey": 99,
+                                     "l_quantity": 1.0})
+
+        fresh = run_query(AGG_SQL, ds, cache=cache, namespace="sm2.l",
+                          stats=ctx)
+        # Result cache: recomputed, not served stale.
+        assert not fresh.runs[0].cached
+        assert any(r["l_orderkey"] == 99 for r in fresh.rows)
+        # Sketch catalog: dropped and re-collected at the new version.
+        assert ctx.catalog.invalidations >= 1
+        assert ctx.catalog.collections > cold_collections
+        assert ctx.catalog.column_stats(
+            ds, "lineitem", "l_orderkey").distinct == distinct_before + 1
+
+    def test_decisions_token_splits_cache_keys(self):
+        sig = "agg(group=[x])"
+        refs = ["data:t@1.0"]
+        plain = job_cache_key(sig, refs, None)
+        assert plain == job_cache_key(sig, refs, None, decisions=None)
+        assert plain != job_cache_key(sig, refs, None, decisions="estd=4")
+        assert job_cache_key(sig, refs, None, decisions="estd=4") != \
+            job_cache_key(sig, refs, None, decisions="skew=2")
+
+    def test_adaptive_and_static_runs_never_alias_one_entry(self):
+        # Same query, same cache: the static arm and an arm whose jobs
+        # carry stats decisions must miss each other's entries yet each
+        # stay self-consistent.
+        ds = tiny_datastore()
+        cache = ResultCache()
+        ctx = self._ctx()
+        adaptive = run_query(AGG_SQL, ds, cache=cache,
+                             namespace="al1.l", stats=ctx)
+        static = run_query(AGG_SQL, ds, cache=cache,
+                           namespace="al2.l", stats="off")
+        assert not static.runs[0].cached  # no cross-arm aliasing
+        assert static.rows == adaptive.rows
+        warm_static = run_query(AGG_SQL, ds, cache=cache,
+                                namespace="al3.l", stats="off")
+        assert warm_static.runs[0].cached

@@ -1,0 +1,449 @@
+"""Tests for the adaptive statistics layer: sketches, the version-keyed
+catalog, plan estimators, and the stats-driven decision points (skew
+partition plans, cost-based merges, combiner choice, cardinality split
+sizing)."""
+
+import pickle
+
+import pytest
+
+from repro.catalog import Catalog, Schema, standard_catalog
+from repro.catalog.types import ColumnType as T
+from repro.data import Datastore, Table
+from repro.mr.tasks import auto_split_rows, auto_split_rows_stats, stable_hash
+from repro.plan.planner import plan_query
+from repro.sqlparser.parser import parse_sql
+from repro.stats import (
+    MisraGries,
+    PlanEstimator,
+    SkewPartitionPlan,
+    StatsCatalog,
+    StatsContext,
+    StatsOptimizer,
+    StatsPolicy,
+    build_skew_plan,
+    distinct_of_tuples,
+    resolve_stats,
+    sketch_column,
+)
+from repro.workloads.runner import build_datastore, run_query
+
+
+# ---------------------------------------------------------------------------
+# Sketches
+# ---------------------------------------------------------------------------
+
+class TestMisraGries:
+    def test_guaranteed_heavy_survivor(self):
+        # Any value with frequency > n/(k+1) must survive as a candidate.
+        values = [7] * 40 + list(range(100, 160))
+        mg = MisraGries(k=4)
+        for v in values:
+            mg.add(v)
+        assert 7 in mg.candidates()
+
+    def test_counter_budget_respected(self):
+        mg = MisraGries(k=3)
+        for v in range(1000):
+            mg.add(v % 17)
+        assert len(mg.counters) <= 3
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=0)
+
+
+class TestSketchColumn:
+    def test_exact_on_small_column(self):
+        values = [1, 1, 1, 2, 2, 3, None]
+        count, distinct, nulls, heavy, sampled = sketch_column(values, k=4)
+        assert (count, distinct, nulls, sampled) == (7, 3, 1, False)
+        assert heavy[0] == (1, 3)  # heaviest first, exact counts
+        assert dict(heavy)[2] == 2
+
+    def test_sampling_is_deterministic_and_scaled(self):
+        # Period 7 is co-prime to the stride, so the sample still sees
+        # every residue.
+        values = [i % 7 for i in range(1000)]
+        a = sketch_column(values, k=8, sample_cap=100)
+        b = sketch_column(values, k=8, sample_cap=100)
+        assert a == b
+        count, distinct, _nulls, heavy, sampled = a
+        assert sampled and count == 1000 and distinct == 7
+        # Scaled counts approximate the true ~143-per-value frequency.
+        assert all(80 <= c <= 220 for _v, c in heavy)
+
+    def test_unhashable_values_counted_by_repr(self):
+        values = [[1], [1], [2]]
+        count, distinct, nulls, _heavy, _ = sketch_column(values)
+        assert (count, distinct, nulls) == (3, 2, 0)
+
+    def test_composite_distinct(self):
+        a = [1, 1, 2, 2]
+        b = ["x", "y", "x", "x"]
+        assert distinct_of_tuples([a, b]) == 3
+
+
+# ---------------------------------------------------------------------------
+# Catalog: versioning shared with the result cache
+# ---------------------------------------------------------------------------
+
+def _mini_store(rows):
+    ds = Datastore(Catalog())
+    ds.load_table(Table("t", Schema.of(("k", T.INT), ("v", T.INT)), rows))
+    return ds
+
+
+class TestStatsCatalog:
+    def test_lazy_collection_and_hits(self):
+        ds = _mini_store([{"k": i % 3, "v": i} for i in range(30)])
+        cat = StatsCatalog()
+        stats = cat.column_stats(ds, "t", "k")
+        assert stats.distinct == 3 and cat.collections == 1
+        again = cat.column_stats(ds, "t", "k")
+        assert again is stats and cat.hits == 1 and cat.collections == 1
+
+    def test_mutation_invalidates_in_one_versioned_step(self):
+        ds = _mini_store([{"k": 1, "v": 1}])
+        cat = StatsCatalog()
+        assert cat.column_stats(ds, "t", "k").distinct == 1
+        ds.resolve("t").append({"k": 2, "v": 2})
+        fresh = cat.column_stats(ds, "t", "k")
+        assert fresh.distinct == 2
+        assert cat.invalidations == 1 and cat.collections == 2
+
+    def test_reload_invalidates_too(self):
+        ds = _mini_store([{"k": 1, "v": 1}])
+        cat = StatsCatalog()
+        cat.column_stats(ds, "t", "k")
+        ds.load_table(Table("t", Schema.of(("k", T.INT), ("v", T.INT)),
+                            [{"k": i, "v": i} for i in range(5)]))
+        assert cat.column_stats(ds, "t", "k").distinct == 5
+        assert cat.invalidations == 1
+
+    def test_absent_column_skipped(self):
+        ds = _mini_store([{"k": 1, "v": 1}])
+        cat = StatsCatalog()
+        assert cat.column_stats(ds, "t", "nope") is None
+        assert cat.distinct_of(ds, "t", ("k", "nope")) is None
+
+
+class TestColumnsView:
+    def test_only_requested_columns(self):
+        t = Table("t", Schema.of(("a", T.INT), ("b", T.INT)),
+                  [{"a": 1, "b": 2}])
+        view = t.columns_view(["a", "zzz"])
+        assert view == {"a": [1]}
+
+    def test_reuses_batch_cache(self):
+        t = Table("t", Schema.of(("a", T.INT),), [{"a": 3}])
+        batch = t.column_batch()
+        assert t.columns_view(["a"])["a"] is batch["a"]
+
+
+# ---------------------------------------------------------------------------
+# Estimators (SimpleDB-style records_output / distinct_values)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def paper_store():
+    return build_datastore(tpch_scale=0.002, clickstream_users=40, seed=11)
+
+
+def _plan(sql, ds):
+    return plan_query(parse_sql(sql), ds.catalog)
+
+
+class TestPlanEstimator:
+    def test_scan_records_exact(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan("SELECT l_orderkey FROM lineitem", paper_store)
+        scan = list(plan.post_order())[0]
+        assert est.records_output(scan) == \
+            len(paper_store.resolve("lineitem"))
+
+    def test_group_by_cardinality_matches_truth(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan("SELECT l_orderkey, COUNT(*) AS c FROM lineitem "
+                     "GROUP BY l_orderkey", paper_store)
+        truth = len({r["l_orderkey"]
+                     for r in paper_store.resolve("lineitem").rows})
+        assert est.records_output(plan) == truth
+
+    def test_global_agg_is_one_row(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan("SELECT COUNT(*) AS n FROM orders", paper_store)
+        assert est.records_output(plan) == 1
+
+    def test_equality_selectivity_is_one_over_v(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan("SELECT o_orderkey FROM orders "
+                     "WHERE o_orderstatus = 'F'", paper_store)
+        table = paper_store.resolve("orders")
+        v = len({r["o_orderstatus"] for r in table.rows})
+        expect = max(1, int(len(table) * (1.0 / v)))
+        assert est.records_output(plan) == expect
+
+    def test_join_containment_bound(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan(
+            "SELECT o.o_orderkey FROM orders AS o, lineitem AS l "
+            "WHERE o.o_orderkey = l.l_orderkey", paper_store)
+        join = next(n for n in plan.post_order()
+                    if type(n).__name__ == "JoinNode")
+        orders = paper_store.resolve("orders")
+        lineitem = paper_store.resolve("lineitem")
+        v = max(len({r["o_orderkey"] for r in orders.rows}),
+                len({r["l_orderkey"] for r in lineitem.rows}))
+        expect = max(1, (len(orders) * len(lineitem)) // v)
+        assert est.records_output(join) == expect
+
+    def test_distinct_values_through_filter_capped(self, paper_store):
+        est = PlanEstimator(paper_store, StatsCatalog())
+        plan = _plan("SELECT l_orderkey FROM lineitem "
+                     "WHERE l_quantity > 0", paper_store)
+        scan = list(plan.post_order())[0]
+        d = est.distinct_values(scan, "l_orderkey")
+        assert 1 <= d <= est.records_output(scan)
+
+    def test_heavy_hitters_come_from_base_sketch(self):
+        rows = [{"k": 7, "v": i} for i in range(90)] + \
+               [{"k": 100 + i, "v": i} for i in range(10)]
+        ds = _mini_store(rows)
+        est = PlanEstimator(ds, StatsCatalog())
+        plan = plan_query(parse_sql("SELECT k, v FROM t"), ds.catalog)
+        scan = list(plan.post_order())[0]
+        heavy = est.heavy_hitters(scan, "k")
+        assert heavy and heavy[0][0] == 7 and heavy[0][1] == 90
+
+
+# ---------------------------------------------------------------------------
+# Skew partition plans
+# ---------------------------------------------------------------------------
+
+class TestSkewPartitionPlan:
+    def test_heavy_keys_get_dedicated_partitions(self):
+        plan = build_skew_plan([(7, 900), (3, 500)], num_partitions=8)
+        assert plan.num_heavy == 2
+        assert plan.partition((7,)) == 0 and plan.partition((3,)) == 1
+
+    def test_light_keys_stay_in_range_and_off_heavy_partitions(self):
+        plan = build_skew_plan([(7, 900)], num_partitions=4)
+        for k in range(100):
+            pid = plan.partition((k,)) if k != 7 else None
+            if pid is not None:
+                assert 1 <= pid < 4
+
+    def test_light_region_uses_stable_hash(self):
+        plan = build_skew_plan([(7, 900)], num_partitions=4)
+        assert plan.partition((42,)) == 1 + stable_hash((42,)) % 3
+
+    def test_caps_at_partitions_minus_one(self):
+        loads = [(i, 100 - i) for i in range(10)]
+        plan = build_skew_plan(loads, num_partitions=4)
+        assert plan.num_heavy == 3
+
+    def test_picklable(self):
+        plan = build_skew_plan([(7, 900)], num_partitions=4)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert all(clone.partition((k,)) == plan.partition((k,))
+                   for k in range(50))
+
+    def test_describe_mentions_heavy_count(self):
+        plan = build_skew_plan([((7,), 900)], num_partitions=4)
+        assert "1" in plan.describe()
+
+
+class TestAutoSplitStats:
+    def test_high_cardinality_keeps_parallelism(self):
+        # distinct * 8 >= rows: combiner collapses nothing, keep 8 tasks.
+        assert auto_split_rows_stats(10_000, 5_000) == \
+            auto_split_rows(10_000)
+
+    def test_mid_cardinality_cuts_fewer_bigger_splits(self):
+        # Static 8 tasks would give 2500-row splits against 1000 groups:
+        # the combiner collapses barely 2.5x per split.  The stats
+        # sizing cuts 2 splits of 10000 rows (>= 8x collapse each).
+        rows, distinct = 20_000, 1_000
+        split = auto_split_rows_stats(rows, est_distinct=distinct)
+        static = auto_split_rows(rows)
+        assert split == 10_000 and static == 2_500
+        assert split >= distinct * 8
+
+    def test_very_low_cardinality_keeps_static_parallelism(self):
+        # 10 groups: even 12500-row static splits collapse ~1000x, so
+        # there is nothing to win by giving up map parallelism.
+        assert auto_split_rows_stats(100_000, 10) == \
+            auto_split_rows(100_000)
+
+    def test_never_below_floor(self):
+        assert auto_split_rows_stats(300, 1) >= 256
+
+
+# ---------------------------------------------------------------------------
+# Decision points end to end (gates lowered explicitly)
+# ---------------------------------------------------------------------------
+
+class TestResolveStats:
+    def test_context_passthrough(self):
+        ctx = StatsContext()
+        assert resolve_stats(ctx) is ctx
+
+    def test_on_off_literals(self):
+        assert resolve_stats("off") is None
+        assert resolve_stats(False) is None
+        assert isinstance(resolve_stats("on"), StatsContext)
+        assert isinstance(resolve_stats(True), StatsContext)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STATS", "off")
+        assert resolve_stats(None) is None
+        monkeypatch.setenv("REPRO_STATS", "on")
+        assert isinstance(resolve_stats(None), StatsContext)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_stats("sometimes")
+
+
+def _skewed_join_store(n=4000, hot_share=0.6):
+    """A fact table with one hot join key plus a small dimension."""
+    ds = Datastore(Catalog())
+    hot = int(n * hot_share)
+    rows = [{"k": 0, "v": i} for i in range(hot)] + \
+           [{"k": 1 + (i % 97), "v": i} for i in range(n - hot)]
+    ds.load_table(Table("fact", Schema.of(("k", T.INT), ("v", T.INT)),
+                        rows))
+    ds.load_table(Table("dim", Schema.of(("k", T.INT), ("w", T.STRING)),
+                        [{"k": k, "w": f"w{k}"} for k in range(98)]))
+    return ds
+
+
+class TestDecisionsEndToEnd:
+    JOIN_SQL = ("SELECT f.k, f.v, d.w FROM fact AS f, dim AS d "
+                "WHERE f.k = d.k")
+
+    def test_skew_plan_on_reduce_join_preserves_rows(self):
+        # A reduce-side join has no combiner, so the hot key's whole
+        # load lands on one hash partition — the case the skew plan
+        # dedicates a partition to.
+        ds = _skewed_join_store()
+        static = run_query(self.JOIN_SQL, ds, stats="off",
+                           namespace="sk_static")
+        ctx = StatsContext(policy=StatsPolicy(min_rows=100))
+        adaptive = run_query(self.JOIN_SQL, ds, stats=ctx,
+                             namespace="sk_adapt")
+        assert sorted(map(repr, adaptive.rows)) == \
+            sorted(map(repr, static.rows))
+        skew = [d for d in ctx.log.decisions if d.kind == "skew"]
+        assert skew and any(d.changed for d in skew)
+        job = adaptive.translation.jobs[0]
+        assert job.partitioner is not None and job.stats_decisions
+
+    def test_skew_partitioner_spreads_reduce_load(self):
+        ds = _skewed_join_store()
+        ctx = StatsContext(policy=StatsPolicy(min_rows=100))
+        adaptive = run_query(self.JOIN_SQL, ds, stats=ctx,
+                             namespace="skl_adapt")
+        static = run_query(self.JOIN_SQL, ds, stats="off",
+                           namespace="skl_static")
+
+        def max_mean(runs):
+            c = runs[0].counters
+            loads = [x for x in c.reduce_task_records if x]
+            return max(loads) / (sum(loads) / len(loads))
+
+        # Dedicating a partition to the hot key cannot make the most
+        # loaded reduce task worse, and the light tail spreads out.
+        assert max_mean(adaptive.runs) <= max_mean(static.runs)
+
+    def test_combiner_disabled_on_near_unique_key(self):
+        ds = _mini_store([{"k": i, "v": i} for i in range(2000)])
+        ctx = StatsContext(policy=StatsPolicy(min_rows=100))
+        adaptive = run_query("SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+                             ds, stats=ctx, namespace="cb_adapt")
+        static = run_query("SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+                           ds, stats="off", namespace="cb_static")
+        assert sorted(map(repr, adaptive.rows)) == \
+            sorted(map(repr, static.rows))
+        comb = [d for d in ctx.log.decisions if d.kind == "combiner"]
+        assert comb and comb[0].changed  # 2000 groups / 2000 rows -> off
+        # The adaptive arm really shuffled raw records (no pre-combine).
+        assert all(r.counters.pre_combine_records
+                   == r.counters.map_output_records
+                   for r in adaptive.runs)
+
+    def test_split_decision_logged_and_identical(self):
+        ds = _mini_store([{"k": i % 5, "v": i} for i in range(3000)])
+        ctx = StatsContext(policy=StatsPolicy(min_rows=100))
+        adaptive = run_query("SELECT k, SUM(v) AS s FROM t GROUP BY k",
+                             ds, stats=ctx, split_rows="auto",
+                             namespace="sp_adapt")
+        static = run_query("SELECT k, SUM(v) AS s FROM t GROUP BY k",
+                           ds, stats="off", split_rows="auto",
+                           namespace="sp_static")
+        assert sorted(map(repr, adaptive.rows)) == \
+            sorted(map(repr, static.rows))
+        splits = [d for d in ctx.log.decisions if d.kind == "split"]
+        assert splits and splits[0].estimate["est_key_distinct"] == 5
+
+    def test_merge_decision_evaluated_above_gate(self):
+        ds = build_datastore(tpch_scale=0.002, clickstream_users=None)
+        ctx = StatsContext(policy=StatsPolicy(min_rows=10))
+        sql = ("SELECT l_orderkey, SUM(l_quantity) AS q, "
+               "COUNT(*) AS c FROM lineitem GROUP BY l_orderkey")
+        run_query(sql, ds, stats=ctx, namespace="mg_adapt")
+        # The single-agg query has no Rule-1 pair; use the aggregate
+        # merge query from the paper family instead.
+        sql2 = ("SELECT s.l_orderkey, s.q, a.c FROM "
+                "(SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem "
+                " GROUP BY l_orderkey) AS s, "
+                "(SELECT l_orderkey, COUNT(*) AS c FROM lineitem "
+                " GROUP BY l_orderkey) AS a "
+                "WHERE s.l_orderkey = a.l_orderkey")
+        adaptive = run_query(sql2, ds, stats=ctx, namespace="mg2_adapt")
+        static = run_query(sql2, ds, stats="off", namespace="mg2_static")
+        assert sorted(map(repr, adaptive.rows)) == \
+            sorted(map(repr, static.rows))
+        merges = [d for d in ctx.log.decisions if d.kind == "merge"]
+        assert merges  # the advisor was consulted above the gate
+
+    def test_default_gates_leave_suite_workload_static(self, paper_store):
+        sql = ("SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem "
+               "GROUP BY l_orderkey")
+        ctx = StatsContext()  # default policy: min_rows far above SF0.002
+        adaptive = run_query(sql, paper_store, stats=ctx,
+                             namespace="def_adapt")
+        assert not ctx.log.changed()
+        assert all(job.partitioner is None and job.stats_decisions is None
+                   for job in adaptive.translation.jobs)
+
+
+class TestStatsOptimizerUnits:
+    def test_estimate_counters_shape(self, paper_store):
+        opt = StatsOptimizer(paper_store, StatsContext())
+        plan = _plan("SELECT l_orderkey, COUNT(*) AS c FROM lineitem "
+                     "GROUP BY l_orderkey", paper_store)
+        nodes = [n for n in plan.post_order()]
+        c = opt.estimate_draft_counters(nodes)
+        assert c.total_input_records == \
+            len(paper_store.resolve("lineitem"))
+        assert c.reduce_groups >= 1 and c.total_input_bytes > 0
+
+    def test_merge_always_approved_below_gate(self, paper_store):
+        opt = StatsOptimizer(paper_store, StatsContext())
+        sql = ("SELECT s.l_orderkey, s.q, a.c FROM "
+               "(SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem "
+               " GROUP BY l_orderkey) AS s, "
+               "(SELECT l_orderkey, COUNT(*) AS c FROM lineitem "
+               " GROUP BY l_orderkey) AS a "
+               "WHERE s.l_orderkey = a.l_orderkey")
+        from repro.core.jobgen import one_to_one_graph
+        from repro.core.correlation import CorrelationAnalysis
+        plan = _plan(sql, paper_store)
+        graph = one_to_one_graph(plan, CorrelationAnalysis(plan))
+        aggs = [d for d in graph.drafts
+                if type(d.nodes[0]).__name__ == "AggNode"]
+        assert len(aggs) >= 2
+        assert opt.approve_merge(graph, aggs[0], aggs[1]) is True
+        assert not opt.log.decisions  # below gate: silent paper behaviour
