@@ -1,0 +1,365 @@
+"""Out-of-core benchmark: the spill plane vs the in-memory ceiling.
+
+The in-memory engine must hold its base tables, the whole shuffle, and
+every intermediate in Python lists, so the ``tpch_scale`` it can run is
+capped by the process working set.  This benchmark pins the headline
+claim of the out-of-core plane: **under a fixed memory budget, the
+spill plane completes a workload at least ``--min-factor`` (default 8)
+times past the scale where the in-memory plane's working set exceeds
+that same budget** — while producing byte-identical rows and
+``comparable()`` counters wherever both planes can run.
+
+Methodology (``tracemalloc`` traced-peak, not RSS, so the numbers are
+allocator-exact and container-independent):
+
+* **in-memory ceiling** — walk a doubling ladder of ``tpch_scale``; at
+  each rung, trace generation + load + execution (the tables must be
+  resident for the in-memory engine, so they are generated inside the
+  traced window) and record the peak.  The ceiling is the last rung
+  whose peak fits the budget.
+* **out-of-core arm** — at ``ceiling x factor``, tables are written as
+  on-disk segment files first and the generator's row lists dropped;
+  the traced window then covers execution only, because that is all
+  the spill plane ever keeps resident: streaming scan segments,
+  budget-bounded shuffle buffers, merge heads, and the (disk-targeted)
+  intermediates.  The gate is ``peak <= budget``.
+* **reference arm** — the in-memory plane at the same big scale, to
+  show what the spill plane avoided holding (reported, not gated).
+
+Identity is asserted, not assumed: at a small scale both planes must
+agree byte-for-byte — rows and ``comparable()`` counters — across the
+serial and threaded executors, both schedulers, fault injection, and a
+process-pool run of a hand-built picklable chain.  The script exits
+nonzero on any identity violation, a vacuous run (nothing spilled), or
+a blown budget.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_out_of_core.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import shutil
+import sys
+import tempfile
+import tracemalloc
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import write_json  # noqa: E402
+
+from repro.catalog import standard_catalog  # noqa: E402
+from repro.cmf import CommonReducer  # noqa: E402
+from repro.data import Datastore  # noqa: E402
+from repro.data.diskstore import disk_table_from  # noqa: E402
+from repro.data.tpch import TpchConfig, generate_tpch  # noqa: E402
+from repro.mr import (EmitSpec, FaultPlan, MapInput, MRJob,  # noqa: E402
+                      OutputSpec, Runtime, make_executor)
+from repro.ops import SPTask, TaskInput  # noqa: E402
+from repro.workloads.runner import run_query  # noqa: E402
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_out_of_core.json"))
+
+#: Shuffle-heavy aggregation: ``count(DISTINCT …)`` keeps the map-side
+#: combiner off (as in Hive), so the shuffle carries one pair per
+#: lineitem row and the memory pressure scales with the data — while
+#: the mid-cardinality group key keeps every reduce group and the
+#: result table small, so neither one reduce group's value list nor
+#: result materialization masks the working-set comparison.
+HEADLINE_SQL = (
+    "SELECT l_partkey, count(DISTINCT l_orderkey) AS orders, "
+    "sum(l_extendedprice) AS revenue, count(*) AS n "
+    "FROM lineitem GROUP BY l_partkey")
+
+#: Small-scale identity shapes: the headline aggregate, a total-order
+#: job (range-partitioned external sort), and a two-table join chain.
+IDENTITY_SQL = {
+    "agg": HEADLINE_SQL,
+    "sort": "SELECT l_orderkey, sum(l_extendedprice) AS rev "
+            "FROM lineitem GROUP BY l_orderkey ORDER BY rev DESC LIMIT 20",
+    "join": "SELECT o_orderdate, sum(l_extendedprice) AS rev "
+            "FROM lineitem, orders WHERE l_orderkey = o_orderkey "
+            "GROUP BY o_orderdate",
+}
+
+
+# ---------------------------------------------------------------------------
+# Traced arms
+# ---------------------------------------------------------------------------
+
+def _fresh_tracing():
+    gc.collect()
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+    tracemalloc.start()
+
+
+def _end_tracing() -> int:
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    return peak
+
+
+def run_in_memory(scale: float, seed: int) -> dict:
+    """Generate + load + run inside one traced window (the in-memory
+    plane must keep the tables resident, so they count)."""
+    _fresh_tracing()
+    ds = Datastore(standard_catalog())
+    for table in generate_tpch(TpchConfig(scale_factor=scale,
+                                          seed=seed)).values():
+        ds.load_table(table)
+    result = run_query(HEADLINE_SQL, ds, namespace="ooc_mem")
+    peak = _end_tracing()
+    rows = result.rows
+    del result, ds
+    return {"scale": scale, "peak_bytes": peak, "rows": rows}
+
+
+def build_disk_datastore(scale: float, seed: int,
+                         directory: str) -> Datastore:
+    """Tables as on-disk segment files; generator row lists dropped."""
+    ds = Datastore(standard_catalog())
+    tables = generate_tpch(TpchConfig(scale_factor=scale, seed=seed))
+    for name in list(tables):
+        table = tables.pop(name)
+        ds.load_table(disk_table_from(table, directory=directory))
+        del table
+    gc.collect()
+    return ds
+
+
+def run_out_of_core(ds: Datastore, budget_mb: float) -> dict:
+    """Execution-only traced window: all the spill plane keeps resident."""
+    _fresh_tracing()
+    result = run_query(HEADLINE_SQL, ds, namespace="ooc_spill",
+                       memory_budget_mb=budget_mb)
+    peak = _end_tracing()
+    return {
+        "peak_bytes": peak,
+        "rows": result.rows,
+        "spill_files": sum(r.counters.spill_files for r in result.runs),
+        "spilled_bytes": sum(r.counters.spilled_bytes
+                             for r in result.runs),
+        "merge_passes": sum(r.counters.merge_passes for r in result.runs),
+        "reduce_input_records": sum(r.counters.reduce_input_records
+                                    for r in result.runs),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Identity arms (small scale)
+# ---------------------------------------------------------------------------
+
+def canon(rows):
+    return sorted(repr(tuple(sorted(r.items()))) for r in rows)
+
+
+def _emit_lineitem(record):
+    return (record["l_orderkey"],), {"v": record["l_extendedprice"]}
+
+
+def _emit_pass(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def _picklable_chain(ns):
+    def job(job_id, dataset, out, emit):
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        return MRJob(
+            job_id=job_id, name="pass",
+            map_inputs=[MapInput(dataset, [EmitSpec("in", emit)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec(out, "sp", ["k", "v"])])
+    return [job(f"{ns}.a", "lineitem", f"{ns}.a.out", _emit_lineitem),
+            job(f"{ns}.b", f"{ns}.a.out", f"{ns}.b.out", _emit_pass)]
+
+
+def check_identity(scale: float, seed: int, budget_mb: float) -> list:
+    """Budgeted runs across executors/schedulers/faults must be
+    byte-identical to the unbudgeted serial run."""
+    ds = Datastore(standard_catalog())
+    for table in generate_tpch(TpchConfig(scale_factor=scale,
+                                          seed=seed)).values():
+        ds.load_table(table)
+
+    failures = []
+    spilled_total = 0
+    for qname, sql in IDENTITY_SQL.items():
+        base = run_query(sql, ds, namespace=f"ooc_id_{qname}")
+        base_cmp = [r.counters.comparable() for r in base.runs]
+        arms = {
+            "serial": {},
+            "wave": {"scheduler": "wave"},
+            "threads": {"parallelism": 4},
+            "faults": {"fault_plan": FaultPlan(0.2, seed=13),
+                       "max_attempts": 20},
+            "faults_spec": {"parallelism": 4, "speculate": True,
+                            "fault_plan": FaultPlan(0.2, seed=29),
+                            "max_attempts": 20},
+        }
+        for aname, kwargs in arms.items():
+            res = run_query(sql, ds, namespace=f"ooc_id_{qname}",
+                            memory_budget_mb=budget_mb, **kwargs)
+            if canon(res.rows) != canon(base.rows):
+                failures.append(f"{qname}/{aname}: rows differ")
+            if [r.counters.comparable() for r in res.runs] != base_cmp:
+                failures.append(f"{qname}/{aname}: counters differ")
+            spilled_total += sum(r.counters.spill_files for r in res.runs)
+
+    # Process pool: hand-built picklable chain (translator jobs carry
+    # closures and cannot cross a process boundary).
+    jobs = _picklable_chain("oocp")
+    serial = Runtime(ds).run_jobs(_picklable_chain("oocp"))
+    rows_serial = canon(ds.intermediate("oocp.b.out").rows)
+    cmp_serial = [r.counters.comparable() for r in serial]
+    procs = Runtime(ds, executor=make_executor(2, kind="process"),
+                    memory_budget_mb=budget_mb)
+    process = procs.run_jobs(jobs)
+    if canon(ds.intermediate("oocp.b.out").rows) != rows_serial:
+        failures.append("process pool: rows differ")
+    if [r.counters.comparable() for r in process] != cmp_serial:
+        failures.append("process pool: counters differ")
+    spilled_total += sum(r.counters.spill_files for r in process)
+
+    if spilled_total == 0:
+        failures.append("identity arms spilled nothing — checks were "
+                        "vacuous; lower the identity budget")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Main
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller budget and coarser ladder; same "
+                             "identity and budget gates")
+    parser.add_argument("--budget-mb", type=float, default=48.0,
+                        help="the fixed memory budget both arms answer to")
+    parser.add_argument("--base-scale", type=float, default=0.001,
+                        help="first rung of the doubling scale ladder")
+    parser.add_argument("--min-factor", type=float, default=8.0,
+                        help="required scale multiple past the ceiling")
+    parser.add_argument("--identity-scale", type=float, default=0.002)
+    parser.add_argument("--identity-budget-mb", type=float, default=0.05,
+                        help="aggressive budget for the identity arms")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--skip-reference", action="store_true",
+                        help="skip the in-memory run at the big scale")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.budget_mb = 24.0
+        args.base_scale = 0.0005
+        args.identity_scale = 0.001
+        args.skip_reference = True
+
+    budget_bytes = int(args.budget_mb * 1024 * 1024)
+
+    # -- in-memory ceiling --------------------------------------------------
+    ladder, ceiling = [], None
+    scale = args.base_scale
+    while True:
+        rung = run_in_memory(scale, args.seed)
+        rung["fits"] = rung["peak_bytes"] <= budget_bytes
+        print(f"in-memory scale={scale:g}: traced peak "
+              f"{rung['peak_bytes'] / 1e6:.1f}MB "
+              f"({'fits' if rung['fits'] else 'exceeds'} "
+              f"{args.budget_mb:g}MB budget)")
+        rung.pop("rows")
+        ladder.append(rung)
+        if not rung["fits"]:
+            break
+        ceiling = scale
+        scale *= 2
+
+    if ceiling is None:
+        print(f"FAIL: budget {args.budget_mb}MB below the smallest "
+              f"rung — raise --budget-mb", file=sys.stderr)
+        return 1
+
+    # -- out-of-core arm at ceiling x factor --------------------------------
+    big_scale = ceiling * args.min_factor
+    tmp = tempfile.mkdtemp(prefix="repro-ooc-")
+    try:
+        ds = build_disk_datastore(big_scale, args.seed, tmp)
+        spill = run_out_of_core(ds, args.budget_mb)
+        spill_rows = canon(spill.pop("rows"))
+        print(f"out-of-core scale={big_scale:g} "
+              f"({args.min_factor:g}x ceiling): traced peak "
+              f"{spill['peak_bytes'] / 1e6:.1f}MB, "
+              f"{spill['spill_files']} runs / "
+              f"{spill['spilled_bytes'] / 1e6:.1f}MB spilled, "
+              f"{spill['merge_passes']} merge passes, "
+              f"{spill['reduce_input_records']} shuffled records")
+
+        reference = None
+        if not args.skip_reference:
+            reference = run_in_memory(big_scale, args.seed)
+            ref_rows = canon(reference.pop("rows"))
+            print(f"in-memory reference at scale={big_scale:g}: "
+                  f"traced peak {reference['peak_bytes'] / 1e6:.1f}MB "
+                  f"({reference['peak_bytes'] / budget_bytes:.1f}x "
+                  f"the budget)")
+            if ref_rows != spill_rows:
+                print("FAIL: spill rows differ from in-memory at the "
+                      "big scale", file=sys.stderr)
+                return 1
+        del ds
+        gc.collect()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # -- identity arms ------------------------------------------------------
+    failures = check_identity(args.identity_scale, args.seed,
+                              args.identity_budget_mb)
+
+    gates = {
+        "scale_factor_reached": big_scale / ceiling,
+        "budget_respected": spill["peak_bytes"] <= budget_bytes,
+        "spilled": spill["spill_files"] > 0,
+        "identical": not failures,
+    }
+    payload = {
+        "benchmark": "out_of_core",
+        "config": {"budget_mb": args.budget_mb,
+                   "base_scale": args.base_scale,
+                   "min_factor": args.min_factor,
+                   "identity_scale": args.identity_scale,
+                   "identity_budget_mb": args.identity_budget_mb,
+                   "seed": args.seed, "smoke": args.smoke},
+        "in_memory_ladder": ladder,
+        "in_memory_ceiling_scale": ceiling,
+        "out_of_core": {"scale": big_scale, **spill},
+        "in_memory_reference": reference,
+        "gates": gates,
+    }
+    write_json(args.out, payload)
+    print(f"wrote {args.out}")
+    print(f"gates: {gates}")
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if failures:
+        return 1
+    if not gates["budget_respected"]:
+        print(f"FAIL: out-of-core traced peak "
+              f"{spill['peak_bytes'] / 1e6:.1f}MB exceeds the "
+              f"{args.budget_mb}MB budget", file=sys.stderr)
+        return 1
+    if not gates["spilled"]:
+        print("FAIL: nothing spilled at the big scale — the run was "
+              "not out-of-core", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,7 +133,9 @@ def cmd_run(args) -> int:
                        scheduler=args.scheduler, fault_plan=fault_plan,
                        max_attempts=args.max_attempts,
                        speculate=args.speculate,
-                       data_plane=args.data_plane)
+                       data_plane=args.data_plane,
+                       memory_budget_mb=args.memory_mb,
+                       track_memory=args.timings)
     workers = ""
     if args.parallel != 1:
         shown = (result.trace.workers if result.trace is not None
@@ -171,6 +173,23 @@ def cmd_run(args) -> int:
             else:
                 plane = "row plane (no batches)"
             print(f"   {run.name:<30} {plane}")
+        print("per-job out-of-core spill (runs written under the "
+              "memory budget):")
+        for run in result.runs:
+            c = run.counters
+            if c.spill_files:
+                spill = (f"spill_files={c.spill_files:>4} "
+                         f"spilled_bytes={c.spilled_bytes:>10} "
+                         f"merge_passes={c.merge_passes:>3}")
+            else:
+                spill = ("in-memory (no spills)" if args.memory_mb is None
+                         else "under budget (no spills)")
+            print(f"   {run.name:<30} {spill}")
+        print("per-job peak traced memory (tracemalloc high-water mark):")
+        for run in result.runs:
+            c = run.counters
+            print(f"   {run.name:<30} "
+                  f"peak_mem={c.peak_mem_bytes / 1024:>10.1f}KiB")
         print("per-job reduce skew (records on the largest reduce task):")
         for run in result.runs:
             c = run.counters
@@ -416,6 +435,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="columnar batch engine (default) or the per-row "
                         "engine; rows and comparable counters are "
                         "byte-identical either way")
+    p.add_argument("--memory-mb", type=float, default=None, metavar="N",
+                   help="out-of-core memory budget in MB: the shuffle "
+                        "spills sorted runs to disk past its share, "
+                        "reduces merge them externally, and large "
+                        "intermediates stream from disk tables (default: "
+                        "REPRO_MEMORY_MB, else fully in-memory; rows and "
+                        "comparable counters are byte-identical)")
     _add_data_args(p)
     p.set_defaults(fn=cmd_run)
 

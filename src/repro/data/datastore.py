@@ -91,6 +91,19 @@ class Datastore:
                 f"{self._suggestion(name)}") from None
 
     def drop_intermediates(self) -> None:
+        """Drop every intermediate and its version stamp.
+
+        The stamps must go with the tables: a dropped name otherwise
+        leaks its registration entry forever (unbounded growth across a
+        long query stream), and a later intermediate re-registered under
+        the same name would inherit a stale stamp baseline.  The clock
+        itself never rewinds, so re-registrations still get stamps newer
+        than anything cached before the drop.
+        """
+        for name in self._intermediates:
+            # base tables may share a (lower-cased) name; keep theirs
+            if name not in self._tables:
+                self._versions.pop(name, None)
         self._intermediates.clear()
 
     def intermediate_names(self) -> List[str]:

@@ -1,0 +1,343 @@
+"""On-disk tables with streaming segment scans.
+
+A :class:`DiskTable` stores its rows in one segment file instead of a
+Python list, so registering large base tables or large intermediates no
+longer pins every row dict in memory.  The file is a sequence of
+blake2b-checksummed, length-prefixed frames (the same frame mechanics
+as :mod:`repro.mr.spill`): frame 0 is a pickled header (column names,
+row count, size estimate, segment size) and every following frame is
+one *segment* — up to ``segment_rows`` rows rendered as typed TSV text
+(``i:``/``f:``/``s:``/``b:`` prefixes, ``n`` for NULL, and a pickled
+``p:`` fallback for exotic values; tabs/newlines/backslashes escaped
+inside strings).
+
+``DiskTable`` subclasses :class:`~repro.data.table.Table`, so the
+datastore, the reuse tracker, and the reference executor accept it
+unchanged: ``.rows`` materializes on demand, ``estimated_bytes()``
+returns the exact value an in-memory ``Table`` of the same rows would
+(it is computed with the same formula at write time), and ``mutations``
+stays 0 forever because disk tables are immutable.  The out-of-core
+scan path avoids ``.rows`` entirely: :meth:`DiskTable.row_range`
+returns a lazy :class:`RowRange` that map tasks iterate segment by
+segment, decoding only the segments that overlap the split.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import re
+import shutil
+import tempfile
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.catalog.schema import Schema
+from repro.errors import ExecutionError
+from repro.data.table import Row, Table
+from repro.mr.spill import iter_frames, write_frame
+
+#: rows per segment frame — the streaming-scan granularity.
+DEFAULT_SEGMENT_ROWS = 4096
+#: fixed header-frame payload size (NUL-padded pickle) so the header
+#: can be rewritten in place after segments have streamed to disk.
+_HEADER_PAYLOAD = 4096
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+_UNESCAPE = {"\\\\": "\\", "\\t": "\t", "\\n": "\n"}
+_ESCAPE_RE = re.compile(r"\\[\\tn]")
+
+
+# ---------------------------------------------------------------------------
+# value codec
+
+
+def _encode_value(value: object) -> str:
+    if value is None:
+        return "n"
+    t = type(value)
+    if t is bool:
+        return "b:1" if value else "b:0"
+    if t is int:
+        return "i:%d" % value
+    if t is float:
+        return "f:" + repr(value)
+    if t is str:
+        return ("s:" + value.replace("\\", "\\\\")
+                .replace("\t", "\\t").replace("\n", "\\n"))
+    return "p:" + base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _decode_value(text: str) -> object:
+    if text == "n":
+        return None
+    kind, sep, body = text.partition(":")
+    if not sep:
+        raise ExecutionError(f"corrupt disk-table value {text!r}")
+    if kind == "i":
+        return int(body)
+    if kind == "f":
+        return float(body)
+    if kind == "s":
+        return _ESCAPE_RE.sub(lambda m: _UNESCAPE[m.group(0)], body)
+    if kind == "b":
+        return body == "1"
+    if kind == "p":
+        return pickle.loads(base64.b64decode(body))
+    raise ExecutionError(f"corrupt disk-table value prefix {kind!r}")
+
+
+def _encode_segment(names: Sequence[str], rows: Sequence[Row]) -> bytes:
+    return "\n".join(
+        "\t".join(_encode_value(row[name]) for name in names)
+        for row in rows).encode("utf-8")
+
+
+def _decode_segment(names: Sequence[str], payload: bytes) -> List[Row]:
+    out = []
+    for line in payload.decode("utf-8").split("\n"):
+        fields = line.split("\t")
+        if len(fields) != len(names):
+            raise ExecutionError(
+                f"corrupt disk-table segment: {len(fields)} fields for "
+                f"{len(names)} columns")
+        out.append({name: _decode_value(field)
+                    for name, field in zip(names, fields)})
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the table
+
+
+class DiskTable(Table):
+    """A :class:`Table` whose rows live in a segment file.
+
+    Immutable: ``append``/``extend`` raise.  ``.rows`` materializes a
+    fresh list per access (callers that need streaming use
+    :meth:`iter_segments` / :meth:`row_range`).
+    """
+
+    __slots__ = ("_path", "_num_rows", "_est_bytes", "_segment_rows",
+                 "_finalizer", "__weakref__")
+
+    def __init__(self, name: str, schema: Schema, path: str,
+                 num_rows: int, est_bytes: int,
+                 segment_rows: int = DEFAULT_SEGMENT_ROWS,
+                 owned_dir: Optional[str] = None):
+        # Table.__init__ assigns self.rows, which is a read-only
+        # property here — set the parent slots directly instead.
+        self.name = name
+        self.schema = schema
+        self.mutations = 0
+        self._size_cache = None
+        self._columns_cache = None
+        self._path = path
+        self._num_rows = num_rows
+        self._est_bytes = est_bytes
+        self._segment_rows = max(1, segment_rows)
+        self._finalizer = (weakref.finalize(
+            self, shutil.rmtree, owned_dir, ignore_errors=True)
+            if owned_dir else None)
+
+    # -- Table surface ------------------------------------------------------
+
+    @property
+    def rows(self) -> List[Row]:
+        return [row for seg in self.iter_segments() for row in seg]
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __iter__(self) -> Iterator[Row]:
+        for seg in self.iter_segments():
+            yield from seg
+
+    def __repr__(self) -> str:
+        return (f"DiskTable({self.name!r}, {self._num_rows} rows, "
+                f"{self._path!r})")
+
+    def __getstate__(self):
+        # Default slot pickling would materialize the ``rows`` property
+        # (and fail to restore it).  Ship only the real state — and not
+        # the finalizer: the pickling side owns the temp directory, and
+        # a process-pool copy must never delete it.
+        return {"name": self.name, "schema": self.schema,
+                "path": self._path, "num_rows": self._num_rows,
+                "est_bytes": self._est_bytes,
+                "segment_rows": self._segment_rows}
+
+    def __setstate__(self, state):
+        DiskTable.__init__(self, state["name"], state["schema"],
+                           state["path"], state["num_rows"],
+                           state["est_bytes"],
+                           segment_rows=state["segment_rows"])
+
+    def append(self, row: Row, validate: bool = False) -> None:
+        raise ExecutionError(f"disk table {self.name!r} is immutable")
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        raise ExecutionError(f"disk table {self.name!r} is immutable")
+
+    def estimated_bytes(self) -> int:
+        return self._est_bytes
+
+    # -- streaming scans ----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def segment_rows(self) -> int:
+        return self._segment_rows
+
+    def iter_segments(self) -> Iterator[List[Row]]:
+        """Stream the table one decoded segment at a time."""
+        names = self.schema.names
+        first = True
+        for payload in iter_frames(self._path):
+            if first:
+                first = False  # header frame
+                continue
+            yield _decode_segment(names, payload)
+
+    def row_range(self, start: int, stop: int) -> "RowRange":
+        """A lazy row view over ``[start, stop)`` for streaming splits."""
+        stop = min(stop, self._num_rows)
+        start = min(start, stop)
+        return RowRange(self, start, stop)
+
+
+class RowRange:
+    """A lazy ``Sequence``-ish view over a :class:`DiskTable` row span.
+
+    Supports exactly what a map task needs from a split's rows —
+    ``len()`` and one-pass iteration — decoding only the segments that
+    overlap ``[start, stop)``.
+    """
+
+    __slots__ = ("table", "start", "stop")
+
+    def __init__(self, table: DiskTable, start: int, stop: int):
+        self.table = table
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.stop <= self.start:
+            return
+        base = 0
+        for seg in self.table.iter_segments():
+            if base >= self.stop:
+                return
+            end = base + len(seg)
+            if end > self.start:
+                lo = max(0, self.start - base)
+                hi = min(len(seg), self.stop - base)
+                yield from (seg if (lo, hi) == (0, len(seg))
+                            else seg[lo:hi])
+            base = end
+
+    def __repr__(self) -> str:
+        return (f"RowRange({self.table.name!r}, "
+                f"{self.start}:{self.stop})")
+
+
+# ---------------------------------------------------------------------------
+# writing
+
+
+def write_disk_table(name: str, schema: Schema, rows: Iterable[Row],
+                     segment_rows: int = DEFAULT_SEGMENT_ROWS,
+                     directory: Optional[str] = None) -> DiskTable:
+    """Write ``rows`` to a fresh segment file and return its table.
+
+    When ``directory`` is omitted a private temp directory is created
+    and deleted when the returned table is garbage-collected (dropping
+    or replacing the intermediate in the datastore releases the disk).
+    ``est_bytes`` is accumulated with :meth:`Table.estimated_bytes`'s
+    exact formula while writing, so downstream ``input_bytes`` counters
+    are byte-identical to an in-memory table of the same rows.
+    """
+    segment_rows = max(1, segment_rows)
+    names = schema.names
+    owned = None
+    if directory is None:
+        directory = owned = tempfile.mkdtemp(prefix="repro-dtab-")
+    safe = _SAFE_NAME.sub("_", name) or "table"
+    fd, path = tempfile.mkstemp(prefix=f"{safe}-", suffix=".tbl",
+                                dir=directory)
+    os.close(fd)
+    num_rows = 0
+    est_bytes = 0
+
+    def header_payload(count: int, size: int) -> bytes:
+        data = pickle.dumps(
+            {"names": list(names), "num_rows": count, "est_bytes": size,
+             "segment_rows": segment_rows},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        if len(data) > _HEADER_PAYLOAD:
+            raise ExecutionError(
+                f"disk table header for {name!r} exceeds "
+                f"{_HEADER_PAYLOAD} bytes")
+        return data + b"\x00" * (_HEADER_PAYLOAD - len(data))
+
+    try:
+        with open(path, "wb") as fh:
+            # fixed-size header placeholder first so segments can stream
+            # straight to disk; rewritten in place once counts are known.
+            write_frame(fh, header_payload(0, 0))
+            buffer: List[Row] = []
+            for row in rows:
+                buffer.append(row)
+                for col in names:
+                    est_bytes += len(str(row[col])) + 1
+                num_rows += 1
+                if len(buffer) >= segment_rows:
+                    write_frame(fh, _encode_segment(names, buffer))
+                    buffer = []
+            if buffer:
+                write_frame(fh, _encode_segment(names, buffer))
+            fh.seek(0)
+            write_frame(fh, header_payload(num_rows, est_bytes))
+    except BaseException:
+        if owned is not None:
+            shutil.rmtree(owned, ignore_errors=True)
+        else:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        raise
+    return DiskTable(name, schema, path, num_rows, est_bytes,
+                     segment_rows=segment_rows, owned_dir=owned)
+
+
+def disk_table_from(table: Table,
+                    segment_rows: int = DEFAULT_SEGMENT_ROWS,
+                    directory: Optional[str] = None) -> DiskTable:
+    """Convert an in-memory table to its on-disk equivalent."""
+    return write_disk_table(table.name, table.schema, table.rows,
+                            segment_rows=segment_rows, directory=directory)
+
+
+def open_disk_table(name: str, schema: Schema, path: str) -> DiskTable:
+    """Re-open an existing segment file written by :func:`write_disk_table`."""
+    header = next(iter_frames(path), None)
+    if header is None:
+        raise ExecutionError(f"empty disk table file {path!r}")
+    meta = pickle.loads(header.rstrip(b"\x00"))
+    if list(meta.get("names", [])) != list(schema.names):
+        raise ExecutionError(
+            f"disk table {path!r} columns {meta.get('names')} do not match "
+            f"schema {list(schema.names)}")
+    return DiskTable(name, schema, path, int(meta["num_rows"]),
+                     int(meta["est_bytes"]),
+                     segment_rows=int(meta.get("segment_rows",
+                                               DEFAULT_SEGMENT_ROWS)))

@@ -47,6 +47,21 @@ FAULT_FIELDS = ("task_retries", "speculative_wins")
 #: like the wall timings.  Zero on the row plane.
 BATCH_FIELDS = ("batches", "batch_rows")
 
+#: Out-of-core spill-plane bookkeeping fields — how much of the shuffle
+#: had to go through disk under the active memory budget, never what the
+#: job computed.  The spill plane is byte-identical to the in-memory
+#: plane by contract, so a budgeted run and an unbudgeted run of the
+#: same job must compare equal; excluded from
+#: :meth:`JobCounters.comparable` and dataclass equality like the wall
+#: timings.  Zero when no memory budget is set.
+SPILL_FIELDS = ("spill_files", "spilled_bytes", "merge_passes")
+
+#: Peak-memory observability — measured ``tracemalloc`` high-water marks,
+#: real measurements that legitimately vary run to run (and are 0 when
+#: tracing is off, e.g. inside process-pool workers).  Excluded from
+#: :meth:`JobCounters.comparable` exactly like the wall timings.
+MEMORY_FIELDS = ("peak_mem_bytes",)
+
 
 @dataclass
 class JobCounters:
@@ -128,6 +143,21 @@ class JobCounters:
     #: records those batches carried
     batch_rows: int = field(default=0, compare=False)
 
+    # -- out-of-core spill bookkeeping (not deterministic results; see
+    # SPILL_FIELDS) ----------------------------------------------------------
+    #: sorted runs this job spilled to disk (0 without a memory budget)
+    spill_files: int = field(default=0, compare=False)
+    #: bytes those runs occupied on disk (checksummed frame bytes)
+    spilled_bytes: int = field(default=0, compare=False)
+    #: external sort-merge passes over spilled runs (shuffle-side
+    #: counting passes plus one per merge-fed reduce task)
+    merge_passes: int = field(default=0, compare=False)
+
+    # -- peak-memory observability (measured; see MEMORY_FIELDS) -------------
+    #: max ``tracemalloc`` traced-memory high-water mark observed across
+    #: this job's task bodies and shuffle (bytes; 0 when tracing is off)
+    peak_mem_bytes: int = field(default=0, compare=False)
+
     # -- convenience -----------------------------------------------------------
 
     def comparable(self) -> Dict[str, object]:
@@ -136,7 +166,8 @@ class JobCounters:
         bookkeeping, fault-tolerance bookkeeping, and batch-plane
         bookkeeping excluded)."""
         data = dict(vars(self))
-        for name in TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS + BATCH_FIELDS:
+        for name in (TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS
+                     + BATCH_FIELDS + SPILL_FIELDS + MEMORY_FIELDS):
             data.pop(name, None)
         return data
 
@@ -202,6 +233,13 @@ class JobCounters:
             # scale with the data.
             batches=self.batches,
             batch_rows=int(self.batch_rows * factor),
+            # Spill-file/merge-pass counts track scheduler events; the
+            # bytes they moved scale with the data.  Peak memory is a
+            # measurement, carried as-is.
+            spill_files=self.spill_files,
+            spilled_bytes=int(self.spilled_bytes * factor),
+            merge_passes=self.merge_passes,
+            peak_mem_bytes=self.peak_mem_bytes,
         )
 
 

@@ -190,6 +190,12 @@ class MRJob:
     #: combiner jobs); ``split_rows="auto"`` uses it to size splits by
     #: cardinality instead of raw row count when stats are enabled
     est_key_distinct: Optional[int] = None
+    #: estimated output bytes of this job (attached by the stats
+    #: optimizer from the plan estimator); under a memory budget,
+    #: finalize targets disk for intermediates whose estimate — or
+    #: measured size — exceeds the budget's share.  Advisory only:
+    #: changes the storage representation, never rows or counters
+    est_output_bytes: Optional[int] = None
     #: compact token of stats-driven choices applied to this job (None
     #: when every decision matched the static engine); folded into the
     #: result-cache key so differently-optimized runs never alias

@@ -66,6 +66,7 @@ import pickle
 import queue
 import threading
 import time
+import tracemalloc
 from collections import Counter, deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -80,6 +81,7 @@ from repro.errors import ExecutionError, ReproError
 from repro.mr.counters import JobCounters, JobRun
 from repro.mr.faultplan import FAULT_KINDS, FaultPlan, InjectedFault
 from repro.mr.job import MRJob
+from repro.mr.spill import resolve_memory_budget
 from repro.mr.tasks import JobTaskGraph, MapTask, ReduceTask
 from repro.reuse.cache import (CachedOutput, CacheEntry, ResultCache,
                                canonical_counters, rehydrate_counters)
@@ -774,7 +776,9 @@ class Runtime:
                  max_attempts: Optional[int] = None,
                  speculate: bool = False,
                  data_plane: Optional[str] = None,
-                 stats: Optional[object] = None):
+                 stats: Optional[object] = None,
+                 memory_budget_mb: Optional[object] = None,
+                 track_memory: bool = False):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
@@ -808,6 +812,18 @@ class Runtime:
         #: stay identical across executors/schedulers either way.
         from repro.stats.decisions import resolve_stats
         self.stats = resolve_stats(stats)
+        #: out-of-core memory budget (None = fully in-memory; a number
+        #: of MB, a shared :class:`~repro.mr.spill.MemoryBudget`, or the
+        #: ``REPRO_MEMORY_MB`` default).  Under a budget the shuffle
+        #: spills sorted runs to disk, reduces merge them externally,
+        #: large intermediates materialize as disk tables, and base-
+        #: table scans over disk tables stream — all byte-identical in
+        #: rows and ``comparable()`` counters to the in-memory plane.
+        self.memory = resolve_memory_budget(memory_budget_mb)
+        #: sample per-task ``tracemalloc`` peaks into
+        #: ``JobCounters.peak_mem_bytes`` (measured, excluded from
+        #: ``comparable()``); surfaced by ``repro run --timings``
+        self.track_memory = track_memory
 
     # -- public API --------------------------------------------------------
 
@@ -839,11 +855,22 @@ class Runtime:
         if self.trace is not None:
             self.trace.scheduler = self.scheduler
             self.trace.workers = getattr(self.executor, "max_workers", 1)
-        if self.scheduler == "wave":
-            counters, cached_ids = self._run_jobs_waves(jobs, dependencies)
-        else:
-            counters, cached_ids = self._run_jobs_dataflow(jobs,
-                                                           dependencies)
+        # Peak-memory sampling: tasks read tracemalloc only when tracing
+        # is already on, so this start/stop is the single switch (and an
+        # outer tracer, e.g. a benchmark harness, is left untouched).
+        started_tracing = self.track_memory and not tracemalloc.is_tracing()
+        if started_tracing:
+            tracemalloc.start()
+        try:
+            if self.scheduler == "wave":
+                counters, cached_ids = self._run_jobs_waves(jobs,
+                                                            dependencies)
+            else:
+                counters, cached_ids = self._run_jobs_dataflow(jobs,
+                                                               dependencies)
+        finally:
+            if started_tracing:
+                tracemalloc.stop()
         return [JobRun(job.job_id, job.name, counters[job.job_id], order=i,
                        cached=job.job_id in cached_ids)
                 for i, job in enumerate(jobs)]
@@ -907,7 +934,8 @@ class Runtime:
             self.trace.waves.append([job.job_id for job in jobs])
         graphs = [JobTaskGraph(job, self.datastore, self.split_rows,
                                data_plane=self.data_plane,
-                               stats=self.stats)
+                               stats=self.stats,
+                               memory=self.memory)
                   for job in jobs]
 
         map_tasks = [(graph, task) for graph in graphs
@@ -1085,7 +1113,8 @@ class Runtime:
             st.graph = JobTaskGraph(job, self.datastore, self.split_rows,
                                     defer=True,
                                     data_plane=self.data_plane,
-                                    stats=self.stats)
+                                    stats=self.stats,
+                                    memory=self.memory)
             deps = list(dict.fromkeys(dependencies.get(job.job_id, ())))
             st.deps_left = set(deps)
             scan_union: Set[str] = set()
@@ -1212,7 +1241,13 @@ class Runtime:
             nonlocal jobs_left
             st = node.state
             if node.kind == "map":
-                st.map_results[id(node.task)] = result
+                # Under a memory budget, fold the output into the spill
+                # accumulator now (scheduler thread, arrival order — the
+                # position vectors make ingestion order irrelevant) so
+                # pre-shuffle buffering is bounded by the budget, not by
+                # the number of completed-but-unshuffled map tasks.
+                st.map_results[id(node.task)] = \
+                    st.graph.absorb_map_output(node.task, result)
                 st.maps_outstanding -= 1
                 maybe_shuffle(st)
             elif node.kind == "shuffle":

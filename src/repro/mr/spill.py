@@ -1,0 +1,293 @@
+"""Out-of-core spill plane: budgets, sorted runs, and k-way merges.
+
+The in-memory shuffle buffers every map output until reducers consume
+it, which caps ``tpch_scale`` at whatever fits in Python lists.  This
+module is the disk half of the out-of-core data plane:
+
+* :class:`MemoryBudget` — one number (``--memory-mb`` /
+  ``REPRO_MEMORY_MB`` / ``run_query(memory_budget_mb=)``) carved into
+  shares for the shuffle buffers and for intermediate materialization,
+  plus the temp directory that holds spill runs for the lifetime of a
+  :class:`~repro.mr.runtime.Runtime`.
+* a checksummed frame format — every spill file is a sequence of
+  ``[u64 payload length][blake2b-128 digest][payload]`` frames, so a
+  truncated or corrupted run is detected on read instead of silently
+  producing wrong rows.
+* sorted-run writer/reader over the block format — a run is a sequence
+  of frames, each frame one pickled :class:`~repro.mr.blocks.PairBlock`
+  -shaped tuple ``(tag, keys, columns, positions)`` covering
+  consecutive records that share a role tag and payload layout.
+* :func:`merge_records` — the external sort-merge iterator: a k-way
+  ``heapq.merge`` of sorted runs keyed on ``(sort_key(key), position)``.
+
+Identity contract: records are totally ordered by ``(sort key,
+position)`` — positions are unique per (key, record) because the map
+side merges same-record/same-key emissions — so the merge output is
+deterministic regardless of how records were scattered across runs,
+and equal-position ties between *different* keys never meet inside one
+partition's merge.  Positions are lexicographic tuples
+``(input index, split index, record index)``: the same total order as
+the batch plane's ``(task_seq << 32) | record`` integers, without
+needing every earlier input's split count at ingest time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import os
+import pickle
+import re
+import shutil
+import struct
+import tempfile
+import threading
+import weakref
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.mr.kv import Key, TaggedValue
+
+#: one spill record: ``(position, key, tagged value)``.  ``position``
+#: is any totally-ordered value that reproduces emission order.
+SpillRecord = Tuple[object, Key, TaggedValue]
+
+_LEN = struct.Struct(">Q")
+DIGEST_BYTES = 16
+#: max records per frame — bounds the memory needed to decode one frame.
+FRAME_RECORDS = 2048
+#: refuse absurd frame lengths up front (corrupt length prefix would
+#: otherwise try to allocate the bogus size before the digest check).
+MAX_FRAME_BYTES = 1 << 31
+
+#: modeled resident overhead per buffered shuffle record.  The
+#: serialized-byte accounting (:func:`repro.mr.kv.pairs_bytes`) is what
+#: a record costs *on disk*; resident in the buffer it is a
+#: ``(position tuple, key tuple, tagged value)`` of boxed Python
+#: objects, roughly two orders of magnitude larger.  Budget checks
+#: charge ``serialized + RECORD_RESIDENT_BYTES`` per record so the
+#: budget bounds actual process memory, not just spill-file volume.
+RECORD_RESIDENT_BYTES = 384
+
+_SAFE_LABEL = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+# ---------------------------------------------------------------------------
+# budget
+
+
+class MemoryBudget:
+    """A byte budget carved into shuffle and materialization shares.
+
+    The split mirrors Hadoop's accounting: roughly half the heap feeds
+    the shuffle buffers (``io.sort.mb``), a quarter is allowed for any
+    single in-memory intermediate before it targets disk, and the rest
+    is working-set headroom for the operators themselves.
+    """
+
+    SHUFFLE_FRACTION = 0.5
+    INTERMEDIATE_FRACTION = 0.25
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise ExecutionError(
+                f"memory budget must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._dir: Optional[str] = None
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._finalizer = None
+
+    # -- shares -------------------------------------------------------------
+
+    def shuffle_share(self) -> int:
+        """Bytes the whole shuffle buffer of one job may hold."""
+        return max(1, int(self.budget_bytes * self.SHUFFLE_FRACTION))
+
+    def partition_share(self, num_reducers: int) -> int:
+        """Bytes one partition's buffer may hold before spilling."""
+        return max(1, self.shuffle_share() // max(1, num_reducers))
+
+    def intermediate_threshold(self) -> int:
+        """Measured output size above which an intermediate goes to disk."""
+        return max(1, int(self.budget_bytes * self.INTERMEDIATE_FRACTION))
+
+    # -- spill directory ----------------------------------------------------
+
+    @property
+    def spill_dir(self) -> str:
+        """Lazily-created temp directory holding this budget's runs."""
+        with self._lock:
+            if self._dir is None:
+                self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+                self._finalizer = weakref.finalize(
+                    self, shutil.rmtree, self._dir, ignore_errors=True)
+            return self._dir
+
+    def new_run_path(self, label: str) -> str:
+        """A fresh, unique path for one sorted run."""
+        safe = _SAFE_LABEL.sub("_", label) or "run"
+        with self._lock:
+            n = next(self._seq)
+        return os.path.join(self.spill_dir, f"{safe}-{n}.run")
+
+    def release(self, paths: Iterable[str]) -> None:
+        """Best-effort deletion of consumed runs.
+
+        Losing speculative duplicates may still be mid-read; their
+        ``FileNotFoundError`` surfaces as a tolerated lost attempt, and
+        the directory finalizer is the backstop for anything missed.
+        """
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            fin, self._finalizer, self._dir = self._finalizer, None, None
+        if fin is not None:
+            fin()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryBudget({self.budget_bytes} bytes)"
+
+
+def resolve_memory_budget(
+        memory_budget_mb: Optional[object] = None) -> Optional[MemoryBudget]:
+    """Resolve the budget knob: explicit arg > ``REPRO_MEMORY_MB`` > off.
+
+    Accepts an existing :class:`MemoryBudget` (shared across runtimes),
+    a number of megabytes, or ``None``.
+    """
+    if isinstance(memory_budget_mb, MemoryBudget):
+        return memory_budget_mb
+    if memory_budget_mb is None:
+        raw = os.environ.get("REPRO_MEMORY_MB", "").strip()
+        if not raw:
+            return None
+        memory_budget_mb = raw
+    try:
+        mb = float(memory_budget_mb)
+    except (TypeError, ValueError):
+        raise ExecutionError(
+            f"invalid memory budget {memory_budget_mb!r} (want MB as a number)")
+    if mb <= 0:
+        raise ExecutionError(f"memory budget must be positive, got {mb}")
+    return MemoryBudget(int(mb * 1024 * 1024))
+
+
+# ---------------------------------------------------------------------------
+# checksummed frames
+
+
+def write_frame(fh, payload: bytes) -> int:
+    """Append one length-prefixed, digest-guarded frame; returns bytes."""
+    digest = hashlib.blake2b(payload, digest_size=DIGEST_BYTES).digest()
+    fh.write(_LEN.pack(len(payload)))
+    fh.write(digest)
+    fh.write(payload)
+    return _LEN.size + DIGEST_BYTES + len(payload)
+
+
+def iter_frames(path: str) -> Iterator[bytes]:
+    """Yield verified frame payloads; raise on truncation or corruption."""
+    with open(path, "rb") as fh:
+        index = 0
+        while True:
+            header = fh.read(_LEN.size)
+            if not header:
+                return
+            if len(header) < _LEN.size:
+                raise ExecutionError(
+                    f"truncated spill frame header in {path} (frame {index})")
+            (length,) = _LEN.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ExecutionError(
+                    f"corrupt spill frame length {length} in {path} "
+                    f"(frame {index})")
+            digest = fh.read(DIGEST_BYTES)
+            payload = fh.read(length)
+            if len(digest) < DIGEST_BYTES or len(payload) < length:
+                raise ExecutionError(
+                    f"truncated spill frame in {path} (frame {index})")
+            want = hashlib.blake2b(
+                payload, digest_size=DIGEST_BYTES).digest()
+            if want != digest:
+                raise ExecutionError(
+                    f"spill frame checksum mismatch in {path} "
+                    f"(frame {index})")
+            yield payload
+            index += 1
+
+
+# ---------------------------------------------------------------------------
+# sorted runs over the block format
+
+
+def write_run(path: str, records: Sequence[SpillRecord]) -> int:
+    """Write one sorted run; returns bytes written.
+
+    ``records`` must already be sorted by ``(sort key, position)``.
+    Consecutive records sharing a role tag and payload layout are
+    transposed into one block-shaped frame ``(tag, keys, columns,
+    positions)`` — the same columnar layout :class:`PairBlock` uses in
+    memory — so a run round-trips through the block format rather than
+    one pickle per record.
+    """
+    total = 0
+    with open(path, "wb") as fh:
+        i, n = 0, len(records)
+        while i < n:
+            tv0 = records[i][2]
+            tag = tv0.roles
+            names = tuple(tv0.payload)
+            j = i + 1
+            while j < n and j - i < FRAME_RECORDS:
+                tv = records[j][2]
+                if tv.roles != tag or tuple(tv.payload) != names:
+                    break
+                j += 1
+            chunk = records[i:j]
+            payload = pickle.dumps(
+                (tag,
+                 [rec[1] for rec in chunk],
+                 {name: [rec[2].payload[name] for rec in chunk]
+                  for name in names},
+                 [rec[0] for rec in chunk]),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            total += write_frame(fh, payload)
+            i = j
+    return total
+
+
+def iter_run(path: str) -> Iterator[SpillRecord]:
+    """Stream a run back as ``(position, key, TaggedValue)`` records."""
+    for payload in iter_frames(path):
+        tag, keys, columns, positions = pickle.loads(payload)
+        names = list(columns)
+        cols = [columns[name] for name in names]
+        for i, key in enumerate(keys):
+            yield (positions[i], key,
+                   TaggedValue(tag, {name: col[i]
+                                     for name, col in zip(names, cols)}))
+
+
+def merge_records(iterables: List[Iterable[SpillRecord]],
+                  sort_key: Callable[[Key], object]
+                  ) -> Iterator[SpillRecord]:
+    """K-way heap merge of sorted runs, ordered ``(sort key, position)``.
+
+    ``heapq.merge`` compares ``[key(record), iterator index, ...]``, so
+    equal sort keys fall back to iterator order without ever comparing
+    the records themselves — and equal ``(sort key, position)`` pairs
+    cannot occur across runs (same record + same key pairs are merged
+    at emit time), so the output order is independent of how records
+    were scattered across runs.
+    """
+    if len(iterables) == 1:
+        return iter(iterables[0])
+    return heapq.merge(
+        *iterables, key=lambda rec: (sort_key(rec[1]), rec[0]))

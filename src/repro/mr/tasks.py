@@ -57,6 +57,7 @@ from __future__ import annotations
 import functools
 import os
 import time
+import tracemalloc
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -72,6 +73,9 @@ from repro.mr.counters import JobCounters
 from repro.mr.job import MRJob, MapInput, OutputSpec
 from repro.mr.kv import (Key, TaggedValue, blocks_bytes, pairs_bytes,
                          rows_bytes)
+from repro.mr.spill import (MemoryBudget, RECORD_RESIDENT_BYTES,
+                            SpillRecord, iter_run, merge_records,
+                            write_run)
 
 
 #: ``split_rows="auto"`` aims for this many map tasks per input …
@@ -327,10 +331,20 @@ class TaskCounters:
     #: excluded from comparisons (see ``repro.mr.counters.BATCH_FIELDS``).
     batches: int = 0
     batch_rows: int = 0
+    #: external sort-merge passes this task drove over spilled runs;
+    #: 0 without a memory budget.  Bookkeeping, not results — folded
+    #: into ``JobCounters.merge_passes`` (see ``SPILL_FIELDS``).
+    merge_passes: int = 0
     #: measured wall-clock seconds of this task's ``run`` (not
     #: deterministic — excluded from equality, folded into the job's
     #: ``phase_wall_s`` map/reduce entries)
     wall_s: float = field(default=0.0, compare=False)
+    #: ``tracemalloc`` high-water mark observed during this task's
+    #: ``run`` (bytes; 0 when tracing is off, e.g. in process-pool
+    #: workers).  A measurement like ``wall_s`` — excluded from equality
+    #: and approximate under concurrency, since the interpreter-global
+    #: peak is reset per task body.
+    peak_mem_bytes: int = field(default=0, compare=False)
 
 
 Pair = Tuple[Key, TaggedValue]
@@ -371,6 +385,11 @@ class MapTaskOutput:
     #: batch-plane twins of the two fields above
     block_partitions: Optional[Dict[int, List[PairBlock]]] = None
     blocks: Optional[List[PairBlock]] = None
+    #: True when a memory-budgeted graph already absorbed this output's
+    #: data into its spill accumulator (the dataflow scheduler ingests
+    #: map outputs as they commit, keeping only this counters-only stub
+    #: until shuffle time); the data fields above are None then
+    ingested: bool = False
 
 
 def _merge_record(emitted, tags: Dict[Tuple[str, ...], frozenset],
@@ -441,6 +460,9 @@ class MapTask:
         if self.split.columns is not None:
             return self._run_batch()
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job, specs = self.job, self.map_input.specs
         counters = TaskCounters(self.task_id, "map", job.job_id)
         rows = self.split.rows
@@ -465,6 +487,8 @@ class MapTask:
         else:
             output = MapTaskOutput(counters,
                                    partitions=self._partition(pairs))
+        if tracing:
+            counters.peak_mem_bytes = tracemalloc.get_traced_memory()[1]
         counters.wall_s = time.perf_counter() - start
         return output
 
@@ -563,6 +587,9 @@ class MapTask:
         that transpose to exactly the pairs the row loop would emit —
         same keys, payload values, role tags, order, and counters."""
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job, specs = self.job, self.map_input.specs
         counters = TaskCounters(self.task_id, "map", job.job_id)
         cols = self.split.columns
@@ -597,6 +624,8 @@ class MapTask:
         else:
             output = MapTaskOutput(
                 counters, block_partitions=self._partition_blocks(blocks))
+        if tracing:
+            counters.peak_mem_bytes = tracemalloc.get_traced_memory()[1]
         counters.wall_s = time.perf_counter() - start
         return output
 
@@ -870,6 +899,9 @@ class ReduceTask:
 
     def run(self) -> ReduceTaskOutput:
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job = self.job
         counters = TaskCounters(self.task_id, "reduce", job.job_id)
         counters.input_records = self.input_records
@@ -889,6 +921,8 @@ class ReduceTask:
         counters.dispatch_ops = reducer.dispatch_ops()
         counters.compute_ops = reducer.compute_ops()
         counters.output_records = sum(len(r) for r in buffers.values())
+        if tracing:
+            counters.peak_mem_bytes = tracemalloc.get_traced_memory()[1]
         counters.wall_s = time.perf_counter() - start
         return ReduceTaskOutput(counters, buffers)
 
@@ -921,6 +955,9 @@ class BatchReduceTask:
 
     def run(self) -> ReduceTaskOutput:
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job = self.job
         counters = TaskCounters(self.task_id, "reduce", job.job_id)
         counters.input_records = self._input_records
@@ -958,8 +995,342 @@ class BatchReduceTask:
         counters.output_records = sum(len(r) for r in buffers.values())
         counters.batches = len(streams)
         counters.batch_rows = self._input_records
+        if tracing:
+            counters.peak_mem_bytes = tracemalloc.get_traced_memory()[1]
         counters.wall_s = time.perf_counter() - start
         return ReduceTaskOutput(counters, buffers)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core reduce: external sort-merge over spilled runs
+# ---------------------------------------------------------------------------
+
+#: distinct-from-everything marker for "no current group yet" in the
+#: merge loops (keys are tuples; ``!=`` against this object is always
+#: True via identity fallback, never a value comparison).
+_NO_KEY = object()
+
+
+class SpillReduceTask:
+    """Reduce one partition by externally merging sorted spill runs.
+
+    The out-of-core twin of :class:`ReduceTask`: instead of holding the
+    partition's grouped values it holds the paths of its sorted runs on
+    disk plus the unspilled in-memory tail (itself sorted — effectively
+    one more run), k-way merges them by ``(sort key, position)``, and
+    groups consecutive equal keys on the fly.  Because equal sort keys
+    imply equal dict keys and positions reproduce emission order, every
+    group — its key spelling (the minimum-position record's), its value
+    order, and the group order across the partition — is byte-identical
+    to what the in-memory path builds, and so are all ``comparable()``
+    counters (``input_records``/``groups`` are fixed at shuffle time
+    from the same ingestion bookkeeping).
+
+    ``sort_output`` jobs range-partition a single global merged stream:
+    every task of the job shares the same runs + tail and consumes only
+    its contiguous ``[group_skip, group_skip + group_take)`` group
+    range, mirroring the in-memory contiguous key chunks.
+
+    Tasks only *read* runs, so retries and speculative duplicates rerun
+    cleanly; run files are deleted by the graph after finalize commits.
+    """
+
+    __slots__ = ("job", "partition", "run_paths", "tail", "task_id",
+                 "ascending", "group_skip", "group_take",
+                 "_input_records", "_groups")
+
+    def __init__(self, job: MRJob, partition: int, run_paths: List[str],
+                 tail: List[SpillRecord], input_records: int, groups: int,
+                 ascending: Optional[List[bool]] = None,
+                 group_skip: int = 0, group_take: Optional[int] = None):
+        self.job = job
+        self.partition = partition
+        self.run_paths = run_paths
+        self.tail = tail
+        self.ascending = ascending
+        self.group_skip = group_skip
+        self.group_take = group_take
+        self._input_records = input_records
+        self._groups = groups
+        self.task_id = f"{job.job_id}/reduce[{partition}]"
+
+    @property
+    def input_records(self) -> int:
+        return self._input_records
+
+    def _merged(self):
+        iters = [iter_run(path) for path in self.run_paths]
+        if self.tail:
+            iters.append(iter(self.tail))
+        sort_key = (_asc_sort_key if self.ascending is None
+                    else make_sort_key(self.ascending))
+        return merge_records(iters, sort_key)
+
+    def run(self) -> ReduceTaskOutput:
+        start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
+        job = self.job
+        counters = TaskCounters(self.task_id, "reduce", job.job_id)
+        counters.input_records = self._input_records
+        counters.groups = self._groups
+        counters.merge_passes = 1
+        reducer = job.reducer.clone()
+        buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
+        reduce = reducer.reduce
+        buffer_get = buffers.get
+        skip = self.group_skip
+        end = (None if self.group_take is None
+               else skip + self.group_take)
+        group_idx = -1
+        cur_key: object = _NO_KEY
+        values: List[TaggedValue] = []
+
+        def flush() -> None:
+            for task_id, rows in reduce(cur_key, values).items():
+                if rows:
+                    buffer = buffer_get(task_id)
+                    if buffer is not None:
+                        buffer.extend(rows)
+
+        for _pos, key, tv in self._merged():
+            if key != cur_key:
+                if cur_key is not _NO_KEY and group_idx >= skip:
+                    flush()
+                group_idx += 1
+                if end is not None and group_idx >= end:
+                    cur_key = _NO_KEY
+                    break
+                cur_key = key
+                values = []
+            if group_idx >= skip:
+                values.append(tv)
+        if cur_key is not _NO_KEY and group_idx >= skip:
+            flush()
+
+        counters.dispatch_ops = reducer.dispatch_ops()
+        counters.compute_ops = reducer.compute_ops()
+        counters.output_records = sum(len(r) for r in buffers.values())
+        if tracing:
+            counters.peak_mem_bytes = tracemalloc.get_traced_memory()[1]
+        counters.wall_s = time.perf_counter() - start
+        return ReduceTaskOutput(counters, buffers)
+
+
+class _SpillAccumulator:
+    """Shuffle-side spill buffers for one memory-budgeted job.
+
+    The graph feeds it map outputs — incrementally as they commit
+    (dataflow) or all at once at shuffle time (wave) — and it converts
+    each output's pairs or blocks into ``(position, key, value)``
+    records, buffers them per partition (one global buffer for
+    ``sort_output`` jobs), and spills a buffer to a sorted run whenever
+    its byte estimate — the :func:`pairs_bytes`/:func:`blocks_bytes`
+    serialized accounting the map counters use, plus
+    :data:`RECORD_RESIDENT_BYTES` of modeled boxed-object overhead per
+    buffered record — exceeds its budget share.
+
+    Positions are ``(map-input index, split index, record index)``
+    tuples: lexicographically the same total order as the batch plane's
+    ``(task_seq << 32) | record`` stream positions, but computable
+    without knowing how many splits earlier inputs produced — which is
+    what lets the dataflow scheduler ingest outputs in completion order
+    while the merged stream stays byte-identical to canonical order.
+
+    Group/record bookkeeping (``key_sets``/``counts``) is maintained at
+    ingest so ``reduce_groups``, ``reduce_input_records`` and the
+    per-task loads fill in identically to the in-memory shuffle without
+    re-reading any run.
+    """
+
+    def __init__(self, job: MRJob, memory: MemoryBudget):
+        self.job = job
+        self.memory = memory
+        self.spill_files = 0
+        self.spilled_bytes = 0
+        self.merge_passes = 0
+        if job.sort_output:
+            self._sort_key = make_sort_key(job.sort_ascending)
+            self.share = memory.shuffle_share()
+            self.buffer: List[SpillRecord] = []
+            self.buffer_bytes = 0
+            self.runs: List[str] = []
+        else:
+            self._sort_key = _asc_sort_key
+            self.share = memory.partition_share(job.num_reducers)
+            self.buffers: Dict[int, List[SpillRecord]] = {}
+            self.buffer_bytes_by: Dict[int, int] = {}
+            self.runs_by: Dict[int, List[str]] = {}
+            self.key_sets: Dict[int, set] = {}
+            self.counts: Dict[int, int] = {}
+
+    # -- ingest -------------------------------------------------------------
+
+    def ingest(self, input_seq: int, split_seq: int,
+               output: MapTaskOutput) -> None:
+        job = self.job
+        universe, policy = job.role_universe, job.tag_policy
+        if job.sort_output:
+            if output.pairs:
+                self._add_sort(
+                    [((input_seq, split_seq, i), key, tv)
+                     for i, (key, tv) in enumerate(output.pairs)],
+                    pairs_bytes(output.pairs, universe, policy))
+            for block in output.blocks or ():
+                self._add_sort(
+                    _block_records(input_seq, split_seq, block),
+                    blocks_bytes([block], universe, policy))
+            return
+        if output.partitions:
+            for pid, chunk in output.partitions.items():
+                self._add_hash(
+                    pid,
+                    [((input_seq, split_seq, i), key, tv)
+                     for i, (key, tv) in enumerate(chunk)],
+                    pairs_bytes(chunk, universe, policy))
+        if output.block_partitions:
+            for pid, blocks in output.block_partitions.items():
+                for block in blocks:
+                    self._add_hash(
+                        pid, _block_records(input_seq, split_seq, block),
+                        blocks_bytes([block], universe, policy))
+
+    def _add_hash(self, pid: int, records: List[SpillRecord],
+                  nbytes: int) -> None:
+        if not records:
+            return
+        buf = self.buffers.get(pid)
+        if buf is None:
+            buf = self.buffers[pid] = []
+            self.buffer_bytes_by[pid] = 0
+            self.runs_by[pid] = []
+            self.key_sets[pid] = set()
+            self.counts[pid] = 0
+        buf.extend(records)
+        self.key_sets[pid].update(rec[1] for rec in records)
+        self.counts[pid] += len(records)
+        self.buffer_bytes_by[pid] += (
+            nbytes + len(records) * RECORD_RESIDENT_BYTES)
+        if self.buffer_bytes_by[pid] > self.share:
+            self._spill_partition(pid)
+
+    def _add_sort(self, records: List[SpillRecord], nbytes: int) -> None:
+        if not records:
+            return
+        self.buffer.extend(records)
+        self.buffer_bytes += (
+            nbytes + len(records) * RECORD_RESIDENT_BYTES)
+        if self.buffer_bytes > self.share:
+            self._spill_sort_buffer()
+
+    def _run_sort_key(self):
+        skey = self._sort_key
+        return lambda rec: (skey(rec[1]), rec[0])
+
+    def _spill_partition(self, pid: int) -> None:
+        buf = self.buffers[pid]
+        buf.sort(key=self._run_sort_key())
+        path = self.memory.new_run_path(f"{self.job.job_id}-p{pid}")
+        self.spilled_bytes += write_run(path, buf)
+        self.spill_files += 1
+        self.runs_by[pid].append(path)
+        self.buffers[pid] = []
+        self.buffer_bytes_by[pid] = 0
+
+    def _spill_sort_buffer(self) -> None:
+        self.buffer.sort(key=self._run_sort_key())
+        path = self.memory.new_run_path(f"{self.job.job_id}-sort")
+        self.spilled_bytes += write_run(path, self.buffer)
+        self.spill_files += 1
+        self.runs.append(path)
+        self.buffer = []
+        self.buffer_bytes = 0
+
+    # -- task construction --------------------------------------------------
+
+    def run_paths(self) -> List[str]:
+        if self.job.sort_output:
+            return list(self.runs)
+        return [path for paths in self.runs_by.values() for path in paths]
+
+    def build_tasks(self, counters: JobCounters) -> List[SpillReduceTask]:
+        if self.job.sort_output:
+            return self._build_sort_tasks(counters)
+        job = self.job
+        tasks: List[SpillReduceTask] = []
+        for pid in range(job.num_reducers):
+            buf = self.buffers.get(pid)
+            if buf is None:
+                continue
+            runs = self.runs_by[pid]
+            if not buf and not runs:
+                continue
+            tail = sorted(buf, key=self._run_sort_key())
+            groups = len(self.key_sets[pid])
+            counters.reduce_groups += groups
+            tasks.append(SpillReduceTask(
+                job, pid, list(runs), tail,
+                input_records=self.counts[pid], groups=groups))
+        return tasks
+
+    def _build_sort_tasks(self, counters: JobCounters
+                          ) -> List[SpillReduceTask]:
+        job = self.job
+        tail = sorted(self.buffer, key=self._run_sort_key())
+        self.buffer = tail
+        runs = self.runs
+        if not tail and not runs:
+            return []
+        # One counting merge pass fixes the global group boundaries (the
+        # in-memory path gets them for free from its by_key dict); the
+        # range tasks then re-merge and consume only their own slice.
+        group_counts: List[int] = []
+        cur_key: object = _NO_KEY
+        iters = [iter_run(path) for path in runs]
+        if tail:
+            iters.append(iter(tail))
+        for _pos, key, _tv in merge_records(iters, self._sort_key):
+            if key != cur_key:
+                group_counts.append(1)
+                cur_key = key
+            else:
+                group_counts[-1] += 1
+        self.merge_passes += 1
+        total = len(group_counts)
+        counters.reduce_groups += total
+        chunk = max(1, -(-total // job.num_reducers))
+        ascending = list(job.sort_ascending)
+        tasks: List[SpillReduceTask] = []
+        for pid, i in enumerate(range(0, total, chunk)):
+            take = group_counts[i:i + chunk]
+            tasks.append(SpillReduceTask(
+                job, pid, list(runs), tail, input_records=sum(take),
+                groups=len(take), ascending=ascending,
+                group_skip=i, group_take=len(take)))
+        return tasks
+
+
+def _block_records(input_seq: int, split_seq: int,
+                   block: PairBlock) -> List[SpillRecord]:
+    """Transpose one block into spill records, with the same position
+    rule as :func:`~repro.mr.blocks.ingest_streams`: the block's
+    ``order`` indices when it carries them, dense enumeration otherwise
+    (order-less blocks are always a task's sole block)."""
+    columns = block.columns
+    names = list(columns)
+    cols = [columns[name] for name in names]
+    tag = block.tag
+    order = block.order
+    records: List[SpillRecord] = []
+    append = records.append
+    for i, key in enumerate(block.keys):
+        append(((input_seq, split_seq,
+                 order[i] if order is not None else i),
+                key,
+                TaggedValue(tag, {name: col[i]
+                                  for name, col in zip(names, cols)})))
+    return records
 
 
 # ---------------------------------------------------------------------------
@@ -994,7 +1365,8 @@ class JobTaskGraph:
                  split_rows: Optional[object] = None,
                  defer: bool = False,
                  data_plane: Optional[str] = None,
-                 stats: Optional[object] = None):
+                 stats: Optional[object] = None,
+                 memory: Optional[MemoryBudget] = None):
         job.validate()
         if not (split_rows is None or split_rows == "auto"
                 or (isinstance(split_rows, int) and not isinstance(
@@ -1019,6 +1391,15 @@ class JobTaskGraph:
         #: the plane this job actually runs on: ``batch`` requires every
         #: emit spec to carry a kernel (hand-built jobs fall back to row)
         self._batch = data_plane == "batch" and _job_batch_eligible(job)
+        #: the active memory budget, or None for the in-memory plane.
+        #: With a budget, shuffle data flows through a spill accumulator
+        #: (runs on disk past the budget share), reduces run as external
+        #: sort-merges, disk tables stream split-by-split, and oversized
+        #: intermediates target disk in finalize.
+        self.memory = memory
+        self._spill = (_SpillAccumulator(job, memory)
+                       if memory is not None else None)
+        self._input_seq = {id(mi): i for i, mi in enumerate(job.map_inputs)}
         self.counters = JobCounters(job_id=job.job_id, name=job.name,
                                     num_reducers=job.num_reducers)
         self._planned: List[Optional[List[MapTask]]] = \
@@ -1049,10 +1430,30 @@ class JobTaskGraph:
         planned = [MapTask(self.job, map_input, split)
                    for split in _plan_splits(map_input.dataset, table,
                                              split_setting,
-                                             batch=self._batch)]
+                                             batch=self._batch,
+                                             stream=self.memory is not None)]
         self._planned[index] = planned
         self._unplanned -= 1
         return planned
+
+    def absorb_map_output(self, task: MapTask,
+                          output: MapTaskOutput) -> MapTaskOutput:
+        """Feed one committed map output into the spill accumulator.
+
+        Without a memory budget this is the identity.  With one, the
+        dataflow scheduler calls it per map task the moment the task
+        commits, so shuffle data streams into (budget-bounded) buffers
+        instead of accumulating whole map outputs until shuffle time;
+        the returned counters-only stub is what ``shuffle`` later folds.
+        Arrival order doesn't matter: record positions carry canonical
+        task order, and the merge re-establishes it.
+        """
+        spill = self._spill
+        if spill is None or output.ingested:
+            return output
+        spill.ingest(self._input_seq[id(task.map_input)],
+                     task.split.index, output)
+        return MapTaskOutput(output.counters, ingested=True)
 
     def _split_setting(self, table: Table) -> Optional[object]:
         """The effective split setting for one input table.
@@ -1102,6 +1503,9 @@ class JobTaskGraph:
         """Fold map-task counters and build one reduce task per non-empty
         partition, in deterministic partition order."""
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job, counters = self.job, self.counters
         map_tasks = self.map_tasks
         if len(outputs) != len(map_tasks):
@@ -1120,9 +1524,24 @@ class JobTaskGraph:
             counters.map_output_bytes += tc.output_bytes
             counters.batches += tc.batches
             counters.batch_rows += tc.batch_rows
+            if tc.peak_mem_bytes > counters.peak_mem_bytes:
+                counters.peak_mem_bytes = tc.peak_mem_bytes
             map_wall += tc.wall_s
 
-        if self._batch:
+        spill = self._spill
+        if spill is not None:
+            # wave scheduler (and serial/process dataflow sessions) hand
+            # whole outputs here; the dataflow thread path has already
+            # absorbed them task by task
+            for task, output in zip(map_tasks, outputs):
+                if not output.ingested:
+                    spill.ingest(self._input_seq[id(task.map_input)],
+                                 task.split.index, output)
+            tasks = spill.build_tasks(counters)
+            counters.spill_files += spill.spill_files
+            counters.spilled_bytes += spill.spilled_bytes
+            counters.merge_passes += spill.merge_passes
+        elif self._batch:
             tasks = (self._range_partitions_batch(outputs) if job.sort_output
                      else self._hash_partitions_batch(outputs))
         elif job.sort_output:
@@ -1133,7 +1552,9 @@ class JobTaskGraph:
         if not tasks and _wants_default_group(job):
             # Grand-aggregate jobs reduce once even on empty input (SQL
             # semantics: a global aggregate over nothing yields one row).
-            if self._batch:
+            if spill is not None:
+                tasks = [ReduceTask(job, 0, [((), [])])]
+            elif self._batch:
                 tasks = [BatchReduceTask(job, 0, [()], [], 0)]
             else:
                 tasks = [ReduceTask(job, 0, [((), [])])]
@@ -1143,6 +1564,10 @@ class JobTaskGraph:
         counters.reduce_input_records = sum(loads)
         counters.reduce_task_records = loads
         counters.reduce_max_task_records = max(loads) if loads else 0
+        if tracing:
+            peak = tracemalloc.get_traced_memory()[1]
+            if peak > counters.peak_mem_bytes:
+                counters.peak_mem_bytes = peak
         counters.phase_wall_s["map"] = map_wall
         counters.phase_wall_s["shuffle"] = time.perf_counter() - start
         return tasks
@@ -1279,6 +1704,9 @@ class JobTaskGraph:
         limit/projection, write every output dataset, and return the
         aggregated job counters."""
         start = time.perf_counter()
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            tracemalloc.reset_peak()
         job, counters = self.job, self.counters
         buffers: Dict[str, List[Row]] = {o.task_id: [] for o in job.outputs}
         reduce_wall = 0.0
@@ -1287,6 +1715,9 @@ class JobTaskGraph:
             counters.reduce_compute_ops += result.counters.compute_ops
             counters.batches += result.counters.batches
             counters.batch_rows += result.counters.batch_rows
+            counters.merge_passes += result.counters.merge_passes
+            if result.counters.peak_mem_bytes > counters.peak_mem_bytes:
+                counters.peak_mem_bytes = result.counters.peak_mem_bytes
             reduce_wall += result.counters.wall_s
             for task_id, rows in result.buffers.items():
                 if task_id in buffers:
@@ -1297,7 +1728,11 @@ class JobTaskGraph:
         # the second output) must leave the datastore untouched — no
         # partially committed job — so the error-path unwind and any
         # retry of the whole job see a clean store.
-        staged: List[Tuple[OutputSpec, Table, List[Row]]] = []
+        staged: List[Tuple[OutputSpec, Table, int, int]] = []
+        memory = self.memory
+        threshold = (memory.intermediate_threshold()
+                     if memory is not None else None)
+        est_out = getattr(job, "est_output_bytes", None) or 0
         for out in job.outputs:
             rows = buffers[out.task_id]
             if job.limit is not None:
@@ -1311,11 +1746,31 @@ class JobTaskGraph:
                     f"job {job.job_id} output {out.dataset!r} is missing "
                     f"column {exc.args[0]!r}") from None
             schema = Schema(Column(c, ColumnType.ANY) for c in out.columns)
-            staged.append((out, Table(out.dataset, schema, rows), rows))
-        for out, table, rows in staged:
+            nbytes = rows_bytes(rows)
+            if threshold is not None and (nbytes > threshold
+                                          or est_out > threshold):
+                # Oversized intermediate (by measurement, or by the stats
+                # optimizer's plan estimate): materialize on disk so only
+                # the scan working set — not the dataset — stays resident.
+                # Measured bytes and the job-level estimate are identical
+                # on every executor, so the representation choice is too.
+                from repro.data.diskstore import write_disk_table
+                table: Table = write_disk_table(out.dataset, schema, rows)
+            else:
+                table = Table(out.dataset, schema, rows)
+            staged.append((out, table, len(rows), nbytes))
+        for out, table, nrows, nbytes in staged:
             self.datastore.write_intermediate(out.dataset, table)
-            counters.output_records[out.dataset] = len(rows)
-            counters.output_bytes[out.dataset] = rows_bytes(rows)
+            counters.output_records[out.dataset] = nrows
+            counters.output_bytes[out.dataset] = nbytes
+        if self._spill is not None:
+            # Runs are consumed; losing speculative duplicates that race
+            # this deletion surface as tolerated lost attempts.
+            memory.release(self._spill.run_paths())
+        if tracing:
+            peak = tracemalloc.get_traced_memory()[1]
+            if peak > counters.peak_mem_bytes:
+                counters.peak_mem_bytes = peak
         counters.phase_wall_s["reduce"] = reduce_wall
         counters.phase_wall_s["finalize"] = time.perf_counter() - start
         return counters
@@ -1323,7 +1778,8 @@ class JobTaskGraph:
 
 def _plan_splits(dataset: str, table: Table,
                  split_rows: Optional[object],
-                 batch: bool = False) -> List[InputSplit]:
+                 batch: bool = False,
+                 stream: bool = False) -> List[InputSplit]:
     """Cut one map input into splits (one split when ``split_rows`` is
     None or the table is smaller; ``"auto"`` resolves to
     :func:`auto_split_rows` of the table's row count; empty tables still
@@ -1335,7 +1791,27 @@ def _plan_splits(dataset: str, table: Table,
     list (the historical ``list(rows)`` duplicated every map input's
     memory) and the multi-split case keeps just the one slice each
     split needs.
+
+    With ``stream=True`` (a memory budget is active) disk-backed tables
+    are cut into *lazy* row-range splits with the exact same boundaries
+    an in-memory table of the same rows would get, so per-split
+    combining, counters, and partition loads are unchanged — but each
+    map task decodes only the segments overlapping its split, one at a
+    time, instead of materializing ``table.rows``.  Streamed splits
+    always carry ``columns=None`` (row-path scan); the spill shuffle
+    accepts both shapes, so a batch job can mix streamed disk inputs
+    with columnar in-memory inputs.
     """
+    from repro.data.diskstore import DiskTable
+    if stream and isinstance(table, DiskTable):
+        num = len(table)
+        if split_rows == "auto":
+            split_rows = auto_split_rows(num)
+        if split_rows is None or num <= split_rows:
+            return [InputSplit(dataset, 0, 0, table.row_range(0, num))]
+        return [InputSplit(dataset, i, start,
+                           table.row_range(start, start + split_rows))
+                for i, start in enumerate(range(0, num, split_rows))]
     rows = table.rows
     if split_rows == "auto":
         split_rows = auto_split_rows(len(rows))

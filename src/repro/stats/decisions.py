@@ -532,6 +532,16 @@ class StatsOptimizer:
                 label_to_job[n.label] = job
             tokens: List[str] = []
 
+            # Advisory output-size estimate for the out-of-core plane:
+            # under a memory budget, finalize targets disk up front for
+            # intermediates estimated past the budget's share instead of
+            # materializing them in memory first.  Representation only —
+            # never rows, counters, or the stats_decisions cache token.
+            terminal = self._terminal(list(draft.nodes))
+            job.est_output_bytes = int(
+                self.estimator.records_output(terminal)
+                * self.estimator.est_row_bytes(terminal))
+
             if (job.map_agg is None and not job.sort_output
                     and job.num_reducers >= 2):
                 self._apply_skew(draft, job, tokens)

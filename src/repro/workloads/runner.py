@@ -92,7 +92,9 @@ def run_translation(translation: Translation, datastore: Datastore,
                     max_attempts: Optional[int] = None,
                     speculate: bool = False,
                     data_plane: Optional[str] = None,
-                    stats: Optional[object] = None) -> QueryRunResult:
+                    stats: Optional[object] = None,
+                    memory_budget_mb: Optional[object] = None,
+                    track_memory: bool = False) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -131,6 +133,15 @@ def run_translation(translation: Translation, datastore: Datastore,
     cardinality-driven split sizing and keeps stats-optimized jobs from
     aliasing static cache entries; after the run the context's decision
     log is back-filled with observed actuals.
+
+    ``memory_budget_mb`` caps the engine's in-memory working set (a
+    number of MB, a shared :class:`~repro.mr.spill.MemoryBudget`, or
+    None for the ``REPRO_MEMORY_MB`` environment default): past the
+    budget the shuffle spills sorted runs to disk, reduces merge them
+    externally, and large intermediates become streaming disk tables —
+    rows and ``comparable()`` counters stay byte-identical to the
+    in-memory plane.  ``track_memory`` samples per-job ``tracemalloc``
+    peaks into ``peak_mem_bytes``.
     """
     from repro.stats.decisions import resolve_stats
     ctx = resolve_stats(stats)
@@ -139,7 +150,8 @@ def run_translation(translation: Translation, datastore: Datastore,
                       result_cache=cache, scheduler=scheduler,
                       fault_plan=fault_plan, max_attempts=max_attempts,
                       speculate=speculate, data_plane=data_plane,
-                      stats=ctx)
+                      stats=ctx, memory_budget_mb=memory_budget_mb,
+                      track_memory=track_memory)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     if ctx is not None:
@@ -173,7 +185,9 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               max_attempts: Optional[int] = None,
               speculate: bool = False,
               data_plane: Optional[str] = None,
-              stats: Optional[object] = None) -> QueryRunResult:
+              stats: Optional[object] = None,
+              memory_budget_mb: Optional[object] = None,
+              track_memory: bool = False) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -208,4 +222,6 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                            scheduler=scheduler, fault_plan=fault_plan,
                            max_attempts=max_attempts, speculate=speculate,
                            data_plane=data_plane,
-                           stats=ctx if ctx is not None else "off")
+                           stats=ctx if ctx is not None else "off",
+                           memory_budget_mb=memory_budget_mb,
+                           track_memory=track_memory)

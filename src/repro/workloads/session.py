@@ -62,7 +62,10 @@ class WorkloadSession:
                  fault_plan: Optional[FaultPlan] = None,
                  max_attempts: Optional[int] = None,
                  speculate: bool = False,
-                 stats: Optional[object] = None):
+                 stats: Optional[object] = None,
+                 memory_budget_mb: Optional[object] = None,
+                 track_memory: bool = False):
+        from repro.mr.spill import resolve_memory_budget
         from repro.stats.decisions import resolve_stats
         self.datastore = datastore
         self.mode = mode
@@ -83,6 +86,11 @@ class WorkloadSession:
         #: the result cache, versioned on the same datastore stamps so a
         #: mutation invalidates both in one step); None = static session
         self.stats_context = resolve_stats(stats)
+        #: session-shared out-of-core budget: resolved once so every
+        #: query in the stream spills into one budget/temp directory
+        #: (None = in-memory, or the ``REPRO_MEMORY_MB`` default)
+        self.memory = resolve_memory_budget(memory_budget_mb)
+        self.track_memory = track_memory
         self.runs: List[SessionRun] = []
         self._counter = itertools.count(1)
 
@@ -100,7 +108,8 @@ class WorkloadSession:
             fault_plan=self.fault_plan, max_attempts=self.max_attempts,
             speculate=self.speculate,
             stats=(self.stats_context if self.stats_context is not None
-                   else "off"))
+                   else "off"),
+            memory_budget_mb=self.memory, track_memory=self.track_memory)
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,

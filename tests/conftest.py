@@ -129,3 +129,28 @@ if os.environ.get("REPRO_SUITE_BATCH") == "0":
 
 if os.environ.get("REPRO_SUITE_STATS") == "0":
     os.environ["REPRO_STATS"] = "off"
+
+
+# -- out-of-core suite leg (REPRO_SUITE_SPILL=<MB>) --------------------------
+#
+# The spill plane is byte-identical to the in-memory plane by contract,
+# so the whole tier-1 suite must pass unchanged when every Runtime that
+# did not ask for a budget gets one.  The env value is the budget in MB
+# (e.g. ``REPRO_SUITE_SPILL=0.05`` spills aggressively; ``=1`` exercises
+# the budget bookkeeping with mostly in-memory execution).  One shared
+# MemoryBudget keeps the whole run in a single spill directory.
+
+if os.environ.get("REPRO_SUITE_SPILL"):
+    from repro.mr.runtime import Runtime as _SpillRuntime
+    from repro.mr.spill import resolve_memory_budget as _resolve_budget
+
+    _SUITE_BUDGET = _resolve_budget(
+        float(os.environ["REPRO_SUITE_SPILL"]))
+    _orig_budget_init = _SpillRuntime.__init__
+
+    def _budgeted_init(self, *args, **kwargs):
+        if kwargs.get("memory_budget_mb") is None:
+            kwargs["memory_budget_mb"] = _SUITE_BUDGET
+        _orig_budget_init(self, *args, **kwargs)
+
+    _SpillRuntime.__init__ = _budgeted_init

@@ -1,0 +1,383 @@
+"""Property-based tests for the out-of-core spill plane: for ANY
+random query in the supported subset, ANY split size, ANY
+executor/scheduler combination, and with random fault injection
+layered on top, running under a memory budget tiny enough to force
+disk spills is byte-identical to the unbudgeted in-memory plane —
+rows, ``comparable()`` counters, and every intermediate dataset.
+
+This is the spill plane's load-bearing contract (no byte may change
+when the shuffle goes through sorted on-disk runs and reduces merge
+them externally), generalized the same way
+``tests/test_property_batch_plane.py`` generalizes the batch-plane
+examples: the invariant must hold for *every* plan, not just the
+seeds we picked.  The file also pins the supporting machinery: frame
+checksums reject corruption, disk tables round-trip rows and size
+estimates exactly, and ``drop_intermediates`` no longer leaks version
+stamps.
+"""
+
+import itertools
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Schema
+from repro.catalog.types import ColumnType as T
+from repro.cmf import CommonReducer
+from repro.core.translator import translate_sql
+from repro.data import Datastore, Table
+from repro.data.diskstore import disk_table_from, open_disk_table
+from repro.errors import ExecutionError
+from repro.mr import (
+    EmitSpec,
+    FaultPlan,
+    MapInput,
+    MRJob,
+    OutputSpec,
+    ParallelExecutor,
+    Runtime,
+    make_executor,
+)
+from repro.mr.spill import (MemoryBudget, iter_run, merge_records,
+                            resolve_memory_budget, write_run)
+from repro.mr.kv import TaggedValue
+from repro.ops import SPTask, TaskInput
+from repro.workloads.runner import build_datastore
+
+_ns = itertools.count(1)
+
+MAX_ATTEMPTS = 20
+
+#: ~52 bytes — a partition's share comes to single-digit bytes, so even
+#: hypothesis-sized tables (whose per-record serialized estimate is ~6
+#: bytes) overflow it and spill, keeping the identity check non-vacuous.
+TINY_BUDGET_MB = 0.00005
+
+fact_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "g": st.integers(0, 3),
+        "v": st.one_of(st.none(), st.integers(-50, 50)),
+    }), min_size=0, max_size=25)
+
+dim_rows = st.lists(
+    st.fixed_dictionaries({
+        "k": st.integers(0, 6),
+        "w": st.integers(0, 9),
+    }), min_size=0, max_size=10)
+
+split_choices = st.sampled_from([1, 7, None, 10_000])
+worker_choices = st.integers(1, 5)  # 1 selects the serial executor
+scheduler_choices = st.sampled_from(["dataflow", "wave"])
+seeds = st.integers(0, 2 ** 16)
+probabilities = st.floats(0.0, 0.3, allow_nan=False)
+
+QUERY_SHAPES = [
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g",
+    "SELECT f.g, count(DISTINCT f.v) AS a FROM fact AS f "
+    "WHERE f.v > 0 GROUP BY f.g",
+    "SELECT f.g, d.w FROM fact AS f, dim AS d WHERE f.k = d.k",
+    "SELECT d.w, avg(f.v) AS a FROM fact AS f, dim AS d "
+    "WHERE f.k = d.k GROUP BY d.w",
+    "SELECT f.k, f.v FROM fact AS f, "
+    "(SELECT g, avg(v) AS a FROM fact GROUP BY g) AS m "
+    "WHERE f.g = m.g AND f.v < m.a",
+    "SELECT count(*) AS n, max(f.v) AS m FROM fact AS f",
+    "SELECT f.g, sum(f.v) AS a FROM fact AS f GROUP BY f.g "
+    "ORDER BY a DESC LIMIT 3",
+]
+
+
+def make_datastore(fact, dim, on_disk=False):
+    ds = Datastore(Catalog())
+    fact_t = Table("fact", Schema.of(
+        ("k", T.INT), ("g", T.INT), ("v", T.INT)), fact)
+    dim_t = Table("dim", Schema.of(("k", T.INT), ("w", T.INT)), dim)
+    if on_disk:
+        # tiny segments so even hypothesis tables span several frames
+        fact_t = disk_table_from(fact_t, segment_rows=4)
+        dim_t = disk_table_from(dim_t, segment_rows=4)
+    ds.load_table(fact_t)
+    ds.load_table(dim_t)
+    return ds
+
+
+def snapshot(datastore, jobs):
+    return {name: list(datastore.intermediate(name).rows)
+            for job in jobs for name in job.output_datasets}
+
+
+def check_spill_identical(jobs, dependencies, datastore,
+                          workers=1, scheduler="dataflow",
+                          split_rows=None, fault_plan=None,
+                          budget_mb=TINY_BUDGET_MB):
+    """In-memory plane (serial, fault-free) vs spill plane (full
+    config, tiny budget)."""
+    mem_rt = Runtime(datastore, split_rows=split_rows)
+    runs_mem = mem_rt.run_jobs(jobs, dependencies=dependencies)
+    mid_mem = snapshot(datastore, jobs)
+
+    kwargs = {}
+    if fault_plan is not None:
+        kwargs = {"fault_plan": fault_plan, "max_attempts": MAX_ATTEMPTS}
+    spill_rt = Runtime(datastore, executor=make_executor(workers),
+                       scheduler=scheduler, split_rows=split_rows,
+                       memory_budget_mb=budget_mb, **kwargs)
+    runs_spill = spill_rt.run_jobs(jobs, dependencies=dependencies)
+
+    assert [r.counters.comparable() for r in runs_spill] == \
+        [r.counters.comparable() for r in runs_mem]
+    assert snapshot(datastore, jobs) == mid_mem
+    return runs_spill
+
+
+common = settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@common
+@given(fact=fact_rows, dim=dim_rows, shape=st.sampled_from(QUERY_SHAPES),
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_spill_plane_identical_on_random_plans(fact, dim, shape, workers,
+                                               scheduler, split_rows):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"sp{next(_ns)}")
+    runs = check_spill_identical(tr.jobs, tr.dependencies(), ds,
+                                 workers=workers, scheduler=scheduler,
+                                 split_rows=split_rows)
+    if sum(r.counters.reduce_input_records for r in runs) >= 10:
+        assert sum(r.counters.spill_files for r in runs) > 0, \
+            "budget too large — identity was checked vacuously"
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, dim=dim_rows, shape=st.sampled_from(QUERY_SHAPES),
+       seed=seeds, probability=probabilities,
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_spill_plane_identical_under_faults(fact, dim, shape, seed,
+                                            probability, workers,
+                                            scheduler, split_rows):
+    ds = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds.catalog,
+                       namespace=f"spf{next(_ns)}")
+    check_spill_identical(tr.jobs, tr.dependencies(), ds,
+                          workers=workers, scheduler=scheduler,
+                          split_rows=split_rows,
+                          fault_plan=FaultPlan(probability, seed=seed))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, dim=dim_rows, shape=st.sampled_from(QUERY_SHAPES),
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_streaming_disk_scans_identical(fact, dim, shape, workers,
+                                        scheduler, split_rows):
+    """Base tables living on disk (streamed segment by segment under
+    the budget) produce the same bytes as the same rows in memory."""
+    ds_mem = make_datastore(fact, dim)
+    tr = translate_sql(shape, catalog=ds_mem.catalog,
+                       namespace=f"sd{next(_ns)}")
+    mem_rt = Runtime(ds_mem, split_rows=split_rows)
+    runs_mem = mem_rt.run_jobs(tr.jobs, dependencies=tr.dependencies())
+    mid_mem = snapshot(ds_mem, tr.jobs)
+
+    ds_disk = make_datastore(fact, dim, on_disk=True)
+    spill_rt = Runtime(ds_disk, executor=make_executor(workers),
+                       scheduler=scheduler, split_rows=split_rows,
+                       memory_budget_mb=TINY_BUDGET_MB)
+    runs_spill = spill_rt.run_jobs(tr.jobs,
+                                   dependencies=tr.dependencies())
+    assert [r.counters.comparable() for r in runs_spill] == \
+        [r.counters.comparable() for r in runs_mem]
+    assert snapshot(ds_disk, tr.jobs) == mid_mem
+
+
+# -- process pools: hand-built picklable jobs (translator jobs carry
+# closures and cannot cross a process boundary) ------------------------------
+
+def _emit_kv(record):
+    return (record["k"],), {"v": record["v"]}
+
+
+def picklable_chain(ns):
+    def job(job_id, dataset, out):
+        task = SPTask("sp", TaskInput.shuffle("in", ["k"]))
+        return MRJob(
+            job_id=job_id, name="pass",
+            map_inputs=[MapInput(dataset, [EmitSpec("in", _emit_kv)])],
+            reducer=CommonReducer([task]),
+            outputs=[OutputSpec(out, "sp", ["k", "v"])])
+    return [job(f"{ns}.a", "fact", f"{ns}.a.out"),
+            job(f"{ns}.b", f"{ns}.a.out", f"{ns}.b.out")]
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fact=fact_rows, scheduler=scheduler_choices,
+       split_rows=st.sampled_from([1, 7, 8, 10_000]))
+def test_spill_plane_identical_on_process_pools(fact, scheduler,
+                                                split_rows):
+    ds = make_datastore(fact, [])
+    ns = f"spp{next(_ns)}"
+    jobs = picklable_chain(ns)
+    mem_rt = Runtime(ds, split_rows=split_rows)
+    runs_mem = mem_rt.run_jobs(picklable_chain(ns))
+    mid_mem = snapshot(ds, jobs)
+    spill_rt = Runtime(ds, executor=ParallelExecutor(max_workers=2,
+                                                     kind="process"),
+                       scheduler=scheduler, split_rows=split_rows,
+                       memory_budget_mb=TINY_BUDGET_MB)
+    runs_spill = spill_rt.run_jobs(jobs)
+    assert snapshot(ds, jobs) == mid_mem
+    assert [r.counters.comparable() for r in runs_spill] == \
+        [r.counters.comparable() for r in runs_mem]
+
+
+# -- paper workload sample ---------------------------------------------------
+
+_paper_store = None
+
+
+def paper_store():
+    global _paper_store
+    if _paper_store is None:
+        _paper_store = build_datastore(tpch_scale=0.002,
+                                       clickstream_users=40, seed=11)
+    return _paper_store
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(["q_agg", "q_csa", "q17"]),
+       workers=worker_choices, scheduler=scheduler_choices,
+       split_rows=split_choices)
+def test_spill_plane_identical_on_paper_queries(name, workers, scheduler,
+                                                split_rows):
+    from repro.workloads.queries import paper_queries
+    ds = paper_store()
+    tr = translate_sql(paper_queries()[name], catalog=ds.catalog,
+                       namespace=f"spq{next(_ns)}.{name}")
+    runs = check_spill_identical(tr.jobs, tr.dependencies(), ds,
+                                 workers=workers, scheduler=scheduler,
+                                 split_rows=split_rows)
+    if sum(r.counters.reduce_input_records for r in runs) >= 32:
+        assert sum(r.counters.spill_files for r in runs) > 0
+
+
+# -- supporting machinery -----------------------------------------------------
+
+
+def _records(n):
+    return [((0, 0, i), (i % 5,), TaggedValue(1, {"v": i}))
+            for i in range(n)]
+
+
+def test_corrupted_spill_frame_is_rejected(tmp_path):
+    path = str(tmp_path / "run0.run")
+    recs = sorted(_records(100), key=lambda r: (r[1], r[0]))
+    write_run(path, recs)
+    assert list(iter_run(path)) == recs
+
+    data = bytearray(open(path, "rb").read())
+    data[len(data) // 2] ^= 0xFF  # flip one payload bit
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    with pytest.raises(ExecutionError, match="checksum mismatch"):
+        list(iter_run(path))
+
+    with open(path, "wb") as fh:  # truncate mid-frame
+        fh.write(bytes(data[:len(data) // 2]))
+    with pytest.raises(ExecutionError, match="truncated spill frame"):
+        list(iter_run(path))
+
+
+def test_merge_is_scatter_independent(tmp_path):
+    recs = sorted(_records(60), key=lambda r: (r[1], r[0]))
+    one = str(tmp_path / "one.run")
+    write_run(one, recs)
+    scattered = []
+    for i in range(3):  # deal records round-robin across three runs
+        part = sorted(recs[i::3], key=lambda r: (r[1], r[0]))
+        path = str(tmp_path / f"part{i}.run")
+        write_run(path, part)
+        scattered.append(path)
+    key = lambda k: k
+    assert list(merge_records([iter_run(p) for p in scattered], key)) == \
+        list(merge_records([iter_run(one)], key))
+
+
+def test_disk_table_round_trip(tmp_path):
+    rows = [{"a": i, "b": f"x\t{i}\n\\", "c": None if i % 3 else i / 7,
+             "d": i % 2 == 0, "e": (i, "t")} for i in range(100)]
+    # schema types are declarative; the codec dispatches on the runtime
+    # type, so bool/tuple values round-trip regardless of column type
+    schema = Schema.from_spec({"a": "int", "b": "string", "c": "float",
+                               "d": "int", "e": "string"})
+    mem = Table("t", schema, [dict(r) for r in rows])
+    disk = disk_table_from(mem, segment_rows=7,
+                           directory=str(tmp_path))
+    assert len(disk) == len(mem)
+    assert disk.rows == mem.rows
+    assert list(disk) == mem.rows
+    assert disk.estimated_bytes() == mem.estimated_bytes()
+    assert list(disk.row_range(10, 25)) == mem.rows[10:25]
+    assert list(disk.row_range(95, 10_000)) == mem.rows[95:]
+    assert len(disk.row_range(3, 3)) == 0
+
+    reopened = open_disk_table("t", schema, disk.path)
+    assert reopened.rows == mem.rows
+    assert reopened.estimated_bytes() == mem.estimated_bytes()
+
+    with pytest.raises(ExecutionError, match="immutable"):
+        disk.append({"a": 1, "b": "", "c": None, "d": False, "e": ""})
+
+
+def test_resolve_memory_budget(monkeypatch):
+    assert resolve_memory_budget(None) is None
+    monkeypatch.setenv("REPRO_MEMORY_MB", "2")
+    env = resolve_memory_budget(None)
+    assert env is not None and env.budget_bytes == 2 * 1024 * 1024
+    shared = MemoryBudget(1024)
+    assert resolve_memory_budget(shared) is shared
+    with pytest.raises(ExecutionError):
+        resolve_memory_budget(0)
+    with pytest.raises(ExecutionError):
+        resolve_memory_budget("lots")
+
+
+def test_budget_cleans_spill_dir_on_close():
+    budget = MemoryBudget(1024)
+    path = budget.new_run_path("job1/part0")
+    with open(path, "wb") as fh:
+        fh.write(b"x")
+    spill_dir = budget.spill_dir
+    assert os.path.exists(path)
+    budget.close()
+    assert not os.path.exists(spill_dir)
+
+
+def test_drop_intermediates_prunes_version_stamps():
+    ds = Datastore(Catalog())
+    base = Table("fact", Schema.of(("k", T.INT)), [{"k": 1}])
+    ds.load_table(base)
+    stamp_before = ds.version("fact")
+    for i in range(5):
+        ds.write_intermediate(f"ns.out{i}",
+                              Table(f"ns.out{i}",
+                                    Schema.of(("k", T.INT)), []))
+    assert len(ds._versions) == 6
+    ds.drop_intermediates()
+    # intermediates' stamps go with their tables; base tables keep theirs
+    assert set(ds._versions) == {"fact"}
+    assert ds.version("fact") == stamp_before
+    # the clock never rewinds: a re-registered name gets a fresh stamp
+    ds.write_intermediate("ns.out0",
+                          Table("ns.out0", Schema.of(("k", T.INT)), []))
+    assert ds._versions["ns.out0"] > 6
