@@ -1,0 +1,304 @@
+"""Whole-stage codegen benchmark: compiled kernels vs the interpreter.
+
+Both arms run the **same translation** — :func:`specialize` builds the
+codegen twin without mutating the interpreted job, so before/after run
+identical plans on identical data in the same process:
+
+* **macro** — the full TPC-H/clickstream paper workload end to end,
+  interpreted (``codegen=False``) vs compiled (``codegen=True``) on
+  both data planes, with rows and every ``comparable()`` counter
+  asserted byte-identical across all four arms.  The headline figure
+  is the geometric mean of the per-query row-plane ratios (each query
+  weighted equally); the batch plane is reported as a no-regression
+  check — its kernels were already vectorized, so codegen mostly
+  relieves the per-record scan path;
+* **sweep** — identity re-asserted under the rest of the engine
+  configuration space: the wave scheduler, a parallel executor, fault
+  injection, and an aggressive spill budget;
+* **micro** — the generated whole-split loop against the per-record
+  interpreted emit on q17's base-table scans, and the generated
+  aggregate fold against the accumulator path.
+
+Writes ``BENCH_codegen.json`` at the repo root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py          # full
+    PYTHONPATH=src python benchmarks/bench_codegen.py --smoke  # CI
+
+``--smoke`` uses a tiny dataset and one repeat, and exits nonzero
+unless every arm is byte-identical and the row-plane geomean is a win
+(> 1.0; the committed full run shows the real margin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+from typing import Dict
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import measure, speedup, write_json  # noqa: E402
+
+from repro.core.translator import translate_sql
+from repro.expr.codegen import specialize
+from repro.mr.faultplan import FaultPlan
+from repro.mr.kv import TaggedValue
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore, run_translation
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_codegen.json"))
+
+
+def _signature(result) -> tuple:
+    """Rows + comparable counters: what byte-identity pins per arm
+    (codegen bookkeeping is excluded from ``comparable()``, so the
+    toggle itself cannot leak in)."""
+    return (result.rows, [r.counters.comparable() for r in result.runs])
+
+
+def _translations(datastore):
+    return {name: translate_sql(sql, catalog=datastore.catalog,
+                                namespace=f"bench.{name}", num_reducers=8)
+            for name, sql in sorted(paper_queries().items())}
+
+
+# ---------------------------------------------------------------------------
+# Macro: the paper workload end to end
+# ---------------------------------------------------------------------------
+
+def macro_benchmark(datastore, repeats: int) -> Dict[str, object]:
+    queries: Dict[str, object] = {}
+    totals = {"interp_row": 0.0, "codegen_row": 0.0,
+              "interp_batch": 0.0, "codegen_batch": 0.0}
+    all_identical = True
+    for name, tr in _translations(datastore).items():
+        arms = {}
+        for arm, (plane, codegen) in {
+                "interp_row": ("row", False),
+                "codegen_row": ("row", True),
+                "interp_batch": ("batch", False),
+                "codegen_batch": ("batch", True)}.items():
+            arms[arm] = measure(
+                f"{arm}:{name}",
+                lambda tr=tr, plane=plane, codegen=codegen: run_translation(
+                    tr, datastore, data_plane=plane, stats="off",
+                    codegen=codegen),
+                repeats=repeats)
+            totals[arm] += arms[arm].median_s
+
+        sig = _signature(arms["interp_row"].result)
+        identical = all(_signature(arms[a].result) == sig for a in arms)
+        all_identical = all_identical and identical
+        codegen_counters = [r.counters
+                            for r in arms["codegen_row"].result.runs]
+        queries[name] = {
+            **{f"{arm}_s": m.median_s for arm, m in arms.items()},
+            "speedup_row": speedup(arms["interp_row"], arms["codegen_row"]),
+            "speedup_batch": speedup(arms["interp_batch"],
+                                     arms["codegen_batch"]),
+            "identical": identical,
+            "jobs": len(arms["codegen_row"].result.runs),
+            "rows": len(arms["codegen_row"].result.rows),
+            "codegen_compiles": sum(c.codegen_compiles
+                                    for c in codegen_counters),
+            "codegen_cache_hits": sum(c.codegen_cache_hits
+                                      for c in codegen_counters),
+            "codegen_fallbacks": sum(c.codegen_fallbacks
+                                     for c in codegen_counters),
+        }
+
+    def geomean(key: str) -> float:
+        ratios = [entry[key] for entry in queries.values()]
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    return {
+        "queries": queries,
+        **{f"total_{arm}_s": t for arm, t in totals.items()},
+        "speedup_row": geomean("speedup_row"),
+        "speedup_batch": geomean("speedup_batch"),
+        "speedup_row_wall": (totals["interp_row"] / totals["codegen_row"]
+                             if totals["codegen_row"] else float("inf")),
+        "fallbacks": sum(e["codegen_fallbacks"] for e in queries.values()),
+        "identical": all_identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep: identity across the engine configuration space
+# ---------------------------------------------------------------------------
+
+SWEEP_CONFIGS = {
+    "wave_scheduler": {"scheduler": "wave"},
+    "parallel_2": {"parallelism": 2},
+    "fault_injection": {"fault_plan": FaultPlan(0.05, seed=3),
+                        "max_attempts": 20},
+    "spill_budget": {"memory_budget_mb": 0.05},
+}
+
+
+def identity_sweep(datastore) -> Dict[str, bool]:
+    """Codegen vs interpreted under every engine configuration the
+    contract names — one run each, identity is the measurement."""
+    tr = translate_sql(paper_queries()["q17"], catalog=datastore.catalog,
+                       namespace="bench.sweep", num_reducers=8)
+    verdicts: Dict[str, bool] = {}
+    for name, kwargs in SWEEP_CONFIGS.items():
+        compiled = run_translation(tr, datastore, codegen=True, **kwargs)
+        interp = run_translation(tr, datastore, codegen=False, **kwargs)
+        verdicts[name] = _signature(compiled) == _signature(interp)
+    return verdicts
+
+
+# ---------------------------------------------------------------------------
+# Micro: the generated kernels in isolation
+# ---------------------------------------------------------------------------
+
+def micro_emit_loop(datastore, repeats: int) -> Dict[str, object]:
+    """The fused scan→filter→project→emit loop vs the per-record
+    interpreted closures, on q17's base-table map inputs."""
+    tr = translate_sql(paper_queries()["q17"], catalog=datastore.catalog,
+                       namespace="bench.micro", num_reducers=8)
+    job = tr.jobs[0]
+    new_job, _ = specialize(job)
+    assert new_job is not None
+    work = []
+    for mi, new_mi in zip(job.map_inputs, new_job.map_inputs):
+        rows = datastore.table(mi.dataset).rows
+        for spec, new_spec in zip(mi.specs, new_mi.specs):
+            if new_spec.cg_loop is not None:
+                work.append((spec, new_spec, rows))
+    assert work
+
+    def interpreted():
+        # The engine's single-spec interpreted loop, verbatim shape:
+        # per-record emit closure, tag wrap, pair append.
+        n = 0
+        for spec, _, rows in work:
+            pairs = []
+            append, emit = pairs.append, spec.emit
+            tag = frozenset((spec.role,))
+            for record in rows:
+                pair = emit(record)
+                if pair is not None:
+                    append((pair[0], TaggedValue(tag, pair[1])))
+            n += len(pairs)
+        return n
+
+    def generated():
+        return sum(len(new_spec.cg_loop(rows))
+                   for _, new_spec, rows in work)
+
+    interp = measure("interpreted", interpreted, repeats=repeats,
+                     meta={"specs": len(work)})
+    gen = measure("generated", generated, repeats=repeats,
+                  meta={"specs": len(work)})
+    assert gen.result == interp.result
+    return {"interpreted": interp.to_dict(), "generated": gen.to_dict(),
+            "speedup": speedup(interp, gen)}
+
+
+def micro_agg_fold(datastore, repeats: int) -> Dict[str, object]:
+    """The generated per-key fold vs the accumulator machinery, on the
+    reduce side of a grouped aggregation."""
+    sql = ("SELECT l_orderkey, sum(l_quantity) AS qty, count(*) AS n, "
+           "avg(l_extendedprice) AS p FROM lineitem GROUP BY l_orderkey")
+    tr = translate_sql(sql, catalog=datastore.catalog,
+                       namespace="bench.fold", num_reducers=8)
+
+    interp = measure(
+        "interpreted",
+        lambda: run_translation(tr, datastore, data_plane="row",
+                                stats="off", codegen=False),
+        repeats=repeats)
+    gen = measure(
+        "generated",
+        lambda: run_translation(tr, datastore, data_plane="row",
+                                stats="off", codegen=True),
+        repeats=repeats)
+    assert _signature(gen.result) == _signature(interp.result)
+    return {"interpreted": interp.to_dict(), "generated": gen.to_dict(),
+            "speedup": speedup(interp, gen)}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny data, one repeat; exit 1 unless every "
+                             "arm is identical and the row plane wins")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="TPC-H scale factor for the macro workload")
+    parser.add_argument("--users", type=int, default=120,
+                        help="clickstream users for the macro workload")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.users, args.repeats = 0.002, 20, 1
+
+    datastore = build_datastore(tpch_scale=args.scale,
+                                clickstream_users=args.users, seed=7)
+
+    macro = macro_benchmark(datastore, args.repeats)
+    sweep = identity_sweep(datastore)
+    micro = {
+        "emit_loop": micro_emit_loop(datastore, args.repeats),
+        "agg_fold": micro_agg_fold(datastore, args.repeats),
+    }
+
+    payload = {
+        "benchmark": "codegen",
+        "config": {"tpch_scale": args.scale, "clickstream_users": args.users,
+                   "seed": 7, "repeats": args.repeats, "smoke": args.smoke},
+        "macro": macro,
+        "identity_sweep": sweep,
+        "micro": micro,
+    }
+    write_json(args.out, payload)
+
+    print(f"macro (row plane): interpreted "
+          f"{macro['total_interp_row_s'] * 1e3:.1f}ms -> codegen "
+          f"{macro['total_codegen_row_s'] * 1e3:.1f}ms "
+          f"(geomean {macro['speedup_row']:.2f}x, "
+          f"wall {macro['speedup_row_wall']:.2f}x); "
+          f"batch plane geomean {macro['speedup_batch']:.2f}x; "
+          f"fallbacks={macro['fallbacks']} "
+          f"identical={macro['identical']}")
+    for name, entry in sorted(macro["queries"].items()):
+        print(f"   {name:<12} row {entry['interp_row_s'] * 1e3:>8.1f}ms -> "
+              f"{entry['codegen_row_s'] * 1e3:>8.1f}ms "
+              f"({entry['speedup_row']:>5.2f}x)  batch "
+              f"{entry['interp_batch_s'] * 1e3:>7.1f}ms -> "
+              f"{entry['codegen_batch_s'] * 1e3:>7.1f}ms "
+              f"({entry['speedup_batch']:>5.2f}x)  "
+              f"compiles={entry['codegen_compiles']} "
+              f"hits={entry['codegen_cache_hits']}")
+    for name, ok in sweep.items():
+        print(f"sweep {name:<16} identical={ok}")
+    for name, entry in micro.items():
+        print(f"micro {name:<16} {entry['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+
+    if not macro["identical"] or not all(sweep.values()):
+        print("FAIL: codegen and interpreted engines disagree",
+              file=sys.stderr)
+        return 1
+    if macro["fallbacks"]:
+        print(f"FAIL: {macro['fallbacks']} codegen fallback(s) on the "
+              f"paper workload", file=sys.stderr)
+        return 1
+    if args.smoke and macro["speedup_row"] <= 1.0:
+        print(f"FAIL: smoke row-plane speedup "
+              f"{macro['speedup_row']:.2f}x <= 1.0", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

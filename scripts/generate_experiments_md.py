@@ -344,6 +344,58 @@ def out_of_core_section(path="BENCH_out_of_core.json"):
     return out.getvalue()
 
 
+def codegen_section(path="BENCH_codegen.json"):
+    """Render the whole-stage codegen benchmark, if it has been run
+    (``PYTHONPATH=src python benchmarks/bench_codegen.py``).
+
+    Real in-process milliseconds: the paper workload executed from one
+    translation by the interpreted closures and by the generated fused
+    kernels, on both data planes, with rows and ``comparable()``
+    counters asserted byte-identical across all four arms and under a
+    sweep of the remaining engine configurations.
+    """
+    if not os.path.exists(path):
+        return ""
+    with open(path) as fh:
+        data = json.load(fh)
+    cfg, macro, micro = data["config"], data["macro"], data["micro"]
+    sweep = data["identity_sweep"]
+    out = io.StringIO()
+    out.write("\n## Whole-stage code generation "
+              "(compiled kernels vs the interpreter, real time)\n\n")
+    out.write(f"From `{os.path.basename(path)}` "
+              f"(seed {cfg['seed']}, TPC-H SF {cfg['tpch_scale']}, "
+              f"{cfg['repeats']} repeats"
+              f"{', smoke run' if cfg.get('smoke') else ''}): row-plane "
+              f"geomean speedup **{macro['speedup_row']:.2f}x** "
+              f"(interpreted {macro['total_interp_row_s'] * 1e3:.0f}ms -> "
+              f"compiled {macro['total_codegen_row_s'] * 1e3:.0f}ms), "
+              f"batch plane {macro['speedup_batch']:.2f}x (its kernels "
+              "were already vectorized), "
+              f"{macro['fallbacks']} fallbacks, outputs "
+              f"{'identical' if macro['identical'] else 'DIVERGED'}; "
+              "identity also holds under "
+              + ", ".join(sorted(sweep))
+              + (" (all pass)" if all(sweep.values())
+                 else " (SOME FAIL)") + ".\n\n")
+    out.write("| query | interp row_ms | codegen row_ms | row speedup | "
+              "interp batch_ms | codegen batch_ms | batch speedup | "
+              "identical |\n")
+    out.write("|---|---|---|---|---|---|---|---|\n")
+    for name, q in sorted(macro["queries"].items()):
+        out.write(f"| {name} | {q['interp_row_s'] * 1e3:.1f} "
+                  f"| {q['codegen_row_s'] * 1e3:.1f} "
+                  f"| {q['speedup_row']:.2f}x "
+                  f"| {q['interp_batch_s'] * 1e3:.1f} "
+                  f"| {q['codegen_batch_s'] * 1e3:.1f} "
+                  f"| {q['speedup_batch']:.2f}x "
+                  f"| {'yes' if q['identical'] else 'NO'} |\n")
+    out.write("\nMicro-kernels vs interpreted: "
+              + ", ".join(f"{name} {micro[name]['speedup']:.2f}x"
+                          for name in sorted(micro)) + ".\n")
+    return out.getvalue()
+
+
 def main():
     start = time.time()
     workload = standard_workload()
@@ -418,6 +470,7 @@ def main():
     out.write(fault_tolerance_section())
     out.write(adaptive_stats_section())
     out.write(out_of_core_section())
+    out.write(codegen_section())
     out.write(f"\n*Generated in {time.time() - start:.0f}s from the "
               "standard workload (TPC-H SF 0.005, 120 click-stream users) "
               "with seed 2011.*\n")

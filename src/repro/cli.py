@@ -87,6 +87,21 @@ def cmd_explain(args) -> int:
             rows = est.records_output(node)
             print(f"   {node.label:<8} est_rows={rows:>10} "
                   f"est_row_bytes={est.est_row_bytes(node):>6.1f}")
+
+    if args.codegen:
+        from repro.expr.codegen import job_source
+        translation = translate_sql(args.sql, mode="ysmart",
+                                    catalog=ds.catalog,
+                                    namespace="explain")
+        print("\n== Generated kernels (whole-stage codegen) ==")
+        for job in translation.jobs:
+            source = job_source(job)
+            if source is None:
+                print(f"\n-- {job.job_id}: interpreted only "
+                      f"(no generable stages)")
+            else:
+                print(f"\n-- {job.job_id} --")
+                print(source.rstrip("\n"))
     return 0
 
 
@@ -135,7 +150,8 @@ def cmd_run(args) -> int:
                        speculate=args.speculate,
                        data_plane=args.data_plane,
                        memory_budget_mb=args.memory_mb,
-                       track_memory=args.timings)
+                       track_memory=args.timings,
+                       codegen=False if args.no_codegen else None)
     workers = ""
     if args.parallel != 1:
         shown = (result.trace.workers if result.trace is not None
@@ -173,6 +189,20 @@ def cmd_run(args) -> int:
             else:
                 plane = "row plane (no batches)"
             print(f"   {run.name:<30} {plane}")
+        print("per-job codegen (compiled whole-stage kernels):")
+        for run in result.runs:
+            c = run.counters
+            if args.no_codegen:
+                gen = "interpreted (--no-codegen)"
+            elif c.codegen_compiles or c.codegen_cache_hits:
+                gen = (f"compiles={c.codegen_compiles:>3} "
+                       f"cache_hits={c.codegen_cache_hits:>3} "
+                       f"fallbacks={c.codegen_fallbacks:>3}")
+            else:
+                gen = ("interpreted (REPRO_CODEGEN=0)"
+                       if c.codegen_fallbacks == 0
+                       else f"fallbacks={c.codegen_fallbacks:>3}")
+            print(f"   {run.name:<30} {gen}")
         print("per-job out-of-core spill (runs written under the "
               "memory budget):")
         for run in result.runs:
@@ -379,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explain", help="show plan, correlations, and jobs")
     p.add_argument("sql")
+    p.add_argument("--codegen", action="store_true",
+                   help="also print the generated whole-stage Python "
+                        "kernels for each translated job")
     _add_data_args(p)
     p.set_defaults(fn=cmd_explain)
 
@@ -435,6 +468,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="columnar batch engine (default) or the per-row "
                         "engine; rows and comparable counters are "
                         "byte-identical either way")
+    p.add_argument("--no-codegen", action="store_true",
+                   help="run the interpreted engine instead of compiled "
+                        "whole-stage kernels (rows, partitions, and "
+                        "comparable counters are byte-identical)")
     p.add_argument("--memory-mb", type=float, default=None, metavar="N",
                    help="out-of-core memory budget in MB: the shuffle "
                         "spills sorted runs to disk past its share, "

@@ -32,6 +32,7 @@ from repro.core.correlation import CorrelationAnalysis
 from repro.core.jobgen import JobDraft, JobGraph
 from repro.data.table import Row
 from repro.errors import TranslationError
+from repro.expr.codegen import AggEmit, RawEmit, StagedEmit
 from repro.expr.compiler import compile_batch_predicate, compile_predicate
 from repro.mr.job import (BatchEmit, EmitSpec, MRJob, MapAggSpec, MapInput,
                           OutputSpec)
@@ -272,7 +273,9 @@ class JobCompiler:
                             {p: record[c] for p, c in payload_src})
 
             return EmitSpec(role, emit,
-                            _raw_batch(key_src, payload_src)), payload_map
+                            _raw_batch(key_src, payload_src),
+                            cg=RawEmit(role, tuple(key_src),
+                                       tuple(payload_src))), payload_map
 
         if not has_project:
             # Filter-only chain: no stage renames a column, so the
@@ -304,7 +307,10 @@ class JobCompiler:
                 bpreds = self._raw_batch_predicates(scan.stages, qmap)
                 batch = (_raw_batch(key_src, payload_src, bpreds)
                          if bpreds is not None else None)
-                return EmitSpec(role, emit, batch), payload_map
+                cg = RawEmit(role, tuple(key_src), tuple(payload_src),
+                             filters=tuple(s.predicate for s in scan.stages),
+                             qmap=tuple(sorted(qmap.items())))
+                return EmitSpec(role, emit, batch, cg=cg), payload_map
 
         def emit(record: Row):
             out = stages.run_one({q: record[c] for q, c in qualified})
@@ -316,7 +322,9 @@ class JobCompiler:
         batch = (_staged_batch(stages, qualified, key_cols,
                                [(p, q) for q, p in payload_items])
                  if stages.batch_supported else None)
-        return EmitSpec(role, emit, batch), payload_map
+        cg = StagedEmit(role, tuple(qualified), tuple(scan.stages),
+                        tuple(key_cols), tuple(payload_items))
+        return EmitSpec(role, emit, batch, cg=cg), payload_map
 
     def _dataset_emit(self, role: str, key_cols: Sequence[str],
                       payload_cols: Sequence[str]) -> EmitSpec:
@@ -339,7 +347,9 @@ class JobCompiler:
                         {c: record[c] for c in payload_cols})
 
         return EmitSpec(role, emit,
-                        _raw_batch(key_cols, [(c, c) for c in payload_cols]))
+                        _raw_batch(key_cols, [(c, c) for c in payload_cols]),
+                        cg=RawEmit(role, tuple(key_cols),
+                                   tuple((c, c) for c in payload_cols)))
 
     # -- sort jobs -------------------------------------------------------------------------------
 
@@ -399,6 +409,7 @@ class JobCompiler:
                 return tuple([record[c] for c in key_src]), {}
 
             batch = _raw_batch(key_src, [])
+            cg = RawEmit(role, tuple(key_src), ())
         elif preds is not None:
             key_src = [qmap[c] for c in key_cols]
             raw_preds = preds
@@ -412,6 +423,9 @@ class JobCompiler:
             bpreds = self._raw_batch_predicates(node.stages, qmap)
             batch = (_raw_batch(key_src, [], bpreds)
                      if bpreds is not None else None)
+            cg = RawEmit(role, tuple(key_src), (),
+                         filters=tuple(s.predicate for s in node.stages),
+                         qmap=tuple(sorted(qmap.items())))
         else:
             def emit(record: Row):
                 out = stages.run_one({q: record[c] for q, c in qualified})
@@ -421,13 +435,16 @@ class JobCompiler:
 
             batch = (_staged_batch(stages, qualified, key_cols, [])
                      if stages.batch_supported else None)
+            cg = StagedEmit(role, tuple(qualified), tuple(node.stages),
+                            tuple(key_cols), ())
 
         task = SPTask(node.label, TaskInput.shuffle(role, key_cols))
         outputs = [OutputSpec(ds, n.label, self._output_columns(n))
                    for n, ds in self._register_outputs(draft)]
         return MRJob(
             job_id=job_id, name=name,
-            map_inputs=[MapInput(node.table, [EmitSpec(role, emit, batch)])],
+            map_inputs=[MapInput(node.table,
+                                 [EmitSpec(role, emit, batch, cg=cg)])],
             reducer=CommonReducer([task]),
             outputs=outputs,
             num_reducers=self.options.num_reducers,
@@ -488,6 +505,8 @@ class JobCompiler:
         key_slots = [slot for slot, _ in group_fns]
 
         child_need = sorted(self.requirement_from(node, child))
+        group_exprs_ast = tuple(gk.expr for gk in node.group_keys)
+        agg_args_ast = tuple((spec.slot, spec.arg) for spec in node.aggs)
 
         # Batch twins of the group/argument expressions; any expression
         # without a batch kernel drops the whole job to the row plane.
@@ -526,7 +545,10 @@ class JobCompiler:
                              for slot, fn in agg_fns_b])
 
                 batch = BatchEmit(kernel)
-            map_inputs = [MapInput(child.table, [EmitSpec(role, emit, batch)])]
+            cg = AggEmit(role, tuple(qualified), tuple(child.stages),
+                         group_exprs_ast, agg_args_ast)
+            map_inputs = [MapInput(child.table,
+                                   [EmitSpec(role, emit, batch, cg=cg)])]
         else:
             def emit(record: Row):
                 key = tuple(fn(record) for _, fn in group_fns)
@@ -545,8 +567,9 @@ class JobCompiler:
                              for slot, fn in agg_fns_b])
 
                 batch = BatchEmit(kernel)
+            cg = AggEmit(role, None, (), group_exprs_ast, agg_args_ast)
             map_inputs = [MapInput(self.dataset_name(child),
-                                   [EmitSpec(role, emit, batch)])]
+                                   [EmitSpec(role, emit, batch, cg=cg)])]
 
         mergeable = all(
             not spec.distinct or spec.func in ("min", "max")

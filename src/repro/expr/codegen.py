@@ -1,0 +1,913 @@
+"""Whole-stage code generation: fused per-plan Python kernels.
+
+The interpreted engine evaluates expressions through nested closures
+(:mod:`repro.expr.compiler`) and drives records through generic stage
+chains — one Python call per AST node per row.  This module removes that
+interpretation overhead: for each compiled :class:`~repro.mr.job.MRJob`
+it renders **one flat Python source string** that fuses the map stage
+(scan → predicate → projection → key build → pair emit, plus the
+columnar batch plane's selection kernels) and the reduce stage (per-key
+aggregate folds), ``compile()``+``exec()``s it once, and swaps the
+generated functions into a *specialized copy* of the job.
+
+Identity contract
+-----------------
+The generated path is **byte-identical** to the interpreted path: same
+rows, same partition assignment, same ``comparable()`` counters — on
+every executor, both schedulers, both data planes, under fault
+injection, and under a spill budget.  Three rules make that hold:
+
+* **Value identity, not call identity.**  Expressions are pure, so the
+  renderer only has to reproduce :func:`repro.expr.compiler
+  .compile_scalar`'s three-valued-logic *values* (walrus temporaries
+  stand in for the closures' intermediate results); evaluation-order
+  differences on NULL short-circuits are unobservable.
+* **Fallback on the construct, not the query.**  Anything the renderer
+  does not cover (an unknown function, a non-reproducible literal)
+  raises :class:`CodegenUnsupported` and that one spec/task keeps its
+  interpreted kernels; the rest of the job is still generated.  The
+  per-job ``codegen_fallbacks`` counter records it.
+* **Errors stay interpreted.**  Generated row kernels read columns with
+  plain subscripts; a ``KeyError`` (a malformed record) makes the
+  caller rerun the interpreted kernel from scratch, which raises its
+  own :class:`~repro.errors.NameResolutionError` — so even error
+  behavior matches, at zero cost on the non-error path.
+
+Caching
+-------
+Generated source is a pure function of the plan's concrete expression
+trees and column names — rendering walks the AST in deterministic order
+and never iterates an unordered container, so the bytes are stable
+across processes and interpreter runs.  The compiled module is cached
+by the SHA-256 of its source (the content-addressed form of the plan
+signature's concrete naming), so repeated queries and warm
+:class:`~repro.workloads.session.WorkloadSession` runs skip
+``compile()``+``exec()`` entirely (``codegen_cache_hits``).
+
+Configuration
+-------------
+Codegen is **on by default**.  ``REPRO_CODEGEN=0`` (environment),
+``run_query(..., codegen=False)`` / ``Runtime(codegen=False)``, or
+``repro run --no-codegen`` select the interpreted path; the on/off
+choice is folded into result-cache job keys (like stats decisions) so
+the two arms can never alias a cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError, NameResolutionError
+from repro.mr.job import BatchEmit, EmitSpec, MapInput, MRJob
+from repro.mr.kv import TaggedValue
+from repro.sqlparser.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+
+
+class CodegenUnsupported(Exception):
+    """A construct the generator does not cover; the caller keeps the
+    interpreted kernel for that spec/task (per-construct fallback)."""
+
+
+def resolve_codegen(value: Optional[object] = None) -> bool:
+    """Resolve the codegen on/off choice.
+
+    ``None`` reads ``REPRO_CODEGEN`` (default on) at call time, like
+    :func:`repro.mr.tasks.default_data_plane`; booleans and the strings
+    ``"on"``/``"off"``/``"1"``/``"0"`` pass through.
+    """
+    if value is None:
+        value = os.environ.get("REPRO_CODEGEN", "1")
+    if isinstance(value, bool):
+        return value
+    if value in ("1", "on"):
+        return True
+    if value in ("0", "off"):
+        return False
+    raise ExecutionError(
+        f"REPRO_CODEGEN / codegen= must be a bool, '0', '1', 'on', or "
+        f"'off', got {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Emit descriptors — attached to EmitSpec.cg by the plan compiler
+# (repro.core.compile) at the exact sites where it builds the interpreted
+# closures, carrying the same expression trees and name maps those
+# closures were compiled from.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RawEmit:
+    """A scan/dataset emit whose key and payload read straight off the
+    source record (the compiler's stage-free / filter-only / dataset /
+    SP shapes).  ``filters`` are the pushed-down predicate expressions;
+    their column refs resolve through ``qmap`` (qualified name → source
+    column), exactly like ``JobCompiler._raw_predicates``.
+    """
+
+    role: str
+    key_src: Tuple[str, ...]
+    payload_src: Tuple[Tuple[str, str], ...]  # (payload_name, source_col)
+    filters: Tuple[Expr, ...] = ()
+    qmap: Tuple[Tuple[str, str], ...] = ()    # qualified name -> source col
+
+
+@dataclass(frozen=True)
+class StagedEmit:
+    """A scan emit driven through a Filter/Project stage chain (the
+    compiler's general scan shape): qualify, run stages, read key
+    columns and payload off the stage output."""
+
+    role: str
+    qualified: Tuple[Tuple[str, str], ...]    # (qualified name, source col)
+    stages: Tuple[object, ...]                # plan Filter / Project nodes
+    key_cols: Tuple[str, ...]
+    payload_items: Tuple[Tuple[str, str], ...]  # (qualified, payload_name)
+
+
+@dataclass(frozen=True)
+class AggEmit:
+    """A standalone-aggregation emit: run the child's stages (scan
+    children) or read the record directly (dataset children), then
+    evaluate grouping expressions into the key and aggregate arguments
+    into the payload."""
+
+    role: str
+    qualified: Optional[Tuple[Tuple[str, str], ...]]  # None = dataset child
+    stages: Tuple[object, ...]
+    group_exprs: Tuple[Expr, ...]
+    agg_args: Tuple[Tuple[str, Optional[Expr]], ...]  # (slot, arg or None)
+
+
+@dataclass
+class CodegenStats:
+    """Per-job generation bookkeeping, folded into ``JobCounters``
+    (excluded from ``comparable()`` — how the job ran, not what it
+    computed)."""
+
+    compiles: int = 0
+    cache_hits: int = 0
+    fallbacks: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Expression rendering — the textual twin of repro.expr.compiler.
+#
+# _render(expr)      -> a Python expression string whose value equals
+#                       compile_scalar(expr)(row) for every row.
+# _render_true(expr) -> a condition string that is truthy exactly when
+#                       that value `is True` (what compile_predicate
+#                       coerces to) — the form filters and selection
+#                       vectors consume.
+#
+# Temporaries are numbered in AST traversal order and literals render
+# via repr(), so the output is byte-stable across processes (no
+# dict-order or id()-dependent naming).
+# ---------------------------------------------------------------------------
+
+#: SQL op → Python operator, for the plain-propagation binops.
+_PY_OPS = {
+    "+": "+", "-": "-", "*": "*", "%": "%",
+    "=": "==", "<>": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+}
+
+_COMPARISONS = frozenset(("=", "<>", "<", ">", "<=", ">="))
+
+Ref = Callable[[Optional[str], str], str]
+
+
+class _Ctx:
+    """Deterministic temporary allocator for one generated function."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def temp(self) -> str:
+        name = f"_t{self._n}"
+        self._n += 1
+        return name
+
+
+def _lit(value: object) -> str:
+    """repr() for the literal types whose repr round-trips exactly."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise CodegenUnsupported(f"non-finite literal {value!r}")
+        return repr(value)
+    raise CodegenUnsupported(f"literal of type {type(value).__name__}")
+
+
+def _guard(expr: Expr, ref: Ref, ctx: _Ctx) -> Tuple[str, Optional[str]]:
+    """Render an operand for NULL-propagating composition.
+
+    Returns ``(use, assign)``: ``use`` is the expression to read the
+    value from and ``assign`` the walrus binding to test for NULL
+    (callers append ``is None`` / ``is not None``).  Known non-NULL
+    literals inline with no binding and no test — the reason a generated
+    ``col > 0.5`` costs exactly one NULL check, like the interpreted
+    batch kernels' specialized shapes.
+    """
+    if isinstance(expr, Literal) and expr.value is not None:
+        return _lit(expr.value), None
+    code = _render(expr, ref, ctx)
+    t = ctx.temp()
+    return t, f"({t} := {code})"
+
+
+def _render(expr: Expr, ref: Ref, ctx: _Ctx) -> str:
+    """Render the full three-valued value of ``expr``."""
+    if isinstance(expr, Literal):
+        return _lit(expr.value)
+
+    if isinstance(expr, ColumnRef):
+        return ref(expr.table, expr.name)
+
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            a = _render(expr.left, ref, ctx)
+            b = _render(expr.right, ref, ctx)
+            ta, tb = ctx.temp(), ctx.temp()
+            return (f"(False if ({ta} := {a}) is False else "
+                    f"(False if ({tb} := {b}) is False else "
+                    f"(None if {ta} is None or {tb} is None else True)))")
+        if expr.op == "OR":
+            a = _render(expr.left, ref, ctx)
+            b = _render(expr.right, ref, ctx)
+            ta, tb = ctx.temp(), ctx.temp()
+            return (f"(True if ({ta} := {a}) is True else "
+                    f"(True if ({tb} := {b}) is True else "
+                    f"(None if {ta} is None or {tb} is None else False)))")
+        pyop = _PY_OPS.get(expr.op)
+        if pyop is not None or expr.op in ("/", "||"):
+            a_use, a_assign = _guard(expr.left, ref, ctx)
+            b_use, b_assign = _guard(expr.right, ref, ctx)
+            tests = [f"{g} is None" for g in (a_assign, b_assign)
+                     if g is not None]
+            if pyop is not None:
+                body = f"{a_use} {pyop} {b_use}"
+            elif expr.op == "/":
+                body = f"(None if {b_use} == 0 else {a_use} / {b_use})"
+            else:
+                body = f"str({a_use}) + str({b_use})"
+            if not tests:
+                return f"({body})"
+            return f"(None if {' or '.join(tests)} else {body})"
+        raise CodegenUnsupported(f"binary operator {expr.op!r}")
+
+    if isinstance(expr, UnaryOp):
+        a = _render(expr.operand, ref, ctx)
+        t = ctx.temp()
+        if expr.op == "-":
+            return f"(None if ({t} := {a}) is None else -{t})"
+        if expr.op == "NOT":
+            return f"(None if ({t} := {a}) is None else (not {t}))"
+        raise CodegenUnsupported(f"unary operator {expr.op!r}")
+
+    if isinstance(expr, IsNull):
+        # Bind through a temp: a constant-foldable operand used directly
+        # as `(...) is None` would trip CPython's literal-`is` warning.
+        a = _render(expr.operand, ref, ctx)
+        t = ctx.temp()
+        return (f"(({t} := {a}) is not None)" if expr.negated
+                else f"(({t} := {a}) is None)")
+
+    if isinstance(expr, Between):
+        v_use, v_assign = _guard(expr.operand, ref, ctx)
+        lo_use, lo_assign = _guard(expr.low, ref, ctx)
+        hi_use, hi_assign = _guard(expr.high, ref, ctx)
+        tests = [f"{g} is None"
+                 for g in (v_assign, lo_assign, hi_assign) if g is not None]
+        body = f"{lo_use} <= {v_use} <= {hi_use}"
+        if not tests:
+            return f"({body})"
+        return f"(None if {' or '.join(tests)} else ({body}))"
+
+    if isinstance(expr, InList):
+        v = _render(expr.operand, ref, ctx)
+        tv = ctx.temp()
+        if all(isinstance(i, Literal) for i in expr.items):
+            values = [i.value for i in expr.items]
+            non_null = _lit_list([x for x in values if x is not None])
+            has_null = any(x is None for x in values)
+            if has_null:
+                hit = _lit(not expr.negated)
+                return (f"(None if ({tv} := {v}) is None else "
+                        f"({hit} if {tv} in {non_null} else None))")
+            member = "in" if not expr.negated else "not in"
+            return (f"(None if ({tv} := {v}) is None else "
+                    f"({tv} {member} {non_null}))")
+        items = ", ".join(_render(i, ref, ctx) for i in expr.items)
+        return (f"(None if ({tv} := {v}) is None else "
+                f"_cg_in({tv}, [{items}], {expr.negated!r}))")
+
+    if isinstance(expr, CaseWhen):
+        rendered = [(_render(c, ref, ctx), _render(v, ref, ctx))
+                    for c, v in expr.branches]
+        out = (_render(expr.default, ref, ctx)
+               if expr.default is not None else "None")
+        for cond, value in reversed(rendered):
+            out = f"({value} if ({cond}) is True else {out})"
+        return out
+
+    if isinstance(expr, FuncCall):
+        return _render_builtin(expr, ref, ctx)
+
+    raise CodegenUnsupported(f"expression {type(expr).__name__}")
+
+
+def _lit_list(values: List[object]) -> str:
+    return "[" + ", ".join(_lit(v) for v in values) + "]"
+
+
+def _render_builtin(expr: FuncCall, ref: Ref, ctx: _Ctx) -> str:
+    if expr.is_aggregate:
+        raise CodegenUnsupported(f"aggregate {expr.name}() in scalar context")
+    name, args = expr.name, expr.args
+    if name == "abs" and len(args) == 1:
+        a = _render(args[0], ref, ctx)
+        t = ctx.temp()
+        return f"(None if ({t} := {a}) is None else abs({t}))"
+    if name == "round" and len(args) == 1:
+        a = _render(args[0], ref, ctx)
+        t = ctx.temp()
+        return f"(None if ({t} := {a}) is None else round({t}))"
+    if name == "round" and len(args) == 2:
+        v = _render(args[0], ref, ctx)
+        d = _render(args[1], ref, ctx)
+        tv, td = ctx.temp(), ctx.temp()
+        return (f"(None if ({tv} := {v}) is None or ({td} := {d}) is None "
+                f"else round({tv}, int({td})))")
+    if name == "coalesce" and args:
+        parts = [(_render(a, ref, ctx), ctx.temp()) for a in args]
+        out = "None"
+        for code, t in reversed(parts):
+            out = f"({t} if ({t} := {code}) is not None else {out})"
+        return out
+    if name == "length" and len(args) == 1:
+        a = _render(args[0], ref, ctx)
+        t = ctx.temp()
+        return f"(None if ({t} := {a}) is None else len(str({t})))"
+    raise CodegenUnsupported(f"function {name}()/{len(args)}")
+
+
+def _render_true(expr: Expr, ref: Ref, ctx: _Ctx) -> str:
+    """A condition that is truthy exactly when ``expr``'s three-valued
+    value ``is True`` — the coercion every filter applies.  Specialized
+    shapes short-circuit without materializing the Kleene value."""
+    if isinstance(expr, BinaryOp):
+        if expr.op in _COMPARISONS:
+            # value is True  ⟺  both operands non-NULL and the raw
+            # comparison holds (comparisons over scalars return bools).
+            # Non-NULL literal sides inline with no check, so the common
+            # ``col > lit`` filter costs one NULL test — the exact shape
+            # of the interpreted batch plane's ``sel_col_lit`` kernel.
+            a_use, a_assign = _guard(expr.left, ref, ctx)
+            b_use, b_assign = _guard(expr.right, ref, ctx)
+            parts = [f"{g} is not None" for g in (a_assign, b_assign)
+                     if g is not None]
+            parts.append(f"{a_use} {_PY_OPS[expr.op]} {b_use}")
+            return "(" + " and ".join(parts) + ")"
+        if expr.op == "AND":
+            # Kleene AND is True  ⟺  both operands are neither False
+            # nor NULL (matching compile_scalar's k_and for *any*
+            # operand values, boolean-shaped or not).
+            a = _render(expr.left, ref, ctx)
+            b = _render(expr.right, ref, ctx)
+            ta, tb = ctx.temp(), ctx.temp()
+            return (f"(({ta} := {a}) is not False and {ta} is not None "
+                    f"and ({tb} := {b}) is not False and {tb} is not None)")
+        if expr.op == "OR":
+            # Kleene OR is True  ⟺  either operand is True.
+            a = _render(expr.left, ref, ctx)
+            b = _render(expr.right, ref, ctx)
+            return f"(({a}) is True or ({b}) is True)"
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        a = _render(expr.operand, ref, ctx)
+        t = ctx.temp()
+        return f"(({t} := {a}) is not None and not {t})"
+    if isinstance(expr, IsNull):
+        a = _render(expr.operand, ref, ctx)
+        t = ctx.temp()
+        return (f"(({t} := {a}) is not None)" if expr.negated
+                else f"(({t} := {a}) is None)")
+    if isinstance(expr, Between):
+        v_use, v_assign = _guard(expr.operand, ref, ctx)
+        lo_use, lo_assign = _guard(expr.low, ref, ctx)
+        hi_use, hi_assign = _guard(expr.high, ref, ctx)
+        parts = [f"{g} is not None"
+                 for g in (v_assign, lo_assign, hi_assign) if g is not None]
+        parts.append(f"{lo_use} <= {v_use} <= {hi_use}")
+        return "(" + " and ".join(parts) + ")"
+    if isinstance(expr, InList) and all(
+            isinstance(i, Literal) for i in expr.items):
+        values = [i.value for i in expr.items]
+        non_null = _lit_list([x for x in values if x is not None])
+        has_null = any(x is None for x in values)
+        v = _render(expr.operand, ref, ctx)
+        tv = ctx.temp()
+        if not expr.negated:
+            return f"(({tv} := {v}) is not None and {tv} in {non_null})"
+        if has_null:
+            # NOT IN over a list containing NULL can never be True.
+            return "False"
+        return f"(({tv} := {v}) is not None and {tv} not in {non_null})"
+    if isinstance(expr, Literal):
+        return _lit(expr.value is True)
+    t = ctx.temp()
+    return f"(({t} := {_render(expr, ref, ctx)}) is True)"
+
+
+# ---------------------------------------------------------------------------
+# Function generation
+# ---------------------------------------------------------------------------
+
+#: Shared helpers compiled into every generated module.  ``_TV`` /
+#: ``_NRE`` are injected at exec time (TaggedValue, NameResolutionError).
+_PREAMBLE = '''\
+def _col(_cols, _k):
+    try:
+        return _cols[_k]
+    except KeyError:
+        raise _NRE(
+            f"batch is missing column {_k!r}; batch has {sorted(_cols)}"
+        ) from None
+
+
+def _cg_in(_v, _values, _neg):
+    if _v in [_x for _x in _values if _x is not None]:
+        return not _neg
+    if any(_x is None for _x in _values):
+        return None
+    return _neg
+'''
+
+
+def _record_ref(qmap: Dict[str, str]) -> Ref:
+    """Resolver for filter expressions over raw source records: bare
+    names map through ``qmap`` to source columns (the
+    ``_raw_predicates`` contract); anything else is unsupported."""
+    def ref(table: Optional[str], name: str) -> str:
+        if table is not None or name not in qmap:
+            raise CodegenUnsupported(f"unresolvable column {table}.{name}")
+        return f"_r[{qmap[name]!r}]"
+    return ref
+
+
+def _env_ref(env: Dict[str, str]) -> Ref:
+    """Resolver over a staged environment (qualified bindings or project
+    outputs)."""
+    def ref(table: Optional[str], name: str) -> str:
+        if table is not None or name not in env:
+            raise CodegenUnsupported(f"unresolvable column {table}.{name}")
+        return env[name]
+    return ref
+
+
+def _open_ref(table: Optional[str], name: str) -> str:
+    """Resolver over a bare record dict (dataset-child aggregations):
+    any unqualified name reads the record directly, like
+    ``compile_resolved``."""
+    if table is not None:
+        raise CodegenUnsupported(f"qualified column {table}.{name}")
+    return f"_r[{name!r}]"
+
+
+def _key_tuple(parts: List[str]) -> str:
+    return "(" + "".join(p + ", " for p in parts) + ")"
+
+
+def _payload_dict(items: List[Tuple[str, str]]) -> str:
+    return "{" + ", ".join(f"{k!r}: {v}" for k, v in items) + "}"
+
+
+def _staged_env(desc, lines: List[str], ctx: _Ctx,
+                indent: str, reject: str) -> Dict[str, str]:
+    """Emit statements driving one record through a Filter/Project stage
+    chain; returns the final name → code-fragment environment.  Mirrors
+    ``CompiledStages.run_one``: filters drop via ``reject``, each
+    project replaces the whole namespace."""
+    env = {q: f"_r[{c!r}]" for q, c in desc.qualified}
+    for si, stage in enumerate(desc.stages):
+        if hasattr(stage, "predicate"):          # plan Filter
+            cond = _render_true(stage.predicate, _env_ref(env), ctx)
+            lines.append(f"{indent}if not {cond}:")
+            lines.append(f"{indent}    {reject}")
+        elif hasattr(stage, "outputs"):          # plan Project
+            new_env: Dict[str, str] = {}
+            for oi, out in enumerate(stage.outputs):
+                var = f"_s{si}_{oi}"
+                code = _render(out.expr, _env_ref(env), ctx)
+                lines.append(f"{indent}{var} = {code}")
+                new_env[out.name] = var
+            env = new_env
+        else:
+            raise CodegenUnsupported(
+                f"stage {type(stage).__name__}")
+    return env
+
+
+def _gen_pair_body(desc, lines: List[str], ctx: _Ctx,
+                   indent: str, reject: str) -> Tuple[str, str]:
+    """Emit the shared filter/stage statements for one record and return
+    the (key, payload) expression strings."""
+    if isinstance(desc, RawEmit):
+        qmap = dict(desc.qmap)
+        for pred in desc.filters:
+            cond = _render_true(pred, _record_ref(qmap), ctx)
+            lines.append(f"{indent}if not {cond}:")
+            lines.append(f"{indent}    {reject}")
+        key = _key_tuple([f"_r[{c!r}]" for c in desc.key_src])
+        payload = _payload_dict([(p, f"_r[{c!r}]")
+                                 for p, c in desc.payload_src])
+        return key, payload
+    if isinstance(desc, StagedEmit):
+        env = _staged_env(desc, lines, ctx, indent, reject)
+        try:
+            key = _key_tuple([env[c] for c in desc.key_cols])
+            payload = _payload_dict([(p, env[q])
+                                     for q, p in desc.payload_items])
+        except KeyError as exc:
+            raise CodegenUnsupported(
+                f"stage output misses column {exc.args[0]!r}") from None
+        return key, payload
+    if isinstance(desc, AggEmit):
+        if desc.qualified is not None:
+            env = _staged_env(desc, lines, ctx, indent, reject)
+            ref = _env_ref(env)
+        else:
+            ref = _open_ref
+        key = _key_tuple([_render(g, ref, ctx) for g in desc.group_exprs])
+        payload = _payload_dict(
+            [(slot, _render(arg, ref, ctx))
+             for slot, arg in desc.agg_args if arg is not None])
+        return key, payload
+    raise CodegenUnsupported(f"descriptor {type(desc).__name__}")
+
+
+def _gen_emit(desc, name: str) -> str:
+    """One fused per-record emit: ``(key, payload) | None``, the
+    :data:`~repro.mr.job.EmitFn` contract."""
+    lines = [f"def {name}(_r):"]
+    ctx = _Ctx()
+    key, payload = _gen_pair_body(desc, lines, ctx, "    ", "return None")
+    lines.append(f"    return {key}, {payload}")
+    return "\n".join(lines) + "\n"
+
+
+def _gen_loop(desc, name: str, tag: str) -> str:
+    """The whole-split single-spec loop (``MapTask._emit_single``
+    fused): filters ``continue``, survivors append
+    ``(key, TaggedValue(tag, payload))`` pairs."""
+    lines = [f"def {name}(_rows):",
+             "    _pairs = []",
+             "    _ap = _pairs.append",
+             "    for _r in _rows:"]
+    ctx = _Ctx()
+    key, payload = _gen_pair_body(desc, lines, ctx, "        ", "continue")
+    lines.append(f"        _ap(({key}, _TV({tag}, {payload})))")
+    lines.append("    return _pairs")
+    return "\n".join(lines) + "\n"
+
+
+def _gen_batch(desc: RawEmit, name: str) -> str:
+    """The fused batch kernel for a raw emit: one selection
+    comprehension replaces the interpreted per-predicate refinement.
+
+    Identity: the interpreted kernels compose ascending selections where
+    each predicate's value ``is True`` (``compile_batch_predicate``'s
+    contract), so the conjunction of per-row ``_render_true`` conditions
+    yields the same vector.  Shape matches ``_raw_batch``: with filters,
+    record-aligned sequences plus the selection (even when empty); the
+    filter-free form passes ``sel=None`` with ``n`` survivors.
+    """
+    qmap = dict(desc.qmap)
+    binds: List[Tuple[str, str]] = []   # (source col, local) in first use
+    bound: Dict[str, str] = {}
+
+    def ref(table: Optional[str], name_: str) -> str:
+        if table is not None or name_ not in qmap:
+            raise CodegenUnsupported(f"unresolvable column {table}.{name_}")
+        src = qmap[name_]
+        local = bound.get(src)
+        if local is None:
+            local = f"_c{len(binds)}"
+            bound[src] = local
+            binds.append((src, local))
+        return f"{local}[_i]"
+
+    ctx = _Ctx()
+    conds = [_render_true(pred, ref, ctx) for pred in desc.filters]
+    keys = "[" + ", ".join(f"_cols[{c!r}]" for c in desc.key_src) + "]"
+    payload = "[" + ", ".join(f"({p!r}, _cols[{c!r}])"
+                              for p, c in desc.payload_src) + "]"
+    lines = [f"def {name}(_cols, _n):"]
+    if not conds:
+        lines.append(f"    return (None, _n, {keys}, {payload})")
+        return "\n".join(lines) + "\n"
+    for src, local in binds:
+        lines.append(f"    {local} = _col(_cols, {src!r})")
+    cond = " and ".join(conds)
+    lines.append(f"    _sel = [_i for _i in range(_n) if {cond}]")
+    lines.append(f"    return (_sel, len(_sel), {keys}, {payload})")
+    return "\n".join(lines) + "\n"
+
+
+# -- reduce-side aggregate folds --------------------------------------------
+
+#: aggregate functions the generated fold covers (DISTINCT excluded:
+#: its accumulator state is a set, which the flat fold does not model).
+_FOLD_FUNCS = frozenset(("count", "sum", "avg", "min", "max"))
+
+
+def _fold_eligible(task) -> bool:
+    """Whether an AggTask's per-group grouping+accumulation loop can be
+    generated: direct slot reads (the ``_row_direct`` plan), raw values
+    (not combiner partials), and flat-state aggregate functions only."""
+    if task.partial or task._row_direct is None:
+        return False
+    for _slot, func, _arg, distinct, _star in task.agg_specs:
+        if distinct or func not in _FOLD_FUNCS:
+            return False
+    return True
+
+
+def _read(src: str, strict: bool) -> str:
+    return f"_r[{src!r}]" if strict else f"_r.get({src!r})"
+
+
+def _gen_fold(task, name: str) -> str:
+    """The fused multi-row grouping loop for one AggTask: inline
+    accumulator states in a flat per-group list, results read off the
+    state exactly like the Accumulator classes (``repro.expr
+    .aggregates``).  Raises ``KeyError`` on a strict slot miss — the
+    caller reruns the interpreted loop, which owns the error."""
+    rd_groups, rd_args = task._row_direct
+    lines = [f"def {name}(_rows):",
+             "    _groups = {}",
+             "    _get = _groups.get",
+             "    for _r in _rows:"]
+    gkey = _key_tuple([_read(s, strict) for s, strict in rd_groups])
+    lines.append(f"        _gk = {gkey}")
+    lines.append("        _st = _get(_gk)")
+    lines.append("        if _st is None:")
+
+    init: List[str] = []      # state-slot initializers
+    results: List[str] = []   # per agg spec, the result expression
+    updates: List[str] = []   # per agg spec, update statements
+    for (slot, func, _arg, _distinct, star), arg in zip(
+            task.agg_specs, rd_args):
+        base = len(init)
+        st = f"_st[{base}]"
+        if func == "count" and (star or arg is None):
+            # count(*) counts every row; a missing argument reader
+            # otherwise feeds None, which count() ignores.
+            init.append("0")
+            results.append(st)
+            if star:
+                updates.append(f"        {st} += 1")
+            continue
+        if arg is None:
+            # No argument reader: every add() sees None, so the state
+            # never moves off its initial value.
+            if func == "count":
+                init.append("0")
+                results.append(st)
+            elif func == "sum":
+                init.extend(("0", "False"))
+                results.append("None")
+            elif func == "avg":
+                init.extend(("0.0", "0"))
+                results.append("None")
+            else:
+                init.append("None")
+                results.append(st)
+            continue
+        read = _read(*arg)
+        if func == "count":
+            init.append("0")
+            results.append(st)
+            updates.append(f"        _v = {read}\n"
+                           f"        if _v is not None:\n"
+                           f"            {st} += 1")
+        elif func == "sum":
+            init.extend(("0", "False"))
+            results.append(f"({st} if _st[{base + 1}] else None)")
+            updates.append(f"        _v = {read}\n"
+                           f"        if _v is not None:\n"
+                           f"            {st} += _v\n"
+                           f"            _st[{base + 1}] = True")
+        elif func == "avg":
+            init.extend(("0.0", "0"))
+            results.append(
+                f"({st} / _st[{base + 1}] if _st[{base + 1}] else None)")
+            updates.append(f"        _v = {read}\n"
+                           f"        if _v is not None:\n"
+                           f"            {st} += _v\n"
+                           f"            _st[{base + 1}] += 1")
+        else:  # min / max
+            cmp = "<" if func == "min" else ">"
+            init.append("None")
+            results.append(st)
+            updates.append(f"        _v = {read}\n"
+                           f"        if _v is not None and "
+                           f"({st} is None or _v {cmp} {st}):\n"
+                           f"            {st} = _v")
+    lines.append(f"            _st = _groups[_gk] = "
+                 f"[{', '.join(init)}]")
+    lines.extend(updates)
+    out_items = ([(slot, f"_gk[{j}]")
+                  for j, slot in enumerate(task._group_slots)]
+                 + list(zip(task._agg_slots, results)))
+    lines.append("    _out = []")
+    lines.append("    _ap = _out.append")
+    lines.append("    for _gk, _st in _groups.items():")
+    lines.append(f"        _ap({_payload_dict(out_items)})")
+    lines.append("    return _out")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Per-job assembly, code cache, and job specialization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SpecPlan:
+    emit: str
+    loop: str
+    batch: Optional[str]
+
+
+@dataclass
+class JobCodegen:
+    """The rendered module for one job plus the wiring plan."""
+
+    source: str
+    spec_plans: Dict[Tuple[int, int], _SpecPlan] = field(default_factory=dict)
+    fold_plans: List[Tuple[int, str]] = field(default_factory=list)
+    stats: CodegenStats = field(default_factory=CodegenStats)
+
+
+def generate_job(job: MRJob) -> Optional[JobCodegen]:
+    """Render the fused module for ``job``; ``None`` when the job
+    carries no codegen descriptors and no eligible aggregate task (hand
+    built jobs — not a fallback, there was nothing to generate)."""
+    from repro.ops.tasks import AggTask  # local: avoid an import cycle
+
+    gen = JobCodegen(source="")
+    units: List[str] = [_PREAMBLE]
+    seen_any = False
+    for mi_idx, mi in enumerate(job.map_inputs):
+        for sp_idx, spec in enumerate(mi.specs):
+            desc = getattr(spec, "cg", None)
+            if desc is None:
+                continue
+            seen_any = True
+            suffix = f"{mi_idx}_{sp_idx}"
+            try:
+                tag = f"_tag_{suffix}"
+                emit_src = _gen_emit(desc, f"_emit_{suffix}")
+                loop_src = _gen_loop(desc, f"_loop_{suffix}", tag)
+                batch_name = None
+                batch_src = ""
+                if isinstance(desc, RawEmit) and spec.batch is not None:
+                    batch_name = f"_batch_{suffix}"
+                    batch_src = _gen_batch(desc, batch_name)
+            except CodegenUnsupported:
+                gen.stats.fallbacks += 1
+                continue
+            units.append(f"{tag} = frozenset(({desc.role!r},))\n")
+            units.append(emit_src)
+            units.append(loop_src)
+            if batch_src:
+                units.append(batch_src)
+            gen.spec_plans[(mi_idx, sp_idx)] = _SpecPlan(
+                emit=f"_emit_{suffix}", loop=f"_loop_{suffix}",
+                batch=batch_name)
+    for t_idx, task in enumerate(getattr(job.reducer, "tasks", ()) or ()):
+        if isinstance(task, AggTask) and _fold_eligible(task):
+            seen_any = True
+            name = f"_fold_{t_idx}"
+            try:
+                units.append(_gen_fold(task, name))
+            except CodegenUnsupported:
+                gen.stats.fallbacks += 1
+                continue
+            gen.fold_plans.append((t_idx, name))
+    if not seen_any:
+        return None
+    gen.source = "\n".join(units)
+    return gen
+
+
+def job_source(job: MRJob) -> Optional[str]:
+    """The generated module source for ``job`` (``repro explain
+    --codegen``); ``None`` for jobs with nothing to generate."""
+    gen = generate_job(job)
+    if gen is None or not (gen.spec_plans or gen.fold_plans):
+        return None
+    return gen.source
+
+
+#: source SHA-256 → exec'd module namespace.  Generated functions are
+#: stateless (they close over literals only), so namespaces are shared
+#: freely across jobs, threads, and warm sessions.
+_CODE_CACHE: Dict[str, Dict[str, object]] = {}
+_CODE_LOCK = threading.Lock()
+
+
+def _load_module(source: str) -> Tuple[Dict[str, object], bool]:
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    with _CODE_LOCK:
+        ns = _CODE_CACHE.get(digest)
+        if ns is not None:
+            return ns, True
+        code = compile(source, f"<repro-codegen {digest[:12]}>", "exec")
+        ns = {"_TV": TaggedValue, "_NRE": NameResolutionError}
+        exec(code, ns)
+        _CODE_CACHE[digest] = ns
+        return ns, False
+
+
+def code_cache_size() -> int:
+    with _CODE_LOCK:
+        return len(_CODE_CACHE)
+
+
+def _wrap_emit(gen_fn: Callable, interp_fn: Callable) -> Callable:
+    """Per-record emit with the error-identity fallback: a ``KeyError``
+    from the generated subscripts reruns the interpreted closure, which
+    either produces the identical value or raises its own resolver
+    error.  Zero cost until a record is actually malformed."""
+    def emit(record):
+        try:
+            return gen_fn(record)
+        except KeyError:
+            return interp_fn(record)
+    return emit
+
+
+def specialize(job: MRJob) -> Tuple[Optional[MRJob], CodegenStats]:
+    """Build the codegen-specialized twin of ``job``.
+
+    Returns ``(new_job, stats)`` — a fresh :class:`MRJob` whose emit
+    specs carry generated per-record emits, whole-split loops
+    (``EmitSpec.cg_loop``) and fused batch kernels, and whose reducer
+    clone carries generated aggregate folds — or ``(None, stats)`` when
+    nothing was generated.  The original job is never mutated, so the
+    interpreted and generated arms can run side by side off one
+    translation.
+    """
+    gen = generate_job(job)
+    if gen is None:
+        return None, CodegenStats()
+    stats = gen.stats
+    if not (gen.spec_plans or gen.fold_plans):
+        return None, stats
+    ns, hit = _load_module(gen.source)
+    if hit:
+        stats.cache_hits += 1
+    else:
+        stats.compiles += 1
+
+    new_inputs: List[MapInput] = []
+    for mi_idx, mi in enumerate(job.map_inputs):
+        specs: List[EmitSpec] = []
+        for sp_idx, spec in enumerate(mi.specs):
+            plan = gen.spec_plans.get((mi_idx, sp_idx))
+            if plan is None:
+                specs.append(spec)
+                continue
+            batch = spec.batch
+            if plan.batch is not None and batch is not None:
+                batch = BatchEmit(ns[plan.batch], key_src=batch.key_src,
+                                  raw=batch.raw)
+            specs.append(EmitSpec(
+                spec.role, _wrap_emit(ns[plan.emit], spec.emit), batch,
+                cg=spec.cg, cg_loop=ns[plan.loop]))
+        new_inputs.append(MapInput(mi.dataset, specs))
+
+    reducer = job.reducer
+    if gen.fold_plans:
+        reducer = reducer.clone()
+        for t_idx, name in gen.fold_plans:
+            reducer.tasks[t_idx]._cg_fold = ns[name]
+
+    return replace(job, map_inputs=new_inputs, reducer=reducer), stats

@@ -56,6 +56,16 @@ BATCH_FIELDS = ("batches", "batch_rows")
 #: timings.  Zero when no memory budget is set.
 SPILL_FIELDS = ("spill_files", "spilled_bytes", "merge_passes")
 
+#: Whole-stage-codegen bookkeeping fields — whether the job's kernels
+#: were generated, cached, or fell back to interpretation, never what
+#: the job computed.  The generated path is byte-identical to the
+#: interpreted path by contract, so a codegen run and an interpreted run
+#: of the same job must compare equal; excluded from
+#: :meth:`JobCounters.comparable` and dataclass equality like the wall
+#: timings.  Zero with ``REPRO_CODEGEN=0``.
+CODEGEN_FIELDS = ("codegen_compiles", "codegen_cache_hits",
+                  "codegen_fallbacks")
+
 #: Peak-memory observability — measured ``tracemalloc`` high-water marks,
 #: real measurements that legitimately vary run to run (and are 0 when
 #: tracing is off, e.g. inside process-pool workers).  Excluded from
@@ -153,6 +163,17 @@ class JobCounters:
     #: counting passes plus one per merge-fed reduce task)
     merge_passes: int = field(default=0, compare=False)
 
+    # -- whole-stage-codegen bookkeeping (not deterministic results; see
+    # CODEGEN_FIELDS) --------------------------------------------------------
+    #: generated kernel modules compiled+exec'd for this job (0 on a
+    #: code-cache hit or with codegen off)
+    codegen_compiles: int = field(default=0, compare=False)
+    #: generated modules served from the source-digest code cache
+    codegen_cache_hits: int = field(default=0, compare=False)
+    #: emit specs / reduce tasks that kept their interpreted kernels
+    #: because the generator does not cover a construct they use
+    codegen_fallbacks: int = field(default=0, compare=False)
+
     # -- peak-memory observability (measured; see MEMORY_FIELDS) -------------
     #: max ``tracemalloc`` traced-memory high-water mark observed across
     #: this job's task bodies and shuffle (bytes; 0 when tracing is off)
@@ -167,7 +188,8 @@ class JobCounters:
         bookkeeping excluded)."""
         data = dict(vars(self))
         for name in (TIMING_FIELDS + CACHE_FIELDS + FAULT_FIELDS
-                     + BATCH_FIELDS + SPILL_FIELDS + MEMORY_FIELDS):
+                     + BATCH_FIELDS + SPILL_FIELDS + CODEGEN_FIELDS
+                     + MEMORY_FIELDS):
             data.pop(name, None)
         return data
 
@@ -239,6 +261,10 @@ class JobCounters:
             spill_files=self.spill_files,
             spilled_bytes=int(self.spilled_bytes * factor),
             merge_passes=self.merge_passes,
+            # Codegen bookkeeping counts compile events, not volume.
+            codegen_compiles=self.codegen_compiles,
+            codegen_cache_hits=self.codegen_cache_hits,
+            codegen_fallbacks=self.codegen_fallbacks,
             peak_mem_bytes=self.peak_mem_bytes,
         )
 

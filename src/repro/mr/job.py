@@ -74,11 +74,21 @@ class EmitSpec:
     :class:`BatchEmit`); jobs whose specs all carry one are eligible for
     the batch data plane.  Hand-built jobs leave it ``None`` and run on
     the row plane.
+
+    ``cg``, when present, is the whole-stage-codegen descriptor
+    (:mod:`repro.expr.codegen`) carrying the expression trees and name
+    maps this spec's closures were compiled from; the runtime uses it to
+    specialize the job into generated kernels.  ``cg_loop`` is set only
+    on specialized jobs: the generated whole-split loop
+    ``loop(rows) -> [(key, TaggedValue)]`` that replaces the engine's
+    single-spec per-record emit loop.
     """
 
     role: str
     emit: EmitFn
     batch: Optional[BatchEmit] = None
+    cg: Optional[object] = None
+    cg_loop: Optional[Callable] = None
 
 
 @dataclass

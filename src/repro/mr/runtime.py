@@ -778,7 +778,8 @@ class Runtime:
                  data_plane: Optional[str] = None,
                  stats: Optional[object] = None,
                  memory_budget_mb: Optional[object] = None,
-                 track_memory: bool = False):
+                 track_memory: bool = False,
+                 codegen: Optional[object] = None):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
@@ -824,6 +825,14 @@ class Runtime:
         #: ``JobCounters.peak_mem_bytes`` (measured, excluded from
         #: ``comparable()``); surfaced by ``repro run --timings``
         self.track_memory = track_memory
+        #: whole-stage code generation (None/True/False/"on"/"off";
+        #: None resolves the ``REPRO_CODEGEN`` default, which is on).
+        #: Generated kernels are byte-identical to the interpreted
+        #: path in rows, partitions, and ``comparable()`` counters, so
+        #: the toggle only shows up in result-cache keys (codegen runs
+        #: are keyed separately, mirroring stats decisions) and in the
+        #: codegen_* bookkeeping counters.
+        self.codegen = codegen
 
     # -- public API --------------------------------------------------------
 
@@ -883,7 +892,8 @@ class Runtime:
         counters: Dict[str, JobCounters] = {}
         cached_ids: set = set()
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
-                               self.split_rows, stats=self.stats)
+                               self.split_rows, stats=self.stats,
+                               codegen=self.codegen)
                  if self.result_cache is not None else None)
         pending = list(jobs)
         wave = len(self.trace.waves) if self.trace else 0
@@ -935,7 +945,8 @@ class Runtime:
         graphs = [JobTaskGraph(job, self.datastore, self.split_rows,
                                data_plane=self.data_plane,
                                stats=self.stats,
-                               memory=self.memory)
+                               memory=self.memory,
+                               codegen=self.codegen)
                   for job in jobs]
 
         map_tasks = [(graph, task) for graph in graphs
@@ -1102,7 +1113,8 @@ class Runtime:
         if not jobs:
             return counters, cached_ids
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
-                               self.split_rows, stats=self.stats)
+                               self.split_rows, stats=self.stats,
+                               codegen=self.codegen)
                  if self.result_cache is not None else None)
 
         outputs_of = {job.job_id: set(job.output_datasets) for job in jobs}
@@ -1114,7 +1126,8 @@ class Runtime:
                                     defer=True,
                                     data_plane=self.data_plane,
                                     stats=self.stats,
-                                    memory=self.memory)
+                                    memory=self.memory,
+                                    codegen=self.codegen)
             deps = list(dict.fromkeys(dependencies.get(job.job_id, ())))
             st.deps_left = set(deps)
             scan_union: Set[str] = set()
@@ -1518,11 +1531,14 @@ class _ReuseTracker:
 
     def __init__(self, cache: ResultCache, datastore: Datastore,
                  split_rows: Optional[object],
-                 stats: Optional[object] = None):
+                 stats: Optional[object] = None,
+                 codegen: Optional[object] = None):
         self.cache = cache
         self.datastore = datastore
         self.split_rows = split_rows
         self.stats = stats
+        from repro.expr.codegen import resolve_codegen
+        self.codegen = resolve_codegen(codegen)
         self._content_ids: Dict[str, str] = {}
 
     def _decisions_token(self, job: MRJob) -> Optional[str]:
@@ -1541,6 +1557,13 @@ class _ReuseTracker:
         if (self.stats is not None and self.split_rows == "auto"
                 and job.map_agg is not None and job.est_key_distinct):
             token = ";".join(filter(None, [token, "run=stats_split"]))
+        if self.codegen:
+            # Codegen and interpreted runs are byte-identical, but key
+            # them apart anyway: the contract is enforced by tests, not
+            # by construction, and a poisoned entry must not cross the
+            # toggle.  Interpreted keys stay byte-identical to the
+            # pre-codegen format.
+            token = ";".join(filter(None, [token, "run=codegen"]))
         return token
 
     def key_for(self, job: MRJob) -> Optional[str]:

@@ -68,6 +68,8 @@ from repro.data.datastore import Datastore
 from repro.data.table import Row, Table
 from repro.errors import ExecutionError
 from repro.expr.aggregates import accumulator_factory
+from repro.expr.codegen import resolve_codegen
+from repro.expr.codegen import specialize as specialize_job
 from repro.mr.blocks import PairBlock, ValueStream, ingest_streams, zip_keys
 from repro.mr.counters import JobCounters
 from repro.mr.job import MRJob, MapInput, OutputSpec
@@ -496,6 +498,16 @@ class MapTask:
     def _emit_single(spec, rows: Sequence[Row]) -> List[Pair]:
         """Fast path for one emit spec: no other role can merge with it,
         so skip the per-record merge dict and reuse one role tag."""
+        loop = spec.cg_loop
+        if loop is not None:
+            try:
+                return loop(rows)
+            except KeyError:
+                # A malformed record hit a generated subscript: rerun
+                # the interpreted loop from scratch (expressions are
+                # pure), which produces the identical pairs or raises
+                # its own resolver error.
+                pass
         emit = spec.emit
         tag = frozenset((spec.role,))
         pairs: List[Pair] = []
@@ -1366,7 +1378,8 @@ class JobTaskGraph:
                  defer: bool = False,
                  data_plane: Optional[str] = None,
                  stats: Optional[object] = None,
-                 memory: Optional[MemoryBudget] = None):
+                 memory: Optional[MemoryBudget] = None,
+                 codegen: Optional[object] = None):
         job.validate()
         if not (split_rows is None or split_rows == "auto"
                 or (isinstance(split_rows, int) and not isinstance(
@@ -1380,6 +1393,18 @@ class JobTaskGraph:
             raise ExecutionError(
                 f"job {job.job_id}: data_plane must be 'row' or 'batch', "
                 f"got {data_plane!r}")
+        #: whole-stage codegen: swap the job for its specialized twin
+        #: (generated emit loops, batch kernels, aggregate folds) before
+        #: any task is planned.  The original job object is untouched, so
+        #: callers holding it (result cache, benches) see interpreted
+        #: kernels; byte-identity of rows/partitions/comparable counters
+        #: is the codegen contract.
+        self.codegen = resolve_codegen(codegen)
+        cg_stats = None
+        if self.codegen:
+            specialized, cg_stats = specialize_job(job)
+            if specialized is not None:
+                job = specialized
         self.job = job
         self.datastore = datastore
         self.split_rows = split_rows
@@ -1402,6 +1427,10 @@ class JobTaskGraph:
         self._input_seq = {id(mi): i for i, mi in enumerate(job.map_inputs)}
         self.counters = JobCounters(job_id=job.job_id, name=job.name,
                                     num_reducers=job.num_reducers)
+        if cg_stats is not None:
+            self.counters.codegen_compiles += cg_stats.compiles
+            self.counters.codegen_cache_hits += cg_stats.cache_hits
+            self.counters.codegen_fallbacks += cg_stats.fallbacks
         self._planned: List[Optional[List[MapTask]]] = \
             [None] * len(job.map_inputs)
         self._unplanned = len(job.map_inputs)

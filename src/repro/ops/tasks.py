@@ -797,6 +797,14 @@ class AggTask(ReduceTask):
     instead of re-accumulated.
     """
 
+    #: generated multi-row grouping fold (``fold(rows) -> out_rows``),
+    #: attached by :func:`repro.expr.codegen.specialize` on eligible
+    #: tasks of a specialized job's reducer clone.  Byte-identical to
+    #: the direct grouping loop; raises ``KeyError`` on a strict slot
+    #: miss, in which case finish() reruns the interpreted loops (which
+    #: own the error semantics).
+    _cg_fold: Optional[Callable] = None
+
     def __init__(self, task_id: str, source: TaskInput,
                  group_exprs: Sequence[Tuple[str, Callable[[Row], object]]],
                  agg_specs: Sequence[Tuple[str, str, Optional[Callable[[Row], object]],
@@ -1126,6 +1134,22 @@ class AggTask(ReduceTask):
             self.compute_ops += len(self.agg_specs)
             run = self._stages_run
             return run([out_row]) if run is not None else [out_row]
+
+        fold = self._cg_fold
+        if fold is not None and rows:
+            try:
+                out = fold(rows)
+            except KeyError:
+                # A strict slot was missing: fall through to the
+                # interpreted loops below, which own the error semantics
+                # (direct loop retried, then the compiled resolver).
+                out = None
+            if out is not None:
+                # Same charge as the interpreted loop: every row touches
+                # every accumulator exactly once.
+                self.compute_ops += len(self.agg_specs) * len(rows)
+                run = self._stages_run
+                return run(out) if run is not None else out
 
         groups: Dict[Tuple, List[Accumulator]] = {}
         reprs: Dict[Tuple, Row] = {}

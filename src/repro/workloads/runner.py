@@ -94,7 +94,8 @@ def run_translation(translation: Translation, datastore: Datastore,
                     data_plane: Optional[str] = None,
                     stats: Optional[object] = None,
                     memory_budget_mb: Optional[object] = None,
-                    track_memory: bool = False) -> QueryRunResult:
+                    track_memory: bool = False,
+                    codegen: Optional[object] = None) -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -142,6 +143,12 @@ def run_translation(translation: Translation, datastore: Datastore,
     rows and ``comparable()`` counters stay byte-identical to the
     in-memory plane.  ``track_memory`` samples per-job ``tracemalloc``
     peaks into ``peak_mem_bytes``.
+
+    ``codegen`` toggles whole-stage code generation (None resolves the
+    ``REPRO_CODEGEN`` default, which is on): map emits and eligible
+    reduce aggregations run as per-plan compiled Python kernels that
+    are byte-identical to the interpreted path in rows, partitions,
+    and ``comparable()`` counters.
     """
     from repro.stats.decisions import resolve_stats
     ctx = resolve_stats(stats)
@@ -151,7 +158,7 @@ def run_translation(translation: Translation, datastore: Datastore,
                       fault_plan=fault_plan, max_attempts=max_attempts,
                       speculate=speculate, data_plane=data_plane,
                       stats=ctx, memory_budget_mb=memory_budget_mb,
-                      track_memory=track_memory)
+                      track_memory=track_memory, codegen=codegen)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     if ctx is not None:
@@ -187,7 +194,8 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               data_plane: Optional[str] = None,
               stats: Optional[object] = None,
               memory_budget_mb: Optional[object] = None,
-              track_memory: bool = False) -> QueryRunResult:
+              track_memory: bool = False,
+              codegen: Optional[object] = None) -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -224,4 +232,4 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                            data_plane=data_plane,
                            stats=ctx if ctx is not None else "off",
                            memory_budget_mb=memory_budget_mb,
-                           track_memory=track_memory)
+                           track_memory=track_memory, codegen=codegen)

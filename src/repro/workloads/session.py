@@ -64,7 +64,8 @@ class WorkloadSession:
                  speculate: bool = False,
                  stats: Optional[object] = None,
                  memory_budget_mb: Optional[object] = None,
-                 track_memory: bool = False):
+                 track_memory: bool = False,
+                 codegen: Optional[object] = None):
         from repro.mr.spill import resolve_memory_budget
         from repro.stats.decisions import resolve_stats
         self.datastore = datastore
@@ -91,6 +92,12 @@ class WorkloadSession:
         #: (None = in-memory, or the ``REPRO_MEMORY_MB`` default)
         self.memory = resolve_memory_budget(memory_budget_mb)
         self.track_memory = track_memory
+        #: whole-stage codegen toggle forwarded to every query's
+        #: Runtime (None = the ``REPRO_CODEGEN`` default).  Warm
+        #: sessions never re-generate: generated code objects are
+        #: cached process-wide by source digest, so the second run of a
+        #: repeated query reuses the compiled kernels outright.
+        self.codegen = codegen
         self.runs: List[SessionRun] = []
         self._counter = itertools.count(1)
 
@@ -109,7 +116,8 @@ class WorkloadSession:
             speculate=self.speculate,
             stats=(self.stats_context if self.stats_context is not None
                    else "off"),
-            memory_budget_mb=self.memory, track_memory=self.track_memory)
+            memory_budget_mb=self.memory, track_memory=self.track_memory,
+            codegen=self.codegen)
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,

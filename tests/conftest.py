@@ -131,6 +131,20 @@ if os.environ.get("REPRO_SUITE_STATS") == "0":
     os.environ["REPRO_STATS"] = "off"
 
 
+# -- interpreted-engine suite leg (REPRO_SUITE_CODEGEN=0) --------------------
+#
+# Whole-stage codegen is on by default (REPRO_CODEGEN resolves "1"), so
+# the ordinary suite run executes compiled kernels everywhere.  This CI
+# leg forces the whole tier-1 suite back onto the interpreted closures
+# by exporting the environment default off before any Runtime resolves
+# it: because generated kernels are byte-identical in rows, partitions,
+# and comparable() counters, the entire suite must pass unchanged on
+# the interpreted path too.
+
+if os.environ.get("REPRO_SUITE_CODEGEN") == "0":
+    os.environ["REPRO_CODEGEN"] = "0"
+
+
 # -- out-of-core suite leg (REPRO_SUITE_SPILL=<MB>) --------------------------
 #
 # The spill plane is byte-identical to the in-memory plane by contract,

@@ -1,0 +1,511 @@
+"""Tests for whole-stage code generation (``repro.expr.codegen``).
+
+The load-bearing contract: generated kernels are **byte-identical** to
+the interpreted engine in rows, partition assignment, and every
+``comparable()`` counter — across executors, schedulers, data planes,
+fault injection, and spill budgets.  Anything codegen cannot express
+falls back per construct, never wrong.
+
+Three layers of evidence:
+
+* expression pins and a hypothesis property suite proving the rendered
+  Python agrees with ``compile_scalar``/``compile_predicate`` on SQL
+  three-valued logic (NULL in IN lists, NULL BETWEEN bounds, CASE with
+  no ELSE, division by zero, ``||`` with NULL);
+* generated-source determinism: byte-stable across translations and
+  across interpreter processes with different hash seeds;
+* end-to-end identity matrices over the engine configuration space,
+  plus counter bookkeeping (compiles / cache hits / fallbacks).
+"""
+
+import hashlib
+import itertools
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.translator import translate_sql
+from repro.expr.codegen import (
+    _PREAMBLE,
+    _Ctx,
+    _render,
+    _render_true,
+    RawEmit,
+    generate_job,
+    job_source,
+    resolve_codegen,
+    specialize,
+)
+from repro.expr.compiler import compile_predicate, compile_scalar
+from repro.errors import ExecutionError, NameResolutionError
+from repro.mr.faultplan import FaultPlan
+from repro.sqlparser.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import run_query, run_translation
+
+_ns = itertools.count(1)
+
+AGG_SQL = ("SELECT l_orderkey, sum(l_quantity) AS qty FROM lineitem "
+           "GROUP BY l_orderkey")
+FILTER_AGG_SQL = ("SELECT l_orderkey, avg(l_quantity) AS q, count(*) AS n "
+                  "FROM lineitem WHERE l_quantity > 10.0 "
+                  "GROUP BY l_orderkey")
+
+
+def _namespace(prefix="cg"):
+    return f"{prefix}{next(_ns)}"
+
+
+# ---------------------------------------------------------------------------
+# Expression-level identity: rendered Python vs the interpreted compiler
+# ---------------------------------------------------------------------------
+
+def _bare_ref(table, name):
+    """Codegen resolver: a subscript expression over the row dict."""
+    assert table is None
+    return f"_r[{name!r}]"
+
+
+def _bare_key(table, name):
+    """Interpreted resolver: the row key itself."""
+    assert table is None
+    return name
+
+
+def _eval_env():
+    env = {"_NRE": NameResolutionError}
+    exec(compile(_PREAMBLE, "<test-preamble>", "exec"), env)
+    return env
+
+
+def _gen_value(expr, row):
+    code = _render(expr, _bare_ref, _Ctx())
+    return eval(code, _eval_env(), {"_r": row})  # noqa: S307 - test oracle
+
+
+def _gen_true(expr, row):
+    code = _render_true(expr, _bare_ref, _Ctx())
+    return bool(eval(code, _eval_env(), {"_r": row}))  # noqa: S307
+
+
+def _interp_value(expr, row):
+    return compile_scalar(expr, _bare_key)(row)
+
+
+def _agree(expr, row):
+    """Assert both engines produce the same scalar value AND the same
+    filter decision; return the shared scalar value."""
+    interp = _interp_value(expr, row)
+    gen = _gen_value(expr, row)
+    assert gen == interp and type(gen) is type(interp), \
+        f"{expr.to_sql()} on {row}: interpreted={interp!r} generated={gen!r}"
+    assert _gen_true(expr, row) == compile_predicate(expr, _bare_key)(row)
+    return interp
+
+
+def col(name):
+    return ColumnRef(None, name)
+
+
+def lits(*values):
+    return tuple(Literal(v) for v in values)
+
+
+class TestThreeValuedPins:
+    """The 3VL edge cases both engines must agree on, pinned one by one
+    (each also asserts the SQL-mandated value, not just agreement)."""
+
+    def test_null_in_list(self):
+        row = {"x": 2}
+        # A match decides True regardless of the NULL item ...
+        assert _agree(InList(col("x"), lits(2, None)), row) is True
+        # ... but a non-match with a NULL item is unknown, not False.
+        assert _agree(InList(col("x"), lits(1, None)), row) is None
+        assert _agree(InList(col("x"), lits(1, None), negated=True),
+                      row) is None
+        assert _agree(InList(col("x"), lits(2, None), negated=True),
+                      row) is False
+        # NULL operand is unknown either way.
+        assert _agree(InList(col("x"), lits(1, 2)), {"x": None}) is None
+
+    def test_between_null_bounds(self):
+        expr = Between(col("x"), Literal(None), Literal(5))
+        assert _agree(expr, {"x": 3}) is None
+        expr = Between(col("x"), Literal(1), Literal(None))
+        assert _agree(expr, {"x": 3}) is None
+        assert _agree(Between(col("x"), Literal(1), Literal(5)),
+                      {"x": None}) is None
+        assert _agree(Between(col("x"), Literal(1), Literal(5)),
+                      {"x": 5}) is True
+
+    def test_case_with_no_else(self):
+        expr = CaseWhen(branches=((BinaryOp(">", col("x"), Literal(0)),
+                                   Literal("pos")),))
+        assert _agree(expr, {"x": 1}) == "pos"
+        assert _agree(expr, {"x": -1}) is None   # no ELSE -> NULL
+        assert _agree(expr, {"x": None}) is None  # unknown cond skips branch
+
+    def test_division_by_zero_is_null(self):
+        expr = BinaryOp("/", col("x"), col("y"))
+        assert _agree(expr, {"x": 7, "y": 0}) is None
+        assert _agree(expr, {"x": 7, "y": 0.0}) is None
+        assert _agree(expr, {"x": 7, "y": 2}) == 3.5
+        assert _agree(expr, {"x": None, "y": 2}) is None
+
+    def test_concat_with_null_operands(self):
+        expr = BinaryOp("||", col("x"), col("y"))
+        assert _agree(expr, {"x": "a", "y": None}) is None
+        assert _agree(expr, {"x": None, "y": "b"}) is None
+        assert _agree(expr, {"x": "a", "y": 1}) == "a1"
+
+    def test_kleene_connectives(self):
+        null = IsNull(col("missing_is_fine_here"))
+        t = BinaryOp("=", Literal(1), Literal(1))
+        f = BinaryOp("=", Literal(1), Literal(2))
+        unknown = BinaryOp("=", col("x"), Literal(1))
+        row = {"x": None}
+        # NULL AND False -> False; NULL OR True -> True (Kleene).
+        assert _agree(BinaryOp("AND", unknown, f), row) is False
+        assert _agree(BinaryOp("OR", unknown, t), row) is True
+        assert _agree(BinaryOp("AND", unknown, t), row) is None
+        assert _agree(BinaryOp("OR", unknown, f), row) is None
+        assert _agree(UnaryOp("NOT", unknown), row) is None
+        del null
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property suite: random expression trees, random rows
+# ---------------------------------------------------------------------------
+
+_COLS = ("a", "b", "c")
+
+_scalar_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50, allow_nan=False, width=32),
+)
+
+_rows = st.fixed_dictionaries({c: _scalar_values for c in _COLS})
+
+_numeric_leaf = st.one_of(
+    st.sampled_from(_COLS).map(col),
+    st.integers(min_value=-9, max_value=9).map(Literal),
+    st.floats(min_value=-9, max_value=9, allow_nan=False,
+              width=16).map(Literal),
+    st.just(Literal(None)),
+)
+
+
+def _numeric_nodes(children):
+    binop = st.builds(BinaryOp, st.sampled_from(["+", "-", "*", "/"]),
+                      children, children)
+    neg = st.builds(UnaryOp, st.just("-"), children)
+    case = st.builds(
+        lambda c, v, d: CaseWhen(branches=((c, v),), default=d),
+        st.builds(BinaryOp, st.sampled_from(["<", ">", "=", "<="]),
+                  children, children),
+        children, children)
+    fn = st.builds(lambda a, b: FuncCall("coalesce", (a, b)),
+                   children, children)
+    return st.one_of(binop, neg, case, fn)
+
+
+_numeric_exprs = st.recursive(_numeric_leaf, _numeric_nodes, max_leaves=8)
+
+
+def _bool_leaves(num):
+    cmp_ = st.builds(BinaryOp,
+                     st.sampled_from(["=", "<>", "<", ">", "<=", ">="]),
+                     num, num)
+    isnull = st.builds(IsNull, num, st.booleans())
+    between = st.builds(Between, num, num, num)
+    inlist = st.builds(
+        InList, num,
+        st.lists(st.one_of(st.integers(min_value=-9, max_value=9),
+                           st.none()),
+                 min_size=1, max_size=4).map(lambda xs: lits(*xs)),
+        st.booleans())
+    return st.one_of(cmp_, isnull, between, inlist)
+
+
+def _bool_nodes(children):
+    return st.one_of(
+        st.builds(BinaryOp, st.sampled_from(["AND", "OR"]),
+                  children, children),
+        st.builds(UnaryOp, st.just("NOT"), children))
+
+
+_bool_exprs = st.recursive(_bool_leaves(_numeric_exprs), _bool_nodes,
+                           max_leaves=6)
+
+
+class TestPropertyIdentity:
+    @settings(max_examples=150, deadline=None)
+    @given(expr=_numeric_exprs, row=_rows)
+    def test_scalar_values_agree(self, expr, row):
+        _agree(expr, row)
+
+    @settings(max_examples=150, deadline=None)
+    @given(expr=_bool_exprs, row=_rows)
+    def test_filter_decisions_agree(self, expr, row):
+        _agree(expr, row)
+
+    @settings(max_examples=60, deadline=None)
+    @given(expr=_bool_exprs, row=_rows)
+    def test_rendered_source_is_pure(self, expr, row):
+        # Rendering twice yields identical text, and evaluating that
+        # text twice yields identical decisions (no hidden state).
+        a = _render_true(expr, _bare_ref, _Ctx())
+        b = _render_true(expr, _bare_ref, _Ctx())
+        assert a == b
+        env = _eval_env()
+        first = eval(a, env, {"_r": row})  # noqa: S307
+        assert eval(a, env, {"_r": row}) == first  # noqa: S307
+
+
+# ---------------------------------------------------------------------------
+# Per-record emit identity: generated emits vs interpreted closures
+# ---------------------------------------------------------------------------
+
+class TestEmitIdentity:
+    def _emit_pairs(self, sql, datastore):
+        """(interpreted spec, specialized spec, records) triples for
+        every generated map emit of every job of ``sql``."""
+        tr = translate_sql(sql, catalog=datastore.catalog,
+                           namespace=_namespace())
+        out = []
+        for job in tr.jobs:
+            new_job, _ = specialize(job)
+            if new_job is None:
+                continue
+            for mi, new_mi in zip(job.map_inputs, new_job.map_inputs):
+                if not datastore.has_table(mi.dataset):
+                    continue  # intermediate dataset: not materialized here
+                records = datastore.table(mi.dataset).rows
+                for spec, new_spec in zip(mi.specs, new_mi.specs):
+                    if new_spec.cg_loop is not None:
+                        out.append((spec, new_spec, records))
+        return out
+
+    def test_generated_emits_match_interpreted(self, datastore):
+        pairs = []
+        for sql in paper_queries().values():
+            pairs.extend(self._emit_pairs(sql, datastore))
+        assert pairs  # the paper workload must exercise codegen
+        for spec, new_spec, records in pairs:
+            for record in records:
+                assert new_spec.emit(record) == spec.emit(record)
+
+    def test_generated_loops_match_interpreted(self, datastore):
+        for spec, new_spec, records in self._emit_pairs(
+                paper_queries()["q17"], datastore):
+            pairs = new_spec.cg_loop(records)
+            assert all(tv.roles == frozenset((spec.role,))
+                       for _, tv in pairs)
+            loop = [(key, tv.payload) for key, tv in pairs]
+            single = [pair for record in records
+                      if (pair := spec.emit(record)) is not None]
+            assert loop == single
+
+    def test_missing_column_error_identity(self, datastore):
+        """A malformed record produces the same outcome from both
+        engines: the generated emit's KeyError reruns the interpreted
+        closure, which yields the identical value or raises its own
+        resolver error."""
+        bad = {"not_the_column": 1}
+        checked = 0
+        for sql in paper_queries().values():
+            for spec, new_spec, _ in self._emit_pairs(sql, datastore):
+                try:
+                    expected = spec.emit(bad)
+                except Exception as exc:  # noqa: BLE001 - identity oracle
+                    with pytest.raises(type(exc)):
+                        new_spec.emit(bad)
+                else:
+                    assert new_spec.emit(bad) == expected
+                checked += 1
+        assert checked > 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end identity across the engine configuration space
+# ---------------------------------------------------------------------------
+
+def _norm_comparable(run, namespace):
+    data = run.counters.comparable()
+    data.pop("job_id", None)
+    for key, value in list(data.items()):
+        if isinstance(value, dict):
+            data[key] = {k.replace(namespace, "NS"): v
+                         for k, v in value.items()}
+    return data
+
+
+def _arms(sql, datastore, **kwargs):
+    """Run ``sql`` with codegen on and off; return both results with
+    namespace-normalized comparable counters."""
+    results = {}
+    for arm in (True, False):
+        ns = _namespace()
+        result = run_query(sql, datastore, namespace=ns, codegen=arm,
+                           **kwargs)
+        results[arm] = (result,
+                        [_norm_comparable(r, ns) for r in result.runs])
+    return results
+
+
+def _assert_identical(results):
+    on, off = results[True], results[False]
+    assert on[0].rows == off[0].rows
+    assert on[1] == off[1]
+    # The toggle itself must never leak into comparable():
+    gen_counters = [r.counters for r in on[0].runs]
+    assert any(c.codegen_compiles or c.codegen_cache_hits
+               for c in gen_counters)
+    assert all(c.codegen_compiles == 0 and c.codegen_cache_hits == 0
+               for r in off[0].runs for c in [r.counters])
+
+
+class TestEndToEndIdentity:
+    @pytest.mark.parametrize("scheduler", ["dataflow", "wave"])
+    @pytest.mark.parametrize("data_plane", ["batch", "row"])
+    @pytest.mark.parametrize("parallelism", [1, 2])
+    def test_identity_matrix(self, datastore, scheduler, data_plane,
+                             parallelism):
+        _assert_identical(_arms(
+            FILTER_AGG_SQL, datastore, scheduler=scheduler,
+            data_plane=data_plane, parallelism=parallelism))
+
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_identity_paper_workload(self, datastore, name):
+        _assert_identical(_arms(paper_queries()[name], datastore))
+
+    @pytest.mark.parametrize("scheduler", ["dataflow", "wave"])
+    def test_identity_under_fault_injection(self, datastore, scheduler):
+        _assert_identical(_arms(
+            paper_queries()["q17"], datastore, scheduler=scheduler,
+            fault_plan=FaultPlan(0.05, seed=3), max_attempts=20))
+
+    def test_identity_under_spill_budget(self, datastore):
+        _assert_identical(_arms(
+            paper_queries()["q17"], datastore, memory_budget_mb=0.05))
+
+
+# ---------------------------------------------------------------------------
+# Determinism of the generated source
+# ---------------------------------------------------------------------------
+
+class TestSourceDeterminism:
+    def test_source_stable_across_translations(self, datastore):
+        for sql in paper_queries().values():
+            first = [job_source(j) for j in translate_sql(
+                sql, catalog=datastore.catalog,
+                namespace=_namespace()).jobs]
+            second = [job_source(j) for j in translate_sql(
+                sql, catalog=datastore.catalog,
+                namespace=_namespace()).jobs]
+            assert first == second
+            assert any(s is not None for s in first)
+
+    def test_source_stable_across_interpreters(self):
+        """No dict-order or id()-dependent naming: two fresh interpreter
+        processes with different hash seeds render byte-identical
+        modules for the whole paper workload."""
+        script = (
+            "import hashlib\n"
+            "from repro.core.translator import translate_sql\n"
+            "from repro.expr.codegen import job_source\n"
+            "from repro.workloads.queries import paper_queries\n"
+            "for name in sorted(paper_queries()):\n"
+            "    sql = paper_queries()[name]\n"
+            "    for job in translate_sql(sql, namespace='det').jobs:\n"
+            "        src = job_source(job) or ''\n"
+            "        digest = hashlib.sha256(src.encode()).hexdigest()\n"
+            "        print(job.job_id, digest)\n")
+
+        def digests(seed):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed})
+            return proc.stdout
+
+        first = digests("0")
+        assert first.strip()
+        assert first == digests("4242")
+
+
+# ---------------------------------------------------------------------------
+# Bookkeeping: compiles, cache hits, fallbacks, and the toggle
+# ---------------------------------------------------------------------------
+
+class TestCounters:
+    def test_repeat_run_hits_code_cache(self, datastore):
+        sql = FILTER_AGG_SQL
+        # codegen=True explicitly: this test is about the code cache, so
+        # it must hold on the REPRO_SUITE_CODEGEN=0 suite leg too.
+        cold = run_query(sql, datastore, namespace=_namespace(),
+                         codegen=True)
+        warm = run_query(sql, datastore, namespace=_namespace(),
+                         codegen=True)
+        assert sum(r.counters.codegen_compiles
+                   + r.counters.codegen_cache_hits
+                   for r in cold.runs) > 0
+        assert sum(r.counters.codegen_compiles for r in warm.runs) == 0
+        assert sum(r.counters.codegen_cache_hits for r in warm.runs) > 0
+        assert warm.rows == cold.rows
+
+    def test_unsupported_construct_counts_fallback(self, datastore):
+        tr = translate_sql(AGG_SQL, catalog=datastore.catalog,
+                           namespace=_namespace())
+        job = tr.jobs[0]
+        baseline = run_translation(tr, datastore, codegen=False)
+        spec = job.map_inputs[0].specs[0]
+        original = spec.cg
+        bad = BinaryOp("LIKE", ColumnRef(None, "l_orderkey"), Literal("x"))
+        try:
+            spec.cg = RawEmit("AGG1.in", ("l_orderkey",),
+                              (("l_quantity", "l_quantity"),),
+                              filters=(bad,),
+                              qmap=(("l_orderkey", "l_orderkey"),))
+            gen = generate_job(job)
+            assert gen is not None
+            assert gen.stats.fallbacks == 1
+            assert (0, 0) not in gen.spec_plans
+            # End to end, the spec simply stays interpreted:
+            result = run_translation(tr, datastore, codegen=True)
+            assert result.runs[0].counters.codegen_fallbacks == 1
+            assert result.rows == baseline.rows
+        finally:
+            spec.cg = original
+
+    def test_resolve_codegen(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+        assert resolve_codegen(None) is True  # default on
+        monkeypatch.setenv("REPRO_CODEGEN", "0")
+        assert resolve_codegen(None) is False
+        assert resolve_codegen(True) is True  # explicit beats env
+        assert resolve_codegen("on") is True
+        assert resolve_codegen("off") is False
+        with pytest.raises(ExecutionError):
+            resolve_codegen("maybe")
+
+    def test_codegen_counters_excluded_from_comparable(self):
+        from repro.mr.counters import JobCounters
+        comparable = JobCounters(job_id="x").comparable()
+        for name in ("codegen_compiles", "codegen_cache_hits",
+                     "codegen_fallbacks"):
+            assert name not in comparable

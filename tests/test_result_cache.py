@@ -424,3 +424,49 @@ class TestStatsCacheCoupling:
         warm_static = run_query(AGG_SQL, ds, cache=cache,
                                 namespace="al3.l", stats="off")
         assert warm_static.runs[0].cached
+
+
+# ---------------------------------------------------------------------------
+# Codegen/result-cache coupling: the run-mode marker in the job key
+# ---------------------------------------------------------------------------
+
+class TestCodegenCacheCoupling:
+    """The codegen toggle folds into result-cache job keys exactly like
+    stats decisions: a ``run=codegen`` marker rides the ``decisions=``
+    token, so compiled and interpreted runs never alias one entry —
+    while interpreted keys stay byte-identical to the pre-codegen
+    format."""
+
+    def test_codegen_and_interpreted_runs_never_alias_one_entry(self):
+        ds = tiny_datastore()
+        cache = ResultCache()
+        compiled = run_query(AGG_SQL, ds, cache=cache,
+                             namespace="cg1.l", codegen=True)
+        interp = run_query(AGG_SQL, ds, cache=cache,
+                           namespace="cg2.l", codegen=False)
+        assert not interp.runs[0].cached  # no cross-arm aliasing
+        assert interp.rows == compiled.rows
+        # ... yet each arm warms its own entry:
+        warm_on = run_query(AGG_SQL, ds, cache=cache,
+                            namespace="cg3.l", codegen=True)
+        warm_off = run_query(AGG_SQL, ds, cache=cache,
+                             namespace="cg4.l", codegen=False)
+        assert warm_on.runs[0].cached
+        assert warm_off.runs[0].cached
+        assert warm_on.rows == warm_off.rows == compiled.rows
+
+    def test_marker_composes_with_stats_decisions(self):
+        from repro.mr.runtime import _ReuseTracker
+        ds = tiny_datastore()
+        tr = translate_sql(AGG_SQL, catalog=ds.catalog, namespace="cgk.l")
+        job = tr.jobs[0]
+        off = _ReuseTracker(ResultCache(), ds, None, codegen=False)
+        on = _ReuseTracker(ResultCache(), ds, None, codegen=True)
+        # Interpreted runs key exactly as before codegen existed:
+        assert off._decisions_token(job) == job.stats_decisions
+        assert on._decisions_token(job) == ";".join(
+            filter(None, [job.stats_decisions, "run=codegen"]))
+        assert job_cache_key(job.plan_signature, ["data:t@1.0"], None,
+                             decisions=off._decisions_token(job)) != \
+            job_cache_key(job.plan_signature, ["data:t@1.0"], None,
+                          decisions=on._decisions_token(job))
