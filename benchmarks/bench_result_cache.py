@@ -128,7 +128,7 @@ def main(argv=None) -> int:
     cold_session: WorkloadSession = cold.result
     warm_session: WorkloadSession = warm.result
     report = compare_arms(cold_session, warm_session)
-    stats = warm_session.stats
+    stats = warm_session.cache_stats
     cold_sim = sum(r.result.timing.total_s for r in cold_session.runs)
     warm_sim = sum(r.result.timing.total_s for r in warm_session.runs)
 

@@ -1,0 +1,276 @@
+"""Multi-tenant service benchmark: concurrent tenants over one shared
+cache vs isolated sequential sessions.
+
+``--tenants`` concurrent tenants (default 4, half at fair-share weight
+2.0) each replay the paper's query workload ``--rounds`` times against
+one :class:`~repro.service.QueryService` — one datastore, one shared
+:class:`~repro.reuse.ResultCache`, one fair-share pool.  Three
+measurements:
+
+* **sequential** — per-tenant isolated cold sessions, one after
+  another: the no-service baseline.
+* **cold** — all tenants concurrently against a fresh service (empty
+  shared cache).  Cross-tenant reuse already bites here: the first
+  tenant to finish a sub-plan serves everyone else.
+* **warm** — the same tenants replay the same streams against the
+  now-populated cache.
+
+Every tenant's rows (and ``comparable()`` counters) must be
+byte-identical to its sequential reference in both concurrent arms —
+the benchmark refuses to report a throughput win that moved a byte.
+Reports aggregate throughput (queries/s) and per-query latency
+p50/p99, cold vs warm, plus shared-cache traffic including
+``cross_tenant_hits``.
+
+Writes ``BENCH_service.json`` at the repo root.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI
+
+Exits nonzero if any tenant's rows drift from sequential, the warm arm
+is not faster than the cold arm, or the shared cache never served a
+cross-tenant hit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _microbench import write_json  # noqa: E402
+
+from repro.service import QueryService
+from repro.workloads.queries import paper_queries
+from repro.workloads.runner import build_datastore
+from repro.workloads.session import WorkloadSession
+
+DEFAULT_OUT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_service.json"))
+
+
+def tenant_names(n: int) -> List[str]:
+    return [f"tenant{i}" for i in range(n)]
+
+
+def tenant_weight(i: int) -> float:
+    """Alternate weights so the fair-share stride path is exercised."""
+    return 2.0 if i % 2 == 0 else 1.0
+
+
+def workload_stream(rounds: int) -> List[Tuple[str, str]]:
+    queries = sorted(paper_queries().items())
+    return [(name, sql) for _ in range(rounds) for name, sql in queries]
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def run_sequential(datastore, stream, tenants: List[str]
+                   ) -> Tuple[Dict[str, list], Dict[str, list], float]:
+    """The reference arm: each tenant's stream in an isolated cold
+    session, tenants one after another, the stream twice per tenant —
+    the first pass is the cold arm's reference, the second the warm
+    arm's (session namespaces advance across passes, and counters
+    embed them)."""
+    first: Dict[str, list] = {}
+    second: Dict[str, list] = {}
+    t0 = time.perf_counter()
+    for tenant in tenants:
+        # the same namespace prefix the service will use, so counters
+        # (which embed dataset names) compare byte-for-byte
+        session = WorkloadSession(datastore, cache_mb=None, stats="off",
+                                  namespace_prefix=f"svc.{tenant}")
+        for outputs in (first, second):
+            outputs[tenant] = [
+                (session.run(sql, name=name).rows,
+                 [r.counters.comparable()
+                  for r in session.runs[-1].result.runs])
+                for name, sql in stream]
+    return first, second, time.perf_counter() - t0
+
+
+def run_concurrent(service: QueryService, stream,
+                   tenants: List[str]) -> Dict[str, object]:
+    """One concurrent arm: every tenant drives its stream on its own
+    thread; returns outputs, per-query latencies, and the arm wall."""
+    outputs: Dict[str, list] = {}
+    latencies: Dict[str, List[float]] = {}
+    errors: List[BaseException] = []
+
+    def drive(tenant: str):
+        rows_and_counters, walls = [], []
+        try:
+            for name, sql in stream:
+                t0 = time.perf_counter()
+                result = service.run(tenant, sql, name=name)
+                walls.append(time.perf_counter() - t0)
+                rows_and_counters.append(
+                    (result.rows,
+                     [r.counters.comparable() for r in result.runs]))
+        except BaseException as exc:
+            errors.append(exc)
+            raise
+        outputs[tenant] = rows_and_counters
+        latencies[tenant] = walls
+
+    threads = [threading.Thread(target=drive, args=(t,), name=f"drv-{t}")
+               for t in tenants]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    all_lat = [w for walls in latencies.values() for w in walls]
+    return {
+        "outputs": outputs,
+        "wall_s": wall,
+        "queries": len(stream) * len(tenants),
+        "throughput_qps": len(stream) * len(tenants) / wall,
+        "p50_s": percentile(all_lat, 50),
+        "p99_s": percentile(all_lat, 99),
+    }
+
+
+def identity_report(reference: Dict[str, list],
+                    arm_outputs: Dict[str, list]) -> Dict[str, bool]:
+    return {tenant: arm_outputs[tenant] == reference[tenant]
+            for tenant in reference}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny data, one round; exit 1 unless every "
+                             "tenant matches sequential, warm beats "
+                             "cold, and a cross-tenant hit happened")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the workload")
+    parser.add_argument("--users", type=int, default=60,
+                        help="clickstream users for the workload")
+    parser.add_argument("--tenants", type=int, default=4,
+                        help="concurrent tenants (each its own thread)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="times each tenant repeats the workload")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="shared fair-share pool size")
+    parser.add_argument("--cache-mb", type=float, default=64.0)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.users, args.rounds = 0.001, 20, 1
+
+    if args.tenants < 2:
+        print("need at least 2 tenants for cross-tenant reuse",
+              file=sys.stderr)
+        return 2
+
+    datastore = build_datastore(tpch_scale=args.scale,
+                                clickstream_users=args.users, seed=7)
+    stream = workload_stream(args.rounds)
+    tenants = tenant_names(args.tenants)
+
+    ref_cold, ref_warm, sequential_wall = run_sequential(
+        datastore, stream, tenants)
+
+    with QueryService(datastore, workers=args.workers,
+                      cache_mb=args.cache_mb, stats="off") as service:
+        for i, tenant in enumerate(tenants):
+            service.open_session(tenant, weight=tenant_weight(i))
+        cold = run_concurrent(service, stream, tenants)
+        cold_cache = dict(service.cache.stats.as_dict())
+        warm = run_concurrent(service, stream, tenants)
+        cache_stats = service.cache.stats.as_dict()
+        per_tenant = {t: service.tenant_stats(t) for t in tenants}
+        dispatched = dict(service.executor.dispatched)
+
+    cold_identity = identity_report(ref_cold, cold.pop("outputs"))
+    warm_identity = identity_report(ref_warm, warm.pop("outputs"))
+    identical = (all(cold_identity.values())
+                 and all(warm_identity.values()))
+    warm_faster = warm["throughput_qps"] > cold["throughput_qps"]
+
+    payload = {
+        "benchmark": "service",
+        "config": {"tpch_scale": args.scale, "clickstream_users": args.users,
+                   "seed": 7, "tenants": args.tenants,
+                   "weights": [tenant_weight(i)
+                               for i in range(args.tenants)],
+                   "rounds": args.rounds, "workers": args.workers,
+                   "cache_mb": args.cache_mb, "smoke": args.smoke},
+        "sequential": {"wall_s": sequential_wall,
+                       "queries": 2 * len(stream) * args.tenants,
+                       "throughput_qps": (2 * len(stream) * args.tenants
+                                          / sequential_wall)},
+        "cold": {**cold, "identical": cold_identity,
+                 "cache": cold_cache},
+        "warm": {**warm, "identical": warm_identity,
+                 "cache": cache_stats},
+        "identical": identical,
+        "warm_speedup": warm["throughput_qps"] / cold["throughput_qps"],
+        "concurrent_speedup": (cold["throughput_qps"]
+                               / (2 * len(stream) * args.tenants
+                                  / sequential_wall)),
+        "cross_tenant_hits": cache_stats["cross_tenant_hits"],
+        "tenants": per_tenant,
+        "tasks_dispatched": dispatched,
+    }
+    write_json(args.out, payload)
+
+    print(f"{args.tenants} tenants x {len(stream)} queries, "
+          f"{args.workers} workers, cache={args.cache_mb:g}MB shared")
+    print(f"sequential: {payload['sequential']['throughput_qps']:8.2f} q/s "
+          f"({sequential_wall * 1e3:.1f}ms)")
+    print(f"cold:       {cold['throughput_qps']:8.2f} q/s "
+          f"p50={cold['p50_s'] * 1e3:.1f}ms "
+          f"p99={cold['p99_s'] * 1e3:.1f}ms "
+          f"(cross_tenant_hits={cold_cache['cross_tenant_hits']})")
+    print(f"warm:       {warm['throughput_qps']:8.2f} q/s "
+          f"p50={warm['p50_s'] * 1e3:.1f}ms "
+          f"p99={warm['p99_s'] * 1e3:.1f}ms "
+          f"({payload['warm_speedup']:.2f}x cold)")
+    print(f"cache: hits={cache_stats['hits']} "
+          f"misses={cache_stats['misses']} "
+          f"cross_tenant_hits={cache_stats['cross_tenant_hits']} "
+          f"bytes_saved={cache_stats['bytes_saved']}")
+    for tenant in tenants:
+        counters = per_tenant[tenant]
+        print(f"   {tenant:<10} w={counters['weight']:g} "
+              f"queries={counters['queries']} "
+              f"hits={counters['cache_hits']} "
+              f"wall={counters['wall_s'] * 1e3:8.1f}ms "
+              f"tasks={dispatched.get(tenant, 0)}")
+    print(f"identical={identical} warm_faster={warm_faster}")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        bad = [t for t, ok in {**cold_identity, **warm_identity}.items()
+               if not ok]
+        print(f"FAIL: tenants {bad} drifted from the sequential "
+              f"reference", file=sys.stderr)
+        return 1
+    if not warm_faster:
+        print("FAIL: warm throughput did not beat cold", file=sys.stderr)
+        return 1
+    if cache_stats["cross_tenant_hits"] < 1:
+        print("FAIL: shared cache never served a cross-tenant hit",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

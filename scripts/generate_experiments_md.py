@@ -396,6 +396,62 @@ def codegen_section(path="BENCH_codegen.json"):
     return out.getvalue()
 
 
+def service_section(path="BENCH_service.json"):
+    """Render the multi-tenant service benchmark, if it has been run
+    (``PYTHONPATH=src python benchmarks/bench_service.py``).
+
+    Real in-process milliseconds: N concurrent tenants replaying the
+    paper workload against one shared cache and fair-share pool, with
+    every tenant's rows and ``comparable()`` counters asserted
+    byte-identical to isolated sequential sessions — YSmart Sec. VII-F's
+    contention regime plus ReStore-style cross-tenant sub-plan reuse.
+    """
+    if not os.path.exists(path):
+        return ""
+    with open(path) as fh:
+        data = json.load(fh)
+    cfg = data["config"]
+    seq, cold, warm = data["sequential"], data["cold"], data["warm"]
+    cache = warm["cache"]
+    out = io.StringIO()
+    out.write("\n## Multi-tenant service (concurrent tenants, "
+              "shared cache, real time)\n\n")
+    out.write(f"From `{os.path.basename(path)}` "
+              f"(seed {cfg['seed']}, TPC-H SF {cfg['tpch_scale']}, "
+              f"{cfg['tenants']} tenants x {cfg['rounds']} rounds, "
+              f"{cfg['workers']} shared workers, "
+              f"cache {cfg['cache_mb']:g} MB"
+              f"{', smoke run' if cfg.get('smoke') else ''}): "
+              f"aggregate throughput grows from "
+              f"**{seq['throughput_qps']:.1f} q/s** sequential to "
+              f"**{cold['throughput_qps']:.1f} q/s** concurrent-cold to "
+              f"**{warm['throughput_qps']:.1f} q/s** concurrent-warm "
+              f"({data['warm_speedup']:.2f}x cold); the shared cache "
+              f"served **{data['cross_tenant_hits']}** cross-tenant hits "
+              f"({cache['hits']} total, "
+              f"{cache['bytes_saved']} bytes saved); every tenant "
+              f"{'byte-identical' if data['identical'] else 'DIVERGED'} "
+              "vs its sequential reference.\n\n")
+    out.write("| arm | throughput q/s | p50 ms | p99 ms | "
+              "cross-tenant hits |\n")
+    out.write("|---|---|---|---|---|\n")
+    out.write(f"| sequential | {seq['throughput_qps']:.1f} | - | - "
+              f"| - |\n")
+    for label, arm in (("cold", cold), ("warm", warm)):
+        out.write(f"| {label} | {arm['throughput_qps']:.1f} "
+                  f"| {arm['p50_s'] * 1e3:.1f} "
+                  f"| {arm['p99_s'] * 1e3:.1f} "
+                  f"| {arm['cache']['cross_tenant_hits']} |\n")
+    out.write("\n| tenant | weight | queries | cache hits | "
+              "wall ms | tasks dispatched |\n")
+    out.write("|---|---|---|---|---|---|\n")
+    for name, t in sorted(data["tenants"].items()):
+        out.write(f"| {name} | {t['weight']:g} | {t['queries']} "
+                  f"| {t['cache_hits']} | {t['wall_s'] * 1e3:.1f} "
+                  f"| {data['tasks_dispatched'].get(name, 0)} |\n")
+    return out.getvalue()
+
+
 def main():
     start = time.time()
     workload = standard_workload()
@@ -471,6 +527,7 @@ def main():
     out.write(adaptive_stats_section())
     out.write(out_of_core_section())
     out.write(codegen_section())
+    out.write(service_section())
     out.write(f"\n*Generated in {time.time() - start:.0f}s from the "
               "standard workload (TPC-H SF 0.005, 120 click-stream users) "
               "with seed 2011.*\n")

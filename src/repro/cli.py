@@ -344,7 +344,7 @@ def cmd_workload(args) -> int:
         print(line)
 
     summary = session.summary()
-    stats = session.stats
+    stats = session.cache_stats
     print(f"total wall: {summary['wall_s'] * 1e3:.2f}ms over "
           f"{summary['queries']} queries / {summary['jobs']} jobs")
     if args.cache_mb > 0:
@@ -387,6 +387,85 @@ def cmd_experiments(args) -> int:
               file=sys.stderr)
         print(comparison.describe(), file=sys.stderr)
         return 0 if comparison.clean else 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import QueryService, ServiceDaemon
+    ds = _datastore(args)
+    service = QueryService(ds, workers=args.workers or None,
+                           cache_mb=args.cache_mb,
+                           stats="on" if args.stats else "off")
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+    cached = (f"cache={args.cache_mb:g}MB shared" if args.cache_mb > 0
+              else "cache=off")
+    try:
+        daemon.ready.wait(0)  # populated once bound, printed below
+        print(f"repro service: {len(ds.catalog.table_names())} tables, "
+              f"{service.executor.workers} workers, {cached}")
+        import threading
+
+        def announce():
+            daemon.ready.wait()
+            print(f"listening on {args.host}:{daemon.port} "
+                  f"(newline-delimited JSON; ops: hello/query/stats/"
+                  f"shutdown)")
+        threading.Thread(target=announce, daemon=True).start()
+        daemon.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    from repro.service import ServiceClient
+    from repro.workloads import extra_queries, paper_queries
+    available = dict(paper_queries())
+    available.update(extra_queries())
+    with ServiceClient(host=args.host, port=args.port) as client:
+        client.hello(args.tenant, weight=args.weight,
+                     cache_policy=args.cache_policy)
+        if args.shutdown:
+            client.shutdown()
+            print("service stopping")
+            return 0
+        queries = []
+        if args.sql:
+            queries.append(("adhoc", args.sql))
+        for name in args.names:
+            if name not in available:
+                print(f"unknown query name {name!r}; "
+                      f"available: {sorted(available)}", file=sys.stderr)
+                return 2
+            queries.append((name, available[name]))
+        if not queries:
+            print("nothing to run: pass query names or --sql",
+                  file=sys.stderr)
+            return 2
+        for name, sql in queries:
+            response = client.query(sql, name=name)
+            print(f"   {name:<14} jobs={response['jobs']} "
+                  f"hits={response['cache_hits']} "
+                  f"wall={response['wall_s'] * 1e3:8.2f}ms "
+                  f"rows={len(response['rows'])}")
+            for row in response["rows"][:args.limit]:
+                print(f"      {row}")
+        if args.show_stats:
+            stats = client.stats()
+            mine = stats.get("tenant", {})
+            cache = stats["service"]["cache"]
+            print(f"tenant {args.tenant}: queries={mine.get('queries')} "
+                  f"jobs={mine.get('jobs')} "
+                  f"cache_hits={mine.get('cache_hits')} "
+                  f"bytes_saved={mine.get('cached_bytes_saved')} "
+                  f"wall={mine.get('wall_s', 0) * 1e3:.2f}ms")
+            if cache:
+                print(f"shared cache: hits={cache['hits']} "
+                      f"misses={cache['misses']} "
+                      f"cross_tenant_hits={cache['cross_tenant_hits']} "
+                      f"bytes_saved={cache['bytes_saved']}")
     return 0
 
 
@@ -517,6 +596,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative drift tolerance for --compare")
     _add_data_args(p)
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant query service daemon "
+                            "(asyncio, newline-delimited JSON)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8972,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="shared fair-share pool size (0 = one per CPU)")
+    p.add_argument("--cache-mb", type=float, default=64.0, metavar="N",
+                   help="shared result-cache byte budget (0 disables "
+                        "cross-tenant reuse)")
+    p.add_argument("--stats", action="store_true",
+                   help="enable the shared statistics layer (one sketch "
+                        "catalog for every tenant)")
+    _add_data_args(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="connect to a running service daemon and run "
+                            "queries as one tenant")
+    p.add_argument("names", nargs="*",
+                   help="paper/extra query names to run")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8972)
+    p.add_argument("--tenant", default="cli",
+                   help="tenant identity for fair-share and cache "
+                        "attribution")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="fair-share weight (2.0 = twice the dispatch "
+                        "rate of a weight-1 tenant under contention)")
+    p.add_argument("--cache-policy", choices=["shared", "private"],
+                   default="shared",
+                   help="shared: serve and be served by other tenants' "
+                        "cached sub-plans; private: own fingerprint "
+                        "namespace")
+    p.add_argument("--sql", default=None,
+                   help="ad-hoc SQL to run (may combine with names)")
+    p.add_argument("--limit", type=int, default=5,
+                   help="result rows to print per query")
+    p.add_argument("--show-stats", action="store_true",
+                   help="print tenant counters and shared-cache stats "
+                        "after the queries")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the daemon instead of running queries")
+    p.set_defaults(fn=cmd_client)
 
     p = sub.add_parser("generate", help="write generated tables to disk")
     p.add_argument("--out", required=True)

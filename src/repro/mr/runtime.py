@@ -779,10 +779,17 @@ class Runtime:
                  stats: Optional[object] = None,
                  memory_budget_mb: Optional[object] = None,
                  track_memory: bool = False,
-                 codegen: Optional[object] = None):
+                 codegen: Optional[object] = None,
+                 tenant: Optional[str] = None,
+                 cache_policy: str = "shared",
+                 admission: Optional[object] = None):
         if scheduler not in ("dataflow", "wave"):
             raise ExecutionError(
                 f"unknown scheduler {scheduler!r}; pick 'dataflow' or 'wave'")
+        if cache_policy not in ("shared", "private"):
+            raise ExecutionError(
+                f"unknown cache_policy {cache_policy!r}; "
+                f"pick 'shared' or 'private'")
         if max_attempts is None:
             max_attempts = (DEFAULT_MAX_ATTEMPTS if fault_plan is not None
                             else 1)
@@ -833,6 +840,24 @@ class Runtime:
         #: are keyed separately, mirroring stats decisions) and in the
         #: codegen_* bookkeeping counters.
         self.codegen = codegen
+        #: multi-tenant identity (the service sets it): the tenant name
+        #: attributes cache admissions and hits, and ``cache_policy``
+        #: selects the shared fingerprint space (default — entries are
+        #: visible to every tenant, the ReStore-style cross-tenant
+        #: reuse) or a per-tenant namespace ("private": the tenant name
+        #: is folded into every cache key, so entries never cross
+        #: tenants).  Neither changes rows or ``comparable()`` counters.
+        self.tenant = tenant
+        self.cache_policy = cache_policy
+        #: admission-control hook (duck-typed like
+        #: :class:`~repro.service.fairshare.TenantAdmission`): lets an
+        #: external fair-share controller bound this chain's inflight
+        #: share of a shared executor pool (``task_slots``), reorder the
+        #: dataflow ready heap (``ready_key``), and observe task
+        #: starts/finishes.  ``None`` keeps the historical
+        #: single-tenant behavior.  Scheduling only — rows and
+        #: ``comparable()`` counters are unaffected by construction.
+        self.admission = admission
 
     # -- public API --------------------------------------------------------
 
@@ -893,7 +918,8 @@ class Runtime:
         cached_ids: set = set()
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
                                self.split_rows, stats=self.stats,
-                               codegen=self.codegen)
+                               codegen=self.codegen, tenant=self.tenant,
+                               cache_policy=self.cache_policy)
                  if self.result_cache is not None else None)
         pending = list(jobs)
         wave = len(self.trace.waves) if self.trace else 0
@@ -1114,7 +1140,8 @@ class Runtime:
             return counters, cached_ids
         reuse = (_ReuseTracker(self.result_cache, self.datastore,
                                self.split_rows, stats=self.stats,
-                               codegen=self.codegen)
+                               codegen=self.codegen, tenant=self.tenant,
+                               cache_policy=self.cache_policy)
                  if self.result_cache is not None else None)
 
         outputs_of = {job.job_id: set(job.output_datasets) for job in jobs}
@@ -1142,8 +1169,9 @@ class Runtime:
                 dependents[d].append(job.job_id)
             states[job.job_id] = st
 
-        ready: List[Tuple[int, int, _Node]] = []
+        ready: List[Tuple[Tuple, int, _Node]] = []
         seq = itertools.count()
+        adm = self.admission
         completions: "queue.Queue" = queue.Queue()
         finished: deque = deque()
         inflight = 0
@@ -1162,7 +1190,13 @@ class Runtime:
         last_attempt_tid: Dict[str, str] = {}
 
         def enqueue(node: _Node) -> None:
-            heapq.heappush(ready, (node.state.order, next(seq), node))
+            # The admission hook may re-key the ready heap — the
+            # single-tenant (order, seq) earliest-job-first policy
+            # becomes whatever the fair-share controller returns
+            # (tie-broken by seq either way, so it stays a total order).
+            key = ((node.state.order,) if adm is None
+                   else tuple(adm.ready_key(node.kind, node.state.order)))
+            heapq.heappush(ready, (key, next(seq), node))
 
         def plan_scan(st: _JobState, index: int) -> None:
             if index in st.scans_enqueued:
@@ -1372,6 +1406,8 @@ class Runtime:
                         settle(node, result, None)
                     return
                 inflight += 1
+                if adm is not None:
+                    adm.task_started(node.kind)
                 node.started_at = time.perf_counter()
                 inflight_nodes.setdefault(key, []).append(node)
                 session.submit(
@@ -1448,7 +1484,13 @@ class Runtime:
                     f"failed: {error}") from error
 
             def dispatch() -> None:
-                while ready and inflight < cap:
+                # Under admission control the chain's inflight cap is
+                # the controller's *current* slot grant (re-read per
+                # dispatch, so a tenant's share shrinks and grows as
+                # other tenants join and leave the shared pool).
+                while ready and inflight < (
+                        cap if adm is None
+                        else max(1, min(cap, adm.task_slots(cap)))):
                     _, _, node = heapq.heappop(ready)
                     begin(node)
 
@@ -1504,6 +1546,8 @@ class Runtime:
                         f"{stuck}")
                 node, result, error = completions.get()
                 inflight -= 1
+                if adm is not None:
+                    adm.task_finished(node.kind)
                 settle(node, result, error)
 
         return counters, cached_ids
@@ -1532,13 +1576,22 @@ class _ReuseTracker:
     def __init__(self, cache: ResultCache, datastore: Datastore,
                  split_rows: Optional[object],
                  stats: Optional[object] = None,
-                 codegen: Optional[object] = None):
+                 codegen: Optional[object] = None,
+                 tenant: Optional[str] = None,
+                 cache_policy: str = "shared"):
         self.cache = cache
         self.datastore = datastore
         self.split_rows = split_rows
         self.stats = stats
         from repro.expr.codegen import resolve_codegen
         self.codegen = resolve_codegen(codegen)
+        #: tenant identity for hit/admission attribution; under the
+        #: "private" policy it is also folded into every cache key, so
+        #: the tenant gets its own fingerprint namespace (self-reuse
+        #: only).  The default "shared" policy keeps keys byte-identical
+        #: to the single-tenant format — entries cross tenants freely.
+        self.tenant = tenant
+        self.cache_policy = cache_policy
         self._content_ids: Dict[str, str] = {}
 
     def _decisions_token(self, job: MRJob) -> Optional[str]:
@@ -1582,7 +1635,10 @@ class _ReuseTracker:
                 ref = f"data:{dataset}@{version}"
             refs.append(ref)
         key = job_cache_key(job.plan_signature, refs, self.split_rows,
-                            decisions=self._decisions_token(job))
+                            decisions=self._decisions_token(job),
+                            tenant=(self.tenant
+                                    if self.cache_policy == "private"
+                                    else None))
         for i, out in enumerate(job.outputs):
             self._content_ids[out.dataset] = f"job:{key}/{i}"
         return key
@@ -1591,7 +1647,7 @@ class _ReuseTracker:
         """Serve the job from the cache: write its materialized outputs
         into the datastore as if it ran, and return replayed counters.
         Returns None on a miss."""
-        entry = self.cache.lookup(key)
+        entry = self.cache.lookup(key, tenant=self.tenant)
         if entry is None:
             return None
         for out, cached in zip(job.outputs, entry.outputs):
@@ -1600,7 +1656,7 @@ class _ReuseTracker:
             self.datastore.write_intermediate(
                 out.dataset, Table(out.dataset, schema, cached.rows))
         counters = rehydrate_counters(job, entry.counters)
-        self.cache.stats.bytes_saved += counters.cached_bytes_saved
+        self.cache.note_bytes_saved(counters.cached_bytes_saved)
         return counters
 
     def admit(self, job: MRJob, key: str, counters: JobCounters) -> None:
@@ -1613,7 +1669,8 @@ class _ReuseTracker:
             size += table.estimated_bytes()
         self.cache.admit(CacheEntry(
             key=key, outputs=outputs,
-            counters=canonical_counters(job, counters), size_bytes=size))
+            counters=canonical_counters(job, counters), size_bytes=size,
+            owner=self.tenant or ""))
         counters.cache_misses = 1
 
 

@@ -13,10 +13,20 @@ Row lists are shared, never copied: the execution engine treats dataset
 rows as immutable (map tasks read them, finalize builds fresh dicts, the
 workload runner copies result rows), so a cached output can back any
 number of replays.
+
+Thread safety: one cache may be shared by many concurrent tenants (the
+:mod:`repro.service` daemon shares a single instance across every
+session), so every mutating or compound operation — ``lookup``'s
+recency bump, ``admit``'s insert-and-evict, ``clear``, the byte
+accounting, and the stats counters — holds one internal
+:class:`threading.Lock`.  The resident byte total is maintained as a
+running sum (updated on admit/replace/evict/clear) instead of the old
+O(n) recomputation per admission.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -39,12 +49,17 @@ class CacheStats:
     rejected: int = 0
     #: input+output bytes of every replayed job (what hits avoided)
     bytes_saved: int = 0
+    #: hits served to a tenant other than the entry's admitting tenant
+    #: (only counted when lookups carry tenant identity, i.e. under the
+    #: multi-tenant service; standalone sessions leave it 0)
+    cross_tenant_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits, "misses": self.misses,
             "evictions": self.evictions, "admissions": self.admissions,
             "rejected": self.rejected, "bytes_saved": self.bytes_saved,
+            "cross_tenant_hits": self.cross_tenant_hits,
         }
 
 
@@ -65,6 +80,8 @@ class CacheEntry:
     counters: JobCounters
     #: estimated bytes of every output (the budget currency)
     size_bytes: int = 0
+    #: tenant that admitted the entry ("" outside the service)
+    owner: str = ""
 
 
 class ResultCache:
@@ -73,6 +90,8 @@ class ResultCache:
     ``lookup`` counts a hit or miss and refreshes recency; ``admit``
     stores an entry, evicting least-recently-used entries until the
     budget holds (an entry bigger than the whole budget is rejected).
+    Safe for concurrent callers: one lock serializes every compound
+    operation, and the resident byte total is a running sum.
     """
 
     def __init__(self, budget_bytes: int = 64 * 1024 * 1024):
@@ -82,52 +101,81 @@ class ResultCache:
         self.budget_bytes = budget_bytes
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._total_bytes = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def total_bytes(self) -> int:
-        return sum(e.size_bytes for e in self._entries.values())
+        """Resident bytes — a maintained running total, not an O(n)
+        sweep (the old per-admit recomputation made every admission
+        linear in the cache's entry count)."""
+        with self._lock:
+            return self._total_bytes
 
     def keys(self) -> List[str]:
         """Keys in LRU order (least recently used first)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
-    def lookup(self, key: str) -> Optional[CacheEntry]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+    def lookup(self, key: str,
+               tenant: Optional[str] = None) -> Optional[CacheEntry]:
+        """Fetch an entry, bumping recency.  ``tenant`` (when given)
+        attributes the hit: a hit on another tenant's admission counts
+        toward ``stats.cross_tenant_hits`` — the ReStore-style shared
+        sub-plan reuse the service benchmark gates on."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if tenant is not None and entry.owner and entry.owner != tenant:
+                self.stats.cross_tenant_hits += 1
+            return entry
 
     def admit(self, entry: CacheEntry) -> bool:
-        if entry.size_bytes > self.budget_bytes:
-            self.stats.rejected += 1
-            return False
-        if entry.key in self._entries:
-            self._entries.move_to_end(entry.key)
-            self._entries[entry.key] = entry
-        else:
-            self._entries[entry.key] = entry
-            self.stats.admissions += 1
-        over = self.total_bytes - self.budget_bytes
-        while over > 0:
-            victim_key = next(iter(self._entries))
-            if victim_key == entry.key:
-                break  # never evict what was just admitted
-            victim = self._entries.pop(victim_key)
-            over -= victim.size_bytes
-            self.stats.evictions += 1
-        return True
+        with self._lock:
+            if entry.size_bytes > self.budget_bytes:
+                self.stats.rejected += 1
+                return False
+            prev = self._entries.get(entry.key)
+            if prev is not None:
+                self._entries.move_to_end(entry.key)
+                self._entries[entry.key] = entry
+                self._total_bytes += entry.size_bytes - prev.size_bytes
+            else:
+                self._entries[entry.key] = entry
+                self._total_bytes += entry.size_bytes
+                self.stats.admissions += 1
+            while self._total_bytes > self.budget_bytes:
+                victim_key = next(iter(self._entries))
+                if victim_key == entry.key:
+                    break  # never evict what was just admitted
+                victim = self._entries.pop(victim_key)
+                self._total_bytes -= victim.size_bytes
+                self.stats.evictions += 1
+            return True
+
+    def note_bytes_saved(self, n: int) -> None:
+        """Fold a replay's avoided I/O into the stats under the cache
+        lock (callers used to ``+=`` the field directly, which is a
+        lost-update race between concurrent tenants)."""
+        with self._lock:
+            self.stats.bytes_saved += n
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
 
 
 # ---------------------------------------------------------------------------

@@ -255,7 +255,8 @@ def _outputs_signature(compiler, draft, index_of) -> str:
 def job_cache_key(plan_signature: Optional[str],
                   input_refs: List[str],
                   split_rows: Optional[int],
-                  decisions: Optional[str] = None) -> Optional[str]:
+                  decisions: Optional[str] = None,
+                  tenant: Optional[str] = None) -> Optional[str]:
     """The runtime cache key: plan digest × input content ids × split
     geometry.  ``input_refs`` are content identities of every map input
     (``data:<name>@<version>`` for stored datasets, ``job:<key>/<i>`` for
@@ -269,6 +270,13 @@ def job_cache_key(plan_signature: Optional[str],
     runs must not alias one cache entry.  ``None`` — every job the
     optimizer left static — contributes nothing, keeping those keys
     byte-identical to the pre-stats format.
+
+    ``tenant`` is folded in only under the service's **private** cache
+    policy: it partitions the fingerprint space per tenant, so entries
+    never cross tenants.  The default (``None`` — shared policy and
+    every standalone session) contributes nothing, which is what makes
+    cross-tenant reuse possible: two tenants running the same sub-plan
+    over the same shared datastore produce the same key.
     """
     if plan_signature is None:
         return None
@@ -276,5 +284,6 @@ def job_cache_key(plan_signature: Optional[str],
         [f"plan:{signature_digest(plan_signature)}",
          f"split_rows:{split_rows}"]
         + ([f"stats:{decisions}"] if decisions is not None else [])
+        + ([f"tenant:{tenant}"] if tenant is not None else [])
         + [f"in:{ref}" for ref in input_refs])
     return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -1,0 +1,43 @@
+"""Multi-tenant query service over the dataflow runtime.
+
+The service turns the single-session engine into a shared daemon: many
+tenants connect concurrently, each owning a
+:class:`~repro.workloads.WorkloadSession`-shaped handle, all sharing one
+:class:`~repro.reuse.ResultCache`, one
+:class:`~repro.stats.StatsContext`, and one fair-share executor pool.
+This is the contention regime YSmart's Sec. VII-F measures — the more
+concurrent jobs compete for the cluster, the more shared sub-plan reuse
+and merged jobs pay — plus ReStore-style cross-tenant result sharing:
+two tenants running the same sub-plan over the same datastore produce
+the same fingerprint, so the second is served from the first's
+materialized output.
+
+Layers:
+
+* :class:`FairShareExecutor` — one shared worker pool with a
+  stride-scheduled per-tenant dispatch queue; each tenant's runtime
+  submits tasks through its own handle.
+* :class:`FairShareAdmission` — the per-tenant admission controller
+  plugged into the runtime scheduler's admission hooks (weighted
+  in-flight slot grants, re-read per dispatch so shares adapt as
+  tenants join and leave).
+* :class:`QueryService` — the in-process core: tenant registry,
+  per-tenant counters, shared cache/stats, query execution.
+* :class:`ServiceDaemon` / :class:`ServiceClient` — the asyncio
+  newline-delimited-JSON wire layer (``repro serve`` /
+  ``repro client``).
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.fairshare import FairShareAdmission, FairShareExecutor
+from repro.service.server import ServiceDaemon
+from repro.service.service import QueryService, TenantCounters
+
+__all__ = [
+    "FairShareAdmission",
+    "FairShareExecutor",
+    "QueryService",
+    "ServiceClient",
+    "ServiceDaemon",
+    "TenantCounters",
+]

@@ -1,0 +1,86 @@
+"""A blocking client for the service daemon: ``repro client``.
+
+Plain sockets and newline-delimited JSON — the client side of
+:mod:`repro.service.server`'s protocol.  Synchronous by design: each
+tenant connection issues one request at a time (the daemon serializes
+per-connection anyway), and the bench/tests get concurrency by running
+one client per tenant thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServiceClient:
+    """One tenant's connection to a running service daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8972,
+                 timeout: Optional[float] = 300.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self.tenant: Optional[str] = None
+
+    # -- wire ----------------------------------------------------------------
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """One request/response round trip; raises on ``ok: false``."""
+        self._sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("connection closed by the service daemon")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # -- ops -----------------------------------------------------------------
+
+    def hello(self, tenant: str, weight: float = 1.0,
+              cache_policy: str = "shared") -> Dict[str, object]:
+        response = self.request({"op": "hello", "tenant": tenant,
+                                 "weight": weight,
+                                 "cache_policy": cache_policy})
+        self.tenant = tenant
+        return response
+
+    def query(self, sql: str,
+              name: Optional[str] = None) -> Dict[str, object]:
+        """Run one query; the response carries ``columns``, ``rows``,
+        ``wall_s``, and cache accounting."""
+        return self.request({"op": "query", "sql": sql, "name": name})
+
+    def rows(self, sql: str,
+             name: Optional[str] = None) -> List[Dict[str, object]]:
+        return self.query(sql, name=name)["rows"]
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

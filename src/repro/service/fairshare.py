@@ -1,0 +1,264 @@
+"""Fair-share task execution across tenants.
+
+One :class:`FairShareExecutor` owns one worker pool for the whole
+service.  Tenants never touch the pool directly: each gets a *handle*
+(:class:`TenantExecutor`) that speaks the runtime's executor protocol —
+``session()`` returning an object with ``submit(thunk, done)`` — so a
+tenant's :class:`~repro.mr.runtime.Runtime` plugs in unchanged.  Every
+submitted task lands in the tenant's own queue; a stride scheduler
+drains the queues into the pool, so a tenant with weight 2 gets twice
+the dispatch rate of a tenant with weight 1 whenever both have work,
+and any lone tenant still gets the whole pool.
+
+Stride scheduling keeps a virtual *pass* per tenant; dispatching a task
+advances the tenant's pass by ``K / weight``.  The next task always
+comes from the queued tenant with the smallest pass, which bounds each
+tenant's deviation from its weighted share by one task — no starvation,
+no bursts.  Late joiners inherit the minimum live pass so they start on
+equal footing instead of replaying the history they missed.
+
+:class:`FairShareAdmission` is the second half: it implements the
+runtime scheduler's admission hooks (``task_slots`` / ``ready_key`` /
+``task_started`` / ``task_finished``), capping each tenant's in-flight
+tasks at its weighted share of the pool.  The share is recomputed on
+every dispatch from the *currently active* tenants, so capacity flows
+to whoever is running the moment others go idle.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: stride numerator — any constant; pass increments are K / weight
+_STRIDE_K = float(1 << 16)
+
+
+class FairShareExecutor:
+    """A shared worker pool with per-tenant stride-scheduled queues."""
+
+    def __init__(self, workers: Optional[int] = None):
+        from repro.errors import ExecutionError
+        from repro.mr.runtime import default_worker_count
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ExecutionError(
+                f"FairShareExecutor needs workers >= 1, got {workers}")
+        self.workers = workers
+        self.name = f"fairshare-x{workers}"
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+        self._lock = threading.Lock()
+        self._queues: Dict[str, deque] = {}
+        self._weights: Dict[str, float] = {}
+        self._pass: Dict[str, float] = {}
+        #: tasks currently on pool threads (all tenants)
+        self._inflight = 0
+        #: per-tenant in-flight task counts — the "active tenant" signal
+        #: :class:`FairShareAdmission` divides the pool by
+        self._active: Dict[str, int] = {}
+        #: per-tenant dispatched-task totals (telemetry)
+        self.dispatched: Dict[str, int] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, tenant: str, weight: float = 1.0) -> "TenantExecutor":
+        """Create (or re-weight) a tenant and return its handle."""
+        from repro.errors import ExecutionError
+        if weight <= 0:
+            raise ExecutionError(
+                f"tenant weight must be positive, got {weight}")
+        with self._lock:
+            self._weights[tenant] = float(weight)
+            self._queues.setdefault(tenant, deque())
+            self._active.setdefault(tenant, 0)
+            self.dispatched.setdefault(tenant, 0)
+            if tenant not in self._pass:
+                self._pass[tenant] = min(self._pass.values(), default=0.0)
+        return TenantExecutor(self, tenant)
+
+    def weight_of(self, tenant: str) -> float:
+        with self._lock:
+            return self._weights.get(tenant, 1.0)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _enqueue(self, tenant: str, thunk: Callable[[], object],
+                 done: Callable[[object, Optional[BaseException]], None]
+                 ) -> None:
+        with self._lock:
+            self._queues[tenant].append((thunk, done))
+            self._dispatch_locked()
+
+    def _dispatch_locked(self) -> None:
+        while self._inflight < self.workers:
+            backlogged = [t for t, q in self._queues.items() if q]
+            if not backlogged:
+                return
+            # smallest pass wins; name breaks ties deterministically
+            tenant = min(backlogged, key=lambda t: (self._pass[t], t))
+            thunk, done = self._queues[tenant].popleft()
+            self._pass[tenant] += _STRIDE_K / self._weights[tenant]
+            self._inflight += 1
+            self.dispatched[tenant] += 1
+            self._pool.submit(self._run, tenant, thunk, done)
+
+    def _run(self, tenant: str, thunk, done) -> None:
+        # Mirrors _PoolSession.relay: every failure — including
+        # run-aborting BaseExceptions, which would otherwise vanish into
+        # the pool thread — travels through ``done``; the scheduler
+        # decides what is retryable.
+        try:
+            result, exc = thunk(), None
+        except BaseException as e:  # noqa: B036 - delivered, not swallowed
+            result, exc = None, e
+        # Free the slot before the callback runs: ``done`` wakes the
+        # tenant's scheduler, which may immediately submit more tasks.
+        with self._lock:
+            self._inflight -= 1
+            self._dispatch_locked()
+        done(result, exc)
+
+    # -- admission bookkeeping (driven by FairShareAdmission) ----------------
+
+    def _chain_task_started(self, tenant: str) -> None:
+        with self._lock:
+            self._active[tenant] = self._active.get(tenant, 0) + 1
+
+    def _chain_task_finished(self, tenant: str) -> None:
+        with self._lock:
+            self._active[tenant] = max(0, self._active.get(tenant, 0) - 1)
+
+    def fair_slots(self, tenant: str, cap: int) -> int:
+        """``tenant``'s weighted share of ``cap`` slots, counting only
+        tenants with in-flight work (plus the asker): an idle service
+        grants everything to whoever shows up."""
+        with self._lock:
+            mine = self._weights.get(tenant, 1.0)
+            total = sum(w for t, w in self._weights.items()
+                        if t == tenant or self._active.get(t, 0) > 0)
+        if total <= 0:
+            return cap
+        return max(1, min(cap, math.ceil(cap * mine / total)))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "FairShareExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.shutdown()
+        return False
+
+
+class TenantExecutor:
+    """One tenant's view of the shared pool.
+
+    Implements the runtime executor protocol (``session()`` /
+    ``run_all``) so it drops into :class:`~repro.mr.runtime.Runtime`
+    wherever a :class:`~repro.mr.runtime.ParallelExecutor` would.  The
+    advertised ``max_workers`` is the whole pool — fairness comes from
+    the shared queue and the admission slot cap, not from lying about
+    capacity — so a lone tenant saturates the service.
+    """
+
+    kind = "fairshare"
+
+    def __init__(self, executor: FairShareExecutor, tenant: str):
+        self.executor = executor
+        self.tenant = tenant
+        self.max_workers = executor.workers
+        self.name = f"fairshare[{tenant}]x{executor.workers}"
+
+    def session(self) -> "_TenantSession":
+        return _TenantSession(self.executor, self.tenant)
+
+    def run_all(self, thunks: Sequence[Callable[[], object]]
+                ) -> List[object]:
+        """Batch shim for the wave scheduler: funnel the batch through
+        the fair queue and wait for every result."""
+        if not thunks:
+            return []
+        results: List[object] = [None] * len(thunks)
+        errors: List[Optional[BaseException]] = [None] * len(thunks)
+        remaining = threading.Semaphore(0)
+        for i, thunk in enumerate(thunks):
+            def make_done(i):
+                def done(result, exc):
+                    results[i] = result
+                    errors[i] = exc
+                    remaining.release()
+                return done
+            self.executor._enqueue(self.tenant, thunk, make_done(i))
+        for _ in thunks:
+            remaining.acquire()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+class _TenantSession:
+    """Session adapter: submits into the tenant's fair queue.
+
+    Entering/exiting is a no-op — the pool belongs to the service and
+    outlives every chain.
+    """
+
+    kind = "fairshare"
+
+    def __init__(self, executor: FairShareExecutor, tenant: str):
+        self._executor = executor
+        self.tenant = tenant
+        self.workers = executor.workers
+
+    def __enter__(self) -> "_TenantSession":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def submit(self, thunk, done) -> None:
+        self._executor._enqueue(self.tenant, thunk, done)
+
+
+class FairShareAdmission:
+    """Per-tenant admission controller for the runtime scheduler.
+
+    The dataflow scheduler consults this object on every dispatch:
+    ``task_slots(cap)`` caps the chain's in-flight tasks at the
+    tenant's *current* weighted share of the pool (so the share adapts
+    as tenants become active or go idle), and ``task_started`` /
+    ``task_finished`` keep the executor's active-tenant accounting
+    honest.  ``ready_key`` preserves the runtime's ``(job order,)``
+    priority — cross-tenant ordering is the stride scheduler's job, and
+    within a tenant the translation's topological order is already
+    optimal.
+    """
+
+    def __init__(self, executor: FairShareExecutor, tenant: str):
+        self.executor = executor
+        self.tenant = tenant
+        #: tasks admitted/finished through this controller (telemetry)
+        self.started = 0
+        self.finished = 0
+
+    def task_slots(self, cap: int) -> int:
+        return self.executor.fair_slots(self.tenant, cap)
+
+    def ready_key(self, kind: str, order: int) -> Tuple:
+        return (order,)
+
+    def task_started(self, kind: str) -> None:
+        self.started += 1
+        self.executor._chain_task_started(self.tenant)
+
+    def task_finished(self, kind: str) -> None:
+        self.finished += 1
+        self.executor._chain_task_finished(self.tenant)

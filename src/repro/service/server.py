@@ -1,0 +1,181 @@
+"""The asyncio wire layer: ``repro serve``.
+
+One daemon process, one event loop, many tenant connections.  The
+protocol is newline-delimited JSON — one request object per line, one
+response object per line, strictly in order per connection:
+
+* ``{"op": "hello", "tenant": "t1", "weight": 2.0,
+  "cache_policy": "shared"}`` → binds the connection to a tenant
+  session (idempotent across reconnects).
+* ``{"op": "query", "sql": "SELECT ...", "name": "q3"}`` → runs the
+  query and answers with columns, rows, and per-run cache/wall
+  accounting.
+* ``{"op": "stats"}`` → the tenant's counters plus service-wide
+  aggregates (shared cache, per-tenant usage).
+* ``{"op": "shutdown"}`` → stops the daemon (every connection ends).
+
+The event loop never executes a query itself: ``query`` ops are handed
+to worker threads (``loop.run_in_executor``), so N tenants issuing
+queries genuinely contend inside the engine — the fair-share pool and
+the admission hooks, not the wire layer, decide who runs.  Per-tenant
+ordering is still preserved by :class:`~repro.service.service.
+QueryService`'s tenant lock.
+
+Every response carries ``"ok"``; failures carry ``"error"`` with the
+exception text and never tear down the daemon (a tenant's bad SQL is
+its own problem).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional
+
+from repro.service.service import QueryService
+
+#: generous per-line cap — result sets ride on one JSON line
+_LINE_LIMIT = 64 * 1024 * 1024
+
+
+def _encode(obj: Dict[str, object]) -> bytes:
+    return (json.dumps(obj, default=str) + "\n").encode("utf-8")
+
+
+class ServiceDaemon:
+    """Owns the asyncio server around one :class:`QueryService`.
+
+    ``run()`` blocks the calling thread (the CLI path); ``start()``
+    spins the loop up on a daemon thread and returns once the socket is
+    bound (the test/bench path), with ``stop()``/``join()`` for
+    teardown.  ``port=0`` binds an ephemeral port; the bound port is
+    published on :attr:`port` once :attr:`ready` is set.
+    """
+
+    def __init__(self, service: QueryService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    # -- protocol ------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        tenant: Optional[str] = None
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    op = request.get("op")
+                    if op == "hello":
+                        tenant = str(request["tenant"])
+                        self.service.open_session(
+                            tenant,
+                            weight=float(request.get("weight", 1.0)),
+                            cache_policy=request.get("cache_policy",
+                                                     "shared"))
+                        response = {"ok": True, "tenant": tenant}
+                    elif op == "query":
+                        if tenant is None:
+                            raise ValueError("send hello before query")
+                        response = await loop.run_in_executor(
+                            None, self._run_query, tenant,
+                            request["sql"], request.get("name"))
+                    elif op == "stats":
+                        response = {"ok": True,
+                                    "service": self.service.service_stats()}
+                        if tenant is not None:
+                            response["tenant"] = (
+                                self.service.tenant_stats(tenant))
+                    elif op == "shutdown":
+                        response = {"ok": True, "stopping": True}
+                        writer.write(_encode(response))
+                        await writer.drain()
+                        if self._stop is not None:
+                            self._stop.set()
+                        break
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                except Exception as exc:
+                    response = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(_encode(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _run_query(self, tenant: str, sql: str,
+                   name: Optional[str]) -> Dict[str, object]:
+        result = self.service.run(tenant, sql, name=name)
+        record = self.service._tenant(tenant)
+        run = record.session.runs[-1]
+        return {
+            "ok": True, "name": run.name, "namespace": run.namespace,
+            "columns": result.columns, "rows": result.rows,
+            "jobs": len(result.runs), "wall_s": run.wall_s,
+            "cache_hits": run.cache_hits,
+            "cache_misses": run.cache_misses,
+            "cached_bytes_saved": run.cached_bytes_saved,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def _amain(self) -> None:
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_LINE_LIMIT)
+        self.port = server.sockets[0].getsockname()[1]
+        self.ready.set()
+        async with server:
+            await self._stop.wait()
+
+    def run(self) -> None:
+        """Serve until a ``shutdown`` op arrives (blocking)."""
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._amain())
+        finally:
+            self._loop.close()
+            self._loop = None
+
+    def start(self) -> "ServiceDaemon":
+        """Serve on a background daemon thread; returns once bound."""
+        def target():
+            try:
+                self.run()
+            except BaseException as exc:  # surfaced via join()
+                self._error = exc
+                self.ready.set()
+        self._thread = threading.Thread(target=target,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self.ready.wait()
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def stop(self) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._error is not None:
+                raise self._error

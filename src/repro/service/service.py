@@ -1,0 +1,221 @@
+"""The in-process multi-tenant query service core.
+
+:class:`QueryService` is what both the asyncio daemon and the tests
+drive: a tenant registry over one shared
+:class:`~repro.data.datastore.Datastore`, one
+:class:`~repro.reuse.ResultCache`, one
+:class:`~repro.stats.StatsContext`, and one
+:class:`~repro.service.fairshare.FairShareExecutor` pool.
+
+Sharing one datastore is load-bearing, not a convenience: cache keys
+fold in input content identities (``data:<name>@<version>``), and
+version stamps are per-datastore-instance, so tenants only fingerprint-
+match — the whole point of the shared cache — when they read the same
+datastore.  Tenant isolation comes from namespaces instead: every
+tenant's intermediates live under ``svc.<tenant>.q<N>`` prefixes, so
+concurrent queries never collide in the shared store.
+
+Concurrency contract: queries from *different* tenants run fully
+concurrently (that is the service's reason to exist); queries from the
+*same* tenant are serialized on the tenant's lock, matching the
+session's sequential-stream semantics (its namespace counter and run
+log assume one query at a time).
+
+Cache isolation policy, per tenant: ``"shared"`` (the default) keeps
+cache keys byte-identical to the single-tenant format, so tenants serve
+each other's sub-plans; ``"private"`` folds the tenant name into every
+key, giving the tenant its own fingerprint namespace (self-reuse only)
+while still sharing the cache's byte budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data.datastore import Datastore
+from repro.errors import ExecutionError
+from repro.reuse.cache import ResultCache
+from repro.service.fairshare import FairShareAdmission, FairShareExecutor
+from repro.workloads.runner import QueryRunResult
+from repro.workloads.session import WorkloadSession
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant usage accounting (guarded by the tenant's lock)."""
+
+    queries: int = 0
+    jobs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cached_bytes_saved: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries, "jobs": self.jobs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cached_bytes_saved": self.cached_bytes_saved,
+            "wall_s": self.wall_s,
+        }
+
+
+@dataclass
+class _Tenant:
+    """One registered tenant: its session, lock, and counters."""
+
+    name: str
+    weight: float
+    cache_policy: str
+    session: WorkloadSession
+    admission: FairShareAdmission
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    counters: TenantCounters = field(default_factory=TenantCounters)
+
+
+class QueryService:
+    """Tenant registry + shared execution state for the daemon.
+
+    ``workers`` sizes the shared fair-share pool; ``cache_mb`` the
+    shared result cache (0/None disables reuse service-wide); ``stats``
+    resolves the shared statistics context exactly like a session's
+    ``stats=`` kwarg (one catalog for everyone — sketches collected for
+    one tenant serve the rest).
+    """
+
+    def __init__(self, datastore: Datastore,
+                 workers: Optional[int] = None,
+                 cache_mb: Optional[float] = 64.0,
+                 stats: Optional[object] = None,
+                 split_rows: Optional[object] = None,
+                 num_reducers: Optional[int] = None,
+                 codegen: Optional[object] = None):
+        from repro.stats.decisions import resolve_stats
+        self.datastore = datastore
+        self.cache: Optional[ResultCache] = (
+            ResultCache(budget_bytes=int(cache_mb * 1024 * 1024))
+            if cache_mb else None)
+        self.stats_context = resolve_stats(stats)
+        self.executor = FairShareExecutor(workers)
+        self.split_rows = split_rows
+        self.num_reducers = num_reducers
+        self.codegen = codegen
+        self._tenants: Dict[str, _Tenant] = {}
+        self._registry_lock = threading.Lock()
+
+    # -- tenant lifecycle ----------------------------------------------------
+
+    def open_session(self, tenant: str, weight: float = 1.0,
+                     cache_policy: str = "shared") -> "_Tenant":
+        """Register ``tenant`` (idempotent: reconnecting re-weights and
+        returns the existing session, preserving its counters and
+        namespace counter)."""
+        if not tenant or any(ch.isspace() for ch in tenant):
+            raise ExecutionError(
+                f"tenant name must be non-empty and whitespace-free, "
+                f"got {tenant!r}")
+        with self._registry_lock:
+            existing = self._tenants.get(tenant)
+            if existing is not None:
+                self.executor.register(tenant, weight)
+                existing.weight = weight
+                return existing
+            handle = self.executor.register(tenant, weight)
+            admission = FairShareAdmission(self.executor, tenant)
+            session = WorkloadSession(
+                self.datastore,
+                cache=self.cache, cache_mb=None,
+                namespace_prefix=f"svc.{tenant}",
+                split_rows=self.split_rows,
+                num_reducers=self.num_reducers,
+                stats=(self.stats_context
+                       if self.stats_context is not None else "off"),
+                codegen=self.codegen,
+                executor=handle, admission=admission,
+                tenant=tenant, cache_policy=cache_policy)
+            record = _Tenant(name=tenant, weight=weight,
+                             cache_policy=cache_policy, session=session,
+                             admission=admission)
+            self._tenants[tenant] = record
+            return record
+
+    def tenants(self) -> List[str]:
+        with self._registry_lock:
+            return sorted(self._tenants)
+
+    def _tenant(self, tenant: str) -> "_Tenant":
+        with self._registry_lock:
+            record = self._tenants.get(tenant)
+        if record is None:
+            raise ExecutionError(
+                f"unknown tenant {tenant!r}; open a session first "
+                f"(known: {', '.join(self.tenants()) or 'none'})")
+        return record
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, tenant: str, sql: str,
+            name: Optional[str] = None) -> QueryRunResult:
+        """Execute one query for ``tenant``.
+
+        Thread-safe: callers for different tenants proceed in parallel;
+        same-tenant callers queue on the tenant lock.
+        """
+        record = self._tenant(tenant)
+        with record.lock:
+            result = record.session.run(sql, name=name)
+            run = record.session.runs[-1]
+            c = record.counters
+            c.queries += 1
+            c.jobs += len(result.runs)
+            c.cache_hits += run.cache_hits
+            c.cache_misses += run.cache_misses
+            c.cached_bytes_saved += run.cached_bytes_saved
+            c.wall_s += run.wall_s
+        return result
+
+    # -- inspection ----------------------------------------------------------
+
+    def tenant_stats(self, tenant: str) -> Dict[str, object]:
+        record = self._tenant(tenant)
+        with record.lock:
+            out = record.counters.as_dict()
+        out.update(tenant=record.name, weight=record.weight,
+                   cache_policy=record.cache_policy,
+                   tasks_dispatched=self.executor.dispatched.get(tenant, 0))
+        return out
+
+    def service_stats(self) -> Dict[str, object]:
+        """Service-wide aggregates: shared cache counters plus every
+        tenant's usage."""
+        per_tenant = {t: self.tenant_stats(t) for t in self.tenants()}
+        return {
+            "tenants": per_tenant,
+            "workers": self.executor.workers,
+            "cache": (self.cache.stats.as_dict()
+                      if self.cache is not None else {}),
+            "cache_bytes": (self.cache.total_bytes
+                            if self.cache is not None else 0),
+            "cache_budget_bytes": (self.cache.budget_bytes
+                                   if self.cache is not None else 0),
+            "stats_catalog": (
+                {"collections": self.stats_context.catalog.collections,
+                 "hits": self.stats_context.catalog.hits,
+                 "invalidations": self.stats_context.catalog.invalidations}
+                if self.stats_context is not None else {}),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

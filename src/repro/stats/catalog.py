@@ -17,6 +17,7 @@ performs **zero** new collections.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -70,11 +71,18 @@ class StatsCatalog:
     """Lazily collected, version-keyed statistics for a datastore's
     datasets.  One instance is shared per session (it lives alongside
     the ``ResultCache`` in :class:`repro.workloads.WorkloadSession`), or
-    per run when the runner builds one ad hoc."""
+    per run when the runner builds one ad hoc.
+
+    Thread safety mirrors :class:`repro.reuse.cache.ResultCache`: the
+    multi-tenant service shares one catalog across concurrent tenants,
+    so the sketch cache and its counters are guarded by one re-entrant
+    lock (re-entrant because the public queries nest — ``distinct_of``
+    calls ``table_stats`` calls ``_entry``)."""
 
     def __init__(self, sketch_k: int = DEFAULT_SKETCH_K):
         self.sketch_k = sketch_k
         self._tables: Dict[str, TableStats] = {}
+        self._lock = threading.RLock()
         #: column/composite sketch passes performed (cache misses)
         self.collections: int = 0
         #: sketch requests served from cache
@@ -84,7 +92,7 @@ class StatsCatalog:
 
     # -- entry management ----------------------------------------------------
 
-    def _entry(self, datastore, name: str) -> TableStats:
+    def _entry_locked(self, datastore, name: str) -> TableStats:
         version = datastore.version(name)
         entry = self._tables.get(name)
         if entry is not None and entry.version != version:
@@ -105,24 +113,25 @@ class StatsCatalog:
         """Stats for ``name`` at its current version, with sketches for
         the requested ``columns`` (silently skipping names the dataset
         does not have — lineage can over-approximate)."""
-        entry = self._entry(datastore, name)
-        missing = [c for c in columns if c not in entry.columns]
-        if missing:
-            table = datastore.resolve(name)
-            view = table.columns_view(missing)
-            for col in missing:
-                values = view.get(col)
-                if values is None:
-                    continue
-                count, distinct, nulls, heavy, sampled = sketch_column(
-                    values, self.sketch_k)
-                entry.columns[col] = ColumnStats(
-                    count=count, distinct=distinct, nulls=nulls,
-                    heavy=heavy, sampled=sampled)
-                self.collections += 1
-        if columns and not missing:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entry_locked(datastore, name)
+            missing = [c for c in columns if c not in entry.columns]
+            if missing:
+                table = datastore.resolve(name)
+                view = table.columns_view(missing)
+                for col in missing:
+                    values = view.get(col)
+                    if values is None:
+                        continue
+                    count, distinct, nulls, heavy, sampled = sketch_column(
+                        values, self.sketch_k)
+                    entry.columns[col] = ColumnStats(
+                        count=count, distinct=distinct, nulls=nulls,
+                        heavy=heavy, sampled=sampled)
+                    self.collections += 1
+            if columns and not missing:
+                self.hits += 1
+            return entry
 
     def column_stats(self, datastore, name: str,
                      column: str) -> Optional[ColumnStats]:
@@ -133,25 +142,27 @@ class StatsCatalog:
         """Distinct count of a (possibly composite) key over the
         dataset's *current* contents; ``None`` when a column is absent."""
         cols = tuple(columns)
-        entry = self._entry(datastore, name)
-        if len(cols) == 1:
-            stats = self.table_stats(datastore, name, cols).column(cols[0])
-            return stats.distinct if stats is not None else None
-        cached = entry.composites.get(cols)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        view = datastore.resolve(name).columns_view(cols)
-        seqs = []
-        for col in cols:
-            values = view.get(col)
-            if values is None:
-                return None
-            seqs.append(values)
-        distinct = distinct_of_tuples(seqs)
-        entry.composites[cols] = distinct
-        self.collections += 1
-        return distinct
+        with self._lock:
+            entry = self._entry_locked(datastore, name)
+            if len(cols) == 1:
+                stats = self.table_stats(datastore, name,
+                                         cols).column(cols[0])
+                return stats.distinct if stats is not None else None
+            cached = entry.composites.get(cols)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            view = datastore.resolve(name).columns_view(cols)
+            seqs = []
+            for col in cols:
+                values = view.get(col)
+                if values is None:
+                    return None
+                seqs.append(values)
+            distinct = distinct_of_tuples(seqs)
+            entry.composites[cols] = distinct
+            self.collections += 1
+            return distinct
 
 
 def stats_enabled_default() -> bool:

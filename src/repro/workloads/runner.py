@@ -95,7 +95,11 @@ def run_translation(translation: Translation, datastore: Datastore,
                     stats: Optional[object] = None,
                     memory_budget_mb: Optional[object] = None,
                     track_memory: bool = False,
-                    codegen: Optional[object] = None) -> QueryRunResult:
+                    codegen: Optional[object] = None,
+                    executor: Optional[object] = None,
+                    admission: Optional[object] = None,
+                    tenant: Optional[str] = None,
+                    cache_policy: str = "shared") -> QueryRunResult:
     """Execute an existing translation and (optionally) time it.
 
     ``parallelism`` > 1 executes independent jobs of the translation's
@@ -149,16 +153,29 @@ def run_translation(translation: Translation, datastore: Datastore,
     reduce aggregations run as per-plan compiled Python kernels that
     are byte-identical to the interpreted path in rows, partitions,
     and ``comparable()`` counters.
+
+    ``executor`` overrides the runtime's task executor outright (e.g. a
+    per-tenant handle of the service's shared
+    :class:`~repro.service.FairShareExecutor`); when given,
+    ``parallelism`` is ignored.  ``admission`` / ``tenant`` /
+    ``cache_policy`` are the multi-tenant hooks forwarded to the
+    :class:`~repro.mr.runtime.Runtime` — standalone callers leave them
+    at their defaults, which keep behavior (and cache keys)
+    byte-identical to the single-tenant path.
     """
     from repro.stats.decisions import resolve_stats
     ctx = resolve_stats(stats)
-    runtime = Runtime(datastore, executor=make_executor(parallelism),
+    runtime = Runtime(datastore,
+                      executor=(executor if executor is not None
+                                else make_executor(parallelism)),
                       split_rows=split_rows, keep_trace=keep_trace,
                       result_cache=cache, scheduler=scheduler,
                       fault_plan=fault_plan, max_attempts=max_attempts,
                       speculate=speculate, data_plane=data_plane,
                       stats=ctx, memory_budget_mb=memory_budget_mb,
-                      track_memory=track_memory, codegen=codegen)
+                      track_memory=track_memory, codegen=codegen,
+                      tenant=tenant, cache_policy=cache_policy,
+                      admission=admission)
     runs = runtime.run_jobs(translation.jobs,
                             dependencies=translation.dependencies())
     if ctx is not None:
@@ -195,7 +212,11 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
               stats: Optional[object] = None,
               memory_budget_mb: Optional[object] = None,
               track_memory: bool = False,
-              codegen: Optional[object] = None) -> QueryRunResult:
+              codegen: Optional[object] = None,
+              executor: Optional[object] = None,
+              admission: Optional[object] = None,
+              tenant: Optional[str] = None,
+              cache_policy: str = "shared") -> QueryRunResult:
     """Parse, plan, translate, execute, and time one query.
 
     ``num_reducers`` defaults to the cluster's reduce-slot count (how
@@ -232,4 +253,6 @@ def run_query(sql: str, datastore: Datastore, mode: str = "ysmart",
                            data_plane=data_plane,
                            stats=ctx if ctx is not None else "off",
                            memory_budget_mb=memory_budget_mb,
-                           track_memory=track_memory, codegen=codegen)
+                           track_memory=track_memory, codegen=codegen,
+                           executor=executor, admission=admission,
+                           tenant=tenant, cache_policy=cache_policy)

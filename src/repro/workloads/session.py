@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
@@ -65,7 +66,12 @@ class WorkloadSession:
                  stats: Optional[object] = None,
                  memory_budget_mb: Optional[object] = None,
                  track_memory: bool = False,
-                 codegen: Optional[object] = None):
+                 codegen: Optional[object] = None,
+                 cache: Optional[ResultCache] = None,
+                 executor: Optional[object] = None,
+                 admission: Optional[object] = None,
+                 tenant: Optional[str] = None,
+                 cache_policy: str = "shared"):
         from repro.mr.spill import resolve_memory_budget
         from repro.stats.decisions import resolve_stats
         self.datastore = datastore
@@ -80,9 +86,21 @@ class WorkloadSession:
         self.fault_plan = fault_plan
         self.max_attempts = max_attempts
         self.speculate = speculate
+        #: an explicitly passed cache (the multi-tenant service shares
+        #: one instance across sessions) wins over ``cache_mb``, which
+        #: sizes a private per-session cache as before
         self.cache: Optional[ResultCache] = (
+            cache if cache is not None else
             ResultCache(budget_bytes=int(cache_mb * 1024 * 1024))
             if cache_mb else None)
+        #: multi-tenant hooks forwarded to every query's Runtime: a
+        #: shared fair-share executor handle, an admission controller,
+        #: and the tenant identity / cache-isolation policy.  All
+        #: default to the standalone single-tenant behavior.
+        self.executor = executor
+        self.admission = admission
+        self.tenant = tenant
+        self.cache_policy = cache_policy
         #: the session-shared stats context (sketches cached alongside
         #: the result cache, versioned on the same datastore stamps so a
         #: mutation invalidates both in one step); None = static session
@@ -117,7 +135,9 @@ class WorkloadSession:
             stats=(self.stats_context if self.stats_context is not None
                    else "off"),
             memory_budget_mb=self.memory, track_memory=self.track_memory,
-            codegen=self.codegen)
+            codegen=self.codegen, executor=self.executor,
+            admission=self.admission, tenant=self.tenant,
+            cache_policy=self.cache_policy)
         wall = time.perf_counter() - start
         self.runs.append(SessionRun(
             name=name or namespace, namespace=namespace, result=result,
@@ -136,9 +156,26 @@ class WorkloadSession:
     # -- inspection ----------------------------------------------------------
 
     @property
-    def stats(self) -> CacheStats:
+    def cache_stats(self) -> CacheStats:
         """The shared cache's stats (all zeros when reuse is disabled)."""
         return self.cache.stats if self.cache is not None else CacheStats()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Deprecated alias for :attr:`cache_stats`.
+
+        The name collided with the constructor's ``stats`` kwarg (the
+        statistics-layer toggle) — ``session.stats`` read as "the stats
+        context I passed in" but returned cache counters.  Use
+        ``cache_stats`` for cache counters and ``stats_context`` for the
+        statistics layer.
+        """
+        warnings.warn(
+            "WorkloadSession.stats is deprecated; use "
+            "WorkloadSession.cache_stats (cache counters) or "
+            "WorkloadSession.stats_context (statistics layer)",
+            DeprecationWarning, stacklevel=2)
+        return self.cache_stats
 
     @property
     def total_wall_s(self) -> float:
@@ -146,7 +183,7 @@ class WorkloadSession:
 
     def summary(self) -> dict:
         """Session-level aggregates for reporting."""
-        stats = self.stats
+        stats = self.cache_stats
         return {
             "queries": len(self.runs),
             "jobs": sum(len(r.result.runs) for r in self.runs),

@@ -201,7 +201,7 @@ class TestWarmColdIdentity:
                     == [r.counters.comparable()
                         for r in cold_run.result.runs])
         assert warm.runs[1].fully_cached
-        assert warm.stats.hits == len(warm.runs[1].result.runs)
+        assert warm.cache_stats.hits == len(warm.runs[1].result.runs)
 
     def test_cached_run_marks_jobs(self, datastore):
         cache = ResultCache()
@@ -344,8 +344,8 @@ class TestBudgetPressure:
         for _ in range(2):
             result = tight.run(sql)
             assert result.rows == cold.rows
-        assert tight.stats.hits == 0
-        assert tight.stats.rejected > 0
+        assert tight.cache_stats.hits == 0
+        assert tight.cache_stats.rejected > 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,287 @@
+"""Tests for the multi-tenant query service: cache thread safety,
+fair-share scheduling, tenant isolation, cross-tenant reuse, and the
+newline-delimited-JSON wire layer."""
+
+import itertools
+import threading
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.reuse.cache import CachedOutput, CacheEntry, ResultCache
+from repro.service import (FairShareAdmission, FairShareExecutor,
+                           QueryService, ServiceClient, ServiceDaemon)
+from repro.service.client import ServiceError
+from repro.workloads import WorkloadSession, paper_queries
+
+_ns = itertools.count(1)
+
+AGG_SQL = ("SELECT l_orderkey, sum(l_quantity) AS qty FROM lineitem "
+           "GROUP BY l_orderkey")
+
+
+def _entry(key: str, size: int, owner: str = "") -> CacheEntry:
+    return CacheEntry(key=key, outputs=[CachedOutput(columns=["c"],
+                                                     rows=[{"c": 1}])],
+                      counters=None, size_bytes=size, owner=owner)
+
+
+class TestResultCacheThreadSafety:
+    def test_concurrent_hammer_keeps_accounting_consistent(self):
+        """Many threads admitting, looking up, and clearing at once must
+        never corrupt the byte accounting or raise — the original
+        unguarded OrderedDict mutations did both."""
+        cache = ResultCache(budget_bytes=50_000)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                barrier.wait()
+                for i in range(300):
+                    key = f"k{worker}-{i % 40}"
+                    cache.admit(_entry(key, size=100 + (i % 7) * 50,
+                                       owner=f"t{worker}"))
+                    cache.lookup(key, tenant=f"t{(worker + 1) % 8}")
+                    cache.lookup(f"k{(worker + 3) % 8}-{i % 40}",
+                                 tenant=f"t{worker}")
+                    if i % 97 == 0:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # the running total must equal a fresh O(n) sweep, and respect
+        # the budget
+        assert cache.total_bytes == sum(
+            e.size_bytes for e in cache._entries.values())
+        assert cache.total_bytes <= cache.budget_bytes
+        stats = cache.stats
+        assert stats.hits + stats.misses == 2 * 8 * 300
+
+    def test_running_total_tracks_replace_and_evict(self):
+        cache = ResultCache(budget_bytes=1000)
+        cache.admit(_entry("a", 400))
+        cache.admit(_entry("b", 400))
+        assert cache.total_bytes == 800
+        cache.admit(_entry("a", 100))          # replace shrinks
+        assert cache.total_bytes == 500
+        cache.admit(_entry("c", 600))          # evicts LRU victim b
+        assert cache.total_bytes == 700
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_cross_tenant_hits_attributed(self):
+        cache = ResultCache(budget_bytes=1000)
+        cache.admit(_entry("a", 100, owner="alice"))
+        cache.lookup("a", tenant="alice")
+        assert cache.stats.cross_tenant_hits == 0
+        cache.lookup("a", tenant="bob")
+        assert cache.stats.cross_tenant_hits == 1
+        cache.lookup("a")                      # anonymous: not counted
+        assert cache.stats.cross_tenant_hits == 1
+
+
+class TestFairShare:
+    def test_weighted_dispatch_rate(self):
+        """With both tenants saturating a 1-worker pool, stride
+        scheduling dispatches weight-proportionally (2:1)."""
+        executor = FairShareExecutor(workers=1)
+        heavy = executor.register("heavy", weight=2.0)
+        light = executor.register("light", weight=1.0)
+        release = threading.Event()
+        done_count = threading.Semaphore(0)
+
+        def task():
+            release.wait()
+
+        def done(result, exc):
+            done_count.release()
+
+        # one task occupies the single worker; the rest queue up
+        for _ in range(30):
+            heavy.session().submit(task, done)
+            light.session().submit(task, done)
+        release.set()
+        for _ in range(60):
+            assert done_count.acquire(timeout=10)
+        executor.shutdown()
+        dispatched = executor.dispatched
+        assert dispatched["heavy"] == dispatched["light"] == 30
+        # weighted alternation shows up in the pass counters: heavy's
+        # final pass is half light's (same task count, double weight)
+        assert executor._pass["heavy"] < executor._pass["light"]
+
+    def test_admission_divides_slots_among_active_tenants(self):
+        executor = FairShareExecutor(workers=8)
+        executor.register("a", weight=3.0)
+        executor.register("b", weight=1.0)
+        adm_a = FairShareAdmission(executor, "a")
+        adm_b = FairShareAdmission(executor, "b")
+        # nobody active: each asker gets the whole cap
+        assert adm_a.task_slots(8) == 8
+        # both active: weighted split (ceil of 8*3/4 and 8*1/4)
+        adm_a.task_started("map")
+        adm_b.task_started("map")
+        assert adm_a.task_slots(8) == 6
+        assert adm_b.task_slots(8) == 2
+        # b goes idle: a reclaims everything
+        adm_b.task_finished("map")
+        assert adm_a.task_slots(8) == 8
+        executor.shutdown()
+
+    def test_rejects_bad_weights_and_worker_counts(self):
+        with pytest.raises(ExecutionError):
+            FairShareExecutor(workers=0)
+        executor = FairShareExecutor(workers=1)
+        with pytest.raises(ExecutionError):
+            executor.register("t", weight=0)
+        executor.shutdown()
+
+
+class TestQueryService:
+    QUERIES = ["q17", "q18", "q21"]
+
+    def _sequential_rows(self, datastore, tenant):
+        session = WorkloadSession(
+            datastore, cache_mb=None, stats="off",
+            namespace_prefix=f"seq{next(_ns)}.{tenant}")
+        return [session.run(paper_queries()[name], name=name).rows
+                for name in self.QUERIES]
+
+    def test_concurrent_tenants_match_sequential(self, datastore):
+        """Two tenants hammering the service concurrently produce rows
+        byte-identical to isolated sequential sessions, and the shared
+        cache records cross-tenant hits."""
+        reference = {t: self._sequential_rows(datastore, t)
+                     for t in ("alice", "bob")}
+        with QueryService(datastore, workers=4, cache_mb=64.0,
+                          stats="off") as service:
+            service.open_session("alice", weight=2.0)
+            service.open_session("bob", weight=1.0)
+            observed = {}
+
+            def drive(tenant):
+                observed[tenant] = [
+                    service.run(tenant, paper_queries()[name],
+                                name=name).rows
+                    for name in self.QUERIES]
+
+            threads = [threading.Thread(target=drive, args=(t,))
+                       for t in ("alice", "bob")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert observed["alice"] == reference["alice"]
+            assert observed["bob"] == reference["bob"]
+            cache_stats = service.service_stats()["cache"]
+            assert cache_stats["cross_tenant_hits"] >= 1
+            for tenant in ("alice", "bob"):
+                counters = service.tenant_stats(tenant)
+                assert counters["queries"] == len(self.QUERIES)
+                assert counters["jobs"] > 0
+                assert counters["wall_s"] > 0
+
+    def test_private_cache_policy_isolates_fingerprints(self, datastore):
+        with QueryService(datastore, workers=2, cache_mb=64.0,
+                          stats="off") as service:
+            service.open_session("p1", cache_policy="private")
+            service.open_session("p2", cache_policy="private")
+            first = service.run("p1", AGG_SQL)
+            second = service.run("p2", AGG_SQL)
+            assert first.rows == second.rows
+            stats = service.service_stats()["cache"]
+            # same plan, same inputs — but private keys never collide
+            assert stats["cross_tenant_hits"] == 0
+            assert service.tenant_stats("p2")["cache_hits"] == 0
+            # self-reuse still works within the private namespace
+            service.run("p2", AGG_SQL)
+            assert service.tenant_stats("p2")["cache_hits"] > 0
+
+    def test_shared_policy_serves_other_tenants(self, datastore):
+        with QueryService(datastore, workers=2, cache_mb=64.0,
+                          stats="off") as service:
+            service.open_session("s1")
+            service.open_session("s2")
+            service.run("s1", AGG_SQL)
+            result = service.run("s2", AGG_SQL)
+            assert service.tenant_stats("s2")["cache_hits"] == \
+                len(result.runs)
+            assert (service.service_stats()["cache"]
+                    ["cross_tenant_hits"]) >= len(result.runs)
+
+    def test_unknown_tenant_is_an_error(self, datastore):
+        with QueryService(datastore, workers=1) as service:
+            with pytest.raises(ExecutionError, match="unknown tenant"):
+                service.run("ghost", AGG_SQL)
+            with pytest.raises(ExecutionError, match="whitespace-free"):
+                service.open_session("bad tenant")
+
+    def test_reconnect_preserves_counters(self, datastore):
+        with QueryService(datastore, workers=1, cache_mb=16.0,
+                          stats="off") as service:
+            service.open_session("t", weight=1.0)
+            service.run("t", AGG_SQL)
+            service.open_session("t", weight=3.0)   # reconnect re-weights
+            assert service.tenant_stats("t")["queries"] == 1
+            assert service.tenant_stats("t")["weight"] == 3.0
+            assert service.executor.weight_of("t") == 3.0
+
+
+class TestServiceWire:
+    def test_socket_round_trip(self, datastore):
+        service = QueryService(datastore, workers=2, cache_mb=16.0,
+                               stats="off")
+        daemon = ServiceDaemon(service, port=0).start()
+        try:
+            with ServiceClient(port=daemon.port) as client:
+                client.hello("wire", weight=1.0)
+                response = client.query(AGG_SQL, name="agg")
+                session = WorkloadSession(
+                    datastore, cache_mb=None, stats="off",
+                    namespace_prefix=f"seq{next(_ns)}.wire")
+                expected = session.run(AGG_SQL).rows
+                assert response["rows"] == expected
+                assert response["columns"] == ["l_orderkey", "qty"]
+                assert response["jobs"] >= 1
+                stats = client.stats()
+                assert stats["tenant"]["queries"] == 1
+                assert stats["service"]["workers"] == 2
+                client.shutdown()
+            daemon.join(10)
+        finally:
+            service.close()
+
+    def test_bad_sql_does_not_kill_the_daemon(self, datastore):
+        service = QueryService(datastore, workers=1, stats="off")
+        daemon = ServiceDaemon(service, port=0).start()
+        try:
+            with ServiceClient(port=daemon.port) as client:
+                client.hello("errs")
+                with pytest.raises(ServiceError):
+                    client.query("SELECT FROM nothing")
+                # the connection (and daemon) survive the failure
+                assert client.query(AGG_SQL)["rows"]
+                with pytest.raises(ServiceError, match="hello"):
+                    ServiceClient(port=daemon.port).query(AGG_SQL)
+                client.shutdown()
+            daemon.join(10)
+        finally:
+            service.close()
+
+
+class TestSessionStatsRename:
+    def test_stats_alias_warns_and_matches(self, datastore):
+        session = WorkloadSession(datastore, cache_mb=16,
+                                  namespace_prefix=f"dep{next(_ns)}")
+        session.run(AGG_SQL)
+        with pytest.warns(DeprecationWarning, match="cache_stats"):
+            legacy = session.stats
+        assert legacy is session.cache_stats

@@ -32,7 +32,7 @@ class TestWorkloadSession:
         assert not session.runs[0].fully_cached
         assert session.runs[1].fully_cached
         assert session.runs[2].fully_cached
-        assert session.stats.hits == 2
+        assert session.cache_stats.hits == 2
         assert results[0].rows == results[1].rows == results[2].rows
 
     def test_namespaces_are_deterministic(self, datastore):
@@ -52,7 +52,7 @@ class TestWorkloadSession:
         session.run(AGG_SQL)
         session.run(AGG_SQL)
         assert session.cache is None
-        assert session.stats.hits == session.stats.misses == 0
+        assert session.cache_stats.hits == session.cache_stats.misses == 0
         assert all(r.cache_hits == 0 for r in session.runs)
 
     def test_summary_aggregates(self, datastore):
